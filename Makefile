@@ -1,0 +1,22 @@
+# Developer conveniences; everything also works as plain pytest/python calls.
+
+.PHONY: install test bench examples experiments clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done
+
+experiments:
+	python -m repro.cli experiment all --scale 0.5 --instances 15
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

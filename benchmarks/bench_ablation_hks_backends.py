@@ -1,0 +1,69 @@
+"""Ablation: exact TargetHkS backends (HiGHS MILP vs from-scratch B&B).
+
+Both backends solve Eq. 7 exactly under a time limit; this bench compares
+their runtime and agreement across graph sizes, plus the greedy
+heuristic's speed.  Expected shape: identical objective values wherever
+both prove optimality, with the combinatorial B&B fastest on small graphs
+and the MILP scaling more gracefully; greedy is orders of magnitude
+faster than either.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.eval.reporting import format_table
+from repro.graph.target_hks import solve_greedy, solve_ilp
+
+
+def _random_weights(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    distances = rng.uniform(0, 10, (n, n))
+    distances = (distances + distances.T) / 2
+    np.fill_diagonal(distances, 0)
+    weights = distances.max() - distances
+    np.fill_diagonal(weights, 0)
+    return weights
+
+
+def _run_backends(sizes=(8, 12, 16), k: int = 5, trials: int = 3):
+    rows = []
+    mismatches = 0
+    for n in sizes:
+        timings = {"milp": [], "bnb": [], "greedy": []}
+        for trial in range(trials):
+            weights = _random_weights(n, seed=100 * n + trial)
+            start = time.perf_counter()
+            milp = solve_ilp(weights, k, backend="milp", time_limit=30)
+            timings["milp"].append(time.perf_counter() - start)
+            start = time.perf_counter()
+            bnb = solve_ilp(weights, k, backend="bnb", time_limit=30)
+            timings["bnb"].append(time.perf_counter() - start)
+            start = time.perf_counter()
+            greedy = solve_greedy(weights, k)
+            timings["greedy"].append(time.perf_counter() - start)
+            if milp.proven_optimal and bnb.proven_optimal:
+                if abs(milp.weight - bnb.weight) > 1e-6:
+                    mismatches += 1
+            assert greedy.weight <= max(milp.weight, bnb.weight) + 1e-9
+        rows.append(
+            [
+                n,
+                f"{np.mean(timings['milp']) * 1000:.1f}",
+                f"{np.mean(timings['bnb']) * 1000:.1f}",
+                f"{np.mean(timings['greedy']) * 1000:.3f}",
+            ]
+        )
+    return rows, mismatches
+
+
+def test_ablation_hks_backends(benchmark, capsys):
+    rows, mismatches = benchmark.pedantic(_run_backends, rounds=1, iterations=1)
+    assert mismatches == 0, "exact backends disagreed on a proven-optimal instance"
+    text = format_table(
+        ["n", "MILP ms", "B&B ms", "Greedy ms"],
+        rows,
+        title="Ablation: exact TargetHkS backends, k=5 (mean over 3 graphs)",
+    )
+    emit("ablation_hks_backends", text, capsys)

@@ -1,0 +1,70 @@
+"""Ablation: the simulated LLM-judge baseline vs CompaReSetS+ (§4.6.2).
+
+Measures the pairwise-judgment budget the greedy LLM strategy spends and
+the alignment it buys, across hallucination (flip) rates, against
+CompaReSetS+ on the same instances.  Expected shape: the faithful judge
+is competitive on target-vs-comparative ROUGE (it optimises text
+similarity directly) but spends thousands of judgments per instance where
+CompaReSetS+ spends none; alignment degrades monotonically as the flip
+rate rises — the cost/reliability trade-off the paper's §4.6.2 argues
+qualitatively.
+"""
+
+from benchmarks.conftest import BENCH_SETTINGS, emit
+from repro.core.selection import make_selector
+from repro.eval.alignment import mean_alignment, target_vs_comparative_alignment
+from repro.eval.reporting import format_table
+from repro.eval.runner import prepare_instances
+from repro.llm_sim import LlmJudgeSelector, NoisyRougeJudge
+
+FLIP_RATES = (0.0, 0.25, 0.5, 1.0)
+
+
+def _run_llm_comparison():
+    instances = prepare_instances(BENCH_SETTINGS, "Cellphone")
+    config = BENCH_SETTINGS.config.with_(max_reviews=3)
+
+    rows = []
+    plus = make_selector("CompaReSetS+")
+    plus_results = [plus.select(inst, config) for inst in instances]
+    plus_score = mean_alignment(
+        [target_vs_comparative_alignment(r) for r in plus_results]
+    )
+    rows.append(["CompaReSetS+", "-", f"{plus_score.rouge_1 * 100:.2f}",
+                 f"{plus_score.rouge_l * 100:.2f}"])
+
+    flip_scores = {}
+    for flip in FLIP_RATES:
+        judge = NoisyRougeJudge(flip_probability=flip, seed=11)
+        selector = LlmJudgeSelector(judge)
+        results = [selector.select(inst, config) for inst in instances]
+        score = mean_alignment(
+            [target_vs_comparative_alignment(r) for r in results]
+        )
+        flip_scores[flip] = score.rouge_1
+        rows.append(
+            [
+                f"LLM-Judge flip={flip:.2f}",
+                f"{judge.calls / len(instances):.0f}",
+                f"{score.rouge_1 * 100:.2f}",
+                f"{score.rouge_l * 100:.2f}",
+            ]
+        )
+    return rows, flip_scores
+
+
+def test_ablation_llm_judge(benchmark, capsys):
+    rows, flip_scores = benchmark.pedantic(_run_llm_comparison, rounds=1, iterations=1)
+    # Hallucination monotonically destroys the judged selection's value.
+    assert flip_scores[0.0] > flip_scores[1.0]
+    assert flip_scores[0.25] >= flip_scores[1.0] - 1e-9
+    # The fully hallucinating judge is no better than noise.
+    judged_calls = [float(r[1]) for r in rows if r[1] != "-"]
+    assert all(calls > 0 for calls in judged_calls)
+
+    text = format_table(
+        ["Strategy", "judgments/instance", "T-R1", "T-RL"],
+        rows,
+        title="Ablation: simulated LLM-judge selection vs CompaReSetS+ (Cellphone, m=3)",
+    )
+    emit("ablation_llm_judge", text, capsys)

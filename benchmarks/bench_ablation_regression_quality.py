@@ -1,0 +1,77 @@
+"""Ablation: Integer-Regression vs the exhaustive optimum vs greedy.
+
+CompaReSetS is NP-complete, so the library approximates it; this bench
+quantifies the approximation gap on instances small enough for the
+brute-force solver.  Expected shape: the Integer-Regression objective
+sits close to the optimum (mean ratio near 1) and below the greedy
+baseline's, supporting the paper's choice of algorithm.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SETTINGS, emit
+from repro.core.baselines import GreedySelector, RandomSelector
+from repro.core.compare_sets import CompareSetsSelector
+from repro.core.exhaustive import ExhaustiveSelector
+from repro.core.objective import compare_sets_objective
+from repro.eval.reporting import format_table
+from repro.eval.runner import prepare_instances
+
+SMALL_SETTINGS = replace(BENCH_SETTINGS, max_instances=15, max_comparisons=4)
+
+
+def _run_quality():
+    instances = prepare_instances(SMALL_SETTINGS, "Cellphone")
+    config = SMALL_SETTINGS.config.with_(max_reviews=2)
+
+    exhaustive = ExhaustiveSelector()
+    optima = np.array(
+        [
+            compare_sets_objective(exhaustive.select(inst, config), config)
+            for inst in instances
+        ]
+    )
+
+    rows = []
+    rng = np.random.default_rng(0)
+    for selector in (CompareSetsSelector(), GreedySelector(), RandomSelector()):
+        objectives = np.array(
+            [
+                compare_sets_objective(selector.select(inst, config, rng=rng), config)
+                for inst in instances
+            ]
+        )
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratios = np.where(optima > 1e-9, objectives / optima, 1.0)
+        rows.append(
+            [
+                selector.name,
+                f"{objectives.mean():.4f}",
+                f"{float(np.mean(ratios)):.3f}",
+                f"{float(np.max(ratios)):.3f}",
+            ]
+        )
+    rows.insert(
+        0, [exhaustive.name, f"{optima.mean():.4f}", "1.000", "1.000"]
+    )
+    return rows
+
+
+def test_ablation_regression_quality(benchmark, capsys):
+    rows = benchmark.pedantic(_run_quality, rounds=1, iterations=1)
+    by_name = {row[0]: row for row in rows}
+    regression_mean_ratio = float(by_name["CompaReSetS"][2])
+    greedy_mean_ratio = float(by_name["CompaReSetS_Greedy"][2])
+    random_mean_ratio = float(by_name["Random"][2])
+    assert regression_mean_ratio < 2.0
+    assert regression_mean_ratio <= random_mean_ratio
+    assert greedy_mean_ratio <= random_mean_ratio
+
+    text = format_table(
+        ["Algorithm", "mean Eq.1 objective", "mean ratio vs optimum", "worst ratio"],
+        rows,
+        title="Ablation: approximation quality on small instances (m=2)",
+    )
+    emit("ablation_regression_quality", text, capsys)

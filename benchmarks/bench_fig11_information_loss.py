@@ -1,0 +1,45 @@
+"""Bench: regenerate Fig. 11 (information loss vs review budget m).
+
+Measures Delta(tau_i, pi(S_i)) and cosine(tau_i, pi(S_i)) of
+CompaReSetS+ selections for m in {3, 5, 10, 15, 20} on the Cellphone
+workload.  Expected shape: Delta falls and cosine rises monotonically
+with m; the all-items series loses more than the target-only series
+(comparative selections are skewed toward the target).
+"""
+
+from benchmarks.conftest import BENCH_SETTINGS, emit
+from repro.eval.plotting import ascii_line_plot
+from repro.experiments.fig11 import BUDGETS, render_fig11, run_fig11
+
+
+def test_fig11_information_loss(benchmark, capsys):
+    points = benchmark.pedantic(
+        run_fig11, args=(BENCH_SETTINGS,), rounds=1, iterations=1
+    )
+    assert [p.max_reviews for p in points] == list(BUDGETS)
+
+    # Loss shrinks and cosine grows from the smallest to the largest budget.
+    assert points[-1].target_delta < points[0].target_delta
+    assert points[-1].target_cosine > points[0].target_cosine
+    assert points[-1].all_items_delta < points[0].all_items_delta
+    # Comparative items lose more than the target at generous budgets.
+    assert points[-1].all_items_delta >= points[-1].target_delta - 1e-9
+
+    budgets = [p.max_reviews for p in points]
+    delta_plot = ascii_line_plot(
+        budgets,
+        {
+            "Delta target": [p.target_delta for p in points],
+            "Delta all items": [p.all_items_delta for p in points],
+        },
+        title="Fig. 11a: information loss Delta(tau, pi(S)) vs m",
+    )
+    cosine_plot = ascii_line_plot(
+        budgets,
+        {
+            "cosine target": [p.target_cosine for p in points],
+            "cosine all items": [p.all_items_cosine for p in points],
+        },
+        title="Fig. 11b: cosine(tau, pi(S)) vs m",
+    )
+    emit("fig11", "\n\n".join([render_fig11(points), delta_plot, cosine_plot]), capsys)

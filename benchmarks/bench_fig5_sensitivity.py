@@ -1,0 +1,62 @@
+"""Bench: regenerate Fig. 5 (lambda and mu sensitivity sweeps).
+
+Sweeps the paper's grid {0.01, 0.1, 1, 10, 100} for lambda (CompaReSetS)
+and mu (CompaReSetS+, holding the tuned lambda).  Expected shape: an
+interior / small value wins and the largest values degrade ROUGE-L (the
+paper selects lambda = 1 and mu = 0.1; on the synthetic corpora the same
+protocol selects lambda in {0.1, 1} and mu = 0.01).
+"""
+
+import math
+
+from benchmarks.conftest import BENCH_SETTINGS, emit
+from repro.eval.plotting import ascii_line_plot
+from repro.experiments.fig5 import GRID, render_fig5, run_fig5
+
+
+def test_fig5_sensitivity(benchmark, capsys):
+    lambda_points, best_lambda, mu_points, best_mu = benchmark.pedantic(
+        run_fig5, args=(BENCH_SETTINGS,), rounds=1, iterations=1
+    )
+    assert len(lambda_points) == len(GRID) * 3
+    assert len(mu_points) == len(GRID) * 3
+    assert best_lambda in GRID and best_mu in GRID
+
+    def mean_at(points, value):
+        subset = [p.rouge_l for p in points if p.value == value]
+        return sum(subset) / len(subset)
+
+    # Extreme settings do not win the sweep.
+    assert mean_at(lambda_points, 100.0) <= mean_at(lambda_points, best_lambda)
+    assert mean_at(mu_points, 100.0) <= mean_at(mu_points, best_mu)
+
+    def plot(points, parameter):
+        values = sorted({p.value for p in points})
+        datasets = sorted({p.dataset for p in points})
+        series = {
+            dataset: [
+                100 * next(p.rouge_l for p in points
+                           if p.dataset == dataset and p.value == v)
+                for v in values
+            ]
+            for dataset in datasets
+        }
+        return ascii_line_plot(
+            [math.log10(v) for v in values],
+            series,
+            title=f"Fig. 5: ROUGE-L vs log10({parameter})",
+            y_format="{:.2f}",
+        )
+
+    emit(
+        "fig5",
+        "\n\n".join(
+            [
+                render_fig5(lambda_points, "lambda") + f"\n(best lambda = {best_lambda})",
+                plot(lambda_points, "lambda"),
+                render_fig5(mu_points, "mu") + f"\n(best mu = {best_mu})",
+                plot(mu_points, "mu"),
+            ]
+        ),
+        capsys,
+    )

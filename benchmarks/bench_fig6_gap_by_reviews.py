@@ -1,0 +1,73 @@
+"""Bench: regenerate Fig. 6 (gap over Random vs review volume).
+
+Buckets Cellphone instances by mean reviews-per-item and measures the
+per-bucket ROUGE-L gap of CompaReSetS+ and CRS over Random.  Expected
+shape: gaps are positive everywhere and widen for review-rich buckets
+(more reviews -> harder selection -> smarter methods pull further ahead).
+"""
+
+from dataclasses import replace
+
+from benchmarks.conftest import BENCH_SETTINGS, emit
+from repro.eval.plotting import ascii_line_plot
+from repro.experiments.fig6 import render_fig6, run_fig6
+
+# More instances per bucket than the default bench settings.
+FIG6_SETTINGS = replace(BENCH_SETTINGS, max_instances=60)
+
+
+def test_fig6_gap_by_reviews(benchmark, capsys):
+    points = benchmark.pedantic(
+        run_fig6,
+        args=(FIG6_SETTINGS,),
+        kwargs={"num_buckets": 3},
+        rounds=1,
+        iterations=1,
+    )
+    assert points
+    for view in ("target", "among"):
+        plus_points = sorted(
+            (p for p in points if p.view == view and p.algorithm == "CompaReSetS+"),
+            key=lambda p: p.mean_reviews,
+        )
+        # Positive gap over Random in every bucket...
+        assert all(p.gap > 0 for p in plus_points)
+        # ...and the review-richest bucket beats the review-poorest.
+        if len(plus_points) >= 2:
+            assert plus_points[-1].gap > plus_points[0].gap - 0.01
+
+    def plot(view):
+        subset = sorted(
+            (p for p in points if p.view == view), key=lambda p: p.mean_reviews
+        )
+        buckets = sorted({p.mean_reviews for p in subset})
+        series = {}
+        for algorithm in ("CRS", "CompaReSetS+"):
+            series[f"{algorithm} - Random"] = [
+                100
+                * next(
+                    p.gap
+                    for p in subset
+                    if p.algorithm == algorithm and p.mean_reviews == bucket
+                )
+                for bucket in buckets
+            ]
+        return ascii_line_plot(
+            buckets,
+            series,
+            title=f"Fig. 6 ({view}): ROUGE-L gap over Random vs #reviews",
+            y_format="{:+.2f}",
+        )
+
+    emit(
+        "fig6",
+        "\n\n".join(
+            [
+                render_fig6(points, "target"),
+                plot("target"),
+                render_fig6(points, "among"),
+                plot("among"),
+            ]
+        ),
+        capsys,
+    )

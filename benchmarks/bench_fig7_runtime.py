@@ -1,0 +1,57 @@
+"""Bench: regenerate Fig. 7 (runtime vs number of comparative items).
+
+Times CRS, CompaReSetS, and CompaReSetS+ at m in {3, 5, 10} on instances
+of width n in {4, 8, 12, 16}.  Expected shape: CRS and CompaReSetS are
+nearly flat in n; CompaReSetS+ grows roughly linearly (it re-solves per
+item against a target that also grows with n).
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from benchmarks.conftest import BENCH_SETTINGS, emit
+from repro.eval.plotting import ascii_line_plot
+from repro.experiments.fig7 import render_fig7, run_fig7
+
+FIG7_SETTINGS = replace(BENCH_SETTINGS, max_instances=10)
+COUNTS = (4, 8, 12, 16)
+
+
+def test_fig7_runtime(benchmark, capsys):
+    points = benchmark.pedantic(
+        run_fig7,
+        args=(FIG7_SETTINGS,),
+        kwargs={"comparative_counts": COUNTS},
+        rounds=1,
+        iterations=1,
+    )
+    assert points
+
+    def series(algorithm, m):
+        by_n = {
+            p.num_comparatives: p.mean_seconds
+            for p in points
+            if p.algorithm == algorithm and p.max_reviews == m
+        }
+        return [by_n[n] for n in sorted(by_n)]
+
+    plus = np.array(series("CompaReSetS+", 3))
+    crs = np.array(series("CRS", 3))
+    if len(plus) >= 3 and len(crs) >= 3:
+        # CompaReSetS+ is the slowest and grows faster with n than CRS.
+        assert plus[-1] > crs[-1]
+        assert (plus[-1] - plus[0]) > (crs[-1] - crs[0])
+
+    plot_series = {
+        algorithm: series(algorithm, 3)
+        for algorithm in ("CRS", "CompaReSetS", "CompaReSetS+")
+        if series(algorithm, 3)
+    }
+    plot = ascii_line_plot(
+        sorted({p.num_comparatives for p in points}),
+        plot_series,
+        title="Fig. 7: runtime (s/instance) vs #comparative items (m=3)",
+        y_format="{:.3f}",
+    )
+    emit("fig7", render_fig7(points) + "\n\n" + plot, capsys)

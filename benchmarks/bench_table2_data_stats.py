@@ -1,0 +1,30 @@
+"""Bench: regenerate Table 2 (dataset statistics).
+
+Times corpus generation + statistics for the three categories and prints
+the regenerated table.  Expected shape: per-category review-per-product
+and comparison-list averages track the paper's (18.64/25.57 Cellphone,
+14.06/34.33 Toy, 12.10/12.03 Clothing); absolute counts scale with the
+benchmark's corpus scale.
+"""
+
+from benchmarks.conftest import BENCH_SETTINGS, emit
+from repro.data.statistics import analyze_corpus, render_analysis
+from repro.eval.runner import cached_corpus
+from repro.experiments.table2 import render_table2, run_table2
+
+
+def test_table2_data_stats(benchmark, capsys):
+    stats = benchmark.pedantic(
+        run_table2, args=(BENCH_SETTINGS,), rounds=1, iterations=1
+    )
+    assert len(stats) == 3
+    for s in stats:
+        assert s.num_products > 0
+        assert s.avg_reviews_per_product > 5
+
+    # Extended distributional view of one category (beyond the paper's
+    # Table 2) to document the corpus shape the experiments run on.
+    analysis = analyze_corpus(
+        cached_corpus("Cellphone", BENCH_SETTINGS.scale, BENCH_SETTINGS.seed)
+    )
+    emit("table2", render_table2(stats) + "\n\n" + render_analysis(analysis), capsys)

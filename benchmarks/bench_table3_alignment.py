@@ -1,0 +1,44 @@
+"""Bench: regenerate Table 3 (review alignment vs baselines).
+
+Runs all five selectors over every (category, m) workload and reports
+both panels.  Expected shape (paper): CompaReSetS+ best, CompaReSetS
+second, CRS third, Greedy and Random behind, on both the
+target-vs-comparative and among-items views.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SETTINGS, emit
+from repro.experiments.table3 import render_table3, run_table3
+
+
+@pytest.fixture(scope="module")
+def cells():
+    return run_table3(BENCH_SETTINGS)
+
+
+def test_table3_alignment(benchmark, capsys):
+    cells = benchmark.pedantic(
+        run_table3, args=(BENCH_SETTINGS,), rounds=1, iterations=1
+    )
+    # 3 datasets x 3 budgets x 2 views x 5 algorithms
+    assert len(cells) == 90
+
+    def mean_rouge1(algorithm, view):
+        values = [
+            c.scores.rouge_1
+            for c in cells
+            if c.algorithm == algorithm and c.view == view
+        ]
+        return sum(values) / len(values)
+
+    for view in ("target", "among"):
+        assert mean_rouge1("CRS", view) > mean_rouge1("Random", view)
+        assert mean_rouge1("CompaReSetS", view) > mean_rouge1("CRS", view)
+        assert mean_rouge1("CompaReSetS+", view) >= mean_rouge1("CompaReSetS", view) - 0.002
+
+    emit(
+        "table3",
+        render_table3(cells, "target") + "\n\n" + render_table3(cells, "among"),
+        capsys,
+    )

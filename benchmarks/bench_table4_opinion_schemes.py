@@ -1,0 +1,29 @@
+"""Bench: regenerate Table 4 (opinion-definition generalisation).
+
+ROUGE-L of every selector under binary / 3-polarity / unary-scale opinion
+vectors on the Cellphone workload (m = 3).  Expected shape: CompaReSetS /
+CompaReSetS+ lead overall; CRS weakens under unary-scale, where the
+set-level sigmoid breaks the linear-regression proxy.
+"""
+
+from benchmarks.conftest import BENCH_SETTINGS, emit
+from repro.core.vectors import OpinionScheme
+from repro.experiments.table4 import render_table4, run_table4
+
+
+def test_table4_opinion_schemes(benchmark, capsys):
+    cells = benchmark.pedantic(
+        run_table4, args=(BENCH_SETTINGS,), rounds=1, iterations=1
+    )
+    assert len(cells) == 15
+
+    def score(algorithm, scheme):
+        return next(
+            c.rouge_l for c in cells if c.algorithm == algorithm and c.scheme == scheme
+        )
+
+    for scheme in OpinionScheme:
+        assert score("CompaReSetS+", scheme) > score("Random", scheme)
+        assert score("CompaReSetS", scheme) > score("Random", scheme)
+
+    emit("table4", render_table4(cells), capsys)

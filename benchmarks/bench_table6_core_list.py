@@ -1,0 +1,41 @@
+"""Bench: regenerate Table 6 (alignment after core-list narrowing).
+
+Narrows each instance to k = m items with Random / Top-k similarity /
+TargetHkS_Greedy / TargetHkS_ILP (selections fixed to CompaReSetS+) and
+re-scores ROUGE.  Expected shape: ILP ~= Greedy > Top-k similarity >
+Random, with Top-k approaching the others as k grows.
+"""
+
+from benchmarks.conftest import WIDE_SETTINGS, emit
+from repro.experiments.table6 import render_table6, run_table6
+
+
+def test_table6_core_list(benchmark, capsys):
+    rows = benchmark.pedantic(
+        run_table6,
+        args=(WIDE_SETTINGS,),
+        kwargs={"time_limit": 5.0, "backend": "bnb"},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(rows) == 72  # 3 datasets x 3 k x 4 strategies x 2 views
+
+    def mean_rouge_l(strategy, view):
+        values = [
+            c.scores.rouge_l for c in rows if c.strategy == strategy and c.view == view
+        ]
+        return sum(values) / len(values)
+
+    for view in ("target", "among"):
+        assert mean_rouge_l("TargetHkS_ILP", view) > mean_rouge_l("Random", view)
+        assert mean_rouge_l("TargetHkS_Greedy", view) > mean_rouge_l("Random", view)
+        # Greedy tracks the exact solver closely.
+        assert abs(
+            mean_rouge_l("TargetHkS_Greedy", view) - mean_rouge_l("TargetHkS_ILP", view)
+        ) < 0.01
+
+    emit(
+        "table6",
+        render_table6(rows, "target") + "\n\n" + render_table6(rows, "among"),
+        capsys,
+    )

@@ -1,0 +1,22 @@
+"""Bench: regenerate Table 7 (the simulated user study).
+
+Builds the survey material (3 examples per category, narrowed to 3 items
+of 3 reviews) and runs 5 simulated annotators per example.  Expected
+shape: CompaReSetS+ >= CRS >= Random on Q1/Q3 means and on Krippendorff's
+alpha (the paper reports 3.73/3.69/3.47 on Q1 and alpha 0.299/0.050/-0.039).
+"""
+
+from benchmarks.conftest import BENCH_SETTINGS, emit
+from repro.experiments.table7 import render_table7, run_table7
+
+
+def test_table7_user_study(benchmark, capsys):
+    outcomes = benchmark.pedantic(
+        run_table7, args=(BENCH_SETTINGS,), rounds=1, iterations=1
+    )
+    by_name = {o.algorithm: o for o in outcomes}
+    assert set(by_name) == {"Random", "CRS", "CompaReSetS+"}
+    assert by_name["CompaReSetS+"].q1_similarity >= by_name["Random"].q1_similarity
+    assert by_name["CompaReSetS+"].q3_comparison >= by_name["Random"].q3_comparison
+    assert by_name["CompaReSetS+"].alpha >= by_name["Random"].alpha
+    emit("table7", render_table7(outcomes), capsys)

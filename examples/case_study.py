@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""Case studies in the style of the paper's Figures 8-10.
+
+Renders one "compare to similar items" view per category: the target
+product plus its top-2 most similar items (TargetHkS_ILP on CompaReSetS+
+distances), each with 3 selected reviews, highlighting the aspects every
+item's selection shares.
+
+Run:  python examples/case_study.py
+"""
+
+from repro.eval.runner import EvaluationSettings
+from repro.experiments.case_study import render_case_study, run_case_study
+
+
+def main() -> None:
+    settings = EvaluationSettings(scale=0.6, max_instances=20, max_comparisons=8)
+    for category in settings.categories:
+        try:
+            study = run_case_study(settings, category=category)
+        except ValueError as error:
+            print(f"[{category}] skipped: {error}")
+            continue
+        print(render_case_study(study))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: select comparative review sets and narrow the item list.
+
+Generates a small synthetic Cellphone corpus, picks the first viable
+comparison instance (one target product plus its "also bought"
+candidates), runs CompaReSetS+ to select 3 reviews per item, narrows the
+candidates to the 3 most mutually similar items with TargetHkS, and
+prints the resulting comparison view.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    SelectionConfig,
+    build_instances,
+    build_item_graph,
+    generate_corpus,
+    make_selector,
+    solve_greedy,
+)
+
+
+def main() -> None:
+    corpus = generate_corpus("Cellphone", scale=0.5, seed=7)
+    print(f"Corpus: {corpus}")
+    print(f"Stats:  {corpus.stats()}\n")
+
+    instance = next(iter(build_instances(corpus, max_comparisons=8, min_reviews=3)))
+    print(
+        f"Instance: target {instance.target.title!r} with "
+        f"{len(instance.comparatives)} comparative items"
+    )
+
+    config = SelectionConfig(max_reviews=3, lam=1.0, mu=0.01)
+    selector = make_selector("CompaReSetS+")
+    result = selector.select(instance, config)
+
+    graph = build_item_graph(result, config)
+    core = solve_greedy(graph.weights, k=min(3, instance.num_items))
+    kept = [0] + sorted(v for v in core.selected if v != 0)
+    narrowed = result.restricted_to_items(kept)
+
+    print(f"Core list (TargetHkS greedy, weight {core.weight:.2f}):\n")
+    for item_index, product in enumerate(narrowed.instance.products):
+        role = "TARGET " if item_index == 0 else "similar"
+        print(f"[{role}] {product.title}")
+        for review in narrowed.selected_reviews(item_index):
+            print(f"   {review.rating:.0f}* {review.text}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

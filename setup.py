@@ -1,0 +1,10 @@
+"""Legacy entry point so `pip install -e .` works without the wheel package.
+
+All real metadata lives in pyproject.toml; this file only enables the
+legacy editable-install path on environments whose setuptools cannot do
+PEP 660 builds (see the note in pyproject.toml).
+"""
+
+from setuptools import setup
+
+setup()

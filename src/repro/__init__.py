@@ -1,0 +1,104 @@
+"""CompaReSetS: selecting comparative sets of reviews across multiple items.
+
+A faithful, self-contained reproduction of Le & Lauw (EDBT 2025):
+
+* :mod:`repro.core` — the CompaReSetS / CompaReSetS+ selection problems
+  and their Integer-Regression solvers, plus the CRS/greedy/random
+  baselines.
+* :mod:`repro.graph` — the TargetHkS core-list problem: similarity graph,
+  exact ILP (HiGHS + from-scratch branch and bound), greedy, baselines.
+* :mod:`repro.text` — the NLP substrate: tokeniser, Porter stemmer,
+  opinion lexicon, aspect mining, sentiment extraction, ROUGE.
+* :mod:`repro.data` — review/product models, synthetic Amazon-like corpus
+  generation, JSONL I/O, and comparison-instance extraction.
+* :mod:`repro.eval` — alignment measurement, objective ratios,
+  information loss, statistics, the simulated user study, and experiment
+  orchestration.
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart::
+
+    from repro import (
+        SelectionConfig, generate_corpus, build_instances, make_selector,
+        build_item_graph, solve_greedy,
+    )
+
+    corpus = generate_corpus("Cellphone", seed=7)
+    instance = next(iter(build_instances(corpus, min_reviews=3)))
+    config = SelectionConfig(max_reviews=3)
+    result = make_selector("CompaReSetS+").select(instance, config)
+    graph = build_item_graph(result, config)
+    core_list = solve_greedy(graph.weights, k=3)
+"""
+
+from repro.core import (
+    CompareSetsPlusSelector,
+    CompareSetsSelector,
+    CrsSelector,
+    GreedySelector,
+    OpinionScheme,
+    RandomSelector,
+    SelectionConfig,
+    SelectionResult,
+    Selector,
+    compare_sets_objective,
+    compare_sets_plus_objective,
+    make_selector,
+)
+from repro.data import (
+    AspectMention,
+    ComparisonInstance,
+    Corpus,
+    Product,
+    Review,
+    build_instances,
+    generate_corpus,
+    load_corpus,
+    save_corpus,
+)
+from repro.graph import (
+    ItemGraph,
+    build_item_graph,
+    solve_brute_force,
+    solve_greedy,
+    solve_ilp,
+    solve_random,
+    solve_top_k_similarity,
+)
+
+# Imported for its side effect: registers the simulated LLM-Judge selector
+# in the registry so make_selector("LLM-Judge") works out of the box.
+from repro import llm_sim as _llm_sim  # noqa: E402,F401
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AspectMention",
+    "CompareSetsPlusSelector",
+    "CompareSetsSelector",
+    "ComparisonInstance",
+    "Corpus",
+    "CrsSelector",
+    "GreedySelector",
+    "ItemGraph",
+    "OpinionScheme",
+    "Product",
+    "RandomSelector",
+    "Review",
+    "SelectionConfig",
+    "SelectionResult",
+    "Selector",
+    "build_instances",
+    "build_item_graph",
+    "compare_sets_objective",
+    "compare_sets_plus_objective",
+    "generate_corpus",
+    "load_corpus",
+    "make_selector",
+    "save_corpus",
+    "solve_brute_force",
+    "solve_greedy",
+    "solve_ilp",
+    "solve_random",
+    "solve_top_k_similarity",
+]

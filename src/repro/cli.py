@@ -1,0 +1,327 @@
+"""Command-line interface for the CompaReSetS reproduction.
+
+Subcommands
+-----------
+``generate``        write a synthetic category corpus to JSONL
+``stats``           print Table-2 statistics for a corpus file
+``select``          select comparative review sets for one target item
+``narrow``          select, then narrow to the k-item core list (TargetHkS)
+``convert-amazon``  convert a McAuley-format reviews+metadata dump pair
+``experiment``      regenerate one of the paper's tables/figures
+
+Examples
+--------
+::
+
+    repro-cli generate --category Toy --scale 0.5 --out toy.jsonl
+    repro-cli stats toy.jsonl
+    repro-cli narrow toy.jsonl --target TOY00003 --m 3 --k 3
+    repro-cli experiment table3 --scale 0.5 --instances 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from collections.abc import Sequence
+
+from repro.core.problem import SelectionConfig
+from repro.core.selection import SELECTORS, make_selector
+from repro.data.instances import build_instance
+from repro.data.io import load_corpus, save_corpus
+from repro.data.synthetic import generate_corpus
+from repro.eval.runner import EvaluationSettings
+from repro.graph.similarity import build_item_graph
+from repro.graph.target_hks import solve_greedy, solve_ilp
+
+
+def _add_selection_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--m", type=int, default=3, help="review budget per item")
+    parser.add_argument("--lam", type=float, default=1.0, help="lambda (aspect weight)")
+    parser.add_argument("--mu", type=float, default=0.01, help="mu (cross-item weight)")
+    parser.add_argument(
+        "--algorithm",
+        default="CompaReSetS+",
+        choices=sorted(SELECTORS),
+        help="selection algorithm",
+    )
+    parser.add_argument(
+        "--max-comparisons", type=int, default=10, help="cap on comparative items"
+    )
+    parser.add_argument(
+        "--min-reviews", type=int, default=3, help="minimum reviews per item"
+    )
+
+
+def _config_from(args: argparse.Namespace) -> SelectionConfig:
+    return SelectionConfig(max_reviews=args.m, lam=args.lam, mu=args.mu)
+
+
+def _resolve_instance(args: argparse.Namespace):
+    corpus = load_corpus(args.corpus)
+    target = args.target
+    if target is None:
+        for product in corpus.products:
+            candidate = build_instance(
+                corpus,
+                product.product_id,
+                max_comparisons=args.max_comparisons,
+                min_reviews=args.min_reviews,
+            )
+            if candidate is not None:
+                return corpus, candidate
+        raise SystemExit("no viable target item in the corpus")
+    if not corpus.has_product(target):
+        raise SystemExit(f"target {target!r} is not in the corpus")
+    instance = build_instance(
+        corpus,
+        target,
+        max_comparisons=args.max_comparisons,
+        min_reviews=args.min_reviews,
+    )
+    if instance is None:
+        raise SystemExit(f"target {target!r} is not a viable instance")
+    return corpus, instance
+
+
+def _print_result(result) -> None:
+    for item_index, product in enumerate(result.instance.products):
+        role = "TARGET " if item_index == 0 else "similar"
+        print(f"[{role}] {product.title} ({product.product_id})")
+        for review in result.selected_reviews(item_index):
+            print(f"    {review.rating:.0f}* {review.text}")
+        print()
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    corpus = generate_corpus(args.category, scale=args.scale, seed=args.seed)
+    save_corpus(corpus, args.out)
+    stats = corpus.stats()
+    print(
+        f"wrote {args.out}: {stats.num_products} products, "
+        f"{stats.num_reviews} reviews"
+    )
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    from repro.eval.reporting import format_table
+
+    stats = load_corpus(args.corpus).stats(min_reviews_for_target=args.min_reviews)
+    rows = stats.as_rows()
+    print(format_table(["", stats.name], [[label, value] for label, value in rows]))
+    return 0
+
+
+def _command_select(args: argparse.Namespace) -> int:
+    _, instance = _resolve_instance(args)
+    result = make_selector(args.algorithm).select(instance, _config_from(args))
+    _print_result(result)
+    return 0
+
+
+def _command_narrow(args: argparse.Namespace) -> int:
+    _, instance = _resolve_instance(args)
+    config = _config_from(args)
+    result = make_selector(args.algorithm).select(instance, config)
+    graph = build_item_graph(result, config)
+    k = min(args.k, instance.num_items)
+    if args.exact:
+        solution = solve_ilp(graph.weights, k, time_limit=args.time_limit)
+    else:
+        solution = solve_greedy(graph.weights, k)
+    kept = [0] + sorted(v for v in solution.selected if v != 0)
+    print(
+        f"core list of {k} items ({solution.algorithm}, "
+        f"weight {solution.weight:.3f}):\n"
+    )
+    _print_result(result.restricted_to_items(kept))
+    return 0
+
+
+def _command_convert_amazon(args: argparse.Namespace) -> int:
+    from repro.data.amazon import convert_amazon
+
+    corpus = convert_amazon(
+        args.reviews,
+        args.metadata,
+        category=args.category,
+        annotate=not args.no_annotate,
+        candidate_pool=args.candidate_pool,
+        keep=args.keep,
+    )
+    save_corpus(corpus, args.out)
+    print(
+        f"wrote {args.out}: {len(corpus.products)} products, "
+        f"{len(corpus.reviews)} reviews"
+    )
+    return 0
+
+
+_EXPERIMENTS = {
+    "table2", "table3", "table4", "table5", "table6", "table7",
+    "fig5", "fig6", "fig7", "fig11", "case-study", "all",
+}
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    from repro import experiments
+
+    settings = EvaluationSettings(
+        scale=args.scale,
+        seed=args.seed,
+        max_instances=args.instances,
+        max_comparisons=args.max_comparisons,
+        min_reviews=args.min_reviews,
+        budgets=tuple(args.budgets),
+    )
+    name = args.name
+    if name == "all":
+        for each in sorted(_EXPERIMENTS - {"all"}):
+            print(f"\n########## {each} ##########\n")
+            sub_args = argparse.Namespace(**vars(args))
+            sub_args.name = each
+            _command_experiment(sub_args)
+        return 0
+
+    results: object
+    if name == "table2":
+        results = experiments.table2.run_table2(settings)
+        print(experiments.table2.render_table2(results))
+    elif name == "table3":
+        results = experiments.table3.run_table3(settings)
+        print(experiments.table3.render_table3(results, "target"))
+        print()
+        print(experiments.table3.render_table3(results, "among"))
+    elif name == "table4":
+        results = experiments.table4.run_table4(settings)
+        print(experiments.table4.render_table4(results))
+    elif name == "table5":
+        results = experiments.table5.run_table5(settings)
+        print(experiments.table5.render_table5(results))
+    elif name == "table6":
+        results = experiments.table6.run_table6(settings)
+        print(experiments.table6.render_table6(results, "target"))
+        print()
+        print(experiments.table6.render_table6(results, "among"))
+    elif name == "table7":
+        results = experiments.table7.run_table7(settings)
+        print(experiments.table7.render_table7(results))
+    elif name == "fig5":
+        lam_points, best_lam, mu_points, best_mu = experiments.fig5.run_fig5(settings)
+        results = {"lambda": lam_points, "best_lambda": best_lam,
+                   "mu": mu_points, "best_mu": best_mu}
+        print(experiments.fig5.render_fig5(lam_points, "lambda"))
+        print(f"(best lambda = {best_lam})\n")
+        print(experiments.fig5.render_fig5(mu_points, "mu"))
+        print(f"(best mu = {best_mu})")
+    elif name == "fig6":
+        results = experiments.fig6.run_fig6(settings)
+        print(experiments.fig6.render_fig6(results, "target"))
+        print()
+        print(experiments.fig6.render_fig6(results, "among"))
+    elif name == "fig7":
+        results = experiments.fig7.run_fig7(settings)
+        print(experiments.fig7.render_fig7(results))
+    elif name == "fig11":
+        results = experiments.fig11.run_fig11(settings)
+        print(experiments.fig11.render_fig11(results))
+    else:  # case-study
+        study = experiments.case_study.run_case_study(settings)
+        results = {
+            "category": study.category,
+            "shared_aspects": study.shared_aspects,
+            "product_ids": [p.product_id for p in study.result.instance.products],
+        }
+        print(experiments.case_study.render_case_study(study))
+
+    if args.json is not None:
+        from repro.experiments.persist import save_results
+
+        directory = Path(args.json)
+        directory.mkdir(parents=True, exist_ok=True)
+        target = directory / f"{name.replace('-', '_')}.json"
+        save_results(name, results, settings, target)
+        print(f"\n[structured results written to {target}]")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cli",
+        description="CompaReSetS (EDBT 2025) reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="write a synthetic corpus")
+    generate.add_argument("--category", default="Cellphone",
+                          choices=["Cellphone", "Toy", "Clothing"])
+    generate.add_argument("--scale", type=float, default=1.0)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--out", required=True)
+    generate.set_defaults(handler=_command_generate)
+
+    stats = subparsers.add_parser("stats", help="Table-2 statistics of a corpus")
+    stats.add_argument("corpus")
+    stats.add_argument("--min-reviews", type=int, default=1)
+    stats.set_defaults(handler=_command_stats)
+
+    select = subparsers.add_parser("select", help="select comparative review sets")
+    select.add_argument("corpus")
+    select.add_argument("--target", default=None, help="target product id")
+    _add_selection_arguments(select)
+    select.set_defaults(handler=_command_select)
+
+    narrow = subparsers.add_parser("narrow", help="select and narrow to k items")
+    narrow.add_argument("corpus")
+    narrow.add_argument("--target", default=None)
+    narrow.add_argument("--k", type=int, default=3)
+    narrow.add_argument("--exact", action="store_true", help="use the exact ILP")
+    narrow.add_argument("--time-limit", type=float, default=60.0)
+    _add_selection_arguments(narrow)
+    narrow.set_defaults(handler=_command_narrow)
+
+    convert = subparsers.add_parser(
+        "convert-amazon", help="convert a McAuley Amazon dump pair"
+    )
+    convert.add_argument("--reviews", required=True)
+    convert.add_argument("--metadata", required=True)
+    convert.add_argument("--out", required=True)
+    convert.add_argument("--category", default="Amazon")
+    convert.add_argument("--no-annotate", action="store_true")
+    convert.add_argument("--candidate-pool", type=int, default=2000)
+    convert.add_argument("--keep", type=int, default=500)
+    convert.set_defaults(handler=_command_convert_amazon)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate a paper table/figure"
+    )
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
+    experiment.add_argument("--scale", type=float, default=0.6)
+    experiment.add_argument("--seed", type=int, default=7)
+    experiment.add_argument("--instances", type=int, default=20)
+    experiment.add_argument("--max-comparisons", type=int, default=8)
+    experiment.add_argument("--min-reviews", type=int, default=3)
+    experiment.add_argument("--budgets", type=int, nargs="+", default=[3, 5, 10])
+    experiment.add_argument(
+        "--json",
+        default=None,
+        metavar="DIR",
+        help="also write structured JSON results into this directory",
+    )
+    experiment.set_defaults(handler=_command_experiment)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

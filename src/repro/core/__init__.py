@@ -1,0 +1,46 @@
+"""The paper's primary contribution: comparative review-set selection.
+
+* :mod:`repro.core.vectors` — opinion/aspect distribution vectors pi(S),
+  phi(S) under the three opinion schemes of §4.2.3.
+* :mod:`repro.core.distance` — squared-L2 distance Delta and helpers.
+* :mod:`repro.core.problem` — selection configuration (m, lambda, mu, scheme).
+* :mod:`repro.core.integer_regression` — NOMP + rounding (Lappas et al. 2012).
+* :mod:`repro.core.compare_sets` — CompaReSetS (Problem 1).
+* :mod:`repro.core.compare_sets_plus` — CompaReSetS+ (Problem 2, Algorithm 1).
+* :mod:`repro.core.baselines` — CRS, greedy, and random baselines.
+* :mod:`repro.core.selection` — the Selector protocol and registry.
+* :mod:`repro.core.objective` — exact evaluation of Eq. 1 and Eq. 5.
+"""
+
+from repro.core.baselines import CrsSelector, GreedySelector, RandomSelector
+from repro.core.compare_sets import CompareSetsSelector
+from repro.core.compare_sets_plus import CompareSetsPlusSelector
+from repro.core.coverage_baselines import ComprehensiveSelector, PolarityCoverageSelector
+from repro.core.exhaustive import ExhaustiveSelector
+from repro.core.distance import cosine_similarity, squared_l2
+from repro.core.objective import compare_sets_objective, compare_sets_plus_objective
+from repro.core.problem import SelectionConfig
+from repro.core.selection import SELECTORS, SelectionResult, Selector, make_selector
+from repro.core.vectors import OpinionScheme, VectorSpace
+
+__all__ = [
+    "SELECTORS",
+    "CompareSetsPlusSelector",
+    "CompareSetsSelector",
+    "ComprehensiveSelector",
+    "CrsSelector",
+    "ExhaustiveSelector",
+    "PolarityCoverageSelector",
+    "GreedySelector",
+    "OpinionScheme",
+    "RandomSelector",
+    "SelectionConfig",
+    "SelectionResult",
+    "Selector",
+    "VectorSpace",
+    "compare_sets_objective",
+    "compare_sets_plus_objective",
+    "cosine_similarity",
+    "make_selector",
+    "squared_l2",
+]

@@ -1,0 +1,140 @@
+"""Baseline selectors from §4.1.2: CRS, CompaReSetS_Greedy, and Random.
+
+* **CRS** (Lappas et al. 2012) — the strongest prior work: single-item
+  characteristic review selection.  It is exactly the lambda = 0, single-
+  item special case of CompaReSetS, so it matches each item's opinion
+  distribution tau_i but ignores the target's aspect vector Gamma and all
+  cross-item terms.
+* **CompaReSetS_Greedy** — adds reviews one by one, each time picking the
+  review whose addition minimises the Eq.-3 cost, stopping at m reviews or
+  when no addition improves the cost.
+* **Random** — uniform sample of min(m, |R_i|) reviews, the paper's floor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.objective import item_objective
+from repro.core.problem import SelectionConfig
+from repro.core.selection import SelectionResult, build_space, register_selector
+from repro.core.vectors import VectorSpace
+from repro.data.instances import ComparisonInstance
+from repro.data.models import Review
+from repro.core.compare_sets import select_for_item
+
+
+@register_selector
+class CrsSelector:
+    """Characteristic Review Selection: per-item, opinion-only (lambda = 0)."""
+
+    name = "CRS"
+
+    def select(
+        self,
+        instance: ComparisonInstance,
+        config: SelectionConfig,
+        rng: np.random.Generator | None = None,
+    ) -> SelectionResult:
+        """Run Integer-Regression against tau_i alone for every item."""
+        space = build_space(instance, config)
+        gamma = space.aspect_vector(instance.reviews[0])
+        crs_config = config.with_(lam=0.0, mu=0.0)
+        selections = []
+        for reviews in instance.reviews:
+            tau = space.opinion_vector(reviews)
+            selections.append(
+                select_for_item(space, reviews, tau, gamma, crs_config)
+            )
+        return SelectionResult(
+            instance=instance, selections=tuple(selections), algorithm=self.name
+        )
+
+
+@register_selector
+class GreedySelector:
+    """CompaReSetS_Greedy: one-review-at-a-time minimisation of Eq. 3."""
+
+    name = "CompaReSetS_Greedy"
+
+    def __init__(self, stop_when_no_improvement: bool = True) -> None:
+        self.stop_when_no_improvement = stop_when_no_improvement
+
+    def select(
+        self,
+        instance: ComparisonInstance,
+        config: SelectionConfig,
+        rng: np.random.Generator | None = None,
+    ) -> SelectionResult:
+        """Greedy forward selection per item; deterministic."""
+        space = build_space(instance, config)
+        gamma = space.aspect_vector(instance.reviews[0])
+        selections = []
+        for reviews in instance.reviews:
+            tau = space.opinion_vector(reviews)
+            selections.append(
+                self._select_item(space, reviews, tau, gamma, config)
+            )
+        return SelectionResult(
+            instance=instance, selections=tuple(selections), algorithm=self.name
+        )
+
+    def _select_item(
+        self,
+        space: VectorSpace,
+        reviews: tuple[Review, ...],
+        tau: np.ndarray,
+        gamma: np.ndarray,
+        config: SelectionConfig,
+    ) -> tuple[int, ...]:
+        chosen: list[int] = []
+        current_cost = item_objective(space, [], tau, gamma, config.lam)
+        remaining = set(range(len(reviews)))
+        while remaining and len(chosen) < config.max_reviews:
+            best_index = None
+            best_cost = np.inf
+            for candidate in sorted(remaining):
+                trial = [reviews[j] for j in chosen] + [reviews[candidate]]
+                cost = item_objective(space, trial, tau, gamma, config.lam)
+                if cost < best_cost - 1e-12:
+                    best_cost = cost
+                    best_index = candidate
+            if best_index is None:
+                break
+            if self.stop_when_no_improvement and best_cost >= current_cost - 1e-12 and chosen:
+                break
+            chosen.append(best_index)
+            remaining.discard(best_index)
+            current_cost = best_cost
+        return tuple(sorted(chosen))
+
+
+@register_selector
+class RandomSelector:
+    """Uniformly random selection of min(m, |R_i|) reviews per item."""
+
+    name = "Random"
+
+    def __init__(self, seed: int | None = None) -> None:
+        self._seed = seed
+
+    def select(
+        self,
+        instance: ComparisonInstance,
+        config: SelectionConfig,
+        rng: np.random.Generator | None = None,
+    ) -> SelectionResult:
+        """Sample selections with ``rng`` (or the constructor seed)."""
+        if rng is None:
+            rng = np.random.default_rng(self._seed)
+        selections = []
+        for reviews in instance.reviews:
+            count = min(config.max_reviews, len(reviews))
+            if count == 0:
+                selections.append(())
+                continue
+            indices = rng.choice(len(reviews), size=count, replace=False)
+            selections.append(tuple(sorted(int(i) for i in indices)))
+        return SelectionResult(
+            instance=instance, selections=tuple(selections), algorithm=self.name
+        )

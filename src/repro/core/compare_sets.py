@@ -1,0 +1,77 @@
+"""CompaReSetS — Problem 1, solved per item by Integer-Regression.
+
+Eq. 1 decomposes over items (Eq. 3), so each item p_i is solved
+independently: minimise Delta(tau_i, pi(S_i)) + lambda^2 Delta(Gamma,
+phi(S_i)) over subsets S_i of R_i with |S_i| <= m.  Following Eq. 4 this
+equals a single regression against the concatenated target
+[tau_i; lambda * Gamma] with matrix rows [opinion incidence;
+lambda * aspect incidence].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distance import concat_scaled
+from repro.core.integer_regression import integer_regression_select
+from repro.core.objective import item_objective
+from repro.core.problem import SelectionConfig
+from repro.core.selection import SelectionResult, build_space, register_selector
+from repro.core.vectors import VectorSpace
+from repro.data.instances import ComparisonInstance
+from repro.data.models import Review
+
+
+def select_for_item(
+    space: VectorSpace,
+    reviews: tuple[Review, ...],
+    tau: np.ndarray,
+    gamma: np.ndarray,
+    config: SelectionConfig,
+) -> tuple[int, ...]:
+    """Solve Eq. 3 for one item; returns sorted review indices."""
+    if not reviews:
+        return ()
+    columns = np.vstack(
+        [
+            space.opinion_matrix(reviews),
+            config.lam * space.aspect_matrix(reviews),
+        ]
+    )
+    target = concat_scaled((1.0, tau), (config.lam, gamma))
+
+    def evaluate(selection: tuple[int, ...]) -> float:
+        chosen = [reviews[j] for j in selection]
+        return item_objective(space, chosen, tau, gamma, config.lam)
+
+    return integer_regression_select(
+        columns, target, config.max_reviews, evaluate
+    ).selected
+
+
+@register_selector
+class CompareSetsSelector:
+    """Problem 1: independent per-item Integer-Regression selection."""
+
+    name = "CompaReSetS"
+
+    def select(
+        self,
+        instance: ComparisonInstance,
+        config: SelectionConfig,
+        rng: np.random.Generator | None = None,
+    ) -> SelectionResult:
+        """Solve CompaReSetS on ``instance``; ``rng`` is unused (deterministic)."""
+        space = build_space(instance, config)
+        gamma = space.aspect_vector(instance.reviews[0])
+        selections = []
+        for reviews in instance.reviews:
+            tau = space.opinion_vector(reviews)
+            selections.append(
+                select_for_item(space, reviews, tau, gamma, config)
+            )
+        return SelectionResult(
+            instance=instance,
+            selections=tuple(selections),
+            algorithm=self.name,
+        )

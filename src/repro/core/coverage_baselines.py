@@ -1,0 +1,119 @@
+"""Coverage-style selectors from the paper's related work (§5.1).
+
+Two classic single-item formulations that predate characteristic
+selection, implemented as additional baselines:
+
+* :class:`ComprehensiveSelector` — Lappas & Gunopulos (2010): pick a
+  minimal set of reviews that *covers* every aspect of the item (greedy
+  set cover), truncated to the budget m.
+* :class:`PolarityCoverageSelector` — Tsaparas, Ntoulas & Terzi (2011):
+  cover every (aspect, polarity) pair that appears in the item's reviews,
+  so both the positive and the negative side of each aspect is shown.
+
+Neither optimises distribution fit (CRS) nor cross-item comparability
+(CompaReSetS+); comparing against them shows what the paper's objectives
+add over plain coverage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import SelectionConfig
+from repro.core.selection import SelectionResult, register_selector
+from repro.data.instances import ComparisonInstance
+from repro.data.models import Review
+
+
+def _greedy_set_cover(
+    universe: set, element_sets: list[set], budget: int
+) -> tuple[int, ...]:
+    """Greedy set cover: indices of the sets chosen, at most ``budget``.
+
+    Classic ln(n)-approximation: repeatedly take the set covering the most
+    uncovered elements; ties break toward the lowest index.  Stops when
+    the universe is covered, no set helps, or the budget is exhausted.
+    """
+    uncovered = set(universe)
+    chosen: list[int] = []
+    remaining = set(range(len(element_sets)))
+    while uncovered and remaining and len(chosen) < budget:
+        best_index = None
+        best_gain = 0
+        for index in sorted(remaining):
+            gain = len(element_sets[index] & uncovered)
+            if gain > best_gain:
+                best_gain = gain
+                best_index = index
+        if best_index is None:
+            break
+        chosen.append(best_index)
+        remaining.discard(best_index)
+        uncovered -= element_sets[best_index]
+    return tuple(sorted(chosen))
+
+
+def _aspect_sets(reviews: tuple[Review, ...]) -> list[set]:
+    return [set(review.aspects) for review in reviews]
+
+
+def _polarity_sets(reviews: tuple[Review, ...]) -> list[set]:
+    sets = []
+    for review in reviews:
+        pairs = set()
+        for aspect in review.aspects:
+            sign = review.sentiment_for(aspect)
+            if sign != 0:
+                pairs.add((aspect, sign))
+        sets.append(pairs)
+    return sets
+
+
+@register_selector
+class ComprehensiveSelector:
+    """Cover every aspect of each item with at most m reviews."""
+
+    name = "Comprehensive"
+
+    def select(
+        self,
+        instance: ComparisonInstance,
+        config: SelectionConfig,
+        rng: np.random.Generator | None = None,
+    ) -> SelectionResult:
+        """Greedy aspect set cover per item; deterministic."""
+        selections = []
+        for reviews in instance.reviews:
+            element_sets = _aspect_sets(reviews)
+            universe = set().union(*element_sets) if element_sets else set()
+            selections.append(
+                _greedy_set_cover(universe, element_sets, config.max_reviews)
+            )
+        return SelectionResult(
+            instance=instance, selections=tuple(selections), algorithm=self.name
+        )
+
+
+@register_selector
+class PolarityCoverageSelector:
+    """Cover every (aspect, polarity) pair of each item with m reviews."""
+
+    name = "PolarityCoverage"
+
+    def select(
+        self,
+        instance: ComparisonInstance,
+        config: SelectionConfig,
+        rng: np.random.Generator | None = None,
+    ) -> SelectionResult:
+        """Greedy (aspect, sign) set cover per item; deterministic."""
+        selections = []
+        for reviews in instance.reviews:
+            element_sets = _polarity_sets(reviews)
+            universe = set().union(*element_sets) if element_sets else set()
+            selections.append(
+                _greedy_set_cover(universe, element_sets, config.max_reviews)
+            )
+        return SelectionResult(
+            instance=instance, selections=tuple(selections), algorithm=self.name
+        )

@@ -1,0 +1,47 @@
+"""Vector distances used by the selection objectives.
+
+The paper's Delta(x, y) is the *squared* Euclidean distance (Eq. 2); the
+information-loss analysis (Eq. 9) additionally uses cosine similarity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def squared_l2(x: np.ndarray, y: np.ndarray) -> float:
+    """Delta(x, y) = sum_i (x_i - y_i)^2 (Eq. 2).
+
+    Raises ValueError on shape mismatch — silently broadcasting two
+    distribution vectors of different aspect spaces would be a bug.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    difference = x - y
+    return float(difference @ difference)
+
+
+def cosine_similarity(x: np.ndarray, y: np.ndarray) -> float:
+    """cos(x, y) per Eq. 9; 0.0 when either vector is all-zero."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.shape != y.shape:
+        raise ValueError(f"shape mismatch: {x.shape} vs {y.shape}")
+    norm_x = float(np.linalg.norm(x))
+    norm_y = float(np.linalg.norm(y))
+    if norm_x == 0.0 or norm_y == 0.0:
+        return 0.0
+    return float(x @ y) / (norm_x * norm_y)
+
+
+def concat_scaled(*parts: tuple[float, np.ndarray]) -> np.ndarray:
+    """Concatenate ``scale * vector`` blocks, e.g. [tau; lambda*Gamma].
+
+    Accepts (scale, vector) pairs and returns their weighted concatenation,
+    the construction behind Eq. 4 and Algorithm 1's stacked target.
+    """
+    if not parts:
+        return np.zeros(0)
+    return np.concatenate([scale * np.asarray(vector, dtype=float) for scale, vector in parts])

@@ -1,0 +1,93 @@
+"""Exact (exponential-time) solvers for small selection instances.
+
+CompaReSetS is NP-complete (§2.2), so the library solves it with the
+Integer-Regression heuristic.  For *small* review sets the optimum is
+still computable by enumerating all subsets of size <= m, which gives a
+ground truth to measure the heuristic's approximation quality against —
+the ablation benchmark ``bench_ablation_regression_quality`` does exactly
+that.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.core.objective import item_objective
+from repro.core.problem import SelectionConfig
+from repro.core.selection import SelectionResult, build_space, register_selector
+from repro.core.vectors import VectorSpace
+from repro.data.instances import ComparisonInstance
+from repro.data.models import Review
+
+# Enumerating C(n, <=m) subsets explodes quickly; refuse instead of hanging.
+_MAX_SUBSETS = 2_000_000
+
+
+def exhaustive_select_for_item(
+    space: VectorSpace,
+    reviews: tuple[Review, ...],
+    tau: np.ndarray,
+    gamma: np.ndarray,
+    config: SelectionConfig,
+) -> tuple[tuple[int, ...], float]:
+    """Brute-force optimum of Eq. 3 for one item.
+
+    Returns (selected indices, objective).  Raises ValueError when the
+    subset count exceeds the safety bound.
+    """
+    from math import comb
+
+    total = sum(
+        comb(len(reviews), size)
+        for size in range(0, min(config.max_reviews, len(reviews)) + 1)
+    )
+    if total > _MAX_SUBSETS:
+        raise ValueError(
+            f"{total} subsets exceed the exhaustive-search bound {_MAX_SUBSETS}; "
+            "use the Integer-Regression solver for instances this large"
+        )
+
+    best_selection: tuple[int, ...] = ()
+    best_objective = item_objective(space, [], tau, gamma, config.lam)
+    indices = range(len(reviews))
+    for size in range(1, min(config.max_reviews, len(reviews)) + 1):
+        for combo in combinations(indices, size):
+            objective = item_objective(
+                space, [reviews[j] for j in combo], tau, gamma, config.lam
+            )
+            if objective < best_objective - 1e-15:
+                best_objective = objective
+                best_selection = combo
+    return best_selection, best_objective
+
+
+@register_selector
+class ExhaustiveSelector:
+    """Brute-force CompaReSetS optimum — ground truth for small instances."""
+
+    name = "CompaReSetS_Exhaustive"
+
+    def select(
+        self,
+        instance: ComparisonInstance,
+        config: SelectionConfig,
+        rng: np.random.Generator | None = None,
+    ) -> SelectionResult:
+        """Solve Eq. 3 exactly per item (exponential; small instances only)."""
+        space = build_space(instance, config)
+        gamma = space.aspect_vector(instance.reviews[0])
+        selections = []
+        for reviews in instance.reviews:
+            if not reviews:
+                selections.append(())
+                continue
+            tau = space.opinion_vector(reviews)
+            selection, _ = exhaustive_select_for_item(
+                space, reviews, tau, gamma, config
+            )
+            selections.append(selection)
+        return SelectionResult(
+            instance=instance, selections=tuple(selections), algorithm=self.name
+        )

@@ -1,0 +1,263 @@
+"""The Integer-Regression algorithm of Lappas, Crovella & Terzi (KDD 2012).
+
+The paper approximates CompaReSetS / CompaReSetS+ per item with this
+two-stage scheme (§2.2, Algorithm 1):
+
+1. **Continuous stage** — solve the sparse non-negative regression
+   ``min ||W x - target||^2`` with ``||x||_0 <= l`` via Non-negative
+   Orthogonal Matching Pursuit (NOMP): greedily add the column with the
+   largest positive correlation to the residual, then re-fit non-negative
+   least squares on the support.
+2. **Discrete stage** — deduplicate identical columns (capacity c_i = group
+   size), then find an integer count vector nu with ``nu_i <= c_i``,
+   ``||nu||_1 <= m`` whose L1-normalised form is closest to the normalised
+   continuous solution.  We use capacity-capped largest-remainder
+   apportionment per candidate total s = 1..m, which is optimal for each
+   fixed s.
+3. Repeat for every sparsity level l = 1..m and keep the candidate whose
+   *true* set-level objective (computed by a caller-supplied evaluator on
+   the actual normalised pi/phi vectors) is smallest.
+
+The evaluator indirection matters: the regression operates on raw
+incidence columns, while the objective is defined on max-normalised
+distribution vectors; scoring candidates with the true objective is what
+makes the heuristic faithful to Eq. 3 / Eq. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable, Sequence
+
+import numpy as np
+from scipy.optimize import nnls
+
+_CORRELATION_TOLERANCE = 1e-12
+
+
+@dataclass(frozen=True, slots=True)
+class DeduplicatedColumns:
+    """Unique columns of a matrix plus the original indices of each group."""
+
+    matrix: np.ndarray
+    groups: tuple[tuple[int, ...], ...]
+
+    @property
+    def capacities(self) -> np.ndarray:
+        """c_i — how many original columns each unique column represents."""
+        return np.array([len(group) for group in self.groups], dtype=int)
+
+
+def deduplicate_columns(matrix: np.ndarray, decimals: int = 12) -> DeduplicatedColumns:
+    """Group identical columns of ``matrix`` (D, N) -> (D, q), q <= N.
+
+    Columns are compared after rounding to ``decimals`` places so that
+    floating-point noise does not split genuinely identical reviews.
+    Group order follows first occurrence, keeping the mapping stable.
+    """
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    groups: dict[bytes, list[int]] = {}
+    order: list[bytes] = []
+    rounded = np.round(matrix, decimals)
+    for column_index in range(matrix.shape[1]):
+        key = rounded[:, column_index].tobytes()
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(column_index)
+    group_tuples = tuple(tuple(groups[key]) for key in order)
+    if group_tuples:
+        unique = np.column_stack([matrix[:, group[0]] for group in group_tuples])
+    else:
+        unique = np.zeros((matrix.shape[0], 0))
+    return DeduplicatedColumns(matrix=unique, groups=group_tuples)
+
+
+def nomp_path(matrix: np.ndarray, target: np.ndarray, max_atoms: int) -> list[np.ndarray]:
+    """Non-negative OMP, returning the solution after *every* atom.
+
+    OMP's greedy atom choice does not depend on the sparsity budget, so
+    the budget-``l`` solution is the ``l``-th point of the budget-``m``
+    trajectory; computing the whole path at once saves re-running the
+    pursuit per sparsity level (Algorithm 1 loops l = 1..m).  The path
+    stops early when no remaining column has positive correlation with
+    the residual.
+    """
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
+    num_columns = matrix.shape[1]
+    if num_columns == 0 or max_atoms <= 0:
+        return []
+
+    residual = target.astype(float).copy()
+    support: list[int] = []
+    in_support = np.zeros(num_columns, dtype=bool)
+    path: list[np.ndarray] = []
+
+    for _ in range(min(max_atoms, num_columns)):
+        correlations = matrix.T @ residual
+        correlations[in_support] = -np.inf
+        best = int(np.argmax(correlations))
+        if correlations[best] <= _CORRELATION_TOLERANCE:
+            break
+        support.append(best)
+        in_support[best] = True
+        coefficients, _ = nnls(matrix[:, support], target)
+        residual = target - matrix[:, support] @ coefficients
+        x = np.zeros(num_columns)
+        x[support] = coefficients
+        path.append(x)
+    return path
+
+
+def nomp(matrix: np.ndarray, target: np.ndarray, max_atoms: int) -> np.ndarray:
+    """Non-negative Orthogonal Matching Pursuit.
+
+    Returns a non-negative coefficient vector x (len = #columns) with at
+    most ``max_atoms`` non-zeros approximating ``matrix @ x ~= target``.
+    Stops early when no remaining column has positive correlation with the
+    residual (adding it could not reduce the non-negative objective).
+    """
+    path = nomp_path(matrix, target, max_atoms)
+    if not path:
+        if matrix.ndim != 2:
+            raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
+        return np.zeros(matrix.shape[1])
+    return path[-1]
+
+
+def largest_remainder_round(
+    ideal: np.ndarray, capacities: np.ndarray, total: int
+) -> np.ndarray:
+    """Integer apportionment: nu ~= ideal with sum(nu) <= total, nu <= cap.
+
+    Classic largest-remainder method with capacity caps: start from the
+    capped floors, then hand out the remaining units in order of largest
+    fractional remainder among entries with slack.  If the caps cannot
+    absorb ``total`` units the result sums to the total slack instead.
+    """
+    if np.any(ideal < -1e-12):
+        raise ValueError("ideal allocations must be non-negative")
+    ideal = np.maximum(ideal, 0.0)
+    base = np.minimum(np.floor(ideal + 1e-12), capacities).astype(int)
+    remaining = min(int(total) - int(base.sum()), int((capacities - base).sum()))
+    if remaining > 0:
+        remainders = ideal - base
+        slack = (capacities - base).astype(int)
+        order = np.argsort(-remainders, kind="stable")
+        # Round-robin in remainder order: one unit per index per pass, so
+        # the allocation stays balanced even when capacities bind.
+        while remaining > 0:
+            progressed = False
+            for index in order:
+                if remaining == 0:
+                    break
+                if slack[index] > 0:
+                    base[index] += 1
+                    slack[index] -= 1
+                    remaining -= 1
+                    progressed = True
+            if not progressed:
+                break
+    return base
+
+
+def round_to_counts(
+    x: np.ndarray, capacities: np.ndarray, max_total: int
+) -> np.ndarray:
+    """Discrete stage: integer counts nu minimising the normalised L1 gap.
+
+    Searches every total s = 1..max_total, apportions s units by largest
+    remainder, and keeps the nu whose L1-normalised form is closest to the
+    L1-normalised x (the criterion of Algorithm 1, line 8).  Returns the
+    zero vector when x is identically zero.
+    """
+    x = np.asarray(x, dtype=float)
+    mass = float(np.abs(x).sum())
+    if mass == 0.0 or max_total <= 0:
+        return np.zeros(len(x), dtype=int)
+    normalised = x / mass
+
+    best_counts = np.zeros(len(x), dtype=int)
+    best_gap = np.inf
+    for s in range(1, max_total + 1):
+        counts = largest_remainder_round(normalised * s, capacities, s)
+        count_sum = int(counts.sum())
+        if count_sum == 0:
+            continue
+        gap = float(np.abs(counts / count_sum - normalised).sum())
+        if gap < best_gap - 1e-12:
+            best_gap = gap
+            best_counts = counts
+    return best_counts
+
+
+def counts_to_selection(
+    counts: np.ndarray, groups: Sequence[Sequence[int]]
+) -> tuple[int, ...]:
+    """Map group counts nu back to original column (review) indices.
+
+    Members within a group are interchangeable (identical incidence
+    vectors); the first ``nu_i`` members are taken, keeping determinism.
+    """
+    selected: list[int] = []
+    for count, group in zip(counts, groups):
+        if count > len(group):
+            raise ValueError(
+                f"count {count} exceeds group capacity {len(group)}"
+            )
+        selected.extend(group[: int(count)])
+    return tuple(sorted(selected))
+
+
+@dataclass(frozen=True, slots=True)
+class RegressionSelection:
+    """Outcome of one integer-regression run for one item."""
+
+    selected: tuple[int, ...]
+    objective: float
+
+
+def integer_regression_select(
+    columns: np.ndarray,
+    target: np.ndarray,
+    max_reviews: int,
+    evaluate: Callable[[tuple[int, ...]], float],
+    allow_empty: bool = False,
+) -> RegressionSelection:
+    """Select at most ``max_reviews`` columns approximating ``target``.
+
+    ``evaluate`` receives a tuple of original column indices and must
+    return the true objective value for that selection (lower is better);
+    the best candidate across sparsity levels l = 1..m wins.
+
+    With ``allow_empty=False`` (the default — review selection should show
+    the user *something*) the empty set is returned only when NOMP produces
+    no non-empty candidate at any sparsity level, e.g. when every column is
+    zero.  With ``allow_empty=True`` the empty selection competes on
+    objective value like any other candidate.
+    """
+    if columns.shape[0] != target.shape[0]:
+        raise ValueError(
+            f"column dimension {columns.shape[0]} != target dimension {target.shape[0]}"
+        )
+    deduplicated = deduplicate_columns(columns)
+    capacities = deduplicated.capacities
+
+    best: RegressionSelection | None = (
+        RegressionSelection(selected=(), objective=evaluate(())) if allow_empty else None
+    )
+    seen: set[tuple[int, ...]] = {()}
+    for x in nomp_path(deduplicated.matrix, target, max_reviews):
+        counts = round_to_counts(x, capacities, max_reviews)
+        selection = counts_to_selection(counts, deduplicated.groups)
+        if selection in seen:
+            continue
+        seen.add(selection)
+        objective = evaluate(selection)
+        if best is None or objective < best.objective - 1e-12:
+            best = RegressionSelection(selected=selection, objective=objective)
+    if best is None:
+        best = RegressionSelection(selected=(), objective=evaluate(()))
+    return best

@@ -1,0 +1,108 @@
+"""Exact evaluation of the paper's objective functions.
+
+* :func:`item_objective` — Eq. 3, one item's contribution to Eq. 1.
+* :func:`compare_sets_objective` — Eq. 1 (CompaReSetS).
+* :func:`compare_sets_plus_objective` — Eq. 5 (CompaReSetS+).
+* :func:`pairwise_item_distance` — d_ij of §3.1, feeding the TargetHkS graph.
+
+All functions take explicit vectors/spaces so they are usable both inside
+the solvers (scoring candidate selections) and by the evaluation harness.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.distance import squared_l2
+from repro.core.problem import SelectionConfig
+from repro.core.selection import SelectionResult, build_space
+from repro.core.vectors import VectorSpace
+from repro.data.models import Review
+
+
+def item_objective(
+    space: VectorSpace,
+    selected: Sequence[Review],
+    tau: np.ndarray,
+    gamma: np.ndarray,
+    lam: float,
+) -> float:
+    """Eq. 3: Delta(tau_i, pi(S_i)) + lambda^2 Delta(Gamma, phi(S_i))."""
+    pi = space.opinion_vector(selected)
+    phi = space.aspect_vector(selected)
+    return squared_l2(tau, pi) + lam**2 * squared_l2(gamma, phi)
+
+
+def _targets(result: SelectionResult, config: SelectionConfig, space: VectorSpace):
+    """tau_i = pi(R_i) for every item and Gamma = phi(R_1)."""
+    taus = [space.opinion_vector(reviews) for reviews in result.instance.reviews]
+    gamma = space.aspect_vector(result.instance.reviews[0])
+    return taus, gamma
+
+
+def compare_sets_objective(
+    result: SelectionResult,
+    config: SelectionConfig,
+    space: VectorSpace | None = None,
+) -> float:
+    """Eq. 1: sum_i Delta(tau_i, pi(S_i)) + lambda^2 sum_i Delta(Gamma, phi(S_i))."""
+    space = space or build_space(result.instance, config)
+    taus, gamma = _targets(result, config, space)
+    total = 0.0
+    for item_index in range(result.instance.num_items):
+        total += item_objective(
+            space,
+            result.selected_reviews(item_index),
+            taus[item_index],
+            gamma,
+            config.lam,
+        )
+    return total
+
+
+def compare_sets_plus_objective(
+    result: SelectionResult,
+    config: SelectionConfig,
+    space: VectorSpace | None = None,
+) -> float:
+    """Eq. 5: Eq. 1 plus mu^2 sum_{i<j} Delta(phi(S_i), phi(S_j))."""
+    space = space or build_space(result.instance, config)
+    base = compare_sets_objective(result, config, space)
+    phis = [
+        space.aspect_vector(result.selected_reviews(i))
+        for i in range(result.instance.num_items)
+    ]
+    pairwise = 0.0
+    for i in range(len(phis) - 1):
+        for j in range(i + 1, len(phis)):
+            pairwise += squared_l2(phis[i], phis[j])
+    return base + config.mu**2 * pairwise
+
+
+def pairwise_item_distance(
+    space: VectorSpace,
+    selected_i: Sequence[Review],
+    selected_j: Sequence[Review],
+    tau_i: np.ndarray,
+    tau_j: np.ndarray,
+    gamma: np.ndarray,
+    config: SelectionConfig,
+) -> float:
+    """d_ij of §3.1 between two items given their selected review sets.
+
+    d_ij = Delta(tau_i, pi(S_i)) + Delta(tau_j, pi(S_j))
+         + lambda^2 [Delta(Gamma, phi(S_i)) + Delta(Gamma, phi(S_j))]
+         + mu^2 Delta(phi(S_i), phi(S_j))
+    """
+    pi_i = space.opinion_vector(selected_i)
+    pi_j = space.opinion_vector(selected_j)
+    phi_i = space.aspect_vector(selected_i)
+    phi_j = space.aspect_vector(selected_j)
+    return (
+        squared_l2(tau_i, pi_i)
+        + squared_l2(tau_j, pi_j)
+        + config.lam**2 * (squared_l2(gamma, phi_i) + squared_l2(gamma, phi_j))
+        + config.mu**2 * squared_l2(phi_i, phi_j)
+    )

@@ -1,0 +1,53 @@
+"""Selection problem configuration.
+
+Bundles the knobs shared by every selector: the review budget m, the
+trade-off factors lambda (opinion vs aspect, Eq. 1) and mu (cross-item
+synchronisation, Eq. 5), and the opinion scheme.  The paper's tuned values
+are lambda = 1 and mu = 0.1 (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.vectors import OpinionScheme
+
+
+@dataclass(frozen=True, slots=True)
+class SelectionConfig:
+    """Parameters of Problems 1 and 2.
+
+    Attributes
+    ----------
+    max_reviews:
+        m — the per-item review budget (|S_i| <= m).
+    lam:
+        lambda >= 0 — weight of the aspect-distribution term against Gamma.
+    mu:
+        mu >= 0 — weight of the pairwise cross-item term (CompaReSetS+ only).
+    scheme:
+        Opinion encoding (binary / 3-polarity / unary-scale).
+    sweeps:
+        Number of alternating passes Algorithm 1 makes over the items.
+        The paper uses a single pass; more sweeps may refine further.
+    """
+
+    max_reviews: int = 3
+    lam: float = 1.0
+    mu: float = 0.1
+    scheme: OpinionScheme = field(default=OpinionScheme.BINARY)
+    sweeps: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_reviews < 1:
+            raise ValueError(f"max_reviews must be >= 1, got {self.max_reviews}")
+        if self.lam < 0:
+            raise ValueError(f"lam must be >= 0, got {self.lam}")
+        if self.mu < 0:
+            raise ValueError(f"mu must be >= 0, got {self.mu}")
+        if self.sweeps < 1:
+            raise ValueError(f"sweeps must be >= 1, got {self.sweeps}")
+
+    def with_(self, **changes) -> "SelectionConfig":
+        """A copy with the given fields replaced (sweep helpers)."""
+        return replace(self, **changes)

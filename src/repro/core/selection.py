@@ -1,0 +1,111 @@
+"""Selector protocol, selection results, and the algorithm registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.data.instances import ComparisonInstance
+from repro.data.models import Review
+from repro.core.problem import SelectionConfig
+from repro.core.vectors import VectorSpace
+
+
+@dataclass(frozen=True, slots=True)
+class SelectionResult:
+    """Selected review sets S_1..S_n for one problem instance.
+
+    ``selections[i]`` holds sorted indices into ``instance.reviews[i]``.
+    """
+
+    instance: ComparisonInstance
+    selections: tuple[tuple[int, ...], ...]
+    algorithm: str
+
+    def __post_init__(self) -> None:
+        if len(self.selections) != self.instance.num_items:
+            raise ValueError(
+                f"{len(self.selections)} selections for "
+                f"{self.instance.num_items} items"
+            )
+        for item_index, (selection, reviews) in enumerate(
+            zip(self.selections, self.instance.reviews)
+        ):
+            if len(set(selection)) != len(selection):
+                raise ValueError(f"duplicate review indices for item {item_index}")
+            for review_index in selection:
+                if not (0 <= review_index < len(reviews)):
+                    raise ValueError(
+                        f"review index {review_index} out of range for item "
+                        f"{item_index} with {len(reviews)} reviews"
+                    )
+
+    def selected_reviews(self, item_index: int) -> tuple[Review, ...]:
+        """The selected review objects S_i of item ``item_index``."""
+        reviews = self.instance.reviews[item_index]
+        return tuple(reviews[j] for j in self.selections[item_index])
+
+    def all_selected(self) -> tuple[tuple[Review, ...], ...]:
+        """S_1..S_n as review objects."""
+        return tuple(
+            self.selected_reviews(i) for i in range(self.instance.num_items)
+        )
+
+    def restricted_to_items(self, item_indices: list[int]) -> "SelectionResult":
+        """Keep only the given item positions (target must be position 0)."""
+        if not item_indices or item_indices[0] != 0:
+            raise ValueError("restriction must start with the target item (index 0)")
+        product_ids = [self.instance.products[i].product_id for i in item_indices]
+        return SelectionResult(
+            instance=self.instance.restricted_to(product_ids),
+            selections=tuple(self.selections[i] for i in item_indices),
+            algorithm=self.algorithm,
+        )
+
+
+@runtime_checkable
+class Selector(Protocol):
+    """A review-set selection algorithm."""
+
+    name: str
+
+    def select(
+        self,
+        instance: ComparisonInstance,
+        config: SelectionConfig,
+        rng: np.random.Generator | None = None,
+    ) -> SelectionResult:
+        """Choose at most ``config.max_reviews`` reviews per item."""
+        ...
+
+
+def build_space(instance: ComparisonInstance, config: SelectionConfig) -> VectorSpace:
+    """The shared vector space of an instance under ``config``'s scheme."""
+    return VectorSpace(instance.aspect_vocabulary(), config.scheme)
+
+
+# Populated lazily to avoid a circular import with the selector modules.
+SELECTORS: dict[str, type] = {}
+
+
+def register_selector(cls: type) -> type:
+    """Class decorator adding a selector type to :data:`SELECTORS`."""
+    SELECTORS[cls.name] = cls
+    return cls
+
+
+def make_selector(name: str, **kwargs) -> Selector:
+    """Instantiate a registered selector by its paper name.
+
+    >>> make_selector("Random").name
+    'Random'
+    """
+    try:
+        cls = SELECTORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown selector {name!r}; available: {sorted(SELECTORS)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,43 @@
+"""Data substrate: review/product models, corpora, synthetic generation, I/O.
+
+The paper uses the public Amazon Product Review Dataset with "also bought"
+metadata.  That dataset is not redistributable here, so
+:mod:`repro.data.synthetic` generates corpora with the same statistical
+shape (Table 2) and the same couplings the algorithms rely on.  All other
+modules are dataset-agnostic: point :func:`repro.data.io.load_corpus` at a
+JSONL export of the real data and everything downstream works unchanged.
+"""
+
+from repro.data.amazon import convert_amazon
+from repro.data.corpus import Corpus, CorpusStats
+from repro.data.instances import ComparisonInstance, build_instance, build_instances
+from repro.data.io import load_corpus, save_corpus
+from repro.data.models import AspectMention, Product, Review
+from repro.data.statistics import CorpusAnalysis, analyze_corpus, render_analysis
+from repro.data.synthetic import (
+    CategoryProfile,
+    SyntheticCorpusBuilder,
+    generate_corpus,
+    surface_stem_aliases,
+)
+
+__all__ = [
+    "AspectMention",
+    "CategoryProfile",
+    "ComparisonInstance",
+    "Corpus",
+    "CorpusAnalysis",
+    "CorpusStats",
+    "Product",
+    "Review",
+    "SyntheticCorpusBuilder",
+    "analyze_corpus",
+    "build_instance",
+    "build_instances",
+    "convert_amazon",
+    "generate_corpus",
+    "load_corpus",
+    "render_analysis",
+    "save_corpus",
+    "surface_stem_aliases",
+]

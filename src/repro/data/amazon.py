@@ -1,0 +1,138 @@
+"""Converters for the McAuley Amazon Product Review Dataset format.
+
+The paper evaluates on http://jmcauley.ucsd.edu/data/amazon/ — two JSON
+files per category:
+
+* a *reviews* file: one JSON object per line with ``reviewerID``,
+  ``asin``, ``reviewText``, ``overall`` (star rating), ``summary``, ...;
+* a *metadata* file: one JSON object per line with ``asin``, ``title``,
+  ``related`` (containing ``also_bought`` lists), ``categories``, ...
+  (the 5-core releases use strict JSON; some older dumps are Python
+  literals — both are accepted here).
+
+:func:`convert_amazon` turns the pair into a :class:`repro.data.Corpus`
+(optionally annotating reviews from raw text via the mining pipeline), so
+the full reproduction can run on the real data once downloaded.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from collections.abc import Iterator
+
+from repro.data.corpus import Corpus
+from repro.data.models import Product, Review
+from repro.text.aspects import AspectVocabulary, mine_aspects
+from repro.text.sentiment import annotate_corpus
+
+
+def _parse_line(line: str, path: Path, line_number: int) -> dict:
+    """Parse one record: strict JSON first, Python-literal fallback."""
+    try:
+        value = json.loads(line)
+    except json.JSONDecodeError:
+        try:
+            value = ast.literal_eval(line)
+        except (ValueError, SyntaxError) as exc:
+            raise ValueError(
+                f"{path}:{line_number}: neither JSON nor a Python literal"
+            ) from exc
+    if not isinstance(value, dict):
+        raise ValueError(f"{path}:{line_number}: record is not an object")
+    return value
+
+
+def iter_records(path: str | Path) -> Iterator[dict]:
+    """Yield records from a JSON-lines Amazon dump (strict or loose)."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if line:
+                yield _parse_line(line, path, line_number)
+
+
+def load_metadata(path: str | Path, category: str = "Amazon") -> list[Product]:
+    """Parse a metadata dump into products with "also bought" lists."""
+    products: list[Product] = []
+    seen: set[str] = set()
+    for record in iter_records(path):
+        asin = record.get("asin")
+        if not asin or asin in seen:
+            continue
+        seen.add(asin)
+        related = record.get("related") or {}
+        also_bought = tuple(
+            pid for pid in related.get("also_bought", ()) if pid != asin
+        )
+        products.append(
+            Product(
+                product_id=asin,
+                title=record.get("title") or asin,
+                category=category,
+                also_bought=also_bought,
+            )
+        )
+    return products
+
+
+def load_reviews(path: str | Path, known_products: set[str]) -> list[Review]:
+    """Parse a reviews dump, keeping reviews of ``known_products`` only."""
+    reviews: list[Review] = []
+    seen: set[str] = set()
+    for index, record in enumerate(iter_records(path)):
+        asin = record.get("asin")
+        reviewer = record.get("reviewerID")
+        if not asin or asin not in known_products or not reviewer:
+            continue
+        review_id = f"{reviewer}::{asin}::{index}"
+        if review_id in seen:
+            continue
+        seen.add(review_id)
+        text = record.get("reviewText") or record.get("summary") or ""
+        rating = float(record.get("overall", 3.0))
+        reviews.append(
+            Review(
+                review_id=review_id,
+                product_id=asin,
+                reviewer_id=reviewer,
+                rating=min(max(rating, 0.0), 5.0),
+                text=text,
+            )
+        )
+    return reviews
+
+
+def convert_amazon(
+    reviews_path: str | Path,
+    metadata_path: str | Path,
+    category: str = "Amazon",
+    annotate: bool = True,
+    vocabulary: AspectVocabulary | None = None,
+    candidate_pool: int = 2000,
+    keep: int = 500,
+    min_document_frequency: int = 2,
+) -> Corpus:
+    """Build a :class:`Corpus` from an Amazon reviews + metadata dump pair.
+
+    With ``annotate=True`` (default) reviews get (aspect, opinion)
+    annotations mined from their raw text with the paper's frequency-based
+    recipe (top-``candidate_pool`` terms -> rating-correlation ranked ->
+    top-``keep``); pass a pre-built ``vocabulary`` to skip mining.
+    """
+    products = load_metadata(metadata_path, category=category)
+    known = {p.product_id for p in products}
+    reviews = load_reviews(reviews_path, known)
+    corpus = Corpus(name=category, products=products, reviews=reviews)
+    if not annotate:
+        return corpus
+    if vocabulary is None:
+        vocabulary = mine_aspects(
+            corpus.reviews,
+            candidate_pool=candidate_pool,
+            keep=keep,
+            min_document_frequency=min_document_frequency,
+        )
+    return annotate_corpus(corpus, vocabulary)

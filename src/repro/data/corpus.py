@@ -1,0 +1,141 @@
+"""Corpus container and Table-2 style statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+from repro.data.models import Product, Review
+
+
+@dataclass(frozen=True, slots=True)
+class CorpusStats:
+    """Summary statistics matching the rows of the paper's Table 2."""
+
+    name: str
+    num_products: int
+    num_reviewers: int
+    num_reviews: int
+    num_target_products: int
+    avg_comparison_products: float
+    avg_reviews_per_product: float
+
+    def as_rows(self) -> list[tuple[str, str]]:
+        """Render as (label, value) rows in Table 2's order."""
+        return [
+            ("#Product", f"{self.num_products:,}"),
+            ("#Reviewer", f"{self.num_reviewers:,}"),
+            ("#Review", f"{self.num_reviews:,}"),
+            ("#Target Product", f"{self.num_target_products:,}"),
+            ("Avg. #Comparison Product", f"{self.avg_comparison_products:.2f}"),
+            ("Avg. #Review per Product", f"{self.avg_reviews_per_product:.2f}"),
+        ]
+
+
+class Corpus:
+    """An in-memory review corpus indexed by product.
+
+    Invariants enforced at construction time:
+
+    * review ids and product ids are unique;
+    * every review's ``product_id`` refers to a known product;
+    * ``also_bought`` entries pointing outside the corpus are kept (Amazon
+      metadata routinely references unseen products) but are excluded from
+      comparison-instance construction.
+    """
+
+    def __init__(self, name: str, products: Iterable[Product], reviews: Iterable[Review]) -> None:
+        self.name = name
+        self._products: dict[str, Product] = {}
+        for product in products:
+            if product.product_id in self._products:
+                raise ValueError(f"duplicate product id {product.product_id!r}")
+            self._products[product.product_id] = product
+
+        self._reviews: dict[str, Review] = {}
+        self._reviews_by_product: dict[str, list[Review]] = {
+            pid: [] for pid in self._products
+        }
+        for review in reviews:
+            if review.review_id in self._reviews:
+                raise ValueError(f"duplicate review id {review.review_id!r}")
+            if review.product_id not in self._products:
+                raise ValueError(
+                    f"review {review.review_id!r} references unknown product "
+                    f"{review.product_id!r}"
+                )
+            self._reviews[review.review_id] = review
+            self._reviews_by_product[review.product_id].append(review)
+
+    # -- access ----------------------------------------------------------
+
+    @property
+    def products(self) -> Sequence[Product]:
+        return tuple(self._products.values())
+
+    @property
+    def reviews(self) -> Sequence[Review]:
+        return tuple(self._reviews.values())
+
+    def product(self, product_id: str) -> Product:
+        """Look up a product by id (KeyError if absent)."""
+        return self._products[product_id]
+
+    def has_product(self, product_id: str) -> bool:
+        return product_id in self._products
+
+    def review(self, review_id: str) -> Review:
+        """Look up a review by id (KeyError if absent)."""
+        return self._reviews[review_id]
+
+    def reviews_of(self, product_id: str) -> Sequence[Review]:
+        """All reviews of ``product_id``, in insertion order."""
+        return tuple(self._reviews_by_product[product_id])
+
+    def aspect_vocabulary(self) -> list[str]:
+        """Sorted list of all aspects mentioned anywhere in the corpus."""
+        aspects: set[str] = set()
+        for review in self._reviews.values():
+            aspects.update(review.aspects)
+        return sorted(aspects)
+
+    def __len__(self) -> int:
+        return len(self._products)
+
+    def __repr__(self) -> str:
+        return (
+            f"Corpus(name={self.name!r}, products={len(self._products)}, "
+            f"reviews={len(self._reviews)})"
+        )
+
+    # -- statistics -------------------------------------------------------
+
+    def stats(self, min_reviews_for_target: int = 1) -> CorpusStats:
+        """Compute Table-2 statistics.
+
+        A *target product* is one with at least ``min_reviews_for_target``
+        reviews and a non-empty in-corpus comparison list; the averages are
+        taken over those targets / all products respectively, matching the
+        paper's reporting.
+        """
+        reviewers = {review.reviewer_id for review in self._reviews.values()}
+        comparison_counts: list[int] = []
+        for product in self._products.values():
+            in_corpus = [pid for pid in product.also_bought if pid in self._products]
+            has_reviews = len(self._reviews_by_product[product.product_id]) >= min_reviews_for_target
+            if in_corpus and has_reviews:
+                comparison_counts.append(len(in_corpus))
+        num_targets = len(comparison_counts)
+        avg_comparisons = (
+            sum(comparison_counts) / num_targets if num_targets else 0.0
+        )
+        avg_reviews = len(self._reviews) / len(self._products) if self._products else 0.0
+        return CorpusStats(
+            name=self.name,
+            num_products=len(self._products),
+            num_reviewers=len(reviewers),
+            num_reviews=len(self._reviews),
+            num_target_products=num_targets,
+            avg_comparison_products=avg_comparisons,
+            avg_reviews_per_product=avg_reviews,
+        )

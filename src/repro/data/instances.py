@@ -1,0 +1,142 @@
+"""Comparison-problem instances: one target item plus its comparative items.
+
+The paper's unit of work is a *problem instance*: a target product p_1 and
+comparative products p_2..p_n drawn from its "also bought" list, each with
+their review sets.  Every target product in a corpus yields an independent
+instance (solvable in parallel); this module extracts them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterator, Sequence
+
+from repro.data.corpus import Corpus
+from repro.data.models import Product, Review
+
+
+@dataclass(frozen=True, slots=True)
+class ComparisonInstance:
+    """One selection problem: target item first, then comparative items.
+
+    ``products[0]`` is the target item p_1; ``reviews[i]`` holds the review
+    collection R_i of ``products[i]``.
+    """
+
+    products: tuple[Product, ...]
+    reviews: tuple[tuple[Review, ...], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.products) < 1:
+            raise ValueError("an instance needs at least the target item")
+        if len(self.products) != len(self.reviews):
+            raise ValueError(
+                f"{len(self.products)} products but {len(self.reviews)} review sets"
+            )
+        seen: set[str] = set()
+        for product in self.products:
+            if product.product_id in seen:
+                raise ValueError(f"duplicate product {product.product_id!r} in instance")
+            seen.add(product.product_id)
+        for product, review_set in zip(self.products, self.reviews):
+            for review in review_set:
+                if review.product_id != product.product_id:
+                    raise ValueError(
+                        f"review {review.review_id!r} belongs to "
+                        f"{review.product_id!r}, not {product.product_id!r}"
+                    )
+
+    @property
+    def target(self) -> Product:
+        """The target item p_1."""
+        return self.products[0]
+
+    @property
+    def comparatives(self) -> tuple[Product, ...]:
+        """The comparative items p_2..p_n."""
+        return self.products[1:]
+
+    @property
+    def num_items(self) -> int:
+        return len(self.products)
+
+    def aspect_vocabulary(self) -> list[str]:
+        """Sorted aspects mentioned by any review in this instance."""
+        aspects: set[str] = set()
+        for review_set in self.reviews:
+            for review in review_set:
+                aspects.update(review.aspects)
+        return sorted(aspects)
+
+    def restricted_to(self, product_ids: Sequence[str]) -> "ComparisonInstance":
+        """A sub-instance containing only ``product_ids`` (target must stay).
+
+        Order of ``product_ids`` is preserved; the target item must be the
+        first entry, mirroring how TargetHkS narrows the comparison list.
+        """
+        if not product_ids or product_ids[0] != self.target.product_id:
+            raise ValueError("restricted instance must start with the target item")
+        index = {product.product_id: i for i, product in enumerate(self.products)}
+        missing = [pid for pid in product_ids if pid not in index]
+        if missing:
+            raise ValueError(f"unknown products in restriction: {missing}")
+        positions = [index[pid] for pid in product_ids]
+        return ComparisonInstance(
+            products=tuple(self.products[i] for i in positions),
+            reviews=tuple(self.reviews[i] for i in positions),
+        )
+
+
+def build_instance(
+    corpus: Corpus,
+    target_id: str,
+    max_comparisons: int | None = None,
+    min_reviews: int = 1,
+) -> ComparisonInstance | None:
+    """Build the instance anchored at ``target_id``; None if not viable.
+
+    Comparative items come from the target's in-corpus "also bought" list,
+    keeping only products with at least ``min_reviews`` reviews, truncated
+    to ``max_comparisons`` in list order.  Returns None when the target has
+    too few reviews or no usable comparatives.
+    """
+    target = corpus.product(target_id)
+    target_reviews = corpus.reviews_of(target_id)
+    if len(target_reviews) < min_reviews:
+        return None
+    comparative_ids = [
+        pid
+        for pid in target.also_bought
+        if corpus.has_product(pid) and len(corpus.reviews_of(pid)) >= min_reviews
+    ]
+    if max_comparisons is not None:
+        comparative_ids = comparative_ids[:max_comparisons]
+    if not comparative_ids:
+        return None
+    products = [target] + [corpus.product(pid) for pid in comparative_ids]
+    reviews = [tuple(target_reviews)] + [
+        tuple(corpus.reviews_of(pid)) for pid in comparative_ids
+    ]
+    return ComparisonInstance(products=tuple(products), reviews=tuple(reviews))
+
+
+def build_instances(
+    corpus: Corpus,
+    max_instances: int | None = None,
+    max_comparisons: int | None = None,
+    min_reviews: int = 1,
+) -> Iterator[ComparisonInstance]:
+    """Yield instances for every viable target product in corpus order."""
+    yielded = 0
+    for product in corpus.products:
+        if max_instances is not None and yielded >= max_instances:
+            return
+        instance = build_instance(
+            corpus,
+            product.product_id,
+            max_comparisons=max_comparisons,
+            min_reviews=min_reviews,
+        )
+        if instance is not None:
+            yielded += 1
+            yield instance

@@ -1,0 +1,164 @@
+"""Extended corpus analysis beyond Table 2.
+
+Distributional views used by the documentation and the data-statistics
+benchmark: review-count and review-length distributions, aspect
+frequency/polarity profiles, and comparison-list size percentiles —
+the quantities one checks when validating that a synthetic corpus (or a
+converted real dump) has the shape the experiments assume.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.corpus import Corpus
+from repro.text.tokenize import tokenize
+
+
+@dataclass(frozen=True, slots=True)
+class DistributionSummary:
+    """Five-number-ish summary of a non-negative distribution."""
+
+    mean: float
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    maximum: float
+
+    @staticmethod
+    def from_values(values: list[float]) -> "DistributionSummary":
+        if not values:
+            return DistributionSummary(0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        array = np.asarray(values, dtype=float)
+        return DistributionSummary(
+            mean=float(array.mean()),
+            p25=float(np.percentile(array, 25)),
+            median=float(np.percentile(array, 50)),
+            p75=float(np.percentile(array, 75)),
+            p95=float(np.percentile(array, 95)),
+            maximum=float(array.max()),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class AspectProfile:
+    """One aspect's corpus-wide footprint."""
+
+    aspect: str
+    num_reviews: int
+    positive_fraction: float
+    negative_fraction: float
+    neutral_fraction: float
+
+
+@dataclass(frozen=True, slots=True)
+class CorpusAnalysis:
+    """The full extended analysis of one corpus."""
+
+    name: str
+    reviews_per_product: DistributionSummary
+    tokens_per_review: DistributionSummary
+    aspects_per_review: DistributionSummary
+    comparisons_per_target: DistributionSummary
+    top_aspects: tuple[AspectProfile, ...]
+
+
+def analyze_corpus(corpus: Corpus, top_aspects: int = 10) -> CorpusAnalysis:
+    """Compute the extended analysis (single pass over reviews)."""
+    reviews_per_product = [
+        float(len(corpus.reviews_of(p.product_id))) for p in corpus.products
+    ]
+    tokens_per_review: list[float] = []
+    aspects_per_review: list[float] = []
+    aspect_counts: Counter[str] = Counter()
+    aspect_signs: dict[str, Counter[int]] = {}
+
+    for review in corpus.reviews:
+        tokens_per_review.append(float(len(tokenize(review.text))))
+        aspects = review.aspects
+        aspects_per_review.append(float(len(aspects)))
+        for aspect in aspects:
+            aspect_counts[aspect] += 1
+            aspect_signs.setdefault(aspect, Counter())[review.sentiment_for(aspect)] += 1
+
+    comparisons = [
+        float(sum(1 for pid in p.also_bought if corpus.has_product(pid)))
+        for p in corpus.products
+        if p.also_bought
+    ]
+
+    profiles = []
+    for aspect, count in aspect_counts.most_common(top_aspects):
+        signs = aspect_signs[aspect]
+        total = sum(signs.values())
+        profiles.append(
+            AspectProfile(
+                aspect=aspect,
+                num_reviews=count,
+                positive_fraction=signs.get(1, 0) / total,
+                negative_fraction=signs.get(-1, 0) / total,
+                neutral_fraction=signs.get(0, 0) / total,
+            )
+        )
+
+    return CorpusAnalysis(
+        name=corpus.name,
+        reviews_per_product=DistributionSummary.from_values(reviews_per_product),
+        tokens_per_review=DistributionSummary.from_values(tokens_per_review),
+        aspects_per_review=DistributionSummary.from_values(aspects_per_review),
+        comparisons_per_target=DistributionSummary.from_values(comparisons),
+        top_aspects=tuple(profiles),
+    )
+
+
+def render_analysis(analysis: CorpusAnalysis) -> str:
+    """Human-readable multi-section report."""
+    from repro.eval.reporting import format_table
+
+    sections = [f"=== Corpus analysis: {analysis.name} ==="]
+    distribution_rows = []
+    for label, summary in (
+        ("reviews / product", analysis.reviews_per_product),
+        ("tokens / review", analysis.tokens_per_review),
+        ("aspects / review", analysis.aspects_per_review),
+        ("comparisons / target", analysis.comparisons_per_target),
+    ):
+        distribution_rows.append(
+            [
+                label,
+                f"{summary.mean:.1f}",
+                f"{summary.p25:.0f}",
+                f"{summary.median:.0f}",
+                f"{summary.p75:.0f}",
+                f"{summary.p95:.0f}",
+                f"{summary.maximum:.0f}",
+            ]
+        )
+    sections.append(
+        format_table(
+            ["distribution", "mean", "p25", "p50", "p75", "p95", "max"],
+            distribution_rows,
+        )
+    )
+    aspect_rows = [
+        [
+            profile.aspect,
+            profile.num_reviews,
+            f"{profile.positive_fraction:.2f}",
+            f"{profile.negative_fraction:.2f}",
+            f"{profile.neutral_fraction:.2f}",
+        ]
+        for profile in analysis.top_aspects
+    ]
+    sections.append(
+        format_table(
+            ["aspect", "#reviews", "pos", "neg", "neutral"],
+            aspect_rows,
+            title="Top aspects",
+        )
+    )
+    return "\n\n".join(sections)

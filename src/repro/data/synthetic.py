@@ -1,0 +1,544 @@
+"""Synthetic Amazon-like review corpus generator.
+
+The paper evaluates on three categories of the Amazon Product Review
+Dataset (Cellphone, Toy, Clothing) with "also bought" comparison lists.
+That data is not available offline, so this module generates corpora with
+the same structure and the statistical couplings the algorithms exercise:
+
+* products belong to latent *families* (e.g. "car chargers", "jigsaw
+  puzzles"); family members share aspect distributions, which is what makes
+  "also bought" items comparable;
+* each product has a latent polarity per aspect; review sentiment is drawn
+  from it and star ratings correlate with review sentiment (needed by the
+  rating-correlation step of aspect mining);
+* review *text* is rendered from aspect-specific sentence templates using
+  lexicon opinion words, so two reviews discussing the same aspect share
+  n-grams — the property ROUGE-based evaluation relies on;
+* "also bought" lists are drawn mostly within-family, sized to match the
+  category averages in the paper's Table 2.
+
+Everything is driven by an explicit :class:`numpy.random.Generator`, so a
+given seed reproduces a corpus bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.corpus import Corpus
+from repro.data.models import AspectMention, Product, Review
+
+# --------------------------------------------------------------------------
+# Category vocabulary: aspect -> surface synonyms used in rendered text.
+# The first synonym is the canonical aspect label stored in annotations.
+# --------------------------------------------------------------------------
+
+_CELLPHONE_ASPECTS: dict[str, tuple[str, ...]] = {
+    "battery": ("battery", "battery life", "charge", "power draw"),
+    "screen": ("screen", "display", "screen glass", "display panel"),
+    "charger": ("charger", "charging cable", "charging speed", "charger plug"),
+    "case": ("case", "cover", "case shell", "case grip"),
+    "camera": ("camera", "picture quality", "camera lens", "photo detail"),
+    "price": ("price", "value", "price point", "cost"),
+    "quality": ("quality", "build quality", "construction", "finish"),
+    "shipping": ("shipping", "delivery", "shipping time", "arrival"),
+    "durability": ("durability", "build", "wear resistance", "toughness"),
+    "fit": ("fit", "fitting", "snugness", "fit tolerance"),
+    "color": ("color", "colour", "color tone", "shade"),
+    "sound": ("sound", "speaker", "audio", "volume"),
+    "signal": ("signal", "reception", "antenna", "signal strength"),
+    "buttons": ("buttons", "keys", "button feel", "key travel"),
+    "cable": ("cable", "cord", "cable sheath", "wire"),
+    "speed": ("speed", "performance", "response time", "snappiness"),
+    "design": ("design", "look", "styling", "appearance"),
+    "size": ("size", "dimensions", "footprint", "bulk"),
+    "weight": ("weight", "heft", "mass", "lightness"),
+    "warranty": ("warranty", "support", "customer service", "guarantee"),
+    "packaging": ("packaging", "box", "wrapping", "package"),
+    "instructions": ("instructions", "manual", "guide", "setup steps"),
+}
+
+_TOY_ASPECTS: dict[str, tuple[str, ...]] = {
+    "pieces": ("pieces", "parts", "piece count", "piece cut"),
+    "quality": ("quality", "craftsmanship", "construction", "finish"),
+    "colors": ("colors", "artwork", "color print", "palette"),
+    "instructions": ("instructions", "manual", "guide", "directions"),
+    "durability": ("durability", "sturdiness", "wear resistance", "toughness"),
+    "fun": ("fun", "entertainment", "play value", "enjoyment"),
+    "price": ("price", "value", "price point", "cost"),
+    "size": ("size", "dimensions", "footprint", "scale"),
+    "assembly": ("assembly", "setup", "putting together", "build steps"),
+    "material": ("material", "plastic", "material feel", "composition"),
+    "design": ("design", "theme", "styling", "appearance"),
+    "battery": ("battery", "batteries", "battery compartment", "power"),
+    "sound": ("sound", "noise", "audio", "volume"),
+    "packaging": ("packaging", "box", "wrapping", "package"),
+    "safety": ("safety", "edges", "choking hazard", "safe design"),
+    "education": ("education", "learning", "educational value", "skills"),
+    "shipping": ("shipping", "delivery", "shipping time", "arrival"),
+    "difficulty": ("difficulty", "challenge", "difficulty level", "complexity"),
+    "picture": ("picture", "image", "picture print", "illustration"),
+    "brand": ("brand", "maker", "manufacturer", "brand name"),
+}
+
+_CLOTHING_ASPECTS: dict[str, tuple[str, ...]] = {
+    "size": ("size", "sizing", "size chart", "true to size"),
+    "fit": ("fit", "cut", "fit shape", "tailoring"),
+    "color": ("color", "shade", "color tone", "dye"),
+    "fabric": ("fabric", "cloth", "fabric weave", "fabric feel"),
+    "comfort": ("comfort", "feel", "cushioning", "softness"),
+    "price": ("price", "value", "price point", "cost"),
+    "quality": ("quality", "workmanship", "construction", "finish"),
+    "style": ("style", "look", "styling", "appearance"),
+    "stitching": ("stitching", "seams", "stitch work", "hem stitching"),
+    "material": ("material", "textile", "material blend", "composition"),
+    "washing": ("washing", "laundering", "machine wash", "wash care"),
+    "length": ("length", "hem", "hem length", "inseam"),
+    "design": ("design", "pattern", "print", "detailing"),
+    "shipping": ("shipping", "delivery", "shipping time", "arrival"),
+    "sole": ("sole", "footbed", "outsole", "arch support"),
+    "heel": ("heel", "heel height", "heel cup", "heel support"),
+    "straps": ("straps", "bands", "strap buckle", "strap padding"),
+    "durability": ("durability", "wear", "wear resistance", "longevity"),
+    "warmth": ("warmth", "insulation", "lining", "thermal layer"),
+    "elasticity": ("elasticity", "stretch", "give", "elastic band"),
+}
+
+# Sentence templates: {aspect} and {aspect2} are surface synonyms of the
+# same aspect (two per sentence, so reviews discussing a shared aspect
+# genuinely share vocabulary — the coupling ROUGE evaluation measures),
+# {opinion} is an opinion word matched to the drawn sentiment.  Neutral
+# templates mention the aspect without a polarity cue.
+_POSITIVE_TEMPLATES = (
+    "The {aspect} is {opinion} and the {aspect2} holds up.",
+    "I found the {aspect} {opinion}, with the {aspect2} as expected.",
+    "Honestly the {aspect} turned out {opinion} considering the {aspect2}.",
+    "The {aspect} works well here, {opinion} {aspect2} all around.",
+    "My favorite part is the {opinion} {aspect} and its {aspect2}.",
+)
+_NEGATIVE_TEMPLATES = (
+    "The {aspect} is {opinion} and the {aspect2} shows it.",
+    "Unfortunately the {aspect} feels {opinion}, dragging the {aspect2} down.",
+    "I was let down by the {opinion} {aspect} and its {aspect2}.",
+    "The {aspect} turned out {opinion} after a week of checking the {aspect2}.",
+    "Sadly the {aspect} seems {opinion} to me, {aspect2} included.",
+)
+_NEUTRAL_TEMPLATES = (
+    "The {aspect} is what you would expect given the {aspect2}.",
+    "There is a note in the listing about the {aspect} and the {aspect2}.",
+    "I compared the {aspect} and the {aspect2} with my old one.",
+)
+_OPENERS = (
+    "Bought this last month.",
+    "Arrived as described.",
+    "Daily driver for me now.",
+    "Got it as a gift.",
+    "Ordered on a recommendation.",
+    "Picked it up on sale.",
+    "Replacing an older unit.",
+    "First purchase from this seller.",
+)
+_CLOSERS = (
+    "Would buy again.",
+    "Hope this helps someone.",
+    "Fair purchase overall.",
+    "Will update if anything changes.",
+    "Take that for what it is worth.",
+    "Your mileage may vary.",
+    "That settles it for me.",
+    "Enough said.",
+)
+_OPENER_PROBABILITY = 0.35
+_CLOSER_PROBABILITY = 0.3
+
+# Opinion words partitioned by polarity; drawn uniformly per mention.  These
+# are a subset of repro.text.lexicon so the NLP pipeline can recover them.
+_POSITIVE_OPINIONS = (
+    "great", "excellent", "sturdy", "reliable", "comfortable", "smooth",
+    "perfect", "solid", "impressive", "durable", "fantastic", "nice",
+)
+_NEGATIVE_OPINIONS = (
+    "terrible", "flimsy", "disappointing", "cheaply", "unreliable", "poor",
+    "awful", "fragile", "useless", "defective", "mediocre", "weak",
+)
+
+_TITLE_PREFIXES = {
+    "Cellphone": ("Skiva", "Belkin", "Chus", "Anker", "Aukey", "Voltix", "Nimbus", "Corex"),
+    "Toy": ("Ravensburger", "Starline", "Playforge", "Brixo", "Wonderkit", "Giggly", "Puzzlo", "Tinker"),
+    "Clothing": ("Skechers", "Crocs", "Northway", "Plumeria", "Wearwell", "Striders", "Cottonline", "Urbanfit"),
+}
+_TITLE_NOUNS = {
+    "Cellphone": ("Car Charger", "USB Cable", "Phone Case", "Screen Protector", "Power Bank", "Wall Adapter"),
+    "Toy": ("1000-Piece Puzzle", "Building Set", "Board Game", "Action Figure", "Plush Bear", "Science Kit"),
+    "Clothing": ("Wedge Sandal", "Running Shoe", "Cotton Tee", "Rain Jacket", "Denim Jeans", "Wool Scarf"),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class CategoryProfile:
+    """Shape parameters for one synthetic category.
+
+    Defaults are scaled-down versions of the paper's Table 2; multiply
+    ``num_products``/``num_reviewers`` by ~100 to approach full scale.
+    """
+
+    name: str
+    aspects: dict[str, tuple[str, ...]]
+    num_products: int
+    num_reviewers: int
+    num_families: int
+    mean_reviews_per_product: float
+    mean_comparisons: float
+    aspects_per_family: int = 12
+    aspects_per_product: int = 7
+    aspects_per_review_mean: float = 2.0
+    neutral_probability: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.num_products < 2:
+            raise ValueError("need at least 2 products per category")
+        if not (0.0 <= self.neutral_probability <= 1.0):
+            raise ValueError("neutral_probability must be in [0, 1]")
+        if self.aspects_per_family > len(self.aspects):
+            raise ValueError(
+                f"aspects_per_family={self.aspects_per_family} exceeds the "
+                f"{len(self.aspects)} aspects available for {self.name!r}"
+            )
+        if self.aspects_per_product > self.aspects_per_family:
+            raise ValueError(
+                "aspects_per_product cannot exceed aspects_per_family"
+            )
+
+
+def default_profiles(scale: float = 1.0) -> dict[str, CategoryProfile]:
+    """The three paper categories, scaled by ``scale`` (1.0 ~ test-sized).
+
+    At scale 1.0 each category has on the order of 10^2 products, which
+    keeps test and benchmark runs fast; the review-per-product and
+    comparison-list averages match Table 2 regardless of scale.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+
+    def scaled(value: int) -> int:
+        return max(8, int(round(value * scale)))
+
+    return {
+        "Cellphone": CategoryProfile(
+            name="Cellphone",
+            aspects=_CELLPHONE_ASPECTS,
+            num_products=scaled(104),
+            num_reviewers=scaled(279),
+            num_families=max(2, scaled(10)),
+            mean_reviews_per_product=18.64,
+            mean_comparisons=25.57,
+        ),
+        "Toy": CategoryProfile(
+            name="Toy",
+            aspects=_TOY_ASPECTS,
+            num_products=scaled(119),
+            num_reviewers=scaled(194),
+            num_families=max(2, scaled(8)),
+            mean_reviews_per_product=14.06,
+            mean_comparisons=34.33,
+        ),
+        "Clothing": CategoryProfile(
+            name="Clothing",
+            aspects=_CLOTHING_ASPECTS,
+            num_products=scaled(230),
+            num_reviewers=scaled(394),
+            num_families=max(2, scaled(18)),
+            mean_reviews_per_product=12.10,
+            mean_comparisons=12.03,
+        ),
+    }
+
+
+@dataclass
+class _FamilyModel:
+    """Latent model for a product family: aspect mixture + polarity."""
+
+    aspect_names: list[str]
+    aspect_weights: np.ndarray
+    polarity: dict[str, float] = field(default_factory=dict)
+
+
+class SyntheticCorpusBuilder:
+    """Builds a :class:`Corpus` for one :class:`CategoryProfile`."""
+
+    def __init__(self, profile: CategoryProfile, rng: np.random.Generator) -> None:
+        self.profile = profile
+        self.rng = rng
+
+    # -- latent structure -------------------------------------------------
+
+    def _build_families(self) -> list[_FamilyModel]:
+        aspect_pool = list(self.profile.aspects)
+        families: list[_FamilyModel] = []
+        for _ in range(self.profile.num_families):
+            chosen = list(
+                self.rng.choice(
+                    aspect_pool, size=self.profile.aspects_per_family, replace=False
+                )
+            )
+            weights = self.rng.dirichlet(np.full(len(chosen), 0.8))
+            polarity = {
+                aspect: float(np.clip(self.rng.normal(0.35, 0.65), -0.95, 0.95))
+                for aspect in chosen
+            }
+            families.append(
+                _FamilyModel(aspect_names=chosen, aspect_weights=weights, polarity=polarity)
+            )
+        return families
+
+    def _product_model(
+        self, family: _FamilyModel
+    ) -> tuple[list[str], np.ndarray, dict[str, float]]:
+        """Derive a product-level model: an aspect *subset* of the family.
+
+        Each product discusses only ``aspects_per_product`` of its family's
+        aspects (sampled by family weight), with perturbed weights and
+        polarity.  Two family members therefore overlap on the family's
+        popular aspects but keep idiosyncratic ones — the regime in which
+        matching the target's aspect vector Gamma is a real constraint for
+        comparative items (the paper's CompaReSetS/CRS gap lives there:
+        with z = 500 real aspects, Gamma is sparse and peaked, never dense).
+        """
+        count = min(self.profile.aspects_per_product, len(family.aspect_names))
+        chosen_indices = self.rng.choice(
+            len(family.aspect_names),
+            size=count,
+            replace=False,
+            p=family.aspect_weights,
+        )
+        aspect_names = [family.aspect_names[int(i)] for i in chosen_indices]
+        base_weights = family.aspect_weights[chosen_indices]
+        noise = self.rng.dirichlet(np.full(count, 1.5))
+        weights = 0.6 * base_weights / base_weights.sum() + 0.4 * noise
+        weights = weights / weights.sum()
+        polarity = {
+            aspect: float(
+                np.clip(family.polarity[aspect] + self.rng.normal(0.0, 0.12), -0.98, 0.98)
+            )
+            for aspect in aspect_names
+        }
+        return aspect_names, weights, polarity
+
+    # -- review rendering --------------------------------------------------
+
+    def _render_sentence(self, aspect: str, sentiment: int) -> str:
+        synonyms = self.profile.aspects[aspect]
+        surface = str(self.rng.choice(synonyms))
+        alternatives = [s for s in synonyms if s != surface] or [surface]
+        surface2 = str(self.rng.choice(alternatives))
+        if sentiment > 0:
+            template = str(self.rng.choice(_POSITIVE_TEMPLATES))
+            opinion = str(self.rng.choice(_POSITIVE_OPINIONS))
+        elif sentiment < 0:
+            template = str(self.rng.choice(_NEGATIVE_TEMPLATES))
+            opinion = str(self.rng.choice(_NEGATIVE_OPINIONS))
+        else:
+            template = str(self.rng.choice(_NEUTRAL_TEMPLATES))
+            return template.format(aspect=surface, aspect2=surface2)
+        return template.format(aspect=surface, aspect2=surface2, opinion=opinion)
+
+    def _make_review(
+        self,
+        review_id: str,
+        product_id: str,
+        reviewer_id: str,
+        aspect_names: list[str],
+        aspect_weights: np.ndarray,
+        polarity: dict[str, float],
+    ) -> Review:
+        count = min(
+            len(aspect_names),
+            1 + int(self.rng.poisson(self.profile.aspects_per_review_mean - 1.0)),
+        )
+        chosen = self.rng.choice(
+            len(aspect_names), size=count, replace=False, p=aspect_weights
+        )
+        mentions: list[AspectMention] = []
+        sentences: list[str] = []
+        if self.rng.random() < _OPENER_PROBABILITY:
+            sentences.append(str(self.rng.choice(_OPENERS)))
+        for index in chosen:
+            aspect = aspect_names[int(index)]
+            if self.rng.random() < self.profile.neutral_probability:
+                sentiment = 0
+            else:
+                # Sharpened response: a product with a clear reputation on an
+                # aspect gets consistently-signed review sentiment, the way
+                # e.g. a flimsy cable is called flimsy by most reviewers.
+                positive_probability = 0.5 + 0.5 * float(np.tanh(2.2 * polarity[aspect]))
+                sentiment = 1 if self.rng.random() < positive_probability else -1
+            strength = float(self.rng.uniform(0.6, 1.4)) if sentiment else 1.0
+            mentions.append(AspectMention(aspect=aspect, sentiment=sentiment, strength=strength))
+            sentences.append(self._render_sentence(aspect, sentiment))
+        if self.rng.random() < _CLOSER_PROBABILITY:
+            sentences.append(str(self.rng.choice(_CLOSERS)))
+
+        mean_sentiment = float(
+            np.mean([m.sentiment for m in mentions]) if mentions else 0.0
+        )
+        rating = float(np.clip(round(3.0 + 1.8 * mean_sentiment + self.rng.normal(0, 0.5)), 1, 5))
+        return Review(
+            review_id=review_id,
+            product_id=product_id,
+            reviewer_id=reviewer_id,
+            rating=rating,
+            text=" ".join(sentences),
+            mentions=tuple(mentions),
+        )
+
+    # -- assembly -----------------------------------------------------------
+
+    def build(self) -> Corpus:
+        """Generate the full corpus for this category."""
+        profile = self.profile
+        families = self._build_families()
+        family_of_product: list[int] = []
+        products_raw: list[dict] = []
+
+        prefixes = _TITLE_PREFIXES[profile.name] if profile.name in _TITLE_PREFIXES else ("Generic",)
+        nouns = _TITLE_NOUNS[profile.name] if profile.name in _TITLE_NOUNS else ("Item",)
+
+        for index in range(profile.num_products):
+            family_index = int(self.rng.integers(len(families)))
+            family_of_product.append(family_index)
+            aspect_names, weights, polarity = self._product_model(families[family_index])
+            title = (
+                f"{self.rng.choice(prefixes)} {self.rng.choice(nouns)} "
+                f"Model {index:04d}"
+            )
+            products_raw.append(
+                {
+                    "product_id": f"{profile.name[:4].upper()}{index:05d}",
+                    "title": title,
+                    "family": family_index,
+                    "aspect_names": aspect_names,
+                    "aspect_weights": weights,
+                    "polarity": polarity,
+                }
+            )
+
+        # Also-bought lists: mostly same-family neighbours.
+        by_family: dict[int, list[int]] = {}
+        for product_index, family_index in enumerate(family_of_product):
+            by_family.setdefault(family_index, []).append(product_index)
+
+        products: list[Product] = []
+        for product_index, raw in enumerate(products_raw):
+            same_family = [
+                i for i in by_family[raw["family"]] if i != product_index
+            ]
+            others = [
+                i for i in range(profile.num_products)
+                if i != product_index and family_of_product[i] != raw["family"]
+            ]
+            target_size = max(1, int(self.rng.poisson(profile.mean_comparisons)))
+            within = min(len(same_family), int(round(target_size * 0.8)))
+            across = min(len(others), target_size - within)
+            chosen: list[int] = []
+            if within:
+                chosen.extend(
+                    int(i) for i in self.rng.choice(same_family, size=within, replace=False)
+                )
+            if across > 0:
+                chosen.extend(
+                    int(i) for i in self.rng.choice(others, size=across, replace=False)
+                )
+            also_bought = tuple(products_raw[i]["product_id"] for i in chosen)
+            products.append(
+                Product(
+                    product_id=raw["product_id"],
+                    title=raw["title"],
+                    category=profile.name,
+                    also_bought=also_bought,
+                )
+            )
+
+        reviews: list[Review] = []
+        review_counter = 0
+        for raw in products_raw:
+            # Lognormal review counts reproduce the long tail of real data.
+            mean = profile.mean_reviews_per_product
+            count = max(
+                2, int(round(self.rng.lognormal(np.log(mean) - 0.18, 0.6)))
+            )
+            for _ in range(count):
+                reviewer = f"U{int(self.rng.integers(profile.num_reviewers)):05d}"
+                review_counter += 1
+                reviews.append(
+                    self._make_review(
+                        review_id=f"R{profile.name[:4].upper()}{review_counter:07d}",
+                        product_id=raw["product_id"],
+                        reviewer_id=reviewer,
+                        aspect_names=raw["aspect_names"],
+                        aspect_weights=raw["aspect_weights"],
+                        polarity=raw["polarity"],
+                    )
+                )
+
+        return Corpus(name=profile.name, products=products, reviews=reviews)
+
+
+def surface_stem_aliases(profile: CategoryProfile) -> dict[str, str]:
+    """Map surface-token stems to canonical aspect names.
+
+    Review text renders aspects through synonym phrases ("charge" for
+    battery), so a text-only extractor reports surface stems.  This map
+    lets evaluation code canonicalise them back; tokens whose stem is
+    ambiguous across aspects are omitted.
+    """
+    from repro.text.stemmer import stem
+    from repro.text.tokenize import tokenize
+
+    aliases: dict[str, str] = {}
+    ambiguous: set[str] = set()
+    for aspect, synonyms in profile.aspects.items():
+        for synonym in synonyms:
+            for token in tokenize(synonym):
+                stemmed = stem(token)
+                if stemmed in ambiguous:
+                    continue
+                existing = aliases.get(stemmed)
+                if existing is not None and existing != aspect:
+                    del aliases[stemmed]
+                    ambiguous.add(stemmed)
+                else:
+                    aliases[stemmed] = aspect
+    return aliases
+
+
+def generate_corpus(
+    category: str = "Cellphone",
+    scale: float = 1.0,
+    seed: int | None = 7,
+    profile: CategoryProfile | None = None,
+) -> Corpus:
+    """Generate one synthetic category corpus.
+
+    Parameters
+    ----------
+    category:
+        One of ``"Cellphone"``, ``"Toy"``, ``"Clothing"`` (ignored when an
+        explicit ``profile`` is given).
+    scale:
+        Multiplier on product/reviewer counts; 1.0 is test-sized.
+    seed:
+        Seed for the deterministic generator.
+    profile:
+        A fully custom :class:`CategoryProfile` overriding the built-ins.
+    """
+    if profile is None:
+        profiles = default_profiles(scale)
+        if category not in profiles:
+            raise ValueError(
+                f"unknown category {category!r}; expected one of {sorted(profiles)}"
+            )
+        profile = profiles[category]
+    rng = np.random.default_rng(seed)
+    return SyntheticCorpusBuilder(profile, rng).build()

@@ -1,0 +1,61 @@
+"""Measurement substrate: ROUGE alignment, ratios, loss curves, statistics.
+
+* :mod:`repro.eval.alignment` — pairwise ROUGE over selected review sets
+  (Tables 3, 4, 6; Figs. 5, 6).
+* :mod:`repro.eval.objective_ratio` — Table 5's objective-value ratios.
+* :mod:`repro.eval.information_loss` — Fig. 11's Delta/cosine curves.
+* :mod:`repro.eval.stats` — paired t-tests and Krippendorff's alpha.
+* :mod:`repro.eval.user_study` — the simulated Likert survey of Table 7.
+* :mod:`repro.eval.runner` — shared experiment orchestration.
+* :mod:`repro.eval.reporting` — fixed-width table rendering.
+"""
+
+from repro.eval.alignment import (
+    AlignmentScores,
+    among_items_alignment,
+    mean_alignment,
+    target_vs_comparative_alignment,
+)
+from repro.eval.bootstrap import BootstrapInterval, bootstrap_difference, bootstrap_mean
+from repro.eval.coverage import (
+    aspect_coverage,
+    cross_item_overlap,
+    polarity_balance,
+    redundancy,
+)
+from repro.eval.information_loss import InformationLossPoint, information_loss_curve
+from repro.eval.parallel import select_parallel
+from repro.eval.plotting import ascii_line_plot
+from repro.eval.objective_ratio import HksComparison, compare_hks_solvers
+from repro.eval.reporting import format_table
+from repro.eval.runner import EvaluationSettings, evaluate_selectors, prepare_instances
+from repro.eval.stats import krippendorff_alpha, paired_t_test
+from repro.eval.user_study import UserStudyOutcome, run_user_study
+
+__all__ = [
+    "AlignmentScores",
+    "BootstrapInterval",
+    "EvaluationSettings",
+    "HksComparison",
+    "InformationLossPoint",
+    "UserStudyOutcome",
+    "among_items_alignment",
+    "ascii_line_plot",
+    "aspect_coverage",
+    "bootstrap_difference",
+    "bootstrap_mean",
+    "compare_hks_solvers",
+    "cross_item_overlap",
+    "evaluate_selectors",
+    "format_table",
+    "information_loss_curve",
+    "krippendorff_alpha",
+    "mean_alignment",
+    "paired_t_test",
+    "polarity_balance",
+    "prepare_instances",
+    "redundancy",
+    "run_user_study",
+    "select_parallel",
+    "target_vs_comparative_alignment",
+]

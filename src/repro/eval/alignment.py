@@ -1,0 +1,116 @@
+"""Review-alignment measurement with ROUGE (§4.1.3).
+
+The paper measures how well the selected reviews of one item align with
+those of another: for every pair of reviews coming from two *different*
+items, compute ROUGE-1/2/L F1 and average.  Two views are reported:
+
+* *target vs comparative* (Tables 3a, 6a) — pairs between the target
+  item's selected reviews and each comparative item's selected reviews;
+* *among items* (Tables 3b, 6b) — pairs across every two distinct items.
+
+Scores are kept as fractions in [0, 1]; the paper's tables show them
+multiplied by 100 (done in the reporting layer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.core.selection import SelectionResult
+from repro.text.rouge import rouge_l, rouge_n
+from repro.text.tokenize import tokenize
+
+
+@dataclass(frozen=True, slots=True)
+class AlignmentScores:
+    """Mean ROUGE-1/2/L F1 over cross-item review pairs."""
+
+    rouge_1: float
+    rouge_2: float
+    rouge_l: float
+    num_pairs: int
+
+    def scaled(self, factor: float = 100.0) -> tuple[float, float, float]:
+        """The three scores multiplied by ``factor`` (paper-style x100)."""
+        return (
+            self.rouge_1 * factor,
+            self.rouge_2 * factor,
+            self.rouge_l * factor,
+        )
+
+
+_EMPTY = AlignmentScores(rouge_1=0.0, rouge_2=0.0, rouge_l=0.0, num_pairs=0)
+
+
+def _pair_scores(
+    tokens_a: Sequence[Sequence[str]], tokens_b: Sequence[Sequence[str]]
+) -> tuple[float, float, float, int]:
+    """Summed ROUGE-1/2/L over the cross product of two token-list groups."""
+    total_1 = total_2 = total_l = 0.0
+    pairs = 0
+    for a in tokens_a:
+        for b in tokens_b:
+            total_1 += rouge_n(a, b, 1).f1
+            total_2 += rouge_n(a, b, 2).f1
+            total_l += rouge_l(a, b).f1
+            pairs += 1
+    return total_1, total_2, total_l, pairs
+
+
+def _selected_token_lists(result: SelectionResult) -> list[list[list[str]]]:
+    """Tokenised selected reviews per item (tokenise once, reuse everywhere)."""
+    return [
+        [tokenize(review.text) for review in result.selected_reviews(i)]
+        for i in range(result.instance.num_items)
+    ]
+
+
+def target_vs_comparative_alignment(result: SelectionResult) -> AlignmentScores:
+    """Mean ROUGE between the target's and each comparative's selections."""
+    token_lists = _selected_token_lists(result)
+    total_1 = total_2 = total_l = 0.0
+    pairs = 0
+    for item_index in range(1, len(token_lists)):
+        s1, s2, sl, count = _pair_scores(token_lists[0], token_lists[item_index])
+        total_1 += s1
+        total_2 += s2
+        total_l += sl
+        pairs += count
+    if pairs == 0:
+        return _EMPTY
+    return AlignmentScores(total_1 / pairs, total_2 / pairs, total_l / pairs, pairs)
+
+
+def among_items_alignment(result: SelectionResult) -> AlignmentScores:
+    """Mean ROUGE over review pairs across every two distinct items."""
+    token_lists = _selected_token_lists(result)
+    total_1 = total_2 = total_l = 0.0
+    pairs = 0
+    for i in range(len(token_lists) - 1):
+        for j in range(i + 1, len(token_lists)):
+            s1, s2, sl, count = _pair_scores(token_lists[i], token_lists[j])
+            total_1 += s1
+            total_2 += s2
+            total_l += sl
+            pairs += count
+    if pairs == 0:
+        return _EMPTY
+    return AlignmentScores(total_1 / pairs, total_2 / pairs, total_l / pairs, pairs)
+
+
+def mean_alignment(scores: Sequence[AlignmentScores]) -> AlignmentScores:
+    """Average per-instance scores, weighting instances equally (paper-style).
+
+    Instances with no cross-item pairs (e.g. single-item restrictions) are
+    skipped rather than dragging the mean to zero.
+    """
+    usable = [s for s in scores if s.num_pairs > 0]
+    if not usable:
+        return _EMPTY
+    return AlignmentScores(
+        rouge_1=sum(s.rouge_1 for s in usable) / len(usable),
+        rouge_2=sum(s.rouge_2 for s in usable) / len(usable),
+        rouge_l=sum(s.rouge_l for s in usable) / len(usable),
+        num_pairs=sum(s.num_pairs for s in usable),
+    )

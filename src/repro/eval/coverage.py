@@ -1,0 +1,119 @@
+"""Coverage and synchronisation diagnostics for selection results.
+
+These metrics expose *why* an algorithm scores the ROUGE it does:
+
+* :func:`aspect_coverage` — how much of each item's own aspect mass the
+  selection retains (within-item representativeness);
+* :func:`cross_item_overlap` — mean Jaccard overlap of selected aspects
+  across item pairs (the synchronisation CompaReSetS+ optimises);
+* :func:`polarity_balance` — how close the selected positive/negative mix
+  is to the item's overall mix (what CRS optimises);
+* :func:`redundancy` — fraction of selected reviews whose aspect set is a
+  subset of another selected review's (wasted slots).
+
+The mechanism ablation bench reports all four side by side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.selection import SelectionResult
+
+
+def _selected_aspect_sets(result: SelectionResult) -> list[set[str]]:
+    return [
+        {aspect for review in result.selected_reviews(i) for aspect in review.aspects}
+        for i in range(result.instance.num_items)
+    ]
+
+
+def aspect_coverage(result: SelectionResult) -> float:
+    """Mean fraction of each item's aspect occurrences covered by S_i.
+
+    Weighted by occurrence counts, so covering the dominant aspects counts
+    more than covering rare ones; 1.0 means every aspect mentioned in R_i
+    also appears in S_i.
+    """
+    coverages = []
+    selected_sets = _selected_aspect_sets(result)
+    for item_index, reviews in enumerate(result.instance.reviews):
+        counts: dict[str, int] = {}
+        for review in reviews:
+            for aspect in review.aspects:
+                counts[aspect] = counts.get(aspect, 0) + 1
+        total = sum(counts.values())
+        if total == 0:
+            continue
+        covered = sum(
+            count for aspect, count in counts.items()
+            if aspect in selected_sets[item_index]
+        )
+        coverages.append(covered / total)
+    return float(np.mean(coverages)) if coverages else 0.0
+
+
+def cross_item_overlap(result: SelectionResult) -> float:
+    """Mean Jaccard overlap of selected aspect sets across item pairs."""
+    sets = _selected_aspect_sets(result)
+    overlaps = []
+    for i in range(len(sets) - 1):
+        for j in range(i + 1, len(sets)):
+            union = sets[i] | sets[j]
+            if union:
+                overlaps.append(len(sets[i] & sets[j]) / len(union))
+    return float(np.mean(overlaps)) if overlaps else 0.0
+
+
+def polarity_balance(result: SelectionResult) -> float:
+    """Mean closeness of the selected polarity mix to the item's overall mix.
+
+    For each item, compares the positive-fraction of signed mentions in
+    S_i against R_i; returns 1 - mean |difference| (1.0 = perfectly
+    characteristic polarity mix).
+    """
+    def positive_fraction(reviews) -> float | None:
+        positive = negative = 0
+        for review in reviews:
+            for aspect in review.aspects:
+                sign = review.sentiment_for(aspect)
+                if sign > 0:
+                    positive += 1
+                elif sign < 0:
+                    negative += 1
+        total = positive + negative
+        return positive / total if total else None
+
+    gaps = []
+    for item_index, reviews in enumerate(result.instance.reviews):
+        overall = positive_fraction(reviews)
+        selected = positive_fraction(result.selected_reviews(item_index))
+        if overall is not None and selected is not None:
+            gaps.append(abs(overall - selected))
+    return 1.0 - float(np.mean(gaps)) if gaps else 0.0
+
+
+def redundancy(result: SelectionResult) -> float:
+    """Fraction of selected reviews dominated by a sibling selection.
+
+    A review is redundant when another review selected for the same item
+    mentions a superset of its aspects; a high value means slots are
+    wasted restating the same content.
+    """
+    redundant = 0
+    total = 0
+    for item_index in range(result.instance.num_items):
+        selected = result.selected_reviews(item_index)
+        for i, review in enumerate(selected):
+            total += 1
+            for j, other in enumerate(selected):
+                if i != j and review.aspects and review.aspects < other.aspects:
+                    redundant += 1
+                    break
+            else:
+                if any(
+                    i != j and review.aspects == other.aspects and i > j
+                    for j, other in enumerate(selected)
+                ):
+                    redundant += 1
+    return redundant / total if total else 0.0

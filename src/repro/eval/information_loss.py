@@ -1,0 +1,81 @@
+"""Information-loss analysis of §4.6.1 (Fig. 11).
+
+Selecting a subset of reviews inevitably discards information; the paper
+quantifies it per item as Delta(tau_i, pi(S_i)) (lower is better, 0 means
+the subset perfectly reproduces the overall opinion distribution) and as
+cosine(tau_i, pi(S_i)) (Eq. 9; higher is better).  Two series are drawn:
+the target item alone and all items, as a function of the budget m.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.core.distance import cosine_similarity, squared_l2
+from repro.core.problem import SelectionConfig
+from repro.core.selection import SelectionResult, Selector, build_space
+from repro.data.instances import ComparisonInstance
+
+
+@dataclass(frozen=True, slots=True)
+class InformationLossPoint:
+    """Mean loss measurements for one budget m."""
+
+    max_reviews: int
+    target_delta: float
+    target_cosine: float
+    all_items_delta: float
+    all_items_cosine: float
+
+
+def measure_result(
+    result: SelectionResult, config: SelectionConfig
+) -> tuple[list[float], list[float]]:
+    """Per-item Delta(tau_i, pi(S_i)) and cosine(tau_i, pi(S_i))."""
+    space = build_space(result.instance, config)
+    deltas: list[float] = []
+    cosines: list[float] = []
+    for item_index in range(result.instance.num_items):
+        tau = space.opinion_vector(result.instance.reviews[item_index])
+        pi = space.opinion_vector(result.selected_reviews(item_index))
+        deltas.append(squared_l2(tau, pi))
+        cosines.append(cosine_similarity(tau, pi))
+    return deltas, cosines
+
+
+def information_loss_curve(
+    instances: Sequence[ComparisonInstance],
+    selector: Selector,
+    config: SelectionConfig,
+    budgets: Sequence[int] = (3, 5, 10, 15, 20),
+) -> list[InformationLossPoint]:
+    """Fig.-11 curves: mean loss vs budget, target-only and all-items."""
+    points: list[InformationLossPoint] = []
+    for budget in budgets:
+        budget_config = config.with_(max_reviews=budget)
+        target_deltas: list[float] = []
+        target_cosines: list[float] = []
+        all_deltas: list[float] = []
+        all_cosines: list[float] = []
+        for instance in instances:
+            result = selector.select(instance, budget_config)
+            deltas, cosines = measure_result(result, budget_config)
+            target_deltas.append(deltas[0])
+            target_cosines.append(cosines[0])
+            all_deltas.extend(deltas)
+            all_cosines.extend(cosines)
+        points.append(
+            InformationLossPoint(
+                max_reviews=budget,
+                target_delta=_mean(target_deltas),
+                target_cosine=_mean(target_cosines),
+                all_items_delta=_mean(all_deltas),
+                all_items_cosine=_mean(all_cosines),
+            )
+        )
+    return points
+
+
+def _mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values) if values else 0.0

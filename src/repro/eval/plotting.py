@@ -1,0 +1,103 @@
+"""Terminal line plots for the figure benchmarks.
+
+The paper's figures are line charts; the benchmark harness regenerates
+their data as tables (:mod:`repro.eval.reporting`) and, via this module,
+as character-grid plots so a terminal run shows the curve shapes
+directly.  No plotting dependency is available offline, hence the ASCII
+renderer.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_line_plot(
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+    y_format: str = "{:.3f}",
+) -> str:
+    """Render series as an ASCII scatter/line chart.
+
+    Each series gets a marker; points are placed on a ``width x height``
+    grid scaled to the data range, with y-axis labels on the left and the
+    x range annotated below.  NaNs are skipped.
+    """
+    if not series:
+        raise ValueError("at least one series is required")
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points for {len(x_values)} x values"
+            )
+    if len(x_values) < 2:
+        raise ValueError("need at least two x values to draw a line plot")
+
+    xs = [float(x) for x in x_values]
+    all_y = [
+        float(v)
+        for values in series.values()
+        for v in values
+        if not math.isnan(float(v))
+    ]
+    if not all_y:
+        raise ValueError("all series values are NaN")
+
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(all_y), max(all_y)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+    # A little headroom keeps extreme points off the border.
+    pad = 0.05 * (y_high - y_low)
+    y_low -= pad
+    y_high += pad
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        column = round((x - x_low) / (x_high - x_low) * (width - 1))
+        row = round((y - y_low) / (y_high - y_low) * (height - 1))
+        grid_row = height - 1 - row
+        current = grid[grid_row][column]
+        grid[grid_row][column] = "8" if current not in (" ", marker) else marker
+
+    for index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(xs, values):
+            y = float(y)
+            if not math.isnan(y):
+                place(x, y, marker)
+
+    label_top = y_format.format(y_high)
+    label_bottom = y_format.format(y_low)
+    label_width = max(len(label_top), len(label_bottom))
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = label_top.rjust(label_width)
+        elif row_index == height - 1:
+            label = label_bottom.rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    lines.append(
+        " " * label_width
+        + f"  x: {x_low:g} .. {x_high:g}   ('8' marks overlapping series)"
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Statistical utilities: paired t-test and Krippendorff's alpha.
+
+The paper marks Table-3 improvements with a paired significance test
+(p < 0.05) and assesses user-study annotator agreement with
+Krippendorff's alpha-reliability (Krippendorff 2011), which we implement
+from scratch for interval-scaled Likert data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+
+@dataclass(frozen=True, slots=True)
+class PairedTestResult:
+    """Outcome of a paired t-test between two score series."""
+
+    statistic: float
+    p_value: float
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        """True when the difference is significant at level ``alpha``."""
+        return self.p_value < alpha
+
+
+def paired_t_test(first: Sequence[float], second: Sequence[float]) -> PairedTestResult:
+    """Two-sided paired t-test on per-instance scores.
+
+    Returns (nan, 1.0) when fewer than two pairs or all differences are
+    zero — i.e., never claims significance on degenerate input.
+    """
+    if len(first) != len(second):
+        raise ValueError(f"length mismatch: {len(first)} vs {len(second)}")
+    if len(first) < 2:
+        return PairedTestResult(statistic=float("nan"), p_value=1.0)
+    differences = np.asarray(first, dtype=float) - np.asarray(second, dtype=float)
+    if np.allclose(differences, 0.0):
+        return PairedTestResult(statistic=float("nan"), p_value=1.0)
+    statistic, p_value = scipy_stats.ttest_rel(first, second)
+    return PairedTestResult(statistic=float(statistic), p_value=float(p_value))
+
+
+def krippendorff_alpha(
+    ratings: Sequence[Sequence[float | None]],
+    metric: str = "interval",
+) -> float:
+    """Krippendorff's alpha for a units x raters reliability matrix.
+
+    ``ratings[u][r]`` is rater r's value for unit u, or None when missing.
+    ``metric`` is ``"interval"`` (squared difference — right for Likert
+    scales treated as equidistant) or ``"nominal"`` (0/1 disagreement).
+
+    Returns 1.0 for perfect agreement, ~0 for chance-level agreement, and
+    negative values for systematic disagreement.  NaN when fewer than two
+    pairable values exist or all values are identical with no variation
+    to attribute (alpha is undefined; by convention we return 1.0 when
+    every pairable value is identical).
+    """
+    if metric == "interval":
+        def delta_squared(a: float, b: float) -> float:
+            return (a - b) ** 2
+    elif metric == "nominal":
+        def delta_squared(a: float, b: float) -> float:
+            return 0.0 if a == b else 1.0
+    else:
+        raise ValueError(f"unknown metric {metric!r}; use 'interval' or 'nominal'")
+
+    # Collect pairable values: units with at least two non-missing ratings.
+    pairable_units: list[list[float]] = []
+    for unit in ratings:
+        values = [float(v) for v in unit if v is not None]
+        if len(values) >= 2:
+            pairable_units.append(values)
+    total_values = sum(len(values) for values in pairable_units)
+    if total_values < 2:
+        return float("nan")
+
+    all_values = [v for values in pairable_units for v in values]
+    if len(set(all_values)) == 1:
+        return 1.0  # perfect agreement, zero expected disagreement
+
+    # Observed disagreement: within-unit pairs, weighted by 1/(m_u - 1).
+    observed = 0.0
+    for values in pairable_units:
+        m = len(values)
+        unit_sum = sum(
+            delta_squared(values[i], values[j])
+            for i in range(m - 1)
+            for j in range(i + 1, m)
+        )
+        observed += (2.0 * unit_sum) / (m - 1)
+    observed /= total_values
+
+    # Expected disagreement: all cross pairs of pairable values.
+    expected_sum = sum(
+        delta_squared(all_values[i], all_values[j])
+        for i in range(total_values - 1)
+        for j in range(i + 1, total_values)
+    )
+    expected = (2.0 * expected_sum) / (total_values * (total_values - 1))
+    if expected == 0.0:
+        return 1.0
+    alpha = 1.0 - observed / expected
+    return alpha if math.isfinite(alpha) else float("nan")

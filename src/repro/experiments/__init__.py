@@ -1,0 +1,48 @@
+"""Paper-reproduction experiments: one module per table/figure.
+
+Each module exposes ``run_*`` (returns structured result rows) and
+``render_*`` (formats them like the paper's table) so the benchmark
+harness, the examples, and tests all share one implementation.
+
+| Module              | Reproduces                                   |
+|---------------------|----------------------------------------------|
+| ``table2``          | Table 2 — dataset statistics                 |
+| ``table3``          | Table 3 — review alignment vs baselines      |
+| ``table4``          | Table 4 — opinion-scheme generalisation      |
+| ``table5``          | Table 5 — TargetHkS optimality/objective     |
+| ``table6``          | Table 6 — alignment after core-list narrowing|
+| ``table7``          | Table 7 — (simulated) user study             |
+| ``fig5``            | Fig. 5 — lambda / mu sensitivity             |
+| ``fig6``            | Fig. 6 — gap over Random vs #reviews         |
+| ``fig7``            | Fig. 7 — runtime vs #comparative items       |
+| ``fig11``           | Fig. 11 — information loss vs m              |
+| ``case_study``      | Figs. 8-10 — qualitative case studies        |
+"""
+
+from repro.experiments import (  # noqa: F401
+    case_study,
+    fig5,
+    fig6,
+    fig7,
+    fig11,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+
+__all__ = [
+    "case_study",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig11",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+]

@@ -1,0 +1,84 @@
+"""Case studies (Figs. 8-10): qualitative "compare to similar items" views.
+
+For a category, pick a target product, run CompaReSetS+ (m = 3), narrow to
+the top-3 most similar items with TargetHkS_ILP, and render the selected
+reviews side by side with the aspects they share — the layout of the
+paper's Figures 8-10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.selection import SelectionResult, make_selector
+from repro.eval.runner import EvaluationSettings, prepare_instances
+from repro.experiments.table7 import _narrow_to_top3
+
+
+@dataclass(frozen=True, slots=True)
+class CaseStudy:
+    """One rendered case study."""
+
+    category: str
+    result: SelectionResult
+    shared_aspects: tuple[str, ...]
+
+
+def run_case_study(
+    settings: EvaluationSettings,
+    category: str = "Cellphone",
+    instance_index: int = 0,
+) -> CaseStudy:
+    """Build the case study for the ``instance_index``-th viable instance."""
+    instances = prepare_instances(settings, category)
+    config = settings.config.with_(max_reviews=3)
+    selector = make_selector("CompaReSetS+")
+    narrowed = None
+    skipped = 0
+    for instance in instances:
+        result = selector.select(instance, config)
+        candidate = _narrow_to_top3(result, config)
+        if candidate is None:
+            continue
+        if skipped < instance_index:
+            skipped += 1
+            continue
+        narrowed = candidate
+        break
+    if narrowed is None:
+        raise ValueError(
+            f"no viable case-study instance in {category!r} at index {instance_index}"
+        )
+
+    per_item_aspects = []
+    for item_index in range(narrowed.instance.num_items):
+        aspects: set[str] = set()
+        for review in narrowed.selected_reviews(item_index):
+            aspects.update(review.aspects)
+        per_item_aspects.append(aspects)
+    shared = set(per_item_aspects[0])
+    for aspects in per_item_aspects[1:]:
+        shared &= aspects
+    return CaseStudy(
+        category=category, result=narrowed, shared_aspects=tuple(sorted(shared))
+    )
+
+
+def render_case_study(study: CaseStudy) -> str:
+    """Render the Figs. 8-10 layout as text."""
+    result = study.result
+    lines = [
+        f"=== Case study ({study.category}): compare to similar items ===",
+        f"Aspects shared by every item's selection: {', '.join(study.shared_aspects) or '(none)'}",
+        "",
+    ]
+    for item_index, product in enumerate(result.instance.products):
+        role = "This item" if item_index == 0 else f"Similar item {item_index}"
+        lines.append(f"--- {role}: {product.title} [{product.product_id}] ---")
+        for review in result.selected_reviews(item_index):
+            stars = "*" * int(round(review.rating))
+            aspect_list = ", ".join(sorted(review.aspects))
+            lines.append(f"  ({stars:<5s}) {review.text}")
+            lines.append(f"          aspects: {aspect_list}")
+        lines.append("")
+    return "\n".join(lines)

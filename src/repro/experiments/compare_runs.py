@@ -1,0 +1,144 @@
+"""Compare two persisted experiment runs and report metric drift.
+
+With :mod:`repro.experiments.persist` producing structured JSON, this
+module closes the loop for regression tracking: load two envelopes of the
+same experiment (e.g. before/after an algorithm change), align their
+result rows on identifying fields, and report every numeric field whose
+relative change exceeds a tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.experiments.persist import load_results
+
+# Fields that identify a row rather than measure it, per known experiment.
+_KEY_FIELDS = (
+    "dataset",
+    "algorithm",
+    "strategy",
+    "view",
+    "scheme",
+    "max_reviews",
+    "num_comparatives",
+    "parameter",
+    "value",
+    "k",
+    "name",
+    "bucket_low",
+    "bucket_high",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Drift:
+    """One numeric field that moved between runs."""
+
+    row_key: tuple
+    field: str
+    before: float
+    after: float
+
+    @property
+    def relative_change(self) -> float:
+        if self.before == 0:
+            return float("inf") if self.after != 0 else 0.0
+        return (self.after - self.before) / abs(self.before)
+
+    def __str__(self) -> str:
+        return (
+            f"{'/'.join(str(k) for k in self.row_key)}.{self.field}: "
+            f"{self.before:.6g} -> {self.after:.6g} "
+            f"({100 * self.relative_change:+.2f}%)"
+        )
+
+
+def _row_key(row: dict) -> tuple:
+    return tuple(
+        (field, _freeze(row[field])) for field in _KEY_FIELDS if field in row
+    )
+
+
+def _freeze(value):
+    if isinstance(value, list):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    return value
+
+
+def _numeric_fields(row: dict) -> dict[str, float]:
+    fields = {}
+    for field, value in row.items():
+        if field in _KEY_FIELDS:
+            continue
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)) and value is not None:
+            fields[field] = float(value)
+        elif isinstance(value, dict):
+            for inner, inner_value in _numeric_fields(value).items():
+                fields[f"{field}.{inner}"] = inner_value
+    return fields
+
+
+def compare_runs(
+    before_path: str | Path,
+    after_path: str | Path,
+    tolerance: float = 0.02,
+) -> list[Drift]:
+    """Drifts between two persisted runs of the same experiment.
+
+    ``tolerance`` is the relative change below which a move is ignored
+    (2% by default — around the run-to-run noise of the sampled
+    workloads).  Rows present in only one run are reported with
+    before/after of NaN-like sentinels via a ValueError instead, since a
+    changed row universe usually means the comparison is invalid.
+    """
+    before = load_results(before_path)
+    after = load_results(after_path)
+    if before["experiment"] != after["experiment"]:
+        raise ValueError(
+            f"experiment mismatch: {before['experiment']!r} vs {after['experiment']!r}"
+        )
+
+    def rows_of(envelope) -> dict[tuple, dict]:
+        results = envelope["results"]
+        if isinstance(results, dict):
+            # fig5-style envelope: flatten the point lists.
+            flattened = []
+            for value in results.values():
+                if isinstance(value, list):
+                    flattened.extend(value)
+            results = flattened
+        indexed = {}
+        for row in results:
+            if isinstance(row, dict):
+                indexed[_row_key(row)] = row
+        return indexed
+
+    before_rows = rows_of(before)
+    after_rows = rows_of(after)
+    if set(before_rows) != set(after_rows):
+        missing = set(before_rows).symmetric_difference(after_rows)
+        raise ValueError(
+            f"row universes differ between runs ({len(missing)} unmatched rows); "
+            "re-run both sides with identical settings"
+        )
+
+    drifts: list[Drift] = []
+    for key, before_row in before_rows.items():
+        after_row = after_rows[key]
+        before_fields = _numeric_fields(before_row)
+        after_fields = _numeric_fields(after_row)
+        for field in sorted(set(before_fields) & set(after_fields)):
+            b, a = before_fields[field], after_fields[field]
+            if b == a:
+                continue
+            drift = Drift(row_key=key, field=field, before=b, after=a)
+            if abs(drift.relative_change) > tolerance:
+                drifts.append(drift)
+    drifts.sort(key=lambda d: -abs(d.relative_change))
+    return drifts

@@ -1,0 +1,39 @@
+"""Fig. 11 — information loss of CompaReSetS+ selections vs the budget m."""
+
+from __future__ import annotations
+
+from repro.core.selection import make_selector
+from repro.eval.information_loss import InformationLossPoint, information_loss_curve
+from repro.eval.reporting import format_series
+from repro.eval.runner import EvaluationSettings, prepare_instances
+
+BUDGETS = (3, 5, 10, 15, 20)
+
+
+def run_fig11(
+    settings: EvaluationSettings,
+    category: str = "Cellphone",
+    budgets: tuple[int, ...] = BUDGETS,
+) -> list[InformationLossPoint]:
+    """Loss curves for the Fig.-11 budgets on one category."""
+    instances = prepare_instances(settings, category)
+    selector = make_selector("CompaReSetS+")
+    return information_loss_curve(instances, selector, settings.config, budgets)
+
+
+def render_fig11(points: list[InformationLossPoint]) -> str:
+    """Both panels as one series table (Delta down, cosine up with m)."""
+    budgets = [p.max_reviews for p in points]
+    series = {
+        "Delta target": [p.target_delta for p in points],
+        "Delta all items": [p.all_items_delta for p in points],
+        "cosine target": [p.target_cosine for p in points],
+        "cosine all items": [p.all_items_cosine for p in points],
+    }
+    return format_series(
+        "m",
+        budgets,
+        series,
+        title="Figure 11: information loss of CompaReSetS+ (Cellphone)",
+        float_format="{:.4f}",
+    )

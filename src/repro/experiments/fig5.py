@@ -1,0 +1,91 @@
+"""Fig. 5 — hyper-parameter sensitivity: lambda (5a) and mu (5b).
+
+Sweeps the paper's candidate grid {0.01, 0.1, 1, 10, 100}: lambda for
+CompaReSetS (target-vs-comparative ROUGE-L), then mu for CompaReSetS+
+holding lambda at its winner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.selection import make_selector
+from repro.eval.alignment import mean_alignment, target_vs_comparative_alignment
+from repro.eval.reporting import format_series
+from repro.eval.runner import EvaluationSettings, prepare_instances
+
+GRID = (0.01, 0.1, 1.0, 10.0, 100.0)
+
+
+@dataclass(frozen=True, slots=True)
+class SensitivityPoint:
+    """ROUGE-L at one grid value for one dataset."""
+
+    dataset: str
+    parameter: str  # "lambda" or "mu"
+    value: float
+    rouge_l: float
+
+
+def run_fig5(
+    settings: EvaluationSettings,
+    grid: tuple[float, ...] = GRID,
+) -> tuple[list[SensitivityPoint], float, list[SensitivityPoint], float]:
+    """Sweep lambda then mu; returns (lambda points, best lambda, mu points, best mu)."""
+    lambda_points: list[SensitivityPoint] = []
+    compare_sets = make_selector("CompaReSetS")
+    for category in settings.categories:
+        instances = prepare_instances(settings, category)
+        for lam in grid:
+            config = settings.config.with_(max_reviews=3, lam=lam)
+            results = [compare_sets.select(inst, config) for inst in instances]
+            scores = mean_alignment(
+                [target_vs_comparative_alignment(r) for r in results]
+            )
+            lambda_points.append(
+                SensitivityPoint(category, "lambda", lam, scores.rouge_l)
+            )
+
+    best_lambda = _best_value(lambda_points, grid)
+
+    mu_points: list[SensitivityPoint] = []
+    compare_sets_plus = make_selector("CompaReSetS+")
+    for category in settings.categories:
+        instances = prepare_instances(settings, category)
+        for mu in grid:
+            config = settings.config.with_(max_reviews=3, lam=best_lambda, mu=mu)
+            results = [compare_sets_plus.select(inst, config) for inst in instances]
+            scores = mean_alignment(
+                [target_vs_comparative_alignment(r) for r in results]
+            )
+            mu_points.append(SensitivityPoint(category, "mu", mu, scores.rouge_l))
+
+    best_mu = _best_value(mu_points, grid)
+    return lambda_points, best_lambda, mu_points, best_mu
+
+
+def _best_value(points: list[SensitivityPoint], grid: tuple[float, ...]) -> float:
+    """Grid value with the highest mean ROUGE-L across datasets."""
+    means = {
+        value: sum(p.rouge_l for p in points if p.value == value)
+        / max(1, sum(1 for p in points if p.value == value))
+        for value in grid
+    }
+    return max(means, key=lambda value: means[value])
+
+
+def render_fig5(points: list[SensitivityPoint], parameter: str) -> str:
+    """Format one sweep as a series table (datasets as columns)."""
+    subset = [p for p in points if p.parameter == parameter]
+    datasets = sorted({p.dataset for p in subset})
+    values = sorted({p.value for p in subset})
+    series = {
+        dataset: [
+            100
+            * next(p.rouge_l for p in subset if p.dataset == dataset and p.value == v)
+            for v in values
+        ]
+        for dataset in datasets
+    }
+    label = "5a: CompaReSetS ROUGE-L vs lambda" if parameter == "lambda" else "5b: CompaReSetS+ ROUGE-L vs mu"
+    return format_series(parameter, values, series, title=f"Figure {label}", float_format="{:.2f}")

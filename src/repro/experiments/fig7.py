@@ -1,0 +1,88 @@
+"""Fig. 7 — average runtime vs the number of comparative items.
+
+Times CRS, CompaReSetS, and CompaReSetS+ (m in {3, 5, 10}) on instances
+restricted to n comparative items, n swept over a grid.  The paper's
+observations to reproduce: CRS and CompaReSetS are nearly flat in n,
+CompaReSetS+ grows roughly linearly (it re-runs integer regression per
+item), and larger m does not necessarily mean slower solves.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.selection import make_selector
+from repro.eval.reporting import format_series
+from repro.eval.runner import EvaluationSettings, cached_corpus
+from repro.data.instances import build_instances
+
+
+@dataclass(frozen=True, slots=True)
+class RuntimePoint:
+    """Mean seconds per instance for one (algorithm, m, n) cell."""
+
+    algorithm: str
+    max_reviews: int
+    num_comparatives: int
+    mean_seconds: float
+    num_instances: int
+
+
+def run_fig7(
+    settings: EvaluationSettings,
+    category: str = "Cellphone",
+    comparative_counts: tuple[int, ...] = (2, 4, 6, 8),
+    algorithms: tuple[str, ...] = ("CRS", "CompaReSetS", "CompaReSetS+"),
+) -> list[RuntimePoint]:
+    """Time each algorithm at each instance width n."""
+    corpus = cached_corpus(category, settings.scale, settings.seed)
+    points: list[RuntimePoint] = []
+    for n in comparative_counts:
+        instances = [
+            inst
+            for inst in build_instances(
+                corpus,
+                max_instances=settings.max_instances,
+                max_comparisons=n,
+                min_reviews=settings.min_reviews,
+            )
+            if inst.num_items == n + 1
+        ]
+        if not instances:
+            continue
+        for algorithm in algorithms:
+            selector = make_selector(algorithm)
+            for budget in settings.budgets:
+                config = settings.config.with_(max_reviews=budget)
+                start = time.perf_counter()
+                for instance in instances:
+                    selector.select(instance, config)
+                elapsed = time.perf_counter() - start
+                points.append(
+                    RuntimePoint(
+                        algorithm=algorithm,
+                        max_reviews=budget,
+                        num_comparatives=n,
+                        mean_seconds=elapsed / len(instances),
+                        num_instances=len(instances),
+                    )
+                )
+    return points
+
+
+def render_fig7(points: list[RuntimePoint]) -> str:
+    """Format as a series table: n vs mean seconds per (algorithm, m)."""
+    counts = sorted({p.num_comparatives for p in points})
+    series: dict[str, list[float]] = {}
+    for point in points:
+        key = f"{point.algorithm} m={point.max_reviews}"
+        series.setdefault(key, [float("nan")] * len(counts))
+        series[key][counts.index(point.num_comparatives)] = point.mean_seconds
+    return format_series(
+        "#comparative items",
+        counts,
+        series,
+        title="Figure 7: mean runtime (seconds/instance)",
+        float_format="{:.4f}",
+    )

@@ -1,0 +1,85 @@
+"""JSON persistence for experiment results.
+
+Benchmark runs archive rendered text tables; this module additionally
+serialises the *structured* results (the dataclasses each ``run_*``
+returns) so downstream analysis — plotting, cross-run comparison,
+regression tracking — can consume them without re-parsing text.
+
+The format is a tagged envelope::
+
+    {"experiment": "table3", "settings": {...}, "results": [...]}
+
+where each result is the ``dataclasses.asdict`` of one row/point/cell,
+with enums and numpy scalars coerced to plain JSON types.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.eval.runner import EvaluationSettings
+
+_FORMAT_VERSION = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively coerce dataclasses/enums/numpy values to JSON types."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, float) and not np.isfinite(value):
+        return None  # JSON has no NaN/Inf; null marks "undefined"
+    return value
+
+
+def save_results(
+    experiment: str,
+    results: Any,
+    settings: EvaluationSettings,
+    path: str | Path,
+) -> None:
+    """Write one experiment's structured results to ``path`` as JSON."""
+    envelope = {
+        "version": _FORMAT_VERSION,
+        "experiment": experiment,
+        "settings": _jsonable(settings),
+        "results": _jsonable(results),
+    }
+    Path(path).write_text(json.dumps(envelope, indent=2) + "\n", encoding="utf-8")
+
+
+def load_results(path: str | Path) -> dict:
+    """Load a result envelope written by :func:`save_results`.
+
+    Returns the raw envelope dict; validation errors raise ValueError.
+    """
+    try:
+        envelope = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: invalid JSON: {exc}") from exc
+    if not isinstance(envelope, dict) or "experiment" not in envelope:
+        raise ValueError(f"{path}: not an experiment result envelope")
+    version = envelope.get("version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"{path}: unsupported result format version {version!r}")
+    return envelope

@@ -1,0 +1,27 @@
+"""Table 2 — dataset statistics for the three categories."""
+
+from __future__ import annotations
+
+from repro.data.corpus import CorpusStats
+from repro.eval.reporting import format_table
+from repro.eval.runner import EvaluationSettings, cached_corpus
+
+
+def run_table2(settings: EvaluationSettings) -> list[CorpusStats]:
+    """Collect Table-2 statistics for every configured category."""
+    return [
+        cached_corpus(category, settings.scale, settings.seed).stats(
+            min_reviews_for_target=settings.min_reviews
+        )
+        for category in settings.categories
+    ]
+
+
+def render_table2(stats: list[CorpusStats]) -> str:
+    """Format the statistics like the paper's Table 2 (rows x datasets)."""
+    headers = [""] + [s.name for s in stats]
+    labels = [label for label, _ in stats[0].as_rows()] if stats else []
+    rows = []
+    for row_index, label in enumerate(labels):
+        rows.append([label] + [s.as_rows()[row_index][1] for s in stats])
+    return format_table(headers, rows, title="Table 2: Data statistics")

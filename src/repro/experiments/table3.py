@@ -1,0 +1,113 @@
+"""Table 3 — review alignment of all selectors across budgets and datasets.
+
+Reproduces both panels: (a) target item vs comparative items, (b) among
+items; for m in {3, 5, 10} and ROUGE-1/2/L.  Statistical significance of
+the best method over the second best is assessed with a paired t-test on
+per-instance ROUGE-L, mirroring the paper's footnote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.eval.alignment import (
+    AlignmentScores,
+    among_items_alignment,
+    mean_alignment,
+    target_vs_comparative_alignment,
+)
+from repro.eval.reporting import format_table
+from repro.eval.runner import EvaluationSettings, evaluate_selectors, prepare_instances
+from repro.eval.stats import paired_t_test
+
+ALGORITHMS = ("Random", "CRS", "CompaReSetS_Greedy", "CompaReSetS", "CompaReSetS+")
+
+
+@dataclass(frozen=True, slots=True)
+class Table3Cell:
+    """One (dataset, algorithm, view, m) cell of Table 3."""
+
+    dataset: str
+    algorithm: str
+    view: str  # "target" or "among"
+    max_reviews: int
+    scores: AlignmentScores
+    best_vs_second_p: float | None = None
+
+
+def run_table3(
+    settings: EvaluationSettings,
+    algorithms: tuple[str, ...] = ALGORITHMS,
+) -> list[Table3Cell]:
+    """Run every selector on every (dataset, m) workload and score alignment."""
+    cells: list[Table3Cell] = []
+    for category in settings.categories:
+        instances = prepare_instances(settings, category)
+        for budget in settings.budgets:
+            config = settings.config.with_(max_reviews=budget)
+            runs = evaluate_selectors(algorithms, instances, config, seed=settings.seed)
+            for view, scorer in (
+                ("target", target_vs_comparative_alignment),
+                ("among", among_items_alignment),
+            ):
+                per_algorithm = {
+                    name: [scorer(result) for result in run.results]
+                    for name, run in runs.items()
+                }
+                means = {
+                    name: mean_alignment(scores)
+                    for name, scores in per_algorithm.items()
+                }
+                ranked = sorted(means, key=lambda name: -means[name].rouge_l)
+                p_value: float | None = None
+                if len(ranked) >= 2:
+                    best_series = [s.rouge_l for s in per_algorithm[ranked[0]]]
+                    second_series = [s.rouge_l for s in per_algorithm[ranked[1]]]
+                    p_value = paired_t_test(best_series, second_series).p_value
+                for name in algorithms:
+                    cells.append(
+                        Table3Cell(
+                            dataset=category,
+                            algorithm=name,
+                            view=view,
+                            max_reviews=budget,
+                            scores=means[name],
+                            best_vs_second_p=p_value if name == ranked[0] else None,
+                        )
+                    )
+    return cells
+
+
+def render_table3(cells: list[Table3Cell], view: str) -> str:
+    """Format one panel ('target' -> Table 3a, 'among' -> Table 3b)."""
+    panel = [c for c in cells if c.view == view]
+    datasets = sorted({c.dataset for c in panel})
+    budgets = sorted({c.max_reviews for c in panel})
+    algorithms = list(dict.fromkeys(c.algorithm for c in panel))
+
+    headers = ["Dataset", "Algorithm"]
+    for budget in budgets:
+        headers.extend([f"m={budget} R-1", "R-2", "R-L"])
+    rows = []
+    for dataset in datasets:
+        for algorithm in algorithms:
+            row: list[object] = [dataset, algorithm]
+            for budget in budgets:
+                cell = next(
+                    c
+                    for c in panel
+                    if c.dataset == dataset
+                    and c.algorithm == algorithm
+                    and c.max_reviews == budget
+                )
+                r1, r2, rl = cell.scores.scaled()
+                marker = (
+                    "*"
+                    if cell.best_vs_second_p is not None
+                    and cell.best_vs_second_p < 0.05
+                    else ""
+                )
+                row.extend([f"{r1:.2f}{marker}", f"{r2:.2f}", f"{rl:.2f}"])
+            rows.append(row)
+    label = "Target Item vs Comparative Items" if view == "target" else "Among Items"
+    return format_table(headers, rows, title=f"Table 3 ({label})")

@@ -1,0 +1,71 @@
+"""Table 4 — generalisation across opinion definitions (§4.2.3).
+
+ROUGE-L of the target-vs-comparative alignment for binary, 3-polarity,
+and unary-scale opinion vectors on the Cellphone workload, m = 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.vectors import OpinionScheme
+from repro.eval.alignment import mean_alignment, target_vs_comparative_alignment
+from repro.eval.reporting import format_table
+from repro.eval.runner import EvaluationSettings, evaluate_selectors, prepare_instances
+
+ALGORITHMS = ("Random", "CRS", "CompaReSetS_Greedy", "CompaReSetS", "CompaReSetS+")
+SCHEMES = (
+    OpinionScheme.BINARY,
+    OpinionScheme.THREE_POLARITY,
+    OpinionScheme.UNARY_SCALE,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Table4Cell:
+    """ROUGE-L for one (algorithm, opinion scheme) pair."""
+
+    algorithm: str
+    scheme: OpinionScheme
+    rouge_l: float
+
+
+def run_table4(
+    settings: EvaluationSettings,
+    category: str = "Cellphone",
+    algorithms: tuple[str, ...] = ALGORITHMS,
+) -> list[Table4Cell]:
+    """Score every algorithm under each opinion definition."""
+    instances = prepare_instances(settings, category)
+    cells: list[Table4Cell] = []
+    for scheme in SCHEMES:
+        config = settings.config.with_(max_reviews=3, scheme=scheme)
+        runs = evaluate_selectors(algorithms, instances, config, seed=settings.seed)
+        for name, run in runs.items():
+            scores = mean_alignment(
+                [target_vs_comparative_alignment(result) for result in run.results]
+            )
+            cells.append(
+                Table4Cell(algorithm=name, scheme=scheme, rouge_l=scores.rouge_l)
+            )
+    return cells
+
+
+def render_table4(cells: list[Table4Cell]) -> str:
+    """Format like the paper's Table 4 (algorithms x opinion definitions)."""
+    algorithms = list(dict.fromkeys(c.algorithm for c in cells))
+    headers = ["Algorithm"] + [f"{s.value}" for s in SCHEMES]
+    rows = []
+    for algorithm in algorithms:
+        row: list[object] = [algorithm]
+        for scheme in SCHEMES:
+            cell = next(
+                c for c in cells if c.algorithm == algorithm and c.scheme == scheme
+            )
+            row.append(f"{cell.rouge_l * 100:.2f}")
+        rows.append(row)
+    return format_table(
+        headers,
+        rows,
+        title="Table 4: Review alignment (ROUGE-L) across opinion definitions",
+    )

@@ -1,0 +1,127 @@
+"""Table 6 — review alignment after narrowing to the core list of k items.
+
+For parity with the paper, the selected review sets always come from
+CompaReSetS+; the four strategies only differ in *which k items* survive:
+Random, Top-k similarity, TargetHkS_Greedy, TargetHkS_ILP (k = m).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.selection import SelectionResult
+from repro.eval.alignment import (
+    AlignmentScores,
+    among_items_alignment,
+    mean_alignment,
+    target_vs_comparative_alignment,
+)
+from repro.eval.reporting import format_table
+from repro.eval.runner import EvaluationSettings, prepare_instances, run_selector
+from repro.graph.similarity import build_item_graph
+from repro.graph.target_hks import (
+    solve_greedy,
+    solve_ilp,
+    solve_random,
+    solve_top_k_similarity,
+)
+
+STRATEGIES = ("Random", "Top-k similarity", "TargetHkS_Greedy", "TargetHkS_ILP")
+
+
+@dataclass(frozen=True, slots=True)
+class Table6Cell:
+    """Alignment of the narrowed instance for one (dataset, strategy, k)."""
+
+    dataset: str
+    strategy: str
+    k: int
+    view: str  # "target" or "among"
+    scores: AlignmentScores
+
+
+def _narrow(
+    result: SelectionResult,
+    strategy: str,
+    k: int,
+    config,
+    rng: np.random.Generator,
+    time_limit: float,
+    backend: str,
+) -> SelectionResult:
+    """Restrict ``result`` to the k items chosen by ``strategy``."""
+    graph = build_item_graph(result, config)
+    if strategy == "Random":
+        solution = solve_random(graph.weights, k, rng)
+    elif strategy == "Top-k similarity":
+        solution = solve_top_k_similarity(graph.weights, k)
+    elif strategy == "TargetHkS_Greedy":
+        solution = solve_greedy(graph.weights, k)
+    elif strategy == "TargetHkS_ILP":
+        solution = solve_ilp(graph.weights, k, time_limit=time_limit, backend=backend)
+    else:
+        raise ValueError(f"unknown narrowing strategy {strategy!r}")
+    kept = [0] + sorted(v for v in solution.selected if v != 0)
+    return result.restricted_to_items(kept)
+
+
+def run_table6(
+    settings: EvaluationSettings,
+    time_limit: float = 60.0,
+    backend: str = "milp",
+) -> list[Table6Cell]:
+    """Narrow every instance with each strategy and re-score alignment."""
+    cells: list[Table6Cell] = []
+    for category in settings.categories:
+        instances = prepare_instances(settings, category)
+        for k in settings.budgets:
+            config = settings.config.with_(max_reviews=k)
+            run = run_selector("CompaReSetS+", instances, config, seed=settings.seed)
+            usable = [r for r in run.results if r.instance.num_items >= k]
+            for strategy in STRATEGIES:
+                rng = np.random.default_rng(settings.seed)
+                narrowed = [
+                    _narrow(r, strategy, k, config, rng, time_limit, backend)
+                    for r in usable
+                ]
+                for view, scorer in (
+                    ("target", target_vs_comparative_alignment),
+                    ("among", among_items_alignment),
+                ):
+                    cells.append(
+                        Table6Cell(
+                            dataset=category,
+                            strategy=strategy,
+                            k=k,
+                            view=view,
+                            scores=mean_alignment([scorer(r) for r in narrowed]),
+                        )
+                    )
+    return cells
+
+
+def render_table6(cells: list[Table6Cell], view: str) -> str:
+    """Format one panel ('target' -> Table 6a, 'among' -> Table 6b)."""
+    panel = [c for c in cells if c.view == view]
+    datasets = sorted({c.dataset for c in panel})
+    ks = sorted({c.k for c in panel})
+    headers = ["Dataset", "Algorithm"]
+    for k in ks:
+        headers.extend([f"k=m={k} R-1", "R-2", "R-L"])
+    rows = []
+    for dataset in datasets:
+        for strategy in STRATEGIES:
+            row: list[object] = [dataset, strategy]
+            for k in ks:
+                cell = next(
+                    c
+                    for c in panel
+                    if c.dataset == dataset and c.strategy == strategy and c.k == k
+                )
+                r1, r2, rl = cell.scores.scaled()
+                row.extend([f"{r1:.2f}", f"{r2:.2f}", f"{rl:.2f}"])
+            rows.append(row)
+    label = "Target Item vs Comparative Items" if view == "target" else "Among Items"
+    return format_table(headers, rows, title=f"Table 6 ({label})")

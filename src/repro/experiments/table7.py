@@ -1,0 +1,110 @@
+"""Table 7 — the (simulated) user study.
+
+Builds the paper's survey material: for each category, take 3 target
+products, narrow to the top-3 most similar items with TargetHkS_ILP on
+CompaReSetS+ selections, and present each example's review sets as
+selected by CompaReSetS+, CRS, and Random.  For parity only examples
+whose items all have at least 3 selected reviews are kept (the paper
+presents exactly-3-review examples).  The simulated annotators then rate
+each example blind; see :mod:`repro.eval.user_study` for the model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.selection import SelectionResult, make_selector
+from repro.eval.reporting import format_table
+from repro.eval.runner import EvaluationSettings, prepare_instances
+from repro.eval.user_study import UserStudyOutcome, run_user_study
+from repro.graph.similarity import build_item_graph
+from repro.graph.target_hks import solve_ilp
+
+STUDY_ALGORITHMS = ("Random", "CRS", "CompaReSetS+")
+
+
+def _narrow_to_top3(result: SelectionResult, config) -> SelectionResult | None:
+    """Keep the target plus its two TargetHkS_ILP companions."""
+    if result.instance.num_items < 3:
+        return None
+    graph = build_item_graph(result, config)
+    solution = solve_ilp(graph.weights, 3, time_limit=10.0)
+    kept = [0] + sorted(v for v in solution.selected if v != 0)
+    return result.restricted_to_items(kept)
+
+
+def build_examples(
+    settings: EvaluationSettings,
+    examples_per_category: int = 3,
+) -> dict[str, list[SelectionResult]]:
+    """Survey material: per algorithm, 3 narrowed examples per category."""
+    config = settings.config.with_(max_reviews=3)
+    examples: dict[str, list[SelectionResult]] = {
+        name: [] for name in STUDY_ALGORITHMS
+    }
+    for category in settings.categories:
+        instances = prepare_instances(settings, category)
+        picked = 0
+        for instance in instances:
+            if picked >= examples_per_category:
+                break
+            plus_result = make_selector("CompaReSetS+").select(instance, config)
+            narrowed_plus = _narrow_to_top3(plus_result, config)
+            if narrowed_plus is None:
+                continue
+            # Paper parity: only keep examples with exactly 3 reviews/item.
+            if any(len(s) != 3 for s in narrowed_plus.selections):
+                continue
+            kept_ids = [p.product_id for p in narrowed_plus.instance.products]
+            candidate_sets: dict[str, SelectionResult] = {"CompaReSetS+": narrowed_plus}
+            ok = True
+            for name in ("CRS", "Random"):
+                rng = np.random.default_rng(settings.seed + picked)
+                other = make_selector(name).select(instance, config, rng=rng)
+                narrowed = other.restricted_to_items(
+                    [
+                        [p.product_id for p in instance.products].index(pid)
+                        for pid in kept_ids
+                    ]
+                )
+                if any(len(s) != 3 for s in narrowed.selections):
+                    ok = False
+                    break
+                candidate_sets[name] = narrowed
+            if not ok:
+                continue
+            for name, example in candidate_sets.items():
+                examples[name].append(example)
+            picked += 1
+    return examples
+
+
+def run_table7(
+    settings: EvaluationSettings,
+    num_annotators: int = 5,
+) -> list[UserStudyOutcome]:
+    """Build the survey and run the simulated annotators."""
+    examples = build_examples(settings)
+    config = settings.config.with_(max_reviews=3)
+    outcomes = run_user_study(
+        examples, config, num_annotators=num_annotators, seed=settings.seed
+    )
+    order = {name: i for i, name in enumerate(STUDY_ALGORITHMS)}
+    return sorted(outcomes, key=lambda o: order.get(o.algorithm, 99))
+
+
+def render_table7(outcomes: list[UserStudyOutcome]) -> str:
+    """Format like the paper's Table 7."""
+    headers = ["Algorithm", "Q1", "Q2", "Q3", "Krippendorff's alpha", "#Examples"]
+    rows = [
+        [
+            o.algorithm,
+            f"{o.q1_similarity:.2f}",
+            f"{o.q2_informativeness:.2f}",
+            f"{o.q3_comparison:.2f}",
+            f"{o.alpha:.3f}",
+            o.num_examples,
+        ]
+        for o in outcomes
+    ]
+    return format_table(headers, rows, title="Table 7: User study (simulated annotators)")

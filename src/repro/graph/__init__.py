@@ -1,0 +1,48 @@
+"""Core-list-of-items substrate: item graphs and heaviest-k-subgraph solvers.
+
+* :mod:`repro.graph.similarity` — pairwise item distances d_ij (§3.1) and
+  the similarity-weighted complete graph.
+* :mod:`repro.graph.ilp` — exact solvers for the TargetHkS integer program
+  (Eq. 7): a HiGHS-backed linearised MILP (the paper used Gurobi) and a
+  from-scratch branch-and-bound, both time-limited and reporting whether
+  optimality was proven.
+* :mod:`repro.graph.target_hks` — the TargetHkS problem: greedy
+  (Algorithm 2), exact, brute-force, top-k-similarity, and random solvers.
+* :mod:`repro.graph.hks` — the classic (unanchored) heaviest k-subgraph,
+  plus the solve-all-targets reduction from §3.1.
+* :mod:`repro.graph.local_search` — swap-based refinement of any feasible
+  TargetHkS solution (an extension beyond the paper's Algorithm 2).
+"""
+
+from repro.graph.hks import peel_greedy_hks, solve_hks_via_targets
+from repro.graph.ilp import BranchAndBoundSolver, IlpSolution, MilpBackendSolver
+from repro.graph.local_search import improve_by_swaps, solve_greedy_with_local_search
+from repro.graph.similarity import ItemGraph, build_item_graph
+from repro.graph.target_hks import (
+    HksSolution,
+    solve_brute_force,
+    solve_greedy,
+    solve_ilp,
+    solve_random,
+    solve_top_k_similarity,
+    total_weight,
+)
+
+__all__ = [
+    "BranchAndBoundSolver",
+    "HksSolution",
+    "IlpSolution",
+    "ItemGraph",
+    "MilpBackendSolver",
+    "build_item_graph",
+    "improve_by_swaps",
+    "peel_greedy_hks",
+    "solve_brute_force",
+    "solve_greedy",
+    "solve_greedy_with_local_search",
+    "solve_hks_via_targets",
+    "solve_ilp",
+    "solve_random",
+    "solve_top_k_similarity",
+    "total_weight",
+]

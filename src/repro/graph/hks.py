@@ -1,0 +1,67 @@
+"""Classic (unanchored) heaviest k-subgraph, related work for §3 and §5.3.
+
+* :func:`peel_greedy_hks` — Asahiro et al. (2000): repeatedly remove the
+  vertex with minimum weighted degree until exactly k vertices remain.
+* :func:`solve_hks_via_targets` — the paper's observation (§3.1): solving
+  TargetHkS with every vertex as the target yields the HkS optimum, since
+  the heaviest k-subgraph anchored at each of its own members is itself.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.graph.ilp import subset_weight
+from repro.graph.target_hks import HksSolution, solve_brute_force
+
+
+def peel_greedy_hks(weights: np.ndarray, k: int) -> HksSolution:
+    """Greedy peeling: drop the minimum-weighted-degree vertex until k left."""
+    weights = np.asarray(weights, dtype=float)
+    n = weights.shape[0]
+    if not (1 <= k <= n):
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    alive = list(range(n))
+    degrees = weights.sum(axis=1).astype(float)
+    while len(alive) > k:
+        position = int(np.argmin([degrees[v] for v in alive]))
+        removed = alive.pop(position)
+        for v in alive:
+            degrees[v] -= weights[v, removed]
+    subset = tuple(sorted(alive))
+    return HksSolution(
+        selected=subset,
+        weight=subset_weight(weights, subset),
+        algorithm="HkS_PeelGreedy",
+    )
+
+
+def solve_hks_via_targets(
+    weights: np.ndarray,
+    k: int,
+    target_solver: Callable[[np.ndarray, int, int], HksSolution] | None = None,
+) -> HksSolution:
+    """Solve HkS by anchoring TargetHkS at every vertex (§3.1 reduction).
+
+    With an exact ``target_solver`` this is exact; with the greedy solver
+    it becomes a strong multi-start heuristic.  Defaults to brute force,
+    which is exact but only suitable for small graphs.
+    """
+    weights = np.asarray(weights, dtype=float)
+    n = weights.shape[0]
+    if target_solver is None:
+        target_solver = lambda w, kk, t: solve_brute_force(w, kk, target=t)  # noqa: E731
+    best: HksSolution | None = None
+    for vertex in range(n):
+        candidate = target_solver(weights, k, vertex)
+        if best is None or candidate.weight > best.weight + 1e-12:
+            best = candidate
+    assert best is not None  # n >= 1 always yields one candidate
+    return HksSolution(
+        selected=best.selected,
+        weight=best.weight,
+        algorithm="HkS_via_TargetHkS",
+        proven_optimal=best.proven_optimal,
+    )

@@ -1,0 +1,84 @@
+"""Swap-based local search for TargetHkS.
+
+A light extension beyond the paper's greedy (Algorithm 2): starting from
+any feasible solution, repeatedly apply the best improving 1-swap
+(replace one non-target member with one outside vertex) until a local
+optimum.  Greedy + local search closes most of greedy's residual gap to
+the exact optimum at a cost of O(k * n) per pass — still far cheaper than
+branch and bound, and useful when the ILP's time limit is binding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.ilp import subset_weight
+from repro.graph.target_hks import HksSolution, solve_greedy
+
+
+def improve_by_swaps(
+    weights: np.ndarray,
+    solution: HksSolution,
+    target: int = 0,
+    max_passes: int = 50,
+) -> HksSolution:
+    """Apply best-improvement 1-swaps to ``solution`` until locally optimal.
+
+    The target vertex is never swapped out.  Each pass scans every
+    (member, outsider) pair; the best strictly-improving swap is applied.
+    Terminates after ``max_passes`` passes or at a local optimum.
+    """
+    weights = np.asarray(weights, dtype=float)
+    n = weights.shape[0]
+    if target not in solution.selected:
+        raise ValueError("solution must contain the target vertex")
+
+    chosen = list(solution.selected)
+    chosen_weight = subset_weight(weights, tuple(chosen))
+    outside = [v for v in range(n) if v not in set(chosen)]
+
+    for _ in range(max_passes):
+        best_gain = 1e-12
+        best_swap: tuple[int, int] | None = None
+        chosen_array = np.array(chosen)
+        # Contribution of each member to the current subgraph weight.
+        contributions = {
+            member: float(weights[member, chosen_array].sum()) for member in chosen
+        }
+        for member in chosen:
+            if member == target:
+                continue
+            removed_contribution = contributions[member]
+            for candidate in outside:
+                gain = (
+                    float(weights[candidate, chosen_array].sum())
+                    - float(weights[candidate, member])
+                    - removed_contribution
+                )
+                if gain > best_gain:
+                    best_gain = gain
+                    best_swap = (member, candidate)
+        if best_swap is None:
+            break
+        member, candidate = best_swap
+        chosen[chosen.index(member)] = candidate
+        outside[outside.index(candidate)] = member
+        chosen_weight += best_gain
+
+    return HksSolution(
+        selected=tuple(sorted(chosen)),
+        weight=subset_weight(weights, tuple(chosen)),
+        algorithm=f"{solution.algorithm}+LocalSearch",
+    )
+
+
+def solve_greedy_with_local_search(
+    weights: np.ndarray,
+    k: int,
+    target: int = 0,
+    max_passes: int = 50,
+) -> HksSolution:
+    """Algorithm 2 followed by 1-swap local search."""
+    return improve_by_swaps(
+        weights, solve_greedy(weights, k, target), target=target, max_passes=max_passes
+    )

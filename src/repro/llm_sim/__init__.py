@@ -1,0 +1,15 @@
+"""A simulated LLM-judge selection baseline (§4.6.2 made measurable).
+
+The paper argues that delegating comparative review selection to an LLM
+via pairwise "are these comparable?" judgments explodes combinatorially.
+This package turns that argument into a runnable experiment: a simulated
+judge (ROUGE-based similarity standing in for the LLM's comparability
+call, with optional noise standing in for hallucination) driving a
+pairwise-judgment selection loop whose *judgment budget* is measured, so
+cost and quality can be compared against CompaReSetS+ directly.
+"""
+
+from repro.llm_sim.judge import NoisyRougeJudge, PairwiseJudge
+from repro.llm_sim.selector import LlmJudgeSelector
+
+__all__ = ["LlmJudgeSelector", "NoisyRougeJudge", "PairwiseJudge"]

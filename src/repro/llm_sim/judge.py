@@ -1,0 +1,80 @@
+"""Pairwise comparability judges standing in for an LLM.
+
+An LLM asked "are these two reviews comparable?" effectively scores their
+topical overlap, with some probability of a confidently wrong answer
+(hallucination).  :class:`NoisyRougeJudge` models exactly that: ROUGE-L
+similarity as the signal plus seeded noise and a flip probability.  Every
+call is counted so the selection loop's judgment budget — the quantity
+§4.6.2's combinatorial argument is about — is observable.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.data.models import Review
+from repro.text.rouge import rouge_l
+
+
+@runtime_checkable
+class PairwiseJudge(Protocol):
+    """Scores the comparability of two reviews in [0, 1]."""
+
+    calls: int
+
+    def compare(self, first: Review, second: Review) -> float:
+        """Return a comparability score; higher means more comparable."""
+        ...
+
+
+class NoisyRougeJudge:
+    """ROUGE-L comparability with additive noise and hallucinated flips.
+
+    Parameters
+    ----------
+    noise_sd:
+        Standard deviation of Gaussian noise added to the ROUGE score.
+    flip_probability:
+        Chance of returning a uniformly random score instead — the
+        "confidently wrong" failure mode the paper's Fig. 12 illustrates.
+    seed:
+        Seed for the judge's private random stream.
+    """
+
+    def __init__(
+        self,
+        noise_sd: float = 0.05,
+        flip_probability: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if noise_sd < 0:
+            raise ValueError("noise_sd must be non-negative")
+        if not (0.0 <= flip_probability <= 1.0):
+            raise ValueError("flip_probability must be in [0, 1]")
+        self.noise_sd = noise_sd
+        self.flip_probability = flip_probability
+        self._rng = np.random.default_rng(seed)
+        self.calls = 0
+        self._cache: dict[tuple[str, str], float] = {}
+
+    def compare(self, first: Review, second: Review) -> float:
+        """Score one pair; repeated identical queries hit a cache.
+
+        Caching mirrors how a real system would memoise LLM calls; the
+        ``calls`` counter only counts cache misses (billable judgments).
+        """
+        key = (first.review_id, second.review_id)
+        if key[0] > key[1]:
+            key = (key[1], key[0])
+        if key in self._cache:
+            return self._cache[key]
+        self.calls += 1
+        if self._rng.random() < self.flip_probability:
+            score = float(self._rng.random())
+        else:
+            signal = rouge_l(first.text, second.text).f1
+            score = float(np.clip(signal + self._rng.normal(0.0, self.noise_sd), 0.0, 1.0))
+        self._cache[key] = score
+        return score

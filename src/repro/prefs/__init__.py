@@ -1,0 +1,14 @@
+"""Learned aspect-level preferences (the paper's §4.2.3 extension).
+
+The paper notes that the opinion vector need not come from raw mention
+counts: "we can also use other alternatives, such as learned aspect-level
+preference vectors from another model (e.g., EFM)".  This package
+implements that extension: a from-scratch Explicit Factor Model
+(Zhang et al., SIGIR 2014) fitted on the corpus's aspect-sentiment data,
+whose predicted item aspect-quality vectors plug into the selection
+pipeline as an alternative target opinion vector.
+"""
+
+from repro.prefs.efm import EfmConfig, EfmModel, efm_target_vector
+
+__all__ = ["EfmConfig", "EfmModel", "efm_target_vector"]

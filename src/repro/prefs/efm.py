@@ -1,0 +1,219 @@
+"""A from-scratch Explicit Factor Model (EFM, Zhang et al. SIGIR 2014).
+
+EFM couples three observed matrices through shared low-rank factors:
+
+* ``A`` (users x items) — star ratings;
+* ``X`` (users x aspects) — how much each user *attends to* each aspect
+  (here: how often they mention it);
+* ``Y`` (items x aspects) — each item's *quality* on each aspect (here:
+  the sentiment-weighted mention score, mapped to a positive scale).
+
+The factorisation  A ~ U1 @ U2.T,  X ~ U1 @ V.T,  Y ~ U2 @ V.T  with
+non-negative factors is fitted by multiplicative updates (Lee & Seung
+2001, extended to the coupled objective).  The reconstructed Y-hat fills
+in unobserved (item, aspect) qualities, which
+:func:`efm_target_vector` turns into an alternative target opinion
+vector for the selection pipeline (unary-scale semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.corpus import Corpus
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class EfmConfig:
+    """Hyper-parameters of the factorisation."""
+
+    num_factors: int = 8
+    iterations: int = 120
+    weight_ratings: float = 1.0
+    weight_attention: float = 1.0
+    weight_quality: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_factors < 1:
+            raise ValueError("num_factors must be >= 1")
+        if self.iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        for weight in (self.weight_ratings, self.weight_attention, self.weight_quality):
+            if weight < 0:
+                raise ValueError("weights must be non-negative")
+
+
+class EfmModel:
+    """Fitted EFM over one corpus; see the module docstring."""
+
+    def __init__(self, config: EfmConfig | None = None) -> None:
+        self.config = config or EfmConfig()
+        self._users: dict[str, int] = {}
+        self._items: dict[str, int] = {}
+        self._aspects: dict[str, int] = {}
+        self._user_factors: np.ndarray | None = None
+        self._item_factors: np.ndarray | None = None
+        self._aspect_factors: np.ndarray | None = None
+
+    # -- observed matrices -------------------------------------------------
+
+    def _build_matrices(self, corpus: Corpus) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        users = sorted({r.reviewer_id for r in corpus.reviews})
+        items = sorted({p.product_id for p in corpus.products})
+        aspects = corpus.aspect_vocabulary()
+        self._users = {u: i for i, u in enumerate(users)}
+        self._items = {p: i for i, p in enumerate(items)}
+        self._aspects = {a: i for i, a in enumerate(aspects)}
+
+        ratings = np.zeros((len(users), len(items)))
+        rating_counts = np.zeros_like(ratings)
+        attention = np.zeros((len(users), len(aspects)))
+        quality = np.zeros((len(items), len(aspects)))
+        quality_counts = np.zeros_like(quality)
+
+        for review in corpus.reviews:
+            u = self._users[review.reviewer_id]
+            p = self._items[review.product_id]
+            ratings[u, p] += review.rating
+            rating_counts[u, p] += 1
+            for aspect in review.aspects:
+                a = self._aspects[aspect]
+                attention[u, a] += 1.0
+                # Signed sentiment mapped to the positive 1..5 scale EFM uses.
+                signed = review.signed_strength_for(aspect)
+                quality[p, a] += 3.0 + 2.0 * float(np.tanh(signed))
+                quality_counts[p, a] += 1
+
+        with np.errstate(invalid="ignore", divide="ignore"):
+            ratings = np.where(rating_counts > 0, ratings / np.maximum(rating_counts, 1), 0.0)
+            quality = np.where(quality_counts > 0, quality / np.maximum(quality_counts, 1), 0.0)
+        attention = np.log1p(attention)
+        return ratings, attention, quality
+
+    # -- fitting ------------------------------------------------------------
+
+    def fit(self, corpus: Corpus) -> "EfmModel":
+        """Fit the coupled non-negative factorisation on ``corpus``."""
+        ratings, attention, quality = self._build_matrices(corpus)
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        k = config.num_factors
+        num_users, num_items = ratings.shape
+        num_aspects = attention.shape[1]
+
+        u1 = rng.uniform(0.1, 1.0, (num_users, k))
+        u2 = rng.uniform(0.1, 1.0, (num_items, k))
+        v = rng.uniform(0.1, 1.0, (num_aspects, k))
+
+        # Masks: only observed entries contribute to the objective.
+        mask_a = (ratings > 0).astype(float)
+        mask_x = (attention > 0).astype(float)
+        mask_y = (quality > 0).astype(float)
+        wa, wx, wy = config.weight_ratings, config.weight_attention, config.weight_quality
+
+        for _ in range(config.iterations):
+            # Multiplicative updates on the coupled masked objective.
+            numerator = wa * (mask_a * ratings) @ u2 + wx * (mask_x * attention) @ v
+            denominator = (
+                wa * (mask_a * (u1 @ u2.T)) @ u2
+                + wx * (mask_x * (u1 @ v.T)) @ v
+                + _EPS
+            )
+            u1 *= numerator / denominator
+
+            numerator = wa * (mask_a * ratings).T @ u1 + wy * (mask_y * quality) @ v
+            denominator = (
+                wa * (mask_a * (u1 @ u2.T)).T @ u1
+                + wy * (mask_y * (u2 @ v.T)) @ v
+                + _EPS
+            )
+            u2 *= numerator / denominator
+
+            numerator = wx * (mask_x * attention).T @ u1 + wy * (mask_y * quality).T @ u2
+            denominator = (
+                wx * (mask_x * (u1 @ v.T)).T @ u1
+                + wy * (mask_y * (u2 @ v.T)).T @ u2
+                + _EPS
+            )
+            v *= numerator / denominator
+
+        self._user_factors = u1
+        self._item_factors = u2
+        self._aspect_factors = v
+        return self
+
+    # -- queries -------------------------------------------------------------
+
+    def _require_fitted(self) -> None:
+        if self._item_factors is None:
+            raise RuntimeError("call fit() before querying the model")
+
+    @property
+    def aspects(self) -> list[str]:
+        """Aspect vocabulary in factor order."""
+        return list(self._aspects)
+
+    def item_aspect_quality(self, product_id: str) -> np.ndarray:
+        """Predicted quality of every aspect for ``product_id`` (>= 0)."""
+        self._require_fitted()
+        try:
+            index = self._items[product_id]
+        except KeyError:
+            raise KeyError(f"unknown product {product_id!r}") from None
+        return self._item_factors[index] @ self._aspect_factors.T
+
+    def user_aspect_attention(self, reviewer_id: str) -> np.ndarray:
+        """Predicted attention of ``reviewer_id`` over every aspect."""
+        self._require_fitted()
+        try:
+            index = self._users[reviewer_id]
+        except KeyError:
+            raise KeyError(f"unknown reviewer {reviewer_id!r}") from None
+        return self._user_factors[index] @ self._aspect_factors.T
+
+    def predict_rating(self, reviewer_id: str, product_id: str) -> float:
+        """Reconstructed rating, clipped to the 1..5 star range."""
+        self._require_fitted()
+        u = self._users.get(reviewer_id)
+        p = self._items.get(product_id)
+        if u is None or p is None:
+            raise KeyError("unknown reviewer or product")
+        value = float(self._user_factors[u] @ self._item_factors[p])
+        return float(np.clip(value, 1.0, 5.0))
+
+    def reconstruction_error(self, corpus: Corpus) -> float:
+        """Masked RMSE of the rating reconstruction on ``corpus``."""
+        self._require_fitted()
+        errors = []
+        for review in corpus.reviews:
+            errors.append(
+                (self.predict_rating(review.reviewer_id, review.product_id) - review.rating)
+                ** 2
+            )
+        return float(np.sqrt(np.mean(errors))) if errors else 0.0
+
+
+def efm_target_vector(
+    model: EfmModel, product_id: str, aspect_order: list[str]
+) -> np.ndarray:
+    """An EFM-derived target opinion vector over ``aspect_order``.
+
+    Predicted qualities (a 1..5-ish scale) are squashed to (0, 1) with the
+    same sigmoid convention as the unary opinion scheme, so the vector is
+    directly comparable to ``VectorSpace(..., UNARY_SCALE)`` opinion
+    vectors; aspects unknown to the model get 0.
+    """
+    quality = model.item_aspect_quality(product_id)
+    index = {aspect: i for i, aspect in enumerate(model.aspects)}
+    target = np.zeros(len(aspect_order))
+    for position, aspect in enumerate(aspect_order):
+        model_index = index.get(aspect)
+        if model_index is not None:
+            centred = quality[model_index] - 3.0  # neutral quality -> 0
+            target[position] = 1.0 / (1.0 + np.exp(-centred))
+    return target

@@ -1,0 +1,34 @@
+"""NLP substrate: tokenisation, stemming, lexicons, aspect/sentiment mining, ROUGE.
+
+The paper treats aspect-opinion annotations "as given", produced upstream by a
+frequency-based pipeline (Gao et al. 2019 via Le & Lauw 2021).  This package
+implements that upstream pipeline from scratch so the reproduction is
+self-contained:
+
+* :mod:`repro.text.tokenize` — word/sentence tokenisation and n-grams.
+* :mod:`repro.text.stemmer` — a from-scratch Porter stemmer.
+* :mod:`repro.text.stopwords` — English stopword list.
+* :mod:`repro.text.lexicon` — positive/negative opinion lexicon with negation.
+* :mod:`repro.text.aspects` — frequent-term aspect mining with rating
+  correlation filtering (top-2000 -> top-500 recipe from the paper).
+* :mod:`repro.text.sentiment` — window-based (aspect, opinion) extraction.
+* :mod:`repro.text.rouge` — ROUGE-1/2/L F1 scores (Lin 2003).
+"""
+
+from repro.text.rouge import RougeScore, rouge_1, rouge_2, rouge_l, rouge_n, rouge_scores
+from repro.text.stemmer import PorterStemmer, stem
+from repro.text.tokenize import ngrams, sentences, tokenize
+
+__all__ = [
+    "PorterStemmer",
+    "RougeScore",
+    "ngrams",
+    "rouge_1",
+    "rouge_2",
+    "rouge_l",
+    "rouge_n",
+    "rouge_scores",
+    "sentences",
+    "stem",
+    "tokenize",
+]

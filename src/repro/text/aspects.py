@@ -1,0 +1,154 @@
+"""Frequency-based aspect extraction with rating-correlation filtering.
+
+Implements the recipe the paper's sentiment data came from (§4.1.1, after
+Gao et al. 2019 / Le & Lauw 2021): take the most frequently mentioned
+candidate terms in the review corpus (the paper uses top-2000 concepts),
+rank them by the correlation of their occurrence with star ratings, and
+keep the top-k (the paper keeps 500).  Candidates are stemmed, stopword-
+and opinion-word-filtered content tokens.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.data.models import Review
+from repro.text.lexicon import is_opinion_word
+from repro.text.stemmer import stem
+from repro.text.stopwords import is_stopword
+from repro.text.tokenize import tokenize
+
+
+@dataclass(frozen=True, slots=True)
+class AspectTerm:
+    """One mined aspect: canonical stem, most frequent surface form, stats."""
+
+    stem: str
+    surface: str
+    document_frequency: int
+    rating_correlation: float
+
+
+@dataclass(frozen=True, slots=True)
+class AspectVocabulary:
+    """The mined aspect list, ordered by |rating correlation| descending."""
+
+    terms: tuple[AspectTerm, ...]
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __contains__(self, token: str) -> bool:
+        return stem(token) in self.stems
+
+    @property
+    def stems(self) -> frozenset[str]:
+        return frozenset(term.stem for term in self.terms)
+
+    def surface_of(self, aspect_stem: str) -> str:
+        """Most frequent surface form of ``aspect_stem`` (KeyError if absent)."""
+        for term in self.terms:
+            if term.stem == aspect_stem:
+                return term.surface
+        raise KeyError(aspect_stem)
+
+
+def candidate_tokens(text: str) -> list[str]:
+    """Stemmed content tokens of ``text``: no stopwords, no opinion words.
+
+    Opinion words are excluded so "great" never becomes an aspect; they are
+    consumed by the sentiment extractor instead.
+    """
+    return [
+        stem(token)
+        for token in tokenize(text)
+        if not is_stopword(token) and not is_opinion_word(token) and not token.isdigit()
+    ]
+
+
+def _pearson(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation, 0.0 when either side is constant."""
+    if x.std() == 0 or y.std() == 0:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def mine_aspects(
+    reviews: Iterable[Review],
+    candidate_pool: int = 2000,
+    keep: int = 500,
+    min_document_frequency: int = 2,
+    concept_filter: frozenset[str] | set[str] | None = None,
+) -> AspectVocabulary:
+    """Mine an aspect vocabulary from ``reviews``.
+
+    Parameters mirror the paper's recipe: ``candidate_pool`` most frequent
+    terms are ranked by absolute rating correlation and the top ``keep``
+    survive.  ``min_document_frequency`` removes hapax noise before pooling.
+
+    ``concept_filter``, when given, restricts candidates to the supplied
+    stems — the analogue of the paper restricting candidates to Microsoft
+    Concepts, which keeps sentiment-correlated function words (adverbs,
+    template verbs) out of the aspect list.
+    """
+    reviews = list(reviews)
+    if not reviews:
+        return AspectVocabulary(terms=())
+
+    document_frequency: Counter[str] = Counter()
+    surface_counts: dict[str, Counter[str]] = {}
+    presence_rows: list[set[str]] = []
+    ratings = np.array([review.rating for review in reviews], dtype=float)
+
+    for review in reviews:
+        raw_tokens = [
+            token
+            for token in tokenize(review.text)
+            if not is_stopword(token) and not is_opinion_word(token) and not token.isdigit()
+        ]
+        stems_here: set[str] = set()
+        for token in raw_tokens:
+            stemmed = stem(token)
+            stems_here.add(stemmed)
+            surface_counts.setdefault(stemmed, Counter())[token] += 1
+        presence_rows.append(stems_here)
+        document_frequency.update(stems_here)
+
+    pooled = [
+        term
+        for term, frequency in document_frequency.most_common()
+        if frequency >= min_document_frequency
+        and (concept_filter is None or term in concept_filter)
+    ][:candidate_pool]
+
+    scored: list[AspectTerm] = []
+    for term in pooled:
+        presence = np.array(
+            [1.0 if term in row else 0.0 for row in presence_rows], dtype=float
+        )
+        correlation = _pearson(presence, ratings)
+        surface = surface_counts[term].most_common(1)[0][0]
+        scored.append(
+            AspectTerm(
+                stem=term,
+                surface=surface,
+                document_frequency=document_frequency[term],
+                rating_correlation=correlation,
+            )
+        )
+
+    scored.sort(key=lambda t: (-abs(t.rating_correlation), -t.document_frequency, t.stem))
+    return AspectVocabulary(terms=tuple(scored[:keep]))
+
+
+def aspect_index(vocabulary: AspectVocabulary | Sequence[str]) -> dict[str, int]:
+    """Stable stem -> position mapping for vectorisation."""
+    if isinstance(vocabulary, AspectVocabulary):
+        stems = [term.stem for term in vocabulary.terms]
+    else:
+        stems = list(vocabulary)
+    return {stemmed: position for position, stemmed in enumerate(stems)}

@@ -1,0 +1,90 @@
+"""Opinion lexicon: positive/negative words, intensifiers, and negation.
+
+A compact Hu & Liu (2004)-style lexicon sized for product-review English.
+The sentiment extractor (:mod:`repro.text.sentiment`) scores each opinion
+word +1/-1, flips the sign under a preceding negation within a short
+window, and scales by intensifiers.
+"""
+
+from __future__ import annotations
+
+POSITIVE_WORDS: frozenset[str] = frozenset(
+    """
+    amazing awesome beautiful best better bright brilliant charming cheap
+    classy clean clear comfortable comfy compact convenient cool crisp cute
+    decent delightful dependable durable easy effective efficient elegant
+    enjoyable excellent exceptional fantastic fast favorite fine flawless
+    flexible fun functional generous gentle good gorgeous great handy happy
+    healthy helpful ideal impressive incredible inexpensive innovative
+    intuitive lightweight love loved lovely loyal marvelous neat nice
+    outstanding perfect pleasant pleased portable powerful precise premium
+    pretty quick quiet recommend recommended reliable responsive rich robust
+    satisfied secure sharp shiny silky simple sleek smart smooth soft solid
+    speedy splendid stable strong stunning sturdy stylish superb superior
+    supportive sweet terrific thrilled tough trustworthy useful valuable
+    versatile vibrant vivid warm wonderful worth worthy
+    """.split()
+)
+
+NEGATIVE_WORDS: frozenset[str] = frozenset(
+    """
+    annoying awful bad broke broken bulky cheaply clumsy coarse costly
+    cracked crappy cumbersome damaged dead defective dim disappointed
+    disappointing dull expensive faded fail failed fails faulty feeble
+    flawed flimsy fragile frustrating garbage glitchy grainy gross hard
+    harsh hate hated heavy horrible impossible inaccurate inconsistent
+    inconvenient inferior junk lag laggy lame leaked leaking loose loud lousy
+    mediocre messy misleading noisy overpriced painful pathetic poor poorly
+    problem problems regret return returned rough sad scratched shoddy slow
+    sloppy stiff stopped struggle stuck terrible tight tiny trouble ugly
+    unacceptable uncomfortable unhappy unreliable unresponsive unstable
+    unusable useless waste weak worse worst wrong
+    """.split()
+)
+
+NEGATION_WORDS: frozenset[str] = frozenset(
+    """
+    not no never neither nor none nothing hardly barely scarcely without
+    n't cannot can't won't don't doesn't didn't isn't aren't wasn't weren't
+    """.split()
+)
+
+INTENSIFIERS: dict[str, float] = {
+    "very": 1.5,
+    "really": 1.5,
+    "extremely": 2.0,
+    "incredibly": 2.0,
+    "absolutely": 2.0,
+    "super": 1.5,
+    "so": 1.3,
+    "quite": 1.2,
+    "pretty": 1.2,
+    "somewhat": 0.7,
+    "slightly": 0.5,
+    "a-little": 0.5,
+}
+
+
+def polarity(token: str) -> int:
+    """Return +1 for a positive opinion word, -1 for negative, 0 otherwise."""
+    token = token.lower()
+    if token in POSITIVE_WORDS:
+        return 1
+    if token in NEGATIVE_WORDS:
+        return -1
+    return 0
+
+
+def is_opinion_word(token: str) -> bool:
+    """Return True if ``token`` carries sentiment polarity."""
+    return polarity(token) != 0
+
+
+def is_negation(token: str) -> bool:
+    """Return True if ``token`` negates a following opinion."""
+    return token.lower() in NEGATION_WORDS
+
+
+def intensity(token: str) -> float:
+    """Return the multiplicative strength of an intensifier (1.0 if none)."""
+    return INTENSIFIERS.get(token.lower(), 1.0)

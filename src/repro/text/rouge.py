@@ -1,0 +1,170 @@
+"""ROUGE metrics implemented from scratch (Lin & Hovy 2003).
+
+The paper evaluates review alignment with F1 of ROUGE-1 (unigrams),
+ROUGE-2 (bigrams), and ROUGE-L (longest common subsequence), averaged over
+pairs of selected reviews coming from different items.  Scores are in
+[0, 1]; the paper's tables report them multiplied by 100.
+
+ROUGE-N here uses clipped n-gram counts (each reference n-gram can be
+matched at most as many times as it occurs), matching the standard
+single-reference ROUGE definition.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.text.tokenize import ngrams, tokenize
+
+
+@dataclass(frozen=True, slots=True)
+class RougeScore:
+    """Precision/recall/F1 triple for one ROUGE variant."""
+
+    precision: float
+    recall: float
+    f1: float
+
+    @staticmethod
+    def from_counts(matches: float, candidate_total: float, reference_total: float) -> "RougeScore":
+        """Build a score from match and total counts, guarding zero division."""
+        precision = matches / candidate_total if candidate_total > 0 else 0.0
+        recall = matches / reference_total if reference_total > 0 else 0.0
+        if precision + recall == 0:
+            return RougeScore(0.0, 0.0, 0.0)
+        f1 = 2 * precision * recall / (precision + recall)
+        return RougeScore(precision, recall, f1)
+
+
+def _as_tokens(text_or_tokens: str | Sequence[str]) -> list[str]:
+    if isinstance(text_or_tokens, str):
+        return tokenize(text_or_tokens)
+    return list(text_or_tokens)
+
+
+def rouge_n(candidate: str | Sequence[str], reference: str | Sequence[str], n: int) -> RougeScore:
+    """ROUGE-N between a candidate and a reference text (or token lists)."""
+    candidate_tokens = _as_tokens(candidate)
+    reference_tokens = _as_tokens(reference)
+    candidate_counts = Counter(ngrams(candidate_tokens, n))
+    reference_counts = Counter(ngrams(reference_tokens, n))
+    matches = sum(
+        min(count, reference_counts[gram]) for gram, count in candidate_counts.items()
+    )
+    return RougeScore.from_counts(
+        matches,
+        candidate_total=sum(candidate_counts.values()),
+        reference_total=sum(reference_counts.values()),
+    )
+
+
+def rouge_1(candidate: str | Sequence[str], reference: str | Sequence[str]) -> RougeScore:
+    """ROUGE-1 (unigram overlap)."""
+    return rouge_n(candidate, reference, 1)
+
+
+def rouge_2(candidate: str | Sequence[str], reference: str | Sequence[str]) -> RougeScore:
+    """ROUGE-2 (bigram overlap)."""
+    return rouge_n(candidate, reference, 2)
+
+
+def _lcs_length(a: Sequence[str], b: Sequence[str]) -> int:
+    """Length of the longest common subsequence (O(len(a)*len(b)) DP)."""
+    if not a or not b:
+        return 0
+    # Keep the shorter sequence as the inner row to bound memory.
+    if len(b) > len(a):
+        a, b = b, a
+    previous = [0] * (len(b) + 1)
+    for token_a in a:
+        current = [0]
+        for j, token_b in enumerate(b, start=1):
+            if token_a == token_b:
+                current.append(previous[j - 1] + 1)
+            else:
+                current.append(max(previous[j], current[j - 1]))
+        previous = current
+    return previous[-1]
+
+
+def rouge_l(candidate: str | Sequence[str], reference: str | Sequence[str]) -> RougeScore:
+    """ROUGE-L (longest common subsequence F1)."""
+    candidate_tokens = _as_tokens(candidate)
+    reference_tokens = _as_tokens(reference)
+    lcs = _lcs_length(candidate_tokens, reference_tokens)
+    return RougeScore.from_counts(
+        lcs,
+        candidate_total=len(candidate_tokens),
+        reference_total=len(reference_tokens),
+    )
+
+
+def rouge_l_summary(
+    candidate_sentences: Sequence[str | Sequence[str]],
+    reference_sentences: Sequence[str | Sequence[str]],
+) -> RougeScore:
+    """Summary-level ROUGE-L (Lin 2004, §3.2).
+
+    For each reference sentence, take the *union* of its LCS matches
+    against every candidate sentence (each reference token can match at
+    most once), then score the union size against the total candidate and
+    reference lengths.  Used when comparing multi-review selections as
+    whole summaries rather than pairwise.
+    """
+    candidate_tokens = [_as_tokens(s) for s in candidate_sentences]
+    reference_tokens = [_as_tokens(s) for s in reference_sentences]
+    total_union = 0
+    for reference in reference_tokens:
+        matched = [False] * len(reference)
+        for candidate in candidate_tokens:
+            for position in _lcs_positions(reference, candidate):
+                matched[position] = True
+        total_union += sum(matched)
+    candidate_total = sum(len(tokens) for tokens in candidate_tokens)
+    reference_total = sum(len(tokens) for tokens in reference_tokens)
+    return RougeScore.from_counts(total_union, candidate_total, reference_total)
+
+
+def _lcs_positions(reference: Sequence[str], candidate: Sequence[str]) -> list[int]:
+    """Indices of ``reference`` tokens participating in one LCS backtrace."""
+    n, m = len(reference), len(candidate)
+    if n == 0 or m == 0:
+        return []
+    table = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(1, n + 1):
+        row = table[i]
+        previous = table[i - 1]
+        token = reference[i - 1]
+        for j in range(1, m + 1):
+            if token == candidate[j - 1]:
+                row[j] = previous[j - 1] + 1
+            else:
+                row[j] = max(previous[j], row[j - 1])
+    positions: list[int] = []
+    i, j = n, m
+    while i > 0 and j > 0:
+        if reference[i - 1] == candidate[j - 1]:
+            positions.append(i - 1)
+            i -= 1
+            j -= 1
+        elif table[i - 1][j] >= table[i][j - 1]:
+            i -= 1
+        else:
+            j -= 1
+    return positions
+
+
+def rouge_scores(candidate: str | Sequence[str], reference: str | Sequence[str]) -> dict[str, RougeScore]:
+    """All three variants at once, keyed 'rouge-1', 'rouge-2', 'rouge-l'.
+
+    Tokenises once and reuses the token lists across variants.
+    """
+    candidate_tokens = _as_tokens(candidate)
+    reference_tokens = _as_tokens(reference)
+    return {
+        "rouge-1": rouge_n(candidate_tokens, reference_tokens, 1),
+        "rouge-2": rouge_n(candidate_tokens, reference_tokens, 2),
+        "rouge-l": rouge_l(candidate_tokens, reference_tokens),
+    }

@@ -1,0 +1,165 @@
+"""Window-based aspect-opinion extraction from review text.
+
+For each sentence, locate aspect terms (stems in the vocabulary) and
+opinion words (lexicon).  Each opinion word is attributed to the nearest
+aspect term within a token window; a negation token shortly before the
+opinion flips its sign and an intensifier scales its strength.  Aspects
+with no attributed opinion become *neutral* mentions (sentiment 0), which
+feed the 3-polarity opinion scheme.
+
+The output plugs straight into :class:`repro.data.models.Review.mentions`,
+so the whole selection pipeline can run off raw text alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from collections.abc import Iterable, Sequence
+
+from repro.data.corpus import Corpus
+from repro.data.models import AspectMention, Review
+from repro.text.aspects import AspectVocabulary
+from repro.text.lexicon import intensity, is_negation, polarity
+from repro.text.stemmer import stem
+from repro.text.tokenize import sentences, tokenize
+
+
+@dataclass(frozen=True, slots=True)
+class ExtractionConfig:
+    """Tuning knobs for the extractor."""
+
+    attribution_window: int = 5
+    negation_window: int = 3
+
+    def __post_init__(self) -> None:
+        if self.attribution_window < 1:
+            raise ValueError("attribution_window must be >= 1")
+        if self.negation_window < 0:
+            raise ValueError("negation_window must be >= 0")
+
+
+def _signed_opinion(tokens: Sequence[str], position: int, config: ExtractionConfig) -> float:
+    """Signed strength of the opinion word at ``position`` in ``tokens``."""
+    sign = polarity(tokens[position])
+    strength = 1.0
+    start = max(0, position - config.negation_window)
+    for offset in range(start, position):
+        if is_negation(tokens[offset]):
+            sign = -sign
+        strength *= intensity(tokens[offset])
+    return sign * strength
+
+
+def extract_mentions(
+    text: str,
+    vocabulary: AspectVocabulary,
+    config: ExtractionConfig | None = None,
+) -> tuple[AspectMention, ...]:
+    """Extract (aspect, opinion) mentions from raw ``text``.
+
+    Returns one mention per (aspect, sentence) pairing, aggregated to one
+    mention per aspect across the review: the summed signed strength sets
+    the sentiment sign (0 -> neutral mention).
+    """
+    config = config or ExtractionConfig()
+    aspect_stems = vocabulary.stems
+    totals: dict[str, float] = {}
+    seen: set[str] = set()
+
+    for sentence in sentences(text):
+        tokens = tokenize(sentence)
+        stems_in_sentence = [stem(token) for token in tokens]
+        aspect_positions = [
+            (index, stemmed)
+            for index, stemmed in enumerate(stems_in_sentence)
+            if stemmed in aspect_stems
+        ]
+        if not aspect_positions:
+            continue
+        for _, stemmed in aspect_positions:
+            seen.add(stemmed)
+        opinion_positions = [
+            index for index, token in enumerate(tokens) if polarity(token) != 0
+        ]
+        for opinion_position in opinion_positions:
+            nearest = min(
+                aspect_positions,
+                key=lambda pair: abs(pair[0] - opinion_position),
+            )
+            if abs(nearest[0] - opinion_position) > config.attribution_window:
+                continue
+            signed = _signed_opinion(tokens, opinion_position, config)
+            totals[nearest[1]] = totals.get(nearest[1], 0.0) + signed
+
+    mentions: list[AspectMention] = []
+    for aspect in sorted(seen):
+        total = totals.get(aspect, 0.0)
+        if total > 0:
+            mentions.append(AspectMention(aspect=aspect, sentiment=1, strength=abs(total)))
+        elif total < 0:
+            mentions.append(AspectMention(aspect=aspect, sentiment=-1, strength=abs(total)))
+        else:
+            mentions.append(AspectMention(aspect=aspect, sentiment=0, strength=1.0))
+    return tuple(mentions)
+
+
+def annotate_review(
+    review: Review,
+    vocabulary: AspectVocabulary,
+    config: ExtractionConfig | None = None,
+) -> Review:
+    """Return a copy of ``review`` with mentions extracted from its text."""
+    return replace(review, mentions=extract_mentions(review.text, vocabulary, config))
+
+
+def annotate_corpus(
+    corpus: Corpus,
+    vocabulary: AspectVocabulary,
+    config: ExtractionConfig | None = None,
+) -> Corpus:
+    """Re-annotate every review in ``corpus`` from raw text.
+
+    Useful both for running the pipeline on external data that has no
+    annotations, and for integration-testing the extractor against the
+    synthetic generator's ground truth.
+    """
+    annotated = [
+        annotate_review(review, vocabulary, config) for review in corpus.reviews
+    ]
+    return Corpus(name=corpus.name, products=corpus.products, reviews=annotated)
+
+
+def agreement_with_ground_truth(
+    annotated: Iterable[Review],
+    ground_truth: Iterable[Review],
+    aliases: dict[str, str] | None = None,
+) -> float:
+    """Fraction of ground-truth signed mentions recovered by the extractor.
+
+    A ground-truth mention counts as recovered when the annotated review
+    contains the same aspect (compared by stem, since the extractor emits
+    stemmed aspects) with the same sentiment sign.  Reviews are paired by
+    ``review_id``.
+
+    ``aliases`` maps extracted surface stems to canonical aspect names —
+    needed when the text renders aspects through synonyms (e.g. "charge"
+    for battery); see
+    :func:`repro.data.synthetic.surface_stem_aliases`.
+    """
+    aliases = aliases or {}
+    truth_by_id = {review.review_id: review for review in ground_truth}
+    matched = 0
+    total = 0
+    for review in annotated:
+        truth = truth_by_id.get(review.review_id)
+        if truth is None:
+            continue
+        extracted = {
+            (stem(aliases.get(m.aspect, m.aspect)), m.sentiment)
+            for m in review.mentions
+        }
+        for mention in truth.mentions:
+            total += 1
+            if (stem(mention.aspect), mention.sentiment) in extracted:
+                matched += 1
+    return matched / total if total else 0.0

@@ -1,0 +1,185 @@
+"""A from-scratch implementation of the Porter stemming algorithm.
+
+Porter, M.F. (1980) "An algorithm for suffix stripping", Program 14(3).
+The implementation follows the original five-step description; it is used
+by the aspect-mining pipeline to conflate surface variants ("batteries" ->
+"batteri", "charging"/"charged" -> "charg") before frequency counting.
+"""
+
+from __future__ import annotations
+
+_VOWELS = "aeiou"
+
+
+def _is_consonant(word: str, index: int) -> bool:
+    """Return True if ``word[index]`` acts as a consonant (Porter's defn)."""
+    char = word[index]
+    if char in _VOWELS:
+        return False
+    if char == "y":
+        return index == 0 or not _is_consonant(word, index - 1)
+    return True
+
+
+def _measure(stem: str) -> int:
+    """Porter's measure m: the number of VC sequences in ``stem``."""
+    count = 0
+    previous_was_vowel = False
+    for index in range(len(stem)):
+        consonant = _is_consonant(stem, index)
+        if consonant and previous_was_vowel:
+            count += 1
+        previous_was_vowel = not consonant
+    return count
+
+
+def _contains_vowel(stem: str) -> bool:
+    return any(not _is_consonant(stem, i) for i in range(len(stem)))
+
+
+def _ends_double_consonant(word: str) -> bool:
+    return (
+        len(word) >= 2
+        and word[-1] == word[-2]
+        and _is_consonant(word, len(word) - 1)
+    )
+
+
+def _ends_cvc(word: str) -> bool:
+    """True if the word ends consonant-vowel-consonant, last not w/x/y."""
+    if len(word) < 3:
+        return False
+    return (
+        _is_consonant(word, len(word) - 3)
+        and not _is_consonant(word, len(word) - 2)
+        and _is_consonant(word, len(word) - 1)
+        and word[-1] not in "wxy"
+    )
+
+
+class PorterStemmer:
+    """Stateless Porter stemmer; use :meth:`stem` or the module-level alias."""
+
+    def stem(self, word: str) -> str:
+        """Return the Porter stem of ``word`` (lowercased)."""
+        word = word.lower()
+        if len(word) <= 2:
+            return word
+        word = self._step_1a(word)
+        word = self._step_1b(word)
+        word = self._step_1c(word)
+        word = self._step_2(word)
+        word = self._step_3(word)
+        word = self._step_4(word)
+        word = self._step_5a(word)
+        word = self._step_5b(word)
+        return word
+
+    @staticmethod
+    def _step_1a(word: str) -> str:
+        if word.endswith("sses"):
+            return word[:-2]
+        if word.endswith("ies"):
+            return word[:-2]
+        if word.endswith("ss"):
+            return word
+        if word.endswith("s"):
+            return word[:-1]
+        return word
+
+    def _step_1b(self, word: str) -> str:
+        if word.endswith("eed"):
+            if _measure(word[:-3]) > 0:
+                return word[:-1]
+            return word
+        flag = False
+        if word.endswith("ed") and _contains_vowel(word[:-2]):
+            word = word[:-2]
+            flag = True
+        elif word.endswith("ing") and _contains_vowel(word[:-3]):
+            word = word[:-3]
+            flag = True
+        if flag:
+            if word.endswith(("at", "bl", "iz")):
+                return word + "e"
+            if _ends_double_consonant(word) and word[-1] not in "lsz":
+                return word[:-1]
+            if _measure(word) == 1 and _ends_cvc(word):
+                return word + "e"
+        return word
+
+    @staticmethod
+    def _step_1c(word: str) -> str:
+        if word.endswith("y") and _contains_vowel(word[:-1]):
+            return word[:-1] + "i"
+        return word
+
+    _STEP2_SUFFIXES = (
+        ("ational", "ate"), ("tional", "tion"), ("enci", "ence"), ("anci", "ance"),
+        ("izer", "ize"), ("abli", "able"), ("alli", "al"), ("entli", "ent"),
+        ("eli", "e"), ("ousli", "ous"), ("ization", "ize"), ("ation", "ate"),
+        ("ator", "ate"), ("alism", "al"), ("iveness", "ive"), ("fulness", "ful"),
+        ("ousness", "ous"), ("aliti", "al"), ("iviti", "ive"), ("biliti", "ble"),
+    )
+
+    def _step_2(self, word: str) -> str:
+        return self._replace_longest(word, self._STEP2_SUFFIXES, min_measure=1)
+
+    _STEP3_SUFFIXES = (
+        ("icate", "ic"), ("ative", ""), ("alize", "al"), ("iciti", "ic"),
+        ("ical", "ic"), ("ful", ""), ("ness", ""),
+    )
+
+    def _step_3(self, word: str) -> str:
+        return self._replace_longest(word, self._STEP3_SUFFIXES, min_measure=1)
+
+    _STEP4_SUFFIXES = (
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+        "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+    )
+
+    def _step_4(self, word: str) -> str:
+        for suffix in sorted(self._STEP4_SUFFIXES, key=len, reverse=True):
+            if word.endswith(suffix):
+                stem = word[: -len(suffix)]
+                if _measure(stem) > 1:
+                    return stem
+                return word
+        if word.endswith("ion") and _measure(word[:-3]) > 1 and word[-4] in "st":
+            return word[:-3]
+        return word
+
+    @staticmethod
+    def _step_5a(word: str) -> str:
+        if word.endswith("e"):
+            stem = word[:-1]
+            m = _measure(stem)
+            if m > 1 or (m == 1 and not _ends_cvc(stem)):
+                return stem
+        return word
+
+    @staticmethod
+    def _step_5b(word: str) -> str:
+        if _measure(word) > 1 and _ends_double_consonant(word) and word.endswith("l"):
+            return word[:-1]
+        return word
+
+    @staticmethod
+    def _replace_longest(
+        word: str, suffixes: tuple[tuple[str, str], ...], min_measure: int
+    ) -> str:
+        for suffix, replacement in sorted(suffixes, key=lambda pair: len(pair[0]), reverse=True):
+            if word.endswith(suffix):
+                stem = word[: -len(suffix)]
+                if _measure(stem) >= min_measure:
+                    return stem + replacement
+                return word
+        return word
+
+
+_DEFAULT_STEMMER = PorterStemmer()
+
+
+def stem(word: str) -> str:
+    """Stem ``word`` with a shared :class:`PorterStemmer` instance."""
+    return _DEFAULT_STEMMER.stem(word)

@@ -1,0 +1,83 @@
+"""Word and sentence tokenisation utilities.
+
+The tokeniser is intentionally simple and deterministic: lowercasing,
+alphanumeric word extraction with intra-word apostrophes and hyphens
+preserved ("don't", "glow-in-the-dark"), and a regex sentence splitter that
+respects common abbreviations.  Review text in e-commerce corpora is noisy,
+so robustness (never raising on arbitrary input) matters more than
+linguistic perfection here.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable, Iterator, Sequence
+
+_WORD_RE = re.compile(r"[a-z0-9]+(?:['\-][a-z0-9]+)*")
+
+# Common abbreviations that should not terminate a sentence.
+_ABBREVIATIONS = frozenset(
+    {"mr", "mrs", "ms", "dr", "prof", "sr", "jr", "st", "vs", "etc", "e.g", "i.e", "inc", "ltd", "fig", "no"}
+)
+
+_SENTENCE_BOUNDARY_RE = re.compile(r"(?<=[.!?])\s+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Split ``text`` into lowercase word tokens.
+
+    >>> tokenize("The battery-life is GREAT, isn't it?")
+    ['the', 'battery-life', 'is', 'great', "isn't", 'it']
+    """
+    return _WORD_RE.findall(text.lower())
+
+
+def sentences(text: str) -> list[str]:
+    """Split ``text`` into sentences on ``.!?`` boundaries.
+
+    Splits conservatively: a period following a known abbreviation or a
+    single letter (initials) does not end a sentence.  Empty fragments are
+    dropped.
+
+    >>> sentences("Great phone. Battery lasts two days!")
+    ['Great phone.', 'Battery lasts two days!']
+    """
+    pieces = _SENTENCE_BOUNDARY_RE.split(text.strip())
+    merged: list[str] = []
+    for piece in pieces:
+        piece = piece.strip()
+        if not piece:
+            continue
+        if merged and _ends_with_abbreviation(merged[-1]):
+            merged[-1] = merged[-1] + " " + piece
+        else:
+            merged.append(piece)
+    return merged
+
+
+def _ends_with_abbreviation(fragment: str) -> bool:
+    """Return True if ``fragment`` ends in an abbreviation-like token."""
+    if not fragment.endswith("."):
+        return False
+    last = fragment[:-1].rsplit(None, 1)[-1].lower() if fragment[:-1].split() else ""
+    return last in _ABBREVIATIONS or (len(last) == 1 and last.isalpha())
+
+
+def ngrams(tokens: Sequence[str], n: int) -> Iterator[tuple[str, ...]]:
+    """Yield the ``n``-grams of ``tokens`` in order.
+
+    >>> list(ngrams(["a", "b", "c"], 2))
+    [('a', 'b'), ('b', 'c')]
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    for start in range(len(tokens) - n + 1):
+        yield tuple(tokens[start : start + n])
+
+
+def vocabulary(token_lists: Iterable[Sequence[str]]) -> set[str]:
+    """Return the set of distinct tokens across all token lists."""
+    vocab: set[str] = set()
+    for tokens in token_lists:
+        vocab.update(tokens)
+    return vocab

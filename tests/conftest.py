@@ -1,0 +1,90 @@
+"""Shared fixtures: small deterministic corpora, instances, configs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import SelectionConfig
+from repro.data.corpus import Corpus
+from repro.data.instances import ComparisonInstance, build_instances
+from repro.data.models import AspectMention, Product, Review
+from repro.data.synthetic import generate_corpus
+
+
+def make_review(
+    review_id: str,
+    product_id: str,
+    mentions: list[tuple[str, int]],
+    rating: float = 4.0,
+    text: str | None = None,
+    reviewer: str = "U0",
+) -> Review:
+    """Terse review builder for hand-crafted test scenarios."""
+    if text is None:
+        text = " ".join(f"The {aspect} is discussed." for aspect, _ in mentions) or "Nothing."
+    return Review(
+        review_id=review_id,
+        product_id=product_id,
+        reviewer_id=reviewer,
+        rating=rating,
+        text=text,
+        mentions=tuple(
+            AspectMention(aspect=aspect, sentiment=sentiment) for aspect, sentiment in mentions
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def cellphone_corpus() -> Corpus:
+    """A small synthetic Cellphone corpus (session-cached for speed)."""
+    return generate_corpus("Cellphone", scale=0.35, seed=7)
+
+
+@pytest.fixture(scope="session")
+def instances(cellphone_corpus) -> list[ComparisonInstance]:
+    """A handful of comparison instances from the shared corpus."""
+    return list(
+        build_instances(
+            cellphone_corpus, max_instances=6, max_comparisons=5, min_reviews=3
+        )
+    )
+
+
+@pytest.fixture()
+def instance(instances) -> ComparisonInstance:
+    return instances[0]
+
+
+@pytest.fixture()
+def config() -> SelectionConfig:
+    return SelectionConfig(max_reviews=3, lam=1.0, mu=0.1)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)
+
+
+@pytest.fixture()
+def paper_example_instance() -> ComparisonInstance:
+    """The spirit of the paper's Working Example 1 (Fig. 2a), item p_1.
+
+    R_1 has 7 reviews over aspects {battery, lens, quality}: aspect counts
+    {6, 4, 4} and opinion counts battery(+2, -4), lens(+2, -2),
+    quality(+2, -2), so tau_1 = (2/6, 4/6, 2/6, 2/6, 2/6, 2/6) over the
+    interleaved (battery+, battery-, lens+, lens-, quality+, quality-)
+    axes and Gamma = (6/6, 4/6, 4/6).  The subset {r5, r6, r7} reproduces
+    both exactly (pi = tau, phi = Gamma).
+    """
+    p1 = Product(product_id="p1", title="Camera A", category="Camera")
+    reviews = (
+        make_review("r1", "p1", [("battery", 1), ("lens", 1)]),
+        make_review("r2", "p1", [("battery", -1), ("lens", -1)]),
+        make_review("r3", "p1", [("battery", -1), ("quality", 1)]),
+        make_review("r4", "p1", [("quality", -1)]),
+        make_review("r5", "p1", [("battery", 1), ("lens", 1), ("quality", 1)]),
+        make_review("r6", "p1", [("battery", -1), ("lens", -1), ("quality", -1)]),
+        make_review("r7", "p1", [("battery", -1)]),
+    )
+    return ComparisonInstance(products=(p1,), reviews=(reviews,))

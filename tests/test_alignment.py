@@ -1,0 +1,94 @@
+"""Tests for ROUGE-based review-alignment measurement."""
+
+import pytest
+
+from repro.core.selection import SelectionResult
+from repro.data.instances import ComparisonInstance
+from repro.data.models import Product
+from repro.eval.alignment import (
+    AlignmentScores,
+    among_items_alignment,
+    mean_alignment,
+    target_vs_comparative_alignment,
+)
+from repro.text.rouge import rouge_l, rouge_n
+from tests.conftest import make_review
+
+
+def two_item_result(text_a: str, text_b: str) -> SelectionResult:
+    p1 = Product(product_id="p1", title="A", category="C")
+    p2 = Product(product_id="p2", title="B", category="C")
+    r1 = make_review("r1", "p1", [("x", 1)], text=text_a)
+    r2 = make_review("r2", "p2", [("x", 1)], text=text_b)
+    instance = ComparisonInstance(products=(p1, p2), reviews=((r1,), (r2,)))
+    return SelectionResult(instance=instance, selections=((0,), (0,)), algorithm="t")
+
+
+class TestTargetVsComparative:
+    def test_single_pair_matches_direct_rouge(self):
+        a, b = "the battery is great", "the battery is poor"
+        result = two_item_result(a, b)
+        scores = target_vs_comparative_alignment(result)
+        assert scores.num_pairs == 1
+        assert scores.rouge_1 == pytest.approx(rouge_n(a, b, 1).f1)
+        assert scores.rouge_l == pytest.approx(rouge_l(a, b).f1)
+
+    def test_identical_reviews_score_one(self):
+        result = two_item_result("same text here", "same text here")
+        scores = target_vs_comparative_alignment(result)
+        assert scores.rouge_1 == pytest.approx(1.0)
+
+    def test_two_item_instance_equals_among_items(self):
+        """With exactly two items the two views coincide."""
+        result = two_item_result("the battery is great", "screen was poor")
+        target_view = target_vs_comparative_alignment(result)
+        among_view = among_items_alignment(result)
+        assert target_view == among_view
+
+    def test_empty_selection_yields_zero_pairs(self, instance):
+        result = SelectionResult(
+            instance=instance,
+            selections=tuple(() for _ in range(instance.num_items)),
+            algorithm="t",
+        )
+        assert target_vs_comparative_alignment(result).num_pairs == 0
+        assert among_items_alignment(result).num_pairs == 0
+
+    def test_pair_counting_on_real_result(self, instance, config, rng):
+        from repro.core.baselines import RandomSelector
+
+        result = RandomSelector().select(instance, config, rng=rng)
+        sizes = [len(s) for s in result.selections]
+        expected_target_pairs = sizes[0] * sum(sizes[1:])
+        expected_among_pairs = sum(
+            sizes[i] * sizes[j]
+            for i in range(len(sizes) - 1)
+            for j in range(i + 1, len(sizes))
+        )
+        assert target_vs_comparative_alignment(result).num_pairs == expected_target_pairs
+        assert among_items_alignment(result).num_pairs == expected_among_pairs
+
+
+class TestMeanAlignment:
+    def test_averages(self):
+        scores = [
+            AlignmentScores(0.2, 0.1, 0.15, num_pairs=4),
+            AlignmentScores(0.4, 0.3, 0.25, num_pairs=2),
+        ]
+        mean = mean_alignment(scores)
+        assert mean.rouge_1 == pytest.approx(0.3)
+        assert mean.num_pairs == 6
+
+    def test_skips_empty_instances(self):
+        scores = [
+            AlignmentScores(0.2, 0.1, 0.15, num_pairs=4),
+            AlignmentScores(0.0, 0.0, 0.0, num_pairs=0),
+        ]
+        assert mean_alignment(scores).rouge_1 == pytest.approx(0.2)
+
+    def test_all_empty(self):
+        assert mean_alignment([]).num_pairs == 0
+
+    def test_scaled(self):
+        scores = AlignmentScores(0.16, 0.013, 0.085, num_pairs=1)
+        assert scores.scaled() == pytest.approx((16.0, 1.3, 8.5))

@@ -1,0 +1,132 @@
+"""Tests for the McAuley Amazon-format converters."""
+
+import json
+
+import pytest
+
+from repro.data.amazon import convert_amazon, iter_records, load_metadata, load_reviews
+
+
+@pytest.fixture()
+def amazon_files(tmp_path):
+    """A miniature strict-JSON reviews + metadata dump pair."""
+    metadata = [
+        {
+            "asin": "B001",
+            "title": "Acme Car Charger",
+            "related": {"also_bought": ["B002", "B003", "B001"]},
+        },
+        {"asin": "B002", "title": "Bolt USB Cable"},
+        # Python-literal style record (older dumps)
+        "{'asin': 'B003', 'title': 'Zap Power Bank', 'related': {'also_bought': ['B001']}}",
+        {"asin": "B001", "title": "duplicate, ignored"},
+    ]
+    reviews = [
+        {
+            "reviewerID": "U1",
+            "asin": "B001",
+            "reviewText": "The charger is great and the charging speed holds up.",
+            "overall": 5.0,
+        },
+        {
+            "reviewerID": "U2",
+            "asin": "B001",
+            "reviewText": "The cable is flimsy and the cord shows it.",
+            "overall": 2.0,
+        },
+        {"reviewerID": "U1", "asin": "B002", "summary": "works fine", "overall": 4.0},
+        {"reviewerID": "U3", "asin": "B999", "reviewText": "orphan", "overall": 3.0},
+        {"asin": "B001", "reviewText": "no reviewer id", "overall": 3.0},
+    ]
+    meta_path = tmp_path / "meta.jsonl"
+    meta_path.write_text(
+        "\n".join(m if isinstance(m, str) else json.dumps(m) for m in metadata)
+    )
+    reviews_path = tmp_path / "reviews.jsonl"
+    reviews_path.write_text("\n".join(json.dumps(r) for r in reviews))
+    return reviews_path, meta_path
+
+
+class TestIterRecords:
+    def test_mixed_formats(self, amazon_files):
+        _, meta_path = amazon_files
+        records = list(iter_records(meta_path))
+        assert len(records) == 4
+        assert records[2]["asin"] == "B003"
+
+    def test_invalid_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("this is not a record\n")
+        with pytest.raises(ValueError, match="neither JSON"):
+            list(iter_records(path))
+
+    def test_non_dict_literal(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValueError, match="not an object"):
+            list(iter_records(path))
+
+
+class TestLoadMetadata:
+    def test_products_and_also_bought(self, amazon_files):
+        _, meta_path = amazon_files
+        products = load_metadata(meta_path, category="Cellphone")
+        assert [p.product_id for p in products] == ["B001", "B002", "B003"]
+        # self-reference dropped, duplicates ignored
+        assert products[0].also_bought == ("B002", "B003")
+        assert products[0].category == "Cellphone"
+
+    def test_title_fallback(self, tmp_path):
+        path = tmp_path / "meta.jsonl"
+        path.write_text(json.dumps({"asin": "B010"}))
+        assert load_metadata(path)[0].title == "B010"
+
+
+class TestLoadReviews:
+    def test_filters_orphans_and_missing_ids(self, amazon_files):
+        reviews_path, meta_path = amazon_files
+        known = {p.product_id for p in load_metadata(meta_path)}
+        reviews = load_reviews(reviews_path, known)
+        assert len(reviews) == 3
+        assert all(r.product_id in known for r in reviews)
+
+    def test_summary_fallback(self, amazon_files):
+        reviews_path, meta_path = amazon_files
+        known = {p.product_id for p in load_metadata(meta_path)}
+        by_product = {r.product_id: r for r in load_reviews(reviews_path, known)}
+        assert by_product["B002"].text == "works fine"
+
+
+class TestConvertAmazon:
+    def test_full_conversion_with_annotation(self, amazon_files):
+        reviews_path, meta_path = amazon_files
+        corpus = convert_amazon(
+            reviews_path,
+            meta_path,
+            category="Cellphone",
+            candidate_pool=50,
+            keep=20,
+            min_document_frequency=1,  # the fixture corpus is tiny
+        )
+        assert len(corpus.products) == 3
+        assert len(corpus.reviews) == 3
+        # The charger/cable reviews carry mined annotations.
+        annotated = [r for r in corpus.reviews if r.mentions]
+        assert annotated
+
+    def test_conversion_without_annotation(self, amazon_files):
+        reviews_path, meta_path = amazon_files
+        corpus = convert_amazon(reviews_path, meta_path, annotate=False)
+        assert all(not r.mentions for r in corpus.reviews)
+
+    def test_feeds_instance_builder(self, amazon_files):
+        from repro.data.instances import build_instance
+
+        reviews_path, meta_path = amazon_files
+        corpus = convert_amazon(
+            reviews_path, meta_path, candidate_pool=50, keep=20,
+            min_document_frequency=1,
+        )
+        instance = build_instance(corpus, "B001", min_reviews=1)
+        assert instance is not None
+        assert instance.num_items >= 2

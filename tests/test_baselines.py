@@ -1,0 +1,124 @@
+"""Tests for the baseline selectors: CRS, greedy, random."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import CrsSelector, GreedySelector, RandomSelector
+from repro.core.objective import item_objective
+from repro.core.problem import SelectionConfig
+from repro.core.selection import build_space
+
+
+class TestCrs:
+    def test_ignores_lambda(self, instance):
+        """CRS is the lambda = 0 special case; lam in the config is moot."""
+        a = CrsSelector().select(instance, SelectionConfig(max_reviews=3, lam=0.5))
+        b = CrsSelector().select(instance, SelectionConfig(max_reviews=3, lam=7.0))
+        assert a.selections == b.selections
+
+    def test_near_optimal_on_paper_example(self, paper_example_instance):
+        """CRS (a heuristic) lands close to the brute-force optimum.
+
+        NOMP's greedy atom choice can miss the exact optimum (here 0.0 via
+        {r5, r6, r7}); the paper's algorithm is approximate by design, so
+        we assert proximity rather than exactness.
+        """
+        from itertools import combinations
+
+        from repro.core.distance import squared_l2
+
+        config = SelectionConfig(max_reviews=3)
+        result = CrsSelector().select(paper_example_instance, config)
+        space = build_space(paper_example_instance, config)
+        reviews = paper_example_instance.reviews[0]
+        tau = space.opinion_vector(reviews)
+
+        def opinion_cost(subset):
+            return squared_l2(tau, space.opinion_vector(list(subset)))
+
+        brute = min(
+            opinion_cost(combo)
+            for size in (1, 2, 3)
+            for combo in combinations(reviews, size)
+        )
+        achieved = opinion_cost(result.selected_reviews(0))
+        assert achieved <= brute + 0.15
+
+    def test_budget(self, instance, config):
+        result = CrsSelector().select(instance, config)
+        assert all(len(s) <= config.max_reviews for s in result.selections)
+
+
+class TestGreedy:
+    def test_budget_and_determinism(self, instance, config):
+        selector = GreedySelector()
+        a = selector.select(instance, config)
+        b = selector.select(instance, config)
+        assert a.selections == b.selections
+        assert all(len(s) <= config.max_reviews for s in a.selections)
+
+    def test_improves_over_empty(self, instance, config):
+        space = build_space(instance, config)
+        gamma = space.aspect_vector(instance.reviews[0])
+        result = GreedySelector().select(instance, config)
+        for item_index, reviews in enumerate(instance.reviews):
+            tau = space.opinion_vector(reviews)
+            empty_cost = item_objective(space, [], tau, gamma, config.lam)
+            final_cost = item_objective(
+                space,
+                list(result.selected_reviews(item_index)),
+                tau,
+                gamma,
+                config.lam,
+            )
+            assert final_cost <= empty_cost + 1e-9
+
+    def test_exhaustive_variant_fills_budget(self, instance, config):
+        selector = GreedySelector(stop_when_no_improvement=False)
+        result = selector.select(instance, config)
+        for selection, reviews in zip(result.selections, instance.reviews):
+            assert len(selection) == min(config.max_reviews, len(reviews))
+
+    def test_greedy_is_stepwise_optimal_for_one_step(self, paper_example_instance):
+        """With m = 1 greedy picks the single best review."""
+        config = SelectionConfig(max_reviews=1)
+        space = build_space(paper_example_instance, config)
+        reviews = paper_example_instance.reviews[0]
+        tau = space.opinion_vector(reviews)
+        gamma = space.aspect_vector(reviews)
+        result = GreedySelector().select(paper_example_instance, config)
+        chosen_cost = item_objective(
+            space, list(result.selected_reviews(0)), tau, gamma, config.lam
+        )
+        best_single = min(
+            item_objective(space, [r], tau, gamma, config.lam) for r in reviews
+        )
+        assert chosen_cost == pytest.approx(best_single)
+
+
+class TestRandom:
+    def test_sizes(self, instance, config, rng):
+        result = RandomSelector().select(instance, config, rng=rng)
+        for selection, reviews in zip(result.selections, instance.reviews):
+            assert len(selection) == min(config.max_reviews, len(reviews))
+
+    def test_seeded_rng_reproducible(self, instance, config):
+        a = RandomSelector().select(instance, config, rng=np.random.default_rng(42))
+        b = RandomSelector().select(instance, config, rng=np.random.default_rng(42))
+        assert a.selections == b.selections
+
+    def test_constructor_seed(self, instance, config):
+        a = RandomSelector(seed=1).select(instance, config)
+        b = RandomSelector(seed=1).select(instance, config)
+        assert a.selections == b.selections
+
+    def test_different_seeds_usually_differ(self, instance, config):
+        a = RandomSelector(seed=1).select(instance, config)
+        b = RandomSelector(seed=2).select(instance, config)
+        assert a.selections != b.selections
+
+    def test_indices_valid_and_distinct(self, instance, config, rng):
+        result = RandomSelector().select(instance, config, rng=rng)
+        for selection, reviews in zip(result.selections, instance.reviews):
+            assert len(set(selection)) == len(selection)
+            assert all(0 <= j < len(reviews) for j in selection)

@@ -1,0 +1,71 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.bootstrap import bootstrap_difference, bootstrap_mean
+
+
+class TestBootstrapMean:
+    def test_interval_contains_sample_mean(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(5.0, 1.0, 100)
+        interval = bootstrap_mean(data)
+        assert interval.low <= interval.mean <= interval.high
+        assert interval.contains(float(data.mean()))
+
+    def test_tighter_with_more_data(self):
+        rng = np.random.default_rng(1)
+        small = bootstrap_mean(rng.normal(0, 1, 20), seed=2)
+        large = bootstrap_mean(rng.normal(0, 1, 2000), seed=2)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_single_value_degenerate(self):
+        interval = bootstrap_mean([4.2])
+        assert interval.low == interval.high == interval.mean == 4.2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            bootstrap_mean([])
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError, match="confidence"):
+            bootstrap_mean([1.0, 2.0], confidence=1.5)
+
+    def test_deterministic_given_seed(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        assert bootstrap_mean(data, seed=7) == bootstrap_mean(data, seed=7)
+
+    def test_str_format(self):
+        text = str(bootstrap_mean([1.0, 2.0, 3.0]))
+        assert "[" in text and "]" in text
+
+    @settings(max_examples=25)
+    @given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=2, max_size=40))
+    def test_interval_ordering(self, values):
+        interval = bootstrap_mean(values, resamples=200)
+        assert interval.low <= interval.high
+        assert min(values) - 1e-9 <= interval.low
+        assert interval.high <= max(values) + 1e-9
+
+
+class TestBootstrapDifference:
+    def test_clear_difference_excludes_zero(self):
+        rng = np.random.default_rng(3)
+        base = rng.normal(0, 0.1, 80)
+        shifted = base + 1.0 + rng.normal(0, 0.05, 80)
+        interval = bootstrap_difference(shifted, base)
+        assert interval.low > 0.0
+
+    def test_no_difference_includes_zero(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(0, 1, 80)
+        b = a + rng.normal(0, 1, 80)
+        interval = bootstrap_difference(a, b)
+        assert interval.contains(0.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            bootstrap_difference([1.0], [1.0, 2.0])

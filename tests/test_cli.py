@@ -1,0 +1,127 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def corpus_file(tmp_path):
+    path = tmp_path / "toy.jsonl"
+    assert main(["generate", "--category", "Toy", "--scale", "0.25",
+                 "--seed", "3", "--out", str(path)]) == 0
+    return path
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table99"])
+
+
+class TestGenerateAndStats:
+    def test_generate_writes_corpus(self, tmp_path, capsys):
+        path = tmp_path / "fresh.jsonl"
+        assert main(["generate", "--category", "Toy", "--scale", "0.25",
+                     "--seed", "3", "--out", str(path)]) == 0
+        assert path.exists()
+        assert "products" in capsys.readouterr().out
+
+    def test_stats(self, corpus_file, capsys):
+        assert main(["stats", str(corpus_file)]) == 0
+        out = capsys.readouterr().out
+        assert "#Product" in out
+        assert "Toy" in out
+
+
+class TestSelectAndNarrow:
+    def test_select_default_target(self, corpus_file, capsys):
+        assert main(["select", str(corpus_file), "--m", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "[TARGET ]" in out
+
+    def test_select_explicit_missing_target(self, corpus_file):
+        with pytest.raises(SystemExit, match="not in the corpus"):
+            main(["select", str(corpus_file), "--target", "GHOST"])
+
+    def test_narrow_greedy(self, corpus_file, capsys):
+        assert main(["narrow", str(corpus_file), "--k", "3", "--m", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "core list" in out
+
+    def test_narrow_exact(self, corpus_file, capsys):
+        assert main([
+            "narrow", str(corpus_file), "--k", "3", "--m", "2",
+            "--exact", "--time-limit", "10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "TargetHkS_ILP" in out
+
+
+class TestExperimentCommand:
+    def test_table2(self, capsys):
+        assert main([
+            "experiment", "table2", "--scale", "0.25", "--instances", "3",
+        ]) == 0
+        assert "#Product" in capsys.readouterr().out
+
+    def test_fig11(self, capsys):
+        assert main([
+            "experiment", "fig11", "--scale", "0.25", "--instances", "3",
+            "--budgets", "2", "3",
+        ]) == 0
+        assert "Delta target" in capsys.readouterr().out
+
+    def test_case_study(self, capsys):
+        assert main([
+            "experiment", "case-study", "--scale", "0.3", "--instances", "6",
+        ]) == 0
+        assert "This item" in capsys.readouterr().out
+
+    def test_all_accepted_by_parser(self):
+        args = build_parser().parse_args(["experiment", "all"])
+        assert args.name == "all"
+
+    def test_json_output(self, tmp_path, capsys):
+        out_dir = tmp_path / "json"
+        assert main([
+            "experiment", "table2", "--scale", "0.25", "--instances", "3",
+            "--json", str(out_dir),
+        ]) == 0
+        from repro.experiments.persist import load_results
+
+        envelope = load_results(out_dir / "table2.json")
+        assert envelope["experiment"] == "table2"
+        assert capsys.readouterr().out  # table still printed
+
+
+class TestConvertAmazon:
+    def test_round_trip(self, tmp_path, capsys):
+        import json
+
+        meta = tmp_path / "meta.jsonl"
+        meta.write_text(
+            json.dumps({"asin": "B1", "title": "X",
+                        "related": {"also_bought": ["B2"]}})
+            + "\n"
+            + json.dumps({"asin": "B2", "title": "Y"})
+        )
+        reviews = tmp_path / "reviews.jsonl"
+        reviews.write_text(
+            json.dumps({"reviewerID": "U1", "asin": "B1",
+                        "reviewText": "The battery is great.", "overall": 5.0})
+            + "\n"
+            + json.dumps({"reviewerID": "U2", "asin": "B2",
+                          "reviewText": "The battery is poor.", "overall": 2.0})
+        )
+        out = tmp_path / "corpus.jsonl"
+        assert main([
+            "convert-amazon", "--reviews", str(reviews),
+            "--metadata", str(meta), "--out", str(out), "--no-annotate",
+        ]) == 0
+        assert out.exists()
+        assert "2 products" in capsys.readouterr().out

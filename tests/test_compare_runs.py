@@ -1,0 +1,82 @@
+"""Tests for experiment-run drift comparison."""
+
+import pytest
+
+from repro.eval.runner import EvaluationSettings
+from repro.experiments.compare_runs import Drift, compare_runs
+from repro.experiments.persist import save_results
+from repro.experiments.table2 import run_table2
+
+
+@pytest.fixture()
+def settings():
+    return EvaluationSettings(categories=("Toy",), scale=0.25, max_instances=3)
+
+
+@pytest.fixture()
+def baseline(tmp_path, settings):
+    results = run_table2(settings)
+    path = tmp_path / "before.json"
+    save_results("table2", results, settings, path)
+    return path, results
+
+
+class TestCompareRuns:
+    def test_identical_runs_no_drift(self, tmp_path, settings, baseline):
+        before_path, results = baseline
+        after_path = tmp_path / "after.json"
+        save_results("table2", results, settings, after_path)
+        assert compare_runs(before_path, after_path) == []
+
+    def test_drift_detected(self, tmp_path, settings, baseline):
+        import dataclasses
+
+        before_path, results = baseline
+        changed = [
+            dataclasses.replace(results[0], num_reviews=results[0].num_reviews * 2)
+        ] + list(results[1:])
+        after_path = tmp_path / "after.json"
+        save_results("table2", changed, settings, after_path)
+        drifts = compare_runs(before_path, after_path, tolerance=0.05)
+        assert len(drifts) == 1
+        assert drifts[0].field == "num_reviews"
+        assert drifts[0].relative_change == pytest.approx(1.0)
+
+    def test_small_drift_below_tolerance_ignored(self, tmp_path, settings, baseline):
+        import dataclasses
+
+        before_path, results = baseline
+        changed = [
+            dataclasses.replace(
+                results[0],
+                avg_reviews_per_product=results[0].avg_reviews_per_product * 1.001,
+            )
+        ] + list(results[1:])
+        after_path = tmp_path / "after.json"
+        save_results("table2", changed, settings, after_path)
+        assert compare_runs(before_path, after_path, tolerance=0.02) == []
+
+    def test_experiment_mismatch(self, tmp_path, settings, baseline):
+        before_path, results = baseline
+        other_path = tmp_path / "other.json"
+        save_results("table5", results, settings, other_path)
+        with pytest.raises(ValueError, match="experiment mismatch"):
+            compare_runs(before_path, other_path)
+
+    def test_row_universe_mismatch(self, tmp_path, settings, baseline):
+        before_path, results = baseline
+        after_path = tmp_path / "after.json"
+        save_results("table2", results[:-1] if len(results) > 1 else [], settings, after_path)
+        with pytest.raises(ValueError, match="row universes"):
+            compare_runs(before_path, after_path)
+
+
+class TestDrift:
+    def test_relative_change_and_str(self):
+        drift = Drift(row_key=(("dataset", "Toy"),), field="r1", before=2.0, after=3.0)
+        assert drift.relative_change == pytest.approx(0.5)
+        assert "+50.00%" in str(drift)
+
+    def test_zero_baseline(self):
+        drift = Drift(row_key=(), field="x", before=0.0, after=1.0)
+        assert drift.relative_change == float("inf")

@@ -1,0 +1,114 @@
+"""Tests for the CompaReSetS+ selector (Problem 2 / Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.compare_sets import CompareSetsSelector
+from repro.core.compare_sets_plus import CompareSetsPlusSelector
+from repro.core.distance import squared_l2
+from repro.core.objective import compare_sets_plus_objective
+from repro.core.problem import SelectionConfig
+from repro.core.selection import build_space
+
+
+def unweighted_plus_objective(result, config):
+    """Global analogue of the literal acceptance score (lam = mu = 1)."""
+    unit = config.with_(lam=1.0, mu=1.0)
+    return compare_sets_plus_objective(result, unit)
+
+
+class TestVariants:
+    def test_invalid_variant_rejected(self):
+        with pytest.raises(ValueError, match="variant"):
+            CompareSetsPlusSelector(variant="bogus")
+
+    def test_default_is_literal(self):
+        assert CompareSetsPlusSelector().variant == "literal"
+
+    def test_weighted_never_worse_than_compare_sets_on_eq5(self, instances, config):
+        """Each accepted weighted-variant change strictly lowers Eq. 5."""
+        selector = CompareSetsPlusSelector(variant="weighted")
+        for inst in instances:
+            base = CompareSetsSelector().select(inst, config)
+            plus = selector.select(inst, config)
+            assert compare_sets_plus_objective(plus, config) <= (
+                compare_sets_plus_objective(base, config) + 1e-9
+            )
+
+    def test_literal_never_worse_on_unweighted_objective(self, instances, config):
+        """Literal acceptance monotonically lowers the unweighted sum."""
+        selector = CompareSetsPlusSelector(variant="literal")
+        for inst in instances:
+            base = CompareSetsSelector().select(inst, config)
+            plus = selector.select(inst, config)
+            assert unweighted_plus_objective(plus, config) <= (
+                unweighted_plus_objective(base, config) + 1e-9
+            )
+
+
+class TestBehaviour:
+    def test_respects_budget(self, instance, config):
+        result = CompareSetsPlusSelector().select(instance, config)
+        for selection in result.selections:
+            assert len(selection) <= config.max_reviews
+
+    def test_deterministic(self, instance, config):
+        selector = CompareSetsPlusSelector()
+        assert (
+            selector.select(instance, config).selections
+            == selector.select(instance, config).selections
+        )
+
+    def test_single_item_instance_reduces_to_compare_sets_fit(
+        self, paper_example_instance
+    ):
+        """With one item there is no cross term; the fit stays optimal."""
+        config = SelectionConfig(max_reviews=3)
+        result = CompareSetsPlusSelector().select(paper_example_instance, config)
+        space = build_space(paper_example_instance, config)
+        reviews = paper_example_instance.reviews[0]
+        tau = space.opinion_vector(reviews)
+        gamma = space.aspect_vector(reviews)
+        chosen = result.selected_reviews(0)
+        fit = squared_l2(tau, space.opinion_vector(chosen)) + squared_l2(
+            gamma, space.aspect_vector(chosen)
+        )
+        assert fit == pytest.approx(0.0, abs=1e-9)
+
+    def test_more_sweeps_never_hurt_unweighted_objective(self, instances):
+        config1 = SelectionConfig(max_reviews=3, mu=0.01, sweeps=1)
+        config3 = SelectionConfig(max_reviews=3, mu=0.01, sweeps=3)
+        selector = CompareSetsPlusSelector(variant="literal")
+        for inst in instances[:3]:
+            one = selector.select(inst, config1)
+            three = selector.select(inst, config3)
+            assert unweighted_plus_objective(three, config3) <= (
+                unweighted_plus_objective(one, config1) + 1e-9
+            )
+
+    def test_synchronisation_increases_shared_aspects(self, instances):
+        """The cross-item term raises pairwise aspect sharing vs CRS."""
+        from repro.core.baselines import CrsSelector
+
+        config = SelectionConfig(max_reviews=3, mu=0.01)
+
+        def mean_pairwise_shared(result):
+            shared = []
+            sets = [
+                {a for r in result.selected_reviews(i) for a in r.aspects}
+                for i in range(result.instance.num_items)
+            ]
+            for i in range(len(sets) - 1):
+                for j in range(i + 1, len(sets)):
+                    shared.append(len(sets[i] & sets[j]))
+            return np.mean(shared) if shared else 0.0
+
+        plus = CompareSetsPlusSelector(variant="literal")
+        crs = CrsSelector()
+        plus_shared = np.mean(
+            [mean_pairwise_shared(plus.select(inst, config)) for inst in instances]
+        )
+        crs_shared = np.mean(
+            [mean_pairwise_shared(crs.select(inst, config)) for inst in instances]
+        )
+        assert plus_shared >= crs_shared

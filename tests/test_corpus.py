@@ -1,0 +1,98 @@
+"""Tests for the Corpus container and Table-2 statistics."""
+
+import pytest
+
+from repro.data.corpus import Corpus
+from repro.data.models import Product
+from tests.conftest import make_review
+
+
+def two_product_corpus() -> Corpus:
+    products = [
+        Product(product_id="p1", title="A", category="C", also_bought=("p2", "ghost")),
+        Product(product_id="p2", title="B", category="C"),
+    ]
+    reviews = [
+        make_review("r1", "p1", [("battery", 1)], reviewer="u1"),
+        make_review("r2", "p1", [("screen", -1)], reviewer="u2"),
+        make_review("r3", "p2", [("battery", -1)], reviewer="u1"),
+    ]
+    return Corpus(name="test", products=products, reviews=reviews)
+
+
+class TestConstruction:
+    def test_duplicate_product_rejected(self):
+        p = Product(product_id="p1", title="A", category="C")
+        with pytest.raises(ValueError, match="duplicate product"):
+            Corpus("x", [p, p], [])
+
+    def test_duplicate_review_rejected(self):
+        p = Product(product_id="p1", title="A", category="C")
+        r = make_review("r1", "p1", [])
+        with pytest.raises(ValueError, match="duplicate review"):
+            Corpus("x", [p], [r, r])
+
+    def test_orphan_review_rejected(self):
+        p = Product(product_id="p1", title="A", category="C")
+        r = make_review("r1", "p404", [])
+        with pytest.raises(ValueError, match="unknown product"):
+            Corpus("x", [p], [r])
+
+
+class TestAccess:
+    def test_reviews_of(self):
+        corpus = two_product_corpus()
+        assert [r.review_id for r in corpus.reviews_of("p1")] == ["r1", "r2"]
+        assert len(corpus.reviews_of("p2")) == 1
+
+    def test_lookup(self):
+        corpus = two_product_corpus()
+        assert corpus.product("p1").title == "A"
+        assert corpus.review("r3").product_id == "p2"
+        assert corpus.has_product("p1")
+        assert not corpus.has_product("ghost")
+
+    def test_missing_product_raises(self):
+        with pytest.raises(KeyError):
+            two_product_corpus().product("nope")
+
+    def test_aspect_vocabulary_sorted(self):
+        assert two_product_corpus().aspect_vocabulary() == ["battery", "screen"]
+
+    def test_len_and_repr(self):
+        corpus = two_product_corpus()
+        assert len(corpus) == 2
+        assert "products=2" in repr(corpus)
+
+
+class TestStats:
+    def test_counts(self):
+        stats = two_product_corpus().stats()
+        assert stats.num_products == 2
+        assert stats.num_reviews == 3
+        assert stats.num_reviewers == 2
+
+    def test_targets_require_in_corpus_comparisons(self):
+        # Only p1 has an also_bought entry inside the corpus ("ghost" is not).
+        stats = two_product_corpus().stats()
+        assert stats.num_target_products == 1
+        assert stats.avg_comparison_products == pytest.approx(1.0)
+
+    def test_min_reviews_filter(self):
+        stats = two_product_corpus().stats(min_reviews_for_target=3)
+        assert stats.num_target_products == 0
+
+    def test_avg_reviews_per_product(self):
+        stats = two_product_corpus().stats()
+        assert stats.avg_reviews_per_product == pytest.approx(1.5)
+
+    def test_as_rows_order(self):
+        rows = two_product_corpus().stats().as_rows()
+        assert [label for label, _ in rows] == [
+            "#Product",
+            "#Reviewer",
+            "#Review",
+            "#Target Product",
+            "Avg. #Comparison Product",
+            "Avg. #Review per Product",
+        ]

@@ -1,0 +1,121 @@
+"""Tests for the coverage/synchronisation diagnostics."""
+
+import pytest
+
+from repro.core.problem import SelectionConfig
+from repro.core.selection import SelectionResult, make_selector
+from repro.data.instances import ComparisonInstance
+from repro.data.models import Product
+from repro.eval.coverage import (
+    aspect_coverage,
+    cross_item_overlap,
+    polarity_balance,
+    redundancy,
+)
+from tests.conftest import make_review
+
+
+def build_result(review_lists, selections):
+    products = tuple(
+        Product(product_id=f"p{i}", title=f"P{i}", category="C")
+        for i in range(len(review_lists))
+    )
+    reviews = tuple(
+        tuple(
+            make_review(f"r{i}_{j}", f"p{i}", mentions)
+            for j, mentions in enumerate(mention_lists)
+        )
+        for i, mention_lists in enumerate(review_lists)
+    )
+    instance = ComparisonInstance(products=products, reviews=reviews)
+    return SelectionResult(instance=instance, selections=selections, algorithm="t")
+
+
+class TestAspectCoverage:
+    def test_full_coverage(self):
+        result = build_result(
+            [[[("a", 1)], [("b", 1)]]],
+            selections=((0, 1),),
+        )
+        assert aspect_coverage(result) == 1.0
+
+    def test_partial_coverage_weighted_by_counts(self):
+        # 'a' occurs 3 times, 'b' once; selecting only 'a' covers 3/4.
+        result = build_result(
+            [[[("a", 1)], [("a", 1)], [("a", 1)], [("b", 1)]]],
+            selections=((0,),),
+        )
+        assert aspect_coverage(result) == pytest.approx(0.75)
+
+    def test_empty_selection(self):
+        result = build_result([[[("a", 1)]]], selections=((),))
+        assert aspect_coverage(result) == 0.0
+
+
+class TestCrossItemOverlap:
+    def test_identical_sets(self):
+        result = build_result(
+            [[[("a", 1)]], [[("a", -1)]]],
+            selections=((0,), (0,)),
+        )
+        assert cross_item_overlap(result) == 1.0
+
+    def test_disjoint_sets(self):
+        result = build_result(
+            [[[("a", 1)]], [[("b", -1)]]],
+            selections=((0,), (0,)),
+        )
+        assert cross_item_overlap(result) == 0.0
+
+    def test_single_item_no_pairs(self):
+        result = build_result([[[("a", 1)]]], selections=((0,),))
+        assert cross_item_overlap(result) == 0.0
+
+
+class TestPolarityBalance:
+    def test_perfectly_characteristic(self):
+        reviews = [[("a", 1)], [("a", -1)], [("a", 1)], [("a", -1)]]
+        result = build_result([reviews], selections=((0, 1),))
+        assert polarity_balance(result) == pytest.approx(1.0)
+
+    def test_skewed_selection(self):
+        reviews = [[("a", 1)], [("a", -1)], [("a", 1)], [("a", -1)]]
+        result = build_result([reviews], selections=((0, 2),))  # all positive
+        assert polarity_balance(result) == pytest.approx(0.5)
+
+
+class TestRedundancy:
+    def test_dominated_review_flagged(self):
+        reviews = [[("a", 1)], [("a", 1), ("b", 1)]]
+        result = build_result([reviews], selections=((0, 1),))
+        assert redundancy(result) == pytest.approx(0.5)
+
+    def test_duplicate_aspect_sets_counted_once(self):
+        reviews = [[("a", 1)], [("a", -1)]]
+        result = build_result([reviews], selections=((0, 1),))
+        assert redundancy(result) == pytest.approx(0.5)
+
+    def test_distinct_selections_not_redundant(self):
+        reviews = [[("a", 1)], [("b", 1)]]
+        result = build_result([reviews], selections=((0, 1),))
+        assert redundancy(result) == 0.0
+
+
+class TestOnRealSelections:
+    def test_metrics_bounded(self, instance, config):
+        result = make_selector("CompaReSetS+").select(instance, config)
+        for metric in (aspect_coverage, cross_item_overlap, polarity_balance):
+            assert 0.0 <= metric(result) <= 1.0
+        assert 0.0 <= redundancy(result) <= 1.0
+
+    def test_plus_synchronises_more_than_crs(self, instances):
+        config = SelectionConfig(max_reviews=3, mu=0.01)
+        plus = make_selector("CompaReSetS+")
+        crs = make_selector("CRS")
+        plus_overlap = sum(
+            cross_item_overlap(plus.select(i, config)) for i in instances
+        )
+        crs_overlap = sum(
+            cross_item_overlap(crs.select(i, config)) for i in instances
+        )
+        assert plus_overlap >= crs_overlap - 1e-9

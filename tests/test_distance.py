@@ -1,0 +1,71 @@
+"""Tests for distance helpers (Eq. 2, Eq. 9)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.distance import concat_scaled, cosine_similarity, squared_l2
+
+vectors = arrays(
+    float, st.integers(1, 8), elements=st.floats(-10, 10, allow_nan=False)
+)
+
+
+class TestSquaredL2:
+    def test_zero_for_identical(self):
+        assert squared_l2(np.array([1.0, 2.0]), np.array([1.0, 2.0])) == 0.0
+
+    def test_known_value(self):
+        assert squared_l2(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == 25.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            squared_l2(np.zeros(2), np.zeros(3))
+
+    @given(vectors)
+    def test_non_negative_and_symmetric(self, x):
+        y = x[::-1].copy()
+        assert squared_l2(x, y) >= 0
+        assert squared_l2(x, y) == pytest.approx(squared_l2(y, x))
+
+
+class TestCosine:
+    def test_identical_direction(self):
+        assert cosine_similarity(np.array([1.0, 1.0]), np.array([2.0, 2.0])) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine_similarity(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(0.0)
+
+    def test_zero_vector(self):
+        assert cosine_similarity(np.zeros(3), np.ones(3)) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            cosine_similarity(np.zeros(2), np.zeros(3))
+
+    @given(vectors)
+    def test_bounded(self, x):
+        y = np.roll(x, 1)
+        value = cosine_similarity(x, y)
+        assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+
+class TestConcatScaled:
+    def test_eq4_construction(self):
+        tau = np.array([0.5, 0.5])
+        gamma = np.array([1.0])
+        result = concat_scaled((1.0, tau), (2.0, gamma))
+        np.testing.assert_allclose(result, [0.5, 0.5, 2.0])
+
+    def test_empty(self):
+        assert concat_scaled().shape == (0,)
+
+    def test_concat_distance_decomposes(self):
+        """Delta([a;kb],[c;kd]) = Delta(a,c) + k^2 Delta(b,d) — Eq. 4."""
+        a, c = np.array([1.0, 2.0]), np.array([0.0, 1.0])
+        b, d = np.array([3.0]), np.array([1.0])
+        k = 2.5
+        combined = squared_l2(concat_scaled((1, a), (k, b)), concat_scaled((1, c), (k, d)))
+        assert combined == pytest.approx(squared_l2(a, c) + k**2 * squared_l2(b, d))

@@ -1,0 +1,170 @@
+"""Degenerate inputs and failure injection across the pipeline.
+
+Every scenario here was chosen to hit a boundary the normal workloads
+don't: empty annotation sets, fully duplicated reviews, over-generous
+budgets, zero-weight graphs, hostile text.  The invariant under test is
+uniform: no crashes, and outputs stay structurally valid.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.problem import SelectionConfig
+from repro.core.selection import SELECTORS, make_selector
+from repro.data.instances import ComparisonInstance
+from repro.data.models import Product
+from repro.graph.similarity import build_item_graph
+from repro.graph.target_hks import solve_greedy, solve_ilp
+from repro.text.rouge import rouge_scores
+from tests.conftest import make_review
+
+MAIN_SELECTORS = ("Random", "CRS", "CompaReSetS_Greedy", "CompaReSetS", "CompaReSetS+")
+
+
+def instance_of(review_lists):
+    products = tuple(
+        Product(product_id=f"p{i}", title=f"P{i}", category="C")
+        for i in range(len(review_lists))
+    )
+    reviews = tuple(
+        tuple(
+            make_review(f"r{i}_{j}", f"p{i}", mentions)
+            for j, mentions in enumerate(mention_lists)
+        )
+        for i, mention_lists in enumerate(review_lists)
+    )
+    return ComparisonInstance(products=products, reviews=reviews)
+
+
+class TestMentionlessReviews:
+    """Reviews with no annotations produce all-zero columns everywhere."""
+
+    @pytest.mark.parametrize("name", MAIN_SELECTORS)
+    def test_selectors_survive(self, name):
+        instance = instance_of([[[], [], []], [[], []]])
+        config = SelectionConfig(max_reviews=2)
+        result = make_selector(name).select(
+            instance, config, rng=np.random.default_rng(0)
+        )
+        for selection in result.selections:
+            assert len(selection) <= 2
+
+    def test_graph_degenerates_gracefully(self):
+        instance = instance_of([[[], []], [[]], [[]]])
+        config = SelectionConfig(max_reviews=1)
+        result = make_selector("CompaReSetS").select(instance, config)
+        graph = build_item_graph(result, config)
+        # All distances identical -> all weights zero; solvers still run.
+        solution = solve_greedy(graph.weights, 2)
+        assert 0 in solution.selected
+
+
+class TestFullyDuplicatedReviews:
+    """Every review identical: dedup collapses to a single column."""
+
+    @pytest.mark.parametrize("name", MAIN_SELECTORS)
+    def test_selectors_survive(self, name):
+        mentions = [("battery", 1), ("screen", -1)]
+        instance = instance_of([[mentions] * 6, [mentions] * 4])
+        config = SelectionConfig(max_reviews=3)
+        result = make_selector(name).select(
+            instance, config, rng=np.random.default_rng(0)
+        )
+        for selection, reviews in zip(result.selections, instance.reviews):
+            assert len(set(selection)) == len(selection)
+            assert all(0 <= j < len(reviews) for j in selection)
+
+
+class TestOverGenerousBudget:
+    def test_budget_exceeding_review_count(self, paper_example_instance):
+        config = SelectionConfig(max_reviews=50)
+        for name in MAIN_SELECTORS:
+            result = make_selector(name).select(
+                paper_example_instance, config, rng=np.random.default_rng(0)
+            )
+            assert len(result.selections[0]) <= 7  # only 7 reviews exist
+
+
+class TestMinimalInstances:
+    def test_single_comparative_item(self):
+        instance = instance_of([[[("a", 1)]], [[("a", -1)]]])
+        config = SelectionConfig(max_reviews=1)
+        result = make_selector("CompaReSetS+").select(instance, config)
+        graph = build_item_graph(result, config)
+        solution = solve_ilp(graph.weights, 2, backend="bnb", time_limit=5)
+        assert set(solution.selected) == {0, 1}
+
+    def test_target_only_instance(self):
+        instance = instance_of([[[("a", 1)], [("b", -1)]]])
+        config = SelectionConfig(max_reviews=1)
+        for name in MAIN_SELECTORS:
+            result = make_selector(name).select(
+                instance, config, rng=np.random.default_rng(0)
+            )
+            assert len(result.selections) == 1
+
+
+class TestZeroWeightGraph:
+    def test_solvers_agree_on_arbitrary_subsets(self):
+        weights = np.zeros((6, 6))
+        greedy = solve_greedy(weights, 3)
+        exact = solve_ilp(weights, 3, backend="bnb", time_limit=5)
+        assert greedy.weight == exact.weight == 0.0
+        assert len(greedy.selected) == len(exact.selected) == 3
+
+
+class TestHostileText:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "    \n\t  ",
+            "!!!???...",
+            "éèê unicode café naïve",
+            "a" * 5000,
+            "\N{SNOWMAN}" * 30,
+        ],
+    )
+    def test_rouge_never_crashes(self, text):
+        scores = rouge_scores(text, "the battery is great")
+        for score in scores.values():
+            assert 0.0 <= score.f1 <= 1.0
+
+    def test_extraction_never_crashes(self):
+        from repro.text.aspects import AspectTerm, AspectVocabulary
+        from repro.text.sentiment import extract_mentions
+
+        vocabulary = AspectVocabulary(
+            terms=(AspectTerm(stem="batteri", surface="battery",
+                              document_frequency=1, rating_correlation=0.0),)
+        )
+        for text in ("", "...", "battery " * 1000, "\x00\x01battery"):
+            mentions = extract_mentions(text, vocabulary)
+            assert isinstance(mentions, tuple)
+
+
+class TestExtremeWeights:
+    def test_huge_lambda_still_valid(self, paper_example_instance):
+        config = SelectionConfig(max_reviews=3, lam=1e6)
+        result = make_selector("CompaReSetS").select(paper_example_instance, config)
+        assert len(result.selections[0]) <= 3
+
+    def test_zero_lambda_zero_mu(self, instances):
+        config = SelectionConfig(max_reviews=3, lam=0.0, mu=0.0)
+        result = make_selector("CompaReSetS+").select(instances[0], config)
+        assert result.selections
+
+
+class TestRegistryCompleteness:
+    def test_all_registered_selectors_run_on_shared_instance(self, instance):
+        """Every selector in the registry handles a realistic instance."""
+        config = SelectionConfig(max_reviews=2)
+        for name in SELECTORS:
+            if name == "CompaReSetS_Exhaustive" and any(
+                len(r) > 25 for r in instance.reviews
+            ):
+                continue  # exponential solver guarded separately
+            result = make_selector(name).select(
+                instance, config, rng=np.random.default_rng(0)
+            )
+            assert len(result.selections) == instance.num_items

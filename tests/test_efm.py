@@ -1,0 +1,108 @@
+"""Tests for the EFM preference model extension."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import generate_corpus
+from repro.prefs import EfmConfig, EfmModel, efm_target_vector
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    corpus = generate_corpus("Toy", scale=0.25, seed=5)
+    model = EfmModel(EfmConfig(num_factors=6, iterations=80, seed=1)).fit(corpus)
+    return corpus, model
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EfmConfig(num_factors=0)
+        with pytest.raises(ValueError):
+            EfmConfig(iterations=0)
+        with pytest.raises(ValueError):
+            EfmConfig(weight_ratings=-1.0)
+
+
+class TestFitting:
+    def test_requires_fit_before_query(self):
+        model = EfmModel()
+        with pytest.raises(RuntimeError, match="fit"):
+            model.item_aspect_quality("p1")
+
+    def test_factors_non_negative(self, fitted):
+        _, model = fitted
+        assert (model._item_factors >= 0).all()
+        assert (model._user_factors >= 0).all()
+        assert (model._aspect_factors >= 0).all()
+
+    def test_rating_reconstruction_beats_constant(self, fitted):
+        corpus, model = fitted
+        rmse = model.reconstruction_error(corpus)
+        ratings = np.array([r.rating for r in corpus.reviews])
+        constant_rmse = float(np.sqrt(np.mean((ratings - ratings.mean()) ** 2)))
+        assert rmse < constant_rmse + 0.3
+
+    def test_deterministic_given_seed(self):
+        corpus = generate_corpus("Toy", scale=0.2, seed=5)
+        a = EfmModel(EfmConfig(num_factors=4, iterations=30, seed=2)).fit(corpus)
+        b = EfmModel(EfmConfig(num_factors=4, iterations=30, seed=2)).fit(corpus)
+        pid = corpus.products[0].product_id
+        np.testing.assert_allclose(a.item_aspect_quality(pid), b.item_aspect_quality(pid))
+
+
+class TestQueries:
+    def test_quality_tracks_observed_sentiment(self, fitted):
+        """Items with clearly positive sentiment on an aspect score higher
+        than items with clearly negative sentiment on the same aspect."""
+        corpus, model = fitted
+        aspect_index = {a: i for i, a in enumerate(model.aspects)}
+        gaps = []
+        for aspect, position in aspect_index.items():
+            positives, negatives = [], []
+            for product in corpus.products:
+                signed = [
+                    r.signed_strength_for(aspect)
+                    for r in corpus.reviews_of(product.product_id)
+                    if aspect in r.aspects
+                ]
+                if len(signed) >= 3:
+                    mean = np.mean(signed)
+                    quality = model.item_aspect_quality(product.product_id)[position]
+                    if mean > 0.5:
+                        positives.append(quality)
+                    elif mean < -0.5:
+                        negatives.append(quality)
+            if positives and negatives:
+                gaps.append(np.mean(positives) - np.mean(negatives))
+        assert gaps, "the corpus should contain polarised aspects"
+        assert np.mean(gaps) > 0
+
+    def test_unknown_ids_raise(self, fitted):
+        _, model = fitted
+        with pytest.raises(KeyError):
+            model.item_aspect_quality("nope")
+        with pytest.raises(KeyError):
+            model.user_aspect_attention("nope")
+
+    def test_predicted_rating_range(self, fitted):
+        corpus, model = fitted
+        review = corpus.reviews[0]
+        value = model.predict_rating(review.reviewer_id, review.product_id)
+        assert 1.0 <= value <= 5.0
+
+
+class TestTargetVector:
+    def test_range_and_alignment(self, fitted):
+        corpus, model = fitted
+        aspect_order = corpus.aspect_vocabulary()
+        pid = corpus.products[0].product_id
+        target = efm_target_vector(model, pid, aspect_order)
+        assert target.shape == (len(aspect_order),)
+        assert ((target >= 0) & (target <= 1)).all()
+
+    def test_unknown_aspects_zero(self, fitted):
+        corpus, model = fitted
+        pid = corpus.products[0].product_id
+        target = efm_target_vector(model, pid, ["not-an-aspect"])
+        assert target[0] == 0.0

@@ -1,0 +1,50 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the public face of the library; a refactor that breaks one
+should fail CI.  Each script is executed in-process via runpy (so
+coverage and import errors surface normally) with stdout captured.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "core_list_narrowing.py",
+    "llm_style_comparison.py",
+    "amazon_conversion.py",
+    "learned_preferences.py",
+]
+SLOW_EXAMPLES = [
+    "case_study.py",
+    "opinion_schemes.py",
+    "full_pipeline.py",
+]
+
+
+def run_example(name: str, capsys) -> str:
+    script = EXAMPLES_DIR / name
+    assert script.exists(), f"missing example {name}"
+    saved_argv = sys.argv
+    sys.argv = [str(script)]
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = saved_argv
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name, capsys):
+    output = run_example(name, capsys)
+    assert output.strip(), f"{name} produced no output"
+
+
+@pytest.mark.parametrize("name", SLOW_EXAMPLES)
+def test_slow_example_runs(name, capsys):
+    output = run_example(name, capsys)
+    assert output.strip(), f"{name} produced no output"

@@ -1,0 +1,67 @@
+"""Tests for the brute-force CompaReSetS solver and heuristic quality."""
+
+import pytest
+
+from repro.core.compare_sets import CompareSetsSelector
+from repro.core.exhaustive import ExhaustiveSelector, exhaustive_select_for_item
+from repro.core.objective import compare_sets_objective, item_objective
+from repro.core.problem import SelectionConfig
+from repro.core.selection import build_space, make_selector
+
+
+class TestExhaustive:
+    def test_finds_zero_objective_on_paper_example(self, paper_example_instance):
+        config = SelectionConfig(max_reviews=3)
+        result = ExhaustiveSelector().select(paper_example_instance, config)
+        assert compare_sets_objective(result, config) == pytest.approx(0.0, abs=1e-12)
+        assert result.selections[0]  # {r5, r6, r7} or an equivalent optimum
+
+    def test_never_worse_than_integer_regression(self, instances):
+        config = SelectionConfig(max_reviews=2)
+        exhaustive = ExhaustiveSelector()
+        heuristic = CompareSetsSelector()
+        for inst in instances[:3]:
+            exact = compare_sets_objective(exhaustive.select(inst, config), config)
+            approx = compare_sets_objective(heuristic.select(inst, config), config)
+            assert exact <= approx + 1e-9
+
+    def test_heuristic_close_to_optimum(self, instances):
+        """Integer regression stays within a modest factor of the optimum."""
+        config = SelectionConfig(max_reviews=2)
+        exhaustive = ExhaustiveSelector()
+        heuristic = CompareSetsSelector()
+        ratios = []
+        for inst in instances[:3]:
+            exact = compare_sets_objective(exhaustive.select(inst, config), config)
+            approx = compare_sets_objective(heuristic.select(inst, config), config)
+            if exact > 1e-9:
+                ratios.append(approx / exact)
+        if ratios:
+            assert max(ratios) < 2.0
+
+    def test_registered_as_selector(self):
+        assert make_selector("CompaReSetS_Exhaustive").name == "CompaReSetS_Exhaustive"
+
+    def test_safety_bound(self, paper_example_instance):
+        config = SelectionConfig(max_reviews=3)
+        space = build_space(paper_example_instance, config)
+        reviews = paper_example_instance.reviews[0] * 20  # 140 reviews
+        tau = space.opinion_vector(paper_example_instance.reviews[0])
+        gamma = space.aspect_vector(paper_example_instance.reviews[0])
+        big_config = SelectionConfig(max_reviews=7)
+        with pytest.raises(ValueError, match="exceed"):
+            exhaustive_select_for_item(space, reviews, tau, gamma, big_config)
+
+    def test_item_optimum_matches_manual_scan(self, paper_example_instance):
+        config = SelectionConfig(max_reviews=1)
+        space = build_space(paper_example_instance, config)
+        reviews = paper_example_instance.reviews[0]
+        tau = space.opinion_vector(reviews)
+        gamma = space.aspect_vector(reviews)
+        selection, objective = exhaustive_select_for_item(
+            space, reviews, tau, gamma, config
+        )
+        manual_best = min(
+            item_objective(space, [r], tau, gamma, config.lam) for r in reviews
+        )
+        assert objective == pytest.approx(min(manual_best, item_objective(space, [], tau, gamma, config.lam)))

@@ -1,0 +1,108 @@
+"""Property-based fuzzing: every selector stays valid on random instances.
+
+Hypothesis generates arbitrary micro-instances (random item counts,
+review counts, aspect/sentiment combinations, budgets) and asserts the
+structural contract of every registered selector plus finiteness of the
+objective functions.  This is the catch-all net under the whole core.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.objective import compare_sets_objective, compare_sets_plus_objective
+from repro.core.problem import SelectionConfig
+from repro.core.selection import make_selector
+from repro.data.instances import ComparisonInstance
+from repro.data.models import Product
+from tests.conftest import make_review
+
+ASPECT_POOL = ("battery", "screen", "price", "fit", "sound")
+
+mention_strategy = st.tuples(
+    st.sampled_from(ASPECT_POOL), st.sampled_from([-1, 0, 1])
+)
+review_strategy = st.lists(mention_strategy, min_size=0, max_size=4)
+item_strategy = st.lists(review_strategy, min_size=1, max_size=6)
+instance_strategy = st.lists(item_strategy, min_size=1, max_size=4)
+
+FAST_SELECTORS = (
+    "Random",
+    "CRS",
+    "CompaReSetS_Greedy",
+    "CompaReSetS",
+    "CompaReSetS+",
+    "Comprehensive",
+    "PolarityCoverage",
+)
+
+
+def build_instance(review_lists) -> ComparisonInstance:
+    products = tuple(
+        Product(product_id=f"p{i}", title=f"P{i}", category="C")
+        for i in range(len(review_lists))
+    )
+    reviews = tuple(
+        tuple(
+            make_review(f"r{i}_{j}", f"p{i}", list(dict.fromkeys(mentions)))
+            for j, mentions in enumerate(mention_lists)
+        )
+        for i, mention_lists in enumerate(review_lists)
+    )
+    return ComparisonInstance(products=products, reviews=reviews)
+
+
+@settings(max_examples=40, deadline=None)
+@given(instance_strategy, st.integers(1, 5), st.sampled_from(FAST_SELECTORS))
+def test_selector_contract(review_lists, budget, selector_name):
+    instance = build_instance(review_lists)
+    config = SelectionConfig(max_reviews=budget, lam=1.0, mu=0.1)
+    selector = make_selector(selector_name)
+    result = selector.select(instance, config, rng=np.random.default_rng(0))
+
+    assert len(result.selections) == instance.num_items
+    for selection, reviews in zip(result.selections, instance.reviews):
+        assert len(selection) <= budget
+        assert len(set(selection)) == len(selection)
+        assert all(0 <= j < len(reviews) for j in selection)
+        assert tuple(sorted(selection)) == selection
+
+    eq1 = compare_sets_objective(result, config)
+    eq5 = compare_sets_plus_objective(result, config)
+    assert np.isfinite(eq1) and eq1 >= 0
+    assert np.isfinite(eq5) and eq5 >= eq1 - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(instance_strategy, st.integers(1, 3))
+def test_plus_beats_or_ties_base_on_literal_objective(review_lists, budget):
+    """The alternating pass never worsens its own acceptance objective."""
+    instance = build_instance(review_lists)
+    config = SelectionConfig(max_reviews=budget, lam=1.0, mu=0.1)
+    unit = config.with_(lam=1.0, mu=1.0)
+    base = make_selector("CompaReSetS").select(instance, config)
+    plus = make_selector("CompaReSetS+").select(instance, config)
+    assert compare_sets_plus_objective(plus, unit) <= (
+        compare_sets_plus_objective(base, unit) + 1e-9
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(instance_strategy, st.integers(1, 3))
+def test_graph_pipeline_on_fuzzed_instances(review_lists, budget):
+    """Selection -> graph -> narrowing survives arbitrary instances."""
+    from repro.graph.similarity import build_item_graph
+    from repro.graph.target_hks import solve_greedy
+
+    instance = build_instance(review_lists)
+    config = SelectionConfig(max_reviews=budget)
+    result = make_selector("CompaReSetS").select(instance, config)
+    graph = build_item_graph(result, config)
+    assert np.isfinite(graph.weights).all()
+    k = min(2, instance.num_items)
+    solution = solve_greedy(graph.weights, k)
+    assert 0 in solution.selected
+    narrowed = result.restricted_to_items(
+        [0] + sorted(v for v in solution.selected if v != 0)
+    )
+    assert narrowed.instance.num_items == k

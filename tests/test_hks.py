@@ -1,0 +1,66 @@
+"""Tests for the plain (unanchored) HkS solvers."""
+
+import numpy as np
+import pytest
+
+from repro.graph.hks import peel_greedy_hks, solve_hks_via_targets
+from repro.graph.target_hks import solve_brute_force, solve_greedy
+from tests.test_ilp import random_weights
+
+
+class TestPeelGreedy:
+    def test_keeps_k_vertices(self):
+        weights = random_weights(10, 0)
+        solution = peel_greedy_hks(weights, 4)
+        assert len(set(solution.selected)) == 4
+
+    def test_uniform_weights_any_subset_optimal(self):
+        weights = np.ones((6, 6))
+        np.fill_diagonal(weights, 0)
+        solution = peel_greedy_hks(weights, 3)
+        assert solution.weight == pytest.approx(3.0)  # C(3,2) edges of weight 1
+
+    def test_k_equals_n(self):
+        weights = random_weights(5, 1)
+        solution = peel_greedy_hks(weights, 5)
+        assert sorted(solution.selected) == list(range(5))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            peel_greedy_hks(random_weights(4, 0), 9)
+
+    def test_isolates_removed_first(self):
+        """A vertex with zero weight everywhere is peeled before others."""
+        weights = random_weights(6, 2)
+        weights[3, :] = 0.0
+        weights[:, 3] = 0.0
+        solution = peel_greedy_hks(weights, 4)
+        assert 3 not in solution.selected
+
+
+class TestHksViaTargets:
+    def test_exact_with_brute_force_subsolver(self):
+        """Anchoring at every vertex recovers the global optimum (§3.1)."""
+        for seed in range(5):
+            weights = random_weights(8, seed)
+            via_targets = solve_hks_via_targets(weights, 3)
+            global_best = max(
+                solve_brute_force(weights, 3, target=v).weight
+                for v in range(8)
+            )
+            assert via_targets.weight == pytest.approx(global_best)
+
+    def test_with_greedy_subsolver_is_multistart_heuristic(self):
+        weights = random_weights(10, 7)
+        multi = solve_hks_via_targets(
+            weights, 4, target_solver=lambda w, k, t: solve_greedy(w, k, target=t)
+        )
+        single = solve_greedy(weights, 4, target=0)
+        assert multi.weight >= single.weight - 1e-9
+
+    def test_beats_or_matches_peeling(self):
+        for seed in range(5):
+            weights = random_weights(9, seed)
+            exact = solve_hks_via_targets(weights, 4)
+            peel = peel_greedy_hks(weights, 4)
+            assert exact.weight >= peel.weight - 1e-9

@@ -1,0 +1,121 @@
+"""Tests for the exact TargetHkS solvers (HiGHS MILP + branch and bound)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.ilp import BranchAndBoundSolver, MilpBackendSolver, subset_weight
+from repro.graph.target_hks import solve_brute_force
+
+
+def random_weights(n: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    distances = rng.uniform(0, 10, (n, n))
+    distances = (distances + distances.T) / 2
+    np.fill_diagonal(distances, 0)
+    weights = distances.max() - distances
+    np.fill_diagonal(weights, 0)
+    return weights
+
+
+class TestSubsetWeight:
+    def test_pair(self):
+        weights = np.array([[0.0, 3.0], [3.0, 0.0]])
+        assert subset_weight(weights, (0, 1)) == 3.0
+
+    def test_singleton_and_empty(self):
+        weights = random_weights(4, 0)
+        assert subset_weight(weights, (2,)) == 0.0
+        assert subset_weight(weights, ()) == 0.0
+
+    def test_triangle(self):
+        weights = np.zeros((3, 3))
+        weights[0, 1] = weights[1, 0] = 1.0
+        weights[0, 2] = weights[2, 0] = 2.0
+        weights[1, 2] = weights[2, 1] = 4.0
+        assert subset_weight(weights, (0, 1, 2)) == 7.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("solver_cls", [MilpBackendSolver, BranchAndBoundSolver])
+    def test_bad_k(self, solver_cls):
+        with pytest.raises(ValueError, match="k must be"):
+            solver_cls(time_limit=5).solve(random_weights(4, 0), k=9)
+
+    @pytest.mark.parametrize("solver_cls", [MilpBackendSolver, BranchAndBoundSolver])
+    def test_bad_target(self, solver_cls):
+        with pytest.raises(ValueError, match="target"):
+            solver_cls(time_limit=5).solve(random_weights(4, 0), k=2, target=7)
+
+    @pytest.mark.parametrize("solver_cls", [MilpBackendSolver, BranchAndBoundSolver])
+    def test_asymmetric_rejected(self, solver_cls):
+        weights = np.array([[0.0, 1.0], [2.0, 0.0]])
+        with pytest.raises(ValueError, match="symmetric"):
+            solver_cls(time_limit=5).solve(weights, k=2)
+
+    def test_bad_time_limit(self):
+        with pytest.raises(ValueError):
+            MilpBackendSolver(time_limit=0)
+        with pytest.raises(ValueError):
+            BranchAndBoundSolver(time_limit=-1)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    @pytest.mark.parametrize("backend_cls", [MilpBackendSolver, BranchAndBoundSolver])
+    def test_matches_brute_force(self, seed, k, backend_cls):
+        weights = random_weights(9, seed)
+        expected = solve_brute_force(weights, k)
+        solution = backend_cls(time_limit=30).solve(weights, k)
+        assert solution.weight == pytest.approx(expected.weight, abs=1e-6)
+        assert solution.proven_optimal
+        assert 0 in solution.selected
+        assert len(solution.selected) == k
+
+    @pytest.mark.parametrize("backend_cls", [MilpBackendSolver, BranchAndBoundSolver])
+    def test_non_default_target(self, backend_cls):
+        weights = random_weights(7, 3)
+        expected = solve_brute_force(weights, 3, target=4)
+        solution = backend_cls(time_limit=30).solve(weights, 3, target=4)
+        assert solution.weight == pytest.approx(expected.weight, abs=1e-6)
+        assert 4 in solution.selected
+
+    @pytest.mark.parametrize("backend_cls", [MilpBackendSolver, BranchAndBoundSolver])
+    def test_k_equals_n(self, backend_cls):
+        weights = random_weights(5, 1)
+        solution = backend_cls(time_limit=10).solve(weights, 5)
+        assert sorted(solution.selected) == list(range(5))
+
+    @pytest.mark.parametrize("backend_cls", [MilpBackendSolver, BranchAndBoundSolver])
+    def test_k_one(self, backend_cls):
+        weights = random_weights(5, 1)
+        solution = backend_cls(time_limit=10).solve(weights, 1)
+        assert solution.selected == (0,)
+        assert solution.weight == 0.0
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(4, 8), st.integers(2, 4))
+    def test_property_equivalence(self, seed, n, k):
+        weights = random_weights(n, seed)
+        expected = solve_brute_force(weights, min(k, n))
+        bnb = BranchAndBoundSolver(time_limit=30).solve(weights, min(k, n))
+        assert bnb.weight == pytest.approx(expected.weight, abs=1e-6)
+
+
+class TestTimeLimit:
+    def test_bnb_times_out_gracefully(self):
+        weights = random_weights(40, 9)
+        solution = BranchAndBoundSolver(time_limit=0.01).solve(weights, 12)
+        # Either finished extremely fast (optimal) or returned the incumbent.
+        assert len(solution.selected) == 12
+        assert 0 in solution.selected
+        assert solution.weight > 0
+
+    def test_reported_weight_consistent(self):
+        weights = random_weights(12, 5)
+        solution = BranchAndBoundSolver(time_limit=10).solve(weights, 4)
+        assert solution.weight == pytest.approx(
+            subset_weight(weights, solution.selected)
+        )

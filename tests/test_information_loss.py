@@ -1,0 +1,59 @@
+"""Tests for the Fig.-11 information-loss measurement."""
+
+import pytest
+
+from repro.core.selection import make_selector
+from repro.eval.information_loss import information_loss_curve, measure_result
+
+
+class TestMeasureResult:
+    def test_per_item_lengths(self, instance, config, rng):
+        result = make_selector("Random").select(instance, config, rng=rng)
+        deltas, cosines = measure_result(result, config)
+        assert len(deltas) == instance.num_items
+        assert len(cosines) == instance.num_items
+
+    def test_bounds(self, instance, config, rng):
+        result = make_selector("Random").select(instance, config, rng=rng)
+        deltas, cosines = measure_result(result, config)
+        assert all(d >= 0 for d in deltas)
+        assert all(-1e-9 <= c <= 1.0 + 1e-9 for c in cosines)
+
+    def test_full_selection_has_zero_loss(self, instance, config):
+        """Selecting every review reproduces tau exactly (Delta = 0)."""
+        from repro.core.selection import SelectionResult
+
+        selections = tuple(
+            tuple(range(len(reviews))) for reviews in instance.reviews
+        )
+        result = SelectionResult(
+            instance=instance, selections=selections, algorithm="all"
+        )
+        deltas, cosines = measure_result(result, config)
+        assert all(d == pytest.approx(0.0) for d in deltas)
+        assert all(c == pytest.approx(1.0) for c in cosines)
+
+
+class TestCurve:
+    def test_budgets_and_monotone_trend(self, instances, config):
+        selector = make_selector("CompaReSetS+")
+        points = information_loss_curve(
+            instances[:3], selector, config, budgets=(2, 8)
+        )
+        assert [p.max_reviews for p in points] == [2, 8]
+        # More budget -> (weakly) less target-item loss, more cosine.
+        assert points[1].target_delta <= points[0].target_delta + 0.05
+        assert points[1].target_cosine >= points[0].target_cosine - 0.05
+
+    def test_values_finite(self, instances, config):
+        selector = make_selector("CompaReSetS+")
+        points = information_loss_curve(instances[:2], selector, config, budgets=(3,))
+        point = points[0]
+        for value in (
+            point.target_delta,
+            point.target_cosine,
+            point.all_items_delta,
+            point.all_items_cosine,
+        ):
+            assert value == value  # not NaN
+            assert value >= 0

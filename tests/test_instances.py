@@ -1,0 +1,108 @@
+"""Tests for comparison-instance extraction and restriction."""
+
+import pytest
+
+from repro.data.corpus import Corpus
+from repro.data.instances import ComparisonInstance, build_instance, build_instances
+from repro.data.models import Product
+from tests.conftest import make_review
+
+
+def corpus_with_chain() -> Corpus:
+    products = [
+        Product(product_id="p1", title="A", category="C", also_bought=("p2", "p3", "p4")),
+        Product(product_id="p2", title="B", category="C", also_bought=("p1",)),
+        Product(product_id="p3", title="C", category="C"),
+        Product(product_id="p4", title="D", category="C"),
+    ]
+    reviews = []
+    counts = {"p1": 3, "p2": 2, "p3": 1, "p4": 0}
+    serial = 0
+    for pid, count in counts.items():
+        for _ in range(count):
+            serial += 1
+            reviews.append(make_review(f"r{serial}", pid, [("battery", 1)]))
+    return Corpus("chain", products, reviews)
+
+
+class TestBuildInstance:
+    def test_filters_by_min_reviews(self):
+        corpus = corpus_with_chain()
+        instance = build_instance(corpus, "p1", min_reviews=2)
+        assert instance is not None
+        # p3 (1 review) and p4 (0 reviews) are dropped.
+        assert [p.product_id for p in instance.products] == ["p1", "p2"]
+
+    def test_none_when_target_lacks_reviews(self):
+        corpus = corpus_with_chain()
+        assert build_instance(corpus, "p4", min_reviews=1) is None
+
+    def test_none_when_no_comparatives_survive(self):
+        corpus = corpus_with_chain()
+        assert build_instance(corpus, "p3", min_reviews=1) is None  # empty also_bought
+
+    def test_max_comparisons_truncates(self):
+        corpus = corpus_with_chain()
+        instance = build_instance(corpus, "p1", max_comparisons=1, min_reviews=1)
+        assert instance.num_items == 2
+
+    def test_reviews_attached_to_right_products(self):
+        corpus = corpus_with_chain()
+        instance = build_instance(corpus, "p1", min_reviews=1)
+        for product, review_set in zip(instance.products, instance.reviews):
+            for review in review_set:
+                assert review.product_id == product.product_id
+
+
+class TestBuildInstances:
+    def test_max_instances(self):
+        corpus = corpus_with_chain()
+        assert len(list(build_instances(corpus, max_instances=1, min_reviews=1))) == 1
+
+    def test_yields_only_viable_targets(self):
+        corpus = corpus_with_chain()
+        targets = [
+            inst.target.product_id for inst in build_instances(corpus, min_reviews=1)
+        ]
+        assert targets == ["p1", "p2"]
+
+
+class TestComparisonInstance:
+    def test_properties(self, instance):
+        assert instance.target is instance.products[0]
+        assert len(instance.comparatives) == instance.num_items - 1
+
+    def test_mismatched_lengths_rejected(self):
+        p = Product(product_id="p1", title="A", category="C")
+        with pytest.raises(ValueError, match="review sets"):
+            ComparisonInstance(products=(p,), reviews=())
+
+    def test_duplicate_products_rejected(self):
+        p = Product(product_id="p1", title="A", category="C")
+        with pytest.raises(ValueError, match="duplicate product"):
+            ComparisonInstance(products=(p, p), reviews=((), ()))
+
+    def test_wrong_review_owner_rejected(self):
+        p1 = Product(product_id="p1", title="A", category="C")
+        foreign = make_review("r1", "p999", [])
+        with pytest.raises(ValueError, match="belongs to"):
+            ComparisonInstance(products=(p1,), reviews=((foreign,),))
+
+    def test_aspect_vocabulary(self, paper_example_instance):
+        assert paper_example_instance.aspect_vocabulary() == ["battery", "lens", "quality"]
+
+    def test_restricted_to(self, instance):
+        ids = [p.product_id for p in instance.products]
+        sub = instance.restricted_to([ids[0], ids[2]])
+        assert sub.num_items == 2
+        assert sub.target.product_id == ids[0]
+        assert sub.reviews[1] == instance.reviews[2]
+
+    def test_restricted_to_requires_target_first(self, instance):
+        ids = [p.product_id for p in instance.products]
+        with pytest.raises(ValueError, match="target"):
+            instance.restricted_to([ids[1], ids[0]])
+
+    def test_restricted_to_unknown_product(self, instance):
+        with pytest.raises(ValueError, match="unknown products"):
+            instance.restricted_to([instance.target.product_id, "ghost"])

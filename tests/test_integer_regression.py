@@ -1,0 +1,286 @@
+"""Tests for the Integer-Regression machinery: dedup, NOMP, rounding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.integer_regression import (
+    counts_to_selection,
+    deduplicate_columns,
+    integer_regression_select,
+    largest_remainder_round,
+    nomp,
+    nomp_path,
+    round_to_counts,
+)
+
+
+class TestDeduplicateColumns:
+    def test_groups_identical_columns(self):
+        matrix = np.array([[1.0, 1.0, 0.0], [0.0, 0.0, 1.0]])
+        result = deduplicate_columns(matrix)
+        assert result.groups == ((0, 1), (2,))
+        assert result.matrix.shape == (2, 2)
+        np.testing.assert_array_equal(result.capacities, [2, 1])
+
+    def test_no_duplicates(self):
+        matrix = np.eye(3)
+        result = deduplicate_columns(matrix)
+        assert len(result.groups) == 3
+
+    def test_empty_matrix(self):
+        result = deduplicate_columns(np.zeros((4, 0)))
+        assert result.groups == ()
+        assert result.matrix.shape == (4, 0)
+
+    def test_float_noise_merged(self):
+        matrix = np.array([[1.0, 1.0 + 1e-15]])
+        assert len(deduplicate_columns(matrix).groups) == 1
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            deduplicate_columns(np.zeros(3))
+
+
+class TestNomp:
+    def test_exact_recovery_of_sparse_combination(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.uniform(0, 1, (20, 10))
+        true_x = np.zeros(10)
+        true_x[[2, 7]] = [1.5, 0.5]
+        target = matrix @ true_x
+        x = nomp(matrix, target, max_atoms=2)
+        np.testing.assert_allclose(matrix @ x, target, atol=1e-8)
+
+    def test_respects_sparsity_budget(self):
+        rng = np.random.default_rng(1)
+        matrix = rng.uniform(0, 1, (8, 12))
+        target = rng.uniform(0, 1, 8)
+        x = nomp(matrix, target, max_atoms=3)
+        assert np.count_nonzero(x) <= 3
+
+    def test_non_negative(self):
+        rng = np.random.default_rng(2)
+        matrix = rng.uniform(-1, 1, (6, 9))
+        target = rng.uniform(-1, 1, 6)
+        assert (nomp(matrix, target, 4) >= 0).all()
+
+    def test_zero_columns(self):
+        assert nomp(np.zeros((3, 0)), np.ones(3), 2).shape == (0,)
+
+    def test_zero_budget(self):
+        assert not nomp(np.ones((3, 3)), np.ones(3), 0).any()
+
+    def test_orthogonal_target_yields_empty(self):
+        # target negatively correlated with every column -> nothing picked
+        matrix = np.ones((3, 2))
+        target = -np.ones(3)
+        assert not nomp(matrix, target, 2).any()
+
+    def test_path_prefix_property(self):
+        """nomp(budget=l) equals the l-th point of the budget-m path."""
+        rng = np.random.default_rng(7)
+        matrix = rng.uniform(0, 1, (12, 9))
+        target = rng.uniform(0, 1, 12)
+        path = nomp_path(matrix, target, 5)
+        for sparsity in range(1, len(path) + 1):
+            np.testing.assert_allclose(
+                nomp(matrix, target, sparsity), path[sparsity - 1]
+            )
+
+    def test_path_support_grows_by_one(self):
+        rng = np.random.default_rng(8)
+        matrix = rng.uniform(0, 1, (10, 8))
+        target = rng.uniform(0, 1, 10)
+        path = nomp_path(matrix, target, 6)
+        supports = [set(np.flatnonzero(x > 0)) for x in path]
+        for previous, current in zip(supports, supports[1:]):
+            # NNLS re-fits may zero out an earlier atom, but the selected
+            # atom set can never shrink below the previous support size.
+            assert len(current) <= len(previous) + 1
+
+    def test_path_empty_for_zero_columns(self):
+        assert nomp_path(np.zeros((3, 0)), np.ones(3), 4) == []
+
+    def test_residual_decreases_with_budget(self):
+        rng = np.random.default_rng(3)
+        matrix = rng.uniform(0, 1, (15, 10))
+        target = rng.uniform(0, 1, 15)
+        errors = []
+        for budget in (1, 3, 5):
+            x = nomp(matrix, target, budget)
+            errors.append(float(np.linalg.norm(matrix @ x - target)))
+        assert errors[0] >= errors[1] >= errors[2]
+
+
+class TestLargestRemainderRound:
+    def test_basic_apportionment(self):
+        result = largest_remainder_round(
+            np.array([1.6, 1.4, 0.0]), np.array([5, 5, 5]), total=3
+        )
+        np.testing.assert_array_equal(result, [2, 1, 0])
+
+    def test_respects_capacities(self):
+        result = largest_remainder_round(
+            np.array([3.0, 0.0]), np.array([1, 5]), total=3
+        )
+        assert result[0] <= 1
+        assert result.sum() == 3  # overflow routed to slack entries
+
+    def test_negative_ideal_rejected(self):
+        with pytest.raises(ValueError):
+            largest_remainder_round(np.array([-1.0]), np.array([2]), 1)
+
+    @given(
+        st.lists(st.floats(0, 5, allow_nan=False), min_size=1, max_size=8),
+        st.integers(0, 10),
+    )
+    def test_invariants(self, ideal, total):
+        ideal_array = np.array(ideal)
+        capacities = np.full(len(ideal), 3)
+        result = largest_remainder_round(ideal_array, capacities, total)
+        assert (result >= 0).all()
+        assert (result <= capacities).all()
+        assert result.sum() <= max(total, 0) or result.sum() <= capacities.sum()
+        # When slack allows and total is feasible, the full total is placed.
+        if total <= capacities.sum():
+            assert result.sum() == min(total, capacities.sum()) or result.sum() >= min(
+                int(np.floor(ideal_array.sum())), total
+            )
+
+
+class TestRoundToCounts:
+    def test_zero_x(self):
+        assert not round_to_counts(np.zeros(3), np.ones(3, dtype=int), 5).any()
+
+    def test_simple_proportions(self):
+        x = np.array([2.0, 1.0, 0.0])
+        counts = round_to_counts(x, np.array([5, 5, 5]), max_total=3)
+        np.testing.assert_array_equal(counts, [2, 1, 0])
+
+    def test_capacity_capped(self):
+        x = np.array([1.0, 0.0])
+        counts = round_to_counts(x, np.array([1, 4]), max_total=4)
+        assert counts[0] <= 1
+
+    def test_total_bounded(self):
+        rng = np.random.default_rng(4)
+        x = rng.uniform(0, 1, 6)
+        counts = round_to_counts(x, np.full(6, 10), max_total=4)
+        assert counts.sum() <= 4
+
+    @given(
+        st.lists(st.floats(0, 1, allow_nan=False), min_size=1, max_size=6),
+        st.integers(1, 6),
+    )
+    @settings(max_examples=50)
+    def test_feasibility(self, x_values, max_total):
+        x = np.array(x_values)
+        capacities = np.full(len(x), 2)
+        counts = round_to_counts(x, capacities, max_total)
+        assert (counts >= 0).all()
+        assert (counts <= capacities).all()
+        assert counts.sum() <= max_total
+
+
+class TestCountsToSelection:
+    def test_maps_back_in_group_order(self):
+        selection = counts_to_selection(
+            np.array([2, 0, 1]), [(0, 3), (1,), (2, 4)]
+        )
+        assert selection == (0, 2, 3)
+
+    def test_over_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            counts_to_selection(np.array([2]), [(0,)])
+
+
+class TestIntegerRegressionSelect:
+    def _perfect_instance(self):
+        """Columns where a known subset reproduces the target exactly."""
+        columns = np.array(
+            [
+                [1.0, 0.0, 1.0, 0.0],
+                [0.0, 1.0, 1.0, 0.0],
+                [0.0, 0.0, 0.0, 1.0],
+            ]
+        )
+        target = columns[:, 0] + columns[:, 1]  # = columns 0+1 (also column 2)
+        return columns, target
+
+    def test_finds_low_objective_selection(self):
+        columns, target = self._perfect_instance()
+
+        def evaluate(selection):
+            achieved = columns[:, list(selection)].sum(axis=1) if selection else np.zeros(3)
+            return float(((achieved - target) ** 2).sum())
+
+        result = integer_regression_select(columns, target, max_reviews=2, evaluate=evaluate)
+        assert result.objective == pytest.approx(0.0)
+        assert len(result.selected) <= 2
+
+    def test_respects_max_reviews(self):
+        rng = np.random.default_rng(5)
+        columns = rng.uniform(0, 1, (6, 10))
+        target = rng.uniform(0, 2, 6)
+
+        def evaluate(selection):
+            achieved = columns[:, list(selection)].sum(axis=1) if selection else np.zeros(6)
+            return float(((achieved - target) ** 2).sum())
+
+        result = integer_regression_select(columns, target, max_reviews=3, evaluate=evaluate)
+        assert len(result.selected) <= 3
+
+    def test_allow_empty_competes(self):
+        columns = np.ones((2, 3))
+        target = np.zeros(2)
+
+        def evaluate(selection):
+            achieved = columns[:, list(selection)].sum(axis=1) if selection else np.zeros(2)
+            return float(((achieved - target) ** 2).sum())
+
+        # Zero target: empty wins when allowed...
+        allowed = integer_regression_select(columns, target, 2, evaluate, allow_empty=True)
+        assert allowed.selected == ()
+        # ...and also when not allowed, because NOMP finds no positive atom.
+        forced = integer_regression_select(columns, target, 2, evaluate, allow_empty=False)
+        assert forced.selected == ()
+
+    def test_prefers_non_empty_when_disallowed(self):
+        columns = np.array([[1.0, 0.2]])
+        target = np.array([0.1])  # closest to empty, but empty is disallowed
+
+        def evaluate(selection):
+            achieved = columns[:, list(selection)].sum(axis=1) if selection else np.zeros(1)
+            return float(((achieved - target) ** 2).sum())
+
+        result = integer_regression_select(columns, target, 1, evaluate, allow_empty=False)
+        assert result.selected  # non-empty preferred
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="dimension"):
+            integer_regression_select(np.ones((2, 2)), np.ones(3), 1, lambda s: 0.0)
+
+    def test_duplicate_columns_select_distinct_reviews(self):
+        """Duplicate review groups expand to distinct review indices.
+
+        Two identical [1,0] reviews plus one [0,1] review; the target
+        proportion 2:1 requires selecting both duplicates.  The evaluator
+        is scale-invariant (L1-normalised) like the real pi/phi vectors,
+        since the rounding criterion itself is normalisation-based.
+        """
+        columns = np.array([[1.0, 1.0, 0.0], [0.0, 0.0, 1.0]])
+        target = np.array([2 / 3, 1 / 3])
+
+        def evaluate(selection):
+            if not selection:
+                return float((target**2).sum())
+            achieved = columns[:, list(selection)].sum(axis=1)
+            achieved = achieved / achieved.sum()
+            return float(((achieved - target) ** 2).sum())
+
+        result = integer_regression_select(columns, target, 3, evaluate)
+        assert len(set(result.selected)) == len(result.selected)
+        assert result.objective == pytest.approx(0.0)
+        assert set(result.selected) == {0, 1, 2}

@@ -1,0 +1,76 @@
+"""Tests for the opinion lexicon and the stopword list."""
+
+from repro.text.lexicon import (
+    NEGATIVE_WORDS,
+    POSITIVE_WORDS,
+    intensity,
+    is_negation,
+    is_opinion_word,
+    polarity,
+)
+from repro.text.stopwords import STOPWORDS, is_stopword
+
+
+class TestPolarity:
+    def test_positive(self):
+        assert polarity("great") == 1
+        assert polarity("sturdy") == 1
+
+    def test_negative(self):
+        assert polarity("flimsy") == -1
+        assert polarity("broken") == -1
+
+    def test_neutral(self):
+        assert polarity("table") == 0
+
+    def test_case_insensitive(self):
+        assert polarity("GREAT") == 1
+
+    def test_lexicons_disjoint(self):
+        assert not (POSITIVE_WORDS & NEGATIVE_WORDS)
+
+    def test_is_opinion_word(self):
+        assert is_opinion_word("awful")
+        assert not is_opinion_word("battery")
+
+
+class TestNegation:
+    def test_common_negations(self):
+        for token in ("not", "never", "no", "don't", "isn't"):
+            assert is_negation(token), token
+
+    def test_non_negation(self):
+        assert not is_negation("very")
+
+    def test_case_insensitive(self):
+        assert is_negation("NOT")
+
+
+class TestIntensity:
+    def test_amplifier(self):
+        assert intensity("very") > 1.0
+        assert intensity("extremely") >= intensity("very")
+
+    def test_downtoner(self):
+        assert intensity("slightly") < 1.0
+
+    def test_default(self):
+        assert intensity("battery") == 1.0
+
+
+class TestStopwords:
+    def test_common_stopwords(self):
+        for token in ("the", "and", "is", "of", "this"):
+            assert is_stopword(token), token
+
+    def test_content_words_not_stopwords(self):
+        for token in ("battery", "charger", "puzzle", "sandal"):
+            assert not is_stopword(token), token
+
+    def test_opinion_words_not_stopwords(self):
+        """Opinion words must survive stopword filtering for the extractor."""
+        assert not (POSITIVE_WORDS & STOPWORDS)
+        assert not (NEGATIVE_WORDS & STOPWORDS)
+
+    def test_case_insensitive(self):
+        assert is_stopword("The")

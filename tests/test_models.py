@@ -1,0 +1,78 @@
+"""Tests for the data model: Review, Product, AspectMention."""
+
+import pytest
+
+from repro.data.models import AspectMention, Product, Review
+from tests.conftest import make_review
+
+
+class TestAspectMention:
+    def test_valid(self):
+        mention = AspectMention(aspect="battery", sentiment=1)
+        assert mention.strength == 1.0
+
+    @pytest.mark.parametrize("sentiment", [-2, 2, 5])
+    def test_invalid_sentiment(self, sentiment):
+        with pytest.raises(ValueError, match="sentiment"):
+            AspectMention(aspect="battery", sentiment=sentiment)
+
+    def test_negative_strength(self):
+        with pytest.raises(ValueError, match="strength"):
+            AspectMention(aspect="battery", sentiment=1, strength=-0.5)
+
+    def test_frozen(self):
+        mention = AspectMention(aspect="battery", sentiment=0)
+        with pytest.raises(AttributeError):
+            mention.sentiment = 1
+
+
+class TestReview:
+    def test_aspects_property(self):
+        review = make_review("r1", "p1", [("battery", 1), ("screen", -1), ("battery", -1)])
+        assert review.aspects == {"battery", "screen"}
+
+    def test_sentiment_for_simple(self):
+        review = make_review("r1", "p1", [("battery", 1)])
+        assert review.sentiment_for("battery") == 1
+        assert review.sentiment_for("screen") == 0
+
+    def test_sentiment_for_mixed_mentions(self):
+        review = Review(
+            review_id="r1",
+            product_id="p1",
+            reviewer_id="u1",
+            rating=3.0,
+            text="mixed",
+            mentions=(
+                AspectMention("battery", 1, strength=0.5),
+                AspectMention("battery", -1, strength=2.0),
+            ),
+        )
+        assert review.sentiment_for("battery") == -1
+        assert review.signed_strength_for("battery") == pytest.approx(-1.5)
+
+    def test_invalid_rating(self):
+        with pytest.raises(ValueError, match="rating"):
+            make_review("r1", "p1", [], rating=6.0)
+
+    def test_empty_review_id(self):
+        with pytest.raises(ValueError, match="review_id"):
+            Review(review_id="", product_id="p", reviewer_id="u", rating=3.0, text="x")
+
+    def test_neutral_mention_sentiment(self):
+        review = make_review("r1", "p1", [("battery", 0)])
+        assert review.sentiment_for("battery") == 0
+
+
+class TestProduct:
+    def test_valid(self):
+        product = Product(product_id="p1", title="Phone", category="Cellphone", also_bought=("p2",))
+        assert product.also_bought == ("p2",)
+
+    def test_self_reference_rejected(self):
+        with pytest.raises(ValueError, match="own also_bought"):
+            Product(product_id="p1", title="X", category="C", also_bought=("p1",))
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError, match="product_id"):
+            Product(product_id="", title="X", category="C")

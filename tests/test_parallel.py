@@ -1,0 +1,46 @@
+"""Tests for the parallel instance runner."""
+
+import pytest
+
+from repro.core.problem import SelectionConfig
+from repro.core.selection import make_selector
+from repro.eval.parallel import select_parallel
+
+
+class TestSelectParallel:
+    def test_matches_sequential_for_deterministic_selector(self, instances, config):
+        sequential = [
+            make_selector("CompaReSetS").select(inst, config) for inst in instances[:4]
+        ]
+        parallel = select_parallel(
+            "CompaReSetS", instances[:4], config, max_workers=2
+        )
+        assert [r.selections for r in parallel] == [r.selections for r in sequential]
+
+    def test_order_preserved(self, instances, config):
+        results = select_parallel("Random", instances[:4], config, max_workers=2)
+        for result, instance in zip(results, instances[:4]):
+            assert result.instance.target.product_id == instance.target.product_id
+
+    def test_reproducible_across_worker_counts(self, instances, config):
+        one = select_parallel("Random", instances[:4], config, max_workers=1, seed=3)
+        two = select_parallel("Random", instances[:4], config, max_workers=2, seed=3)
+        assert [r.selections for r in one] == [r.selections for r in two]
+
+    def test_selector_kwargs_forwarded(self, instances, config):
+        results = select_parallel(
+            "CompaReSetS+",
+            instances[:2],
+            config,
+            max_workers=1,
+            selector_kwargs={"variant": "weighted"},
+        )
+        assert len(results) == 2
+
+    def test_single_instance_runs_inline(self, instances, config):
+        results = select_parallel("CRS", instances[:1], config)
+        assert len(results) == 1
+
+    def test_unknown_selector_raises(self, instances, config):
+        with pytest.raises(ValueError, match="unknown selector"):
+            select_parallel("Oracle", instances[:1], config)

@@ -1,0 +1,72 @@
+"""Tests for experiment result persistence."""
+
+import math
+
+import pytest
+
+from repro.core.vectors import OpinionScheme
+from repro.eval.runner import EvaluationSettings
+from repro.experiments.persist import _jsonable, load_results, save_results
+
+
+class TestJsonable:
+    def test_dataclass(self):
+        settings = EvaluationSettings()
+        data = _jsonable(settings)
+        assert data["categories"] == ["Cellphone", "Toy", "Clothing"]
+        assert data["config"]["lam"] == 1.0
+
+    def test_enum(self):
+        assert _jsonable(OpinionScheme.BINARY) == "binary"
+
+    def test_numpy(self):
+        import numpy as np
+
+        assert _jsonable(np.int64(3)) == 3
+        assert _jsonable(np.float64(1.5)) == 1.5
+        assert _jsonable(np.array([1.0, 2.0])) == [1.0, 2.0]
+
+    def test_nan_becomes_null(self):
+        assert _jsonable(math.nan) is None
+
+    def test_nested(self):
+        assert _jsonable({"a": (1, 2), "b": [OpinionScheme.UNARY_SCALE]}) == {
+            "a": [1, 2],
+            "b": ["unary-scale"],
+        }
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        from repro.experiments.table2 import run_table2
+
+        settings = EvaluationSettings(
+            categories=("Toy",), scale=0.25, max_instances=3
+        )
+        results = run_table2(settings)
+        path = tmp_path / "table2.json"
+        save_results("table2", results, settings, path)
+
+        envelope = load_results(path)
+        assert envelope["experiment"] == "table2"
+        assert envelope["settings"]["scale"] == 0.25
+        assert envelope["results"][0]["name"] == "Toy"
+        assert envelope["results"][0]["num_products"] > 0
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            load_results(path)
+
+    def test_wrong_shape(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="envelope"):
+            load_results(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"experiment": "x", "version": 99}')
+        with pytest.raises(ValueError, match="version"):
+            load_results(path)

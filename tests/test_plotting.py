@@ -1,0 +1,58 @@
+"""Tests for the ASCII line-plot renderer."""
+
+import math
+
+import pytest
+
+from repro.eval.plotting import ascii_line_plot
+
+
+class TestAsciiLinePlot:
+    def test_basic_structure(self):
+        text = ascii_line_plot(
+            [1, 2, 3], {"up": [1.0, 2.0, 3.0]}, width=20, height=6, title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len([line for line in lines if "|" in line]) == 6
+        assert "o up" in text
+
+    def test_monotone_series_orientation(self):
+        """A rising series puts its marker higher (earlier row) at larger x."""
+        text = ascii_line_plot([0, 10], {"s": [0.0, 1.0]}, width=20, height=8)
+        rows = [line.split("|", 1)[1] for line in text.splitlines() if "|" in line]
+        first_column = next(i for row in rows for i, c in enumerate(row) if c == "o")
+        top_row = next(i for i, row in enumerate(rows) if "o" in row)
+        bottom_row = max(i for i, row in enumerate(rows) if "o" in row)
+        assert rows[top_row].rindex("o") > rows[bottom_row].index("o")
+        assert first_column >= 0
+
+    def test_two_series_two_markers(self):
+        text = ascii_line_plot(
+            [1, 2], {"a": [1.0, 2.0], "b": [2.0, 1.0]}, width=12, height=5
+        )
+        assert "o a" in text and "x b" in text
+
+    def test_overlap_marker(self):
+        text = ascii_line_plot(
+            [1, 2], {"a": [1.0, 2.0], "b": [1.0, 2.0]}, width=12, height=5
+        )
+        assert "8" in text
+
+    def test_constant_series_allowed(self):
+        text = ascii_line_plot([1, 2, 3], {"flat": [5.0, 5.0, 5.0]})
+        assert "flat" in text
+
+    def test_nan_skipped(self):
+        text = ascii_line_plot([1, 2, 3], {"s": [1.0, math.nan, 3.0]})
+        assert "s" in text
+
+    def test_errors(self):
+        with pytest.raises(ValueError, match="at least one series"):
+            ascii_line_plot([1, 2], {})
+        with pytest.raises(ValueError, match="points for"):
+            ascii_line_plot([1, 2], {"s": [1.0]})
+        with pytest.raises(ValueError, match="two x values"):
+            ascii_line_plot([1], {"s": [1.0]})
+        with pytest.raises(ValueError, match="NaN"):
+            ascii_line_plot([1, 2], {"s": [math.nan, math.nan]})

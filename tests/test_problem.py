@@ -1,0 +1,48 @@
+"""Tests for SelectionConfig validation and helpers."""
+
+import pytest
+
+from repro.core.problem import SelectionConfig
+from repro.core.vectors import OpinionScheme
+
+
+class TestValidation:
+    def test_defaults(self):
+        config = SelectionConfig()
+        assert config.max_reviews == 3
+        assert config.lam == 1.0
+        assert config.mu == 0.1  # the paper's tuned value
+        assert config.scheme is OpinionScheme.BINARY
+        assert config.sweeps == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_reviews": 0},
+            {"lam": -0.1},
+            {"mu": -1.0},
+            {"sweeps": 0},
+        ],
+    )
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            SelectionConfig(**kwargs)
+
+    def test_frozen(self):
+        config = SelectionConfig()
+        with pytest.raises(AttributeError):
+            config.max_reviews = 5
+
+
+class TestWith:
+    def test_with_replaces_fields(self):
+        config = SelectionConfig(max_reviews=3, lam=1.0)
+        changed = config.with_(max_reviews=10, mu=0.5)
+        assert changed.max_reviews == 10
+        assert changed.mu == 0.5
+        assert changed.lam == 1.0
+        assert config.max_reviews == 3  # original untouched
+
+    def test_with_validates(self):
+        with pytest.raises(ValueError):
+            SelectionConfig().with_(max_reviews=-1)

@@ -1,0 +1,35 @@
+"""The documented public API resolves and behaves as advertised."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+    def test_quickstart_docstring_flow(self):
+        """The __init__ docstring's quickstart actually runs."""
+        corpus = repro.generate_corpus("Cellphone", scale=0.25, seed=7)
+        instance = next(
+            iter(repro.build_instances(corpus, max_comparisons=4, min_reviews=3))
+        )
+        config = repro.SelectionConfig(max_reviews=3)
+        result = repro.make_selector("CompaReSetS+").select(instance, config)
+        graph = repro.build_item_graph(result, config)
+        core_list = repro.solve_greedy(graph.weights, k=min(3, instance.num_items))
+        assert 0 in core_list.selected
+
+    def test_subpackage_alls_resolve(self):
+        import repro.core
+        import repro.data
+        import repro.eval
+        import repro.graph
+        import repro.text
+
+        for module in (repro.core, repro.data, repro.eval, repro.graph, repro.text):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"

@@ -1,0 +1,80 @@
+"""Tests for the table/series renderers and the experiment runner."""
+
+import pytest
+
+from repro.core.problem import SelectionConfig
+from repro.eval.reporting import format_series, format_table
+from repro.eval.runner import (
+    EvaluationSettings,
+    cached_corpus,
+    evaluate_selectors,
+    prepare_instances,
+    run_selector,
+)
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["A", "Long header"], [["x", 1.5], ["yy", 2.0]])
+        lines = text.splitlines()
+        assert lines[0].startswith("A")
+        assert "Long header" in lines[0]
+        assert "1.50" in text
+
+    def test_title(self):
+        text = format_table(["A"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert set(text.splitlines()[1]) == {"="}
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="columns"):
+            format_table(["A", "B"], [["only one"]])
+
+    def test_custom_float_format(self):
+        text = format_table(["v"], [[1.23456]], float_format="{:.4f}")
+        assert "1.2346" in text
+
+
+class TestFormatSeries:
+    def test_layout(self):
+        text = format_series("x", [1, 2], {"s1": [0.1, 0.2], "s2": [0.3, 0.4]})
+        assert "s1" in text and "s2" in text
+        assert "0.1000" in text
+
+
+class TestRunner:
+    def test_cached_corpus_is_cached(self):
+        a = cached_corpus("Toy", 0.25, 3)
+        b = cached_corpus("Toy", 0.25, 3)
+        assert a is b
+
+    def test_prepare_instances(self):
+        settings = EvaluationSettings(
+            scale=0.25, max_instances=4, max_comparisons=4, min_reviews=2
+        )
+        instances = prepare_instances(settings, "Toy")
+        assert 0 < len(instances) <= 4
+        assert all(inst.num_items <= 5 for inst in instances)
+
+    def test_run_selector_timing(self, instances, config):
+        run = run_selector("Random", instances[:3], config, seed=0)
+        assert run.algorithm == "Random"
+        assert len(run.results) == 3
+        assert len(run.seconds_per_instance) == 3
+        assert run.mean_seconds >= 0
+
+    def test_run_selector_accepts_instance_object(self, instances, config):
+        from repro.core.baselines import RandomSelector
+
+        run = run_selector(RandomSelector(), instances[:2], config)
+        assert len(run.results) == 2
+
+    def test_evaluate_selectors(self, instances, config):
+        runs = evaluate_selectors(("Random", "CRS"), instances[:2], config)
+        assert set(runs) == {"Random", "CRS"}
+
+    def test_default_settings_sensible(self):
+        settings = EvaluationSettings()
+        assert settings.categories == ("Cellphone", "Toy", "Clothing")
+        assert settings.config.mu == pytest.approx(0.01)
+        assert isinstance(settings.config, SelectionConfig)

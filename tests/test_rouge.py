@@ -1,0 +1,118 @@
+"""Unit and property tests for the from-scratch ROUGE implementation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.rouge import RougeScore, rouge_1, rouge_2, rouge_l, rouge_n, rouge_scores
+
+words = st.lists(
+    st.sampled_from(["the", "battery", "is", "great", "poor", "screen", "a"]),
+    max_size=20,
+)
+
+
+class TestRougeN:
+    def test_identical_texts_score_one(self):
+        score = rouge_1("the battery is great", "the battery is great")
+        assert score.precision == score.recall == score.f1 == 1.0
+
+    def test_disjoint_texts_score_zero(self):
+        score = rouge_1("battery great", "screen poor")
+        assert score.f1 == 0.0
+
+    def test_partial_overlap(self):
+        # candidate: {the, battery}, reference: {the, screen}; 1 match of 2.
+        score = rouge_1("the battery", "the screen")
+        assert score.precision == pytest.approx(0.5)
+        assert score.recall == pytest.approx(0.5)
+        assert score.f1 == pytest.approx(0.5)
+
+    def test_clipping_counts(self):
+        # candidate has "the" x3 but reference only x1: matches clipped to 1.
+        score = rouge_1("the the the", "the end")
+        assert score.precision == pytest.approx(1 / 3)
+        assert score.recall == pytest.approx(1 / 2)
+
+    def test_rouge_2_bigram_overlap(self):
+        score = rouge_2("the battery is great", "the battery is poor")
+        # candidate bigrams: (the,battery),(battery,is),(is,great); 2 match.
+        assert score.precision == pytest.approx(2 / 3)
+
+    def test_rouge_2_single_token_texts(self):
+        assert rouge_2("battery", "battery").f1 == 0.0
+
+    def test_empty_candidate(self):
+        assert rouge_1("", "anything here").f1 == 0.0
+
+    def test_empty_reference(self):
+        assert rouge_1("anything here", "").f1 == 0.0
+
+    def test_accepts_token_lists(self):
+        assert rouge_1(["a", "b"], ["a", "b"]).f1 == 1.0
+
+    @given(words, words)
+    def test_f1_symmetric(self, a, b):
+        assert rouge_n(a, b, 1).f1 == pytest.approx(rouge_n(b, a, 1).f1)
+
+    @given(words, words)
+    def test_bounds(self, a, b):
+        score = rouge_n(a, b, 1)
+        for value in (score.precision, score.recall, score.f1):
+            assert 0.0 <= value <= 1.0
+
+
+class TestRougeL:
+    def test_identical(self):
+        assert rouge_l("a b c", "a b c").f1 == 1.0
+
+    def test_subsequence_not_substring(self):
+        # LCS of "a x b y c" and "a b c" is "a b c" (length 3).
+        score = rouge_l("a x b y c", "a b c")
+        assert score.recall == pytest.approx(1.0)
+        assert score.precision == pytest.approx(3 / 5)
+
+    def test_order_matters(self):
+        forward = rouge_l("a b c d", "a b c d").f1
+        reversed_ = rouge_l("d c b a", "a b c d").f1
+        assert forward > reversed_
+
+    def test_empty(self):
+        assert rouge_l("", "a b").f1 == 0.0
+
+    @given(words, words)
+    def test_f1_symmetric(self, a, b):
+        assert rouge_l(a, b).f1 == pytest.approx(rouge_l(b, a).f1)
+
+    @given(words)
+    def test_self_similarity_is_one(self, a):
+        if a:
+            assert rouge_l(a, a).f1 == pytest.approx(1.0)
+
+    @given(words, words)
+    def test_rouge_l_at_most_rouge_1(self, a, b):
+        """LCS matches are a subset of clipped unigram matches."""
+        assert rouge_l(a, b).f1 <= rouge_n(a, b, 1).f1 + 1e-12
+
+
+class TestRougeScores:
+    def test_all_variants_present(self):
+        scores = rouge_scores("the battery is great", "the battery is poor")
+        assert set(scores) == {"rouge-1", "rouge-2", "rouge-l"}
+        assert scores["rouge-1"].f1 >= scores["rouge-2"].f1
+
+    def test_matches_individual_functions(self):
+        a, b = "the battery is great", "a great battery"
+        scores = rouge_scores(a, b)
+        assert scores["rouge-1"].f1 == pytest.approx(rouge_1(a, b).f1)
+        assert scores["rouge-2"].f1 == pytest.approx(rouge_2(a, b).f1)
+        assert scores["rouge-l"].f1 == pytest.approx(rouge_l(a, b).f1)
+
+
+class TestRougeScoreFromCounts:
+    def test_zero_denominators(self):
+        assert RougeScore.from_counts(0, 0, 0).f1 == 0.0
+
+    def test_basic(self):
+        score = RougeScore.from_counts(1, 2, 2)
+        assert score.f1 == pytest.approx(0.5)

@@ -1,0 +1,81 @@
+"""Tests for SelectionResult, the registry, and make_selector."""
+
+import pytest
+
+from repro.core.selection import SELECTORS, SelectionResult, Selector, make_selector
+
+
+class TestSelectionResult:
+    def test_validates_count(self, instance):
+        with pytest.raises(ValueError, match="selections"):
+            SelectionResult(instance=instance, selections=((),), algorithm="x")
+
+    def test_validates_duplicates(self, instance):
+        selections = [()] * instance.num_items
+        selections[0] = (0, 0)
+        with pytest.raises(ValueError, match="duplicate"):
+            SelectionResult(
+                instance=instance, selections=tuple(selections), algorithm="x"
+            )
+
+    def test_validates_range(self, instance):
+        selections = [()] * instance.num_items
+        selections[1] = (9999,)
+        with pytest.raises(ValueError, match="out of range"):
+            SelectionResult(
+                instance=instance, selections=tuple(selections), algorithm="x"
+            )
+
+    def test_selected_reviews(self, instance):
+        selections = [(0,)] + [()] * (instance.num_items - 1)
+        result = SelectionResult(
+            instance=instance, selections=tuple(selections), algorithm="x"
+        )
+        assert result.selected_reviews(0) == (instance.reviews[0][0],)
+        assert result.all_selected()[1] == ()
+
+    def test_restricted_to_items(self, instance):
+        selections = tuple((0,) for _ in range(instance.num_items))
+        result = SelectionResult(
+            instance=instance, selections=selections, algorithm="x"
+        )
+        sub = result.restricted_to_items([0, 2])
+        assert sub.instance.num_items == 2
+        assert sub.selections == ((0,), (0,))
+        assert sub.algorithm == "x"
+
+    def test_restricted_requires_target_first(self, instance):
+        selections = tuple(() for _ in range(instance.num_items))
+        result = SelectionResult(
+            instance=instance, selections=selections, algorithm="x"
+        )
+        with pytest.raises(ValueError, match="target"):
+            result.restricted_to_items([1, 0])
+
+
+class TestRegistry:
+    def test_all_paper_algorithms_registered(self):
+        assert {
+            "Random",
+            "CRS",
+            "CompaReSetS_Greedy",
+            "CompaReSetS",
+            "CompaReSetS+",
+        } <= set(SELECTORS)
+
+    def test_make_selector(self):
+        selector = make_selector("CompaReSetS")
+        assert isinstance(selector, Selector)
+        assert selector.name == "CompaReSetS"
+
+    def test_make_selector_with_kwargs(self):
+        selector = make_selector("CompaReSetS+", variant="weighted")
+        assert selector.variant == "weighted"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown selector"):
+            make_selector("Oracle")
+
+    def test_every_registered_selector_satisfies_protocol(self):
+        for name in SELECTORS:
+            assert isinstance(make_selector(name), Selector)

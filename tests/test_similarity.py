@@ -1,0 +1,83 @@
+"""Tests for the §3.1 item similarity graph."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import RandomSelector
+from repro.core.objective import pairwise_item_distance
+from repro.core.selection import build_space
+from repro.graph.similarity import ItemGraph, build_item_graph
+
+
+@pytest.fixture()
+def graph_and_result(instance, config, rng):
+    result = RandomSelector().select(instance, config, rng=rng)
+    return build_item_graph(result, config), result
+
+
+class TestBuildItemGraph:
+    def test_shapes_and_ids(self, graph_and_result, instance):
+        graph, _ = graph_and_result
+        n = instance.num_items
+        assert graph.num_items == n
+        assert graph.distances.shape == (n, n)
+        assert graph.weights.shape == (n, n)
+        assert graph.product_ids[0] == instance.target.product_id
+
+    def test_symmetry_and_zero_diagonal(self, graph_and_result):
+        graph, _ = graph_and_result
+        np.testing.assert_allclose(graph.distances, graph.distances.T)
+        np.testing.assert_allclose(graph.weights, graph.weights.T)
+        assert not np.diagonal(graph.weights).any()
+        assert not np.diagonal(graph.distances).any()
+
+    def test_weights_non_negative_with_zero_minimum(self, graph_and_result):
+        graph, _ = graph_and_result
+        off = graph.weights[~np.eye(graph.num_items, dtype=bool)]
+        assert (off >= -1e-12).all()
+        # w_ij = max d - d_ij, so the farthest pair gets weight exactly 0.
+        assert off.min() == pytest.approx(0.0, abs=1e-12)
+
+    def test_distances_match_formula(self, graph_and_result, instance, config):
+        graph, result = graph_and_result
+        space = build_space(instance, config)
+        gamma = space.aspect_vector(instance.reviews[0])
+        taus = [space.opinion_vector(r) for r in instance.reviews]
+        for i in range(instance.num_items - 1):
+            for j in range(i + 1, instance.num_items):
+                expected = pairwise_item_distance(
+                    space,
+                    result.selected_reviews(i),
+                    result.selected_reviews(j),
+                    taus[i],
+                    taus[j],
+                    gamma,
+                    config,
+                )
+                assert graph.distances[i, j] == pytest.approx(expected)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="shapes"):
+            ItemGraph(
+                product_ids=("a", "b"),
+                distances=np.zeros((3, 3)),
+                weights=np.zeros((2, 2)),
+            )
+
+
+class TestToNetworkx:
+    def test_complete_graph_export(self, graph_and_result):
+        graph, _ = graph_and_result
+        nx_graph = graph.to_networkx()
+        n = graph.num_items
+        assert nx_graph.number_of_nodes() == n
+        assert nx_graph.number_of_edges() == n * (n - 1) // 2
+        assert nx_graph.nodes[0]["target"] is True
+        assert nx_graph.nodes[1]["target"] is False
+
+    def test_edge_attributes(self, graph_and_result):
+        graph, _ = graph_and_result
+        nx_graph = graph.to_networkx()
+        edge = nx_graph.edges[0, 1]
+        assert edge["weight"] == pytest.approx(graph.weights[0, 1])
+        assert edge["distance"] == pytest.approx(graph.distances[0, 1])

@@ -1,0 +1,90 @@
+"""Tests for the extended corpus analysis and summary-level ROUGE-L."""
+
+import pytest
+
+from repro.data.statistics import DistributionSummary, analyze_corpus, render_analysis
+from repro.text.rouge import rouge_l, rouge_l_summary
+
+
+class TestDistributionSummary:
+    def test_from_values(self):
+        summary = DistributionSummary.from_values([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.maximum == 4.0
+
+    def test_empty(self):
+        summary = DistributionSummary.from_values([])
+        assert summary.mean == 0.0
+        assert summary.maximum == 0.0
+
+    def test_ordering(self):
+        summary = DistributionSummary.from_values(list(range(100)))
+        assert summary.p25 <= summary.median <= summary.p75 <= summary.p95 <= summary.maximum
+
+
+class TestAnalyzeCorpus:
+    def test_shapes(self, cellphone_corpus):
+        analysis = analyze_corpus(cellphone_corpus, top_aspects=5)
+        assert analysis.name == "Cellphone"
+        assert len(analysis.top_aspects) == 5
+        assert analysis.reviews_per_product.mean > 0
+        assert analysis.tokens_per_review.mean > 5
+
+    def test_aspect_fractions_sum_to_one(self, cellphone_corpus):
+        analysis = analyze_corpus(cellphone_corpus)
+        for profile in analysis.top_aspects:
+            total = (
+                profile.positive_fraction
+                + profile.negative_fraction
+                + profile.neutral_fraction
+            )
+            assert total == pytest.approx(1.0)
+            assert profile.num_reviews > 0
+
+    def test_top_aspects_sorted_by_frequency(self, cellphone_corpus):
+        analysis = analyze_corpus(cellphone_corpus)
+        counts = [p.num_reviews for p in analysis.top_aspects]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_render(self, cellphone_corpus):
+        text = render_analysis(analyze_corpus(cellphone_corpus))
+        assert "Corpus analysis" in text
+        assert "reviews / product" in text
+        assert "Top aspects" in text
+
+
+class TestRougeLSummary:
+    def test_identical_summaries(self):
+        sentences = ["the battery is great", "the screen is poor"]
+        score = rouge_l_summary(sentences, sentences)
+        assert score.f1 == pytest.approx(1.0)
+
+    def test_disjoint_summaries(self):
+        score = rouge_l_summary(["alpha beta"], ["gamma delta"])
+        assert score.f1 == 0.0
+
+    def test_union_not_double_counted(self):
+        """Two candidates matching the same reference tokens count once."""
+        score = rouge_l_summary(
+            ["the battery", "the battery"], ["the battery"]
+        )
+        assert score.recall == pytest.approx(1.0)
+        assert score.precision == pytest.approx(0.5)
+
+    def test_single_pair_matches_sentence_level(self):
+        a, b = "the battery is great", "a great battery"
+        summary = rouge_l_summary([a], [b])
+        sentence = rouge_l(a, b)
+        assert summary.recall == pytest.approx(sentence.recall)
+
+    def test_union_across_candidates(self):
+        """Different candidates can cover different reference parts."""
+        reference = ["the battery is great and the screen is sharp"]
+        split_candidates = ["the battery is great", "the screen is sharp"]
+        score = rouge_l_summary(split_candidates, reference)
+        assert score.recall > rouge_l_summary([split_candidates[0]], reference).recall
+
+    def test_empty_inputs(self):
+        assert rouge_l_summary([], ["something"]).f1 == 0.0
+        assert rouge_l_summary(["something"], []).f1 == 0.0

@@ -1,0 +1,98 @@
+"""Tests for paired t-tests and Krippendorff's alpha."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.stats import krippendorff_alpha, paired_t_test
+
+
+class TestPairedTTest:
+    def test_clear_difference_significant(self):
+        rng = np.random.default_rng(0)
+        base = rng.normal(0, 0.1, 50)
+        shift = 1.0 + rng.normal(0, 0.05, 50)  # noisy but clearly positive
+        result = paired_t_test(list(base + shift), list(base))
+        assert result.significant()
+        assert result.statistic > 0
+
+    def test_no_difference(self):
+        values = [1.0, 2.0, 3.0]
+        result = paired_t_test(values, values)
+        assert result.p_value == 1.0
+        assert not result.significant()
+
+    def test_too_few_pairs(self):
+        result = paired_t_test([1.0], [2.0])
+        assert result.p_value == 1.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            paired_t_test([1.0], [1.0, 2.0])
+
+    def test_symmetric_two_sided(self):
+        a = [1.0, 2.0, 3.0, 4.0]
+        b = [1.5, 2.1, 3.4, 4.2]
+        assert paired_t_test(a, b).p_value == pytest.approx(
+            paired_t_test(b, a).p_value
+        )
+
+
+class TestKrippendorffAlpha:
+    def test_perfect_agreement(self):
+        ratings = [[3, 3, 3], [5, 5, 5], [1, 1, 1]]
+        assert krippendorff_alpha(ratings) == pytest.approx(1.0)
+
+    def test_identical_constant_ratings(self):
+        assert krippendorff_alpha([[2, 2], [2, 2]]) == 1.0
+
+    def test_random_ratings_near_zero(self):
+        rng = np.random.default_rng(1)
+        ratings = rng.integers(1, 6, size=(40, 5)).tolist()
+        alpha = krippendorff_alpha(ratings)
+        assert -0.3 < alpha < 0.3
+
+    def test_systematic_disagreement_negative(self):
+        # Raters always maximally split within units that average the same.
+        ratings = [[1, 5], [5, 1], [1, 5], [5, 1]]
+        assert krippendorff_alpha(ratings) < 0
+
+    def test_missing_values_ignored(self):
+        ratings = [[3, 3, None], [4, None, 4], [None, 2, 2]]
+        assert krippendorff_alpha(ratings) == pytest.approx(1.0)
+
+    def test_insufficient_data_nan(self):
+        assert np.isnan(krippendorff_alpha([[1, None], [None, 2]]))
+
+    def test_nominal_metric(self):
+        ratings = [[1, 1], [2, 2], [1, 2]]
+        nominal = krippendorff_alpha(ratings, metric="nominal")
+        interval = krippendorff_alpha(ratings, metric="interval")
+        assert np.isfinite(nominal) and np.isfinite(interval)
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError, match="metric"):
+            krippendorff_alpha([[1, 2]], metric="ordinal")
+
+    def test_known_value_interval(self):
+        """Hand-computed: 2 units x 2 raters, one unit split by 1 point.
+
+        Values: (1,1) and (1,2).  D_o = (0 + 1) * 2 / 1 / 4 = 0.5.
+        All values: [1,1,1,2]; cross pairs: 3 of delta 1, 3 of delta 0 ->
+        D_e = 2*3/(4*3) = 0.5.  alpha = 1 - 0.5/0.5 = 0.
+        """
+        assert krippendorff_alpha([[1, 1], [1, 2]]) == pytest.approx(0.0)
+
+    @settings(max_examples=40)
+    @given(
+        st.lists(
+            st.lists(st.integers(1, 5), min_size=2, max_size=4),
+            min_size=2,
+            max_size=10,
+        )
+    )
+    def test_bounded_above_by_one(self, ratings):
+        alpha = krippendorff_alpha(ratings)
+        if np.isfinite(alpha):
+            assert alpha <= 1.0 + 1e-9

@@ -1,0 +1,73 @@
+"""Tests for the from-scratch Porter stemmer against canonical outputs."""
+
+import string
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.stemmer import PorterStemmer, stem
+
+# Canonical (word, stem) pairs from Porter's original test vocabulary.
+CANONICAL = [
+    ("caresses", "caress"),
+    ("ponies", "poni"),
+    ("flies", "fli"),
+    ("feed", "feed"),
+    ("agreed", "agre"),
+    ("plastered", "plaster"),
+    ("motoring", "motor"),
+    ("happy", "happi"),
+    ("relational", "relat"),
+    ("conditional", "condit"),
+    ("sensational", "sensat"),
+    ("running", "run"),
+    ("connection", "connect"),
+    ("hopeful", "hope"),
+    ("goodness", "good"),
+    ("electrical", "electr"),
+    ("adjustable", "adjust"),
+    ("formalize", "formal"),
+    ("activate", "activ"),
+    ("batteries", "batteri"),
+    ("charging", "charg"),
+    ("charged", "charg"),
+    ("argument", "argument"),
+    ("controlling", "control"),
+    ("sized", "size"),
+    ("sky", "sky"),
+]
+
+
+@pytest.mark.parametrize("word, expected", CANONICAL)
+def test_canonical_pairs(word, expected):
+    assert stem(word) == expected
+
+
+def test_short_words_untouched():
+    assert stem("as") == "as"
+    assert stem("a") == "a"
+    assert stem("") == ""
+
+
+def test_lowercases_input():
+    assert stem("RUNNING") == "run"
+
+
+def test_inflections_conflate():
+    """The property the aspect miner relies on: variants share a stem."""
+    assert stem("charging") == stem("charged")
+    assert stem("battery") == stem("batteries")
+    assert stem("fitting") == stem("fitted")
+
+
+def test_shared_instance_matches_class():
+    assert PorterStemmer().stem("motoring") == stem("motoring")
+
+
+@given(st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=20))
+def test_never_raises_and_never_longer(word):
+    result = stem(word)
+    assert isinstance(result, str)
+    assert len(result) <= len(word)
+    assert result  # stemming never empties a non-empty word

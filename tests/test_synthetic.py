@@ -1,0 +1,145 @@
+"""Tests for the synthetic corpus generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    CategoryProfile,
+    SyntheticCorpusBuilder,
+    default_profiles,
+    generate_corpus,
+)
+from repro.text.tokenize import tokenize
+
+
+class TestProfiles:
+    def test_three_categories(self):
+        profiles = default_profiles()
+        assert set(profiles) == {"Cellphone", "Toy", "Clothing"}
+
+    def test_scale_grows_counts(self):
+        small = default_profiles(0.5)["Cellphone"]
+        large = default_profiles(2.0)["Cellphone"]
+        assert large.num_products > small.num_products
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            default_profiles(0.0)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError, match="aspects_per_family"):
+            CategoryProfile(
+                name="X",
+                aspects={"a": ("a",), "b": ("b",)},
+                num_products=10,
+                num_reviewers=10,
+                num_families=2,
+                mean_reviews_per_product=5,
+                mean_comparisons=3,
+                aspects_per_family=5,
+                aspects_per_product=5,
+            )
+
+    def test_aspects_per_product_bound(self):
+        aspects = {str(i): (str(i),) for i in range(12)}
+        with pytest.raises(ValueError, match="aspects_per_product"):
+            CategoryProfile(
+                name="X",
+                aspects=aspects,
+                num_products=10,
+                num_reviewers=10,
+                num_families=2,
+                mean_reviews_per_product=5,
+                mean_comparisons=3,
+                aspects_per_family=6,
+                aspects_per_product=8,
+            )
+
+
+class TestGeneration:
+    def test_deterministic_given_seed(self):
+        a = generate_corpus("Toy", scale=0.3, seed=5)
+        b = generate_corpus("Toy", scale=0.3, seed=5)
+        assert [p.product_id for p in a.products] == [p.product_id for p in b.products]
+        assert [r.text for r in a.reviews] == [r.text for r in b.reviews]
+
+    def test_different_seeds_differ(self):
+        a = generate_corpus("Toy", scale=0.3, seed=5)
+        b = generate_corpus("Toy", scale=0.3, seed=6)
+        assert [r.text for r in a.reviews] != [r.text for r in b.reviews]
+
+    def test_unknown_category(self):
+        with pytest.raises(ValueError, match="unknown category"):
+            generate_corpus("Books")
+
+    def test_stats_shape_matches_profile(self, cellphone_corpus):
+        profile = default_profiles(0.35)["Cellphone"]
+        stats = cellphone_corpus.stats()
+        assert stats.num_products == profile.num_products
+        # Long-tailed but centred near the profile mean.
+        assert 0.5 * profile.mean_reviews_per_product < stats.avg_reviews_per_product
+        assert stats.avg_reviews_per_product < 2.0 * profile.mean_reviews_per_product
+
+    def test_every_product_has_reviews(self, cellphone_corpus):
+        for product in cellphone_corpus.products:
+            assert len(cellphone_corpus.reviews_of(product.product_id)) >= 2
+
+    def test_also_bought_references_valid(self, cellphone_corpus):
+        ids = {p.product_id for p in cellphone_corpus.products}
+        for product in cellphone_corpus.products:
+            assert product.product_id not in product.also_bought
+            assert set(product.also_bought) <= ids
+
+    def test_reviews_have_mentions_and_text(self, cellphone_corpus):
+        for review in cellphone_corpus.reviews:
+            assert review.mentions
+            assert review.text
+            assert 1.0 <= review.rating <= 5.0
+
+    def test_aspect_terms_appear_in_text(self, cellphone_corpus):
+        """The first word of a mentioned aspect's surface form is in the text."""
+        profile = default_profiles(0.35)["Cellphone"]
+        misses = 0
+        checked = 0
+        for review in list(cellphone_corpus.reviews)[:100]:
+            tokens = set(tokenize(review.text))
+            for mention in review.mentions:
+                checked += 1
+                surfaces = profile.aspects[mention.aspect]
+                first_words = {tokenize(s)[0] for s in surfaces}
+                if not (first_words & tokens):
+                    misses += 1
+        assert checked > 0
+        assert misses == 0
+
+    def test_ratings_correlate_with_sentiment(self, cellphone_corpus):
+        sentiments = []
+        ratings = []
+        for review in cellphone_corpus.reviews:
+            signed = [m.sentiment for m in review.mentions if m.sentiment]
+            if signed:
+                sentiments.append(np.mean(signed))
+                ratings.append(review.rating)
+        correlation = np.corrcoef(sentiments, ratings)[0, 1]
+        assert correlation > 0.5
+
+    def test_custom_profile(self):
+        profile = CategoryProfile(
+            name="Mini",
+            aspects={str(i): (f"aspect{i}", f"alt{i}") for i in range(8)},
+            num_products=10,
+            num_reviewers=12,
+            num_families=2,
+            mean_reviews_per_product=4,
+            mean_comparisons=3,
+            aspects_per_family=6,
+            aspects_per_product=4,
+        )
+        corpus = SyntheticCorpusBuilder(profile, np.random.default_rng(0)).build()
+        assert len(corpus.products) == 10
+        assert corpus.name == "Mini"
+
+    def test_generate_with_explicit_profile(self):
+        profile = default_profiles(0.3)["Toy"]
+        corpus = generate_corpus(profile=profile, seed=1)
+        assert corpus.name == "Toy"

@@ -1,0 +1,129 @@
+"""Tests for TargetHkS solvers: greedy (Alg. 2), baselines, brute force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.target_hks import (
+    HksSolution,
+    solve_brute_force,
+    solve_greedy,
+    solve_ilp,
+    solve_random,
+    solve_top_k_similarity,
+    total_weight,
+)
+from tests.test_ilp import random_weights
+
+
+class TestPaperFigure4:
+    """The worked example of Fig. 4: TargetHkS differs from plain HkS."""
+
+    # Vertices p1..p6 -> indices 0..5; weights read off the figure.
+    @pytest.fixture()
+    def figure4_weights(self):
+        weights = np.zeros((6, 6))
+        edges = {
+            (0, 1): 6.0, (0, 2): 3.1, (0, 3): 8.2, (0, 4): 4.0, (0, 5): 8.0,
+            (1, 2): 4.3, (1, 3): 5.5, (1, 4): 8.5, (1, 5): 9.0,
+            (2, 3): 3.0, (2, 4): 2.0, (2, 5): 6.3,
+            (3, 4): 7.0, (3, 5): 9.2,
+            (4, 5): 9.0,
+        }
+        for (i, j), w in edges.items():
+            weights[i, j] = weights[j, i] = w
+        return weights
+
+    def test_target_anchored_solution(self, figure4_weights):
+        solution = solve_brute_force(figure4_weights, k=3, target=0)
+        assert solution.selected == (0, 3, 5)
+        assert solution.weight == pytest.approx(8.2 + 8.0 + 9.2)  # 25.4
+
+    def test_unanchored_optimum_differs(self, figure4_weights):
+        best = max(
+            (solve_brute_force(figure4_weights, 3, target=v) for v in range(6)),
+            key=lambda s: s.weight,
+        )
+        assert best.weight == pytest.approx(26.5)  # {p2, p5, p6} in the paper
+        assert set(best.selected) == {1, 4, 5}
+
+
+class TestGreedy:
+    def test_contains_target_and_k_vertices(self):
+        weights = random_weights(10, 0)
+        solution = solve_greedy(weights, 4, target=2)
+        assert 2 in solution.selected
+        assert len(set(solution.selected)) == 4
+
+    def test_weight_reported_correctly(self):
+        weights = random_weights(8, 1)
+        solution = solve_greedy(weights, 5)
+        assert solution.weight == pytest.approx(total_weight(weights, solution.selected))
+
+    def test_k_one(self):
+        solution = solve_greedy(random_weights(5, 2), 1)
+        assert solution.selected == (0,)
+        assert solution.weight == 0.0
+
+    def test_near_optimal_on_random_graphs(self):
+        """Greedy tracks the optimum closely (Table 5's ~0.0000x ratios)."""
+        gaps = []
+        for seed in range(10):
+            weights = random_weights(10, seed)
+            greedy = solve_greedy(weights, 4)
+            optimum = solve_brute_force(weights, 4)
+            gaps.append((optimum.weight - greedy.weight) / optimum.weight)
+        assert np.mean(gaps) < 0.05
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(3, 9), st.integers(1, 5))
+    def test_invariants(self, seed, n, k):
+        k = min(k, n)
+        weights = random_weights(n, seed)
+        solution = solve_greedy(weights, k)
+        assert len(set(solution.selected)) == k
+        assert 0 in solution.selected
+        assert solution.weight <= solve_brute_force(weights, k).weight + 1e-9
+
+
+class TestBaselines:
+    def test_top_k_similarity_picks_closest_to_target(self):
+        weights = np.zeros((4, 4))
+        weights[0, 1] = weights[1, 0] = 9.0
+        weights[0, 2] = weights[2, 0] = 5.0
+        weights[0, 3] = weights[3, 0] = 1.0
+        weights[2, 3] = weights[3, 2] = 100.0  # irrelevant to the baseline
+        solution = solve_top_k_similarity(weights, 3)
+        assert set(solution.selected) == {0, 1, 2}
+
+    def test_random_contains_target(self, rng):
+        weights = random_weights(8, 3)
+        solution = solve_random(weights, 4, rng, target=5)
+        assert 5 in solution.selected
+        assert len(set(solution.selected)) == 4
+
+    def test_random_seeded(self):
+        weights = random_weights(8, 3)
+        a = solve_random(weights, 4, np.random.default_rng(1))
+        b = solve_random(weights, 4, np.random.default_rng(1))
+        assert a.selected == b.selected
+
+
+class TestSolveIlp:
+    def test_backend_dispatch(self):
+        weights = random_weights(6, 0)
+        milp = solve_ilp(weights, 3, backend="milp", time_limit=10)
+        bnb = solve_ilp(weights, 3, backend="bnb", time_limit=10)
+        assert milp.weight == pytest.approx(bnb.weight)
+        assert "milp" in milp.algorithm and "bnb" in bnb.algorithm
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            solve_ilp(random_weights(4, 0), 2, backend="gurobi")
+
+
+class TestHksSolution:
+    def test_duplicate_vertices_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            HksSolution(selected=(0, 0), weight=1.0, algorithm="x")

@@ -1,0 +1,97 @@
+"""Unit and property tests for the tokeniser."""
+
+import string
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.tokenize import ngrams, sentences, tokenize, vocabulary
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("GREAT Phone") == ["great", "phone"]
+
+    def test_keeps_intra_word_apostrophes_and_hyphens(self):
+        assert tokenize("don't glow-in-the-dark") == ["don't", "glow-in-the-dark"]
+
+    def test_strips_punctuation(self):
+        assert tokenize("Wow!!! Amazing, right?") == ["wow", "amazing", "right"]
+
+    def test_numbers_kept(self):
+        assert tokenize("1080p video at 30fps") == ["1080p", "video", "at", "30fps"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_only_punctuation(self):
+        assert tokenize("?!.,;:") == []
+
+    def test_leading_trailing_apostrophes_dropped(self):
+        assert tokenize("'quoted'") == ["quoted"]
+
+    @given(st.text())
+    def test_never_raises_and_all_lowercase(self, text):
+        tokens = tokenize(text)
+        assert all(token == token.lower() for token in tokens)
+
+    @given(st.text(alphabet=string.ascii_letters + " ", max_size=200))
+    def test_tokens_contain_no_spaces(self, text):
+        assert all(" " not in token for token in tokenize(text))
+
+
+class TestSentences:
+    def test_basic_split(self):
+        assert sentences("Great phone. Battery lasts two days!") == [
+            "Great phone.",
+            "Battery lasts two days!",
+        ]
+
+    def test_abbreviation_not_split(self):
+        result = sentences("Dr. Smith approved. It works.")
+        assert result == ["Dr. Smith approved.", "It works."]
+
+    def test_question_marks(self):
+        assert sentences("Really? Yes.") == ["Really?", "Yes."]
+
+    def test_no_terminator(self):
+        assert sentences("no punctuation here") == ["no punctuation here"]
+
+    def test_empty(self):
+        assert sentences("") == []
+
+    def test_whitespace_only(self):
+        assert sentences("   \n  ") == []
+
+    @given(st.text(max_size=300))
+    def test_never_raises(self, text):
+        result = sentences(text)
+        assert all(isinstance(s, str) and s for s in result)
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        assert list(ngrams(["a", "b", "c"], 2)) == [("a", "b"), ("b", "c")]
+
+    def test_unigrams(self):
+        assert list(ngrams(["x", "y"], 1)) == [("x",), ("y",)]
+
+    def test_n_larger_than_sequence(self):
+        assert list(ngrams(["a"], 2)) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            list(ngrams(["a"], 0))
+
+    @given(st.lists(st.text(max_size=5), max_size=30), st.integers(1, 5))
+    def test_count_formula(self, tokens, n):
+        assert len(list(ngrams(tokens, n))) == max(0, len(tokens) - n + 1)
+
+
+class TestVocabulary:
+    def test_union(self):
+        assert vocabulary([["a", "b"], ["b", "c"]]) == {"a", "b", "c"}
+
+    def test_empty(self):
+        assert vocabulary([]) == set()

@@ -1,0 +1,86 @@
+"""Tests for the simulated user study."""
+
+import numpy as np
+import pytest
+
+from repro.core.selection import make_selector
+from repro.eval.user_study import _likert, _shared_aspect_fraction, run_user_study
+
+
+@pytest.fixture()
+def study_examples(instances, config, rng):
+    examples = {}
+    for name in ("Random", "CRS", "CompaReSetS+"):
+        selector = make_selector(name)
+        examples[name] = [
+            selector.select(inst, config, rng=rng) for inst in instances[:4]
+        ]
+    return examples
+
+
+class TestLikert:
+    def test_clipping(self):
+        assert _likert(10.0, 0.0, 1.0) == 5.0
+        assert _likert(-10.0, 0.0, 1.0) == 1.0
+
+    def test_midpoint(self):
+        assert _likert(0.5, 0.0, 1.0) == pytest.approx(3.0)
+
+    def test_invalid_band(self):
+        with pytest.raises(ValueError):
+            _likert(0.5, 1.0, 0.0)
+
+
+class TestSharedAspectFraction:
+    def test_bounds(self, instances, config, rng):
+        result = make_selector("Random").select(instances[0], config, rng=rng)
+        fraction = _shared_aspect_fraction(result)
+        assert 0.0 <= fraction <= 1.0
+
+    def test_identical_selections_full_overlap(self, paper_example_instance, config):
+        from repro.core.selection import SelectionResult
+
+        result = SelectionResult(
+            instance=paper_example_instance,
+            selections=((0, 1),),
+            algorithm="x",
+        )
+        assert _shared_aspect_fraction(result) == 1.0
+
+
+class TestRunUserStudy:
+    def test_outcome_structure(self, study_examples, config):
+        outcomes = run_user_study(study_examples, config, num_annotators=5, seed=1)
+        assert {o.algorithm for o in outcomes} == set(study_examples)
+        for outcome in outcomes:
+            for score in (
+                outcome.q1_similarity,
+                outcome.q2_informativeness,
+                outcome.q3_comparison,
+            ):
+                assert 1.0 <= score <= 5.0
+            assert outcome.num_examples == 4
+            assert outcome.num_annotators == 5
+
+    def test_deterministic(self, study_examples, config):
+        a = run_user_study(study_examples, config, seed=9)
+        b = run_user_study(study_examples, config, seed=9)
+        assert a == b
+
+    def test_seed_changes_ratings(self, study_examples, config):
+        a = run_user_study(study_examples, config, seed=1)
+        b = run_user_study(study_examples, config, seed=2)
+        assert any(
+            x.q1_similarity != y.q1_similarity for x, y in zip(a, b)
+        )
+
+    def test_informed_selector_scores_at_least_random(self, study_examples, config):
+        outcomes = {o.algorithm: o for o in run_user_study(study_examples, config, seed=3)}
+        assert (
+            outcomes["CompaReSetS+"].q3_comparison
+            >= outcomes["Random"].q3_comparison - 0.3
+        )
+
+    def test_alpha_finite_or_nan(self, study_examples, config):
+        for outcome in run_user_study(study_examples, config, seed=4):
+            assert np.isfinite(outcome.alpha) or np.isnan(outcome.alpha)

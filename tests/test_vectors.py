@@ -1,0 +1,188 @@
+"""Tests for pi(S)/phi(S) vector construction, incl. the paper's example."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.vectors import OpinionScheme, VectorSpace
+from repro.data.models import AspectMention, Review
+from tests.conftest import make_review
+
+ASPECTS = ("battery", "lens", "quality")
+
+
+@pytest.fixture()
+def space() -> VectorSpace:
+    return VectorSpace(ASPECTS)
+
+
+class TestConstruction:
+    def test_duplicate_aspects_rejected(self):
+        with pytest.raises(ValueError, match="duplicates"):
+            VectorSpace(["a", "a"])
+
+    def test_dimensions(self):
+        assert VectorSpace(ASPECTS).opinion_dim == 6
+        assert VectorSpace(ASPECTS, OpinionScheme.THREE_POLARITY).opinion_dim == 9
+        assert VectorSpace(ASPECTS, OpinionScheme.UNARY_SCALE).opinion_dim == 3
+
+    def test_repr(self):
+        assert "z=3" in repr(VectorSpace(ASPECTS))
+
+
+class TestPaperWorkingExample1:
+    """Numbers from §2.1.1's Working Example 1 (Fig. 2a)."""
+
+    def test_tau_matches_paper(self, space, paper_example_instance):
+        tau = space.opinion_vector(paper_example_instance.reviews[0])
+        expected = np.array([2, 4, 2, 2, 2, 2]) / 6.0
+        np.testing.assert_allclose(tau, expected)
+
+    def test_gamma_matches_paper(self, space, paper_example_instance):
+        gamma = space.aspect_vector(paper_example_instance.reviews[0])
+        np.testing.assert_allclose(gamma, np.array([6, 4, 4]) / 6.0)
+
+    def test_optimal_subset_reproduces_tau_and_gamma(self, space, paper_example_instance):
+        reviews = paper_example_instance.reviews[0]
+        subset = [reviews[4], reviews[5], reviews[6]]  # r5, r6, r7
+        np.testing.assert_allclose(
+            space.opinion_vector(subset), space.opinion_vector(reviews)
+        )
+        np.testing.assert_allclose(
+            space.aspect_vector(subset), space.aspect_vector(reviews)
+        )
+
+
+class TestAspectVector:
+    def test_empty_set_is_zero(self, space):
+        assert not space.aspect_vector([]).any()
+
+    def test_unknown_aspects_ignored(self, space):
+        review = make_review("r", "p", [("exotic", 1)])
+        assert not space.aspect_vector([review]).any()
+
+    def test_max_normalisation(self, space):
+        reviews = [
+            make_review("r1", "p", [("battery", 1), ("lens", 1)]),
+            make_review("r2", "p", [("battery", -1)]),
+        ]
+        np.testing.assert_allclose(space.aspect_vector(reviews), [1.0, 0.5, 0.0])
+
+    def test_max_entry_is_one_when_nonempty(self, space):
+        reviews = [make_review("r1", "p", [("lens", 0)])]
+        assert space.aspect_vector(reviews).max() == pytest.approx(1.0)
+
+
+class TestOpinionVectorBinary:
+    def test_interleaved_layout(self, space):
+        review = make_review("r1", "p", [("battery", 1), ("lens", -1)])
+        np.testing.assert_allclose(
+            space.opinion_vector([review]), [1, 0, 0, 1, 0, 0]
+        )
+
+    def test_neutral_dropped_from_pi_but_counted_in_phi(self, space):
+        review = make_review("r1", "p", [("battery", 0)])
+        assert not space.opinion_vector([review]).any()
+        assert space.aspect_vector([review])[0] == 1.0
+
+    def test_mixed_polarity_within_review_resolves_by_sum(self, space):
+        review = Review(
+            review_id="r1",
+            product_id="p",
+            reviewer_id="u",
+            rating=3.0,
+            text="x",
+            mentions=(
+                AspectMention("battery", 1, strength=2.0),
+                AspectMention("battery", -1, strength=0.5),
+            ),
+        )
+        pi = space.opinion_vector([review])
+        assert pi[0] == 1.0 and pi[1] == 0.0
+
+
+class TestOpinionVectorThreePolarity:
+    def test_neutral_channel(self):
+        space = VectorSpace(ASPECTS, OpinionScheme.THREE_POLARITY)
+        review = make_review("r1", "p", [("battery", 0), ("lens", 1)])
+        pi = space.opinion_vector([review])
+        # layout: (b+, b-, b0, l+, l-, l0, q+, q-, q0)
+        np.testing.assert_allclose(pi, [0, 0, 1, 1, 0, 0, 0, 0, 0])
+
+
+class TestOpinionVectorUnary:
+    def test_sigmoid_of_summed_strengths(self):
+        space = VectorSpace(ASPECTS, OpinionScheme.UNARY_SCALE)
+        reviews = [
+            make_review("r1", "p", [("battery", 1)]),
+            make_review("r2", "p", [("battery", 1)]),
+        ]
+        pi = space.opinion_vector(reviews)
+        assert pi[0] == pytest.approx(1 / (1 + np.exp(-2.0)))
+        assert pi[1] == 0.0  # unmentioned aspects stay zero, not 0.5
+
+    def test_negative_sentiment_below_half(self):
+        space = VectorSpace(ASPECTS, OpinionScheme.UNARY_SCALE)
+        review = make_review("r1", "p", [("battery", -1)])
+        assert 0 < space.opinion_vector([review])[0] < 0.5
+
+
+class TestIncidenceCache:
+    def test_cached_arrays_reused(self, space):
+        review = make_review("r1", "p", [("battery", 1)])
+        first = space.review_aspect_incidence(review)
+        second = space.review_aspect_incidence(review)
+        assert first is second  # memoised
+        assert space.review_opinion_incidence(review) is space.review_opinion_incidence(review)
+
+    def test_cache_does_not_leak_across_spaces(self):
+        review = make_review("r1", "p", [("battery", 1)])
+        a = VectorSpace(ASPECTS)
+        b = VectorSpace(("battery",))
+        assert a.review_aspect_incidence(review).shape == (3,)
+        assert b.review_aspect_incidence(review).shape == (1,)
+
+
+class TestMatrices:
+    def test_column_counts(self, space, paper_example_instance):
+        reviews = paper_example_instance.reviews[0]
+        assert space.aspect_matrix(reviews).shape == (3, 7)
+        assert space.opinion_matrix(reviews).shape == (6, 7)
+
+    def test_empty_reviews(self, space):
+        assert space.aspect_matrix([]).shape == (3, 0)
+        assert space.opinion_matrix([]).shape == (6, 0)
+
+    def test_columns_match_single_review_vectors(self, space, paper_example_instance):
+        reviews = paper_example_instance.reviews[0]
+        matrix = space.aspect_matrix(reviews)
+        for j, review in enumerate(reviews):
+            np.testing.assert_allclose(
+                matrix[:, j], space.review_aspect_incidence(review)
+            )
+
+
+sentiments = st.sampled_from([-1, 0, 1])
+mention_lists = st.lists(
+    st.tuples(st.sampled_from(ASPECTS), sentiments), min_size=0, max_size=4
+)
+
+
+@given(st.lists(mention_lists, min_size=0, max_size=6))
+def test_vector_invariants(review_mentions):
+    """Property: vectors are non-negative, bounded, max(phi)=1 when nonzero."""
+    space = VectorSpace(ASPECTS)
+    reviews = [
+        make_review(f"r{i}", "p", mentions)
+        for i, mentions in enumerate(review_mentions)
+    ]
+    phi = space.aspect_vector(reviews)
+    pi = space.opinion_vector(reviews)
+    assert (phi >= 0).all() and (pi >= 0).all()
+    assert (phi <= 1.0 + 1e-12).all()
+    if phi.any():
+        assert phi.max() == pytest.approx(1.0)
+    # Opinion counts can't exceed the aspect count of the same aspect.
+    for a in range(3):
+        assert pi[2 * a] + pi[2 * a + 1] <= 2 * phi[a] + 1e-12
