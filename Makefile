@@ -1,6 +1,6 @@
 # Developer conveniences; everything also works as plain pytest/python calls.
 
-.PHONY: install test bench examples experiments clean
+.PHONY: install test bench examples experiments ci lint clean
 
 install:
 	pip install -e .
@@ -16,6 +16,17 @@ examples:
 
 experiments:
 	python -m repro.cli experiment all --scale 0.5 --instances 15
+
+# Mirrors .github/workflows/ci.yml: the test matrix plus the lint job.
+# Lint is skipped with a notice when ruff is not installed locally.
+ci: test lint
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "ruff not installed; skipping lint (CI still runs it)"; \
+	fi
 
 clean:
 	rm -rf build dist src/repro.egg-info .pytest_cache .benchmarks

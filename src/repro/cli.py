@@ -127,8 +127,19 @@ def _command_narrow(args: argparse.Namespace) -> int:
     result = make_selector(args.algorithm).select(instance, config)
     graph = build_item_graph(result, config)
     k = min(args.k, instance.num_items)
-    if args.exact:
-        solution = solve_ilp(graph.weights, k, time_limit=args.time_limit)
+    provenance = None
+    if args.backend == "fallback":
+        from repro.resilience.fallback import FallbackChain
+
+        outcome = FallbackChain(time_limit=args.time_limit).solve(graph.weights, k)
+        solution = outcome.solution
+        provenance = ", ".join(
+            f"{a.backend}={a.status}" for a in outcome.attempts
+        )
+    elif args.exact or args.backend != "milp":
+        solution = solve_ilp(
+            graph.weights, k, time_limit=args.time_limit, backend=args.backend
+        )
     else:
         solution = solve_greedy(graph.weights, k)
     kept = [0] + sorted(v for v in solution.selected if v != 0)
@@ -136,6 +147,8 @@ def _command_narrow(args: argparse.Namespace) -> int:
         f"core list of {k} items ({solution.algorithm}, "
         f"weight {solution.weight:.3f}):\n"
     )
+    if provenance is not None:
+        print(f"[fallback chain: {provenance}]\n")
     _print_result(result.restricted_to_items(kept))
     return 0
 
@@ -166,7 +179,10 @@ _EXPERIMENTS = {
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
-    from repro import experiments
+    import contextlib
+
+    from repro.experiments.persist import checkpointing
+    from repro.resilience.deadline import DeadlineExceeded, deadline_scope
 
     settings = EvaluationSettings(
         scale=args.scale,
@@ -184,6 +200,40 @@ def _command_experiment(args: argparse.Namespace) -> int:
             sub_args.name = each
             _command_experiment(sub_args)
         return 0
+
+    with contextlib.ExitStack() as stack:
+        if args.checkpoint is not None:
+            journal = stack.enter_context(checkpointing(args.checkpoint))
+            if len(journal):
+                print(
+                    f"[resuming from checkpoint {args.checkpoint}: "
+                    f"{len(journal)} instances journaled]\n"
+                )
+        if args.time_budget is not None:
+            stack.enter_context(deadline_scope(args.time_budget))
+        try:
+            return _run_one_experiment(args, settings)
+        except DeadlineExceeded as exc:
+            print(f"\naborted: {exc}", file=sys.stderr)
+            if args.checkpoint is not None:
+                print(
+                    f"completed instances are journaled in {args.checkpoint}; "
+                    "rerun with the same --checkpoint to resume",
+                    file=sys.stderr,
+                )
+            else:
+                print(
+                    "rerun with --checkpoint FILE to make interrupted runs "
+                    "resumable",
+                    file=sys.stderr,
+                )
+            return 2
+
+
+def _run_one_experiment(args: argparse.Namespace, settings) -> int:
+    from repro import experiments
+
+    name = args.name
 
     results: object
     if name == "table2":
@@ -279,6 +329,12 @@ def build_parser() -> argparse.ArgumentParser:
     narrow.add_argument("--target", default=None)
     narrow.add_argument("--k", type=int, default=3)
     narrow.add_argument("--exact", action="store_true", help="use the exact ILP")
+    narrow.add_argument(
+        "--backend",
+        default="milp",
+        choices=["milp", "bnb", "fallback"],
+        help="exact solver backend; 'fallback' degrades milp -> bnb -> greedy",
+    )
     narrow.add_argument("--time-limit", type=float, default=60.0)
     _add_selection_arguments(narrow)
     narrow.set_defaults(handler=_command_narrow)
@@ -310,6 +366,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="also write structured JSON results into this directory",
+    )
+    experiment.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="FILE",
+        help="stream per-instance results to this journal; rerunning an "
+        "interrupted experiment with the same journal resumes from the "
+        "last checkpoint",
+    )
+    experiment.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="overall wall-clock budget; propagates down to per-solve "
+        "limits and aborts (checkpointed) when exhausted",
     )
     experiment.set_defaults(handler=_command_experiment)
 

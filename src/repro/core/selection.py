@@ -18,11 +18,15 @@ class SelectionResult:
     """Selected review sets S_1..S_n for one problem instance.
 
     ``selections[i]`` holds sorted indices into ``instance.reviews[i]``.
+    ``degraded`` marks a substitute produced by a resilience policy (a
+    cheap baseline stood in after the intended selector failed or timed
+    out); measurements can filter or flag such results.
     """
 
     instance: ComparisonInstance
     selections: tuple[tuple[int, ...], ...]
     algorithm: str
+    degraded: bool = False
 
     def __post_init__(self) -> None:
         if len(self.selections) != self.instance.num_items:
@@ -62,6 +66,7 @@ class SelectionResult:
             instance=self.instance.restricted_to(product_ids),
             selections=tuple(self.selections[i] for i in item_indices),
             algorithm=self.algorithm,
+            degraded=self.degraded,
         )
 
 

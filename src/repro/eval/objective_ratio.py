@@ -21,11 +21,18 @@ from repro.core.problem import SelectionConfig
 from repro.core.selection import SelectionResult
 from repro.graph.similarity import build_item_graph
 from repro.graph.target_hks import solve_greedy, solve_ilp, solve_random
+from repro.resilience.deadline import Deadline, resolve_deadline
 
 
 @dataclass(frozen=True, slots=True)
 class HksComparison:
-    """Aggregated Table-5 row for one (dataset, k) setting."""
+    """Aggregated Table-5 row for one (dataset, k) setting.
+
+    ``backend_counts`` records solve provenance as sorted
+    ``(backend, count)`` pairs — informative under ``backend="fallback"``
+    where different instances may be answered by different stages of the
+    chain.
+    """
 
     k: int
     num_instances: int
@@ -35,6 +42,7 @@ class HksComparison:
     ilp_objective: float
     greedy_objective: float
     random_objective: float
+    backend_counts: tuple[tuple[str, int], ...] = ()
 
 
 def compare_hks_solvers(
@@ -44,31 +52,59 @@ def compare_hks_solvers(
     time_limit: float = 60.0,
     backend: str = "milp",
     seed: int = 0,
+    deadline: Deadline | float | None = None,
 ) -> HksComparison:
     """Run ILP/greedy/random on every instance graph and aggregate Eq. 8.
 
     Instances with fewer than k items are skipped (the narrowing problem
     is vacuous there), matching the paper's per-k instance filtering.
+
+    ``backend="fallback"`` solves the exact column through a
+    :class:`~repro.resilience.fallback.FallbackChain`
+    (MILP -> branch and bound -> greedy), degrading per instance on
+    solver error or an exhausted ``deadline`` and recording which stage
+    answered in ``backend_counts``.
     """
+    overall = resolve_deadline(deadline)
+    chain = None
+    if backend == "fallback":
+        from repro.resilience.fallback import FallbackChain
+
+        chain = FallbackChain(time_limit=time_limit)
     rng = np.random.default_rng(seed)
     ilp_total = 0.0
     greedy_total = 0.0
     random_total = 0.0
     optimal_count = 0
     used = 0
+    backend_counts: dict[str, int] = {}
     for result in results:
         if result.instance.num_items < k:
             continue
         graph = build_item_graph(result, config)
-        ilp = solve_ilp(graph.weights, k, time_limit=time_limit, backend=backend)
+        if chain is not None:
+            outcome = chain.solve(graph.weights, k, deadline=overall)
+            ilp = outcome.solution
+            used_backend = outcome.backend
+        else:
+            ilp = solve_ilp(
+                graph.weights,
+                k,
+                time_limit=time_limit,
+                backend=backend,
+                deadline=overall,
+            )
+            used_backend = backend
         greedy = solve_greedy(graph.weights, k)
         random_solution = solve_random(graph.weights, k, rng)
         ilp_total += ilp.weight
         greedy_total += greedy.weight
         random_total += random_solution.weight
         optimal_count += int(ilp.proven_optimal)
+        backend_counts[used_backend] = backend_counts.get(used_backend, 0) + 1
         used += 1
 
+    counts = tuple(sorted(backend_counts.items()))
     if used == 0 or ilp_total == 0.0:
         return HksComparison(
             k=k,
@@ -79,6 +115,7 @@ def compare_hks_solvers(
             ilp_objective=ilp_total,
             greedy_objective=greedy_total,
             random_objective=random_total,
+            backend_counts=counts,
         )
     return HksComparison(
         k=k,
@@ -89,4 +126,5 @@ def compare_hks_solvers(
         ilp_objective=ilp_total,
         greedy_objective=greedy_total,
         random_objective=random_total,
+        backend_counts=counts,
     )

@@ -1,22 +1,50 @@
-"""Parallel instance solving.
+"""Resilient parallel instance solving.
 
 §4.1.1 notes that "every target item corresponds to an independent
 instance of the problem [and] solving multiple target items can be done
-in parallel".  This module provides that: a process-pool map over
-instances for any registered selector.  Selectors are re-instantiated in
-each worker from their registry name, so nothing unpicklable crosses the
-process boundary.
+in parallel".  This module provides that — and keeps the property that a
+single bad instance cannot sink the whole batch.  Instances are
+submitted individually (``submit``/``wait`` rather than ``pool.map``,
+whose iteration raises away every result once one worker fails), each
+with:
+
+* per-instance exception capture and a configurable ``on_error`` policy:
+  ``"raise"`` (propagate, the legacy behaviour), ``"skip"`` (lose only
+  that instance), or ``"degrade"`` (substitute a cheap greedy baseline
+  selection, flagged via ``SelectionResult.degraded``);
+* retry with deterministic jittered backoff — every attempt re-seeds the
+  selector with the *same* per-instance seed, so stochastic selectors
+  (Random) remain reproducible however many retries it takes;
+* an optional per-instance ``timeout`` and an overall ``deadline``
+  (:mod:`repro.resilience.deadline`): a hung solve is cut off at the
+  runner and handled by the error policy.  (The stuck worker process is
+  abandoned, not killed — pool shutdown waits for it — so timeouts bound
+  *result latency*, not worker CPU.)
+
+Selectors are re-instantiated in each worker from their registry name,
+so nothing unpicklable crosses the process boundary.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass, replace
 from collections.abc import Sequence
 
 from repro.core.problem import SelectionConfig
 from repro.core.selection import SelectionResult, make_selector
 from repro.data.instances import ComparisonInstance
+from repro.resilience.deadline import Deadline, DeadlineExceeded, resolve_deadline
+from repro.resilience.retry import RetryPolicy
+
+# Imported for its side effect: registers the fault-injection selector so
+# freshly spawned pool workers can rebuild it from its registry name.
+from repro.resilience import faults as _faults  # noqa: F401
+
+ERROR_POLICIES = ("raise", "skip", "degrade")
+DEFAULT_DEGRADE_SELECTOR = "CompaReSetS_Greedy"
 
 
 def _solve_one(
@@ -30,6 +58,361 @@ def _solve_one(
     return selector.select(instance, config, rng=np.random.default_rng(seed))
 
 
+@dataclass(frozen=True, slots=True)
+class InstanceOutcome:
+    """What happened to one instance in a parallel run.
+
+    ``status`` is ``"ok"`` (solved normally), ``"degraded"`` (baseline
+    substituted after failure/timeout), or ``"skipped"`` (lost under the
+    skip policy).  ``error`` keeps the last failure message; ``attempts``
+    counts solve attempts actually made (0 if the overall deadline
+    expired before the instance ever ran).
+    """
+
+    index: int
+    target_id: str
+    result: SelectionResult | None
+    status: str
+    attempts: int
+    error: str | None = None
+    seconds: float = 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class ParallelRun:
+    """All per-instance outcomes of one resilient parallel run."""
+
+    outcomes: tuple[InstanceOutcome, ...]
+
+    @property
+    def results(self) -> list[SelectionResult]:
+        """Successful (including degraded) results, in instance order."""
+        return [o.result for o in self.outcomes if o.result is not None]
+
+    @property
+    def num_ok(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "ok")
+
+    @property
+    def num_degraded(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "degraded")
+
+    @property
+    def num_skipped(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "skipped")
+
+    @property
+    def errors(self) -> dict[str, str]:
+        """target_id -> last error message, for every non-ok instance."""
+        return {
+            o.target_id: o.error for o in self.outcomes if o.error is not None
+        }
+
+
+@dataclass(slots=True)
+class _Pending:
+    """Book-keeping for one not-yet-settled instance."""
+
+    index: int
+    attempt: int = 0  # attempts completed so far
+    future: Future | None = None
+    started_at: float = 0.0
+    resubmit_at: float = 0.0  # backoff: not before this monotonic time
+    last_error: str | None = None
+    first_started_at: float | None = None
+
+
+def _degrade(
+    payload: tuple[str, dict, ComparisonInstance, SelectionConfig, int],
+    degrade_selector: str,
+) -> SelectionResult:
+    """The cheap substitute selection for the ``"degrade"`` policy."""
+    import numpy as np
+
+    _, _, instance, config, seed = payload
+    result = make_selector(degrade_selector).select(
+        instance, config, rng=np.random.default_rng(seed)
+    )
+    return replace(result, degraded=True)
+
+
+def run_parallel(
+    selector_name: str,
+    instances: Sequence[ComparisonInstance],
+    config: SelectionConfig,
+    *,
+    max_workers: int | None = None,
+    seed: int = 0,
+    selector_kwargs: dict | None = None,
+    timeout: float | None = None,
+    retry: RetryPolicy | None = None,
+    on_error: str = "raise",
+    deadline: Deadline | float | None = None,
+    degrade_selector: str = DEFAULT_DEGRADE_SELECTOR,
+) -> ParallelRun:
+    """Solve every instance with ``selector_name``, resiliently.
+
+    Returns a :class:`ParallelRun` with one :class:`InstanceOutcome` per
+    instance, in instance order.  ``seed + index`` seeds each attempt of
+    each instance — retries re-seed identically, so results are
+    independent of how many attempts or which worker produced them.
+
+    ``timeout`` bounds one attempt's wall clock (pool mode only: inline
+    execution cannot preempt a running selector).  ``deadline`` bounds
+    the whole run; instances that never start before it expires are
+    settled by ``on_error`` with a "deadline exceeded" error.
+    """
+    if on_error not in ERROR_POLICIES:
+        raise ValueError(
+            f"on_error must be one of {ERROR_POLICIES}, got {on_error!r}"
+        )
+    selector_kwargs = selector_kwargs or {}
+    # Fail fast on unknown selectors / bad kwargs rather than from workers.
+    make_selector(selector_name, **selector_kwargs)
+    retry = retry or RetryPolicy.none()
+    overall = resolve_deadline(deadline)
+
+    payloads = [
+        (selector_name, selector_kwargs, instance, config, seed + index)
+        for index, instance in enumerate(instances)
+    ]
+    if not payloads:
+        return ParallelRun(outcomes=())
+
+    def settle_failure(state: _Pending, error: str) -> InstanceOutcome:
+        payload = payloads[state.index]
+        target_id = payload[2].target.product_id
+        elapsed = (
+            time.monotonic() - state.first_started_at
+            if state.first_started_at is not None
+            else 0.0
+        )
+        if on_error == "degrade":
+            return InstanceOutcome(
+                index=state.index,
+                target_id=target_id,
+                result=_degrade(payload, degrade_selector),
+                status="degraded",
+                attempts=state.attempt,
+                error=error,
+                seconds=elapsed,
+            )
+        return InstanceOutcome(
+            index=state.index,
+            target_id=target_id,
+            result=None,
+            status="skipped",
+            attempts=state.attempt,
+            error=error,
+            seconds=elapsed,
+        )
+
+    if len(payloads) == 1 or max_workers == 1:
+        outcomes = _run_inline(payloads, retry, on_error, overall, settle_failure)
+    else:
+        workers = max_workers or min(len(payloads), os.cpu_count() or 1)
+        outcomes = _run_pool(
+            payloads, workers, timeout, retry, on_error, overall, settle_failure
+        )
+    return ParallelRun(outcomes=tuple(sorted(outcomes, key=lambda o: o.index)))
+
+
+def _run_inline(
+    payloads: list,
+    retry: RetryPolicy,
+    on_error: str,
+    overall: Deadline,
+    settle_failure,
+) -> list[InstanceOutcome]:
+    """Sequential execution (single worker): same policies, no preemption."""
+    outcomes: list[InstanceOutcome] = []
+    for index, payload in enumerate(payloads):
+        state = _Pending(index=index)
+        target_id = payload[2].target.product_id
+        started = time.monotonic()
+        state.first_started_at = started
+        while True:
+            if overall.expired():
+                if on_error == "raise":
+                    raise DeadlineExceeded(
+                        f"overall deadline expired before instance {index}"
+                    )
+                outcomes.append(settle_failure(state, "deadline exceeded"))
+                break
+            delay = min(retry.delay_before(state.attempt + 1, seed=payload[4]),
+                        overall.remaining())
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                result = _solve_one(payload)
+            except Exception as exc:
+                state.attempt += 1
+                state.last_error = f"{type(exc).__name__}: {exc}"
+                if state.attempt < retry.max_attempts:
+                    continue
+                if on_error == "raise":
+                    raise
+                outcomes.append(settle_failure(state, state.last_error))
+                break
+            else:
+                state.attempt += 1
+                outcomes.append(
+                    InstanceOutcome(
+                        index=index,
+                        target_id=target_id,
+                        result=result,
+                        status="ok",
+                        attempts=state.attempt,
+                        seconds=time.monotonic() - started,
+                    )
+                )
+                break
+    return outcomes
+
+
+def _run_pool(
+    payloads: list,
+    workers: int,
+    timeout: float | None,
+    retry: RetryPolicy,
+    on_error: str,
+    overall: Deadline,
+    settle_failure,
+) -> list[InstanceOutcome]:
+    """submit/wait event loop with capture, retries, timeouts, deadline."""
+    outcomes: list[InstanceOutcome] = []
+    queued = [_Pending(index=i) for i in range(len(payloads))]
+    waiting: list[_Pending] = []  # in backoff, not yet resubmitted
+    running: dict[Future, _Pending] = {}
+    abandoned = False  # did we give up on a still-running worker?
+
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        def submit(state: _Pending) -> None:
+            now = time.monotonic()
+            state.started_at = now
+            if state.first_started_at is None:
+                state.first_started_at = now
+            state.future = pool.submit(_solve_one, payloads[state.index])
+            running[state.future] = state
+
+        def fail_or_retry(state: _Pending, error: BaseException) -> None:
+            state.last_error = f"{type(error).__name__}: {error}"
+            if state.attempt < retry.max_attempts:
+                state.resubmit_at = time.monotonic() + retry.delay_before(
+                    state.attempt + 1, seed=payloads[state.index][4]
+                )
+                waiting.append(state)
+            elif on_error == "raise":
+                raise error
+            else:
+                outcomes.append(settle_failure(state, state.last_error))
+
+        for state in queued:
+            submit(state)
+        queued.clear()
+
+        while running or waiting:
+            now = time.monotonic()
+            if overall.expired():
+                # Settle everything unfinished under the error policy
+                # (abandoning still-running workers to pool shutdown).
+                unfinished = list(running.values()) + waiting
+                abandoned = abandoned or bool(running)
+                running.clear()
+                waiting.clear()
+                if on_error == "raise":
+                    raise DeadlineExceeded(
+                        f"overall deadline expired with "
+                        f"{len(unfinished)} instances unfinished"
+                    )
+                for state in unfinished:
+                    outcomes.append(settle_failure(state, "deadline exceeded"))
+                break
+
+            # Resubmit retries whose backoff has elapsed.
+            due = [s for s in waiting if s.resubmit_at <= now]
+            for state in due:
+                waiting.remove(state)
+                submit(state)
+
+            # How long may we block?  Until the next per-instance timeout,
+            # the next retry becomes due, or the overall deadline.
+            ticks = [0.5]
+            if timeout is not None:
+                ticks.extend(
+                    max(0.0, s.started_at + timeout - now)
+                    for s in running.values()
+                )
+            ticks.extend(max(0.0, s.resubmit_at - now) for s in waiting)
+            if overall.bounded:
+                ticks.append(overall.remaining())
+            block = max(0.01, min(ticks)) if running else max(0.0, min(ticks))
+
+            done: set[Future] = set()
+            if running:
+                done, _ = wait(
+                    list(running), timeout=block, return_when=FIRST_COMPLETED
+                )
+            elif block > 0:
+                time.sleep(block)
+
+            for future in done:
+                state = running.pop(future)
+                state.attempt += 1
+                error = future.exception()
+                if error is None:
+                    payload = payloads[state.index]
+                    outcomes.append(
+                        InstanceOutcome(
+                            index=state.index,
+                            target_id=payload[2].target.product_id,
+                            result=future.result(),
+                            status="ok",
+                            attempts=state.attempt,
+                            seconds=time.monotonic() - state.first_started_at,
+                        )
+                    )
+                else:
+                    fail_or_retry(state, error)
+
+            # Per-instance timeouts: a future past its budget is abandoned
+            # (it cannot be preempted) and settled by the error policy.
+            # Timeouts are not retried — a deterministic hang would only
+            # hang again and burn the remaining budget.
+            if timeout is not None:
+                now = time.monotonic()
+                overdue = [
+                    (future, state)
+                    for future, state in running.items()
+                    if now - state.started_at >= timeout
+                ]
+                for future, state in overdue:
+                    if future.cancel():
+                        # Never started — it sat in the pool queue, which
+                        # doesn't count against its budget.  Resubmit with
+                        # a fresh clock.
+                        running.pop(future)
+                        submit(state)
+                        continue
+                    running.pop(future)
+                    state.attempt += 1
+                    abandoned = True
+                    message = f"timed out after {timeout:.3f}s"
+                    if on_error == "raise":
+                        raise DeadlineExceeded(
+                            f"instance {state.index} {message}"
+                        )
+                    outcomes.append(settle_failure(state, message))
+    finally:
+        # A clean run waits for the pool; once any worker was abandoned
+        # (timeout / expired deadline) we return immediately and let the
+        # stuck workers drain in the background — their results are
+        # discarded.  (The interpreter still joins them at exit.)
+        pool.shutdown(wait=not abandoned, cancel_futures=abandoned)
+    return outcomes
+
+
 def select_parallel(
     selector_name: str,
     instances: Sequence[ComparisonInstance],
@@ -37,23 +420,36 @@ def select_parallel(
     max_workers: int | None = None,
     seed: int = 0,
     selector_kwargs: dict | None = None,
+    *,
+    timeout: float | None = None,
+    retry: RetryPolicy | None = None,
+    on_error: str = "raise",
+    deadline: Deadline | float | None = None,
+    degrade_selector: str = DEFAULT_DEGRADE_SELECTOR,
 ) -> list[SelectionResult]:
     """Solve every instance with ``selector_name`` across processes.
 
-    Results come back in instance order.  ``seed + index`` seeds each
+    Results come back in instance order; under ``on_error="skip"``
+    failed instances are simply absent.  ``seed + index`` seeds each
     worker's random stream, so stochastic selectors (Random) stay
-    reproducible regardless of scheduling; deterministic selectors ignore
-    the stream entirely.  With one instance (or ``max_workers=1``) the
-    work runs in-process to avoid pool overhead.
-    """
-    selector_kwargs = selector_kwargs or {}
-    payloads = [
-        (selector_name, selector_kwargs, instance, config, seed + index)
-        for index, instance in enumerate(instances)
-    ]
-    if len(payloads) <= 1 or max_workers == 1:
-        return [_solve_one(payload) for payload in payloads]
+    reproducible regardless of scheduling or retries; deterministic
+    selectors ignore the stream entirely.  With one instance (or
+    ``max_workers=1``) the work runs in-process to avoid pool overhead.
 
-    workers = max_workers or min(len(payloads), os.cpu_count() or 1)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_solve_one, payloads))
+    This is the thin list-of-results façade; :func:`run_parallel`
+    returns the full per-instance outcome report.
+    """
+    run = run_parallel(
+        selector_name,
+        instances,
+        config,
+        max_workers=max_workers,
+        seed=seed,
+        selector_kwargs=selector_kwargs,
+        timeout=timeout,
+        retry=retry,
+        on_error=on_error,
+        deadline=deadline,
+        degrade_selector=degrade_selector,
+    )
+    return run.results

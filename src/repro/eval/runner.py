@@ -21,6 +21,7 @@ from repro.core.selection import SelectionResult, Selector, make_selector
 from repro.data.corpus import Corpus
 from repro.data.instances import ComparisonInstance, build_instances
 from repro.data.synthetic import generate_corpus
+from repro.resilience.deadline import Deadline, DeadlineExceeded, resolve_deadline
 
 
 @dataclass(frozen=True, slots=True)
@@ -83,17 +84,68 @@ def run_selector(
     instances: Sequence[ComparisonInstance],
     config: SelectionConfig,
     seed: int = 0,
+    *,
+    deadline: Deadline | float | None = None,
+    journal=None,
 ) -> SelectorRun:
-    """Run ``selector`` on every instance, recording wall time per instance."""
+    """Run ``selector`` on every instance, recording wall time per instance.
+
+    Checkpointing: when a journal is active (passed explicitly, or
+    installed ambiently with
+    :func:`repro.experiments.persist.checkpointing`), every completed
+    instance is streamed to it — result, wall time, and the post-call
+    RNG state — and already-journaled instances are replayed instead of
+    recomputed.  Replaying restores the RNG stream, so a resumed run is
+    byte-identical to an uninterrupted one even for stochastic
+    selectors.
+
+    Deadlines: an explicit ``deadline`` (or the ambient
+    :func:`~repro.resilience.deadline.deadline_scope`) is checked
+    between instances; running out raises
+    :class:`~repro.resilience.deadline.DeadlineExceeded` — with a
+    journal active, completed work is already checkpointed, so a rerun
+    with a fresh budget resumes where this one stopped.
+    """
     if isinstance(selector, str):
         selector = make_selector(selector)
+    overall = resolve_deadline(deadline)
+    if journal is None:
+        # Lazy import: persist sits in the experiments layer above us.
+        from repro.experiments.persist import active_journal
+
+        journal = active_journal()
+    key = None
+    if journal is not None:
+        from repro.experiments.persist import run_key
+
+        key = run_key(selector.name, config, seed, instances)
+
     rng = np.random.default_rng(seed)
     results: list[SelectionResult] = []
     timings: list[float] = []
-    for instance in instances:
+    for index, instance in enumerate(instances):
+        if overall.expired():
+            raise DeadlineExceeded(
+                f"time budget exhausted after {index} of {len(instances)} "
+                f"instances of {selector.name}"
+            )
+        if journal is not None:
+            entry = journal.get(key, index)
+            if entry is not None:
+                results.append(entry.result)
+                timings.append(entry.seconds)
+                if entry.rng_state is not None:
+                    rng.bit_generator.state = entry.rng_state
+                continue
         start = time.perf_counter()
-        results.append(selector.select(instance, config, rng=rng))
-        timings.append(time.perf_counter() - start)
+        result = selector.select(instance, config, rng=rng)
+        elapsed = time.perf_counter() - start
+        results.append(result)
+        timings.append(elapsed)
+        if journal is not None:
+            journal.append(
+                key, index, result, elapsed, rng_state=rng.bit_generator.state
+            )
     return SelectorRun(
         algorithm=selector.name,
         results=tuple(results),
@@ -106,9 +158,14 @@ def evaluate_selectors(
     instances: Sequence[ComparisonInstance],
     config: SelectionConfig,
     seed: int = 0,
+    *,
+    deadline: Deadline | float | None = None,
+    journal=None,
 ) -> dict[str, SelectorRun]:
     """Run several selectors over the same instances (same random stream seed)."""
     return {
-        name: run_selector(name, instances, config, seed=seed)
+        name: run_selector(
+            name, instances, config, seed=seed, deadline=deadline, journal=journal
+        )
         for name in selector_names
     }

@@ -1,4 +1,4 @@
-"""JSON persistence for experiment results.
+"""JSON persistence for experiment results, plus checkpoint journals.
 
 Benchmark runs archive rendered text tables; this module additionally
 serialises the *structured* results (the dataclasses each ``run_*``
@@ -10,22 +10,49 @@ The format is a tagged envelope::
     {"experiment": "table3", "settings": {...}, "results": [...]}
 
 where each result is the ``dataclasses.asdict`` of one row/point/cell,
-with enums and numpy scalars coerced to plain JSON types.
+with enums and numpy scalars coerced to plain JSON types.  Writes are
+atomic (temp file + ``os.replace``), so a crash mid-write never leaves a
+truncated envelope behind.
+
+Checkpoint/resume
+-----------------
+:class:`ResultJournal` is an append-only JSONL journal of completed
+per-instance :class:`~repro.core.selection.SelectionResult`\\ s.  The
+experiment runner (:func:`repro.eval.runner.run_selector`) streams every
+finished instance to the active journal — together with the
+post-instance RNG state, so stochastic selectors resume mid-stream with
+byte-identical results — and, on a re-run, replays journal entries
+instead of recomputing them.  Install a journal for a block of
+experiment code with :func:`checkpointing` (that is what
+``repro-cli experiment --checkpoint`` does); an interrupted run resumes
+from the last journaled instance instead of restarting from zero.
 """
 
 from __future__ import annotations
 
+import contextlib
+import contextvars
 import dataclasses
 import enum
+import hashlib
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
+from collections.abc import Iterator
 
 import numpy as np
 
-from repro.eval.runner import EvaluationSettings
+from repro.core.selection import SelectionResult
+from repro.data.instances import ComparisonInstance
+from repro.data.models import AspectMention, Product, Review
+
+if TYPE_CHECKING:  # runner imports this module lazily; avoid the cycle
+    from repro.eval.runner import EvaluationSettings
 
 _FORMAT_VERSION = 1
+_JOURNAL_VERSION = 1
 
 
 def _jsonable(value: Any) -> Any:
@@ -52,20 +79,47 @@ def _jsonable(value: Any) -> Any:
     return value
 
 
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (same-directory temp + replace).
+
+    The payload is serialised *before* this is called, fsynced to a
+    temporary file in the target directory, then renamed over the
+    destination, so a crash at any point leaves either the old file or
+    the new one — never a truncated hybrid.
+    """
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+
+
 def save_results(
     experiment: str,
     results: Any,
     settings: EvaluationSettings,
     path: str | Path,
 ) -> None:
-    """Write one experiment's structured results to ``path`` as JSON."""
+    """Write one experiment's structured results to ``path`` as JSON.
+
+    The write is atomic: a crash mid-write never corrupts an existing
+    result file at ``path``.
+    """
     envelope = {
         "version": _FORMAT_VERSION,
         "experiment": experiment,
         "settings": _jsonable(settings),
         "results": _jsonable(results),
     }
-    Path(path).write_text(json.dumps(envelope, indent=2) + "\n", encoding="utf-8")
+    _atomic_write_text(Path(path), json.dumps(envelope, indent=2) + "\n")
 
 
 def load_results(path: str | Path) -> dict:
@@ -83,3 +137,277 @@ def load_results(path: str | Path) -> dict:
     if version != _FORMAT_VERSION:
         raise ValueError(f"{path}: unsupported result format version {version!r}")
     return envelope
+
+
+# --------------------------------------------------------------------------
+# SelectionResult round-trip (for checkpoint journals)
+# --------------------------------------------------------------------------
+
+
+def result_record(result: SelectionResult) -> dict:
+    """A JSON-ready record that fully round-trips a SelectionResult."""
+    instance = result.instance
+    return {
+        "algorithm": result.algorithm,
+        "degraded": result.degraded,
+        "selections": [list(s) for s in result.selections],
+        "products": [
+            {
+                "product_id": p.product_id,
+                "title": p.title,
+                "category": p.category,
+                "also_bought": list(p.also_bought),
+            }
+            for p in instance.products
+        ],
+        "reviews": [
+            [
+                {
+                    "review_id": r.review_id,
+                    "product_id": r.product_id,
+                    "reviewer_id": r.reviewer_id,
+                    "rating": r.rating,
+                    "text": r.text,
+                    "mentions": [
+                        {
+                            "aspect": m.aspect,
+                            "sentiment": m.sentiment,
+                            "strength": m.strength,
+                        }
+                        for m in r.mentions
+                    ],
+                }
+                for r in review_set
+            ]
+            for review_set in instance.reviews
+        ],
+    }
+
+
+def result_from_record(record: dict) -> SelectionResult:
+    """Rebuild a SelectionResult written by :func:`result_record`."""
+    products = tuple(
+        Product(
+            product_id=p["product_id"],
+            title=p["title"],
+            category=p["category"],
+            also_bought=tuple(p.get("also_bought", ())),
+        )
+        for p in record["products"]
+    )
+    reviews = tuple(
+        tuple(
+            Review(
+                review_id=r["review_id"],
+                product_id=r["product_id"],
+                reviewer_id=r["reviewer_id"],
+                rating=float(r["rating"]),
+                text=r["text"],
+                mentions=tuple(
+                    AspectMention(
+                        aspect=m["aspect"],
+                        sentiment=int(m["sentiment"]),
+                        strength=float(m.get("strength", 1.0)),
+                    )
+                    for m in r.get("mentions", ())
+                ),
+            )
+            for r in review_set
+        )
+        for review_set in record["reviews"]
+    )
+    return SelectionResult(
+        instance=ComparisonInstance(products=products, reviews=reviews),
+        selections=tuple(tuple(int(i) for i in s) for s in record["selections"]),
+        algorithm=record["algorithm"],
+        degraded=bool(record.get("degraded", False)),
+    )
+
+
+# --------------------------------------------------------------------------
+# Checkpoint journal
+# --------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class CheckpointEntry:
+    """One journaled per-instance result."""
+
+    key: str
+    index: int
+    result: SelectionResult
+    seconds: float
+    rng_state: dict | None = None
+
+
+def run_key(
+    algorithm: str,
+    config: Any,
+    seed: int,
+    instances: Any,
+) -> str:
+    """A stable identity for one selector run inside a journal.
+
+    Two runs share journal entries only when the algorithm, the
+    selection config, the seed, and the exact instance sequence (by
+    target product id) all match — otherwise replaying a checkpoint
+    would silently mix workloads.
+    """
+    fingerprint = json.dumps(
+        {
+            "config": _jsonable(config),
+            "targets": [inst.target.product_id for inst in instances],
+        },
+        sort_keys=True,
+    )
+    digest = hashlib.sha256(fingerprint.encode("utf-8")).hexdigest()[:16]
+    return f"{algorithm}|seed={seed}|{digest}"
+
+
+class ResultJournal:
+    """Append-only JSONL journal of completed per-instance results.
+
+    Each ``append`` writes one line and flushes + fsyncs it, so every
+    completed instance survives a crash.  Loading tolerates a torn final
+    line (the signature of a crash mid-append): it is ignored, and the
+    run simply redoes that one instance.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._entries: dict[tuple[str, int], dict] = {}
+        self._load()
+        self._handle = None
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        for line_number, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # A torn trailing line from a crash mid-append is
+                # expected; anything torn *before* the end means the
+                # file was mangled by something else.
+                if any(rest.strip() for rest in lines[line_number:]):
+                    raise ValueError(
+                        f"{self.path}:{line_number}: corrupt journal line "
+                        "followed by more data"
+                    ) from None
+                return
+            kind = record.get("kind")
+            if kind == "header":
+                version = record.get("version")
+                if version != _JOURNAL_VERSION:
+                    raise ValueError(
+                        f"{self.path}: unsupported journal version {version!r}"
+                    )
+            elif kind == "entry":
+                self._entries[(record["key"], int(record["index"]))] = record
+            else:
+                raise ValueError(
+                    f"{self.path}:{line_number}: unknown journal record "
+                    f"kind {kind!r}"
+                )
+
+    def _open_for_append(self):
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            new_file = not self.path.exists() or self.path.stat().st_size == 0
+            self._handle = self.path.open("a", encoding="utf-8")
+            if new_file:
+                self._write_line({"kind": "header", "version": _JOURNAL_VERSION})
+        return self._handle
+
+    def _write_line(self, record: dict) -> None:
+        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key_index: tuple[str, int]) -> bool:
+        return key_index in self._entries
+
+    def entries_for(self, key: str) -> int:
+        """How many instances of run ``key`` are already journaled."""
+        return sum(1 for k, _ in self._entries if k == key)
+
+    def get(self, key: str, index: int) -> CheckpointEntry | None:
+        record = self._entries.get((key, index))
+        if record is None:
+            return None
+        return CheckpointEntry(
+            key=key,
+            index=index,
+            result=result_from_record(record["result"]),
+            seconds=float(record.get("seconds", 0.0)),
+            rng_state=record.get("rng_state"),
+        )
+
+    def append(
+        self,
+        key: str,
+        index: int,
+        result: SelectionResult,
+        seconds: float,
+        rng_state: dict | None = None,
+    ) -> None:
+        """Journal one completed instance (flushed + fsynced immediately)."""
+        record = {
+            "kind": "entry",
+            "key": key,
+            "index": index,
+            "seconds": seconds,
+            "rng_state": _jsonable(rng_state),
+            "result": result_record(result),
+        }
+        self._open_for_append()
+        self._write_line(record)
+        self._entries[(key, index)] = record
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ResultJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+_ACTIVE_JOURNAL: contextvars.ContextVar[ResultJournal | None] = (
+    contextvars.ContextVar("repro_active_journal", default=None)
+)
+
+
+def active_journal() -> ResultJournal | None:
+    """The journal installed by :func:`checkpointing`, if any."""
+    return _ACTIVE_JOURNAL.get()
+
+
+@contextlib.contextmanager
+def checkpointing(path: str | Path) -> Iterator[ResultJournal]:
+    """Stream per-instance results to a journal for the enclosed block.
+
+    Every :func:`repro.eval.runner.run_selector` call inside the block
+    journals completed instances to ``path`` and replays already-
+    journaled ones.  Re-running an interrupted block with the same
+    journal resumes from the last checkpoint and produces the same final
+    results as an uninterrupted run (RNG state is journaled alongside
+    each instance).
+    """
+    journal = ResultJournal(path)
+    token = _ACTIVE_JOURNAL.set(journal)
+    try:
+        yield journal
+    finally:
+        _ACTIVE_JOURNAL.reset(token)
+        journal.close()

@@ -17,6 +17,14 @@ This module provides two offline equivalents:
 
 Both report whether optimality was proven, so the Table-5 "#Optimal
 Solution %" column is reproducible with either backend.
+
+Both solvers accept an optional :class:`~repro.resilience.deadline.Deadline`
+(falling back to the ambient :func:`~repro.resilience.deadline.deadline_scope`
+when none is passed) in addition to their constructor ``time_limit``; the
+effective budget is the tighter of the two.  Hitting the budget degrades
+to the best incumbent with ``proven_optimal=False`` — it never raises —
+mirroring how the paper reports non-proven solutions under the 60-second
+Gurobi limit.
 """
 
 from __future__ import annotations
@@ -27,6 +35,8 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import sparse
 from scipy.optimize import Bounds, LinearConstraint, milp
+
+from repro.resilience.deadline import Deadline, resolve_deadline
 
 
 @dataclass(frozen=True, slots=True)
@@ -57,6 +67,21 @@ def subset_weight(weights: np.ndarray, subset: tuple[int, ...] | list[int]) -> f
     return float(block.sum()) / 2.0
 
 
+def greedy_incumbent(weights: np.ndarray, k: int, target: int) -> list[int]:
+    """Algorithm-2 greedy solution, used as incumbent / timeout fallback."""
+    chosen = [target]
+    remaining = set(range(weights.shape[0])) - {target}
+    while len(chosen) < k and remaining:
+        chosen_array = np.array(chosen)
+        best_vertex = max(
+            sorted(remaining),
+            key=lambda v: float(weights[v, chosen_array].sum()),
+        )
+        chosen.append(best_vertex)
+        remaining.discard(best_vertex)
+    return chosen
+
+
 class MilpBackendSolver:
     """Eq. 7 linearised and solved by scipy's HiGHS MILP backend."""
 
@@ -65,14 +90,28 @@ class MilpBackendSolver:
             raise ValueError("time_limit must be positive")
         self.time_limit = time_limit
 
-    def solve(self, weights: np.ndarray, k: int, target: int = 0) -> IlpSolution:
-        """Heaviest k-subgraph containing ``target``; k nodes total."""
+    def solve(
+        self,
+        weights: np.ndarray,
+        k: int,
+        target: int = 0,
+        deadline: Deadline | None = None,
+    ) -> IlpSolution:
+        """Heaviest k-subgraph containing ``target``; k nodes total.
+
+        The effective budget is the tighter of ``deadline`` (or the
+        ambient deadline scope) and the constructor ``time_limit``.  If
+        the budget runs out before HiGHS finds any incumbent, the greedy
+        solution is returned with ``proven_optimal=False`` instead of
+        raising.
+        """
         weights = _validate_weights(weights)
         n = weights.shape[0]
         if not (1 <= k <= n):
             raise ValueError(f"k must be in [1, {n}], got {k}")
         if not (0 <= target < n):
             raise ValueError(f"target {target} out of range for n={n}")
+        effective = resolve_deadline(deadline).tightened(self.time_limit)
 
         start = time.perf_counter()
         pairs = [(i, j) for i in range(n - 1) for j in range(i + 1, n)]
@@ -125,10 +164,21 @@ class MilpBackendSolver:
             constraints=constraints,
             bounds=bounds,
             integrality=integrality,
-            options={"time_limit": self.time_limit},
+            options={"time_limit": effective.as_time_limit(cap=self.time_limit)},
         )
         elapsed = time.perf_counter() - start
         if result.x is None:
+            # status 1 = iteration/time limit: degrade to the greedy
+            # incumbent rather than raising — the budget, not the model,
+            # is what failed (the paper reports non-proven solutions).
+            if result.status == 1 or effective.expired():
+                selected = tuple(sorted(greedy_incumbent(weights, k, target)))
+                return IlpSolution(
+                    selected=selected,
+                    weight=subset_weight(weights, selected),
+                    proven_optimal=False,
+                    solve_seconds=elapsed,
+                )
             raise RuntimeError(f"MILP backend returned no solution: {result.message}")
         gamma = result.x[:n]
         selected = tuple(int(i) for i in np.flatnonzero(gamma > 0.5))
@@ -148,20 +198,33 @@ class BranchAndBoundSolver:
             raise ValueError("time_limit must be positive")
         self.time_limit = time_limit
 
-    def solve(self, weights: np.ndarray, k: int, target: int = 0) -> IlpSolution:
-        """Heaviest k-subgraph containing ``target``, DFS branch and bound."""
+    def solve(
+        self,
+        weights: np.ndarray,
+        k: int,
+        target: int = 0,
+        deadline: Deadline | None = None,
+    ) -> IlpSolution:
+        """Heaviest k-subgraph containing ``target``, DFS branch and bound.
+
+        The effective budget is the tighter of ``deadline`` (or the
+        ambient deadline scope) and the constructor ``time_limit``; it is
+        checked at every search node *and* inside the bound computation
+        itself, so a single expensive bound over a large candidate set
+        cannot overshoot the budget by more than a few iterations.
+        """
         weights = _validate_weights(weights)
         n = weights.shape[0]
         if not (1 <= k <= n):
             raise ValueError(f"k must be in [1, {n}], got {k}")
         if not (0 <= target < n):
             raise ValueError(f"target {target} out of range for n={n}")
+        effective = resolve_deadline(deadline).tightened(self.time_limit)
 
         start = time.perf_counter()
-        deadline = start + self.time_limit
 
         # Greedy incumbent (Algorithm 2) gives a strong initial lower bound.
-        incumbent = self._greedy(weights, k, target)
+        incumbent = greedy_incumbent(weights, k, target)
         incumbent_weight = subset_weight(weights, incumbent)
 
         # Candidates ordered by total weighted degree: heavier vertices
@@ -177,14 +240,25 @@ class BranchAndBoundSolver:
         chosen_weight = 0.0
 
         def bound(position: int, slots: int) -> float:
-            """Admissible completion bound for candidates[position:]."""
+            """Admissible completion bound for candidates[position:].
+
+            Checks the deadline every few candidates: on a large
+            candidate set a single bound computation is the most
+            expensive step between search-node deadline checks, so
+            without this an almost-expired budget could overshoot by the
+            full cost of one bound pass.
+            """
+            nonlocal timed_out
             candidates = others[position:]
             if slots == 0 or not candidates:
                 return 0.0
             values = []
             candidate_array = np.array(candidates)
             chosen_array = np.array(chosen)
-            for v in candidates:
+            for index, v in enumerate(candidates):
+                if index % 16 == 0 and effective.expired():
+                    timed_out = True
+                    return float("inf")  # never prunes; dfs aborts next check
                 to_chosen = float(weights[v, chosen_array].sum())
                 cross = np.sort(weights[v, candidate_array])[::-1]
                 # v itself appears with weight 0 (zero diagonal), harmless.
@@ -197,7 +271,7 @@ class BranchAndBoundSolver:
             nonlocal best, best_weight, chosen_weight, timed_out
             if timed_out:
                 return
-            if time.perf_counter() > deadline:
+            if effective.expired():
                 timed_out = True
                 return
             slots = k - len(chosen)
@@ -209,6 +283,8 @@ class BranchAndBoundSolver:
             if len(others) - position < slots:
                 return
             if chosen_weight + bound(position, slots) <= best_weight + 1e-12:
+                return
+            if timed_out:
                 return
             vertex = others[position]
             # Branch 1: include vertex.
@@ -229,17 +305,3 @@ class BranchAndBoundSolver:
             proven_optimal=not timed_out,
             solve_seconds=elapsed,
         )
-
-    @staticmethod
-    def _greedy(weights: np.ndarray, k: int, target: int) -> list[int]:
-        chosen = [target]
-        remaining = set(range(weights.shape[0])) - {target}
-        while len(chosen) < k and remaining:
-            chosen_array = np.array(chosen)
-            best_vertex = max(
-                sorted(remaining),
-                key=lambda v: float(weights[v, chosen_array].sum()),
-            )
-            chosen.append(best_vertex)
-            remaining.discard(best_vertex)
-        return chosen

@@ -20,6 +20,7 @@ from itertools import combinations
 import numpy as np
 
 from repro.graph.ilp import BranchAndBoundSolver, MilpBackendSolver, subset_weight
+from repro.resilience.deadline import Deadline
 
 
 @dataclass(frozen=True, slots=True)
@@ -86,13 +87,16 @@ def solve_ilp(
     target: int = 0,
     time_limit: float = 60.0,
     backend: str = "milp",
+    deadline: Deadline | None = None,
 ) -> HksSolution:
     """Exact Eq. 7 solution (within the time limit) via the chosen backend.
 
     ``backend="milp"`` uses scipy's HiGHS on the standard linearisation
     (the Gurobi stand-in); ``backend="bnb"`` uses the from-scratch branch
     and bound.  ``proven_optimal`` is False when the limit was hit first,
-    mirroring the paper's 60-second Gurobi budget in Table 5.
+    mirroring the paper's 60-second Gurobi budget in Table 5.  An
+    explicit ``deadline`` (or an ambient deadline scope) tightens the
+    ``time_limit`` further; see :mod:`repro.resilience.deadline`.
     """
     weights = _check_arguments(weights, k, target)
     if backend == "milp":
@@ -101,7 +105,7 @@ def solve_ilp(
         solver = BranchAndBoundSolver(time_limit=time_limit)
     else:
         raise ValueError(f"unknown backend {backend!r}; use 'milp' or 'bnb'")
-    solution = solver.solve(weights, k, target)
+    solution = solver.solve(weights, k, target, deadline=deadline)
     return HksSolution(
         selected=solution.selected,
         weight=solution.weight,

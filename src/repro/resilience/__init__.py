@@ -1,0 +1,36 @@
+"""Fault tolerance for the evaluation pipeline.
+
+* :mod:`repro.resilience.deadline` — wall-clock :class:`Deadline` /
+  :class:`Budget` objects and the ambient :func:`deadline_scope`, so an
+  experiment-level budget propagates down to per-instance and per-solve
+  limits.
+* :mod:`repro.resilience.retry` — deterministic retry with seeded
+  jittered backoff.
+* :mod:`repro.resilience.fallback` — solver fallback chains
+  (MILP -> branch and bound -> greedy) with provenance.
+* :mod:`repro.resilience.faults` — seeded fault injection for tests.
+
+Only the dependency-free deadline/retry layer is re-exported here;
+``fallback`` and ``faults`` sit above the solver and selector registries
+and are imported explicitly to keep the import graph acyclic.
+"""
+
+from repro.resilience.deadline import (
+    Budget,
+    Deadline,
+    DeadlineExceeded,
+    current_deadline,
+    deadline_scope,
+    resolve_deadline,
+)
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "Budget",
+    "Deadline",
+    "DeadlineExceeded",
+    "RetryPolicy",
+    "current_deadline",
+    "deadline_scope",
+    "resolve_deadline",
+]

@@ -1,0 +1,195 @@
+"""Wall-clock deadlines and budgets for fault-tolerant evaluation runs.
+
+The paper already embraces degradation semantics: Table 5 runs the
+TargetHkS ILP under a 60-second limit and reports non-proven solutions
+when it is hit.  This module generalises that into a first-class
+mechanism.  A :class:`Deadline` is an absolute point on a monotonic
+clock; a :class:`Budget` bundles the experiment-level wall-clock budget
+with per-instance and per-solve caps.  A budget set at the experiment
+level propagates down — every layer tightens the deadline it received
+rather than inventing its own ``time_limit`` float.
+
+Deadlines can also be installed ambiently with :func:`deadline_scope`,
+so experiment drivers (`repro-cli experiment --time-budget`) can bound
+whole runs without threading a parameter through every ``run_*``
+signature; :func:`current_deadline` retrieves the active scope.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import math
+import time
+from dataclasses import dataclass
+from collections.abc import Callable, Iterator
+
+
+class DeadlineExceeded(TimeoutError):
+    """A wall-clock deadline ran out before the work completed."""
+
+
+class Deadline:
+    """An absolute wall-clock deadline on a monotonic clock.
+
+    ``seconds=None`` means unlimited.  Deadlines are immutable; derive
+    tighter ones with :meth:`tightened`.  A custom ``clock`` (a zero-arg
+    callable returning seconds) makes deadline logic testable without
+    sleeping.
+    """
+
+    __slots__ = ("_clock", "_expires_at")
+
+    def __init__(
+        self,
+        seconds: float | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if seconds is not None and seconds < 0:
+            raise ValueError(f"seconds must be >= 0 or None, got {seconds}")
+        self._clock = clock
+        self._expires_at = None if seconds is None else clock() + seconds
+
+    @classmethod
+    def unlimited(cls) -> "Deadline":
+        """A deadline that never expires."""
+        return cls(None)
+
+    @classmethod
+    def after(
+        cls, seconds: float, *, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        """A deadline ``seconds`` from now."""
+        return cls(seconds, clock=clock)
+
+    @property
+    def bounded(self) -> bool:
+        """Whether this deadline can ever expire."""
+        return self._expires_at is not None
+
+    def remaining(self) -> float:
+        """Seconds left (never negative); ``inf`` when unlimited."""
+        if self._expires_at is None:
+            return math.inf
+        return max(0.0, self._expires_at - self._clock())
+
+    def expired(self) -> bool:
+        return self._expires_at is not None and self._clock() >= self._expires_at
+
+    def check(self, context: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` if the deadline has passed."""
+        if self.expired():
+            suffix = f" ({context})" if context else ""
+            raise DeadlineExceeded(f"deadline exceeded{suffix}")
+
+    def tightened(self, seconds: float | None) -> "Deadline":
+        """The tighter of this deadline and one ``seconds`` from now.
+
+        ``seconds=None`` returns ``self`` unchanged, so per-layer caps
+        can be optional without branching at every call site.
+        """
+        if seconds is None:
+            return self
+        child = Deadline(seconds, clock=self._clock)
+        if self._expires_at is not None and self._expires_at < child._expires_at:
+            return self
+        return child
+
+    def as_time_limit(self, cap: float | None = None, minimum: float = 1e-3) -> float:
+        """The remaining time as a plain solver ``time_limit`` float.
+
+        Legacy solver APIs want a positive float; this clamps the
+        remaining budget to at least ``minimum`` (so an already-expired
+        deadline still yields a valid, immediately-expiring limit) and
+        at most ``cap`` when given.
+        """
+        limit = self.remaining()
+        if cap is not None:
+            limit = min(limit, cap)
+        if not math.isfinite(limit):
+            raise ValueError("cannot express an unlimited deadline as a time limit")
+        return max(limit, minimum)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._expires_at is None:
+            return "Deadline(unlimited)"
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+@dataclass(frozen=True, slots=True)
+class Budget:
+    """An experiment-level wall-clock budget with per-layer caps.
+
+    ``total_seconds`` bounds the whole run, ``per_instance_seconds`` one
+    problem instance, and ``per_solve_seconds`` a single solver call
+    (the generalisation of the paper's 60-second Gurobi limit).  Any
+    component may be ``None`` (unlimited).
+    """
+
+    total_seconds: float | None = None
+    per_instance_seconds: float | None = None
+    per_solve_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("total_seconds", "per_instance_seconds", "per_solve_seconds"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive or None, got {value}")
+
+    def start(self, *, clock: Callable[[], float] = time.monotonic) -> Deadline:
+        """Begin the run: the overall deadline for the whole budget."""
+        return Deadline(self.total_seconds, clock=clock)
+
+    def instance_deadline(self, overall: Deadline) -> Deadline:
+        """The deadline for one instance under the running ``overall``."""
+        return overall.tightened(self.per_instance_seconds)
+
+    def solve_deadline(self, instance: Deadline) -> Deadline:
+        """The deadline for one solver call under an instance deadline."""
+        return instance.tightened(self.per_solve_seconds)
+
+
+_ACTIVE_DEADLINE: contextvars.ContextVar[Deadline | None] = contextvars.ContextVar(
+    "repro_active_deadline", default=None
+)
+
+
+def current_deadline() -> Deadline | None:
+    """The ambient deadline installed by :func:`deadline_scope`, if any."""
+    return _ACTIVE_DEADLINE.get()
+
+
+@contextlib.contextmanager
+def deadline_scope(deadline: Deadline | float | None) -> Iterator[Deadline]:
+    """Install ``deadline`` as the ambient deadline for the block.
+
+    Accepts a :class:`Deadline`, a number of seconds, or ``None`` (an
+    unlimited scope that still shadows any outer one).  Layers that take
+    an optional ``deadline`` parameter fall back to the ambient scope,
+    so a budget set at the experiment level reaches every solver call.
+    """
+    if deadline is None:
+        resolved = Deadline.unlimited()
+    elif isinstance(deadline, Deadline):
+        resolved = deadline
+    else:
+        resolved = Deadline.after(float(deadline))
+    token = _ACTIVE_DEADLINE.set(resolved)
+    try:
+        yield resolved
+    finally:
+        _ACTIVE_DEADLINE.reset(token)
+
+
+def resolve_deadline(deadline: "Deadline | float | None") -> Deadline:
+    """Coerce an explicit deadline, falling back to the ambient scope.
+
+    ``None`` consults :func:`current_deadline`; if no scope is active
+    the result is unlimited.  Numbers mean "seconds from now".
+    """
+    if deadline is None:
+        return current_deadline() or Deadline.unlimited()
+    if isinstance(deadline, Deadline):
+        return deadline
+    return Deadline.after(float(deadline))

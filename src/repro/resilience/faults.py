@@ -1,0 +1,188 @@
+"""Deterministic fault injection for the evaluation pipeline.
+
+The resilience guarantees of :mod:`repro.eval.parallel` — a crashing
+worker loses only its own instance, a hung solve is cut off, transient
+failures are retried — are only trustworthy if tests can *provoke* those
+failures on demand.  This module injects them on a seeded schedule:
+
+* :class:`FaultPlan` maps instance keys (target product ids) to
+  :class:`FaultSpec` actions — crash, hang, slow-down, or "flaky"
+  (fail the first N attempts, then succeed, for exercising retries).
+* :class:`FaultInjectingSelector` wraps any registered selector and
+  applies the plan before delegating.  It is itself registered (name
+  ``"FaultInjecting"``) and configured entirely with picklable
+  primitives, so it survives the process-pool boundary exactly like the
+  real selectors.
+
+Flaky faults need attempt counts that survive worker processes; they are
+tracked as marker files under ``scratch_dir`` (one file per key, one
+line per attempt), which keeps the schedule deterministic regardless of
+which worker lands the retry.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from repro.core.selection import (
+    SelectionResult,
+    make_selector,
+    register_selector,
+)
+
+
+class InjectedFault(RuntimeError):
+    """A deliberately injected failure (never raised by real code paths)."""
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    ``kind`` is ``"crash"`` (raise :class:`InjectedFault`), ``"hang"``
+    (sleep ``seconds`` then proceed — long enough to trip a runner
+    timeout), ``"slow"`` (sleep ``seconds``, a mild delay), or
+    ``"flaky"`` (raise on the first ``fail_attempts`` attempts, then
+    proceed normally).
+    """
+
+    kind: str
+    seconds: float = 0.0
+    fail_attempts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("crash", "hang", "slow", "flaky"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.seconds < 0:
+            raise ValueError("seconds must be >= 0")
+        if self.fail_attempts < 0:
+            raise ValueError("fail_attempts must be >= 0")
+
+
+class FaultPlan:
+    """A deterministic schedule of faults keyed by instance identity."""
+
+    def __init__(self, faults: Mapping[str, FaultSpec] | None = None) -> None:
+        self._faults: dict[str, FaultSpec] = dict(faults or {})
+
+    @classmethod
+    def seeded(
+        cls,
+        keys: Iterable[str],
+        seed: int,
+        crash_rate: float = 0.0,
+        hang_rate: float = 0.0,
+        slow_rate: float = 0.0,
+        hang_seconds: float = 1.0,
+        slow_seconds: float = 0.05,
+    ) -> "FaultPlan":
+        """Assign faults to ``keys`` by seeded independent draws.
+
+        The same (keys, seed, rates) always yields the same plan, so a
+        fault-injection test failure replays exactly.
+        """
+        rng = np.random.default_rng(seed)
+        faults: dict[str, FaultSpec] = {}
+        for key in keys:
+            draw = float(rng.random())
+            if draw < crash_rate:
+                faults[key] = FaultSpec(kind="crash")
+            elif draw < crash_rate + hang_rate:
+                faults[key] = FaultSpec(kind="hang", seconds=hang_seconds)
+            elif draw < crash_rate + hang_rate + slow_rate:
+                faults[key] = FaultSpec(kind="slow", seconds=slow_seconds)
+        return cls(faults)
+
+    def fault_for(self, key: str) -> FaultSpec | None:
+        return self._faults.get(key)
+
+    def __len__(self) -> int:
+        return len(self._faults)
+
+    def keys(self) -> tuple[str, ...]:
+        return tuple(sorted(self._faults))
+
+
+def _flaky_attempt_number(scratch_dir: str, key: str) -> int:
+    """Record one attempt for ``key`` and return its 1-based number.
+
+    Marker files make the count visible across worker processes; the
+    append is a single small write, atomic enough for the sequential
+    per-instance retries the runner performs.
+    """
+    os.makedirs(scratch_dir, exist_ok=True)
+    marker = os.path.join(scratch_dir, f"flaky-{key}.attempts")
+    with open(marker, "a", encoding="utf-8") as handle:
+        handle.write("x\n")
+    with open(marker, "r", encoding="utf-8") as handle:
+        return sum(1 for _ in handle)
+
+
+@register_selector
+class FaultInjectingSelector:
+    """Wrap a registered selector and inject scheduled faults.
+
+    All constructor arguments are plain picklable primitives so the
+    selector can be rebuilt inside pool workers from registry kwargs,
+    exactly like production selectors:
+
+    ``crash_ids``
+        target product ids whose select always raises.
+    ``hang``/``slow``
+        mappings of target product id -> sleep seconds (hang is meant to
+        exceed the runner's per-instance timeout; slow is a mild delay).
+    ``flaky_ids``/``flaky_attempts``/``scratch_dir``
+        ids that fail their first ``flaky_attempts`` attempts and then
+        succeed; attempt counts live in ``scratch_dir`` marker files.
+    """
+
+    name = "FaultInjecting"
+
+    def __init__(
+        self,
+        inner: str = "CompaReSetS_Greedy",
+        inner_kwargs: dict | None = None,
+        crash_ids: tuple[str, ...] | list[str] = (),
+        hang: dict[str, float] | None = None,
+        slow: dict[str, float] | None = None,
+        flaky_ids: tuple[str, ...] | list[str] = (),
+        flaky_attempts: int = 1,
+        scratch_dir: str | None = None,
+    ) -> None:
+        self.inner = inner
+        self.inner_kwargs = dict(inner_kwargs or {})
+        self.crash_ids = frozenset(crash_ids)
+        self.hang = dict(hang or {})
+        self.slow = dict(slow or {})
+        self.flaky_ids = frozenset(flaky_ids)
+        self.flaky_attempts = flaky_attempts
+        self.scratch_dir = scratch_dir
+        if self.flaky_ids and scratch_dir is None:
+            raise ValueError("flaky faults need a scratch_dir for attempt markers")
+
+    def select(
+        self,
+        instance,
+        config,
+        rng: np.random.Generator | None = None,
+    ) -> SelectionResult:
+        key = instance.target.product_id
+        if key in self.crash_ids:
+            raise InjectedFault(f"injected crash for {key}")
+        if key in self.flaky_ids:
+            attempt = _flaky_attempt_number(self.scratch_dir, key)
+            if attempt <= self.flaky_attempts:
+                raise InjectedFault(
+                    f"injected flaky failure for {key} (attempt {attempt})"
+                )
+        delay = self.hang.get(key, 0.0) + self.slow.get(key, 0.0)
+        if delay > 0:
+            time.sleep(delay)
+        return make_selector(self.inner, **self.inner_kwargs).select(
+            instance, config, rng=rng
+        )

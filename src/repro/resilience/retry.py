@@ -1,0 +1,93 @@
+"""Deterministic retry with jittered exponential backoff.
+
+Retries in an evaluation pipeline must not break reproducibility: a
+stochastic selector that is retried has to produce the same selection it
+would have produced on a clean first attempt.  The runner therefore
+re-seeds every attempt identically (see ``repro.eval.parallel``), and
+the *jitter* applied to backoff delays is itself derived from a seed, so
+two runs of the same workload sleep the same amounts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.resilience.deadline import Deadline, DeadlineExceeded
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """How many times to attempt a unit of work and how long to wait.
+
+    ``max_attempts=1`` means no retries.  Delay before attempt ``a``
+    (a >= 2) is ``backoff_seconds * backoff_multiplier**(a - 2)``,
+    scaled by a deterministic jitter factor in
+    ``[1 - jitter, 1 + jitter]`` drawn from the given seed.
+    """
+
+    max_attempts: int = 1
+    backoff_seconds: float = 0.05
+    backoff_multiplier: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_seconds < 0:
+            raise ValueError("backoff_seconds must be >= 0")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if not (0.0 <= self.jitter < 1.0):
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """The no-retry policy."""
+        return cls(max_attempts=1)
+
+    def delay_before(self, attempt: int, seed: int = 0) -> float:
+        """Seconds to wait before ``attempt`` (1-based; attempt 1 is free)."""
+        if attempt <= 1:
+            return 0.0
+        base = self.backoff_seconds * self.backoff_multiplier ** (attempt - 2)
+        if self.jitter == 0.0 or base == 0.0:
+            return base
+        # Seeded per (seed, attempt): deterministic across runs and across
+        # schedulers, yet de-synchronised across instances.
+        uniform = float(np.random.default_rng([seed, attempt]).random())
+        return base * (1.0 + self.jitter * (2.0 * uniform - 1.0))
+
+    def call(
+        self,
+        fn: Callable[[int], object],
+        *,
+        seed: int = 0,
+        deadline: Deadline | None = None,
+        retry_on: tuple[type[BaseException], ...] = (Exception,),
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> object:
+        """Run ``fn(attempt)`` until it succeeds or attempts run out.
+
+        ``fn`` receives the 1-based attempt number (so callers can
+        re-seed deterministically per attempt).  :class:`DeadlineExceeded`
+        is never retried — an exhausted budget is not transient.
+        """
+        deadline = deadline or Deadline.unlimited()
+        last_error: BaseException | None = None
+        for attempt in range(1, self.max_attempts + 1):
+            wait = min(self.delay_before(attempt, seed=seed), deadline.remaining())
+            if wait > 0:
+                sleep(wait)
+            deadline.check(f"retry attempt {attempt}")
+            try:
+                return fn(attempt)
+            except DeadlineExceeded:
+                raise
+            except retry_on as exc:
+                last_error = exc
+        assert last_error is not None
+        raise last_error

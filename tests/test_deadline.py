@@ -1,0 +1,192 @@
+"""Tests for the deadline/budget layer and the retry policy."""
+
+import math
+
+import pytest
+
+from repro.resilience.deadline import (
+    Budget,
+    Deadline,
+    DeadlineExceeded,
+    current_deadline,
+    deadline_scope,
+    resolve_deadline,
+)
+from repro.resilience.retry import RetryPolicy
+
+
+class FakeClock:
+    """A manually advanced monotonic clock for deterministic tests."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_unlimited_never_expires(self):
+        deadline = Deadline.unlimited()
+        assert not deadline.bounded
+        assert not deadline.expired()
+        assert deadline.remaining() == math.inf
+        deadline.check()  # no raise
+
+    def test_expires_with_clock(self):
+        clock = FakeClock()
+        deadline = Deadline.after(5.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(5.0)
+        clock.advance(4.0)
+        assert not deadline.expired()
+        clock.advance(1.5)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+
+    def test_check_raises_with_context(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        clock.advance(2.0)
+        with pytest.raises(DeadlineExceeded, match="solving instance 3"):
+            deadline.check("solving instance 3")
+
+    def test_negative_seconds_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Deadline(-1.0)
+
+    def test_tightened_takes_minimum(self):
+        clock = FakeClock()
+        loose = Deadline.after(100.0, clock=clock)
+        tight = loose.tightened(2.0)
+        assert tight.remaining() == pytest.approx(2.0)
+        # Tightening with a looser cap keeps the original deadline.
+        still_loose = Deadline.after(1.0, clock=clock).tightened(50.0)
+        assert still_loose.remaining() == pytest.approx(1.0)
+
+    def test_tightened_none_is_identity(self):
+        deadline = Deadline.after(5.0)
+        assert deadline.tightened(None) is deadline
+
+    def test_as_time_limit_clamps(self):
+        clock = FakeClock()
+        deadline = Deadline.after(10.0, clock=clock)
+        assert deadline.as_time_limit(cap=3.0) == pytest.approx(3.0)
+        clock.advance(20.0)
+        assert deadline.as_time_limit(cap=3.0) == pytest.approx(1e-3)
+
+    def test_as_time_limit_unlimited_needs_cap(self):
+        with pytest.raises(ValueError, match="unlimited"):
+            Deadline.unlimited().as_time_limit()
+        assert Deadline.unlimited().as_time_limit(cap=60.0) == 60.0
+
+
+class TestBudget:
+    def test_layered_deadlines(self):
+        clock = FakeClock()
+        budget = Budget(
+            total_seconds=10.0, per_instance_seconds=4.0, per_solve_seconds=1.0
+        )
+        overall = budget.start(clock=clock)
+        instance = budget.instance_deadline(overall)
+        solve = budget.solve_deadline(instance)
+        assert instance.remaining() == pytest.approx(4.0)
+        assert solve.remaining() == pytest.approx(1.0)
+        # Late in the run, the overall budget dominates every layer.
+        clock.advance(9.5)
+        assert budget.instance_deadline(overall).remaining() == pytest.approx(0.5)
+        assert budget.solve_deadline(
+            budget.instance_deadline(overall)
+        ).remaining() == pytest.approx(0.5)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="total_seconds"):
+            Budget(total_seconds=0.0)
+
+
+class TestDeadlineScope:
+    def test_ambient_scope_resolves(self):
+        assert current_deadline() is None
+        with deadline_scope(5.0) as installed:
+            assert current_deadline() is installed
+            assert resolve_deadline(None) is installed
+        assert current_deadline() is None
+
+    def test_explicit_beats_ambient(self):
+        with deadline_scope(100.0):
+            explicit = Deadline.after(1.0)
+            assert resolve_deadline(explicit) is explicit
+
+    def test_no_scope_resolves_unlimited(self):
+        resolved = resolve_deadline(None)
+        assert not resolved.bounded
+
+    def test_scope_nesting_restores(self):
+        with deadline_scope(10.0) as outer:
+            with deadline_scope(1.0) as inner:
+                assert current_deadline() is inner
+            assert current_deadline() is outer
+
+
+class TestRetryPolicy:
+    def test_no_retry_delay_is_zero(self):
+        assert RetryPolicy.none().delay_before(1) == 0.0
+
+    def test_backoff_grows_and_is_deterministic(self):
+        policy = RetryPolicy(
+            max_attempts=4, backoff_seconds=0.1, backoff_multiplier=2.0, jitter=0.5
+        )
+        delays_a = [policy.delay_before(a, seed=7) for a in (2, 3, 4)]
+        delays_b = [policy.delay_before(a, seed=7) for a in (2, 3, 4)]
+        assert delays_a == delays_b  # deterministic jitter
+        # Jitter stays within +/-50% of the exponential base.
+        for attempt, delay in zip((2, 3, 4), delays_a):
+            base = 0.1 * 2.0 ** (attempt - 2)
+            assert 0.5 * base <= delay <= 1.5 * base
+        assert delays_a[2] > delays_a[0]
+
+    def test_different_seeds_desynchronise(self):
+        policy = RetryPolicy(max_attempts=3, backoff_seconds=1.0, jitter=0.9)
+        assert policy.delay_before(2, seed=1) != policy.delay_before(2, seed=2)
+
+    def test_call_retries_then_succeeds(self):
+        attempts = []
+
+        def flaky(attempt):
+            attempts.append(attempt)
+            if attempt < 3:
+                raise RuntimeError("transient")
+            return "done"
+
+        policy = RetryPolicy(max_attempts=3, backoff_seconds=0.0)
+        assert policy.call(flaky) == "done"
+        assert attempts == [1, 2, 3]
+
+    def test_call_exhausts_and_raises_last(self):
+        policy = RetryPolicy(max_attempts=2, backoff_seconds=0.0)
+
+        def always_fails(attempt):
+            raise RuntimeError(f"attempt {attempt}")
+
+        with pytest.raises(RuntimeError, match="attempt 2"):
+            policy.call(always_fails)
+
+    def test_call_never_retries_deadline_exceeded(self):
+        attempts = []
+
+        def exhausted(attempt):
+            attempts.append(attempt)
+            raise DeadlineExceeded("budget gone")
+
+        policy = RetryPolicy(max_attempts=5, backoff_seconds=0.0)
+        with pytest.raises(DeadlineExceeded):
+            policy.call(exhausted)
+        assert attempts == [1]
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)

@@ -1,0 +1,95 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.selection import make_selector
+from repro.resilience.faults import (
+    FaultInjectingSelector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+)
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="explode")
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            FaultSpec(kind="hang", seconds=-1.0)
+
+
+class TestFaultPlan:
+    def test_seeded_plan_is_deterministic(self):
+        keys = [f"P{i}" for i in range(50)]
+        plan_a = FaultPlan.seeded(keys, seed=9, crash_rate=0.2, hang_rate=0.1)
+        plan_b = FaultPlan.seeded(keys, seed=9, crash_rate=0.2, hang_rate=0.1)
+        assert plan_a.keys() == plan_b.keys()
+        for key in plan_a.keys():
+            assert plan_a.fault_for(key) == plan_b.fault_for(key)
+
+    def test_different_seeds_differ(self):
+        keys = [f"P{i}" for i in range(100)]
+        plan_a = FaultPlan.seeded(keys, seed=1, crash_rate=0.3)
+        plan_b = FaultPlan.seeded(keys, seed=2, crash_rate=0.3)
+        assert plan_a.keys() != plan_b.keys()
+
+    def test_rates_partition_kinds(self):
+        keys = [f"P{i}" for i in range(200)]
+        plan = FaultPlan.seeded(
+            keys, seed=3, crash_rate=0.1, hang_rate=0.1, slow_rate=0.1
+        )
+        kinds = {plan.fault_for(k).kind for k in plan.keys()}
+        assert kinds <= {"crash", "hang", "slow"}
+        assert 0 < len(plan) < len(keys)
+
+    def test_unscheduled_key_has_no_fault(self):
+        plan = FaultPlan({"A": FaultSpec(kind="crash")})
+        assert plan.fault_for("B") is None
+
+
+class TestFaultInjectingSelector:
+    def test_registered_in_selector_registry(self):
+        selector = make_selector("FaultInjecting", inner="CompaReSetS_Greedy")
+        assert selector.name == "FaultInjecting"
+
+    def test_crash_id_raises(self, instance, config):
+        selector = FaultInjectingSelector(
+            inner="CompaReSetS_Greedy",
+            crash_ids=(instance.target.product_id,),
+        )
+        with pytest.raises(InjectedFault, match="injected crash"):
+            selector.select(instance, config)
+
+    def test_clean_instance_delegates(self, instance, config):
+        selector = FaultInjectingSelector(inner="CompaReSetS_Greedy")
+        fault_free = selector.select(instance, config)
+        direct = make_selector("CompaReSetS_Greedy").select(instance, config)
+        assert fault_free.selections == direct.selections
+        assert fault_free.algorithm == direct.algorithm
+
+    def test_flaky_fails_then_succeeds(self, instance, config, tmp_path):
+        selector = FaultInjectingSelector(
+            inner="CompaReSetS_Greedy",
+            flaky_ids=(instance.target.product_id,),
+            flaky_attempts=2,
+            scratch_dir=str(tmp_path),
+        )
+        for _ in range(2):
+            with pytest.raises(InjectedFault, match="flaky"):
+                selector.select(instance, config)
+        result = selector.select(instance, config)  # third attempt passes
+        assert result.selections
+
+    def test_flaky_without_scratch_dir_rejected(self):
+        with pytest.raises(ValueError, match="scratch_dir"):
+            FaultInjectingSelector(flaky_ids=("P1",))
+
+    def test_rng_passes_through_to_inner(self, instance, config):
+        selector = FaultInjectingSelector(inner="Random")
+        a = selector.select(instance, config, rng=np.random.default_rng(4))
+        b = selector.select(instance, config, rng=np.random.default_rng(4))
+        assert a.selections == b.selections

@@ -1,12 +1,20 @@
 """Tests for the exact TargetHkS solvers (HiGHS MILP + branch and bound)."""
 
+import time
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.graph.ilp import BranchAndBoundSolver, MilpBackendSolver, subset_weight
+from repro.graph.ilp import (
+    BranchAndBoundSolver,
+    MilpBackendSolver,
+    greedy_incumbent,
+    subset_weight,
+)
 from repro.graph.target_hks import solve_brute_force
+from repro.resilience.deadline import Deadline
 
 
 def random_weights(n: int, seed: int) -> np.ndarray:
@@ -119,3 +127,61 @@ class TestTimeLimit:
         assert solution.weight == pytest.approx(
             subset_weight(weights, solution.selected)
         )
+
+    @pytest.mark.parametrize("solver_cls", [MilpBackendSolver, BranchAndBoundSolver])
+    def test_time_limit_returns_incumbent_not_exception(self, solver_cls):
+        """At the limit the solvers degrade to a feasible, unproven answer."""
+        weights = random_weights(400, 2)
+        solution = solver_cls(time_limit=0.02).solve(weights, 10)
+        assert not solution.proven_optimal
+        assert len(solution.selected) == 10
+        assert 0 in solution.selected
+        assert solution.weight == pytest.approx(
+            subset_weight(weights, solution.selected)
+        )
+
+    def test_bnb_deadline_respected_inside_bound(self):
+        """Regression: the deadline is polled inside ``bound()``, so even a
+        single expensive bound evaluation cannot blow past the limit."""
+        weights = random_weights(500, 4)
+        limit = 0.05
+        solver = BranchAndBoundSolver(time_limit=limit)
+        start = time.perf_counter()
+        solution = solver.solve(weights, 12)
+        elapsed = time.perf_counter() - start
+        assert elapsed < limit + 0.25  # tolerance for one bound sweep + setup
+        assert solution.solve_seconds < limit + 0.25
+        assert not solution.proven_optimal
+
+    @pytest.mark.parametrize("solver_cls", [MilpBackendSolver, BranchAndBoundSolver])
+    def test_explicit_deadline_tightens_time_limit(self, solver_cls):
+        weights = random_weights(400, 6)
+        solver = solver_cls(time_limit=60.0)
+        start = time.perf_counter()
+        solution = solver.solve(weights, 10, deadline=Deadline.after(0.05))
+        elapsed = time.perf_counter() - start
+        assert elapsed < 2.0
+        assert len(solution.selected) == 10
+
+    @pytest.mark.parametrize("solver_cls", [MilpBackendSolver, BranchAndBoundSolver])
+    def test_expired_deadline_yields_greedy_incumbent(self, solver_cls):
+        weights = random_weights(30, 7)
+        solution = solver_cls(time_limit=60.0).solve(
+            weights, 5, deadline=Deadline.after(0.0)
+        )
+        assert not solution.proven_optimal
+        assert len(solution.selected) == 5
+
+
+class TestGreedyIncumbent:
+    def test_feasible_and_anchored(self):
+        weights = random_weights(20, 8)
+        selected = greedy_incumbent(weights, 6, 3)
+        assert len(selected) == 6
+        assert 3 in selected
+        assert len(set(selected)) == 6
+
+    def test_matches_brute_force_on_tiny_instance(self):
+        # With k = n the greedy incumbent is trivially optimal.
+        weights = random_weights(4, 0)
+        assert sorted(greedy_incumbent(weights, 4, 0)) == [0, 1, 2, 3]
