@@ -1,6 +1,6 @@
 # Developer conveniences; everything also works as plain pytest/python calls.
 
-.PHONY: install test bench examples experiments ci lint clean
+.PHONY: install test bench examples experiments serve-smoke ci lint clean
 
 install:
 	pip install -e .
@@ -16,6 +16,10 @@ examples:
 
 experiments:
 	python -m repro.cli experiment all --scale 0.5 --instances 15
+
+# Boot the real HTTP server in a subprocess and hit every endpoint.
+serve-smoke:
+	python scripts/serve_smoke.py
 
 # Mirrors .github/workflows/ci.yml: the test matrix plus the lint job.
 # Lint is skipped with a notice when ruff is not installed locally.

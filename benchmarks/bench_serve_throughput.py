@@ -1,0 +1,105 @@
+"""Bench: serving throughput — cold vs warm-cache request rates.
+
+Drives the in-process `SelectionEngine` (the same object `repro-cli
+serve` wraps in HTTP) with a cold phase of all-distinct requests (every
+one a cache miss, artifacts shared) and a warm phase repeating one
+request (every one a cache hit).  Reports requests/second and p50/p95
+latency per phase and archives them as ``results/BENCH_serve.json``.
+
+Expected shape: warm-cache requests are orders of magnitude faster than
+cold solves, and warm p50 sits well under the 10 ms online budget.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from benchmarks.conftest import RESULTS_DIR, emit
+from repro.data.synthetic import generate_corpus
+from repro.serve.engine import SelectionEngine, SelectRequest
+from repro.serve.store import ItemStore
+
+COLD_REQUESTS = 24
+WARM_REQUESTS = 200
+
+
+def _timed_requests(engine, requests):
+    latencies = []
+    for request in requests:
+        begun = time.perf_counter()
+        engine.select(request)
+        latencies.append(time.perf_counter() - begun)
+    return latencies
+
+
+def _phase_stats(latencies):
+    ordered = sorted(latencies)
+    total = sum(ordered)
+
+    def pct(q):
+        return ordered[min(len(ordered) - 1, int(q / 100 * (len(ordered) - 1)))]
+
+    return {
+        "requests": len(ordered),
+        "rps": len(ordered) / total if total else float("inf"),
+        "p50_ms": pct(50) * 1e3,
+        "p95_ms": pct(95) * 1e3,
+    }
+
+
+def run_throughput():
+    corpus = generate_corpus("Toy", scale=0.5, seed=7)
+    engine = SelectionEngine(ItemStore(corpus), cache_size=COLD_REQUESTS + 8)
+    try:
+        # All-distinct (m, mu) pairs: every request misses the result
+        # cache but shares the store's precomputed artifacts.
+        cold = _timed_requests(
+            engine,
+            [
+                SelectRequest(m=1 + index % 4, mu=0.1 * (1 + index // 4))
+                for index in range(COLD_REQUESTS)
+            ],
+        )
+        warm_request = SelectRequest(m=3)
+        engine.select(warm_request)  # populate
+        warm = _timed_requests(engine, [warm_request] * WARM_REQUESTS)
+        stats = engine.cache.stats()
+        return {
+            "corpus": {"products": len(corpus.products),
+                       "reviews": len(corpus.reviews)},
+            "cold": _phase_stats(cold),
+            "warm": _phase_stats(warm),
+            "cache": {"hits": stats.hits, "misses": stats.misses,
+                      "hit_ratio": stats.hit_ratio},
+        }
+    finally:
+        engine.close()
+
+
+def render(report) -> str:
+    lines = ["Serving throughput (cold = all misses, warm = all hits)",
+             f"{'phase':<6} {'requests':>8} {'req/s':>10} "
+             f"{'p50 ms':>9} {'p95 ms':>9}"]
+    for phase in ("cold", "warm"):
+        row = report[phase]
+        lines.append(
+            f"{phase:<6} {row['requests']:>8} {row['rps']:>10.1f} "
+            f"{row['p50_ms']:>9.3f} {row['p95_ms']:>9.3f}"
+        )
+    lines.append(f"cache hit ratio: {report['cache']['hit_ratio']:.3f}")
+    return "\n".join(lines)
+
+
+def test_serve_throughput(benchmark, capsys):
+    report = benchmark.pedantic(run_throughput, rounds=1, iterations=1)
+
+    assert report["warm"]["p50_ms"] < 10.0, "warm hits must stay online-fast"
+    assert report["warm"]["rps"] > report["cold"]["rps"]
+    assert report["cache"]["hits"] >= WARM_REQUESTS
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_serve.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    emit("serve_throughput", render(report), capsys)

@@ -1,0 +1,88 @@
+"""Smoke test for `repro-cli serve`: boot the real server, hit the API.
+
+Exercises the whole subprocess path — argv parsing, corpus loading, the
+ephemeral-port announcement line, and the HTTP endpoints — the parts an
+in-process test cannot cover.  Exits non-zero on any failure.
+
+Usage: PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def post(url: str, body: dict) -> dict:
+    request = urllib.request.Request(url, data=json.dumps(body).encode())
+    with urllib.request.urlopen(request, timeout=60) as response:
+        assert response.status == 200, response.status
+        return json.loads(response.read())
+
+
+def get(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=60) as response:
+        assert response.status == 200, response.status
+        return json.loads(response.read())
+
+
+def main() -> int:
+    env = {**os.environ, "PYTHONPATH": os.path.join(REPO, "src")}
+    with tempfile.TemporaryDirectory() as tmp:
+        corpus = os.path.join(tmp, "toy.jsonl")
+        subprocess.run(
+            [sys.executable, "-m", "repro.cli", "generate", "--category",
+             "Toy", "--scale", "0.3", "--seed", "3", "--out", corpus],
+            check=True, env=env, timeout=120,
+        )
+
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--corpus", corpus,
+             "--port", "0"],
+            stdout=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            base = None
+            started = time.monotonic()
+            for line in server.stdout:
+                print("  server:", line.rstrip())
+                if line.startswith("serving on "):
+                    base = line.split("serving on ", 1)[1].strip()
+                    break
+                if time.monotonic() - started > 60:
+                    break
+            assert base, "server never announced its address"
+
+            health = get(f"{base}/healthz")
+            assert health["status"] == "ok", health
+
+            first = post(f"{base}/v1/select", {"m": 3})
+            assert first["result"]["selections"], first
+            second = post(f"{base}/v1/select", {"m": 3})
+            assert second["provenance"]["cache"] == "hit", second["provenance"]
+            assert second["result"] == first["result"]
+
+            narrowed = post(f"{base}/v1/narrow", {"m": 2, "k": 3})
+            assert narrowed["result"]["core_product_ids"], narrowed
+
+            metrics = get(f"{base}/metrics")
+            ratio = metrics["gauges"]["repro_cache_hit_ratio"]
+            assert ratio > 0, metrics["gauges"]
+
+            print(f"serve-smoke OK: warm hit {second['provenance']['wall_ms']:.3f} ms, "
+                  f"hit ratio {ratio:.2f}")
+            return 0
+        finally:
+            server.terminate()
+            server.wait(timeout=30)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

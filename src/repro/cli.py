@@ -6,6 +6,7 @@ Subcommands
 ``stats``           print Table-2 statistics for a corpus file
 ``select``          select comparative review sets for one target item
 ``narrow``          select, then narrow to the k-item core list (TargetHkS)
+``serve``           run the online selection-serving HTTP API
 ``convert-amazon``  convert a McAuley-format reviews+metadata dump pair
 ``experiment``      regenerate one of the paper's tables/figures
 
@@ -16,7 +17,11 @@ Examples
     repro-cli generate --category Toy --scale 0.5 --out toy.jsonl
     repro-cli stats toy.jsonl
     repro-cli narrow toy.jsonl --target TOY00003 --m 3 --k 3
+    repro-cli serve --corpus toy.jsonl --port 8080
     repro-cli experiment table3 --scale 0.5 --instances 20
+
+A missing or corrupt ``--corpus`` file exits with status 2 and a
+one-line usage error instead of a traceback.
 """
 
 from __future__ import annotations
@@ -58,8 +63,26 @@ def _config_from(args: argparse.Namespace) -> SelectionConfig:
     return SelectionConfig(max_reviews=args.m, lam=args.lam, mu=args.mu)
 
 
+def _fail_usage(message: str) -> "SystemExit":
+    """Print a one-line usage error and exit with status 2."""
+    print(f"error: {message}", file=sys.stderr)
+    return SystemExit(2)
+
+
+def _load_corpus_checked(path: str):
+    """Load a corpus, mapping missing/corrupt files to a usage error."""
+    try:
+        return load_corpus(path)
+    except FileNotFoundError:
+        raise _fail_usage(f"corpus file not found: {path}") from None
+    except IsADirectoryError:
+        raise _fail_usage(f"corpus path is a directory: {path}") from None
+    except (ValueError, KeyError, OSError, UnicodeDecodeError) as exc:
+        raise _fail_usage(f"corpus file {path} is corrupt: {exc}") from None
+
+
 def _resolve_instance(args: argparse.Namespace):
-    corpus = load_corpus(args.corpus)
+    corpus = _load_corpus_checked(args.corpus)
     target = args.target
     if target is None:
         for product in corpus.products:
@@ -108,7 +131,9 @@ def _command_generate(args: argparse.Namespace) -> int:
 def _command_stats(args: argparse.Namespace) -> int:
     from repro.eval.reporting import format_table
 
-    stats = load_corpus(args.corpus).stats(min_reviews_for_target=args.min_reviews)
+    stats = _load_corpus_checked(args.corpus).stats(
+        min_reviews_for_target=args.min_reviews
+    )
     rows = stats.as_rows()
     print(format_table(["", stats.name], [[label, value] for label, value in rows]))
     return 0
@@ -150,6 +175,29 @@ def _command_narrow(args: argparse.Namespace) -> int:
     if provenance is not None:
         print(f"[fallback chain: {provenance}]\n")
     _print_result(result.restricted_to_items(kept))
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serve.engine import SelectionEngine
+    from repro.serve.http import run_server
+    from repro.serve.store import ItemStore
+
+    corpus = _load_corpus_checked(args.corpus)
+    store = ItemStore(corpus)
+    engine = SelectionEngine(
+        store,
+        cache_size=args.cache_size,
+        ttl=args.ttl,
+        workers=args.workers,
+        batch_window=args.batch_window,
+    )
+    print(
+        f"loaded {corpus.name}: {len(corpus.products)} products, "
+        f"{len(corpus.reviews)} reviews (version {store.version})",
+        flush=True,
+    )
+    run_server(engine, args.host, args.port)
     return 0
 
 
@@ -338,6 +386,31 @@ def build_parser() -> argparse.ArgumentParser:
     narrow.add_argument("--time-limit", type=float, default=60.0)
     _add_selection_arguments(narrow)
     narrow.set_defaults(handler=_command_narrow)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the online selection-serving HTTP API"
+    )
+    serve.add_argument("--corpus", required=True, help="JSONL corpus to serve")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="TCP port; 0 binds an ephemeral port and prints it",
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=256, help="result cache capacity"
+    )
+    serve.add_argument(
+        "--ttl", type=float, default=None,
+        help="result cache TTL in seconds (default: no expiry)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4, help="solver worker threads"
+    )
+    serve.add_argument(
+        "--batch-window", type=float, default=0.0, metavar="SECONDS",
+        help="micro-batching window for same-target requests (0 disables)",
+    )
+    serve.set_defaults(handler=_command_serve)
 
     convert = subparsers.add_parser(
         "convert-amazon", help="convert a McAuley Amazon dump pair"

@@ -17,7 +17,7 @@ from repro.core.integer_regression import integer_regression_select
 from repro.core.objective import item_objective
 from repro.core.problem import SelectionConfig
 from repro.core.selection import SelectionResult, build_space, register_selector
-from repro.core.vectors import VectorSpace
+from repro.core.vectors import VectorSpace, regression_columns
 from repro.data.instances import ComparisonInstance
 from repro.data.models import Review
 
@@ -32,12 +32,7 @@ def select_for_item(
     """Solve Eq. 3 for one item; returns sorted review indices."""
     if not reviews:
         return ()
-    columns = np.vstack(
-        [
-            space.opinion_matrix(reviews),
-            config.lam * space.aspect_matrix(reviews),
-        ]
-    )
+    columns = regression_columns(space, reviews, config.lam)
     target = concat_scaled((1.0, tau), (config.lam, gamma))
 
     def evaluate(selection: tuple[int, ...]) -> float:
@@ -60,9 +55,19 @@ class CompareSetsSelector:
         instance: ComparisonInstance,
         config: SelectionConfig,
         rng: np.random.Generator | None = None,
+        *,
+        space: VectorSpace | None = None,
     ) -> SelectionResult:
-        """Solve CompaReSetS on ``instance``; ``rng`` is unused (deterministic)."""
-        space = build_space(instance, config)
+        """Solve CompaReSetS on ``instance``; ``rng`` is unused (deterministic).
+
+        ``space`` may supply a precomputed :class:`VectorSpace` for the
+        instance (its per-review memoisation then carries across calls, as
+        the serving layer's :class:`~repro.serve.store.ItemStore` relies
+        on); it must match ``instance.aspect_vocabulary()`` and
+        ``config.scheme``.
+        """
+        if space is None:
+            space = build_space(instance, config)
         gamma = space.aspect_vector(instance.reviews[0])
         selections = []
         for reviews in instance.reviews:

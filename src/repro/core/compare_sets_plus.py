@@ -42,7 +42,7 @@ from repro.core.integer_regression import integer_regression_select
 from repro.core.objective import item_objective
 from repro.core.problem import SelectionConfig
 from repro.core.selection import SelectionResult, build_space, register_selector
-from repro.core.vectors import VectorSpace
+from repro.core.vectors import VectorSpace, regression_columns
 from repro.data.instances import ComparisonInstance
 from repro.data.models import Review
 
@@ -92,14 +92,21 @@ class CompareSetsPlusSelector:
         instance: ComparisonInstance,
         config: SelectionConfig,
         rng: np.random.Generator | None = None,
+        *,
+        space: VectorSpace | None = None,
     ) -> SelectionResult:
-        """Solve CompaReSetS+ on ``instance``; deterministic, ``rng`` unused."""
-        space = build_space(instance, config)
+        """Solve CompaReSetS+ on ``instance``; deterministic, ``rng`` unused.
+
+        ``space`` optionally reuses a precomputed :class:`VectorSpace`
+        (see :meth:`CompareSetsSelector.select`).
+        """
+        if space is None:
+            space = build_space(instance, config)
         gamma = space.aspect_vector(instance.reviews[0])
         taus = [space.opinion_vector(reviews) for reviews in instance.reviews]
 
         # Algorithm 1 input: the CompaReSetS solution.
-        initial = CompareSetsSelector().select(instance, config)
+        initial = CompareSetsSelector().select(instance, config, space=space)
         selections: list[tuple[int, ...]] = list(initial.selections)
         phis: list[np.ndarray] = [
             space.aspect_vector(initial.selected_reviews(i))
@@ -154,9 +161,9 @@ class CompareSetsPlusSelector:
         candidate does not strictly improve the acceptance score
         (Algorithm 1, lines 10-12).
         """
-        opinion_block = space.opinion_matrix(reviews)
-        aspect_block = space.aspect_matrix(reviews)
-        blocks = [opinion_block, config.lam * aspect_block]
+        columns = regression_columns(
+            space, reviews, config.lam, config.mu, sync_blocks=len(other_phis)
+        )
         # Literal Algorithm 1 leaves the target blocks unscaled; the
         # weighted variant mirrors the row scalings on the target side.
         gamma_scale = 1.0 if literal else config.lam
@@ -166,9 +173,7 @@ class CompareSetsPlusSelector:
             (gamma_scale, gamma),
         ]
         for phi in other_phis:
-            blocks.append(config.mu * aspect_block)
             target_parts.append((phi_scale, phi))
-        columns = np.vstack(blocks)
         target = concat_scaled(*target_parts)
 
         def evaluate(selection: tuple[int, ...]) -> float:

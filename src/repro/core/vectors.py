@@ -206,3 +206,28 @@ class VectorSpace:
 
     def __repr__(self) -> str:
         return f"VectorSpace(z={self.num_aspects}, scheme={self.scheme.value!r})"
+
+
+def regression_columns(
+    space: VectorSpace,
+    reviews: Sequence[Review],
+    lam: float,
+    mu: float = 0.0,
+    sync_blocks: int = 0,
+) -> np.ndarray:
+    """Stacked per-review incidence columns for the Eq.-4 regression.
+
+    Row layout: the opinion incidence block, the lambda-scaled aspect
+    incidence block, then ``sync_blocks`` copies of the mu-scaled aspect
+    block (one per other item in the Algorithm-1 target Upsilon).  With
+    ``sync_blocks=0`` this is exactly the CompaReSetS matrix of Eq. 4;
+    CompaReSetS+ and the serving :class:`~repro.serve.store.ItemStore`
+    share this single construction path.
+    """
+    if sync_blocks < 0:
+        raise ValueError(f"sync_blocks must be >= 0, got {sync_blocks}")
+    opinion = space.opinion_matrix(reviews)
+    aspect = space.aspect_matrix(reviews)
+    blocks = [opinion, lam * aspect]
+    blocks.extend([mu * aspect] * sync_blocks)
+    return np.vstack(blocks)

@@ -1,0 +1,81 @@
+"""Online selection serving: precomputed stores, caching, HTTP API.
+
+The batch pipeline answers "regenerate Table 4"; this package answers
+"what are the comparative review sets for product X, right now".  The
+pieces compose bottom-up:
+
+* :mod:`repro.serve.store` — :class:`ItemStore`: corpus ingested once,
+  per-instance artifacts (vector space, tau/Gamma, incidence matrices)
+  precomputed behind versioned keys.
+* :mod:`repro.serve.cache` — :class:`ResultCache`: thread-safe LRU+TTL
+  results with single-flight coalescing of concurrent identical requests.
+* :mod:`repro.serve.batch` — :class:`MicroBatcher`: same-target request
+  grouping so shared per-target work amortises.
+* :mod:`repro.serve.engine` — :class:`SelectionEngine`: deadline-aware
+  select / select_plus / narrow with provenance on every answer.
+* :mod:`repro.serve.http` — a stdlib ``ThreadingHTTPServer`` JSON API
+  (``/healthz``, ``/metrics``, ``/v1/select``, ``/v1/narrow``).
+* :mod:`repro.serve.metrics` — counters and reservoir histograms with
+  JSON and Prometheus renderings.
+
+In-process quickstart (no sockets)::
+
+    from repro.data.synthetic import generate_corpus
+    from repro.serve import ItemStore, SelectionEngine
+
+    engine = SelectionEngine(ItemStore(generate_corpus("Toy", scale=0.3)))
+    response = engine.select(m=3, algorithm="CompaReSetS+")
+    response.result["items"]          # the selected review sets
+    response.provenance.cache         # "miss" first, then "hit"
+"""
+
+from repro.serve.batch import BatchClosed, BatchStats, MicroBatcher
+from repro.serve.cache import CacheStats, ResultCache
+from repro.serve.engine import (
+    EngineClosed,
+    EngineResponse,
+    InvalidRequest,
+    NarrowRequest,
+    Provenance,
+    SelectionEngine,
+    SelectRequest,
+    selection_payload,
+)
+from repro.serve.http import ServingHTTPServer, encode_json, make_server, run_server
+from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.serve.store import (
+    InstanceArtifacts,
+    ItemStore,
+    UnknownTargetError,
+    UnviableTargetError,
+    corpus_fingerprint,
+)
+
+__all__ = [
+    "BatchClosed",
+    "BatchStats",
+    "CacheStats",
+    "Counter",
+    "EngineClosed",
+    "EngineResponse",
+    "Gauge",
+    "Histogram",
+    "InstanceArtifacts",
+    "InvalidRequest",
+    "ItemStore",
+    "MetricsRegistry",
+    "MicroBatcher",
+    "NarrowRequest",
+    "Provenance",
+    "ResultCache",
+    "SelectRequest",
+    "SelectionEngine",
+    "ServingHTTPServer",
+    "UnknownTargetError",
+    "UnviableTargetError",
+    "corpus_fingerprint",
+    "encode_json",
+    "make_server",
+    "run_server",
+    "selection_payload",
+]

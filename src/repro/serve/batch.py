@@ -1,0 +1,183 @@
+"""Micro-batching for concurrent requests that share per-target work.
+
+Single-flight (``serve.cache``) collapses *identical* requests; this
+layer handles the adjacent case — concurrent requests for the **same
+target item with different parameters** (budgets, algorithms).  Those
+cannot share a result, but they can share the expensive prefix: instance
+resolution, the vector space, tau/Gamma, and the incidence matrices, and
+CompaReSetS+'s alternating rounds then run against already-warm
+per-review memoisation.
+
+The first requester for a group key becomes the *leader*: it holds the
+batch open for ``max_wait`` seconds (or until ``max_batch`` requests have
+joined), then executes the whole batch in one handler call.  Joiners
+block until the leader distributes their result.  A zero ``max_wait``
+degrades gracefully to pass-through batches of one.
+
+The batcher is generic — the handler receives ``(key, requests)`` and
+returns one result per request — so it is unit-testable without an
+engine behind it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable, Hashable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.resilience.deadline import Deadline, DeadlineExceeded
+
+
+class BatchClosed(RuntimeError):
+    """The batcher was closed while requests were waiting."""
+
+
+class _Slot:
+    """One request's seat in a batch."""
+
+    __slots__ = ("done", "result", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result: Any = None
+        self.error: BaseException | None = None
+
+    def resolve(self, result: Any = None, error: BaseException | None = None) -> None:
+        self.result = result
+        self.error = error
+        self.done.set()
+
+
+@dataclass
+class _Batch:
+    slots: list[tuple[Any, _Slot]] = field(default_factory=list)
+    full: threading.Event = field(default_factory=threading.Event)
+
+
+@dataclass(frozen=True, slots=True)
+class BatchStats:
+    submitted: int
+    batches: int
+    batched_requests: int
+    largest_batch: int
+
+    @property
+    def amortisation(self) -> float:
+        """Mean requests per handler call (1.0 = no batching benefit)."""
+        return self.submitted / self.batches if self.batches else 0.0
+
+
+class MicroBatcher:
+    """Group concurrent same-key requests into one handler call.
+
+    ``handler(key, requests)`` must return a sequence of results aligned
+    with ``requests``; an exception fails the whole batch.  ``max_wait``
+    is the batching window in seconds — the extra latency a lone request
+    pays to give concurrent peers a chance to join.
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[Hashable, list[Any]], Sequence[Any]],
+        *,
+        max_batch: int = 8,
+        max_wait: float = 0.005,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {max_wait}")
+        self._handler = handler
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+        self._lock = threading.Lock()
+        self._open: dict[Hashable, _Batch] = {}
+        self._closed = False
+        self._submitted = 0
+        self._batches = 0
+        self._batched_requests = 0
+        self._largest_batch = 0
+
+    def submit(
+        self,
+        key: Hashable,
+        request: Any,
+        deadline: Deadline | None = None,
+    ) -> Any:
+        """Submit one request and block until its result is available."""
+        slot = _Slot()
+        with self._lock:
+            if self._closed:
+                raise BatchClosed("batcher is closed")
+            self._submitted += 1
+            batch = self._open.get(key)
+            leader = batch is None
+            if leader:
+                batch = _Batch()
+                self._open[key] = batch
+            batch.slots.append((request, slot))
+            if len(batch.slots) >= self.max_batch:
+                batch.full.set()
+
+        if not leader:
+            timeout = None
+            if deadline is not None and deadline.bounded:
+                timeout = deadline.remaining()
+            if not slot.done.wait(timeout):
+                raise DeadlineExceeded(
+                    "deadline exceeded while waiting for a batched solve"
+                )
+            if slot.error is not None:
+                raise slot.error
+            return slot.result
+
+        # Leader: hold the window open, then seal and execute the batch.
+        window = self.max_wait
+        if deadline is not None and deadline.bounded:
+            window = min(window, deadline.remaining())
+        if window > 0 and self.max_batch > 1:
+            batch.full.wait(window)
+        with self._lock:
+            self._open.pop(key, None)
+            sealed = list(batch.slots)
+            self._batches += 1
+            self._batched_requests += len(sealed) - 1
+            self._largest_batch = max(self._largest_batch, len(sealed))
+
+        try:
+            results = self._handler(key, [request for request, _ in sealed])
+            if len(results) != len(sealed):
+                raise RuntimeError(
+                    f"batch handler returned {len(results)} results for "
+                    f"{len(sealed)} requests"
+                )
+        except BaseException as exc:
+            for _, each in sealed:
+                each.resolve(error=exc)
+            raise
+        for (_, each), result in zip(sealed, results):
+            each.resolve(result=result)
+        if slot.error is not None:  # pragma: no cover - defensive
+            raise slot.error
+        return slot.result
+
+    def close(self) -> None:
+        """Reject new submissions and fail any still-open batches."""
+        with self._lock:
+            self._closed = True
+            open_batches = list(self._open.values())
+            self._open.clear()
+        for batch in open_batches:
+            for _, slot in batch.slots:
+                if not slot.done.is_set():
+                    slot.resolve(error=BatchClosed("batcher closed mid-batch"))
+
+    def stats(self) -> BatchStats:
+        with self._lock:
+            return BatchStats(
+                submitted=self._submitted,
+                batches=self._batches,
+                batched_requests=self._batched_requests,
+                largest_batch=self._largest_batch,
+            )

@@ -1,0 +1,216 @@
+"""Thread-safe LRU+TTL result cache with single-flight coalescing.
+
+The serving hot path is "N identical requests arrive together" — a flash
+of traffic for one popular product.  A plain cache still solves N times
+(every miss races past the lookup before the first solve lands); the
+single-flight discipline makes the first caller the *leader* that
+computes while the N-1 *followers* block on its completion and share the
+result.  :meth:`ResultCache.get_or_compute` is the whole public recipe;
+hit/miss/coalesced/eviction/expiry counters feed ``/metrics``.
+
+Errors are not cached: a leader that raises propagates the exception to
+every coalesced follower, and the next request for that key starts a
+fresh solve.  A follower whose deadline expires before the leader
+finishes raises :class:`~repro.resilience.deadline.DeadlineExceeded`
+without disturbing the in-flight computation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from collections.abc import Callable, Hashable
+from dataclasses import dataclass
+from typing import Any, TypeVar
+
+from repro.resilience.deadline import Deadline, DeadlineExceeded
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True, slots=True)
+class CacheStats:
+    """Counter snapshot; ``coalesced`` counts followers served by a leader."""
+
+    hits: int
+    misses: int
+    coalesced: int
+    evictions: int
+    expirations: int
+    size: int
+    inflight: int
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of lookups answered without a fresh solve."""
+        served = self.hits + self.coalesced
+        total = served + self.misses
+        return served / total if total else 0.0
+
+
+class _InFlight:
+    """One leader computation that followers can wait on."""
+
+    __slots__ = ("done", "value", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: Any = None
+        self.error: BaseException | None = None
+
+
+class ResultCache:
+    """Bounded LRU cache with per-entry TTL and single-flight coalescing.
+
+    ``max_size`` bounds the number of *completed* entries (in-flight
+    computations are tracked separately and never evicted).  ``ttl``
+    is seconds-to-live per entry; ``None`` disables expiry.  ``clock``
+    is injectable for TTL tests.
+    """
+
+    def __init__(
+        self,
+        max_size: int = 256,
+        ttl: float | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_size < 1:
+            raise ValueError(f"max_size must be >= 1, got {max_size}")
+        if ttl is not None and ttl <= 0:
+            raise ValueError(f"ttl must be positive or None, got {ttl}")
+        self.max_size = max_size
+        self.ttl = ttl
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, tuple[Any, float | None]] = OrderedDict()
+        self._inflight: dict[Hashable, _InFlight] = {}
+        self._hits = 0
+        self._misses = 0
+        self._coalesced = 0
+        self._evictions = 0
+        self._expirations = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # -- internals (callers hold self._lock) --------------------------------
+
+    def _lookup(self, key: Hashable) -> tuple[bool, Any]:
+        entry = self._entries.get(key)
+        if entry is None:
+            return False, None
+        value, expires_at = entry
+        if expires_at is not None and self._clock() >= expires_at:
+            del self._entries[key]
+            self._expirations += 1
+            return False, None
+        self._entries.move_to_end(key)
+        return True, value
+
+    def _store(self, key: Hashable, value: Any) -> None:
+        expires_at = None if self.ttl is None else self._clock() + self.ttl
+        self._entries[key] = (value, expires_at)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_size:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    # -- public API ----------------------------------------------------------
+
+    def get(self, key: Hashable) -> tuple[bool, Any]:
+        """``(hit, value)`` without computing; counts a hit or a miss."""
+        with self._lock:
+            hit, value = self._lookup(key)
+            if hit:
+                self._hits += 1
+            else:
+                self._misses += 1
+            return hit, value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert ``value`` directly (warming; bypasses single-flight)."""
+        with self._lock:
+            self._store(key, value)
+
+    def get_or_compute(
+        self,
+        key: Hashable,
+        compute: Callable[[], T],
+        deadline: Deadline | None = None,
+    ) -> tuple[T, str]:
+        """Return ``(value, source)``; source is "hit" | "miss" | "coalesced".
+
+        Exactly one concurrent caller per key runs ``compute``; the rest
+        wait for its result.  ``deadline`` bounds only the follower wait —
+        the leader's own compute is expected to honour it internally.
+        """
+        with self._lock:
+            hit, value = self._lookup(key)
+            if hit:
+                self._hits += 1
+                return value, "hit"
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = _InFlight()
+                self._inflight[key] = flight
+                leader = True
+                self._misses += 1
+            else:
+                leader = False
+                self._coalesced += 1
+
+        if leader:
+            try:
+                value = compute()
+            except BaseException as exc:
+                flight.error = exc
+                raise
+            else:
+                flight.value = value
+                with self._lock:
+                    self._store(key, value)
+                return value, "miss"
+            finally:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                flight.done.set()
+
+        timeout = None
+        if deadline is not None and deadline.bounded:
+            timeout = deadline.remaining()
+        if not flight.done.wait(timeout):
+            raise DeadlineExceeded(
+                "deadline exceeded while waiting for an in-flight solve"
+            )
+        if flight.error is None:
+            return flight.value, "coalesced"
+        # Leader failed: propagate to followers too, but never cache the
+        # error — the next request for this key solves afresh.
+        raise flight.error
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; True if it existed."""
+        with self._lock:
+            return self._entries.pop(key, None) is not None
+
+    def clear(self) -> int:
+        """Drop every completed entry (in-flight solves finish unaffected)."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                coalesced=self._coalesced,
+                evictions=self._evictions,
+                expirations=self._expirations,
+                size=len(self._entries),
+                inflight=len(self._inflight),
+            )

@@ -1,0 +1,529 @@
+"""The in-process selection engine behind the HTTP API.
+
+:class:`SelectionEngine` answers three request shapes against an
+:class:`~repro.serve.store.ItemStore`:
+
+* ``select`` — Problem 1/2 review-set selection by any registered
+  algorithm;
+* ``select_plus`` — convenience alias pinning CompaReSetS+;
+* ``narrow`` — select, build the §3.1 item graph, and narrow to the
+  k-item core list through the PR-1
+  :class:`~repro.resilience.fallback.FallbackChain`.
+
+Every answer carries :class:`Provenance`: how the cache behaved ("hit",
+"miss", or "coalesced" behind another request's solve), which backend
+produced it, whether it is proven optimal, and the wall time.  Cache
+misses execute on a bounded worker pool; the caller blocks under the
+ambient :class:`~repro.resilience.deadline.Deadline` (or an explicit
+one), so an expired deadline surfaces as
+:class:`~repro.resilience.deadline.DeadlineExceeded` — the HTTP layer's
+503 — rather than an unbounded wait.
+
+The engine is designed to be used in-process (tests, notebooks) exactly
+as the HTTP server uses it; no sockets are involved until
+:mod:`repro.serve.http` wraps it.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, replace
+
+from repro.core.compare_sets import CompareSetsSelector
+from repro.core.compare_sets_plus import CompareSetsPlusSelector
+from repro.core.problem import SelectionConfig
+from repro.core.selection import SELECTORS, SelectionResult, make_selector
+from repro.core.vectors import OpinionScheme
+from repro.graph.similarity import build_item_graph
+from repro.resilience.deadline import Deadline, DeadlineExceeded, resolve_deadline
+from repro.resilience.fallback import DEFAULT_STAGES, FallbackChain
+from repro.serve.batch import MicroBatcher
+from repro.serve.cache import ResultCache
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.store import InstanceArtifacts, ItemStore
+
+
+class InvalidRequest(ValueError):
+    """A request failed semantic validation (HTTP 422)."""
+
+
+class EngineClosed(RuntimeError):
+    """The engine was shut down (HTTP 503)."""
+
+
+_SCHEMES = {scheme.value: scheme for scheme in OpinionScheme}
+
+
+@dataclass(frozen=True, slots=True)
+class SelectRequest:
+    """Parameters of one ``select`` call (all have CLI-matching defaults).
+
+    ``target=None`` picks the first viable target in the corpus, like the
+    CLI does.
+    """
+
+    target: str | None = None
+    m: int = 3
+    lam: float = 1.0
+    mu: float = 0.1
+    scheme: str = OpinionScheme.BINARY.value
+    algorithm: str = "CompaReSetS+"
+    max_comparisons: int = 10
+    min_reviews: int = 3
+
+    def validated(self) -> "SelectRequest":
+        """Raise :class:`InvalidRequest` on semantic errors."""
+        if self.m < 1:
+            raise InvalidRequest(f"m must be >= 1, got {self.m}")
+        if self.lam < 0 or self.mu < 0:
+            raise InvalidRequest("lam and mu must be >= 0")
+        if self.scheme not in _SCHEMES:
+            raise InvalidRequest(
+                f"unknown scheme {self.scheme!r}; one of {sorted(_SCHEMES)}"
+            )
+        if self.algorithm not in SELECTORS:
+            raise InvalidRequest(
+                f"unknown algorithm {self.algorithm!r}; "
+                f"one of {sorted(SELECTORS)}"
+            )
+        if self.max_comparisons < 1:
+            raise InvalidRequest(
+                f"max_comparisons must be >= 1, got {self.max_comparisons}"
+            )
+        if self.min_reviews < 1:
+            raise InvalidRequest(
+                f"min_reviews must be >= 1, got {self.min_reviews}"
+            )
+        return self
+
+    def config(self) -> SelectionConfig:
+        return SelectionConfig(
+            max_reviews=self.m,
+            lam=self.lam,
+            mu=self.mu,
+            scheme=_SCHEMES[self.scheme],
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class NarrowRequest(SelectRequest):
+    """A ``narrow`` call: select, then TargetHkS down to ``k`` items."""
+
+    k: int = 3
+    time_limit: float = 60.0
+    stages: tuple[str, ...] = DEFAULT_STAGES
+
+    def validated(self) -> "NarrowRequest":
+        # Explicit base call: zero-arg super() is broken inside
+        # dataclass(slots=True) bodies (the decorator recreates the class).
+        SelectRequest.validated(self)
+        if self.k < 1:
+            raise InvalidRequest(f"k must be >= 1, got {self.k}")
+        if self.time_limit <= 0:
+            raise InvalidRequest(f"time_limit must be positive, got {self.time_limit}")
+        if not self.stages:
+            raise InvalidRequest("stages must not be empty")
+        return self
+
+
+@dataclass(frozen=True, slots=True)
+class Provenance:
+    """How an answer was produced (attached to every response)."""
+
+    cache: str  # "hit" | "miss" | "coalesced"
+    backend: str
+    corpus_version: str
+    wall_ms: float
+    proven_optimal: bool | None = None
+    fallback_depth: int | None = None
+    degraded: bool = False
+
+    def as_dict(self) -> dict[str, object]:
+        payload: dict[str, object] = {
+            "cache": self.cache,
+            "backend": self.backend,
+            "corpus_version": self.corpus_version,
+            "wall_ms": round(self.wall_ms, 3),
+            "degraded": self.degraded,
+        }
+        if self.proven_optimal is not None:
+            payload["proven_optimal"] = self.proven_optimal
+        if self.fallback_depth is not None:
+            payload["fallback_depth"] = self.fallback_depth
+        return payload
+
+
+@dataclass(frozen=True, slots=True)
+class EngineResponse:
+    """A JSON-ready result block plus its provenance."""
+
+    result: dict[str, object]
+    provenance: Provenance
+
+    def as_dict(self) -> dict[str, object]:
+        return {"result": self.result, "provenance": self.provenance.as_dict()}
+
+
+def selection_payload(result: SelectionResult) -> dict[str, object]:
+    """The canonical JSON-ready rendering of a :class:`SelectionResult`.
+
+    This is the single serialisation path: the HTTP API, the in-process
+    engine, and the byte-for-byte equivalence tests all call it, so
+    "server output == offline selector output" is checkable with a plain
+    bytes comparison of the dumps.
+    """
+    items = []
+    for item_index, product in enumerate(result.instance.products):
+        items.append(
+            {
+                "product_id": product.product_id,
+                "title": product.title,
+                "role": "target" if item_index == 0 else "comparative",
+                "selected": [
+                    {
+                        "review_id": review.review_id,
+                        "rating": review.rating,
+                        "text": review.text,
+                    }
+                    for review in result.selected_reviews(item_index)
+                ],
+            }
+        )
+    return {
+        "algorithm": result.algorithm,
+        "target": result.instance.target.product_id,
+        "selections": [list(s) for s in result.selections],
+        "items": items,
+    }
+
+
+@dataclass(frozen=True, slots=True)
+class _SolvedSelect:
+    """Cached value for one select key: the raw result + its payload."""
+
+    result: SelectionResult
+    payload: dict[str, object]
+
+
+@dataclass(frozen=True, slots=True)
+class _SolvedNarrow:
+    payload: dict[str, object]
+    backend: str
+    proven_optimal: bool
+    fallback_depth: int
+    degraded: bool
+
+
+class SelectionEngine:
+    """Cached, deadline-aware selection serving against an ItemStore.
+
+    ``batch_window`` > 0 enables micro-batching: concurrent cache-missing
+    requests for the same target are grouped for up to that many seconds
+    and solved in one handler call against shared artifacts.
+    """
+
+    def __init__(
+        self,
+        store: ItemStore,
+        *,
+        cache_size: int = 256,
+        ttl: float | None = None,
+        workers: int = 4,
+        batch_window: float = 0.0,
+        batch_max: int = 8,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.store = store
+        self.cache = ResultCache(max_size=cache_size, ttl=ttl)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        self._closed = False
+        self.batcher: MicroBatcher | None = None
+        if batch_window > 0:
+            self.batcher = MicroBatcher(
+                self._solve_batch, max_batch=batch_max, max_wait=batch_window
+            )
+        self._latency = {
+            endpoint: self.metrics.histogram(
+                "repro_request_latency_seconds",
+                "request wall time in seconds",
+                labels={"endpoint": endpoint},
+            )
+            for endpoint in ("select", "narrow")
+        }
+        self._wire_gauges()
+
+    def _wire_gauges(self) -> None:
+        stats = self.cache.stats
+        self.metrics.gauge(
+            "repro_cache_hits", lambda: stats().hits, "result cache hits"
+        )
+        self.metrics.gauge(
+            "repro_cache_misses", lambda: stats().misses, "result cache misses"
+        )
+        self.metrics.gauge(
+            "repro_cache_coalesced",
+            lambda: stats().coalesced,
+            "requests served by another request's in-flight solve",
+        )
+        self.metrics.gauge(
+            "repro_cache_hit_ratio",
+            lambda: stats().hit_ratio,
+            "fraction of lookups answered without a fresh solve",
+        )
+        self.metrics.gauge(
+            "repro_cache_size", lambda: stats().size, "cached results"
+        )
+        self.metrics.gauge(
+            "repro_store_artifacts",
+            lambda: self.store.stats()["cached_artifacts"],
+            "precomputed instance artifacts",
+        )
+
+    # -- public API ----------------------------------------------------------
+
+    def select(
+        self,
+        request: SelectRequest | None = None,
+        deadline: Deadline | float | None = None,
+        **kwargs,
+    ) -> EngineResponse:
+        """Answer one select request (kwargs build a request if none given)."""
+        if request is None:
+            request = SelectRequest(**kwargs)
+        elif kwargs:
+            raise TypeError("pass either a request object or kwargs, not both")
+        request = request.validated()
+        return self._run("select", request, resolve_deadline(deadline))
+
+    def select_plus(
+        self,
+        request: SelectRequest | None = None,
+        deadline: Deadline | float | None = None,
+        **kwargs,
+    ) -> EngineResponse:
+        """``select`` pinned to CompaReSetS+ (Problem 2)."""
+        if request is None:
+            request = SelectRequest(**kwargs)
+        elif kwargs:
+            raise TypeError("pass either a request object or kwargs, not both")
+        return self.select(replace(request, algorithm="CompaReSetS+"), deadline)
+
+    def narrow(
+        self,
+        request: NarrowRequest | None = None,
+        deadline: Deadline | float | None = None,
+        **kwargs,
+    ) -> EngineResponse:
+        """Select, then narrow to the k-item core list via the fallback chain."""
+        if request is None:
+            request = NarrowRequest(**kwargs)
+        elif kwargs:
+            raise TypeError("pass either a request object or kwargs, not both")
+        request = request.validated()
+        return self._run("narrow", request, resolve_deadline(deadline))
+
+    def close(self) -> None:
+        """Stop accepting work and release the worker pool."""
+        self._closed = True
+        if self.batcher is not None:
+            self.batcher.close()
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- internals -----------------------------------------------------------
+
+    def _run(
+        self, endpoint: str, request: SelectRequest, deadline: Deadline
+    ) -> EngineResponse:
+        if self._closed:
+            raise EngineClosed("engine is closed")
+        started = time.perf_counter()
+        self.metrics.counter(
+            "repro_requests_total", "requests by endpoint",
+            labels={"endpoint": endpoint},
+        ).inc()
+        try:
+            artifacts = self._artifacts_for(request)
+            request = self._pin_target(request, artifacts)
+            key = self._cache_key(endpoint, request, artifacts)
+            solved, source = self.cache.get_or_compute(
+                key,
+                lambda: self._dispatch(endpoint, request, artifacts, deadline),
+                deadline,
+            )
+        except Exception:
+            self.metrics.counter(
+                "repro_request_errors_total", "failed requests by endpoint",
+                labels={"endpoint": endpoint},
+            ).inc()
+            raise
+        wall_ms = (time.perf_counter() - started) * 1e3
+        self._latency[endpoint].observe(wall_ms / 1e3)
+        if isinstance(solved, _SolvedNarrow):
+            provenance = Provenance(
+                cache=source,
+                backend=solved.backend,
+                corpus_version=artifacts.version,
+                wall_ms=wall_ms,
+                proven_optimal=solved.proven_optimal,
+                fallback_depth=solved.fallback_depth,
+                degraded=solved.degraded,
+            )
+        else:
+            provenance = Provenance(
+                cache=source,
+                backend=request.algorithm,
+                corpus_version=artifacts.version,
+                wall_ms=wall_ms,
+                degraded=solved.result.degraded,
+            )
+        return EngineResponse(result=solved.payload, provenance=provenance)
+
+    def _artifacts_for(self, request: SelectRequest) -> InstanceArtifacts:
+        target = request.target
+        if target is None:
+            target = self.store.default_target(
+                request.max_comparisons, request.min_reviews
+            )
+        return self.store.artifacts(
+            target,
+            request.config(),
+            max_comparisons=request.max_comparisons,
+            min_reviews=request.min_reviews,
+        )
+
+    @staticmethod
+    def _pin_target(
+        request: SelectRequest, artifacts: InstanceArtifacts
+    ) -> SelectRequest:
+        """Replace ``target=None`` with the resolved default target id."""
+        if request.target is not None:
+            return request
+        return replace(
+            request, target=artifacts.instance.target.product_id
+        )
+
+    @staticmethod
+    def _cache_key(
+        endpoint: str, request: SelectRequest, artifacts: InstanceArtifacts
+    ) -> tuple:
+        key: tuple = (
+            endpoint,
+            artifacts.version,
+            request.target,
+            artifacts.comparative_ids,
+            request.m,
+            request.lam,
+            request.mu,
+            request.scheme,
+            request.algorithm,
+        )
+        if isinstance(request, NarrowRequest):
+            key += (request.k, request.stages, request.time_limit)
+        return key
+
+    def _dispatch(
+        self,
+        endpoint: str,
+        request: SelectRequest,
+        artifacts: InstanceArtifacts,
+        deadline: Deadline,
+    ):
+        """Run one cache miss on the worker pool, bounded by ``deadline``."""
+        if self.batcher is not None and endpoint == "select":
+            batch_key = (
+                artifacts.version,
+                request.target,
+                request.scheme,
+                request.lam,
+                request.max_comparisons,
+                request.min_reviews,
+            )
+            return self.batcher.submit(batch_key, (request, artifacts), deadline)
+        future = self._pool.submit(self._solve, endpoint, request, artifacts)
+        timeout = deadline.remaining() if deadline.bounded else None
+        try:
+            return future.result(timeout)
+        except FutureTimeoutError:
+            future.cancel()
+            raise DeadlineExceeded(
+                f"deadline exceeded while solving {endpoint} request"
+            ) from None
+
+    def _solve_batch(self, key: tuple, requests: list) -> list:
+        """Micro-batch handler: solve every grouped request on the pool.
+
+        All requests in the batch share (target, scheme, lambda) and hence
+        one artifact object, so the vector space's per-review memoisation
+        is warmed once for the whole group.
+        """
+        futures = [
+            self._pool.submit(self._solve, "select", request, artifacts)
+            for request, artifacts in requests
+        ]
+        return [future.result() for future in futures]
+
+    def _solve(
+        self, endpoint: str, request: SelectRequest, artifacts: InstanceArtifacts
+    ):
+        selected = self._select_result(request, artifacts)
+        if endpoint == "select":
+            return _SolvedSelect(
+                result=selected, payload=selection_payload(selected)
+            )
+        assert isinstance(request, NarrowRequest)
+        return self._narrow_result(request, artifacts, selected)
+
+    def _select_result(
+        self, request: SelectRequest, artifacts: InstanceArtifacts
+    ) -> SelectionResult:
+        config = request.config()
+        selector = make_selector(request.algorithm)
+        if isinstance(selector, (CompareSetsSelector, CompareSetsPlusSelector)):
+            # The paper algorithms accept the store's precomputed space;
+            # baselines build their own (they are cheap by construction).
+            return selector.select(artifacts.instance, config, space=artifacts.space)
+        return selector.select(artifacts.instance, config)
+
+    def _narrow_result(
+        self,
+        request: NarrowRequest,
+        artifacts: InstanceArtifacts,
+        selected: SelectionResult,
+    ) -> _SolvedNarrow:
+        config = request.config()
+        graph = build_item_graph(selected, config)
+        k = min(request.k, artifacts.instance.num_items)
+        chain = FallbackChain(request.stages, time_limit=request.time_limit)
+        outcome = chain.solve(graph.weights, k)
+        kept = [0] + sorted(v for v in outcome.solution.selected if v != 0)
+        narrowed = selected.restricted_to_items(kept)
+        payload = {
+            "k": k,
+            "core_product_ids": [
+                artifacts.instance.products[i].product_id for i in kept
+            ],
+            "weight": outcome.solution.weight,
+            "attempts": [
+                {"backend": a.backend, "status": a.status}
+                for a in outcome.attempts
+            ],
+            "selection": selection_payload(narrowed),
+        }
+        depth = len(outcome.attempts) - 1
+        self.metrics.histogram(
+            "repro_fallback_depth", "stages tried before a narrow answer"
+        ).observe(depth)
+        return _SolvedNarrow(
+            payload=payload,
+            backend=outcome.backend,
+            proven_optimal=outcome.solution.proven_optimal,
+            fallback_depth=depth,
+            degraded=outcome.degraded or selected.degraded,
+        )

@@ -1,0 +1,264 @@
+"""Dependency-free JSON HTTP API over :class:`SelectionEngine`.
+
+Endpoints
+---------
+``GET /healthz``
+    Liveness + the served corpus version.
+``GET /metrics``
+    Engine metrics as JSON; ``?format=prometheus`` (or an ``Accept:
+    text/plain`` header) switches to the Prometheus text format.
+``POST /v1/select``
+    Body: ``{"target": ..., "m": 3, "lam": 1.0, "mu": 0.1, "scheme":
+    "binary", "algorithm": "CompaReSetS+", "max_comparisons": 10,
+    "min_reviews": 3}`` — every field optional.  Returns ``{"result":
+    ..., "provenance": ...}``.
+``POST /v1/narrow``
+    The select body plus ``k``, ``time_limit`` and ``stages``.
+
+Error mapping: malformed JSON or mistyped/unknown fields are 400;
+semantically invalid requests (unknown target or algorithm, non-viable
+instance) are 422; an exhausted deadline or a closed engine is 503.  An
+``X-Deadline-Ms`` request header installs a per-request deadline that
+propagates through the engine into every solver (the PR-1 ambient
+deadline scope), so a client-side budget bounds the server-side work.
+
+Built on :class:`http.server.ThreadingHTTPServer` — one thread per
+connection, which is exactly what the engine's single-flight cache and
+micro-batcher are designed to coalesce.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.resilience.deadline import DeadlineExceeded, deadline_scope
+from repro.serve.engine import (
+    EngineClosed,
+    InvalidRequest,
+    NarrowRequest,
+    SelectionEngine,
+    SelectRequest,
+)
+from repro.serve.store import UnknownTargetError, UnviableTargetError
+
+
+def encode_json(payload: object) -> bytes:
+    """The canonical response encoding (sorted keys, no whitespace).
+
+    Shared by the server and the equivalence tests so "HTTP result ==
+    offline selector result" is a plain bytes comparison.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+
+
+class _BadRequest(ValueError):
+    """Malformed body: not JSON, not an object, or mistyped fields (400)."""
+
+
+_NUMBER = (int, float)
+_SELECT_FIELDS: dict[str, tuple[type, ...]] = {
+    "target": (str, type(None)),
+    "m": (int,),
+    "lam": _NUMBER,
+    "mu": _NUMBER,
+    "scheme": (str,),
+    "algorithm": (str,),
+    "max_comparisons": (int,),
+    "min_reviews": (int,),
+}
+_NARROW_FIELDS: dict[str, tuple[type, ...]] = {
+    **_SELECT_FIELDS,
+    "k": (int,),
+    "time_limit": _NUMBER,
+    "stages": (list,),
+}
+
+
+def _parse_request(body: dict, narrow: bool) -> SelectRequest:
+    """Typed field extraction; wrong shapes raise :class:`_BadRequest`."""
+    fields = _NARROW_FIELDS if narrow else _SELECT_FIELDS
+    unknown = sorted(set(body) - set(fields))
+    if unknown:
+        raise _BadRequest(f"unknown fields: {unknown}")
+    kwargs: dict[str, object] = {}
+    for name, value in body.items():
+        expected = fields[name]
+        if isinstance(value, bool) or not isinstance(value, expected):
+            names = "/".join(t.__name__ for t in expected)
+            raise _BadRequest(f"field {name!r} must be {names}")
+        kwargs[name] = value
+    if "stages" in kwargs:
+        stages = kwargs["stages"]
+        if not all(isinstance(stage, str) for stage in stages):
+            raise _BadRequest("field 'stages' must be a list of strings")
+        kwargs["stages"] = tuple(stages)
+    if narrow:
+        return NarrowRequest(**kwargs)
+    return SelectRequest(**kwargs)
+
+
+class ServingHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the engine for its handlers."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], engine: SelectionEngine) -> None:
+        super().__init__(address, ServeHandler)
+        self.engine = engine
+        self.started_at = time.monotonic()
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # Typed for handler-side access; set by ServingHTTPServer.__init__.
+    server: ServingHTTPServer
+
+    def log_message(self, format: str, *args) -> None:
+        # Access logs go to metrics, not stderr (the CLI keeps stdout for
+        # the one "serving on ..." line the smoke harness parses).
+        pass
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _send(self, status: int, payload: object, content_type: str = "application/json") -> None:
+        body = (
+            payload if isinstance(payload, bytes) else encode_json(payload)
+        )
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self.server.engine.metrics.counter(
+            "repro_http_errors_total", "error responses by status",
+            labels={"status": str(status)},
+        ).inc()
+        self._send(status, {"error": message, "status": status})
+
+    def _deadline_ms(self) -> float | None:
+        raw = self.headers.get("X-Deadline-Ms")
+        if raw is None:
+            return None
+        try:
+            value = float(raw)
+        except ValueError:
+            raise _BadRequest(f"X-Deadline-Ms must be a number, got {raw!r}") from None
+        if value <= 0:
+            raise _BadRequest(f"X-Deadline-Ms must be positive, got {raw!r}")
+        return value
+
+    def _read_body(self) -> dict:
+        length = self.headers.get("Content-Length")
+        try:
+            size = int(length) if length is not None else 0
+        except ValueError:
+            raise _BadRequest("invalid Content-Length") from None
+        raw = self.rfile.read(size) if size else b"{}"
+        try:
+            body = json.loads(raw or b"{}")
+        except json.JSONDecodeError as exc:
+            raise _BadRequest(f"invalid JSON body: {exc}") from None
+        if not isinstance(body, dict):
+            raise _BadRequest("request body must be a JSON object")
+        return body
+
+    # -- endpoints -----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        url = urlparse(self.path)
+        if url.path == "/healthz":
+            self._send(
+                200,
+                {
+                    "status": "ok",
+                    "corpus_version": self.server.engine.store.version,
+                    "uptime_seconds": round(
+                        time.monotonic() - self.server.started_at, 3
+                    ),
+                },
+            )
+        elif url.path == "/metrics":
+            query = parse_qs(url.query)
+            accept = self.headers.get("Accept", "")
+            wants_text = (
+                query.get("format", [""])[0] == "prometheus"
+                or "text/plain" in accept
+            )
+            if wants_text:
+                self._send(
+                    200,
+                    self.server.engine.metrics.render_prometheus().encode(),
+                    content_type="text/plain; version=0.0.4",
+                )
+            else:
+                self._send(200, self.server.engine.metrics.as_dict())
+        elif url.path in ("/v1/select", "/v1/narrow"):
+            self._send_error_json(405, f"{url.path} requires POST")
+        else:
+            self._send_error_json(404, f"unknown endpoint {url.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        url = urlparse(self.path)
+        if url.path not in ("/v1/select", "/v1/narrow"):
+            if url.path in ("/healthz", "/metrics"):
+                self._send_error_json(405, f"{url.path} requires GET")
+            else:
+                self._send_error_json(404, f"unknown endpoint {url.path!r}")
+            return
+        narrow = url.path == "/v1/narrow"
+        engine = self.server.engine
+        try:
+            deadline_ms = self._deadline_ms()
+            request = _parse_request(self._read_body(), narrow)
+            with deadline_scope(
+                None if deadline_ms is None else deadline_ms / 1e3
+            ):
+                if narrow:
+                    response = engine.narrow(request)
+                else:
+                    response = engine.select(request)
+        except _BadRequest as exc:
+            self._send_error_json(400, str(exc))
+        except TypeError as exc:
+            self._send_error_json(400, str(exc))
+        except (InvalidRequest, UnknownTargetError, UnviableTargetError) as exc:
+            self._send_error_json(422, str(exc))
+        except (DeadlineExceeded, EngineClosed) as exc:
+            self._send_error_json(503, str(exc))
+        except Exception as exc:  # pragma: no cover - defensive backstop
+            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+        else:
+            self._send(200, response.as_dict())
+
+
+def make_server(
+    engine: SelectionEngine, host: str = "127.0.0.1", port: int = 0
+) -> ServingHTTPServer:
+    """Bind (but do not start) a serving HTTP server.
+
+    ``port=0`` binds an ephemeral port; read the actual one from
+    ``server.server_address`` — the end-to-end tests and the smoke target
+    rely on this to avoid port collisions.
+    """
+    return ServingHTTPServer((host, port), engine)
+
+
+def run_server(engine: SelectionEngine, host: str, port: int) -> None:
+    """Blocking convenience used by ``repro-cli serve``."""
+    server = make_server(engine, host, port)
+    bound_host, bound_port = server.server_address[:2]
+    print(f"serving on http://{bound_host}:{bound_port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        engine.close()

@@ -1,0 +1,248 @@
+"""Lightweight serving metrics: counters, gauges, reservoir histograms.
+
+No third-party client library — the serving subsystem is stdlib-only by
+design — but the exposition formats are standard: :meth:`MetricsRegistry.as_dict`
+renders JSON for dashboards/tests and :meth:`MetricsRegistry.render_prometheus`
+renders the Prometheus text format, so an off-the-shelf scraper can consume
+``GET /metrics?format=prometheus`` unchanged.
+
+Histograms keep a bounded uniform sample (Vitter's Algorithm R) instead of
+every observation, so latency percentiles stay O(1) memory under sustained
+traffic.  The reservoir RNG is seeded per histogram: two runs observing the
+same sequence report the same percentiles, which keeps the benchmark
+artifacts comparable across PRs.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from bisect import insort
+from collections.abc import Callable, Mapping
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    def __init__(self, name: str, help: str = "", labels: Mapping[str, str] | None = None) -> None:
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A point-in-time value backed by a zero-arg callable.
+
+    Callable-backed gauges let the registry expose derived state (cache
+    hit ratio, inflight solves) without the owner pushing updates.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        read: Callable[[], float],
+        help: str = "",
+        labels: Mapping[str, str] | None = None,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self._read = read
+
+    @property
+    def value(self) -> float:
+        return float(self._read())
+
+
+class Histogram:
+    """Count/sum plus percentile estimates from a bounded reservoir."""
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Mapping[str, str] | None = None,
+        reservoir_size: int = 1024,
+        seed: int = 7,
+    ) -> None:
+        if reservoir_size < 1:
+            raise ValueError(f"reservoir_size must be >= 1, got {reservoir_size}")
+        self.name = name
+        self.help = help
+        self.labels = dict(labels or {})
+        self._size = reservoir_size
+        self._rng = random.Random(seed)
+        self._sample: list[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if len(self._sample) < self._size:
+                insort(self._sample, value)
+            else:
+                # Algorithm R: keep each of the n observations with
+                # probability size/n by overwriting a uniform slot.
+                slot = self._rng.randrange(self._count)
+                if slot < self._size:
+                    del self._sample[slot]
+                    insort(self._sample, value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (q in [0, 100]) of the sampled values."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q}")
+        with self._lock:
+            if not self._sample:
+                return 0.0
+            index = min(
+                len(self._sample) - 1, int(q / 100.0 * (len(self._sample) - 1))
+            )
+            return self._sample[index]
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """A named collection of metrics with JSON + Prometheus renderings."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    @staticmethod
+    def _key(name: str, labels: Mapping[str, str] | None) -> str:
+        return name + _render_labels(labels or {})
+
+    def counter(
+        self, name: str, help: str = "", labels: Mapping[str, str] | None = None
+    ) -> Counter:
+        """Get or create the counter ``name`` (+ labels)."""
+        key = self._key(name, labels)
+        with self._lock:
+            if key not in self._counters:
+                self._counters[key] = Counter(name, help, labels)
+            return self._counters[key]
+
+    def gauge(
+        self,
+        name: str,
+        read: Callable[[], float],
+        help: str = "",
+        labels: Mapping[str, str] | None = None,
+    ) -> Gauge:
+        """Register (or replace) the callable-backed gauge ``name``."""
+        key = self._key(name, labels)
+        with self._lock:
+            self._gauges[key] = Gauge(name, read, help, labels)
+            return self._gauges[key]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Mapping[str, str] | None = None,
+        reservoir_size: int = 1024,
+    ) -> Histogram:
+        """Get or create the histogram ``name`` (+ labels)."""
+        key = self._key(name, labels)
+        with self._lock:
+            if key not in self._histograms:
+                self._histograms[key] = Histogram(
+                    name, help, labels, reservoir_size=reservoir_size
+                )
+            return self._histograms[key]
+
+    def as_dict(self) -> dict[str, object]:
+        """All metrics as one JSON-ready mapping."""
+        with self._lock:
+            counters = list(self._counters.items())
+            gauges = list(self._gauges.items())
+            histograms = list(self._histograms.items())
+        return {
+            "counters": {key: metric.value for key, metric in counters},
+            "gauges": {key: metric.value for key, metric in gauges},
+            "histograms": {key: metric.snapshot() for key, metric in histograms},
+        }
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        with self._lock:
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+            histograms = list(self._histograms.values())
+        lines: list[str] = []
+        seen_headers: set[str] = set()
+
+        def header(name: str, kind: str, help: str) -> None:
+            if name in seen_headers:
+                return
+            seen_headers.add(name)
+            if help:
+                lines.append(f"# HELP {name} {help}")
+            lines.append(f"# TYPE {name} {kind}")
+
+        for counter in counters:
+            header(counter.name, "counter", counter.help)
+            lines.append(
+                f"{counter.name}{_render_labels(counter.labels)} {counter.value}"
+            )
+        for gauge in gauges:
+            header(gauge.name, "gauge", gauge.help)
+            lines.append(f"{gauge.name}{_render_labels(gauge.labels)} {gauge.value}")
+        for histogram in histograms:
+            header(histogram.name, "summary", histogram.help)
+            for q in (0.5, 0.95, 0.99):
+                labels = dict(histogram.labels)
+                labels["quantile"] = f"{q}"
+                lines.append(
+                    f"{histogram.name}{_render_labels(labels)} "
+                    f"{histogram.percentile(q * 100)}"
+                )
+            suffix = _render_labels(histogram.labels)
+            lines.append(f"{histogram.name}_sum{suffix} {histogram.sum}")
+            lines.append(f"{histogram.name}_count{suffix} {histogram.count}")
+        return "\n".join(lines) + "\n"

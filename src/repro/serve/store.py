@@ -1,0 +1,258 @@
+"""Precomputed per-instance artifact store for online serving.
+
+The batch CLI rebuilds everything per invocation: parse the corpus,
+resolve the comparison instance, derive the vector space, tau/Gamma
+targets, and per-review incidence matrices, then solve.  Online, only the
+*solve* should be per-request work — the rest is a pure function of the
+corpus and a handful of shaping parameters, so :class:`ItemStore` ingests
+the corpus once and memoises those artifacts behind versioned keys.
+
+Versioning: every (re)load bumps a monotonic generation counter and
+recomputes a content fingerprint; :attr:`ItemStore.version` concatenates
+the two.  Cache keys that embed the version (the engine's result cache
+does) can therefore never serve artifacts from a previous corpus, and
+:meth:`ItemStore.reload` explicitly drops every memoised artifact.
+
+Artifacts are immutable from the caller's perspective: the store hands
+out the same :class:`InstanceArtifacts` object for repeated lookups, and
+callers must not mutate the contained arrays (the memoised
+:class:`~repro.core.vectors.VectorSpace` incidences are shared).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.problem import SelectionConfig
+from repro.core.vectors import OpinionScheme, VectorSpace, regression_columns
+from repro.data.corpus import Corpus
+from repro.data.instances import ComparisonInstance, build_instance
+from repro.data.io import load_corpus
+
+
+class UnknownTargetError(LookupError):
+    """The requested target product is not in the corpus."""
+
+
+class UnviableTargetError(LookupError):
+    """The target exists but yields no comparison instance (too few
+    reviews or no usable comparative items)."""
+
+
+@dataclass(frozen=True)
+class InstanceArtifacts:
+    """Everything precomputable for one (instance, scheme, lambda) triple.
+
+    ``taus[i]`` is the full-collection opinion distribution tau_i of item
+    i, ``gamma`` the target item's aspect distribution Gamma, and
+    ``columns[i]`` the stacked Eq.-4 regression matrix of item i (opinion
+    block over the lambda-scaled aspect block) — the same construction the
+    offline selectors use via
+    :func:`~repro.core.vectors.regression_columns`.  ``space`` carries the
+    per-review incidence memoisation, so repeated solves against the same
+    artifacts skip the tokenised-corpus walk entirely.
+    """
+
+    version: str
+    instance: ComparisonInstance
+    space: VectorSpace
+    gamma: np.ndarray
+    taus: tuple[np.ndarray, ...]
+    columns: tuple[np.ndarray, ...]
+
+    @property
+    def comparative_ids(self) -> tuple[str, ...]:
+        """Product ids of the comparative items p_2..p_n."""
+        return tuple(p.product_id for p in self.instance.comparatives)
+
+
+@dataclass(frozen=True, slots=True)
+class _InstanceKey:
+    target: str
+    max_comparisons: int | None
+    min_reviews: int
+
+
+@dataclass(frozen=True, slots=True)
+class _ArtifactKey:
+    instance_key: _InstanceKey
+    scheme: OpinionScheme
+    lam: float
+
+
+@dataclass
+class _Generation:
+    """One loaded corpus plus its memoised artifacts (dropped on reload)."""
+
+    corpus: Corpus
+    version: str
+    instances: dict[_InstanceKey, ComparisonInstance | None] = field(
+        default_factory=dict
+    )
+    artifacts: dict[_ArtifactKey, InstanceArtifacts] = field(default_factory=dict)
+
+
+def corpus_fingerprint(corpus: Corpus) -> str:
+    """A short content hash of the corpus identity.
+
+    Hashes product ids (with their also-bought lists) and review ids —
+    the facts that determine instance construction — rather than full
+    review texts, so fingerprinting a million-review corpus stays cheap.
+    """
+    digest = hashlib.sha256()
+    digest.update(corpus.name.encode())
+    for product in corpus.products:
+        digest.update(product.product_id.encode())
+        for other in product.also_bought:
+            digest.update(other.encode())
+        digest.update(b"|")
+    for review in corpus.reviews:
+        digest.update(review.review_id.encode())
+    return digest.hexdigest()[:12]
+
+
+class ItemStore:
+    """Versioned, thread-safe store of precomputed selection artifacts."""
+
+    def __init__(self, corpus: Corpus) -> None:
+        self._lock = threading.Lock()
+        self._loads = 0
+        self._generation = self._ingest(corpus)
+
+    @classmethod
+    def from_path(cls, path: str | Path) -> "ItemStore":
+        """Load a JSONL corpus file and ingest it."""
+        return cls(load_corpus(path))
+
+    def _ingest(self, corpus: Corpus) -> _Generation:
+        self._loads += 1
+        version = f"g{self._loads}-{corpus_fingerprint(corpus)}"
+        return _Generation(corpus=corpus, version=version)
+
+    # -- corpus access -------------------------------------------------------
+
+    @property
+    def corpus(self) -> Corpus:
+        with self._lock:
+            return self._generation.corpus
+
+    @property
+    def version(self) -> str:
+        """Generation counter + content fingerprint, e.g. ``"g1-ab12cd34ef56"``."""
+        with self._lock:
+            return self._generation.version
+
+    def reload(self, corpus: Corpus) -> str:
+        """Swap in a new corpus; invalidates every memoised artifact.
+
+        Returns the new version.  Lookups that raced the reload finish
+        against the old generation's (still immutable) artifacts; their
+        version string marks them as stale for any versioned cache.
+        """
+        generation = self._ingest(corpus)
+        with self._lock:
+            self._generation = generation
+        return generation.version
+
+    def default_target(self, max_comparisons: int | None, min_reviews: int) -> str:
+        """The first viable target product id (the CLI's default choice)."""
+        with self._lock:
+            generation = self._generation
+        for product in generation.corpus.products:
+            instance = self._instance_for(
+                generation,
+                _InstanceKey(product.product_id, max_comparisons, min_reviews),
+            )
+            if instance is not None:
+                return product.product_id
+        raise UnviableTargetError("no viable target item in the corpus")
+
+    # -- artifact lookup -----------------------------------------------------
+
+    def _instance_for(
+        self, generation: _Generation, key: _InstanceKey
+    ) -> ComparisonInstance | None:
+        with self._lock:
+            if key in generation.instances:
+                return generation.instances[key]
+        if not generation.corpus.has_product(key.target):
+            raise UnknownTargetError(
+                f"target {key.target!r} is not in the corpus"
+            )
+        instance = build_instance(
+            generation.corpus,
+            key.target,
+            max_comparisons=key.max_comparisons,
+            min_reviews=key.min_reviews,
+        )
+        with self._lock:
+            generation.instances.setdefault(key, instance)
+            return generation.instances[key]
+
+    def artifacts(
+        self,
+        target: str,
+        config: SelectionConfig,
+        max_comparisons: int | None = 10,
+        min_reviews: int = 3,
+    ) -> InstanceArtifacts:
+        """The precomputed artifacts for ``target`` under ``config``.
+
+        Raises :class:`UnknownTargetError` / :class:`UnviableTargetError`
+        for targets that cannot form an instance.  Only ``config.scheme``
+        and ``config.lam`` shape the artifacts; ``m`` and ``mu`` vary per
+        request without invalidating anything.
+        """
+        with self._lock:
+            generation = self._generation
+        instance_key = _InstanceKey(target, max_comparisons, min_reviews)
+        artifact_key = _ArtifactKey(instance_key, config.scheme, config.lam)
+        with self._lock:
+            cached = generation.artifacts.get(artifact_key)
+        if cached is not None:
+            return cached
+
+        instance = self._instance_for(generation, instance_key)
+        if instance is None:
+            raise UnviableTargetError(
+                f"target {target!r} is not a viable instance "
+                f"(needs >= {min_reviews} reviews and a comparable item)"
+            )
+        space = VectorSpace(instance.aspect_vocabulary(), config.scheme)
+        gamma = space.aspect_vector(instance.reviews[0])
+        taus = tuple(space.opinion_vector(reviews) for reviews in instance.reviews)
+        columns = tuple(
+            regression_columns(space, reviews, config.lam)
+            for reviews in instance.reviews
+        )
+        built = InstanceArtifacts(
+            version=generation.version,
+            instance=instance,
+            space=space,
+            gamma=gamma,
+            taus=taus,
+            columns=columns,
+        )
+        with self._lock:
+            # First build wins so every caller shares one artifact object
+            # (and one memoised VectorSpace).
+            generation.artifacts.setdefault(artifact_key, built)
+            return generation.artifacts[artifact_key]
+
+    def stats(self) -> dict[str, int | str]:
+        """Introspection for ``/metrics``: artifact/instance cache sizes."""
+        with self._lock:
+            generation = self._generation
+            return {
+                "version": generation.version,
+                "products": len(generation.corpus.products),
+                "reviews": len(generation.corpus.reviews),
+                "cached_instances": len(generation.instances),
+                "cached_artifacts": len(generation.artifacts),
+                "loads": self._loads,
+            }

@@ -125,3 +125,44 @@ class TestConvertAmazon:
         ]) == 0
         assert out.exists()
         assert "2 products" in capsys.readouterr().out
+
+
+class TestUsageErrors:
+    """Missing or corrupt --corpus must exit 2 with a one-line error."""
+
+    COMMANDS = {
+        "select": lambda path: ["select", path, "--m", "2"],
+        "narrow": lambda path: ["narrow", path, "--k", "2", "--m", "2"],
+        "stats": lambda path: ["stats", path],
+        "serve": lambda path: ["serve", "--corpus", path, "--port", "0"],
+    }
+
+    @pytest.mark.parametrize("command", sorted(COMMANDS))
+    def test_missing_corpus_exits_2(self, command, tmp_path, capsys):
+        argv = self.COMMANDS[command](str(tmp_path / "nope.jsonl"))
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: corpus file not found")
+        assert err.count("\n") == 1
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize("command", sorted(COMMANDS))
+    def test_corrupt_corpus_exits_2(self, command, tmp_path, capsys):
+        path = tmp_path / "broken.jsonl"
+        path.write_text('{"type": "product", "product_id"\nnot json at all\n')
+        argv = self.COMMANDS[command](str(path))
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: corpus file")
+        assert "corrupt" in err
+        assert "Traceback" not in err
+
+    def test_corpus_directory_exits_2(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["stats", str(tmp_path)])
+        assert excinfo.value.code == 2
+        assert "directory" in capsys.readouterr().err

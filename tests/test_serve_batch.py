@@ -1,0 +1,171 @@
+"""Tests for the same-key micro-batching queue."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.resilience.deadline import Deadline, DeadlineExceeded
+from repro.serve.batch import BatchClosed, MicroBatcher
+
+
+def echo_handler(key, requests):
+    return [(key, request) for request in requests]
+
+
+class TestPassThrough:
+    def test_single_request(self):
+        batcher = MicroBatcher(echo_handler, max_wait=0.0)
+        assert batcher.submit("k", 1) == ("k", 1)
+        stats = batcher.stats()
+        assert stats.submitted == 1 and stats.batches == 1
+        assert stats.amortisation == 1.0
+
+    def test_zero_window_means_batches_of_one(self):
+        batcher = MicroBatcher(echo_handler, max_wait=0.0)
+        for index in range(5):
+            batcher.submit("k", index)
+        assert batcher.stats().batches == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(echo_handler, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(echo_handler, max_wait=-1.0)
+
+
+class TestGrouping:
+    def test_concurrent_same_key_requests_share_one_handler_call(self):
+        calls = []
+        started = threading.Event()
+
+        def handler(key, requests):
+            calls.append(list(requests))
+            return [request * 10 for request in requests]
+
+        batcher = MicroBatcher(handler, max_batch=4, max_wait=0.5)
+        results = {}
+
+        def worker(value):
+            if value != 0:
+                started.wait(5.0)  # let worker 0 become the leader first
+            results[value] = batcher.submit("key", value)
+
+        threads = [threading.Thread(target=worker, args=(v,)) for v in range(4)]
+        threads[0].start()
+        deadline = time.monotonic() + 5.0
+        while batcher.stats().submitted < 1 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        started.set()
+        for thread in threads[1:]:
+            thread.start()
+        for thread in threads:
+            thread.join(5.0)
+
+        assert results == {0: 0, 1: 10, 2: 20, 3: 30}
+        assert len(calls) == 1, "all four requests must share one handler call"
+        assert sorted(calls[0]) == [0, 1, 2, 3]
+        stats = batcher.stats()
+        assert stats.largest_batch == 4
+        assert stats.batched_requests == 3
+        assert stats.amortisation == 4.0
+
+    def test_full_batch_seals_before_window_expires(self):
+        def handler(key, requests):
+            return list(requests)
+
+        batcher = MicroBatcher(handler, max_batch=2, max_wait=30.0)
+        results = []
+
+        def worker(value):
+            results.append(batcher.submit("key", value))
+
+        threads = [threading.Thread(target=worker, args=(v,)) for v in (1, 2)]
+        begun = time.monotonic()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10.0)
+        # With a 30 s window, only the max_batch=2 early-seal can explain
+        # a fast finish.
+        assert time.monotonic() - begun < 10.0
+        assert sorted(results) == [1, 2]
+
+    def test_distinct_keys_do_not_batch_together(self):
+        calls = []
+
+        def handler(key, requests):
+            calls.append((key, list(requests)))
+            return list(requests)
+
+        batcher = MicroBatcher(handler, max_wait=0.0)
+        batcher.submit("a", 1)
+        batcher.submit("b", 2)
+        assert sorted(key for key, _ in calls) == ["a", "b"]
+
+
+class TestFailureModes:
+    def test_handler_error_fails_every_member(self):
+        def handler(key, requests):
+            raise RuntimeError("batch solver died")
+
+        batcher = MicroBatcher(handler, max_batch=2, max_wait=5.0)
+        errors = []
+
+        def worker(value):
+            try:
+                batcher.submit("key", value)
+            except RuntimeError as exc:
+                errors.append(str(exc))
+
+        threads = [threading.Thread(target=worker, args=(v,)) for v in (1, 2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(5.0)
+        assert errors == ["batch solver died"] * 2
+
+    def test_wrong_result_count_is_an_error(self):
+        batcher = MicroBatcher(lambda key, requests: [], max_wait=0.0)
+        with pytest.raises(RuntimeError, match="0 results for 1 requests"):
+            batcher.submit("k", 1)
+
+    def test_follower_deadline(self):
+        release = threading.Event()
+
+        def handler(key, requests):
+            release.wait(5.0)
+            return list(requests)
+
+        batcher = MicroBatcher(handler, max_batch=8, max_wait=0.2)
+        outcome = {}
+
+        def leader():
+            outcome["leader"] = batcher.submit("key", "slow")
+
+        def follower():
+            try:
+                batcher.submit("key", "hurried", deadline=Deadline.after(0.01))
+            except DeadlineExceeded:
+                outcome["follower"] = "deadline"
+
+        leader_thread = threading.Thread(target=leader)
+        leader_thread.start()
+        deadline = time.monotonic() + 5.0
+        while batcher.stats().submitted < 1 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        follower_thread = threading.Thread(target=follower)
+        follower_thread.start()
+        follower_thread.join(5.0)
+        assert outcome.get("follower") == "deadline"
+        release.set()
+        leader_thread.join(5.0)
+        assert outcome["leader"] == "slow"
+
+    def test_closed_batcher_rejects_submissions(self):
+        batcher = MicroBatcher(echo_handler)
+        batcher.close()
+        with pytest.raises(BatchClosed):
+            batcher.submit("k", 1)

@@ -1,0 +1,208 @@
+"""Tests for the single-flight LRU+TTL result cache."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.resilience.deadline import Deadline, DeadlineExceeded
+from repro.serve.cache import ResultCache
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        cache = ResultCache(max_size=4)
+        value, source = cache.get_or_compute("k", lambda: 41)
+        assert (value, source) == (41, "miss")
+        value, source = cache.get_or_compute("k", lambda: 42)
+        assert (value, source) == (41, "hit")
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 1 and stats.coalesced == 0
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(max_size=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == (True, 1)  # refreshes a's recency
+        cache.put("c", 3)                   # evicts b, the least recent
+        assert cache.get("b") == (False, None)
+        assert cache.get("a") == (True, 1)
+        assert cache.get("c") == (True, 3)
+        assert cache.stats().evictions == 1
+
+    def test_ttl_expiry(self):
+        clock = FakeClock()
+        cache = ResultCache(max_size=4, ttl=10.0, clock=clock)
+        cache.put("k", "v")
+        assert cache.get("k") == (True, "v")
+        clock.now = 9.999
+        assert cache.get("k") == (True, "v")
+        clock.now = 10.0
+        assert cache.get("k") == (False, None)
+        assert cache.stats().expirations == 1
+
+    def test_errors_are_not_cached(self):
+        cache = ResultCache(max_size=4)
+        with pytest.raises(RuntimeError):
+            cache.get_or_compute("k", self._boom)
+        value, source = cache.get_or_compute("k", lambda: "recovered")
+        assert (value, source) == ("recovered", "miss")
+
+    @staticmethod
+    def _boom():
+        raise RuntimeError("solver exploded")
+
+    def test_invalidate_and_clear(self):
+        cache = ResultCache(max_size=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.invalidate("a")
+        assert not cache.invalidate("a")
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_size=0)
+        with pytest.raises(ValueError):
+            ResultCache(ttl=0.0)
+
+
+class TestSingleFlight:
+    def test_racing_threads_solve_once(self):
+        """N threads racing the same key trigger exactly one compute."""
+        cache = ResultCache(max_size=4)
+        release = threading.Event()
+        solves = []
+        results = []
+
+        def compute():
+            release.wait(5.0)
+            solves.append(threading.get_ident())
+            return "answer"
+
+        def worker():
+            results.append(cache.get_or_compute("key", compute))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        # Let every follower reach the wait before the leader finishes.
+        deadline = time.monotonic() + 5.0
+        while cache.stats().coalesced < 7 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        release.set()
+        for thread in threads:
+            thread.join(5.0)
+
+        assert len(solves) == 1, "single-flight must collapse to one solve"
+        assert len(results) == 8
+        assert {value for value, _ in results} == {"answer"}
+        sources = sorted(source for _, source in results)
+        assert sources.count("miss") == 1
+        assert sources.count("coalesced") == 7
+        stats = cache.stats()
+        assert stats.misses == 1 and stats.coalesced == 7 and stats.inflight == 0
+
+    def test_distinct_keys_proceed_in_parallel(self):
+        """Two different keys never serialise behind one another."""
+        cache = ResultCache(max_size=4)
+        barrier = threading.Barrier(2, timeout=5.0)
+        results = {}
+
+        def compute(name):
+            # Both computes must be inside compute() simultaneously to
+            # pass the barrier; if key B waited on key A this would
+            # deadlock (and the barrier timeout would fail the test).
+            barrier.wait()
+            return name
+
+        def worker(key):
+            results[key] = cache.get_or_compute(key, lambda: compute(key))
+
+        threads = [
+            threading.Thread(target=worker, args=("a",)),
+            threading.Thread(target=worker, args=("b",)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(5.0)
+        assert results == {"a": ("a", "miss"), "b": ("b", "miss")}
+
+    def test_leader_error_propagates_to_followers(self):
+        cache = ResultCache(max_size=4)
+        release = threading.Event()
+        errors = []
+
+        def compute():
+            release.wait(5.0)
+            raise RuntimeError("leader failed")
+
+        def worker():
+            try:
+                cache.get_or_compute("key", compute)
+            except RuntimeError as exc:
+                errors.append(str(exc))
+
+        threads = [threading.Thread(target=worker) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + 5.0
+        while cache.stats().coalesced < 2 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        release.set()
+        for thread in threads:
+            thread.join(5.0)
+        assert errors == ["leader failed"] * 3
+        # Nothing was cached; a later request recomputes.
+        assert cache.get("key") == (False, None)
+
+    def test_follower_deadline_expires_without_killing_leader(self):
+        cache = ResultCache(max_size=4)
+        release = threading.Event()
+        outcome = {}
+
+        def compute():
+            release.wait(5.0)
+            return "late answer"
+
+        def leader():
+            outcome["leader"] = cache.get_or_compute("key", compute)
+
+        def follower():
+            try:
+                cache.get_or_compute("key", lambda: "x", Deadline.after(0.01))
+            except DeadlineExceeded:
+                outcome["follower"] = "deadline"
+
+        leader_thread = threading.Thread(target=leader)
+        leader_thread.start()
+        deadline = time.monotonic() + 5.0
+        while cache.stats().misses < 1 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        follower_thread = threading.Thread(target=follower)
+        follower_thread.start()
+        follower_thread.join(5.0)
+        assert outcome["follower"] == "deadline"
+        release.set()
+        leader_thread.join(5.0)
+        assert outcome["leader"] == ("late answer", "miss")
+
+    def test_hit_ratio(self):
+        cache = ResultCache(max_size=4)
+        assert cache.stats().hit_ratio == 0.0
+        cache.get_or_compute("k", lambda: 1)
+        cache.get_or_compute("k", lambda: 1)
+        cache.get_or_compute("k", lambda: 1)
+        assert cache.stats().hit_ratio == pytest.approx(2 / 3)

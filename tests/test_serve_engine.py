@@ -1,0 +1,258 @@
+"""Tests for the in-process SelectionEngine."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.problem import SelectionConfig
+from repro.core.selection import make_selector
+from repro.data.instances import build_instance
+from repro.data.synthetic import generate_corpus
+from repro.resilience.deadline import Deadline, DeadlineExceeded, deadline_scope
+from repro.serve.engine import (
+    EngineClosed,
+    InvalidRequest,
+    NarrowRequest,
+    SelectionEngine,
+    SelectRequest,
+    selection_payload,
+)
+from repro.serve.store import ItemStore, UnknownTargetError
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus("Toy", scale=0.3, seed=3)
+
+
+@pytest.fixture(scope="module")
+def store(corpus):
+    return ItemStore(corpus)
+
+
+@pytest.fixture()
+def engine(store):
+    engine = SelectionEngine(store, workers=2)
+    yield engine
+    engine.close()
+
+
+class TestValidation:
+    def test_bad_m(self):
+        with pytest.raises(InvalidRequest):
+            SelectRequest(m=0).validated()
+
+    def test_bad_scheme(self):
+        with pytest.raises(InvalidRequest, match="unknown scheme"):
+            SelectRequest(scheme="quaternary").validated()
+
+    def test_bad_algorithm(self):
+        with pytest.raises(InvalidRequest, match="unknown algorithm"):
+            SelectRequest(algorithm="Oracle").validated()
+
+    def test_bad_k(self):
+        with pytest.raises(InvalidRequest):
+            NarrowRequest(k=0).validated()
+
+    def test_unknown_target(self, engine):
+        with pytest.raises(UnknownTargetError):
+            engine.select(target="GHOST")
+
+
+class TestSelect:
+    def test_matches_offline_selector(self, engine, corpus):
+        """The engine result equals the offline CompareSetsSelector's."""
+        response = engine.select(m=3, algorithm="CompaReSetS")
+        instance = build_instance(
+            corpus, response.result["target"], max_comparisons=10, min_reviews=3
+        )
+        offline = make_selector("CompaReSetS").select(
+            instance, SelectionConfig(max_reviews=3, lam=1.0, mu=0.1)
+        )
+        assert response.result == selection_payload(offline)
+
+    def test_cache_hit_on_repeat(self, engine):
+        first = engine.select(m=2)
+        second = engine.select(m=2)
+        assert first.provenance.cache in ("miss", "hit")  # module-shared store
+        assert second.provenance.cache == "hit"
+        assert second.result == first.result
+        assert second.provenance.backend == "CompaReSetS+"
+        assert second.provenance.corpus_version == engine.store.version
+
+    def test_warm_hit_is_fast(self, engine):
+        engine.select(m=2)
+        response = engine.select(m=2)
+        assert response.provenance.cache == "hit"
+        assert response.provenance.wall_ms < 10.0
+
+    def test_distinct_params_are_distinct_entries(self, engine):
+        a = engine.select(m=2, algorithm="Random")
+        b = engine.select(m=3, algorithm="Random")
+        assert a.provenance.cache == "miss" or b.provenance.cache == "miss"
+        assert engine.select(m=2, algorithm="Random").provenance.cache == "hit"
+        assert engine.select(m=3, algorithm="Random").provenance.cache == "hit"
+
+    def test_select_plus_pins_algorithm(self, engine):
+        response = engine.select_plus(m=2, algorithm="Random")
+        assert response.result["algorithm"] == "CompaReSetS+"
+        assert response.provenance.backend == "CompaReSetS+"
+
+    def test_request_object_and_kwargs_are_exclusive(self, engine):
+        with pytest.raises(TypeError):
+            engine.select(SelectRequest(), m=2)
+
+    def test_explicit_target(self, engine, store):
+        target = store.default_target(10, 3)
+        response = engine.select(target=target, m=2)
+        assert response.result["target"] == target
+
+
+class TestNarrow:
+    def test_narrow_provenance(self, engine):
+        response = engine.narrow(m=2, k=3)
+        assert response.provenance.backend == "milp"
+        assert response.provenance.proven_optimal is True
+        assert response.provenance.fallback_depth == 0
+        assert response.result["k"] <= 3
+        assert len(response.result["core_product_ids"]) == response.result["k"]
+        assert response.result["selection"]["target"] == response.result["core_product_ids"][0]
+
+    def test_narrow_fallback_provenance(self, engine):
+        """A failing first stage shows up as depth 1 + degraded."""
+
+        def broken(weights, k, target, deadline):
+            raise RuntimeError("no solver here")
+
+        response = engine.narrow(
+            NarrowRequest(m=2, k=3, stages=(("broken", broken), "greedy"))
+        )
+        assert response.provenance.backend == "greedy"
+        assert response.provenance.fallback_depth == 1
+        assert response.provenance.degraded is True
+        assert response.result["attempts"][0]["status"] == "error"
+
+    def test_narrow_cached(self, engine):
+        first = engine.narrow(m=2, k=2)
+        second = engine.narrow(m=2, k=2)
+        assert second.provenance.cache == "hit"
+        assert second.result == first.result
+
+
+class TestDeadlines:
+    def test_expired_deadline_maps_to_deadline_exceeded(self, store):
+        engine = SelectionEngine(store, cache_size=4, workers=1)
+        try:
+            with pytest.raises(DeadlineExceeded):
+                engine.select(
+                    SelectRequest(m=6, algorithm="CompaReSetS+"),
+                    deadline=Deadline.after(0.0),
+                )
+        finally:
+            engine.close()
+
+    def test_ambient_deadline_scope_is_honoured(self, store):
+        engine = SelectionEngine(store, cache_size=4, workers=1)
+        try:
+            with deadline_scope(0.0):
+                with pytest.raises(DeadlineExceeded):
+                    engine.select(SelectRequest(m=5, algorithm="CompaReSetS"))
+        finally:
+            engine.close()
+
+    def test_cached_after_deadline_miss_still_unsolved(self, store):
+        """A timed-out request does not poison the cache."""
+        engine = SelectionEngine(store, cache_size=4, workers=1)
+        try:
+            with pytest.raises(DeadlineExceeded):
+                engine.select(SelectRequest(m=4), deadline=Deadline.after(0.0))
+            response = engine.select(SelectRequest(m=4))
+            assert response.result["selections"]
+        finally:
+            engine.close()
+
+
+class TestConcurrency:
+    def test_identical_concurrent_requests_solve_once(self, store):
+        engine = SelectionEngine(store, cache_size=16, workers=4)
+        try:
+            responses = []
+            lock = threading.Lock()
+
+            def worker():
+                response = engine.select(m=5, algorithm="CompaReSetS+")
+                with lock:
+                    responses.append(response)
+
+            threads = [threading.Thread(target=worker) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(30.0)
+
+            assert len(responses) == 6
+            payloads = {tuple(map(tuple, r.result["selections"])) for r in responses}
+            assert len(payloads) == 1
+            stats = engine.cache.stats()
+            assert stats.misses == 1, "single-flight must collapse to one solve"
+            assert stats.hits + stats.coalesced == 5
+        finally:
+            engine.close()
+
+
+class TestBatching:
+    def test_same_target_requests_batch(self, store):
+        engine = SelectionEngine(
+            store, cache_size=16, workers=4, batch_window=0.1, batch_max=4
+        )
+        try:
+            barrier = threading.Barrier(3, timeout=10.0)
+            responses = {}
+
+            def worker(m):
+                barrier.wait()
+                responses[m] = engine.select(m=m, algorithm="CompaReSetS")
+
+            threads = [
+                threading.Thread(target=worker, args=(m,)) for m in (1, 2, 3)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(30.0)
+
+            assert set(responses) == {1, 2, 3}
+            for m, response in responses.items():
+                assert all(
+                    len(s) <= m for s in response.result["selections"]
+                )
+            stats = engine.batcher.stats()
+            assert stats.submitted == 3
+            assert stats.batches < 3, "same-target requests must share a batch"
+        finally:
+            engine.close()
+
+
+class TestLifecycle:
+    def test_closed_engine_rejects_requests(self, store):
+        engine = SelectionEngine(store, workers=1)
+        engine.close()
+        with pytest.raises(EngineClosed):
+            engine.select(m=2)
+
+    def test_metrics_populated(self, store):
+        engine = SelectionEngine(store, workers=1)
+        try:
+            engine.select(m=2)
+            engine.select(m=2)
+            payload = engine.metrics.as_dict()
+            assert payload["counters"]['repro_requests_total{endpoint="select"}'] == 2
+            assert payload["gauges"]["repro_cache_hit_ratio"] > 0
+            latency = payload["histograms"][
+                'repro_request_latency_seconds{endpoint="select"}'
+            ]
+            assert latency["count"] == 2
+        finally:
+            engine.close()

@@ -1,0 +1,215 @@
+"""End-to-end tests of the stdlib HTTP serving API.
+
+Boots a real ThreadingHTTPServer on an ephemeral port and talks to it
+over actual sockets with urllib — the same path `repro-cli serve`
+exercises minus the argv parsing.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.problem import SelectionConfig
+from repro.core.selection import make_selector
+from repro.data.instances import build_instance
+from repro.data.synthetic import generate_corpus
+from repro.serve.engine import SelectionEngine, selection_payload
+from repro.serve.http import encode_json, make_server
+from repro.serve.store import ItemStore
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus("Toy", scale=0.3, seed=3)
+
+
+@pytest.fixture(scope="module")
+def served(corpus):
+    """(base_url, engine) for a live server on an ephemeral port."""
+    engine = SelectionEngine(ItemStore(corpus), workers=2)
+    server = make_server(engine, host="127.0.0.1", port=0)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://{host}:{port}", engine
+    server.shutdown()
+    server.server_close()
+    engine.close()
+
+
+def _post(url: str, body: dict, headers: dict | None = None):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def _get(url: str, headers: dict | None = None):
+    request = urllib.request.Request(url, headers=headers or {})
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, response.read(), response.headers
+
+
+def _status_of(call) -> int:
+    try:
+        call()
+    except urllib.error.HTTPError as error:
+        return error.code
+    pytest.fail("expected an HTTP error")
+
+
+class TestHealthz:
+    def test_ok(self, served):
+        base, engine = served
+        status, body, _ = _get(f"{base}/healthz")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["corpus_version"] == engine.store.version
+
+
+class TestSelect:
+    def test_result_is_byte_identical_to_offline_selector(self, served, corpus):
+        """The HTTP JSON result equals CompareSetsSelector byte-for-byte."""
+        base, _ = served
+        status, payload = _post(
+            f"{base}/v1/select", {"m": 3, "algorithm": "CompaReSetS"}
+        )
+        assert status == 200
+
+        instance = build_instance(
+            corpus, payload["result"]["target"], max_comparisons=10, min_reviews=3
+        )
+        offline = make_selector("CompaReSetS").select(
+            instance, SelectionConfig(max_reviews=3, lam=1.0, mu=0.1)
+        )
+        assert encode_json(payload["result"]) == encode_json(
+            selection_payload(offline)
+        )
+
+    def test_provenance_reports_cache_hit(self, served):
+        base, _ = served
+        _post(f"{base}/v1/select", {"m": 2})
+        status, payload = _post(f"{base}/v1/select", {"m": 2})
+        assert status == 200
+        assert payload["provenance"]["cache"] == "hit"
+        assert payload["provenance"]["wall_ms"] < 10.0
+
+    def test_empty_body_uses_defaults(self, served):
+        base, _ = served
+        request = urllib.request.Request(
+            f"{base}/v1/select", data=b"", method="POST"
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            payload = json.loads(response.read())
+        assert payload["result"]["algorithm"] == "CompaReSetS+"
+
+
+class TestNarrow:
+    def test_narrow_end_to_end(self, served):
+        base, _ = served
+        status, payload = _post(f"{base}/v1/narrow", {"m": 2, "k": 3})
+        assert status == 200
+        assert payload["result"]["k"] <= 3
+        assert payload["provenance"]["backend"] == "milp"
+        assert payload["provenance"]["proven_optimal"] is True
+
+
+class TestErrorMapping:
+    def test_malformed_json_is_400(self, served):
+        base, _ = served
+        request = urllib.request.Request(
+            f"{base}/v1/select", data=b"{not json", method="POST"
+        )
+        assert _status_of(lambda: urllib.request.urlopen(request, timeout=30)) == 400
+
+    def test_mistyped_field_is_400(self, served):
+        base, _ = served
+        assert _status_of(lambda: _post(f"{base}/v1/select", {"m": "three"})) == 400
+
+    def test_unknown_field_is_400(self, served):
+        base, _ = served
+        assert _status_of(lambda: _post(f"{base}/v1/select", {"budget": 3})) == 400
+
+    def test_unknown_target_is_422(self, served):
+        base, _ = served
+        assert (
+            _status_of(lambda: _post(f"{base}/v1/select", {"target": "GHOST"}))
+            == 422
+        )
+
+    def test_unknown_algorithm_is_422(self, served):
+        base, _ = served
+        assert (
+            _status_of(lambda: _post(f"{base}/v1/select", {"algorithm": "Oracle"}))
+            == 422
+        )
+
+    def test_exhausted_deadline_is_503(self, served):
+        base, _ = served
+        assert (
+            _status_of(
+                lambda: _post(
+                    f"{base}/v1/select",
+                    {"m": 7, "algorithm": "CompaReSetS+"},
+                    headers={"X-Deadline-Ms": "0.001"},
+                )
+            )
+            == 503
+        )
+
+    def test_bad_deadline_header_is_400(self, served):
+        base, _ = served
+        assert (
+            _status_of(
+                lambda: _post(
+                    f"{base}/v1/select", {"m": 2},
+                    headers={"X-Deadline-Ms": "soon"},
+                )
+            )
+            == 400
+        )
+
+    def test_unknown_path_is_404(self, served):
+        base, _ = served
+        assert _status_of(lambda: _get(f"{base}/v2/select")) == 404
+
+    def test_get_on_select_is_405(self, served):
+        base, _ = served
+        assert _status_of(lambda: _get(f"{base}/v1/select")) == 405
+
+
+class TestMetricsEndpoint:
+    def test_json_metrics_report_cache_activity(self, served):
+        base, _ = served
+        _post(f"{base}/v1/select", {"m": 4})
+        _post(f"{base}/v1/select", {"m": 4})
+        status, body, headers = _get(f"{base}/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        payload = json.loads(body)
+        assert payload["gauges"]["repro_cache_hit_ratio"] > 0.0
+        assert payload["counters"]['repro_requests_total{endpoint="select"}'] >= 2
+
+    def test_prometheus_rendering(self, served):
+        base, _ = served
+        _post(f"{base}/v1/select", {"m": 4})
+        status, body, headers = _get(f"{base}/metrics?format=prometheus")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        text = body.decode()
+        assert "# TYPE repro_requests_total counter" in text
+        assert "repro_cache_hit_ratio" in text
+
+    def test_accept_header_switches_to_prometheus(self, served):
+        base, _ = served
+        _, body, _ = _get(f"{base}/metrics", headers={"Accept": "text/plain"})
+        assert body.decode().startswith("# ")

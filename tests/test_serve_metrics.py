@@ -1,0 +1,114 @@
+"""Tests for serving metrics: counters, gauges, histograms, renderings."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.serve.metrics import Counter, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_thread_safety(self):
+        counter = Counter("c")
+
+        def bump():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+class TestHistogram:
+    def test_exact_percentiles_under_reservoir_size(self):
+        histogram = Histogram("h", reservoir_size=100)
+        for value in range(1, 101):
+            histogram.observe(value)
+        assert histogram.count == 100
+        assert histogram.sum == pytest.approx(5050)
+        assert histogram.percentile(0) == 1
+        assert histogram.percentile(50) == 50
+        assert histogram.percentile(100) == 100
+
+    def test_reservoir_stays_bounded_and_representative(self):
+        histogram = Histogram("h", reservoir_size=64)
+        for value in range(10_000):
+            histogram.observe(float(value))
+        assert histogram.count == 10_000
+        p50 = histogram.percentile(50)
+        # A uniform stream's sampled median lands near the true median.
+        assert 2000 < p50 < 8000
+
+    def test_deterministic_given_same_stream(self):
+        a, b = Histogram("h", reservoir_size=32), Histogram("h", reservoir_size=32)
+        for value in range(5000):
+            a.observe(value)
+            b.observe(value)
+        assert a.percentile(95) == b.percentile(95)
+
+    def test_empty_histogram(self):
+        histogram = Histogram("h")
+        assert histogram.percentile(50) == 0.0
+        assert histogram.snapshot()["count"] == 0
+
+    def test_percentile_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h").percentile(101)
+
+
+class TestRegistry:
+    def test_counter_identity_by_name_and_labels(self):
+        registry = MetricsRegistry()
+        a = registry.counter("requests", labels={"endpoint": "select"})
+        b = registry.counter("requests", labels={"endpoint": "select"})
+        c = registry.counter("requests", labels={"endpoint": "narrow"})
+        assert a is b and a is not c
+
+    def test_as_dict_is_json_ready(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        registry.gauge("ratio", lambda: 0.75)
+        registry.histogram("latency").observe(0.01)
+        payload = json.loads(json.dumps(registry.as_dict()))
+        assert payload["counters"]["hits"] == 3
+        assert payload["gauges"]["ratio"] == 0.75
+        assert payload["histograms"]["latency"]["count"] == 1
+
+    def test_prometheus_rendering(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_requests_total", "requests", {"endpoint": "select"}
+        ).inc(2)
+        registry.counter(
+            "repro_requests_total", "requests", {"endpoint": "narrow"}
+        ).inc(1)
+        registry.gauge("repro_cache_hit_ratio", lambda: 0.5, "hit ratio")
+        histogram = registry.histogram("repro_latency_seconds", "latency")
+        histogram.observe(0.25)
+        text = registry.render_prometheus()
+        assert '# TYPE repro_requests_total counter' in text
+        assert 'repro_requests_total{endpoint="select"} 2' in text
+        assert 'repro_requests_total{endpoint="narrow"} 1' in text
+        # One header per family even with several label sets.
+        assert text.count("# TYPE repro_requests_total") == 1
+        assert "repro_cache_hit_ratio 0.5" in text
+        assert 'repro_latency_seconds{quantile="0.5"} 0.25' in text
+        assert "repro_latency_seconds_count 1" in text
+        assert text.endswith("\n")
