@@ -1,6 +1,6 @@
 # Developer conveniences; everything also works as plain pytest/python calls.
 
-.PHONY: install test bench examples experiments serve-smoke ci lint clean
+.PHONY: install test bench examples experiments serve-smoke chaos-smoke ci lint clean
 
 install:
 	pip install -e .
@@ -20,6 +20,10 @@ experiments:
 # Boot the real HTTP server in a subprocess and hit every endpoint.
 serve-smoke:
 	python scripts/serve_smoke.py
+
+# Overload / failing-backend / reload / drain scenarios with SLO checks.
+chaos-smoke:
+	PYTHONPATH=src python -m repro.serve.chaos
 
 # Mirrors .github/workflows/ci.yml: the test matrix plus the lint job.
 # Lint is skipped with a notice when ruff is not installed locally.

@@ -1,0 +1,140 @@
+"""Bench: overload behaviour — served vs shed latency across load multiples.
+
+Drives the in-process `SelectionEngine` behind an `AdmissionController`
+with synchronized request bursts at 1x / 4x / 16x of the admission
+capacity (`max_pending`).  At 1x everything is served; past capacity the
+excess is shed with `Overloaded`.  The interesting numbers are the two
+latency distributions: served requests should stay flat as offered load
+grows (the queue is bounded, so queueing delay is bounded), and shed
+requests should be answered in well under a millisecond — refusing work
+must cost nothing.
+
+Writes ``results/BENCH_overload.json`` with per-multiple percentiles so
+PRs can compare shedding behaviour over time.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+from benchmarks.conftest import RESULTS_DIR, emit
+from repro.data.synthetic import generate_corpus
+from repro.serve.admission import AdmissionController, Overloaded
+from repro.serve.engine import SelectionEngine, SelectRequest
+from repro.serve.store import ItemStore
+
+CAPACITY = 8  # admission max_pending: the queue the bursts are sized against
+MULTIPLES = (1, 4, 16)
+WORKERS = 2
+
+
+def _percentiles(latencies_ms):
+    ordered = sorted(latencies_ms)
+
+    def pct(q):
+        if not ordered:
+            return 0.0
+        return ordered[min(len(ordered) - 1, int(q / 100 * (len(ordered) - 1)))]
+
+    return {"p50_ms": pct(50), "p95_ms": pct(95), "p99_ms": pct(99)}
+
+
+def _burst(engine, size, offset):
+    """Fire ``size`` distinct concurrent selects; split served/shed latencies."""
+    served: list[float] = []
+    shed: list[float] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(size)
+
+    def one(index: int) -> None:
+        # Distinct mu per request: no cache hit or single-flight coalescing.
+        request = SelectRequest(m=2, mu=0.1 + 0.001 * (offset + index))
+        barrier.wait()
+        begun = time.perf_counter()
+        try:
+            engine.select(request)
+        except Overloaded:
+            with lock:
+                shed.append((time.perf_counter() - begun) * 1e3)
+            return
+        with lock:
+            served.append((time.perf_counter() - begun) * 1e3)
+
+    threads = [
+        threading.Thread(target=one, args=(index,)) for index in range(size)
+    ]
+    begun = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - begun
+    return served, shed, wall
+
+
+def run_overload():
+    corpus = generate_corpus("Toy", scale=0.5, seed=7)
+    report = {"capacity": CAPACITY, "workers": WORKERS, "phases": {}}
+    offset = 0
+    for multiple in MULTIPLES:
+        # A fresh engine per multiple: no warm cache, no shared counters.
+        engine = SelectionEngine(
+            ItemStore(corpus),
+            workers=WORKERS,
+            cache_size=CAPACITY * 32,
+            admission=AdmissionController(max_pending=CAPACITY),
+        )
+        try:
+            size = CAPACITY * multiple
+            served, shed, wall = _burst(engine, size, offset)
+            offset += size
+            report["phases"][f"{multiple}x"] = {
+                "offered": size,
+                "served": len(served),
+                "shed": len(shed),
+                "shed_ratio": len(shed) / size,
+                "wall_s": round(wall, 3),
+                "served_latency": _percentiles(served),
+                "shed_latency": _percentiles(shed),
+            }
+        finally:
+            engine.close()
+    return report
+
+
+def render(report) -> str:
+    lines = [
+        f"Serving under overload (capacity {report['capacity']} pending, "
+        f"{report['workers']} workers)",
+        f"{'load':<5} {'offered':>8} {'served':>7} {'shed':>6} "
+        f"{'served p50':>11} {'served p99':>11} {'shed p99':>9}",
+    ]
+    for multiple in MULTIPLES:
+        row = report["phases"][f"{multiple}x"]
+        lines.append(
+            f"{str(multiple) + 'x':<5} {row['offered']:>8} {row['served']:>7} "
+            f"{row['shed']:>6} {row['served_latency']['p50_ms']:>9.1f}ms "
+            f"{row['served_latency']['p99_ms']:>9.1f}ms "
+            f"{row['shed_latency']['p99_ms']:>7.3f}ms"
+        )
+    return "\n".join(lines)
+
+
+def test_serve_overload(benchmark, capsys):
+    report = benchmark.pedantic(run_overload, rounds=1, iterations=1)
+
+    within = report["phases"]["1x"]
+    flooded = report["phases"]["16x"]
+    assert within["shed"] == 0, "within-capacity bursts must not shed"
+    assert flooded["shed"] > 0, "16x capacity must shed the excess"
+    assert flooded["served"] >= CAPACITY
+    # Refusal must be orders of magnitude cheaper than serving.
+    assert flooded["shed_latency"]["p99_ms"] < 10.0
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_overload.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    emit("serve_overload", render(report), capsys)

@@ -179,25 +179,34 @@ def _command_narrow(args: argparse.Namespace) -> int:
 
 
 def _command_serve(args: argparse.Namespace) -> int:
+    from repro.serve.admission import AdmissionController
     from repro.serve.engine import SelectionEngine
     from repro.serve.http import run_server
     from repro.serve.store import ItemStore
 
     corpus = _load_corpus_checked(args.corpus)
     store = ItemStore(corpus)
+    admission = AdmissionController(
+        max_pending=args.max_pending,
+        rate=args.rate_limit,
+        burst=args.rate_burst,
+    )
     engine = SelectionEngine(
         store,
         cache_size=args.cache_size,
         ttl=args.ttl,
         workers=args.workers,
         batch_window=args.batch_window,
+        admission=admission,
     )
     print(
         f"loaded {corpus.name}: {len(corpus.products)} products, "
         f"{len(corpus.reviews)} reviews (version {store.version})",
         flush=True,
     )
-    run_server(engine, args.host, args.port)
+    # run_server installs SIGTERM/SIGINT handlers that drain in-flight
+    # requests (up to --drain-timeout seconds) before the process exits.
+    run_server(engine, args.host, args.port, drain_timeout=args.drain_timeout)
     return 0
 
 
@@ -409,6 +418,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--batch-window", type=float, default=0.0, metavar="SECONDS",
         help="micro-batching window for same-target requests (0 disables)",
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=64,
+        help="admission bound on requests in flight; excess load is shed "
+             "with 429 (default: 64)",
+    )
+    serve.add_argument(
+        "--rate-limit", type=float, default=None, metavar="UNITS_PER_S",
+        help="token-bucket rate limit in request cost units per second "
+             "(default: unlimited)",
+    )
+    serve.add_argument(
+        "--rate-burst", type=float, default=None, metavar="UNITS",
+        help="token-bucket burst size (default: one second of tokens)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="on SIGTERM/SIGINT, wait this long for in-flight requests "
+             "before exiting (default: 30)",
     )
     serve.set_defaults(handler=_command_serve)
 

@@ -57,6 +57,12 @@ class FallbackOutcome:
         return self.attempts[0].status != "ok"
 
 
+def builtin_stage(name: str, time_limit: float) -> StageSolver:
+    """The named built-in stage solver (public so callers can wrap it —
+    the serving engine interposes circuit breakers per backend)."""
+    return _builtin_stage(name, time_limit)
+
+
 def _builtin_stage(name: str, time_limit: float) -> StageSolver:
     if name in ("milp", "bnb"):
         def solve(weights, k, target, deadline, _backend=name):

@@ -14,9 +14,20 @@ pieces compose bottom-up:
 * :mod:`repro.serve.engine` — :class:`SelectionEngine`: deadline-aware
   select / select_plus / narrow with provenance on every answer.
 * :mod:`repro.serve.http` — a stdlib ``ThreadingHTTPServer`` JSON API
-  (``/healthz``, ``/metrics``, ``/v1/select``, ``/v1/narrow``).
+  (``/healthz``, ``/metrics``, ``/v1/select``, ``/v1/narrow``,
+  ``/v1/reload``).
 * :mod:`repro.serve.metrics` — counters and reservoir histograms with
   JSON and Prometheus renderings.
+* :mod:`repro.serve.admission` — :class:`AdmissionController`: bounded
+  pending queue + token-bucket rate limiting; sheds excess load with
+  typed :class:`Overloaded` errors (HTTP 429).
+* :mod:`repro.serve.breaker` — per-backend :class:`CircuitBreaker`
+  tripping failing solvers out of the narrow fallback chain.
+* :mod:`repro.serve.health` — the healthy → degraded → draining state
+  machine behind ``/healthz`` and graceful shutdown.
+* :mod:`repro.serve.chaos` — deterministic in-process chaos harness
+  (overload bursts, failing backends, mid-flight reloads) with SLO
+  assertions; ``python -m repro.serve.chaos`` runs the default suite.
 
 In-process quickstart (no sockets)::
 
@@ -29,10 +40,19 @@ In-process quickstart (no sockets)::
     response.provenance.cache         # "miss" first, then "hit"
 """
 
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionStats,
+    Overloaded,
+    TokenBucket,
+    request_cost,
+)
 from repro.serve.batch import BatchClosed, BatchStats, MicroBatcher
+from repro.serve.breaker import BreakerBoard, CircuitBreaker, CircuitOpen
 from repro.serve.cache import CacheStats, ResultCache
 from repro.serve.engine import (
     EngineClosed,
+    EngineDraining,
     EngineResponse,
     InvalidRequest,
     NarrowRequest,
@@ -41,24 +61,35 @@ from repro.serve.engine import (
     SelectRequest,
     selection_payload,
 )
+from repro.serve.health import HealthMonitor
 from repro.serve.http import ServingHTTPServer, encode_json, make_server, run_server
 from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.serve.store import (
+    CorpusValidationError,
     InstanceArtifacts,
     ItemStore,
+    ReloadInProgress,
     UnknownTargetError,
     UnviableTargetError,
     corpus_fingerprint,
 )
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionStats",
     "BatchClosed",
     "BatchStats",
+    "BreakerBoard",
     "CacheStats",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "CorpusValidationError",
     "Counter",
     "EngineClosed",
+    "EngineDraining",
     "EngineResponse",
     "Gauge",
+    "HealthMonitor",
     "Histogram",
     "InstanceArtifacts",
     "InvalidRequest",
@@ -66,16 +97,20 @@ __all__ = [
     "MetricsRegistry",
     "MicroBatcher",
     "NarrowRequest",
+    "Overloaded",
     "Provenance",
+    "ReloadInProgress",
     "ResultCache",
     "SelectRequest",
     "SelectionEngine",
     "ServingHTTPServer",
+    "TokenBucket",
     "UnknownTargetError",
     "UnviableTargetError",
     "corpus_fingerprint",
     "encode_json",
     "make_server",
+    "request_cost",
     "run_server",
     "selection_payload",
 ]

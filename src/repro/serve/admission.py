@@ -1,0 +1,255 @@
+"""Admission control: shed excess load *before* it burns a worker.
+
+The serving worker pool bounds how many solves execute, but nothing in
+PR 2 bounds how many requests pile up behind it — a 16x traffic burst
+just queues, every queued request eventually times out, and the server
+does maximal work for zero successful answers.  The classic fix is to
+reject early and cheaply:
+
+* a **bounded pending count** — at most ``max_pending`` requests may be
+  inside the engine (queued or executing) at once; request
+  ``max_pending + 1`` is refused in microseconds with a typed
+  :class:`Overloaded` carrying a ``retry_after`` hint, which the HTTP
+  layer renders as ``429`` + ``Retry-After``;
+* a **token bucket** rate limiter — sustained arrival rate is capped at
+  ``rate`` cost-units/second with bursts up to ``burst``, so a flood is
+  smoothed instead of admitted until the queue bound trips;
+* **per-request cost estimates** — :func:`request_cost` charges heavier
+  requests (large ``m``, narrowing with many stages, big corpora) more
+  tokens, so one expensive ``narrow`` spends the budget of several
+  cheap ``select`` calls.
+
+Everything takes an injectable monotonic ``clock`` so tests are
+deterministic and sleep-free.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+
+class Overloaded(RuntimeError):
+    """The request was shed by admission control (HTTP 429).
+
+    ``retry_after`` is the server's hint, in seconds, for when capacity
+    is expected again; ``reason`` is ``"queue_full"`` or
+    ``"rate_limited"`` (a metrics label, not free text).
+    """
+
+    def __init__(
+        self, message: str, *, retry_after: float = 1.0, reason: str = "queue_full"
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = max(0.0, retry_after)
+        self.reason = reason
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionStats:
+    """Counter snapshot for ``/metrics`` and the chaos harness."""
+
+    admitted: int
+    shed_queue: int
+    shed_rate: int
+    inflight: int
+    max_pending: int
+    tokens: float
+
+    @property
+    def shed(self) -> int:
+        return self.shed_queue + self.shed_rate
+
+    @property
+    def shed_ratio(self) -> float:
+        """Fraction of offered requests that were refused."""
+        offered = self.admitted + self.shed
+        return self.shed / offered if offered else 0.0
+
+    @property
+    def saturation(self) -> float:
+        """Pending-queue fullness in [0, 1]."""
+        return self.inflight / self.max_pending if self.max_pending else 0.0
+
+
+class TokenBucket:
+    """A standard token bucket on an injectable monotonic clock.
+
+    ``rate=None`` disables rate limiting (the bucket always grants).
+    ``burst`` defaults to one second of tokens.  Not thread-safe on its
+    own — :class:`AdmissionController` serialises access.
+    """
+
+    def __init__(
+        self,
+        rate: float | None,
+        burst: float | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate is not None and rate <= 0:
+            raise ValueError(f"rate must be positive or None, got {rate}")
+        self.rate = rate
+        self.burst = float(burst if burst is not None else (rate or 0.0))
+        if rate is not None and self.burst <= 0:
+            raise ValueError(f"burst must be positive, got {self.burst}")
+        self._clock = clock
+        self._tokens = self.burst
+        self._refilled_at = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._refilled_at)
+        self._refilled_at = now
+        if self.rate is not None:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently available (``inf`` when unlimited)."""
+        if self.rate is None:
+            return math.inf
+        self._refill()
+        return self._tokens
+
+    def try_take(self, cost: float) -> float:
+        """Take ``cost`` tokens; return 0.0 on success, else seconds to wait.
+
+        On refusal no tokens are consumed and the return value is the
+        time until ``cost`` tokens will have accumulated — the natural
+        ``Retry-After`` hint.
+        """
+        if cost < 0:
+            raise ValueError(f"cost must be >= 0, got {cost}")
+        if self.rate is None:
+            return 0.0
+        self._refill()
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return 0.0
+        return (min(cost, self.burst) - self._tokens) / self.rate
+
+
+def request_cost(
+    endpoint: str, m: int, k: int = 0, stages: int = 0, reviews: int = 0
+) -> float:
+    """Heuristic cost units for one request.
+
+    A plain ``select`` with the default ``m=3`` is ~1 unit.  Larger
+    review budgets, narrowing (which adds a graph build plus up to
+    ``stages`` solver attempts), and bigger corpora all scale the
+    estimate up.  The absolute numbers only need to be *relatively*
+    right — the token bucket's ``rate`` is calibrated in the same units.
+    """
+    cost = 0.5 + m / 6.0
+    if endpoint == "narrow":
+        cost += 0.25 * max(1, k) + 0.25 * max(1, stages)
+    if reviews > 0:
+        # Gentle size scaling: a 10x bigger corpus costs ~1.4x.
+        cost *= 1.0 + math.log10(max(reviews, 10)) / 6.0
+    return cost
+
+
+class _Admission:
+    """Context manager for one admitted request's pending-queue slot."""
+
+    __slots__ = ("_controller", "_released")
+
+    def __init__(self, controller: "AdmissionController") -> None:
+        self._controller = controller
+        self._released = False
+
+    def __enter__(self) -> "_Admission":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._controller._release()
+
+
+class AdmissionController:
+    """Bounded pending queue + token bucket in front of the engine.
+
+    :meth:`admit` either returns a slot (use it as a context manager so
+    the pending count is released on every exit path) or raises
+    :class:`Overloaded` without blocking — shedding is O(1) and never
+    waits on a solve.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_pending: int = 64,
+        rate: float | None = None,
+        burst: float | None = None,
+        queue_retry_after: float = 0.1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        if queue_retry_after < 0:
+            raise ValueError("queue_retry_after must be >= 0")
+        self.max_pending = max_pending
+        self.queue_retry_after = queue_retry_after
+        self._bucket = TokenBucket(rate, burst, clock=clock)
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._admitted = 0
+        self._shed_queue = 0
+        self._shed_rate = 0
+
+    def admit(self, cost: float = 1.0) -> _Admission:
+        """Admit one request of ``cost`` units or raise :class:`Overloaded`."""
+        with self._lock:
+            if self._inflight >= self.max_pending:
+                self._shed_queue += 1
+                raise Overloaded(
+                    f"pending queue full ({self.max_pending} requests in flight)",
+                    retry_after=self.queue_retry_after,
+                    reason="queue_full",
+                )
+            wait = self._bucket.try_take(cost)
+            if wait > 0:
+                self._shed_rate += 1
+                raise Overloaded(
+                    f"rate limit exceeded (cost {cost:.2f}, "
+                    f"~{wait:.3f}s until tokens refill)",
+                    retry_after=wait,
+                    reason="rate_limited",
+                )
+            self._inflight += 1
+            self._admitted += 1
+        return _Admission(self)
+
+    def _release(self) -> None:
+        with self._lock:
+            self._inflight -= 1
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def saturated(self) -> bool:
+        """Whether the pending queue is at its bound right now."""
+        with self._lock:
+            return self._inflight >= self.max_pending
+
+    def stats(self) -> AdmissionStats:
+        with self._lock:
+            tokens = self._bucket.tokens
+            return AdmissionStats(
+                admitted=self._admitted,
+                shed_queue=self._shed_queue,
+                shed_rate=self._shed_rate,
+                inflight=self._inflight,
+                max_pending=self.max_pending,
+                tokens=tokens if math.isfinite(tokens) else -1.0,
+            )

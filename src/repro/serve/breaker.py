@@ -1,0 +1,247 @@
+"""Per-backend circuit breakers for the narrow fallback chain.
+
+The PR-1 :class:`~repro.resilience.fallback.FallbackChain` already
+degrades a *single* request past a failing solver stage — but every
+request still pays for the doomed attempt (often a full solver timeout)
+before falling through.  Under load that is exactly backwards: a backend
+that has failed its last N attempts should be skipped *immediately* so
+requests land on the cheaper stage without burning their deadline.
+
+:class:`CircuitBreaker` is the textbook three-state machine:
+
+* **closed** — calls flow through; consecutive failures are counted.
+* **open** — after ``failure_threshold`` consecutive failures the
+  breaker trips; calls are refused instantly for ``recovery_time``
+  seconds.
+* **half-open** — after ``recovery_time`` a limited number of probe
+  calls are let through; one success closes the breaker, one failure
+  re-opens it.
+
+All timing runs on an injectable monotonic clock, so the full state
+machine is testable without sleeping.  :class:`BreakerBoard` keeps one
+breaker per backend name, exposes their states to ``/metrics``, and
+wraps stage solvers for the engine.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Mapping
+
+
+class CircuitOpen(RuntimeError):
+    """A call was refused because the backend's breaker is open."""
+
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Gauge encoding used by ``/metrics`` (ordered by severity).
+STATE_CODES: Mapping[str, int] = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+class CircuitBreaker:
+    """Three-state circuit breaker on a monotonic clock."""
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        recovery_time: float = 30.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[[str, str], None] | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if recovery_time <= 0:
+            raise ValueError(f"recovery_time must be positive, got {recovery_time}")
+        if half_open_probes < 1:
+            raise ValueError(
+                f"half_open_probes must be >= 1, got {half_open_probes}"
+            )
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probes = 0
+        self._transitions = 0
+
+    def _transition(self, new_state: str) -> None:
+        # Caller holds self._lock.
+        old = self._state
+        if old == new_state:
+            return
+        self._state = new_state
+        self._transitions += 1
+        if self._on_transition is not None:
+            self._on_transition(old, new_state)
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    @property
+    def transitions(self) -> int:
+        with self._lock:
+            return self._transitions
+
+    def _maybe_half_open(self) -> None:
+        # Caller holds self._lock.
+        if (
+            self._state == OPEN
+            and self._clock() - self._opened_at >= self.recovery_time
+        ):
+            self._transition(HALF_OPEN)
+            self._probes = 0
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now.
+
+        In half-open state this also *claims* a probe slot, so at most
+        ``half_open_probes`` concurrent callers test the backend.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and self._probes < self.half_open_probes:
+                self._probes += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            if self._state != CLOSED:
+                self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                # The probe failed: straight back to open, fresh timer.
+                self._transition(OPEN)
+                self._opened_at = self._clock()
+                self._failures = self.failure_threshold
+                return
+            self._failures += 1
+            if self._state == CLOSED and self._failures >= self.failure_threshold:
+                self._transition(OPEN)
+                self._opened_at = self._clock()
+
+
+class BreakerBoard:
+    """One :class:`CircuitBreaker` per backend name, metrics-friendly.
+
+    ``transition_hook(backend, old, new)`` fires on every state change
+    (the engine feeds it into a ``repro_breaker_transitions_total``
+    counter).  Breakers are created lazily on first use and shared
+    thereafter.
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        recovery_time: float = 30.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+        transition_hook: Callable[[str, str, str], None] | None = None,
+    ) -> None:
+        self._kwargs = {
+            "failure_threshold": failure_threshold,
+            "recovery_time": recovery_time,
+            "half_open_probes": half_open_probes,
+            "clock": clock,
+        }
+        self._transition_hook = transition_hook
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def add_transition_hook(
+        self, hook: Callable[[str, str, str], None]
+    ) -> None:
+        """Chain ``hook`` after any existing transition hook.
+
+        The engine calls this on whatever board it is handed, so breaker
+        transitions reach the metrics registry even when the board was
+        constructed by the caller.  Only breakers created from now on
+        observe the new hook; breakers already in the board keep their
+        original callbacks.
+        """
+        with self._lock:
+            existing = self._transition_hook
+            if existing is None:
+                self._transition_hook = hook
+                return
+
+            def chained(backend: str, old: str, new: str) -> None:
+                existing(backend, old, new)
+                hook(backend, old, new)
+
+            self._transition_hook = chained
+
+    def breaker(self, backend: str) -> CircuitBreaker:
+        with self._lock:
+            existing = self._breakers.get(backend)
+            if existing is not None:
+                return existing
+            hook = None
+            if self._transition_hook is not None:
+                outer = self._transition_hook
+
+                def hook(old: str, new: str, _backend: str = backend) -> None:
+                    outer(_backend, old, new)
+
+            created = CircuitBreaker(on_transition=hook, **self._kwargs)
+            self._breakers[backend] = created
+            return created
+
+    def states(self) -> dict[str, str]:
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {name: breaker.state for name, breaker in breakers.items()}
+
+    def open_backends(self) -> tuple[str, ...]:
+        """Backends currently refusing calls (open, sorted for stability)."""
+        return tuple(
+            sorted(name for name, state in self.states().items() if state == OPEN)
+        )
+
+    def wrap(self, backend: str, solver, *, skipped: list | None = None, gate: bool = True):
+        """Wrap a fallback-stage solver with this board's breaker.
+
+        A refused call raises :class:`CircuitOpen` immediately (the
+        fallback chain records it and moves to the next stage);
+        ``skipped`` collects the names of backends skipped that way for
+        provenance.  ``gate=False`` disables the refusal (used for the
+        terminal stage, which must always answer) but still records
+        success/failure so the breaker tracks its health.
+        """
+        breaker = self.breaker(backend)
+
+        def guarded(weights, k, target, deadline):
+            if gate and not breaker.allow():
+                if skipped is not None:
+                    skipped.append(backend)
+                raise CircuitOpen(f"circuit open for backend {backend!r}")
+            try:
+                solution = solver(weights, k, target, deadline)
+            except Exception:
+                breaker.record_failure()
+                raise
+            breaker.record_success()
+            return solution
+
+        return guarded

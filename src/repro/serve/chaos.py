@@ -1,0 +1,470 @@
+"""Deterministic chaos harness for the serving layer.
+
+Production claims — "sheds load fast", "degrades instead of timing out",
+"drains cleanly" — are only trustworthy if a test can provoke the bad
+weather on demand.  This module scripts it, entirely in-process: a real
+:class:`~repro.serve.http.ServingHTTPServer` on an ephemeral port, a
+barrier-synchronised burst of client threads, fault-injected solver
+backends (reusing the PR-1 :class:`~repro.resilience.faults.FaultSpec`
+vocabulary), optional mid-flight corpus reloads, and a graceful drain
+under load.  Every scenario then checks its SLOs:
+
+* zero uncaught 500s (and zero transport errors);
+* every accepted request finishes within its deadline;
+* shed requests are answered 429 fast (server-side p99 < 10 ms);
+* an injected failing backend trips its circuit breaker, visibly in
+  ``/metrics``;
+* a mid-flight reload serves every response from exactly one corpus
+  generation (old or new, never a hybrid);
+* a drain under load completes every in-flight request before closing.
+
+Scenarios are plain data (:class:`ChaosScenario`), the default suite is
+:func:`default_suite`, and ``python -m repro.serve.chaos`` runs it
+headlessly for ``make chaos-smoke`` / CI, exiting non-zero on any SLO
+violation.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.data.io import save_corpus
+from repro.data.synthetic import generate_corpus
+from repro.resilience.fallback import builtin_stage
+from repro.resilience.faults import FaultSpec, InjectedFault
+from repro.serve.admission import AdmissionController
+from repro.serve.engine import SelectionEngine
+from repro.serve.http import make_server
+from repro.serve.store import ItemStore
+
+#: Statuses the serving layer is allowed to answer under chaos.
+_EXPECTED_STATUSES = frozenset({200, 429, 503})
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One scripted bad-weather episode.
+
+    ``burst`` client threads fire one request each, released together by
+    a barrier against an engine whose pending queue holds
+    ``max_pending`` requests — so ``burst / max_pending`` is the
+    capacity multiple.  ``backend_faults`` maps fallback-stage names to
+    :class:`FaultSpec` behaviours (crash / slow / hang / flaky) injected
+    into the solver chain.
+    """
+
+    name: str
+    burst: int = 32
+    max_pending: int = 8
+    workers: int = 2
+    endpoint: str = "narrow"  # "narrow" | "select"
+    deadline_ms: float = 10_000.0
+    backend_faults: Mapping[str, FaultSpec] = field(default_factory=dict)
+    expect_shed: bool = True
+    reload_midway: bool = False
+    drain_midway: bool = False
+    shed_p99_budget_ms: float = 10.0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+        if self.endpoint not in ("narrow", "select"):
+            raise ValueError(f"endpoint must be narrow|select, got {self.endpoint}")
+        if self.reload_midway and self.drain_midway:
+            raise ValueError("pick one mid-flight action per scenario")
+
+
+@dataclass(frozen=True, slots=True)
+class RequestOutcome:
+    """What one chaos client observed."""
+
+    status: int  # HTTP status; -1 = transport error
+    latency_ms: float
+    corpus_version: str | None = None
+    error: str | None = None
+
+
+@dataclass
+class ChaosReport:
+    """Scenario outcome plus SLO verdicts."""
+
+    scenario: str
+    total: int
+    ok: int
+    shed: int
+    unavailable: int
+    transport_errors: int
+    ok_p99_ms: float
+    shed_server_p99_ms: float
+    breaker_transitions: int
+    versions: tuple[str, ...]
+    drained: bool | None
+    violations: list[str]
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        line = (
+            f"[{verdict}] {self.scenario}: {self.total} offered, "
+            f"{self.ok} ok, {self.shed} shed, {self.unavailable} unavailable; "
+            f"ok p99 {self.ok_p99_ms:.1f} ms, "
+            f"shed p99 {self.shed_server_p99_ms:.2f} ms (server), "
+            f"breaker transitions {self.breaker_transitions}"
+        )
+        if self.drained is not None:
+            line += f", drained={self.drained}"
+        for violation in self.violations:
+            line += f"\n    SLO violation: {violation}"
+        return line
+
+
+class _AttemptCounter:
+    """In-process attempt counts for flaky backend faults."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {}
+
+    def next(self, key: str) -> int:
+        with self._lock:
+            self._counts[key] = self._counts.get(key, 0) + 1
+            return self._counts[key]
+
+
+def faulted_stage(name: str, spec: FaultSpec, *, time_limit: float = 60.0,
+                  attempts: _AttemptCounter | None = None):
+    """A fallback-stage solver misbehaving per ``spec`` before delegating.
+
+    ``crash`` raises :class:`InjectedFault` always; ``flaky`` raises for
+    the first ``fail_attempts`` calls; ``slow``/``hang`` sleep
+    ``seconds`` first, then solve for real.  The same :class:`FaultSpec`
+    vocabulary the PR-1 selector-level injection uses, applied one layer
+    down.
+    """
+    inner = builtin_stage(name, time_limit)
+    counter = attempts or _AttemptCounter()
+
+    def solve(weights, k, target, deadline):
+        if spec.kind == "crash":
+            raise InjectedFault(f"chaos: injected crash in backend {name!r}")
+        if spec.kind == "flaky":
+            attempt = counter.next(name)
+            if attempt <= spec.fail_attempts:
+                raise InjectedFault(
+                    f"chaos: injected flaky failure in backend {name!r} "
+                    f"(attempt {attempt})"
+                )
+        if spec.kind in ("slow", "hang") and spec.seconds > 0:
+            time.sleep(spec.seconds)
+        return inner(weights, k, target, deadline)
+
+    return solve
+
+
+def default_suite() -> tuple[ChaosScenario, ...]:
+    """The scenarios ``make chaos-smoke`` and CI run."""
+    return (
+        ChaosScenario(
+            name="1x-steady-within-capacity",
+            burst=8,
+            max_pending=8,
+            expect_shed=False,
+        ),
+        ChaosScenario(
+            name="16x-burst-one-failing-backend",
+            burst=128,
+            max_pending=8,
+            backend_faults={"milp": FaultSpec(kind="crash")},
+        ),
+        ChaosScenario(
+            name="reload-under-load",
+            burst=32,
+            max_pending=32,
+            reload_midway=True,
+            expect_shed=False,
+        ),
+        ChaosScenario(
+            name="graceful-shutdown-under-load",
+            burst=32,
+            max_pending=32,
+            drain_midway=True,
+            expect_shed=False,
+        ),
+    )
+
+
+def _post(base: str, path: str, body: dict, deadline_ms: float | None = None):
+    headers = {"Content-Type": "application/json"}
+    if deadline_ms is not None:
+        headers["X-Deadline-Ms"] = str(deadline_ms)
+    request = urllib.request.Request(
+        f"{base}{path}", data=json.dumps(body).encode(), headers=headers
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return response.status, json.loads(response.read())
+
+
+def _request_body(scenario: ChaosScenario, index: int) -> dict:
+    # Distinct per index so neither the result cache nor single-flight
+    # absorbs the burst: mu varies the objective without invalidating
+    # the store's precomputed artifacts.
+    body: dict = {"m": 2, "mu": 0.1 + 0.001 * index}
+    if scenario.endpoint == "narrow":
+        body["k"] = 3
+        body["stages"] = ["milp", "bnb", "greedy"]
+    return body
+
+
+def _client(
+    base: str,
+    scenario: ChaosScenario,
+    index: int,
+    barrier: threading.Barrier,
+    outcomes: list[RequestOutcome | None],
+) -> None:
+    body = _request_body(scenario, index)
+    path = f"/v1/{scenario.endpoint}"
+    barrier.wait()
+    begun = time.perf_counter()
+    try:
+        status, payload = _post(base, path, body, scenario.deadline_ms)
+    except urllib.error.HTTPError as error:
+        latency = (time.perf_counter() - begun) * 1e3
+        error.read()  # drain the body so the connection can be reused
+        outcomes[index] = RequestOutcome(status=error.code, latency_ms=latency)
+        return
+    except Exception as exc:
+        latency = (time.perf_counter() - begun) * 1e3
+        outcomes[index] = RequestOutcome(
+            status=-1, latency_ms=latency, error=f"{type(exc).__name__}: {exc}"
+        )
+        return
+    latency = (time.perf_counter() - begun) * 1e3
+    version = payload.get("provenance", {}).get("corpus_version")
+    outcomes[index] = RequestOutcome(
+        status=status, latency_ms=latency, corpus_version=version
+    )
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(q / 100 * (len(ordered) - 1)))]
+
+
+def run_scenario(scenario: ChaosScenario) -> ChaosReport:
+    """Execute one scenario against a fresh engine + real HTTP server."""
+    corpus = generate_corpus("Toy", scale=0.3, seed=scenario.seed)
+    store = ItemStore(corpus)
+    initial_version = store.version
+    attempts = _AttemptCounter()
+    overrides = {
+        name: faulted_stage(name, spec, attempts=attempts)
+        for name, spec in scenario.backend_faults.items()
+    }
+    engine = SelectionEngine(
+        store,
+        workers=scenario.workers,
+        cache_size=max(16, scenario.burst),
+        admission=AdmissionController(max_pending=scenario.max_pending),
+        stage_solvers=overrides,
+    )
+    server = make_server(engine, host="127.0.0.1", port=0)
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    serve_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    serve_thread.start()
+
+    outcomes: list[RequestOutcome | None] = [None] * scenario.burst
+    # +1 party: the orchestrator releases the burst and then acts.
+    barrier = threading.Barrier(scenario.burst + 1)
+    clients = [
+        threading.Thread(
+            target=_client, args=(base, scenario, index, barrier, outcomes)
+        )
+        for index in range(scenario.burst)
+    ]
+    drained: bool | None = None
+    reload_result: tuple[int, dict] | None = None
+    new_version: str | None = None
+    metrics: dict = {}
+    try:
+        for client in clients:
+            client.start()
+        barrier.wait()
+        if scenario.reload_midway:
+            time.sleep(0.05)  # let the burst land on the old generation
+            fresh = generate_corpus("Toy", scale=0.3, seed=scenario.seed + 1)
+            with tempfile.TemporaryDirectory() as tmp:
+                path = Path(tmp) / "fresh.jsonl"
+                save_corpus(fresh, path)
+                reload_result = _post(base, "/v1/reload", {"path": str(path)})
+            if reload_result[0] == 200:
+                new_version = reload_result[1]["version"]
+        elif scenario.drain_midway:
+            time.sleep(0.05)  # let the burst get in flight first
+            drained = engine.drain(timeout=60.0)
+        for client in clients:
+            client.join(timeout=120.0)
+        metrics = engine.metrics.as_dict()
+    finally:
+        server.shutdown()
+        server.server_close()
+        engine.close()
+
+    return _evaluate(
+        scenario,
+        [outcome for outcome in outcomes if outcome is not None],
+        hanging=sum(outcome is None for outcome in outcomes),
+        metrics=metrics,
+        initial_version=initial_version,
+        new_version=new_version,
+        reload_result=reload_result,
+        drained=drained,
+        inflight_after=engine.admission.inflight,
+    )
+
+
+def _evaluate(
+    scenario: ChaosScenario,
+    outcomes: list[RequestOutcome],
+    *,
+    hanging: int,
+    metrics: dict,
+    initial_version: str,
+    new_version: str | None,
+    reload_result: tuple[int, dict] | None,
+    drained: bool | None,
+    inflight_after: int,
+) -> ChaosReport:
+    violations: list[str] = []
+    ok = [outcome for outcome in outcomes if outcome.status == 200]
+    shed = [outcome for outcome in outcomes if outcome.status == 429]
+    unavailable = [outcome for outcome in outcomes if outcome.status == 503]
+    unexpected = [
+        outcome for outcome in outcomes if outcome.status not in _EXPECTED_STATUSES
+    ]
+
+    if hanging:
+        violations.append(f"{hanging} client(s) never completed")
+    for outcome in unexpected:
+        violations.append(
+            f"unexpected response status {outcome.status}"
+            + (f" ({outcome.error})" if outcome.error else "")
+        )
+    if not ok:
+        violations.append("no request was served successfully")
+    over_deadline = [
+        outcome for outcome in ok if outcome.latency_ms > scenario.deadline_ms
+    ]
+    if over_deadline:
+        worst = max(outcome.latency_ms for outcome in over_deadline)
+        violations.append(
+            f"{len(over_deadline)} accepted request(s) exceeded their "
+            f"{scenario.deadline_ms:.0f} ms deadline (worst {worst:.0f} ms)"
+        )
+    if scenario.expect_shed and not shed:
+        violations.append("expected overload shedding but nothing was shed")
+    if not scenario.expect_shed and shed:
+        violations.append(f"{len(shed)} request(s) shed within capacity")
+
+    histograms = metrics.get("histograms", {})
+    shed_snapshot = histograms.get("repro_shed_latency_seconds", {})
+    shed_server_p99_ms = shed_snapshot.get("p99", 0.0) * 1e3
+    if shed and shed_server_p99_ms > scenario.shed_p99_budget_ms:
+        violations.append(
+            f"shed p99 {shed_server_p99_ms:.2f} ms exceeds the "
+            f"{scenario.shed_p99_budget_ms:.0f} ms budget"
+        )
+
+    breaker_transitions = sum(
+        value
+        for key, value in metrics.get("counters", {}).items()
+        if key.startswith("repro_breaker_transitions_total")
+    )
+    if scenario.backend_faults:
+        faulty = sorted(scenario.backend_faults)
+        if breaker_transitions < 1:
+            violations.append(
+                f"no breaker transition recorded for faulty backend(s) {faulty}"
+            )
+        gauges = metrics.get("gauges", {})
+        visible = any(
+            key.startswith("repro_breaker_state") and f'backend="{name}"' in key
+            for key in gauges
+            for name in faulty
+        )
+        if not visible:
+            violations.append("breaker state gauges missing from /metrics")
+
+    versions = sorted(
+        {outcome.corpus_version for outcome in ok if outcome.corpus_version}
+    )
+    if scenario.reload_midway:
+        if reload_result is None or reload_result[0] != 200:
+            violations.append(f"mid-flight reload failed: {reload_result}")
+        allowed = {initial_version} | ({new_version} if new_version else set())
+        hybrids = [version for version in versions if version not in allowed]
+        if hybrids:
+            violations.append(f"responses from unknown generation(s): {hybrids}")
+    if scenario.drain_midway:
+        if drained is not True:
+            violations.append(f"drain did not complete cleanly (drained={drained})")
+        if inflight_after != 0:
+            violations.append(
+                f"{inflight_after} request(s) still in flight after drain"
+            )
+
+    return ChaosReport(
+        scenario=scenario.name,
+        total=len(outcomes) + hanging,
+        ok=len(ok),
+        shed=len(shed),
+        unavailable=len(unavailable),
+        transport_errors=len([o for o in outcomes if o.status == -1]),
+        ok_p99_ms=_percentile([outcome.latency_ms for outcome in ok], 99),
+        shed_server_p99_ms=shed_server_p99_ms,
+        breaker_transitions=int(breaker_transitions),
+        versions=tuple(versions),
+        drained=drained,
+        violations=violations,
+    )
+
+
+def run_suite(
+    scenarios: tuple[ChaosScenario, ...] | None = None,
+) -> list[ChaosReport]:
+    """Run every scenario (fresh engine each) and collect reports."""
+    return [run_scenario(scenario) for scenario in (scenarios or default_suite())]
+
+
+def main() -> int:
+    """Headless entry point for ``make chaos-smoke`` / CI."""
+    reports = []
+    for scenario in default_suite():
+        report = run_scenario(scenario)
+        print(report.summary(), flush=True)
+        reports.append(report)
+    failed = [report for report in reports if not report.passed]
+    print(
+        f"chaos-smoke: {len(reports) - len(failed)}/{len(reports)} scenarios passed",
+        flush=True,
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by make chaos-smoke
+    raise SystemExit(main())

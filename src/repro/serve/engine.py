@@ -27,22 +27,33 @@ as the HTTP server uses it; no sockets are involved until
 from __future__ import annotations
 
 import time
+from collections.abc import Mapping
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, replace
+from pathlib import Path
 
 from repro.core.compare_sets import CompareSetsSelector
 from repro.core.compare_sets_plus import CompareSetsPlusSelector
 from repro.core.problem import SelectionConfig
 from repro.core.selection import SELECTORS, SelectionResult, make_selector
 from repro.core.vectors import OpinionScheme
+from repro.data.io import load_corpus
 from repro.graph.similarity import build_item_graph
 from repro.resilience.deadline import Deadline, DeadlineExceeded, resolve_deadline
-from repro.resilience.fallback import DEFAULT_STAGES, FallbackChain
+from repro.resilience.fallback import (
+    DEFAULT_STAGES,
+    FallbackChain,
+    StageSolver,
+    builtin_stage,
+)
+from repro.serve.admission import AdmissionController, Overloaded, request_cost
 from repro.serve.batch import MicroBatcher
+from repro.serve.breaker import STATE_CODES, BreakerBoard
 from repro.serve.cache import ResultCache
+from repro.serve.health import HealthMonitor
 from repro.serve.metrics import MetricsRegistry
-from repro.serve.store import InstanceArtifacts, ItemStore
+from repro.serve.store import CorpusValidationError, InstanceArtifacts, ItemStore
 
 
 class InvalidRequest(ValueError):
@@ -51,6 +62,10 @@ class InvalidRequest(ValueError):
 
 class EngineClosed(RuntimeError):
     """The engine was shut down (HTTP 503)."""
+
+
+class EngineDraining(EngineClosed):
+    """The engine is draining for graceful shutdown (HTTP 503 + Retry-After)."""
 
 
 _SCHEMES = {scheme.value: scheme for scheme in OpinionScheme}
@@ -139,6 +154,7 @@ class Provenance:
     proven_optimal: bool | None = None
     fallback_depth: int | None = None
     degraded: bool = False
+    breaker_skipped: tuple[str, ...] = ()
 
     def as_dict(self) -> dict[str, object]:
         payload: dict[str, object] = {
@@ -152,6 +168,8 @@ class Provenance:
             payload["proven_optimal"] = self.proven_optimal
         if self.fallback_depth is not None:
             payload["fallback_depth"] = self.fallback_depth
+        if self.breaker_skipped:
+            payload["breaker_skipped"] = list(self.breaker_skipped)
         return payload
 
 
@@ -214,6 +232,7 @@ class _SolvedNarrow:
     proven_optimal: bool
     fallback_depth: int
     degraded: bool
+    breaker_skipped: tuple[str, ...] = ()
 
 
 class SelectionEngine:
@@ -222,6 +241,13 @@ class SelectionEngine:
     ``batch_window`` > 0 enables micro-batching: concurrent cache-missing
     requests for the same target are grouped for up to that many seconds
     and solved in one handler call against shared artifacts.
+
+    Overload protection: ``admission`` (default: a generous
+    :class:`AdmissionController`) sheds excess requests with
+    :class:`~repro.serve.admission.Overloaded` before they reach the
+    worker pool; ``breakers`` trips failing narrow backends out of the
+    fallback chain; ``stage_solvers`` overrides named fallback stages
+    (the chaos harness injects faulty backends through it).
     """
 
     def __init__(
@@ -234,12 +260,26 @@ class SelectionEngine:
         batch_window: float = 0.0,
         batch_max: int = 8,
         metrics: MetricsRegistry | None = None,
+        admission: AdmissionController | None = None,
+        breakers: BreakerBoard | None = None,
+        stage_solvers: Mapping[str, StageSolver] | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         self.store = store
         self.cache = ResultCache(max_size=cache_size, ttl=ttl)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.admission = (
+            admission
+            if admission is not None
+            else AdmissionController(max_pending=workers * 64)
+        )
+        self.breakers = breakers if breakers is not None else BreakerBoard()
+        # Hook the board (own or caller-supplied) into the metrics
+        # registry so breaker transitions are always visible in /metrics.
+        self.breakers.add_transition_hook(self._on_breaker_transition)
+        self.health = HealthMonitor()
+        self._stage_solvers = dict(stage_solvers or {})
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve"
         )
@@ -257,7 +297,68 @@ class SelectionEngine:
             )
             for endpoint in ("select", "narrow")
         }
+        self._shed_latency = self.metrics.histogram(
+            "repro_shed_latency_seconds",
+            "wall time of requests refused by admission control",
+        )
         self._wire_gauges()
+        self._wire_health()
+
+    def _on_breaker_transition(self, backend: str, old: str, new: str) -> None:
+        self.metrics.counter(
+            "repro_breaker_transitions_total",
+            "circuit breaker state changes",
+            labels={"backend": backend, "to": new},
+        ).inc()
+        self._register_breaker_gauge(backend)
+
+    def _register_breaker_gauge(self, backend: str) -> None:
+        self.metrics.gauge(
+            "repro_breaker_state",
+            lambda _backend=backend: STATE_CODES[
+                self.breakers.breaker(_backend).state
+            ],
+            "breaker state per backend (0 closed, 1 half-open, 2 open)",
+            labels={"backend": backend},
+        )
+
+    def _wire_health(self) -> None:
+        for backend in DEFAULT_STAGES:
+            self._register_breaker_gauge(backend)
+
+        def breaker_probe() -> str | None:
+            opened = self.breakers.open_backends()
+            if opened:
+                return "circuit open: " + ", ".join(opened)
+            return None
+
+        def admission_probe() -> str | None:
+            if self.admission.saturated():
+                stats = self.admission.stats()
+                return (
+                    f"admission queue saturated "
+                    f"({stats.inflight}/{stats.max_pending} pending)"
+                )
+            return None
+
+        self.health.add_probe(breaker_probe)
+        self.health.add_probe(admission_probe)
+        self.metrics.gauge(
+            "repro_health_state",
+            self.health.code,
+            "serving health (0 healthy, 1 degraded, 2 draining)",
+        )
+        self.metrics.gauge(
+            "repro_inflight",
+            lambda: self.admission.inflight,
+            "requests currently inside the engine",
+        )
+        admission_stats = self.admission.stats
+        self.metrics.gauge(
+            "repro_admission_shed_ratio",
+            lambda: admission_stats().shed_ratio,
+            "fraction of offered requests refused by admission control",
+        )
 
     def _wire_gauges(self) -> None:
         stats = self.cache.stats
@@ -330,17 +431,79 @@ class SelectionEngine:
         return self._run("narrow", request, resolve_deadline(deadline))
 
     def close(self) -> None:
-        """Stop accepting work and release the worker pool."""
+        """Stop accepting work and release the worker pool (abruptly).
+
+        In-flight futures are cancelled; prefer :meth:`drain` for a
+        graceful stop that lets accepted requests finish first.
+        """
         self._closed = True
+        self.health.start_draining()
         if self.batcher is not None:
             self.batcher.close()
         self._pool.shutdown(wait=False, cancel_futures=True)
+
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Gracefully stop: refuse new work, let in-flight requests finish.
+
+        Enters the draining health state immediately (new requests raise
+        :class:`EngineDraining`, the HTTP layer's 503), waits up to
+        ``timeout`` seconds for every in-flight request to complete,
+        then releases the worker pool.  Returns ``True`` when the engine
+        drained fully within the timeout; on ``False`` the stragglers
+        were cancelled as in :meth:`close`.
+        """
+        if timeout < 0:
+            raise ValueError(f"timeout must be >= 0, got {timeout}")
+        self.health.start_draining()
+        deadline = Deadline.after(timeout)
+        while self.admission.inflight > 0 and not deadline.expired():
+            time.sleep(0.005)
+        drained = self.admission.inflight == 0
+        self._closed = True
+        if self.batcher is not None:
+            self.batcher.close()
+        self._pool.shutdown(wait=drained, cancel_futures=not drained)
+        return drained
+
+    def reload_corpus(self, corpus) -> str:
+        """Validated hot reload: swap the store's corpus, flush the cache.
+
+        Delegates to :meth:`ItemStore.safe_reload` — the new corpus is
+        validated while the old generation keeps serving, and a failing
+        corpus raises :class:`~repro.serve.store.CorpusValidationError`
+        without any visible change.  On success the result cache is
+        cleared (its versioned keys are already unreachable; clearing
+        just frees the memory immediately).
+        """
+        version = self.store.safe_reload(corpus)
+        self.cache.clear()
+        self.metrics.counter(
+            "repro_reloads_total", "successful corpus reloads"
+        ).inc()
+        return version
+
+    def reload_from_path(self, path: str | Path) -> str:
+        """Load a JSONL corpus from disk and :meth:`reload_corpus` it.
+
+        An unreadable or unparsable file is a validation failure (the
+        corpus never existed as far as serving is concerned), reported
+        as :class:`CorpusValidationError`.
+        """
+        try:
+            corpus = load_corpus(path)
+        except (OSError, ValueError) as exc:
+            raise CorpusValidationError(
+                f"cannot load corpus from {str(path)!r}: {exc}"
+            ) from exc
+        return self.reload_corpus(corpus)
 
     # -- internals -----------------------------------------------------------
 
     def _run(
         self, endpoint: str, request: SelectRequest, deadline: Deadline
     ) -> EngineResponse:
+        if self.health.draining and not self._closed:
+            raise EngineDraining("engine is draining for shutdown")
         if self._closed:
             raise EngineClosed("engine is closed")
         started = time.perf_counter()
@@ -348,21 +511,38 @@ class SelectionEngine:
             "repro_requests_total", "requests by endpoint",
             labels={"endpoint": endpoint},
         ).inc()
+        cost = request_cost(
+            endpoint,
+            request.m,
+            k=getattr(request, "k", 0),
+            stages=len(getattr(request, "stages", ())),
+            reviews=self.store.stats()["reviews"],
+        )
         try:
-            artifacts = self._artifacts_for(request)
-            request = self._pin_target(request, artifacts)
-            key = self._cache_key(endpoint, request, artifacts)
-            solved, source = self.cache.get_or_compute(
-                key,
-                lambda: self._dispatch(endpoint, request, artifacts, deadline),
-                deadline,
-            )
-        except Exception:
+            slot = self.admission.admit(cost)
+        except Overloaded as exc:
             self.metrics.counter(
-                "repro_request_errors_total", "failed requests by endpoint",
-                labels={"endpoint": endpoint},
+                "repro_shed_total", "requests refused by admission control",
+                labels={"reason": exc.reason},
             ).inc()
+            self._shed_latency.observe(time.perf_counter() - started)
             raise
+        with slot:
+            try:
+                artifacts = self._artifacts_for(request)
+                request = self._pin_target(request, artifacts)
+                key = self._cache_key(endpoint, request, artifacts)
+                solved, source = self.cache.get_or_compute(
+                    key,
+                    lambda: self._dispatch(endpoint, request, artifacts, deadline),
+                    deadline,
+                )
+            except Exception:
+                self.metrics.counter(
+                    "repro_request_errors_total", "failed requests by endpoint",
+                    labels={"endpoint": endpoint},
+                ).inc()
+                raise
         wall_ms = (time.perf_counter() - started) * 1e3
         self._latency[endpoint].observe(wall_ms / 1e3)
         if isinstance(solved, _SolvedNarrow):
@@ -374,6 +554,7 @@ class SelectionEngine:
                 proven_optimal=solved.proven_optimal,
                 fallback_depth=solved.fallback_depth,
                 degraded=solved.degraded,
+                breaker_skipped=solved.breaker_skipped,
             )
         else:
             provenance = Provenance(
@@ -491,6 +672,44 @@ class SelectionEngine:
             return selector.select(artifacts.instance, config, space=artifacts.space)
         return selector.select(artifacts.instance, config)
 
+    def _chain_for(
+        self, request: NarrowRequest
+    ) -> tuple[FallbackChain, list[str]]:
+        """Build the fallback chain with breaker-guarded stage solvers.
+
+        Named stages resolve through ``stage_solvers`` overrides first,
+        then the built-in solver registry; ``(name, solver)`` pairs pass
+        through for in-process callers.  Every stage is wrapped by its
+        backend's circuit breaker except the terminal one, which must
+        always be allowed to answer (a degraded answer beats none).
+        """
+        skipped: list[str] = []
+        stages: list[tuple[str, StageSolver]] = []
+        last = len(request.stages) - 1
+        for position, stage in enumerate(request.stages):
+            if isinstance(stage, str):
+                name = stage
+                solver = self._stage_solvers.get(name)
+                if solver is None:
+                    if name not in DEFAULT_STAGES:
+                        raise InvalidRequest(
+                            f"unknown fallback stage {name!r}; "
+                            f"one of {sorted(DEFAULT_STAGES)}"
+                        )
+                    solver = builtin_stage(name, request.time_limit)
+            else:
+                name, solver = stage
+                name = str(name)
+            stages.append(
+                (
+                    name,
+                    self.breakers.wrap(
+                        name, solver, skipped=skipped, gate=position != last
+                    ),
+                )
+            )
+        return FallbackChain(stages, time_limit=request.time_limit), skipped
+
     def _narrow_result(
         self,
         request: NarrowRequest,
@@ -500,7 +719,7 @@ class SelectionEngine:
         config = request.config()
         graph = build_item_graph(selected, config)
         k = min(request.k, artifacts.instance.num_items)
-        chain = FallbackChain(request.stages, time_limit=request.time_limit)
+        chain, skipped = self._chain_for(request)
         outcome = chain.solve(graph.weights, k)
         kept = [0] + sorted(v for v in outcome.solution.selected if v != 0)
         narrowed = selected.restricted_to_items(kept)
@@ -526,4 +745,5 @@ class SelectionEngine:
             proven_optimal=outcome.solution.proven_optimal,
             fallback_depth=depth,
             degraded=outcome.degraded or selected.degraded,
+            breaker_skipped=tuple(skipped),
         )

@@ -1,0 +1,85 @@
+"""The serving health state machine: healthy → degraded → draining.
+
+Load balancers and operators need one coarse signal, not a metrics
+dashboard.  :class:`HealthMonitor` computes it:
+
+* **healthy** — accepting work, no probe firing.
+* **degraded** — still accepting work, but some probe reports trouble
+  (an open circuit breaker, a saturated admission queue).  ``/healthz``
+  stays 200 so the instance keeps taking traffic, with the reasons in
+  the body for operators.
+* **draining** — graceful shutdown has begun: new work is refused with
+  503 (so balancers fail over), in-flight requests finish, then the
+  process exits.  Draining is sticky — once entered it is never left.
+
+Degradation is *derived*, not stored: probes are zero-arg callables
+returning a reason string (or ``None``), registered by the engine, so
+the state can never go stale.  The numeric encoding for the
+``repro_health_state`` gauge is healthy=0, degraded=1, draining=2.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+DRAINING = "draining"
+
+_STATE_CODES = {HEALTHY: 0, DEGRADED: 1, DRAINING: 2}
+
+#: A probe returns a human-readable reason when unhealthy, else None.
+HealthProbe = Callable[[], "str | None"]
+
+
+class HealthMonitor:
+    """Derived health state with explicit, irreversible draining."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._draining = False
+        self._probes: list[HealthProbe] = []
+
+    def add_probe(self, probe: HealthProbe) -> None:
+        """Register a degradation probe (evaluated on every read)."""
+        with self._lock:
+            self._probes.append(probe)
+
+    def start_draining(self) -> None:
+        """Enter the terminal draining state (idempotent)."""
+        with self._lock:
+            self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def reasons(self) -> tuple[str, ...]:
+        """Every firing probe's reason (empty when fully healthy)."""
+        with self._lock:
+            probes = list(self._probes)
+        found = []
+        for probe in probes:
+            reason = probe()
+            if reason:
+                found.append(reason)
+        return tuple(found)
+
+    def state(self) -> str:
+        if self.draining:
+            return DRAINING
+        return DEGRADED if self.reasons() else HEALTHY
+
+    def code(self) -> int:
+        """The state as the ``repro_health_state`` gauge value."""
+        return _STATE_CODES[self.state()]
+
+    def view(self) -> dict[str, object]:
+        """A JSON-ready snapshot for ``/healthz``."""
+        state = self.state()
+        payload: dict[str, object] = {"state": state}
+        if state == DEGRADED:
+            payload["reasons"] = list(self.reasons())
+        return payload

@@ -14,13 +14,20 @@ Endpoints
     ..., "provenance": ...}``.
 ``POST /v1/narrow``
     The select body plus ``k``, ``time_limit`` and ``stages``.
+``POST /v1/reload``
+    Admin: ``{"path": "corpus.jsonl"}`` — validate the new corpus in the
+    background (old generation keeps serving) and atomically swap it in.
+    409 when validation fails or another reload is running.
 
 Error mapping: malformed JSON or mistyped/unknown fields are 400;
 semantically invalid requests (unknown target or algorithm, non-viable
-instance) are 422; an exhausted deadline or a closed engine is 503.  An
-``X-Deadline-Ms`` request header installs a per-request deadline that
-propagates through the engine into every solver (the PR-1 ambient
-deadline scope), so a client-side budget bounds the server-side work.
+instance) are 422; a request shed by admission control is 429 with a
+``Retry-After`` header; a reload conflict is 409; an exhausted deadline,
+a draining engine (also ``Retry-After``), or a closed engine is 503.
+The full table lives in ``docs/SERVING.md``.  An ``X-Deadline-Ms``
+request header installs a per-request deadline that propagates through
+the engine into every solver (the PR-1 ambient deadline scope), so a
+client-side budget bounds the server-side work.
 
 Built on :class:`http.server.ThreadingHTTPServer` — one thread per
 connection, which is exactly what the engine's single-flight cache and
@@ -30,19 +37,30 @@ micro-batcher are designed to coalesce.
 from __future__ import annotations
 
 import json
+import math
+import signal
+import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 from repro.resilience.deadline import DeadlineExceeded, deadline_scope
+from repro.serve.admission import Overloaded
 from repro.serve.engine import (
     EngineClosed,
+    EngineDraining,
     InvalidRequest,
     NarrowRequest,
     SelectionEngine,
     SelectRequest,
 )
-from repro.serve.store import UnknownTargetError, UnviableTargetError
+from repro.serve.health import DRAINING
+from repro.serve.store import (
+    CorpusValidationError,
+    ReloadInProgress,
+    UnknownTargetError,
+    UnviableTargetError,
+)
 
 
 def encode_json(payload: object) -> bytes:
@@ -104,6 +122,10 @@ class ServingHTTPServer(ThreadingHTTPServer):
     """ThreadingHTTPServer carrying the engine for its handlers."""
 
     daemon_threads = True
+    # The stdlib default backlog of 5 drops connections under the very
+    # bursts admission control is built to absorb; shedding must happen
+    # at the application layer (429), not as kernel connection resets.
+    request_queue_size = 256
 
     def __init__(self, address: tuple[str, int], engine: SelectionEngine) -> None:
         super().__init__(address, ServeHandler)
@@ -125,22 +147,45 @@ class ServeHandler(BaseHTTPRequestHandler):
 
     # -- plumbing ------------------------------------------------------------
 
-    def _send(self, status: int, payload: object, content_type: str = "application/json") -> None:
+    def _send(
+        self,
+        status: int,
+        payload: object,
+        content_type: str = "application/json",
+        headers: dict[str, str] | None = None,
+    ) -> None:
         body = (
             payload if isinstance(payload, bytes) else encode_json(payload)
         )
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, message: str) -> None:
+    def _send_error_json(
+        self,
+        status: int,
+        message: str,
+        retry_after: float | None = None,
+        extra: dict[str, object] | None = None,
+    ) -> None:
         self.server.engine.metrics.counter(
             "repro_http_errors_total", "error responses by status",
             labels={"status": str(status)},
         ).inc()
-        self._send(status, {"error": message, "status": status})
+        headers = None
+        payload: dict[str, object] = {"error": message, "status": status}
+        if retry_after is not None:
+            # The header wants integer seconds (RFC 9110); the body keeps
+            # the precise hint for clients that parse JSON.
+            headers = {"Retry-After": str(max(1, math.ceil(retry_after)))}
+            payload["retry_after"] = round(retry_after, 3)
+        if extra:
+            payload.update(extra)
+        self._send(status, payload, headers=headers)
 
     def _deadline_ms(self) -> float | None:
         raw = self.headers.get("X-Deadline-Ms")
@@ -174,16 +219,24 @@ class ServeHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         url = urlparse(self.path)
         if url.path == "/healthz":
-            self._send(
-                200,
-                {
-                    "status": "ok",
-                    "corpus_version": self.server.engine.store.version,
-                    "uptime_seconds": round(
-                        time.monotonic() - self.server.started_at, 3
-                    ),
-                },
-            )
+            engine = self.server.engine
+            health = engine.health.view()
+            state = health["state"]
+            payload = {
+                # "ok" is the legacy healthy value (smoke tests and
+                # probes grep for it); degraded/draining name the state.
+                "status": "ok" if state == "healthy" else state,
+                "corpus_version": engine.store.version,
+                "uptime_seconds": round(
+                    time.monotonic() - self.server.started_at, 3
+                ),
+                "inflight": engine.admission.inflight,
+            }
+            if "reasons" in health:
+                payload["reasons"] = health["reasons"]
+            # Draining answers 503 so load balancers stop routing here,
+            # while in-flight requests keep completing.
+            self._send(503 if state == DRAINING else 200, payload)
         elif url.path == "/metrics":
             query = parse_qs(url.query)
             accept = self.headers.get("Accept", "")
@@ -199,13 +252,41 @@ class ServeHandler(BaseHTTPRequestHandler):
                 )
             else:
                 self._send(200, self.server.engine.metrics.as_dict())
-        elif url.path in ("/v1/select", "/v1/narrow"):
+        elif url.path in ("/v1/select", "/v1/narrow", "/v1/reload"):
             self._send_error_json(405, f"{url.path} requires POST")
         else:
             self._send_error_json(404, f"unknown endpoint {url.path!r}")
 
+    def _do_reload(self) -> None:
+        engine = self.server.engine
+        previous = engine.store.version
+        try:
+            body = self._read_body()
+            unknown = sorted(set(body) - {"path"})
+            if unknown:
+                raise _BadRequest(f"unknown fields: {unknown}")
+            path = body.get("path")
+            if not isinstance(path, str) or not path:
+                raise _BadRequest("field 'path' (a corpus file path) is required")
+            version = engine.reload_from_path(path)
+        except _BadRequest as exc:
+            self._send_error_json(400, str(exc))
+        except ReloadInProgress as exc:
+            self._send_error_json(409, str(exc), extra={"version": previous})
+        except CorpusValidationError as exc:
+            # Validation failed before any swap: the previous generation
+            # is still the one serving (that *is* the rollback).
+            self._send_error_json(409, str(exc), extra={"version": previous})
+        except Exception as exc:  # pragma: no cover - defensive backstop
+            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+        else:
+            self._send(200, {"version": version, "previous": previous})
+
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         url = urlparse(self.path)
+        if url.path == "/v1/reload":
+            self._do_reload()
+            return
         if url.path not in ("/v1/select", "/v1/narrow"):
             if url.path in ("/healthz", "/metrics"):
                 self._send_error_json(405, f"{url.path} requires GET")
@@ -230,6 +311,13 @@ class ServeHandler(BaseHTTPRequestHandler):
             self._send_error_json(400, str(exc))
         except (InvalidRequest, UnknownTargetError, UnviableTargetError) as exc:
             self._send_error_json(422, str(exc))
+        except Overloaded as exc:
+            self._send_error_json(
+                429, str(exc), retry_after=exc.retry_after,
+                extra={"reason": exc.reason},
+            )
+        except EngineDraining as exc:
+            self._send_error_json(503, str(exc), retry_after=1.0)
         except (DeadlineExceeded, EngineClosed) as exc:
             self._send_error_json(503, str(exc))
         except Exception as exc:  # pragma: no cover - defensive backstop
@@ -250,15 +338,60 @@ def make_server(
     return ServingHTTPServer((host, port), engine)
 
 
-def run_server(engine: SelectionEngine, host: str, port: int) -> None:
-    """Blocking convenience used by ``repro-cli serve``."""
+def run_server(
+    engine: SelectionEngine,
+    host: str,
+    port: int,
+    *,
+    drain_timeout: float = 30.0,
+) -> None:
+    """Blocking convenience used by ``repro-cli serve``.
+
+    Installs SIGTERM/SIGINT handlers (when running on the main thread)
+    that shut down *gracefully*: the engine enters the draining state —
+    new requests get 503 + ``Retry-After`` — in-flight requests finish
+    within ``drain_timeout`` seconds, and only then does the process
+    exit.  A second signal falls back to the default handler (immediate
+    exit) so a hung drain can still be interrupted.
+    """
     server = make_server(engine, host, port)
     bound_host, bound_port = server.server_address[:2]
+    stopping = threading.Event()
+
+    def _graceful_stop() -> None:
+        drained = engine.drain(drain_timeout)
+        if not drained:
+            print("drain timeout: cancelled remaining in-flight work", flush=True)
+        server.shutdown()
+
+    def _handle_signal(signum, frame) -> None:
+        if stopping.is_set():
+            raise KeyboardInterrupt
+        stopping.set()
+        print(f"received signal {signum}: draining...", flush=True)
+        # Drain off the signal-handler frame so the serve loop keeps
+        # completing in-flight responses while we wait.
+        threading.Thread(
+            target=_graceful_stop, name="repro-serve-drain", daemon=True
+        ).start()
+
+    installed: list[int] = []
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                signal.signal(signum, _handle_signal)
+                installed.append(signum)
+            except (ValueError, OSError):  # pragma: no cover - exotic hosts
+                break
     print(f"serving on http://{bound_host}:{bound_port}", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        for signum in installed:
+            signal.signal(signum, signal.SIG_DFL)
         server.server_close()
-        engine.close()
+        if not stopping.is_set():
+            engine.close()
+        print("server stopped", flush=True)

@@ -44,6 +44,19 @@ class UnviableTargetError(LookupError):
     reviews or no usable comparative items)."""
 
 
+class CorpusValidationError(ValueError):
+    """A candidate corpus failed pre-swap validation (HTTP 409).
+
+    Raised by :meth:`ItemStore.safe_reload` *before* any swap happens,
+    so the store keeps serving the previous generation unchanged — the
+    rollback is that no roll-forward ever occurred.
+    """
+
+
+class ReloadInProgress(RuntimeError):
+    """Another validated reload is still running (HTTP 409)."""
+
+
 @dataclass(frozen=True)
 class InstanceArtifacts:
     """Everything precomputable for one (instance, scheme, lambda) triple.
@@ -121,6 +134,7 @@ class ItemStore:
 
     def __init__(self, corpus: Corpus) -> None:
         self._lock = threading.Lock()
+        self._reload_lock = threading.Lock()
         self._loads = 0
         self._generation = self._ingest(corpus)
 
@@ -158,6 +172,74 @@ class ItemStore:
         with self._lock:
             self._generation = generation
         return generation.version
+
+    def validate_corpus(
+        self,
+        corpus: Corpus,
+        *,
+        max_comparisons: int | None = 10,
+        min_reviews: int = 3,
+    ) -> str:
+        """Check that ``corpus`` is actually servable; return its fingerprint.
+
+        Validation is the cheap end-to-end path a first request would
+        take: non-empty corpus, computable content fingerprint, at least
+        one viable comparison instance under the default shaping
+        parameters, and a solvable smoke selection (greedy, ``m=1``) on
+        that instance.  Raises :class:`CorpusValidationError` with the
+        specific failure; never touches the store's served generation.
+        """
+        from repro.core.selection import make_selector
+
+        if not corpus.products:
+            raise CorpusValidationError("corpus has no products")
+        if not corpus.reviews:
+            raise CorpusValidationError("corpus has no reviews")
+        fingerprint = corpus_fingerprint(corpus)
+        instance = None
+        for product in corpus.products:
+            instance = build_instance(
+                corpus,
+                product.product_id,
+                max_comparisons=max_comparisons,
+                min_reviews=min_reviews,
+            )
+            if instance is not None:
+                break
+        if instance is None:
+            raise CorpusValidationError(
+                "corpus has no viable comparison instance "
+                f"(needs >= {min_reviews} reviews and a comparable item)"
+            )
+        smoke = SelectionConfig(
+            max_reviews=1, lam=1.0, mu=0.1, scheme=OpinionScheme.BINARY
+        )
+        try:
+            make_selector("CompaReSetS_Greedy").select(instance, smoke)
+        except Exception as exc:
+            raise CorpusValidationError(
+                f"smoke selection failed on target "
+                f"{instance.target.product_id!r}: {type(exc).__name__}: {exc}"
+            ) from exc
+        return fingerprint
+
+    def safe_reload(self, corpus: Corpus) -> str:
+        """Validate ``corpus``, then atomically swap it in; return the version.
+
+        The old generation keeps serving (lock-free for readers already
+        holding its artifacts) throughout validation — a corpus that
+        fails raises :class:`CorpusValidationError` and leaves the store
+        exactly as it was.  Only one validated reload may run at a time;
+        a second concurrent call raises :class:`ReloadInProgress` rather
+        than queueing behind a potentially slow validation.
+        """
+        if not self._reload_lock.acquire(blocking=False):
+            raise ReloadInProgress("another corpus reload is still validating")
+        try:
+            self.validate_corpus(corpus)
+            return self.reload(corpus)
+        finally:
+            self._reload_lock.release()
 
     def default_target(self, max_comparisons: int | None, min_reviews: int) -> str:
         """The first viable target product id (the CLI's default choice)."""

@@ -1,0 +1,165 @@
+"""Unit tests for admission control (token bucket, bounded queue, costs)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve.admission import (
+    AdmissionController,
+    Overloaded,
+    TokenBucket,
+    request_cost,
+)
+
+
+class FakeClock:
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_unlimited_always_grants(self):
+        bucket = TokenBucket(rate=None)
+        assert bucket.try_take(1e9) == 0.0
+        assert bucket.tokens == float("inf")
+
+    def test_burst_then_refusal_with_wait_hint(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=5.0, clock=clock)
+        assert bucket.try_take(5.0) == 0.0  # full burst available
+        wait = bucket.try_take(1.0)
+        assert wait == pytest.approx(0.1)  # 1 token at 10/s
+        # Refusal consumed nothing; after the hinted wait it succeeds.
+        clock.advance(wait)
+        assert bucket.try_take(1.0) == 0.0
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=5.0, clock=clock)
+        bucket.try_take(5.0)
+        clock.advance(100.0)
+        assert bucket.tokens == pytest.approx(5.0)
+
+    def test_cost_larger_than_burst_hint_is_finite(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        bucket.try_take(2.0)
+        # A cost above burst can never fully accumulate; the hint is the
+        # time to refill the whole burst rather than infinity.
+        wait = bucket.try_take(5.0)
+        assert 0 < wait <= 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=None).try_take(-1.0)
+
+
+class TestAdmissionController:
+    def test_bounded_pending_queue(self):
+        controller = AdmissionController(max_pending=2)
+        first = controller.admit()
+        second = controller.admit()
+        with pytest.raises(Overloaded) as excinfo:
+            controller.admit()
+        assert excinfo.value.reason == "queue_full"
+        assert excinfo.value.retry_after > 0
+        first.release()
+        third = controller.admit()  # slot freed -> admitted again
+        second.release()
+        third.release()
+        assert controller.inflight == 0
+
+    def test_slot_released_on_exception(self):
+        controller = AdmissionController(max_pending=1)
+        with pytest.raises(RuntimeError, match="boom"):
+            with controller.admit():
+                raise RuntimeError("boom")
+        assert controller.inflight == 0
+        with controller.admit():
+            pass
+
+    def test_rate_limited_with_retry_after(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            max_pending=100, rate=10.0, burst=2.0, clock=clock
+        )
+        with controller.admit(cost=2.0):
+            pass
+        with pytest.raises(Overloaded) as excinfo:
+            controller.admit(cost=2.0)
+        assert excinfo.value.reason == "rate_limited"
+        assert excinfo.value.retry_after == pytest.approx(0.2)
+        clock.advance(0.2)
+        with controller.admit(cost=2.0):
+            pass
+
+    def test_stats_and_shed_ratio(self):
+        controller = AdmissionController(max_pending=1)
+        slot = controller.admit()
+        for _ in range(3):
+            with pytest.raises(Overloaded):
+                controller.admit()
+        stats = controller.stats()
+        assert stats.admitted == 1
+        assert stats.shed_queue == 3
+        assert stats.shed == 3
+        assert stats.shed_ratio == pytest.approx(0.75)
+        assert stats.saturation == 1.0
+        assert controller.saturated()
+        slot.release()
+        assert not controller.saturated()
+
+    def test_thread_safety_of_release(self):
+        controller = AdmissionController(max_pending=8)
+        outcomes = []
+        lock = threading.Lock()
+
+        def worker():
+            try:
+                with controller.admit():
+                    pass
+            except Overloaded:
+                with lock:
+                    outcomes.append("shed")
+            else:
+                with lock:
+                    outcomes.append("ok")
+
+        threads = [threading.Thread(target=worker) for _ in range(64)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(outcomes) == 64
+        assert controller.inflight == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_pending=0)
+        with pytest.raises(ValueError):
+            AdmissionController(queue_retry_after=-1.0)
+
+
+class TestRequestCost:
+    def test_narrow_costs_more_than_select(self):
+        select = request_cost("select", m=3)
+        narrow = request_cost("narrow", m=3, k=3, stages=3)
+        assert narrow > select > 0
+
+    def test_monotone_in_m_and_corpus_size(self):
+        assert request_cost("select", m=10) > request_cost("select", m=1)
+        small = request_cost("select", m=3, reviews=100)
+        large = request_cost("select", m=3, reviews=1_000_000)
+        assert large > small

@@ -1,0 +1,195 @@
+"""Unit tests for circuit breakers and the per-backend breaker board."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerBoard,
+    CircuitBreaker,
+    CircuitOpen,
+)
+
+
+class FakeClock:
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def test_trips_open_after_threshold(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, recovery_time=30.0, clock=clock)
+        assert breaker.state == CLOSED
+        for _ in range(2):
+            breaker.record_failure()
+            assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_half_open_after_recovery_time(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_time=10.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.2)
+        assert breaker.allow()  # first probe claimed
+        assert breaker.state == HALF_OPEN
+
+    def test_half_open_limits_probe_count(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, recovery_time=1.0, half_open_probes=1, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        # Probe slot taken: concurrent calls are refused until it resolves.
+        assert not breaker.allow()
+
+    def test_half_open_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_time=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_half_open_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_time=1.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.5)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+        # The recovery window restarts from the reopen.
+        clock.advance(1.5)
+        assert breaker.allow()
+
+    def test_transition_log(self):
+        clock = FakeClock()
+        seen = []
+        breaker = CircuitBreaker(
+            failure_threshold=1,
+            recovery_time=1.0,
+            clock=clock,
+            on_transition=lambda old, new: seen.append((old, new)),
+        )
+        breaker.record_failure()
+        clock.advance(1.5)
+        breaker.allow()
+        breaker.record_success()
+        assert seen == [
+            (CLOSED, OPEN),
+            (OPEN, HALF_OPEN),
+            (HALF_OPEN, CLOSED),
+        ]
+        assert breaker.transitions == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(recovery_time=0.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_probes=0)
+
+
+class TestBreakerBoard:
+    def _failing(self, weights, k, target, deadline):
+        raise RuntimeError("backend down")
+
+    def test_lazy_per_backend_breakers(self):
+        board = BreakerBoard(clock=FakeClock())
+        assert board.states() == {}
+        board.breaker("milp")
+        assert board.states() == {"milp": CLOSED}
+
+    def test_wrap_records_failures_and_trips(self):
+        clock = FakeClock()
+        board = BreakerBoard(failure_threshold=2, clock=clock)
+        wrapped = board.wrap("milp", self._failing)
+        for _ in range(2):
+            with pytest.raises(RuntimeError):
+                wrapped(None, 1, None, None)
+        assert board.states()["milp"] == OPEN
+        assert board.open_backends() == ("milp",)
+
+    def test_wrap_refuses_fast_when_open(self):
+        clock = FakeClock()
+        board = BreakerBoard(failure_threshold=1, clock=clock)
+        skipped: list[str] = []
+        wrapped = board.wrap("milp", self._failing, skipped=skipped)
+        with pytest.raises(RuntimeError):
+            wrapped(None, 1, None, None)
+        with pytest.raises(CircuitOpen):
+            wrapped(None, 1, None, None)
+        assert skipped == ["milp"]
+
+    def test_ungated_wrap_records_but_never_refuses(self):
+        clock = FakeClock()
+        board = BreakerBoard(failure_threshold=1, clock=clock)
+        wrapped = board.wrap("greedy", self._failing, gate=False)
+        with pytest.raises(RuntimeError):
+            wrapped(None, 1, None, None)
+        assert board.states()["greedy"] == OPEN
+        # Terminal stages still run even with an open breaker.
+        with pytest.raises(RuntimeError):
+            wrapped(None, 1, None, None)
+
+    def test_wrap_success_path_and_recovery(self):
+        clock = FakeClock()
+        board = BreakerBoard(failure_threshold=1, recovery_time=5.0, clock=clock)
+        calls = {"n": 0}
+
+        def flaky_once(weights, k, target, deadline):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient")
+            return "solved"
+
+        wrapped = board.wrap("bnb", flaky_once)
+        with pytest.raises(RuntimeError):
+            wrapped(None, 1, None, None)
+        assert board.states()["bnb"] == OPEN
+        clock.advance(5.5)
+        assert wrapped(None, 1, None, None) == "solved"  # half-open probe succeeds
+        assert board.states()["bnb"] == CLOSED
+
+    def test_transition_hook_receives_backend_name(self):
+        clock = FakeClock()
+        seen = []
+        board = BreakerBoard(
+            failure_threshold=1,
+            clock=clock,
+            transition_hook=lambda backend, old, new: seen.append(
+                (backend, old, new)
+            ),
+        )
+        wrapped = board.wrap("milp", self._failing)
+        with pytest.raises(RuntimeError):
+            wrapped(None, 1, None, None)
+        assert seen == [("milp", CLOSED, OPEN)]

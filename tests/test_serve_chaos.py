@@ -1,0 +1,86 @@
+"""Small-scale runs of the chaos harness (the full suite is `make chaos-smoke`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.faults import FaultSpec
+from repro.serve.chaos import (
+    ChaosScenario,
+    default_suite,
+    faulted_stage,
+    run_scenario,
+)
+
+
+class TestScenarioValidation:
+    def test_rejects_zero_burst(self):
+        with pytest.raises(ValueError):
+            ChaosScenario(name="bad", burst=0)
+
+    def test_rejects_conflicting_midway_actions(self):
+        with pytest.raises(ValueError):
+            ChaosScenario(name="bad", reload_midway=True, drain_midway=True)
+
+    def test_default_suite_has_the_acceptance_scenario(self):
+        names = [scenario.name for scenario in default_suite()]
+        assert "16x-burst-one-failing-backend" in names
+
+
+class TestFaultedStage:
+    def test_crash_fault_raises(self):
+        stage = faulted_stage("milp", FaultSpec(kind="crash"))
+        with pytest.raises(Exception, match="injected"):
+            stage(None, 1, None, None)
+
+
+class TestScenarioRuns:
+    def test_overload_burst_with_failing_backend(self):
+        """A scaled-down cut of the acceptance scenario: must pass its SLOs."""
+        scenario = ChaosScenario(
+            name="small-burst-failing-milp",
+            burst=24,
+            max_pending=4,
+            workers=2,
+            deadline_ms=30_000.0,
+            backend_faults={"milp": FaultSpec(kind="crash")},
+            expect_shed=True,
+        )
+        report = run_scenario(scenario)
+        assert report.passed, report.summary()
+        assert report.ok >= 1
+        assert report.shed >= 1
+        assert report.transport_errors == 0
+        assert report.unavailable == 0
+        assert report.breaker_transitions >= 1
+        assert report.shed_server_p99_ms <= scenario.shed_p99_budget_ms
+
+    def test_within_capacity_never_sheds(self):
+        scenario = ChaosScenario(
+            name="small-within-capacity",
+            burst=4,
+            max_pending=8,
+            workers=2,
+            endpoint="select",
+            deadline_ms=30_000.0,
+            expect_shed=False,
+        )
+        report = run_scenario(scenario)
+        assert report.passed, report.summary()
+        assert report.ok == scenario.burst
+        assert report.shed == 0
+
+    def test_drain_scenario_completes_inflight(self):
+        scenario = ChaosScenario(
+            name="small-drain",
+            burst=6,
+            max_pending=8,
+            workers=2,
+            endpoint="select",
+            deadline_ms=30_000.0,
+            expect_shed=False,
+            drain_midway=True,
+        )
+        report = run_scenario(scenario)
+        assert report.passed, report.summary()
+        assert report.drained is True

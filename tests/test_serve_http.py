@@ -11,13 +11,16 @@ import json
 import threading
 import urllib.error
 import urllib.request
+from contextlib import contextmanager
 
 import pytest
 
 from repro.core.problem import SelectionConfig
 from repro.core.selection import make_selector
 from repro.data.instances import build_instance
+from repro.data.io import save_corpus
 from repro.data.synthetic import generate_corpus
+from repro.serve.admission import AdmissionController
 from repro.serve.engine import SelectionEngine, selection_payload
 from repro.serve.http import encode_json, make_server
 from repro.serve.store import ItemStore
@@ -213,3 +216,133 @@ class TestMetricsEndpoint:
         base, _ = served
         _, body, _ = _get(f"{base}/metrics", headers={"Accept": "text/plain"})
         assert body.decode().startswith("# ")
+
+
+@contextmanager
+def _fresh_server(engine):
+    """A dedicated server for tests that mutate engine health/admission."""
+    server = make_server(engine, host="127.0.0.1", port=0)
+    host, port = server.server_address[:2]
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield f"http://{host}:{port}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        engine.close()
+
+
+class TestOverloadResponses:
+    def test_shed_request_is_429_with_retry_after(self, corpus):
+        engine = SelectionEngine(
+            ItemStore(corpus),
+            workers=2,
+            admission=AdmissionController(max_pending=1),
+        )
+        with _fresh_server(engine) as base:
+            slot = engine.admission.admit()  # wedge the queue full
+            try:
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    _post(f"{base}/v1/select", {"m": 2})
+                error = excinfo.value
+                assert error.code == 429
+                # RFC 9110: the header is an integer number of seconds
+                # (rounded up); the JSON body carries the precise float.
+                assert int(error.headers["Retry-After"]) >= 1
+                payload = json.loads(error.read())
+                assert payload["reason"] == "queue_full"
+                assert payload["retry_after"] > 0
+            finally:
+                slot.release()
+            # Queue free again: the same request now succeeds.
+            status, _ = _post(f"{base}/v1/select", {"m": 2})
+            assert status == 200
+
+    def test_draining_engine_answers_503(self, corpus):
+        engine = SelectionEngine(ItemStore(corpus), workers=2)
+        with _fresh_server(engine) as base:
+            engine.health.start_draining()
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(f"{base}/v1/select", {"m": 2})
+            assert excinfo.value.code == 503
+            assert int(excinfo.value.headers["Retry-After"]) >= 1
+
+    def test_healthz_reports_draining_as_503(self, corpus):
+        engine = SelectionEngine(ItemStore(corpus), workers=2)
+        with _fresh_server(engine) as base:
+            status, body, _ = _get(f"{base}/healthz")
+            assert status == 200
+            assert json.loads(body)["status"] == "ok"
+            engine.health.start_draining()
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(f"{base}/healthz")
+            assert excinfo.value.code == 503
+            payload = json.loads(excinfo.value.read())
+            assert payload["status"] == "draining"
+
+    def test_healthz_reports_degraded_backends(self, corpus):
+        engine = SelectionEngine(ItemStore(corpus), workers=2)
+        with _fresh_server(engine) as base:
+            engine.breakers.breaker("milp")  # lazily created, then wedged
+            for _ in range(3):
+                engine.breakers.breaker("milp").record_failure()
+            status, body, _ = _get(f"{base}/healthz")
+            assert status == 200  # degraded still serves
+            payload = json.loads(body)
+            assert payload["status"] == "degraded"
+            assert any("milp" in reason for reason in payload["reasons"])
+
+
+class TestReloadEndpoint:
+    def test_reload_swaps_corpus_and_reports_versions(self, corpus, tmp_path):
+        engine = SelectionEngine(ItemStore(corpus), workers=2)
+        with _fresh_server(engine) as base:
+            previous = engine.store.version
+            path = tmp_path / "corpus.json"
+            save_corpus(generate_corpus("Toy", scale=0.3, seed=11), path)
+            status, payload = _post(f"{base}/v1/reload", {"path": str(path)})
+            assert status == 200
+            assert payload["previous"] == previous
+            assert payload["version"] == engine.store.version != previous
+            # The swapped corpus serves immediately.
+            status, _ = _post(f"{base}/v1/select", {"m": 2})
+            assert status == 200
+
+    def test_reload_invalid_corpus_is_409_and_rolls_back(self, corpus, tmp_path):
+        engine = SelectionEngine(ItemStore(corpus), workers=2)
+        with _fresh_server(engine) as base:
+            previous = engine.store.version
+            path = tmp_path / "broken.json"
+            path.write_text('{"not": "a corpus"}', encoding="utf-8")
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(f"{base}/v1/reload", {"path": str(path)})
+            assert excinfo.value.code == 409
+            payload = json.loads(excinfo.value.read())
+            assert payload["version"] == previous
+            assert engine.store.version == previous
+
+    def test_reload_missing_path_field_is_400(self, corpus):
+        engine = SelectionEngine(ItemStore(corpus), workers=2)
+        with _fresh_server(engine) as base:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(f"{base}/v1/reload", {})
+            assert excinfo.value.code == 400
+
+    def test_reload_unknown_field_is_400(self, corpus):
+        engine = SelectionEngine(ItemStore(corpus), workers=2)
+        with _fresh_server(engine) as base:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(f"{base}/v1/reload", {"path": "x", "force": True})
+            assert excinfo.value.code == 400
+
+    def test_reload_nonexistent_file_is_409(self, corpus):
+        engine = SelectionEngine(ItemStore(corpus), workers=2)
+        with _fresh_server(engine) as base:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _post(f"{base}/v1/reload", {"path": "/does/not/exist.json"})
+            assert excinfo.value.code == 409
+
+    def test_get_on_reload_is_405(self, served):
+        base, _ = served
+        assert _status_of(lambda: _get(f"{base}/v1/reload")) == 405

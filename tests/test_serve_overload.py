@@ -1,0 +1,261 @@
+"""Engine-level overload, degradation, and graceful-drain behaviour."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.data.synthetic import generate_corpus
+from repro.resilience.faults import InjectedFault
+from repro.serve.admission import AdmissionController, Overloaded
+from repro.serve.breaker import OPEN, BreakerBoard
+from repro.serve.engine import (
+    EngineDraining,
+    InvalidRequest,
+    NarrowRequest,
+    SelectionEngine,
+    SelectRequest,
+)
+from repro.serve.health import DEGRADED, DRAINING, HEALTHY
+from repro.serve.store import ItemStore
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus("Toy", scale=0.3, seed=3)
+
+
+@pytest.fixture()
+def store(corpus):
+    return ItemStore(corpus)
+
+
+def _crashing_stage(weights, k, target, deadline):
+    raise InjectedFault("injected backend crash")
+
+
+class TestOverloadShedding:
+    def test_sheds_when_queue_full(self, store):
+        engine = SelectionEngine(
+            store, workers=2, admission=AdmissionController(max_pending=1)
+        )
+        try:
+            # Occupy the only slot out-of-band, so the next request sheds.
+            slot = engine.admission.admit()
+            with pytest.raises(Overloaded) as excinfo:
+                engine.select(SelectRequest(m=2))
+            assert excinfo.value.reason == "queue_full"
+            assert excinfo.value.retry_after > 0
+            slot.release()
+            # Slot freed: the same request is now served.
+            assert engine.select(SelectRequest(m=2)).result["items"]
+        finally:
+            engine.close()
+
+    def test_shed_metrics_recorded(self, store):
+        engine = SelectionEngine(
+            store, workers=2, admission=AdmissionController(max_pending=1)
+        )
+        try:
+            slot = engine.admission.admit()
+            with pytest.raises(Overloaded):
+                engine.select(SelectRequest(m=2))
+            slot.release()
+            metrics = engine.metrics.as_dict()
+            assert metrics["counters"]['repro_shed_total{reason="queue_full"}'] == 1
+            shed = metrics["histograms"]["repro_shed_latency_seconds"]
+            assert shed["count"] == 1
+            assert shed["p99"] < 0.01  # refusals answer in well under 10ms
+        finally:
+            engine.close()
+
+    def test_burst_over_capacity_serves_capacity(self, store):
+        engine = SelectionEngine(
+            store, workers=2, admission=AdmissionController(max_pending=4)
+        )
+        outcomes: list[str] = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(16)
+
+        def one(index: int) -> None:
+            request = SelectRequest(m=2, mu=0.1 + 0.001 * index)
+            barrier.wait()
+            try:
+                engine.select(request)
+            except Overloaded:
+                with lock:
+                    outcomes.append("shed")
+            else:
+                with lock:
+                    outcomes.append("ok")
+
+        try:
+            threads = [
+                threading.Thread(target=one, args=(i,)) for i in range(16)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert len(outcomes) == 16
+            assert outcomes.count("ok") >= 1
+            assert outcomes.count("shed") >= 1  # 4x capacity must shed some
+        finally:
+            engine.close()
+
+
+class TestDraining:
+    def test_draining_engine_refuses_new_requests(self, store):
+        engine = SelectionEngine(store, workers=2)
+        try:
+            engine.health.start_draining()
+            with pytest.raises(EngineDraining):
+                engine.select(SelectRequest(m=2))
+        finally:
+            engine.close()
+
+    def test_drain_idle_engine(self, store):
+        engine = SelectionEngine(store, workers=2)
+        assert engine.drain(timeout=5.0) is True
+        assert engine.health.state() == DRAINING
+
+    def test_drain_waits_for_inflight(self, store):
+        engine = SelectionEngine(store, workers=2)
+        release = threading.Event()
+        started = threading.Event()
+        results: dict[str, object] = {}
+
+        def slow_stage(weights, k, target, deadline):
+            started.set()
+            release.wait(timeout=10.0)
+            raise InjectedFault("resolved by greedy fallback")
+
+        def client() -> None:
+            request = NarrowRequest(m=2, k=2, stages=("slow", "greedy"))
+            results["response"] = engine.narrow(request)
+
+        engine._stage_solvers["slow"] = slow_stage
+        worker = threading.Thread(target=client)
+        worker.start()
+        assert started.wait(timeout=10.0)
+        release.set()
+        assert engine.drain(timeout=10.0) is True
+        worker.join(timeout=10.0)
+        assert not worker.is_alive()
+        # The accepted request completed (via the fallback) before drain
+        # released the pool.
+        assert results["response"].result["selection"]
+
+    def test_drain_timeout_returns_false(self, store):
+        engine = SelectionEngine(store, workers=2)
+        slot = engine.admission.admit()  # synthetic stuck request
+        try:
+            assert engine.drain(timeout=0.05) is False
+        finally:
+            slot.release()
+
+
+class TestBreakerIntegration:
+    def test_failing_stage_trips_breaker_and_falls_back(self, store):
+        engine = SelectionEngine(
+            store,
+            workers=2,
+            breakers=BreakerBoard(failure_threshold=2),
+            stage_solvers={"milp": _crashing_stage},
+        )
+        try:
+            # Distinct mu per call: the result cache must not absorb the
+            # repeats, each one has to hit the failing backend.
+            def request(index: int) -> NarrowRequest:
+                return NarrowRequest(
+                    m=2, k=2, mu=0.1 + 0.01 * index, stages=("milp", "greedy")
+                )
+
+            # Two failures trip the breaker; the chain still answers via greedy.
+            for index in range(2):
+                response = engine.narrow(request(index))
+                assert response.provenance.backend == "greedy"
+                assert response.provenance.breaker_skipped == ()
+            assert engine.breakers.states()["milp"] == OPEN
+
+            # Breaker open: milp is skipped outright and recorded as such.
+            response = engine.narrow(request(2))
+            assert response.provenance.backend == "greedy"
+            assert response.provenance.breaker_skipped == ("milp",)
+            assert "breaker_skipped" in response.provenance.as_dict()
+
+            transitions = engine.metrics.as_dict()["counters"]
+            key = 'repro_breaker_transitions_total{backend="milp",to="open"}'
+            assert transitions[key] == 1
+        finally:
+            engine.close()
+
+    def test_open_breaker_degrades_health(self, store):
+        engine = SelectionEngine(
+            store,
+            workers=2,
+            breakers=BreakerBoard(failure_threshold=1),
+            stage_solvers={"milp": _crashing_stage},
+        )
+        try:
+            assert engine.health.state() == HEALTHY
+            engine.narrow(NarrowRequest(m=2, k=2, stages=("milp", "greedy")))
+            assert engine.health.state() == DEGRADED
+            assert any(
+                "circuit open" in reason for reason in engine.health.reasons()
+            )
+        finally:
+            engine.close()
+
+    def test_unknown_stage_is_invalid_request(self, store):
+        engine = SelectionEngine(store, workers=2)
+        try:
+            with pytest.raises(InvalidRequest, match="unknown fallback stage"):
+                engine.narrow(
+                    NarrowRequest(m=2, k=2, stages=("made-up-solver",))
+                )
+        finally:
+            engine.close()
+
+    def test_terminal_stage_never_gated(self, store):
+        # Even with the greedy breaker wedged open, the terminal stage runs.
+        board = BreakerBoard(failure_threshold=1)
+        for _ in range(2):
+            board.breaker("greedy").record_failure()
+        assert board.states()["greedy"] == OPEN
+        engine = SelectionEngine(store, workers=2, breakers=board)
+        try:
+            response = engine.narrow(
+                NarrowRequest(m=2, k=2, stages=("greedy",))
+            )
+            assert response.result["core_product_ids"]
+        finally:
+            engine.close()
+
+
+class TestHealthGauges:
+    def test_health_and_admission_gauges_exposed(self, store):
+        engine = SelectionEngine(store, workers=2)
+        try:
+            engine.select(SelectRequest(m=2))
+            rendered = engine.metrics.render_prometheus()
+            assert "repro_health_state" in rendered
+            assert "repro_inflight" in rendered
+            assert "repro_admission_shed_ratio" in rendered
+            assert 'repro_breaker_state{backend="milp"}' in rendered
+        finally:
+            engine.close()
+
+    def test_drain_flips_health_gauge(self, store):
+        engine = SelectionEngine(store, workers=2)
+        engine.drain(timeout=1.0)
+        gauges = engine.metrics.as_dict()["gauges"]
+        assert gauges["repro_health_state"] == 2.0  # draining
+
+    def test_time_is_monotonic_in_drain(self, store):
+        engine = SelectionEngine(store, workers=2)
+        begun = time.monotonic()
+        engine.drain(timeout=0.0)
+        assert time.monotonic() - begun < 5.0
