@@ -1,6 +1,6 @@
 # Developer conveniences; everything also works as plain pytest/python calls.
 
-.PHONY: install test bench examples experiments serve-smoke chaos-smoke ci lint clean
+.PHONY: install test bench examples experiments serve-smoke chaos-smoke bench-core-smoke ci lint clean
 
 install:
 	pip install -e .
@@ -24,6 +24,10 @@ serve-smoke:
 # Overload / failing-backend / reload / drain scenarios with SLO checks.
 chaos-smoke:
 	PYTHONPATH=src python -m repro.serve.chaos
+
+# Batch-OMP kernel vs reference: identical selections + >= 1x warm speedup.
+bench-core-smoke:
+	PYTHONPATH=src python scripts/bench_core_smoke.py
 
 # Mirrors .github/workflows/ci.yml: the test matrix plus the lint job.
 # Lint is skipped with a notice when ruff is not installed locally.

@@ -1,0 +1,225 @@
+"""Bench: Gram-cached Batch-OMP kernel vs the scipy-nnls reference solver.
+
+Two workloads, both asserting *byte-identical selections* between paths:
+
+* single-item CompaReSetS solves over growing review counts N — the
+  reference rebuilds the regression stack + dedup per solve, the kernel
+  serves them from :class:`~repro.core.omp_kernel.SolverArtifacts`
+  (``warm`` = artifacts prebuilt with the memoised solve results cleared
+  per repeat, i.e. the serving layer's steady state; ``cold`` includes
+  artifact construction);
+* a CompaReSetS+ multi-sweep run on a duplicate-heavy instance — the
+  alternating sweeps reuse the per-item Gram blocks and memoise repeated
+  subproblems, while the reference re-stacks and re-dedups every inner
+  iteration.
+
+Archives ``results/BENCH_core.json``.  Expected shape: warm single-item
+speedup >= 3x from N = 500 up, and >= 5x for the multi-sweep run.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from benchmarks.conftest import RESULTS_DIR, emit
+from repro.core.compare_sets import select_for_item
+from repro.core.compare_sets_plus import CompareSetsPlusSelector
+from repro.core.omp_kernel import SolverArtifacts
+from repro.core.problem import SelectionConfig
+from repro.core.selection import build_space
+from repro.data.instances import ComparisonInstance
+from repro.data.models import AspectMention, Product, Review
+
+SINGLE_SIZES = (200, 500, 1000)
+PLUS_ITEMS = 5
+PLUS_REVIEWS = 500
+REPEATS = 5
+
+
+def _reviews(rng, item, count, aspects, max_width, rich):
+    reviews = []
+    for index in range(count):
+        width = int(rng.integers(1, max_width + 1))
+        chosen = sorted(rng.choice(len(aspects), size=width, replace=False))
+        if rich:
+            mentions = tuple(
+                AspectMention(
+                    aspects[a],
+                    int(rng.integers(-1, 2)),
+                    float(rng.integers(1, 4)) / 2,
+                )
+                for a in chosen
+            )
+        else:
+            mentions = tuple(
+                AspectMention(aspects[a], int(rng.choice((-1, 1))))
+                for a in chosen
+            )
+        reviews.append(
+            Review(f"r{item}-{index}", f"p{item}", "u", 4.0, "t", mentions)
+        )
+    return tuple(reviews)
+
+
+def _instance(rng, items, count, num_aspects, max_width, rich):
+    aspects = tuple(f"a{i}" for i in range(num_aspects))
+    products = tuple(Product(f"p{i}", f"P{i}", "C") for i in range(items))
+    return ComparisonInstance(
+        products=products,
+        reviews=tuple(
+            _reviews(rng, i, count, aspects, max_width, rich)
+            for i in range(items)
+        ),
+    )
+
+
+def _best_of(fn, repeats=REPEATS):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        begun = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - begun)
+    return best, result
+
+
+def run_core():
+    rng = np.random.default_rng(42)
+    config = SelectionConfig(max_reviews=5)
+
+    single = []
+    for count in SINGLE_SIZES:
+        # Rich mention sets (12 aspects, widths 1-4, graded strengths):
+        # many distinct columns, so the reference's per-solve stack + dedup
+        # costs scale with N.
+        instance = _instance(rng, 1, count, 12, 4, rich=True)
+        space = build_space(instance, config)
+        reviews = instance.reviews[0]
+        tau = space.opinion_vector(reviews)
+        gamma = space.aspect_vector(reviews)
+
+        ref_s, ref_sel = _best_of(
+            lambda: select_for_item(
+                space, reviews, tau, gamma, config, use_kernel=False
+            )
+        )
+        cold_s, cold_sel = _best_of(
+            lambda: select_for_item(space, reviews, tau, gamma, config)
+        )
+        shared = SolverArtifacts(space, reviews, config.lam)
+
+        def warm_once():
+            shared.clear_solve_cache()
+            return select_for_item(
+                space, reviews, tau, gamma, config, artifacts=shared
+            )
+
+        warm_s, warm_sel = _best_of(warm_once)
+        single.append(
+            {
+                "reviews": count,
+                "reference_ms": ref_s * 1e3,
+                "kernel_cold_ms": cold_s * 1e3,
+                "kernel_warm_ms": warm_s * 1e3,
+                "speedup_warm": ref_s / warm_s,
+                "identical": ref_sel == cold_sel == warm_sel,
+            }
+        )
+
+    # Duplicate-heavy items (6 aspects, widths 1-2, binary sentiment):
+    # review populations collapse onto few unique columns, the shape the
+    # Gram cache is built for.
+    plus_config = SelectionConfig(max_reviews=5, sweeps=3)
+    instance = _instance(rng, PLUS_ITEMS, PLUS_REVIEWS, 6, 2, rich=False)
+    space = build_space(instance, plus_config)
+    artifacts = tuple(
+        SolverArtifacts(space, reviews, plus_config.lam)
+        for reviews in instance.reviews
+    )
+
+    ref_s, ref_result = _best_of(
+        lambda: CompareSetsPlusSelector(use_kernel=False).select(
+            instance, plus_config, space=space
+        ),
+        repeats=3,
+    )
+    cold_s, cold_result = _best_of(
+        lambda: CompareSetsPlusSelector(use_kernel=True).select(
+            instance, plus_config
+        ),
+        repeats=3,
+    )
+
+    def warm_plus():
+        for item in artifacts:
+            item.clear_solve_cache()
+        return CompareSetsPlusSelector(use_kernel=True).select(
+            instance, plus_config, space=space, solver_artifacts=artifacts
+        )
+
+    warm_s, warm_result = _best_of(warm_plus, repeats=3)
+    plus = {
+        "items": PLUS_ITEMS,
+        "reviews_per_item": PLUS_REVIEWS,
+        "sweeps": plus_config.sweeps,
+        "reference_ms": ref_s * 1e3,
+        "kernel_cold_ms": cold_s * 1e3,
+        "kernel_warm_ms": warm_s * 1e3,
+        "speedup_warm": ref_s / warm_s,
+        "identical": ref_result.selections
+        == cold_result.selections
+        == warm_result.selections,
+    }
+    return {
+        "single_item": single,
+        "plus_sweep": plus,
+        "stage_ms": {
+            stage: round(ms, 3) for stage, ms in warm_result.timings.items()
+        },
+    }
+
+
+def render(report) -> str:
+    lines = [
+        "Core solver: Gram-cached Batch-OMP kernel vs scipy-nnls reference",
+        f"{'workload':<22} {'ref ms':>8} {'cold ms':>8} {'warm ms':>8} "
+        f"{'speedup':>8} {'identical':>9}",
+    ]
+    for row in report["single_item"]:
+        lines.append(
+            f"{'single N=' + str(row['reviews']):<22} "
+            f"{row['reference_ms']:>8.2f} {row['kernel_cold_ms']:>8.2f} "
+            f"{row['kernel_warm_ms']:>8.2f} {row['speedup_warm']:>7.1f}x "
+            f"{str(row['identical']):>9}"
+        )
+    row = report["plus_sweep"]
+    label = f"plus {row['items']}x{row['reviews_per_item']} s={row['sweeps']}"
+    lines.append(
+        f"{label:<22} {row['reference_ms']:>8.2f} {row['kernel_cold_ms']:>8.2f} "
+        f"{row['kernel_warm_ms']:>8.2f} {row['speedup_warm']:>7.1f}x "
+        f"{str(row['identical']):>9}"
+    )
+    stages = ", ".join(
+        f"{stage}={ms:.2f}" for stage, ms in report["stage_ms"].items()
+    )
+    lines.append(f"warm plus stage ms: {stages}")
+    return "\n".join(lines)
+
+
+def test_core_solver(benchmark, capsys):
+    report = benchmark.pedantic(run_core, rounds=1, iterations=1)
+
+    for row in report["single_item"]:
+        assert row["identical"], f"selection divergence at N={row['reviews']}"
+        if row["reviews"] >= 500:
+            assert row["speedup_warm"] >= 3.0, row
+    assert report["plus_sweep"]["identical"], "plus-sweep selection divergence"
+    assert report["plus_sweep"]["speedup_warm"] >= 5.0, report["plus_sweep"]
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_core.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    emit("core_solver", render(report), capsys)

@@ -1,0 +1,150 @@
+"""Smoke test for the Batch-OMP solver core: fast CI-sized equivalence check.
+
+Runs the kernel against the scipy-nnls reference on a synthetic corpus and
+a couple of hand-shaped instances, asserting identical selections and
+objectives everywhere and that the warm kernel is at least as fast as the
+reference (>= 1x; the full benchmark asserts the real speedup targets).
+Exits non-zero on any failure.
+
+Usage: PYTHONPATH=src python scripts/bench_core_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+import numpy as np
+
+from repro.core.compare_sets import CompareSetsSelector
+from repro.core.compare_sets_plus import CompareSetsPlusSelector
+from repro.core.objective import compare_sets_objective
+from repro.core.omp_kernel import SolverArtifacts
+from repro.core.problem import SelectionConfig
+from repro.core.selection import build_space
+from repro.core.vectors import OpinionScheme
+from repro.data.instances import ComparisonInstance, build_instance
+from repro.data.models import AspectMention, Product, Review
+from repro.data.synthetic import generate_corpus
+
+
+def synthetic_instances(limit=4):
+    corpus = generate_corpus("Cellphone", scale=0.35, seed=7)
+    instances = []
+    for product in corpus.products:
+        instance = build_instance(
+            corpus, product.product_id, max_comparisons=5, min_reviews=3
+        )
+        if instance is not None:
+            instances.append(instance)
+        if len(instances) == limit:
+            break
+    return instances
+
+
+def duplicate_heavy_instance(items=3, count=200):
+    rng = np.random.default_rng(11)
+    aspects = tuple(f"a{i}" for i in range(6))
+    products = tuple(Product(f"p{i}", f"P{i}", "C") for i in range(items))
+    all_reviews = []
+    for item in range(items):
+        reviews = []
+        for index in range(count):
+            width = int(rng.integers(1, 3))
+            chosen = sorted(rng.choice(len(aspects), size=width, replace=False))
+            mentions = tuple(
+                AspectMention(aspects[a], int(rng.choice((-1, 1))))
+                for a in chosen
+            )
+            reviews.append(
+                Review(f"r{item}-{index}", f"p{item}", "u", 4.0, "t", mentions)
+            )
+        all_reviews.append(tuple(reviews))
+    return ComparisonInstance(products=products, reviews=tuple(all_reviews))
+
+
+def check_equivalence(instance, config, label):
+    reference = CompareSetsSelector(use_kernel=False).select(instance, config)
+    kernel = CompareSetsSelector(use_kernel=True).select(instance, config)
+    assert kernel.selections == reference.selections, (
+        f"{label}: CompaReSetS selections diverged"
+    )
+    ref_obj = compare_sets_objective(reference, config)
+    ker_obj = compare_sets_objective(kernel, config)
+    assert ker_obj == ref_obj, f"{label}: objectives diverged"
+
+    for variant in ("literal", "weighted"):
+        plus_ref = CompareSetsPlusSelector(variant, use_kernel=False).select(
+            instance, config
+        )
+        plus_ker = CompareSetsPlusSelector(variant, use_kernel=True).select(
+            instance, config
+        )
+        assert plus_ker.selections == plus_ref.selections, (
+            f"{label}: CompaReSetS+ ({variant}) selections diverged"
+        )
+    print(f"  ok: {label}")
+
+
+def check_speedup():
+    instance = duplicate_heavy_instance()
+    config = SelectionConfig(max_reviews=5, sweeps=2)
+    space = build_space(instance, config)
+    artifacts = tuple(
+        SolverArtifacts(space, reviews, config.lam)
+        for reviews in instance.reviews
+    )
+
+    def best_of(fn, repeats=3):
+        best, result = float("inf"), None
+        for _ in range(repeats):
+            begun = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - begun)
+        return best, result
+
+    ref_s, reference = best_of(
+        lambda: CompareSetsPlusSelector(use_kernel=False).select(
+            instance, config, space=space
+        )
+    )
+
+    def warm():
+        for item in artifacts:
+            item.clear_solve_cache()
+        return CompareSetsPlusSelector(use_kernel=True).select(
+            instance, config, space=space, solver_artifacts=artifacts
+        )
+
+    warm_s, kernel = best_of(warm)
+    assert kernel.selections == reference.selections, "warm selections diverged"
+    speedup = ref_s / warm_s
+    assert speedup >= 1.0, f"kernel slower than reference: {speedup:.2f}x"
+    print(f"  ok: warm kernel speedup {speedup:.1f}x (>= 1x required)")
+
+
+def main() -> int:
+    print("core solver smoke: synthetic instances, all schemes")
+    for scheme in OpinionScheme:
+        config = SelectionConfig(
+            max_reviews=3, lam=1.0, mu=0.1, scheme=scheme, sweeps=2
+        )
+        for index, instance in enumerate(synthetic_instances()):
+            check_equivalence(instance, config, f"{scheme.value} #{index}")
+    print("core solver smoke: duplicate-heavy instance")
+    check_equivalence(
+        duplicate_heavy_instance(items=2, count=80),
+        SelectionConfig(max_reviews=8, sweeps=2),
+        "duplicate-heavy m=8",
+    )
+    print("core solver smoke: warm speedup")
+    check_speedup()
+    print("core solver smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,6 +5,8 @@
 * :mod:`repro.core.distance` — squared-L2 distance Delta and helpers.
 * :mod:`repro.core.problem` — selection configuration (m, lambda, mu, scheme).
 * :mod:`repro.core.integer_regression` — NOMP + rounding (Lappas et al. 2012).
+* :mod:`repro.core.omp_kernel` — Gram-cached Batch-OMP solver core with
+  reusable per-item :class:`~repro.core.omp_kernel.SolverArtifacts`.
 * :mod:`repro.core.compare_sets` — CompaReSetS (Problem 1).
 * :mod:`repro.core.compare_sets_plus` — CompaReSetS+ (Problem 2, Algorithm 1).
 * :mod:`repro.core.baselines` — CRS, greedy, and random baselines.
@@ -19,6 +21,7 @@ from repro.core.coverage_baselines import ComprehensiveSelector, PolarityCoverag
 from repro.core.exhaustive import ExhaustiveSelector
 from repro.core.distance import cosine_similarity, squared_l2
 from repro.core.objective import compare_sets_objective, compare_sets_plus_objective
+from repro.core.omp_kernel import SolverArtifacts, StageTimer
 from repro.core.problem import SelectionConfig
 from repro.core.selection import SELECTORS, SelectionResult, Selector, make_selector
 from repro.core.vectors import OpinionScheme, VectorSpace
@@ -37,6 +40,8 @@ __all__ = [
     "SelectionConfig",
     "SelectionResult",
     "Selector",
+    "SolverArtifacts",
+    "StageTimer",
     "VectorSpace",
     "compare_sets_objective",
     "compare_sets_plus_objective",

@@ -6,6 +6,12 @@ phi(S_i)) over subsets S_i of R_i with |S_i| <= m.  Following Eq. 4 this
 equals a single regression against the concatenated target
 [tau_i; lambda * Gamma] with matrix rows [opinion incidence;
 lambda * aspect incidence].
+
+Two solver paths produce identical selections: the Gram-cached Batch-OMP
+kernel (:mod:`repro.core.omp_kernel`, the default — reusable per-item
+:class:`~repro.core.omp_kernel.SolverArtifacts`, counts-level candidate
+evaluation) and the original scipy-``nnls`` reference retained under
+``use_kernel=False`` as the equivalence baseline.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ import numpy as np
 from repro.core.distance import concat_scaled
 from repro.core.integer_regression import integer_regression_select
 from repro.core.objective import item_objective
+from repro.core.omp_kernel import SolverArtifacts, StageTimer, solve_item
 from repro.core.problem import SelectionConfig
 from repro.core.selection import SelectionResult, build_space, register_selector
 from repro.core.vectors import VectorSpace, regression_columns
@@ -28,10 +35,29 @@ def select_for_item(
     tau: np.ndarray,
     gamma: np.ndarray,
     config: SelectionConfig,
+    *,
+    artifacts: SolverArtifacts | None = None,
+    timer: StageTimer | None = None,
+    use_kernel: bool = True,
 ) -> tuple[int, ...]:
-    """Solve Eq. 3 for one item; returns sorted review indices."""
+    """Solve Eq. 3 for one item; returns sorted review indices.
+
+    ``use_kernel=True`` (default) routes through the Batch-OMP kernel,
+    optionally reusing precomputed ``artifacts`` (they must be bound to
+    the same ``space`` / ``reviews`` / ``config.lam``); ``use_kernel=False``
+    keeps the scipy-``nnls`` reference path, which the equivalence tests
+    and the core benchmark compare against.
+    """
     if not reviews:
         return ()
+    if use_kernel:
+        if artifacts is None:
+            artifacts = SolverArtifacts(space, reviews, config.lam, timer=timer)
+        elif not artifacts.matches(space, reviews, config.lam):
+            raise ValueError(
+                "solver artifacts are bound to a different item or config"
+            )
+        return solve_item(artifacts, tau, gamma, config, timer=timer).selected
     columns = regression_columns(space, reviews, config.lam)
     target = concat_scaled((1.0, tau), (config.lam, gamma))
 
@@ -46,9 +72,17 @@ def select_for_item(
 
 @register_selector
 class CompareSetsSelector:
-    """Problem 1: independent per-item Integer-Regression selection."""
+    """Problem 1: independent per-item Integer-Regression selection.
+
+    ``use_kernel=False`` pins the scipy-``nnls`` reference solver; the
+    default Batch-OMP kernel produces identical selections and reports
+    per-stage timings on the result.
+    """
 
     name = "CompaReSetS"
+
+    def __init__(self, use_kernel: bool = True) -> None:
+        self.use_kernel = use_kernel
 
     def select(
         self,
@@ -57,6 +91,8 @@ class CompareSetsSelector:
         rng: np.random.Generator | None = None,
         *,
         space: VectorSpace | None = None,
+        solver_artifacts: tuple[SolverArtifacts, ...] | None = None,
+        timer: StageTimer | None = None,
     ) -> SelectionResult:
         """Solve CompaReSetS on ``instance``; ``rng`` is unused (deterministic).
 
@@ -64,19 +100,41 @@ class CompareSetsSelector:
         instance (its per-review memoisation then carries across calls, as
         the serving layer's :class:`~repro.serve.store.ItemStore` relies
         on); it must match ``instance.aspect_vocabulary()`` and
-        ``config.scheme``.
+        ``config.scheme``.  ``solver_artifacts`` likewise reuses one
+        :class:`SolverArtifacts` per item (built against ``space`` and
+        ``config.lam``), letting warm serving requests skip dedup + Gram
+        entirely; ``timer`` aggregates stage timings into a caller's
+        :class:`StageTimer` instead of a fresh one.
         """
         if space is None:
             space = build_space(instance, config)
+        own_timer = timer
+        if own_timer is None and self.use_kernel:
+            own_timer = StageTimer()
         gamma = space.aspect_vector(instance.reviews[0])
         selections = []
-        for reviews in instance.reviews:
+        for item_index, reviews in enumerate(instance.reviews):
             tau = space.opinion_vector(reviews)
+            item_artifacts = (
+                solver_artifacts[item_index]
+                if solver_artifacts is not None
+                else None
+            )
             selections.append(
-                select_for_item(space, reviews, tau, gamma, config)
+                select_for_item(
+                    space,
+                    reviews,
+                    tau,
+                    gamma,
+                    config,
+                    artifacts=item_artifacts,
+                    timer=own_timer,
+                    use_kernel=self.use_kernel,
+                )
             )
         return SelectionResult(
             instance=instance,
             selections=tuple(selections),
             algorithm=self.name,
+            timings=own_timer.as_millis() if own_timer is not None else None,
         )

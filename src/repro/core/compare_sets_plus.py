@@ -40,6 +40,7 @@ from repro.core.compare_sets import CompareSetsSelector
 from repro.core.distance import concat_scaled, squared_l2
 from repro.core.integer_regression import integer_regression_select
 from repro.core.objective import item_objective
+from repro.core.omp_kernel import SolverArtifacts, StageTimer, solve_plus_item
 from repro.core.problem import SelectionConfig
 from repro.core.selection import SelectionResult, build_space, register_selector
 from repro.core.vectors import VectorSpace, regression_columns
@@ -82,10 +83,11 @@ class CompareSetsPlusSelector:
 
     name = "CompaReSetS+"
 
-    def __init__(self, variant: str = "literal") -> None:
+    def __init__(self, variant: str = "literal", use_kernel: bool = True) -> None:
         if variant not in ("literal", "weighted"):
             raise ValueError(f"variant must be 'literal' or 'weighted', got {variant!r}")
         self.variant = variant
+        self.use_kernel = use_kernel
 
     def select(
         self,
@@ -94,19 +96,36 @@ class CompareSetsPlusSelector:
         rng: np.random.Generator | None = None,
         *,
         space: VectorSpace | None = None,
+        solver_artifacts: tuple[SolverArtifacts, ...] | None = None,
     ) -> SelectionResult:
         """Solve CompaReSetS+ on ``instance``; deterministic, ``rng`` unused.
 
         ``space`` optionally reuses a precomputed :class:`VectorSpace`
-        (see :meth:`CompareSetsSelector.select`).
+        (see :meth:`CompareSetsSelector.select`); ``solver_artifacts``
+        likewise one kernel :class:`SolverArtifacts` per item.  The
+        artifacts carry the per-item Gram blocks, so every alternating
+        sweep reuses the same dedup + Gram and only rebuilds the target
+        correlation vector.
         """
         if space is None:
             space = build_space(instance, config)
+        timer = StageTimer() if self.use_kernel else None
+        if self.use_kernel and solver_artifacts is None:
+            solver_artifacts = tuple(
+                SolverArtifacts(space, reviews, config.lam, timer=timer)
+                for reviews in instance.reviews
+            )
         gamma = space.aspect_vector(instance.reviews[0])
         taus = [space.opinion_vector(reviews) for reviews in instance.reviews]
 
         # Algorithm 1 input: the CompaReSetS solution.
-        initial = CompareSetsSelector().select(instance, config, space=space)
+        initial = CompareSetsSelector(use_kernel=self.use_kernel).select(
+            instance,
+            config,
+            space=space,
+            solver_artifacts=solver_artifacts,
+            timer=timer,
+        )
         selections: list[tuple[int, ...]] = list(initial.selections)
         phis: list[np.ndarray] = [
             space.aspect_vector(initial.selected_reviews(i))
@@ -122,16 +141,28 @@ class CompareSetsPlusSelector:
                 other_phis = [
                     phis[j] for j in range(num_items) if j != item_index
                 ]
-                selection = self._solve_item(
-                    space,
-                    reviews,
-                    taus[item_index],
-                    gamma,
-                    other_phis,
-                    config,
-                    current=selections[item_index],
-                    literal=(self.variant == "literal"),
-                )
+                if self.use_kernel:
+                    selection = solve_plus_item(
+                        solver_artifacts[item_index],
+                        taus[item_index],
+                        gamma,
+                        other_phis,
+                        config,
+                        current=selections[item_index],
+                        literal=(self.variant == "literal"),
+                        timer=timer,
+                    )
+                else:
+                    selection = self._solve_item(
+                        space,
+                        reviews,
+                        taus[item_index],
+                        gamma,
+                        other_phis,
+                        config,
+                        current=selections[item_index],
+                        literal=(self.variant == "literal"),
+                    )
                 if selection != selections[item_index]:
                     selections[item_index] = selection
                     phis[item_index] = space.aspect_vector(
@@ -142,6 +173,7 @@ class CompareSetsPlusSelector:
             instance=instance,
             selections=tuple(selections),
             algorithm=self.name,
+            timings=timer.as_millis() if timer is not None else None,
         )
 
     @staticmethod

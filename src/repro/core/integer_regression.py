@@ -57,21 +57,41 @@ def deduplicate_columns(matrix: np.ndarray, decimals: int = 12) -> DeduplicatedC
     """
     if matrix.ndim != 2:
         raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
-    groups: dict[bytes, list[int]] = {}
-    order: list[bytes] = []
+    num_columns = matrix.shape[1]
+    if num_columns == 0:
+        return DeduplicatedColumns(matrix=np.zeros((matrix.shape[0], 0)), groups=())
     rounded = np.round(matrix, decimals)
-    for column_index in range(matrix.shape[1]):
-        key = rounded[:, column_index].tobytes()
-        if key not in groups:
-            groups[key] = []
-            order.append(key)
-        groups[key].append(column_index)
-    group_tuples = tuple(tuple(groups[key]) for key in order)
-    if group_tuples:
-        unique = np.column_stack([matrix[:, group[0]] for group in group_tuples])
+    # np.round keeps the sign of -0.0, so a column holding -1e-15 and one
+    # holding +1e-15 would compare unequal after rounding; adding 0.0 maps
+    # -0.0 to +0.0 (IEEE 754) before the columns are keyed.
+    rounded += 0.0
+    if matrix.shape[0] == 0:
+        # Zero-dimensional columns are all identical: one group of everything.
+        group_ids = np.zeros(num_columns, dtype=np.intp)
+        num_groups = 1
     else:
-        unique = np.zeros((matrix.shape[0], 0))
-    return DeduplicatedColumns(matrix=unique, groups=group_tuples)
+        _, first_indices, inverse = np.unique(
+            np.ascontiguousarray(rounded.T),
+            axis=0,
+            return_index=True,
+            return_inverse=True,
+        )
+        # np.unique orders lexicographically; remap its ids so groups come
+        # out in first-occurrence order, keeping the mapping stable.
+        position = np.empty(len(first_indices), dtype=np.intp)
+        position[np.argsort(first_indices, kind="stable")] = np.arange(
+            len(first_indices)
+        )
+        group_ids = position[inverse.reshape(-1)]
+        num_groups = len(first_indices)
+    member_order = np.argsort(group_ids, kind="stable")
+    sizes = np.bincount(group_ids, minlength=num_groups)
+    group_tuples = tuple(
+        tuple(int(i) for i in chunk)
+        for chunk in np.split(member_order, np.cumsum(sizes)[:-1])
+    )
+    firsts = [group[0] for group in group_tuples]
+    return DeduplicatedColumns(matrix=matrix[:, firsts], groups=group_tuples)
 
 
 def nomp_path(matrix: np.ndarray, target: np.ndarray, max_atoms: int) -> list[np.ndarray]:
@@ -179,10 +199,41 @@ def round_to_counts(
         return np.zeros(len(x), dtype=int)
     normalised = x / mass
 
+    # All apportionment inputs are batched over s = 1..max_total up front:
+    # one vectorised floor/remainder pass and a single 2-D stable argsort
+    # replace the per-total recomputation inside the loop (the allocation
+    # itself stays per-s; it touches at most s units).
+    ideals = np.arange(1, max_total + 1, dtype=float)[:, None] * normalised[None, :]
+    if np.any(ideals < -1e-12):
+        raise ValueError("ideal allocations must be non-negative")
+    ideals = np.maximum(ideals, 0.0)
+    bases = np.minimum(np.floor(ideals + 1e-12), capacities[None, :]).astype(int)
+    orders = np.argsort(bases - ideals, axis=1, kind="stable")
+    all_slacks = capacities[None, :] - bases
+
     best_counts = np.zeros(len(x), dtype=int)
     best_gap = np.inf
-    for s in range(1, max_total + 1):
-        counts = largest_remainder_round(normalised * s, capacities, s)
+    for row in range(max_total):
+        s = row + 1
+        counts = bases[row]
+        remaining = min(s - int(counts.sum()), int(all_slacks[row].sum()))
+        if remaining > 0:
+            counts = counts.copy()
+            slack = all_slacks[row].copy()
+            # Round-robin in remainder order, exactly as
+            # largest_remainder_round does: one unit per index per pass.
+            while remaining > 0:
+                progressed = False
+                for index in orders[row]:
+                    if remaining == 0:
+                        break
+                    if slack[index] > 0:
+                        counts[index] += 1
+                        slack[index] -= 1
+                        remaining -= 1
+                        progressed = True
+                if not progressed:
+                    break
         count_sum = int(counts.sum())
         if count_sum == 0:
             continue

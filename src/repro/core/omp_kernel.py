@@ -1,0 +1,691 @@
+"""Gram-cached Batch-OMP solver core for the Integer-Regression heuristic.
+
+The continuous stage of :mod:`repro.core.integer_regression` re-runs scipy
+``nnls`` from scratch for every atom and recomputes the full ``W^T r``
+correlation each iteration.  Batch-OMP (Rubinstein, Zibulevsky & Elad 2008,
+"Efficient Implementation of the K-SVD Algorithm using Batch Orthogonal
+Matching Pursuit") restructures the pursuit around precomputed quantities:
+
+* ``G = W^T W`` (the Gram matrix) and ``b = W^T y`` are computed once;
+  the correlation after adding support S with coefficients c is
+  ``alpha = b - G[:, S] c`` — a (q, |S|) product instead of a (D, q) one.
+* The support least-squares is solved through an incrementally updated
+  Cholesky factor of ``G[S, S]`` (one triangular solve per new atom),
+  falling back to scipy ``nnls`` when the unconstrained solve goes
+  negative or the support turns numerically rank-deficient.
+
+Byte-identical selections demand one refinement over textbook Batch-OMP.
+``alpha`` equals ``W^T r`` *mathematically* but not bitwise, and the
+incidence structure of review columns produces exact correlation ties
+(two disjoint reviews covering equally many target aspects), so ulp-level
+noise can flip the greedy atom choice against the reference; likewise the
+unconstrained Cholesky coefficients differ from nnls's in the last ulp,
+which flips remainder ties inside the discrete rounding stage.  The
+default **exact mode** therefore (a) uses ``alpha`` only as a *screen* —
+when the winner's margin over the runner-up is below a conservative
+epsilon (or the stopping test is borderline), the reference correlation
+vector ``W^T (y - W_S c)`` is recomputed with the reference's own
+expressions, bitwise — and (b) always takes the support coefficients from
+scipy ``nnls`` exactly as the reference does (they feed the rounding
+stage, where their last ulp matters).  ``exact=False`` switches to the
+textbook fast path (Gram correlations + Cholesky coefficients) whose
+selections may diverge on tie-heavy instances; the core benchmark
+measures both.
+
+The Eq.-4 / Algorithm-1 matrices are stacked from two row blocks — the
+opinion incidence O and the aspect incidence A — so their Grams compose
+without ever forming the stack:
+
+    CompaReSetS      W = [O; lam*A]                G = G_op + lam^2 G_asp
+    CompaReSetS+     W = [O; lam*A; mu*A * (n-1)]  G = G_op + (lam^2 + (n-1) mu^2) G_asp
+
+where ``G_op = O^T O`` and ``G_asp = A^T A`` are per-item invariants.  An
+alternating CompaReSetS+ sweep therefore only recomputes the target
+correlation vector ``b``; the Gram never changes.  :class:`SolverArtifacts`
+packages these invariants (dedup groups, unique columns, Gram blocks) per
+item so the serving layer can reuse them across requests, and
+:class:`CountsEvaluator` scores candidate selections directly from group
+counts on the precomputed unique columns instead of re-vectorising Python
+``Review`` lists per candidate.
+
+Numerical-faithfulness notes (why selections match the reference):
+
+* the dedup of the ``k``-sync-block stack equals the dedup of the
+  1-sync-block stack — replicated identical rows cannot split groups;
+* ``b = stacked^T y`` reproduces the reference's first-iteration
+  correlations bit-for-bit (same arrays, same BLAS call);
+* binary / 3-polarity incidence counts are small integers, so evaluating
+  pi/phi as ``U @ counts`` is exact under any summation order; the unary
+  scheme accumulates raw per-review signed strengths in selection order to
+  preserve the reference's floating-point summation;
+* the discrete stage (:func:`~repro.core.integer_regression.round_to_counts`)
+  and the candidate argmin are shared with the reference verbatim.
+
+The equivalence test harness (``tests/test_omp_kernel.py``) and the core
+benchmark (``benchmarks/bench_core_solver.py``) assert identical selections
+against the scipy-``nnls`` reference across schemes and instance shapes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from collections.abc import Callable, Iterator, Sequence
+
+import numpy as np
+from scipy.linalg import solve_triangular
+from scipy.optimize import nnls
+
+from repro.core.distance import concat_scaled, squared_l2
+from repro.core.integer_regression import (
+    _CORRELATION_TOLERANCE,
+    RegressionSelection,
+    counts_to_selection,
+    deduplicate_columns,
+    round_to_counts,
+)
+from repro.core.problem import SelectionConfig
+from repro.core.vectors import OpinionScheme, VectorSpace, _sigmoid
+from repro.data.models import Review
+
+#: The per-stage timing buckets exposed in serving provenance and metrics.
+STAGES = ("dedup", "gram", "pursuit", "round", "evaluate")
+
+
+class StageTimer:
+    """Accumulates wall time per solver stage across any number of solves.
+
+    One timer typically spans a whole selector run (all items, all
+    sweeps); :meth:`as_millis` snapshots the totals for provenance.
+    """
+
+    __slots__ = ("seconds",)
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {stage: 0.0 for stage in STAGES}
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        began = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.seconds[name] += time.perf_counter() - began
+
+    def as_millis(self) -> dict[str, float]:
+        """Stage totals in milliseconds (a fresh dict; safe to keep)."""
+        return {stage: seconds * 1e3 for stage, seconds in self.seconds.items()}
+
+
+class GramBlock:
+    """Dedup groups + Gram blocks for one (lam, mu) stacked-matrix family.
+
+    ``with_sync=False`` is the CompaReSetS family ``[O; lam*A]``;
+    ``with_sync=True`` additionally carries one ``mu*A`` copy, which fixes
+    the dedup for *every* number of sync blocks (identical rows replicate,
+    so extra copies can never split a group).  :meth:`stacked` and
+    :meth:`gram` materialise the matrix / Gram for a concrete sync-block
+    count on demand and memoise per count.
+    """
+
+    __slots__ = (
+        "lam",
+        "mu",
+        "with_sync",
+        "groups",
+        "capacities",
+        "column_group",
+        "unique_opinion",
+        "unique_aspect",
+        "gram_op",
+        "gram_asp",
+        "_dedup_matrix",
+        "_sync_rows",
+        "_stacks",
+        "_grams",
+    )
+
+    def __init__(
+        self,
+        opinion: np.ndarray,
+        aspect: np.ndarray,
+        lam: float,
+        mu: float,
+        with_sync: bool,
+        timer: StageTimer,
+    ) -> None:
+        self.lam = float(lam)
+        self.mu = float(mu)
+        self.with_sync = with_sync
+        blocks = [opinion, lam * aspect]
+        if with_sync:
+            blocks.append(mu * aspect)
+        with timer.stage("dedup"):
+            dedup = deduplicate_columns(np.vstack(blocks))
+        self.groups = dedup.groups
+        self.capacities = dedup.capacities
+        num_columns = opinion.shape[1]
+        self.column_group = np.zeros(num_columns, dtype=np.intp)
+        for group_id, group in enumerate(self.groups):
+            for member in group:
+                self.column_group[member] = group_id
+        # dedup.matrix rows are [O_u; lam*A_u] (+ mu*A_u when with_sync) —
+        # already the exact stacked matrix of the 0/1-sync-block solve.
+        self._dedup_matrix = dedup.matrix
+        opinion_dim = opinion.shape[0]
+        num_aspects = aspect.shape[0]
+        self._sync_rows = (
+            dedup.matrix[opinion_dim + num_aspects :] if with_sync else None
+        )
+        firsts = [group[0] for group in self.groups]
+        with timer.stage("gram"):
+            self.unique_opinion = opinion[:, firsts]
+            self.unique_aspect = aspect[:, firsts]
+            self.gram_op = self.unique_opinion.T @ self.unique_opinion
+            self.gram_asp = self.unique_aspect.T @ self.unique_aspect
+        self._stacks: dict[int, np.ndarray] = {}
+        self._grams: dict[int, np.ndarray] = {}
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    def stacked(self, sync_blocks: int = 0) -> np.ndarray:
+        """The unique-column stacked matrix for ``sync_blocks`` sync copies.
+
+        Byte-identical to deduplicating the full replicated stack: scaling
+        rows commutes with selecting first-occurrence columns.
+        """
+        self._check_sync(sync_blocks)
+        cached = self._stacks.get(sync_blocks)
+        if cached is not None:
+            return cached
+        if not self.with_sync or sync_blocks == 1:
+            stack = self._dedup_matrix
+        else:
+            stack = np.vstack(
+                [self._dedup_matrix] + [self._sync_rows] * (sync_blocks - 1)
+            )
+        self._stacks[sync_blocks] = stack
+        return stack
+
+    def gram(self, sync_blocks: int = 0) -> np.ndarray:
+        """``G_op + (lam^2 + sync_blocks * mu^2) G_asp`` (memoised)."""
+        self._check_sync(sync_blocks)
+        cached = self._grams.get(sync_blocks)
+        if cached is not None:
+            return cached
+        scale = self.lam * self.lam + sync_blocks * self.mu * self.mu
+        gram = self.gram_op + scale * self.gram_asp
+        self._grams[sync_blocks] = gram
+        return gram
+
+    def counts_for(self, selection: Sequence[int]) -> np.ndarray:
+        """Group-count vector nu of a selection of original column indices."""
+        counts = np.zeros(self.num_groups, dtype=int)
+        for index in selection:
+            counts[self.column_group[index]] += 1
+        return counts
+
+    def _check_sync(self, sync_blocks: int) -> None:
+        if sync_blocks < 0:
+            raise ValueError(f"sync_blocks must be >= 0, got {sync_blocks}")
+        if sync_blocks > 0 and not self.with_sync:
+            raise ValueError("this block was built without a sync row block")
+
+
+class SolverArtifacts:
+    """Reusable per-item invariants of the Batch-OMP kernel.
+
+    Bound to one ``(space, reviews, lam)`` triple: the incidence matrices,
+    the eagerly built CompaReSetS :class:`GramBlock`, and — lazily, keyed
+    by ``mu`` — the CompaReSetS+ sync blocks (``m`` and the sync-block
+    count vary per solve without invalidating anything, matching the
+    :class:`~repro.serve.store.ItemStore` artifact key).  Thread-safe:
+    the serving layer shares one instance across concurrent solves.
+    """
+
+    def __init__(
+        self,
+        space: VectorSpace,
+        reviews: Sequence[Review],
+        lam: float,
+        *,
+        timer: StageTimer | None = None,
+    ) -> None:
+        self.space = space
+        self.reviews: tuple[Review, ...] = tuple(reviews)
+        self.lam = float(lam)
+        self._opinion = space.opinion_matrix(self.reviews)
+        self._aspect = space.aspect_matrix(self.reviews)
+        self._lock = threading.Lock()
+        self._base = GramBlock(
+            self._opinion,
+            self._aspect,
+            self.lam,
+            0.0,
+            with_sync=False,
+            timer=timer if timer is not None else StageTimer(),
+        )
+        self._plus: dict[float, GramBlock] = {}
+        self._strengths: np.ndarray | None = None
+        self._solve_cache: dict[tuple, RegressionSelection] = {}
+
+    def matches(self, space: VectorSpace, reviews: Sequence[Review], lam: float) -> bool:
+        """Cheap identity check that these artifacts fit an item solve."""
+        return (
+            self.space is space
+            and self.lam == float(lam)
+            and len(self.reviews) == len(reviews)
+            and (not self.reviews or self.reviews[0] is reviews[0])
+        )
+
+    def base_block(self) -> GramBlock:
+        """The CompaReSetS block ``[O; lam*A]``."""
+        return self._base
+
+    def plus_block(self, mu: float, timer: StageTimer | None = None) -> GramBlock:
+        """The CompaReSetS+ block for ``mu`` (built once, then shared).
+
+        The dedup depends on ``mu`` (two reviews with equal opinions and
+        aspects are always grouped, but the rounding is applied to the
+        scaled rows), hence the per-``mu`` keying.
+        """
+        mu = float(mu)
+        with self._lock:
+            block = self._plus.get(mu)
+        if block is None:
+            block = GramBlock(
+                self._opinion,
+                self._aspect,
+                self.lam,
+                mu,
+                with_sync=True,
+                timer=timer if timer is not None else StageTimer(),
+            )
+            with self._lock:
+                self._plus.setdefault(mu, block)
+                block = self._plus[mu]
+        return block
+
+    def cached_solve(
+        self, key: tuple, compute: Callable[[], RegressionSelection]
+    ) -> RegressionSelection:
+        """Memoise a full regression solve keyed by its exact inputs.
+
+        Alternating CompaReSetS+ sweeps converge quickly, so later sweeps
+        re-pose byte-identical subproblems (same target vector, same
+        parameters); serving repeats them across requests.  The key embeds
+        ``target.tobytes()`` plus every parameter that shapes the solve, so
+        a hit returns precisely what recomputing would.  The cache is
+        dropped wholesale past a size bound rather than evicted piecemeal —
+        solves cluster around a handful of targets per item.
+        """
+        with self._lock:
+            hit = self._solve_cache.get(key)
+        if hit is not None:
+            return hit
+        result = compute()
+        with self._lock:
+            if len(self._solve_cache) >= _SOLVE_CACHE_LIMIT:
+                self._solve_cache.clear()
+            self._solve_cache.setdefault(key, result)
+            return self._solve_cache[key]
+
+    def clear_solve_cache(self) -> None:
+        """Drop memoised solve results, keeping the Gram blocks.
+
+        For benchmarking the warm-artifact / cold-solve case; production
+        callers never need this (the cache is exact by construction).
+        """
+        with self._lock:
+            self._solve_cache.clear()
+
+    def strength_matrix(self) -> np.ndarray:
+        """(z, N) raw signed-strength columns for unary-scale evaluation."""
+        with self._lock:
+            if self._strengths is None:
+                if self.reviews:
+                    self._strengths = np.column_stack(
+                        [
+                            self.space.review_signed_strengths(review)
+                            for review in self.reviews
+                        ]
+                    )
+                else:
+                    self._strengths = np.zeros((self.space.num_aspects, 0))
+            return self._strengths
+
+
+#: Upper bound on memoised solves per :class:`SolverArtifacts`; the cache
+#: clears wholesale when full (see :meth:`SolverArtifacts.cached_solve`).
+_SOLVE_CACHE_LIMIT = 1024
+
+#: Relative margin below which a screened atom choice counts as a tie and
+#: the exact correlation vector is recomputed.  The fp discrepancy between
+#: ``alpha`` and ``W^T r`` is ~D machine epsilons (relative ~1e-13); 1e-9
+#: leaves four orders of magnitude of slack, and a false positive merely
+#: costs one reference-style mat-vec.
+_TIE_MARGIN = 1e-9
+
+
+def batch_omp_path(
+    gram: np.ndarray,
+    b: np.ndarray,
+    max_atoms: int,
+    stacked: np.ndarray,
+    target: np.ndarray,
+    *,
+    exact: bool = True,
+) -> list[np.ndarray]:
+    """Non-negative Batch-OMP, returning the solution after *every* atom.
+
+    Drop-in counterpart of
+    :func:`~repro.core.integer_regression.nomp_path` operating on the
+    precomputed Gram ``gram = stacked^T stacked`` and correlation
+    ``b = stacked^T target``.  Atom selection uses the Gram-updated
+    correlation ``alpha = b - gram[:, S] c`` as a screen.
+
+    ``exact=True`` (the default) guarantees the returned path is
+    bit-identical to the reference ``nomp_path(stacked, target, ...)``:
+    when the screened winner's margin (or the stopping test) falls below
+    :data:`_TIE_MARGIN` the reference correlations are recomputed with the
+    reference's own expressions, and the support coefficients always come
+    from scipy ``nnls`` (their last ulp feeds the rounding stage).
+    ``exact=False`` is textbook Batch-OMP — Gram correlations plus
+    incremental-Cholesky coefficients, with nnls only when the
+    unconstrained solve goes negative or the support turns numerically
+    rank-deficient — whose atom/rounding tie-breaks may diverge from the
+    reference on tie-heavy instances.
+    """
+    if gram.ndim != 2 or gram.shape[0] != gram.shape[1]:
+        raise ValueError(f"expected a square Gram matrix, got shape {gram.shape}")
+    num_columns = gram.shape[1]
+    if num_columns == 0 or max_atoms <= 0:
+        return []
+
+    max_steps = min(max_atoms, num_columns)
+    target_float = target.astype(float)
+    alpha = b.astype(float).copy()
+    lower = np.zeros((max_steps, max_steps))
+    support: list[int] = []
+    in_support = np.zeros(num_columns, dtype=bool)
+    cholesky_ok = not exact
+    coefficients = np.zeros(0)
+    path: list[np.ndarray] = []
+
+    for _ in range(max_steps):
+        correlations = alpha.copy()
+        correlations[in_support] = -np.inf
+        best = int(np.argmax(correlations))
+        top = float(correlations[best])
+        if exact and support:
+            # Screen: the Gram-updated alpha differs from the reference's
+            # W^T r by fp noise only, so an unambiguous winner is *the*
+            # winner.  On a near-tie (or a borderline stop) recompute the
+            # reference correlations bitwise and let them decide.
+            correlations[best] = -np.inf
+            runner_up = float(correlations.max()) if num_columns > 1 else -np.inf
+            margin = _TIE_MARGIN * max(1.0, abs(top), abs(runner_up))
+            if top - runner_up <= margin or top <= _CORRELATION_TOLERANCE + margin:
+                residual = target_float - stacked[:, support] @ coefficients
+                refreshed = stacked.T @ residual
+                refreshed[in_support] = -np.inf
+                best = int(np.argmax(refreshed))
+                top = float(refreshed[best])
+        if top <= _CORRELATION_TOLERANCE:
+            break
+        size = len(support)
+        if cholesky_ok:
+            pivot = float(gram[best, best])
+            if size:
+                w = solve_triangular(
+                    lower[:size, :size],
+                    gram[support, best],
+                    lower=True,
+                    check_finite=False,
+                )
+                pivot -= float(w @ w)
+            if pivot <= 1e-12 * max(1.0, float(gram[best, best])):
+                cholesky_ok = False
+            else:
+                if size:
+                    lower[size, :size] = w
+                lower[size, size] = np.sqrt(pivot)
+        support.append(best)
+        in_support[best] = True
+        size += 1
+
+        step: np.ndarray | None = None
+        if cholesky_ok:
+            factor = lower[:size, :size]
+            forward = solve_triangular(
+                factor, b[support], lower=True, check_finite=False
+            )
+            step = solve_triangular(
+                factor.T, forward, lower=False, check_finite=False
+            )
+            if np.any(step < 0.0):
+                step = None
+        if step is None:
+            step, _ = nnls(stacked[:, support], target)
+        coefficients = step
+
+        alpha = b - gram[:, support] @ coefficients
+        x = np.zeros(num_columns)
+        x[support] = coefficients
+        path.append(x)
+    return path
+
+
+class CountsEvaluator:
+    """True-objective evaluation from group counts on unique columns.
+
+    Replaces the reference's per-candidate rebuild (gather ``Review``
+    objects, re-walk their mentions) with two mat-vecs on the block's
+    precomputed unique columns.  Binary / 3-polarity counts are exact
+    integers, so the mat-vec totals are bit-identical to the review walk;
+    the unary scheme re-accumulates raw signed strengths in selection
+    order to preserve the reference's floating-point summation order.
+    """
+
+    __slots__ = ("artifacts", "block", "tau", "gamma", "lam", "unary")
+
+    def __init__(
+        self,
+        artifacts: SolverArtifacts,
+        block: GramBlock,
+        tau: np.ndarray,
+        gamma: np.ndarray,
+        lam: float,
+    ) -> None:
+        self.artifacts = artifacts
+        self.block = block
+        self.tau = tau
+        self.gamma = gamma
+        self.lam = float(lam)
+        self.unary = artifacts.space.scheme is OpinionScheme.UNARY_SCALE
+
+    def vectors(
+        self, counts: np.ndarray, selection: tuple[int, ...]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(pi, phi) of the selection, matching :class:`VectorSpace` exactly."""
+        weights = np.asarray(counts, dtype=float)
+        aspect_counts = self.block.unique_aspect @ weights
+        maximum = float(aspect_counts.max()) if aspect_counts.size else 0.0
+        phi = aspect_counts if maximum == 0.0 else aspect_counts / maximum
+        if self.unary:
+            pi = self._unary_pi(selection, aspect_counts)
+        else:
+            opinion_counts = self.block.unique_opinion @ weights
+            pi = opinion_counts if maximum == 0.0 else opinion_counts / maximum
+        return pi, phi
+
+    def _unary_pi(
+        self, selection: tuple[int, ...], aspect_counts: np.ndarray
+    ) -> np.ndarray:
+        strengths = self.artifacts.strength_matrix()
+        totals = np.zeros(strengths.shape[0])
+        for index in selection:
+            totals += strengths[:, index]
+        mentioned = aspect_counts > 0
+        pi = np.zeros(strengths.shape[0])
+        pi[mentioned] = _sigmoid(totals[mentioned])
+        return pi
+
+    def item_value(self, counts: np.ndarray, selection: tuple[int, ...]) -> float:
+        """Eq.-3 contribution — mirrors :func:`~repro.core.objective.item_objective`."""
+        pi, phi = self.vectors(counts, selection)
+        return squared_l2(self.tau, pi) + self.lam**2 * squared_l2(self.gamma, phi)
+
+    def plus_value(
+        self,
+        counts: np.ndarray,
+        selection: tuple[int, ...],
+        other_phis: Sequence[np.ndarray],
+        mu: float,
+        literal: bool,
+    ) -> float:
+        """Algorithm-1 acceptance score — mirrors ``_item_plus_objective``."""
+        pi, phi = self.vectors(counts, selection)
+        pairwise = sum(squared_l2(phi, other) for other in other_phis)
+        if literal:
+            return squared_l2(self.tau, pi) + squared_l2(self.gamma, phi) + pairwise
+        base = squared_l2(self.tau, pi) + self.lam**2 * squared_l2(self.gamma, phi)
+        return base + mu**2 * pairwise
+
+
+def _run_regression(
+    block: GramBlock,
+    sync_blocks: int,
+    target: np.ndarray,
+    max_reviews: int,
+    evaluate: Callable[[np.ndarray, tuple[int, ...]], float],
+    timer: StageTimer,
+    allow_empty: bool = False,
+    exact: bool = True,
+) -> RegressionSelection:
+    """The kernel's Integer-Regression driver.
+
+    Mirrors :func:`~repro.core.integer_regression.integer_regression_select`
+    candidate for candidate: the same discrete rounding, the same strict
+    1e-12 improvement rule, the same empty-set fallback — only the pursuit
+    and the evaluation are served from precomputed artifacts.
+    """
+    with timer.stage("gram"):
+        gram = block.gram(sync_blocks)
+        stacked = block.stacked(sync_blocks)
+    capacities = block.capacities
+    target = np.asarray(target, dtype=float)
+    with timer.stage("pursuit"):
+        b = stacked.T @ target
+        path = batch_omp_path(gram, b, max_reviews, stacked, target, exact=exact)
+
+    best: RegressionSelection | None = None
+    if allow_empty:
+        with timer.stage("evaluate"):
+            empty_value = evaluate(np.zeros(block.num_groups, dtype=int), ())
+        best = RegressionSelection(selected=(), objective=empty_value)
+    seen: set[tuple[int, ...]] = {()}
+    for x in path:
+        with timer.stage("round"):
+            counts = round_to_counts(x, capacities, max_reviews)
+            selection = counts_to_selection(counts, block.groups)
+        if selection in seen:
+            continue
+        seen.add(selection)
+        with timer.stage("evaluate"):
+            objective = evaluate(counts, selection)
+        if best is None or objective < best.objective - 1e-12:
+            best = RegressionSelection(selected=selection, objective=objective)
+    if best is None:
+        with timer.stage("evaluate"):
+            empty_value = evaluate(np.zeros(block.num_groups, dtype=int), ())
+        best = RegressionSelection(selected=(), objective=empty_value)
+    return best
+
+
+def solve_item(
+    artifacts: SolverArtifacts,
+    tau: np.ndarray,
+    gamma: np.ndarray,
+    config: SelectionConfig,
+    *,
+    timer: StageTimer | None = None,
+    exact: bool = True,
+) -> RegressionSelection:
+    """Kernel counterpart of the CompaReSetS per-item solve (Eq. 4)."""
+    timer = timer if timer is not None else StageTimer()
+    block = artifacts.base_block()
+    target = concat_scaled((1.0, tau), (config.lam, gamma))
+    key = ("item", config.max_reviews, exact, target.tobytes())
+
+    def compute() -> RegressionSelection:
+        evaluator = CountsEvaluator(artifacts, block, tau, gamma, config.lam)
+        return _run_regression(
+            block, 0, target, config.max_reviews, evaluator.item_value, timer,
+            exact=exact,
+        )
+
+    return artifacts.cached_solve(key, compute)
+
+
+def solve_plus_item(
+    artifacts: SolverArtifacts,
+    tau: np.ndarray,
+    gamma: np.ndarray,
+    other_phis: Sequence[np.ndarray],
+    config: SelectionConfig,
+    current: tuple[int, ...],
+    literal: bool,
+    *,
+    timer: StageTimer | None = None,
+    exact: bool = True,
+) -> tuple[int, ...]:
+    """Kernel counterpart of one Algorithm-1 inner iteration for item i.
+
+    Returns the improved selection, or ``current`` when the regression
+    candidate does not strictly improve the acceptance score.  With no
+    other items the sync row block vanishes and the solve runs on the
+    CompaReSetS base block, exactly like ``regression_columns(...,
+    sync_blocks=0)`` does in the reference.
+    """
+    timer = timer if timer is not None else StageTimer()
+    sync_blocks = len(other_phis)
+    if sync_blocks == 0:
+        block = artifacts.base_block()
+    else:
+        block = artifacts.plus_block(config.mu, timer=timer)
+    gamma_scale = 1.0 if literal else config.lam
+    phi_scale = 1.0 if literal else config.mu
+    target_parts: list[tuple[float, np.ndarray]] = [
+        (1.0, tau),
+        (gamma_scale, gamma),
+    ]
+    for phi in other_phis:
+        target_parts.append((phi_scale, phi))
+    target = concat_scaled(*target_parts)
+    evaluator = CountsEvaluator(artifacts, block, tau, gamma, config.lam)
+
+    def evaluate(counts: np.ndarray, selection: tuple[int, ...]) -> float:
+        return evaluator.plus_value(counts, selection, other_phis, config.mu, literal)
+
+    # The target blocks (with mu / literal in the key) pin down the other
+    # items' phis, so the memo key fully determines the candidate solve.
+    key = (
+        "plus", sync_blocks, config.max_reviews, config.mu, literal, exact,
+        target.tobytes(),
+    )
+    candidate = artifacts.cached_solve(
+        key,
+        lambda: _run_regression(
+            block, sync_blocks, target, config.max_reviews, evaluate, timer,
+            exact=exact,
+        ),
+    )
+    with timer.stage("evaluate"):
+        current_objective = evaluate(block.counts_for(current), current)
+    if candidate.objective < current_objective - 1e-12:
+        return candidate.selected
+    return current

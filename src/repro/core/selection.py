@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
 import numpy as np
@@ -20,13 +20,18 @@ class SelectionResult:
     ``selections[i]`` holds sorted indices into ``instance.reviews[i]``.
     ``degraded`` marks a substitute produced by a resilience policy (a
     cheap baseline stood in after the intended selector failed or timed
-    out); measurements can filter or flag such results.
+    out); measurements can filter or flag such results.  ``timings``
+    optionally carries per-stage solver wall times in milliseconds
+    (dedup / gram / pursuit / round / evaluate — see
+    :mod:`repro.core.omp_kernel`); it is diagnostic metadata and excluded
+    from equality.
     """
 
     instance: ComparisonInstance
     selections: tuple[tuple[int, ...], ...]
     algorithm: str
     degraded: bool = False
+    timings: dict[str, float] | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if len(self.selections) != self.instance.num_items:
@@ -67,6 +72,7 @@ class SelectionResult:
             selections=tuple(self.selections[i] for i in item_indices),
             algorithm=self.algorithm,
             degraded=self.degraded,
+            timings=self.timings,
         )
 
 

@@ -72,6 +72,13 @@ class VectorSpace:
         # candidate-scoring loops recompute them thousands of times.
         self._aspect_cache: dict[str, np.ndarray] = {}
         self._opinion_cache: dict[str, np.ndarray] = {}
+        self._strength_cache: dict[str, np.ndarray] = {}
+        # Set-level pi/phi of *tuples* of reviews (an item's full review
+        # collection is a tuple; candidate selections are lists and skip
+        # this).  tau_i / Gamma are per-item invariants recomputed on
+        # every selector call otherwise — at hundreds of reviews per item
+        # that walk dominates warm serving requests.
+        self._set_cache: dict[tuple[str, ...], np.ndarray] = {}
 
     @property
     def num_aspects(self) -> int:
@@ -141,6 +148,27 @@ class VectorSpace:
         self._opinion_cache[review.review_id] = incidence
         return incidence
 
+    def review_signed_strengths(self, review: Review) -> np.ndarray:
+        """Raw summed signed strength per aspect (z-vector, 0 if unmentioned).
+
+        The unary-scale set-level pi applies the sigmoid to the *sum* of
+        these per-review totals (see :meth:`opinion_vector`); the solver
+        kernel accumulates the cached columns and applies the sigmoid at
+        the end, reproducing that summation exactly.
+
+        Cached per review id; callers must not mutate the returned array.
+        """
+        cached = self._strength_cache.get(review.review_id)
+        if cached is not None:
+            return cached
+        totals = np.zeros(self.num_aspects)
+        for aspect in {m.aspect for m in review.mentions}:
+            position = self._index.get(aspect)
+            if position is not None:
+                totals[position] = review.signed_strength_for(aspect)
+        self._strength_cache[review.review_id] = totals
+        return totals
+
     # -- matrices -------------------------------------------------------------
 
     def aspect_matrix(self, reviews: Sequence[Review]) -> np.ndarray:
@@ -164,16 +192,39 @@ class VectorSpace:
         maximum = float(counts.max()) if counts.size else 0.0
         return maximum
 
+    def _set_cache_key(
+        self, kind: str, reviews: Iterable[Review]
+    ) -> tuple[str, ...] | None:
+        """A memo key for set-level vectors — tuples of reviews only.
+
+        Review ids are unique within a corpus, so the id sequence fully
+        determines the vector.  Callers must not mutate cached results
+        (the same contract as the per-review incidence caches).
+        """
+        if isinstance(reviews, tuple) and reviews:
+            return (kind, *[review.review_id for review in reviews])
+        return None
+
     def aspect_vector(self, reviews: Iterable[Review]) -> np.ndarray:
-        """phi(S): per-aspect incidence counts / max aspect count."""
+        """phi(S): per-aspect incidence counts / max aspect count.
+
+        Cached when ``reviews`` is a tuple (an item's full collection);
+        callers must not mutate the returned array.
+        """
+        key = self._set_cache_key("phi", reviews)
+        if key is not None:
+            cached = self._set_cache.get(key)
+            if cached is not None:
+                return cached
         reviews = list(reviews)
         counts = np.zeros(self.num_aspects)
         for review in reviews:
             counts += self.review_aspect_incidence(review)
         maximum = float(counts.max()) if counts.size else 0.0
-        if maximum == 0.0:
-            return counts
-        return counts / maximum
+        result = counts if maximum == 0.0 else counts / maximum
+        if key is not None:
+            self._set_cache[key] = result
+        return result
 
     def opinion_vector(self, reviews: Iterable[Review]) -> np.ndarray:
         """pi(S): opinion distribution of the review set.
@@ -181,7 +232,21 @@ class VectorSpace:
         Binary / 3-polarity: opinion incidence counts normalised by the max
         *aspect* count (Working Example 1).  Unary-scale: sigmoid of the
         summed signed sentiment per mentioned aspect.
+
+        Cached when ``reviews`` is a tuple (an item's full collection);
+        callers must not mutate the returned array.
         """
+        key = self._set_cache_key("pi", reviews)
+        if key is not None:
+            cached = self._set_cache.get(key)
+            if cached is not None:
+                return cached
+        result = self._opinion_vector_uncached(reviews)
+        if key is not None:
+            self._set_cache[key] = result
+        return result
+
+    def _opinion_vector_uncached(self, reviews: Iterable[Review]) -> np.ndarray:
         reviews = list(reviews)
         if self.scheme is OpinionScheme.UNARY_SCALE:
             totals = np.zeros(self.num_aspects)

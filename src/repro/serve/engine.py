@@ -145,7 +145,13 @@ class NarrowRequest(SelectRequest):
 
 @dataclass(frozen=True, slots=True)
 class Provenance:
-    """How an answer was produced (attached to every response)."""
+    """How an answer was produced (attached to every response).
+
+    ``stage_timings`` carries the solver kernel's per-stage wall times in
+    milliseconds (dedup / gram / pursuit / round / evaluate) for the solve
+    that produced the cached value; cache hits repeat the original solve's
+    timings unchanged.
+    """
 
     cache: str  # "hit" | "miss" | "coalesced"
     backend: str
@@ -155,6 +161,7 @@ class Provenance:
     fallback_depth: int | None = None
     degraded: bool = False
     breaker_skipped: tuple[str, ...] = ()
+    stage_timings: Mapping[str, float] | None = None
 
     def as_dict(self) -> dict[str, object]:
         payload: dict[str, object] = {
@@ -170,6 +177,10 @@ class Provenance:
             payload["fallback_depth"] = self.fallback_depth
         if self.breaker_skipped:
             payload["breaker_skipped"] = list(self.breaker_skipped)
+        if self.stage_timings is not None:
+            payload["stage_ms"] = {
+                stage: round(ms, 3) for stage, ms in self.stage_timings.items()
+            }
         return payload
 
 
@@ -233,6 +244,7 @@ class _SolvedNarrow:
     fallback_depth: int
     degraded: bool
     breaker_skipped: tuple[str, ...] = ()
+    stage_timings: Mapping[str, float] | None = None
 
 
 class SelectionEngine:
@@ -555,6 +567,7 @@ class SelectionEngine:
                 fallback_depth=solved.fallback_depth,
                 degraded=solved.degraded,
                 breaker_skipped=solved.breaker_skipped,
+                stage_timings=solved.stage_timings,
             )
         else:
             provenance = Provenance(
@@ -563,6 +576,7 @@ class SelectionEngine:
                 corpus_version=artifacts.version,
                 wall_ms=wall_ms,
                 degraded=solved.result.degraded,
+                stage_timings=solved.result.timings,
             )
         return EngineResponse(result=solved.payload, provenance=provenance)
 
@@ -667,10 +681,30 @@ class SelectionEngine:
         config = request.config()
         selector = make_selector(request.algorithm)
         if isinstance(selector, (CompareSetsSelector, CompareSetsPlusSelector)):
-            # The paper algorithms accept the store's precomputed space;
-            # baselines build their own (they are cheap by construction).
-            return selector.select(artifacts.instance, config, space=artifacts.space)
-        return selector.select(artifacts.instance, config)
+            # The paper algorithms accept the store's precomputed space and
+            # per-item solver artifacts (dedup + Gram reuse); baselines
+            # build their own (they are cheap by construction).
+            result = selector.select(
+                artifacts.instance,
+                config,
+                space=artifacts.space,
+                solver_artifacts=artifacts.solver or None,
+            )
+        else:
+            result = selector.select(artifacts.instance, config)
+        self._observe_stage_timings(result.timings)
+        return result
+
+    def _observe_stage_timings(self, timings: Mapping[str, float] | None) -> None:
+        """Export one solve's per-stage kernel timings to /metrics."""
+        if not timings:
+            return
+        for stage, ms in timings.items():
+            self.metrics.histogram(
+                "repro_solver_stage_seconds",
+                "per-stage solver kernel wall time for cache-miss solves",
+                labels={"stage": stage},
+            ).observe(ms / 1e3)
 
     def _chain_for(
         self, request: NarrowRequest
@@ -746,4 +780,5 @@ class SelectionEngine:
             fallback_depth=depth,
             degraded=outcome.degraded or selected.degraded,
             breaker_skipped=tuple(skipped),
+            stage_timings=selected.timings,
         )

@@ -28,6 +28,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.omp_kernel import SolverArtifacts
 from repro.core.problem import SelectionConfig
 from repro.core.vectors import OpinionScheme, VectorSpace, regression_columns
 from repro.data.corpus import Corpus
@@ -68,7 +69,12 @@ class InstanceArtifacts:
     offline selectors use via
     :func:`~repro.core.vectors.regression_columns`.  ``space`` carries the
     per-review incidence memoisation, so repeated solves against the same
-    artifacts skip the tokenised-corpus walk entirely.
+    artifacts skip the tokenised-corpus walk entirely.  ``solver[i]`` is
+    item i's Batch-OMP :class:`~repro.core.omp_kernel.SolverArtifacts`
+    (dedup groups, unique columns, Gram blocks): warm requests skip dedup
+    + Gram entirely, and the CompaReSetS+ per-``mu`` sync blocks memoise
+    inside it on first use.  Like everything here, it is versioned with
+    the store generation and dropped wholesale on reload.
     """
 
     version: str
@@ -77,6 +83,7 @@ class InstanceArtifacts:
     gamma: np.ndarray
     taus: tuple[np.ndarray, ...]
     columns: tuple[np.ndarray, ...]
+    solver: tuple[SolverArtifacts, ...] = ()
 
     @property
     def comparative_ids(self) -> tuple[str, ...]:
@@ -312,6 +319,10 @@ class ItemStore:
             regression_columns(space, reviews, config.lam)
             for reviews in instance.reviews
         )
+        solver = tuple(
+            SolverArtifacts(space, reviews, config.lam)
+            for reviews in instance.reviews
+        )
         built = InstanceArtifacts(
             version=generation.version,
             instance=instance,
@@ -319,6 +330,7 @@ class ItemStore:
             gamma=gamma,
             taus=taus,
             columns=columns,
+            solver=solver,
         )
         with self._lock:
             # First build wins so every caller shares one artifact object

@@ -42,6 +42,55 @@ class TestDeduplicateColumns:
         with pytest.raises(ValueError):
             deduplicate_columns(np.zeros(3))
 
+    def test_signed_zero_columns_merge(self):
+        """-0.0 and +0.0 round to different byte patterns but are the same
+        column; regression test for the signed-zero key split."""
+        matrix = np.array([[-1e-15, 1e-15, 0.0], [1.0, 1.0, 1.0]])
+        result = deduplicate_columns(matrix)
+        assert result.groups == ((0, 1, 2),)
+
+    def test_zero_row_matrix_single_group(self):
+        result = deduplicate_columns(np.zeros((0, 4)))
+        assert result.groups == ((0, 1, 2, 3),)
+        assert result.matrix.shape == (0, 1)
+
+    def test_first_occurrence_order_preserved(self):
+        matrix = np.array(
+            [[3.0, 1.0, 3.0, 2.0, 1.0], [0.0, 1.0, 0.0, 2.0, 1.0]]
+        )
+        result = deduplicate_columns(matrix)
+        assert result.groups == ((0, 2), (1, 4), (3,))
+        np.testing.assert_array_equal(result.matrix, matrix[:, [0, 1, 3]])
+
+    @given(
+        st.integers(1, 6),
+        st.integers(0, 24),
+        st.integers(0, 10**6),
+    )
+    @settings(max_examples=60)
+    def test_matches_bytes_key_reference(self, rows, cols, seed):
+        """The vectorised grouping equals the original dict-of-bytes walk."""
+        rng = np.random.default_rng(seed)
+        # Low-cardinality values force plenty of duplicate columns.
+        matrix = rng.choice([0.0, 0.5, 1.0], size=(rows, cols))
+        result = deduplicate_columns(matrix)
+
+        reference: dict[bytes, list[int]] = {}
+        order: list[bytes] = []
+        rounded = np.round(matrix, 12) + 0.0
+        for column in range(cols):
+            key = rounded[:, column].tobytes()
+            if key not in reference:
+                reference[key] = []
+                order.append(key)
+            reference[key].append(column)
+        assert result.groups == tuple(tuple(reference[key]) for key in order)
+        if result.groups:
+            np.testing.assert_array_equal(
+                result.matrix,
+                np.column_stack([matrix[:, g[0]] for g in result.groups]),
+            )
+
 
 class TestNomp:
     def test_exact_recovery_of_sparse_combination(self):
@@ -169,6 +218,35 @@ class TestRoundToCounts:
         x = rng.uniform(0, 1, 6)
         counts = round_to_counts(x, np.full(6, 10), max_total=4)
         assert counts.sum() <= 4
+
+    @given(
+        st.lists(st.floats(0, 2, allow_nan=False), min_size=1, max_size=8),
+        st.integers(1, 8),
+        st.integers(1, 4),
+    )
+    @settings(max_examples=80)
+    def test_matches_per_total_reference(self, x_values, max_total, cap):
+        """The batched-argsort rewrite returns exactly what the original
+        per-total largest_remainder_round loop returned."""
+        x = np.array(x_values)
+        capacities = np.full(len(x), cap)
+        mass = float(np.abs(x).sum())
+        expected = np.zeros(len(x), dtype=int)
+        if mass > 0.0:
+            normalised = x / mass
+            best_gap = np.inf
+            for s in range(1, max_total + 1):
+                counts = largest_remainder_round(normalised * s, capacities, s)
+                count_sum = int(counts.sum())
+                if count_sum == 0:
+                    continue
+                gap = float(np.abs(counts / count_sum - normalised).sum())
+                if gap < best_gap - 1e-12:
+                    best_gap = gap
+                    expected = counts
+        np.testing.assert_array_equal(
+            round_to_counts(x, capacities, max_total), expected
+        )
 
     @given(
         st.lists(st.floats(0, 1, allow_nan=False), min_size=1, max_size=6),
