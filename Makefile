@@ -1,6 +1,6 @@
 # Developer conveniences; everything also works as plain pytest/python calls.
 
-.PHONY: install test bench examples experiments serve-smoke chaos-smoke bench-core-smoke ci lint clean
+.PHONY: install test bench examples experiments serve-smoke chaos-smoke bench-core-smoke bench-eval-smoke ci lint clean
 
 install:
 	pip install -e .
@@ -28,6 +28,10 @@ chaos-smoke:
 # Batch-OMP kernel vs reference: identical selections + >= 1x warm speedup.
 bench-core-smoke:
 	PYTHONPATH=src python scripts/bench_core_smoke.py
+
+# ROUGE eval kernel vs reference: bitwise-equal scores + >= 1x speedup.
+bench-eval-smoke:
+	PYTHONPATH=src python scripts/bench_eval_smoke.py
 
 # Mirrors .github/workflows/ci.yml: the test matrix plus the lint job.
 # Lint is skipped with a notice when ruff is not installed locally.

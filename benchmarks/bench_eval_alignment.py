@@ -1,0 +1,138 @@
+"""Bench: interned-token ROUGE kernel vs the pure-Python alignment path.
+
+Two workloads, both asserting *bitwise-identical scores* between paths:
+
+* a Table-3-style all-pairs alignment sweep — every selector result's
+  cross-item review-pair grid scored for both views, kernel
+  (:class:`~repro.eval.alignment.AlignmentScorer`) vs the reference
+  pair loop (``use_kernel=False``); each timed run builds a fresh scorer
+  so interning/tokenisation costs are inside the measurement;
+* the end-to-end Table 3 driver (solve + score + t-tests) on one
+  category, kernel scorer vs reference scorer.
+
+Archives ``results/BENCH_eval.json``.  Expected shape: >= 3x on the
+alignment sweep, >= 2x end-to-end (alignment dominates the driver's
+wall clock, solving does not speed up).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from benchmarks.conftest import RESULTS_DIR, emit
+from repro.eval.alignment import AlignmentScorer
+from repro.eval.runner import EvaluationSettings, evaluate_selectors, prepare_instances
+from repro.experiments.table3 import run_table3
+
+ALIGN_ALGORITHMS = ("Random", "CompaReSetS")
+ALIGN_SETTINGS = EvaluationSettings(
+    categories=("Cellphone",),
+    scale=0.8,
+    seed=7,
+    max_instances=20,
+    max_comparisons=8,
+    min_reviews=3,
+    budgets=(5, 10),
+)
+TABLE3_SETTINGS = EvaluationSettings(
+    categories=("Cellphone",),
+    scale=0.8,
+    seed=7,
+    max_instances=12,
+    max_comparisons=8,
+    min_reviews=3,
+    budgets=(3, 5, 10),
+)
+
+
+def _best_of(fn, repeats):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        begun = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - begun)
+    return best, result
+
+
+def _alignment_workload():
+    """All selector results of the sweep, solved once up front."""
+    instances = prepare_instances(ALIGN_SETTINGS, ALIGN_SETTINGS.categories[0])
+    results = []
+    for budget in ALIGN_SETTINGS.budgets:
+        config = ALIGN_SETTINGS.config.with_(max_reviews=budget)
+        runs = evaluate_selectors(
+            ALIGN_ALGORITHMS, instances, config, seed=ALIGN_SETTINGS.seed
+        )
+        for run in runs.values():
+            results.extend(run.results)
+    return results
+
+
+def run_eval_bench():
+    results = _alignment_workload()
+
+    def score_all(use_kernel):
+        scorer = AlignmentScorer(use_kernel=use_kernel)
+        return [scorer.score_both(result) for result in results]
+
+    ref_s, ref_scores = _best_of(lambda: score_all(False), repeats=2)
+    ker_s, ker_scores = _best_of(lambda: score_all(True), repeats=3)
+    pairs = sum(target.num_pairs for target, _ in ref_scores)
+    alignment = {
+        "results_scored": len(results),
+        "target_pairs": pairs,
+        "reference_s": ref_s,
+        "kernel_s": ker_s,
+        "speedup": ref_s / ker_s,
+        "identical": ref_scores == ker_scores,
+    }
+
+    ref_e2e_s, ref_cells = _best_of(
+        lambda: run_table3(
+            TABLE3_SETTINGS, scorer=AlignmentScorer(use_kernel=False)
+        ),
+        repeats=1,
+    )
+    ker_e2e_s, ker_cells = _best_of(
+        lambda: run_table3(TABLE3_SETTINGS), repeats=2
+    )
+    end_to_end = {
+        "cells": len(ker_cells),
+        "reference_s": ref_e2e_s,
+        "kernel_s": ker_e2e_s,
+        "speedup": ref_e2e_s / ker_e2e_s,
+        "identical": ref_cells == ker_cells,
+    }
+    return {"alignment_sweep": alignment, "table3_end_to_end": end_to_end}
+
+
+def render(report) -> str:
+    a, e = report["alignment_sweep"], report["table3_end_to_end"]
+    lines = [
+        "Evaluation engine: interned-token ROUGE kernel vs pure-Python reference",
+        f"{'workload':<26} {'ref s':>8} {'kernel s':>9} {'speedup':>8} {'identical':>9}",
+        f"{'alignment sweep':<26} {a['reference_s']:>8.2f} {a['kernel_s']:>9.2f} "
+        f"{a['speedup']:>7.1f}x {str(a['identical']):>9}",
+        f"{'table3 end-to-end':<26} {e['reference_s']:>8.2f} {e['kernel_s']:>9.2f} "
+        f"{e['speedup']:>7.1f}x {str(e['identical']):>9}",
+        f"({a['results_scored']} results scored both views, "
+        f"{a['target_pairs']} target-view pairs; {e['cells']} table cells)",
+    ]
+    return "\n".join(lines)
+
+
+def test_eval_alignment(benchmark, capsys):
+    report = benchmark.pedantic(run_eval_bench, rounds=1, iterations=1)
+
+    a, e = report["alignment_sweep"], report["table3_end_to_end"]
+    assert a["identical"], "kernel alignment scores diverged from reference"
+    assert a["speedup"] >= 3.0, a
+    assert e["identical"], "table3 cells diverged between scorer paths"
+    assert e["speedup"] >= 2.0, e
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_eval.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    emit("eval_alignment", render(report), capsys)

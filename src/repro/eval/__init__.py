@@ -11,6 +11,7 @@
 """
 
 from repro.eval.alignment import (
+    AlignmentScorer,
     AlignmentScores,
     among_items_alignment,
     mean_alignment,
@@ -33,6 +34,7 @@ from repro.eval.stats import krippendorff_alpha, paired_t_test
 from repro.eval.user_study import UserStudyOutcome, run_user_study
 
 __all__ = [
+    "AlignmentScorer",
     "AlignmentScores",
     "BootstrapInterval",
     "EvaluationSettings",

@@ -10,6 +10,15 @@ items, compute ROUGE-1/2/L F1 and average.  Two views are reported:
 
 Scores are kept as fractions in [0, 1]; the paper's tables show them
 multiplied by 100 (done in the reporting layer).
+
+Scoring runs on the interned-token ROUGE kernel
+(:mod:`repro.text.rouge_kernel`) by default: an :class:`AlignmentScorer`
+owns a corpus-level interner, scores each cross-item review-pair grid in
+one vectorised call, and accumulates the per-pair F1 values in exactly
+the reference order, so every :class:`AlignmentScores` is bitwise equal
+to the pure-Python path (``AlignmentScorer(use_kernel=False)``, kept as
+the checkable reference).  Both paths tokenise each distinct review text
+once per interner, however many pairs or views it appears in.
 """
 
 from __future__ import annotations
@@ -19,7 +28,7 @@ from collections.abc import Sequence
 
 from repro.core.selection import SelectionResult
 from repro.text.rouge import rouge_l, rouge_n
-from repro.text.tokenize import tokenize
+from repro.text.rouge_kernel import CorpusInterner, InternedText, rouge_pair_grid
 
 
 @dataclass(frozen=True, slots=True)
@@ -42,11 +51,17 @@ class AlignmentScores:
 
 _EMPTY = AlignmentScores(rouge_1=0.0, rouge_2=0.0, rouge_l=0.0, num_pairs=0)
 
+VIEWS = ("target", "among")
+
 
 def _pair_scores(
     tokens_a: Sequence[Sequence[str]], tokens_b: Sequence[Sequence[str]]
 ) -> tuple[float, float, float, int]:
-    """Summed ROUGE-1/2/L over the cross product of two token-list groups."""
+    """Summed ROUGE-1/2/L over the cross product of two token-list groups.
+
+    The pure-Python reference path; the kernel path must reproduce these
+    sums bitwise (same per-pair F1 values, same accumulation order).
+    """
     total_1 = total_2 = total_l = 0.0
     pairs = 0
     for a in tokens_a:
@@ -58,45 +73,207 @@ def _pair_scores(
     return total_1, total_2, total_l, pairs
 
 
-def _selected_token_lists(result: SelectionResult) -> list[list[list[str]]]:
-    """Tokenised selected reviews per item (tokenise once, reuse everywhere)."""
-    return [
-        [tokenize(review.text) for review in result.selected_reviews(i)]
-        for i in range(result.instance.num_items)
-    ]
+class AlignmentScorer:
+    """Batched alignment scoring with a shared corpus interner.
+
+    One scorer should live per corpus/experiment: review texts are
+    interned (and tokenised) once and reused across results, budgets,
+    algorithms, and both views.  ``use_kernel=False`` selects the
+    pure-Python reference path (same memoised token lists) for
+    equivalence checks and benchmarks.
+    """
+
+    def __init__(
+        self,
+        *,
+        use_kernel: bool = True,
+        interner: CorpusInterner | None = None,
+    ) -> None:
+        self.use_kernel = use_kernel
+        self.interner = interner if interner is not None else CorpusInterner()
+
+    # -- per-result group preparation ---------------------------------------
+
+    def _interned_groups(self, result: SelectionResult) -> list[list[InternedText]]:
+        return [
+            [self.interner.intern(review.text) for review in result.selected_reviews(i)]
+            for i in range(result.instance.num_items)
+        ]
+
+    def _token_groups(self, result: SelectionResult) -> list[list[list[str]]]:
+        return [
+            [self.interner.tokens(review.text) for review in result.selected_reviews(i)]
+            for i in range(result.instance.num_items)
+        ]
+
+    @staticmethod
+    def _block_sums(blocks) -> tuple[float, float, float, int]:
+        """Sum one cross-item block's F1 grids in the reference order.
+
+        ``blocks`` holds the three (|A|, |B|) arrays; accumulation runs
+        sequentially in (a outer, b inner) order, so the totals are
+        bitwise equal to the reference's pair-by-pair ``+=`` loop.
+        """
+        block_1, block_2, block_l = blocks
+        total_1 = total_2 = total_l = 0.0
+        for value in block_1.ravel().tolist():
+            total_1 += value
+        for value in block_2.ravel().tolist():
+            total_2 += value
+        for value in block_l.ravel().tolist():
+            total_l += value
+        return total_1, total_2, total_l, block_1.shape[0] * block_1.shape[1]
+
+    def _kernel_view_sums(
+        self, groups: list[list[InternedText]], views: tuple[str, ...]
+    ) -> dict[str, tuple[float, float, float, int]]:
+        """Per-view F1 sums from one batched grid computation.
+
+        The "target" view alone scores the target group against the
+        flattened comparative reviews (one kernel call); anything needing
+        the among view scores the full flattened cross product once and
+        slices per item-pair blocks out of it.
+        """
+        offsets = [0]
+        for group in groups:
+            offsets.append(offsets[-1] + len(group))
+        flat = [interned for group in groups for interned in group]
+
+        if views == ("target",):
+            grid = rouge_pair_grid(groups[0], flat[offsets[1] :])
+            total_1 = total_2 = total_l = 0.0
+            pairs = 0
+            for j in range(1, len(groups)):
+                lo, hi = offsets[j] - offsets[1], offsets[j + 1] - offsets[1]
+                s1, s2, sl, count = self._block_sums(
+                    (
+                        grid.rouge_1[:, lo:hi],
+                        grid.rouge_2[:, lo:hi],
+                        grid.rouge_l[:, lo:hi],
+                    )
+                )
+                total_1 += s1
+                total_2 += s2
+                total_l += sl
+                pairs += count
+            return {"target": (total_1, total_2, total_l, pairs)}
+
+        grid = rouge_pair_grid(flat, flat)
+        sums = {view: [0.0, 0.0, 0.0, 0] for view in views}
+        for i in range(len(groups) - 1):
+            for j in range(i + 1, len(groups)):
+                block = (
+                    grid.rouge_1[offsets[i] : offsets[i + 1], offsets[j] : offsets[j + 1]],
+                    grid.rouge_2[offsets[i] : offsets[i + 1], offsets[j] : offsets[j + 1]],
+                    grid.rouge_l[offsets[i] : offsets[i + 1], offsets[j] : offsets[j + 1]],
+                )
+                s1, s2, sl, count = self._block_sums(block)
+                for view in views:
+                    if view == "target" and i != 0:
+                        continue
+                    totals = sums[view]
+                    totals[0] += s1
+                    totals[1] += s2
+                    totals[2] += sl
+                    totals[3] += count
+        return {view: tuple(totals) for view, totals in sums.items()}
+
+    def _reference_view_sums(
+        self, groups: list[list[list[str]]], views: tuple[str, ...]
+    ) -> dict[str, tuple[float, float, float, int]]:
+        """Pure-Python per-view sums (the original pair-loop semantics)."""
+        sums = {view: [0.0, 0.0, 0.0, 0] for view in views}
+        first_items = range(len(groups) - 1) if "among" in views else range(1)
+        for i in first_items:
+            for j in range(i + 1, len(groups)):
+                s1, s2, sl, count = _pair_scores(groups[i], groups[j])
+                for view in views:
+                    if view == "target" and i != 0:
+                        continue
+                    totals = sums[view]
+                    totals[0] += s1
+                    totals[1] += s2
+                    totals[2] += sl
+                    totals[3] += count
+        return {view: tuple(totals) for view, totals in sums.items()}
+
+    def _score_views(
+        self, result: SelectionResult, views: tuple[str, ...]
+    ) -> dict[str, AlignmentScores]:
+        if self.use_kernel:
+            groups = self._interned_groups(result)
+            view_sums = self._kernel_view_sums(groups, views)
+        else:
+            groups = self._token_groups(result)
+            view_sums = self._reference_view_sums(groups, views)
+        scores: dict[str, AlignmentScores] = {}
+        for view, (s1, s2, sl, pairs) in view_sums.items():
+            scores[view] = (
+                _EMPTY
+                if pairs == 0
+                else AlignmentScores(s1 / pairs, s2 / pairs, sl / pairs, pairs)
+            )
+        return scores
+
+    # -- views --------------------------------------------------------------
+
+    def score(self, result: SelectionResult, view: str) -> AlignmentScores:
+        """One view ("target" or "among") of one result."""
+        if view not in VIEWS:
+            raise ValueError(f"view must be one of {VIEWS}, got {view!r}")
+        return self._score_views(result, (view,))[view]
+
+    def score_both(
+        self, result: SelectionResult
+    ) -> tuple[AlignmentScores, AlignmentScores]:
+        """(target view, among view) computing each review pair once.
+
+        The among view's (0, j) blocks are exactly the target view's
+        blocks, so experiments needing both panels (Table 3) score every
+        cross-item pair a single time.
+        """
+        scores = self._score_views(result, ("target", "among"))
+        return scores["target"], scores["among"]
+
+    def score_many(
+        self, results: Sequence[SelectionResult], view: str
+    ) -> list[AlignmentScores]:
+        """One view over a batch of results (shared interner)."""
+        return [self.score(result, view) for result in results]
 
 
-def target_vs_comparative_alignment(result: SelectionResult) -> AlignmentScores:
+# Module-level default scorer: the free functions below share one interner
+# so repeated calls over the same corpus never re-tokenise.  Reset it when
+# scoring disjoint corpora in one long-lived process and memory matters.
+_DEFAULT_SCORER: AlignmentScorer | None = None
+
+
+def default_scorer() -> AlignmentScorer:
+    """The shared kernel-backed scorer used by the free functions."""
+    global _DEFAULT_SCORER
+    if _DEFAULT_SCORER is None:
+        _DEFAULT_SCORER = AlignmentScorer()
+    return _DEFAULT_SCORER
+
+
+def reset_default_scorer() -> None:
+    """Drop the shared scorer (and its interned corpus)."""
+    global _DEFAULT_SCORER
+    _DEFAULT_SCORER = None
+
+
+def target_vs_comparative_alignment(
+    result: SelectionResult, *, scorer: AlignmentScorer | None = None
+) -> AlignmentScores:
     """Mean ROUGE between the target's and each comparative's selections."""
-    token_lists = _selected_token_lists(result)
-    total_1 = total_2 = total_l = 0.0
-    pairs = 0
-    for item_index in range(1, len(token_lists)):
-        s1, s2, sl, count = _pair_scores(token_lists[0], token_lists[item_index])
-        total_1 += s1
-        total_2 += s2
-        total_l += sl
-        pairs += count
-    if pairs == 0:
-        return _EMPTY
-    return AlignmentScores(total_1 / pairs, total_2 / pairs, total_l / pairs, pairs)
+    return (scorer or default_scorer()).score(result, "target")
 
 
-def among_items_alignment(result: SelectionResult) -> AlignmentScores:
+def among_items_alignment(
+    result: SelectionResult, *, scorer: AlignmentScorer | None = None
+) -> AlignmentScores:
     """Mean ROUGE over review pairs across every two distinct items."""
-    token_lists = _selected_token_lists(result)
-    total_1 = total_2 = total_l = 0.0
-    pairs = 0
-    for i in range(len(token_lists) - 1):
-        for j in range(i + 1, len(token_lists)):
-            s1, s2, sl, count = _pair_scores(token_lists[i], token_lists[j])
-            total_1 += s1
-            total_2 += s2
-            total_l += sl
-            pairs += count
-    if pairs == 0:
-        return _EMPTY
-    return AlignmentScores(total_1 / pairs, total_2 / pairs, total_l / pairs, pairs)
+    return (scorer or default_scorer()).score(result, "among")
 
 
 def mean_alignment(scores: Sequence[AlignmentScores]) -> AlignmentScores:

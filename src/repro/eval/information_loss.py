@@ -9,12 +9,13 @@ the target item alone and all items, as a function of the budget m.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from collections.abc import Sequence
 
 from repro.core.distance import cosine_similarity, squared_l2
 from repro.core.problem import SelectionConfig
 from repro.core.selection import SelectionResult, Selector, build_space
+from repro.core.vectors import VectorSpace
 from repro.data.instances import ComparisonInstance
 
 
@@ -30,10 +31,19 @@ class InformationLossPoint:
 
 
 def measure_result(
-    result: SelectionResult, config: SelectionConfig
+    result: SelectionResult,
+    config: SelectionConfig,
+    space: VectorSpace | None = None,
 ) -> tuple[list[float], list[float]]:
-    """Per-item Delta(tau_i, pi(S_i)) and cosine(tau_i, pi(S_i))."""
-    space = build_space(result.instance, config)
+    """Per-item Delta(tau_i, pi(S_i)) and cosine(tau_i, pi(S_i)).
+
+    Pass ``space`` to reuse one :class:`~repro.core.vectors.VectorSpace`
+    across measurements of the same instance (the space memoises the
+    per-item tau vectors, which dominate repeated calls); the scheme only
+    depends on ``config.scheme``, so one space serves every budget.
+    """
+    if space is None:
+        space = build_space(result.instance, config)
     deltas: list[float] = []
     cosines: list[float] = []
     for item_index in range(result.instance.num_items):
@@ -44,37 +54,56 @@ def measure_result(
     return deltas, cosines
 
 
+@dataclass(slots=True)
+class _BudgetAccumulator:
+    """Per-budget measurement lists, filled instance by instance."""
+
+    target_deltas: list[float] = field(default_factory=list)
+    target_cosines: list[float] = field(default_factory=list)
+    all_deltas: list[float] = field(default_factory=list)
+    all_cosines: list[float] = field(default_factory=list)
+
+
 def information_loss_curve(
     instances: Sequence[ComparisonInstance],
     selector: Selector,
     config: SelectionConfig,
     budgets: Sequence[int] = (3, 5, 10, 15, 20),
 ) -> list[InformationLossPoint]:
-    """Fig.-11 curves: mean loss vs budget, target-only and all-items."""
-    points: list[InformationLossPoint] = []
-    for budget in budgets:
-        budget_config = config.with_(max_reviews=budget)
-        target_deltas: list[float] = []
-        target_cosines: list[float] = []
-        all_deltas: list[float] = []
-        all_cosines: list[float] = []
-        for instance in instances:
+    """Fig.-11 curves: mean loss vs budget, target-only and all-items.
+
+    Iterates instances in the outer loop so each instance's vector space
+    (and its memoised tau vectors) is built once and shared by every
+    budget, instead of once per (budget, instance); measured values are
+    identical to the per-budget construction.
+    """
+    budget_configs = [config.with_(max_reviews=budget) for budget in budgets]
+    accumulators = [_BudgetAccumulator() for _ in budgets]
+    for instance in instances:
+        # Keyed by the result's instance identity: a selector that hands
+        # back a restricted instance still gets a matching space.
+        spaces: dict[int, VectorSpace] = {}
+        for budget_config, accumulator in zip(budget_configs, accumulators):
             result = selector.select(instance, budget_config)
-            deltas, cosines = measure_result(result, budget_config)
-            target_deltas.append(deltas[0])
-            target_cosines.append(cosines[0])
-            all_deltas.extend(deltas)
-            all_cosines.extend(cosines)
-        points.append(
-            InformationLossPoint(
-                max_reviews=budget,
-                target_delta=_mean(target_deltas),
-                target_cosine=_mean(target_cosines),
-                all_items_delta=_mean(all_deltas),
-                all_items_cosine=_mean(all_cosines),
-            )
+            space = spaces.get(id(result.instance))
+            if space is None:
+                space = build_space(result.instance, budget_config)
+                spaces[id(result.instance)] = space
+            deltas, cosines = measure_result(result, budget_config, space=space)
+            accumulator.target_deltas.append(deltas[0])
+            accumulator.target_cosines.append(cosines[0])
+            accumulator.all_deltas.extend(deltas)
+            accumulator.all_cosines.extend(cosines)
+    return [
+        InformationLossPoint(
+            max_reviews=budget,
+            target_delta=_mean(accumulator.target_deltas),
+            target_cosine=_mean(accumulator.target_cosines),
+            all_items_delta=_mean(accumulator.all_deltas),
+            all_items_cosine=_mean(accumulator.all_cosines),
         )
-    return points
+        for budget, accumulator in zip(budgets, accumulators)
+    ]
 
 
 def _mean(values: Sequence[float]) -> float:

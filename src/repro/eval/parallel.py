@@ -21,12 +21,22 @@ with:
   abandoned, not killed — pool shutdown waits for it — so timeouts bound
   *result latency*, not worker CPU.)
 
-Selectors are re-instantiated in each worker from their registry name,
-so nothing unpicklable crosses the process boundary.
+Zero-copy fan-out: the run's corpus (the instance list + config) is
+published once to a module-level store keyed by a content fingerprint.
+Workers receive it through the pool initializer — inherited for free
+under the ``fork`` start method, shipped once per *worker* (never per
+task) otherwise — and each task carries only ``(fingerprint, index)``.
+Workers return light ``(selections, algorithm, degraded, timings)``
+records that the parent re-attaches to its own instance objects, so no
+corpus bytes are pickled in either direction.  Selectors are
+re-instantiated in each worker from their registry name, so nothing
+unpicklable crosses the process boundary.
 """
 
 from __future__ import annotations
 
+import hashlib
+import multiprocessing
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -47,15 +57,85 @@ ERROR_POLICIES = ("raise", "skip", "degrade")
 DEFAULT_DEGRADE_SELECTOR = "CompaReSetS_Greedy"
 
 
-def _solve_one(
-    payload: tuple[str, dict, ComparisonInstance, SelectionConfig, int]
-) -> SelectionResult:
-    """Worker entry point: rebuild the selector and solve one instance."""
+@dataclass(frozen=True, slots=True)
+class _RunSpec:
+    """Everything a worker needs to solve any instance of one run."""
+
+    selector_name: str
+    selector_kwargs: dict
+    instances: tuple[ComparisonInstance, ...]
+    config: SelectionConfig
+    seed: int
+
+
+# One entry per in-flight run, keyed by fingerprint.  In the parent it is
+# populated *before* the pool exists, so fork-started workers inherit it
+# via copy-on-write and tasks never carry the corpus; under spawn (or
+# forkserver) the initializer fills it once per worker process.
+_WORKER_STORE: dict[str, _RunSpec] = {}
+
+# A light worker result: (selections, algorithm, degraded, timings).  The
+# parent owns the instance objects already, so shipping them back would
+# be pure pickling overhead.
+_ResultRecord = tuple[tuple[tuple[int, ...], ...], str, bool, dict | None]
+
+
+def _spec_fingerprint(spec: _RunSpec) -> str:
+    """Content fingerprint identifying one run in the worker store."""
+    payload = repr(
+        (
+            spec.selector_name,
+            sorted(spec.selector_kwargs.items(), key=lambda kv: kv[0]),
+            spec.config,
+            [instance.target.product_id for instance in spec.instances],
+            [len(reviews) for instance in spec.instances for reviews in instance.reviews],
+            spec.seed,
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def _worker_init(fingerprint: str, shipped: _RunSpec | None) -> None:
+    """Pool initializer: install the run spec (once per worker process).
+
+    ``shipped`` is ``None`` under the fork start method — the store was
+    inherited from the parent at fork time and nothing needs to cross
+    the pipe at all.
+    """
+    if shipped is not None:
+        _WORKER_STORE[fingerprint] = shipped
+
+
+def _solve_spec(spec: _RunSpec, index: int) -> SelectionResult:
+    """Solve one instance of a run (shared by inline and pool paths)."""
     import numpy as np
 
-    name, kwargs, instance, config, seed = payload
-    selector = make_selector(name, **kwargs)
-    return selector.select(instance, config, rng=np.random.default_rng(seed))
+    selector = make_selector(spec.selector_name, **spec.selector_kwargs)
+    return selector.select(
+        spec.instances[index],
+        spec.config,
+        rng=np.random.default_rng(spec.seed + index),
+    )
+
+
+def _solve_task(task: tuple[str, int]) -> _ResultRecord:
+    """Worker entry point: look the run up by fingerprint, return a light record."""
+    fingerprint, index = task
+    spec = _WORKER_STORE[fingerprint]
+    result = _solve_spec(spec, index)
+    return (result.selections, result.algorithm, result.degraded, result.timings)
+
+
+def _attach_instance(spec: _RunSpec, index: int, record: _ResultRecord) -> SelectionResult:
+    """Rebuild a full result around the parent's own instance object."""
+    selections, algorithm, degraded, timings = record
+    return SelectionResult(
+        instance=spec.instances[index],
+        selections=tuple(tuple(int(i) for i in s) for s in selections),
+        algorithm=algorithm,
+        degraded=degraded,
+        timings=timings,
+    )
 
 
 @dataclass(frozen=True, slots=True)
@@ -122,16 +202,14 @@ class _Pending:
     first_started_at: float | None = None
 
 
-def _degrade(
-    payload: tuple[str, dict, ComparisonInstance, SelectionConfig, int],
-    degrade_selector: str,
-) -> SelectionResult:
+def _degrade(spec: _RunSpec, index: int, degrade_selector: str) -> SelectionResult:
     """The cheap substitute selection for the ``"degrade"`` policy."""
     import numpy as np
 
-    _, _, instance, config, seed = payload
     result = make_selector(degrade_selector).select(
-        instance, config, rng=np.random.default_rng(seed)
+        spec.instances[index],
+        spec.config,
+        rng=np.random.default_rng(spec.seed + index),
     )
     return replace(result, degraded=True)
 
@@ -172,16 +250,18 @@ def run_parallel(
     retry = retry or RetryPolicy.none()
     overall = resolve_deadline(deadline)
 
-    payloads = [
-        (selector_name, selector_kwargs, instance, config, seed + index)
-        for index, instance in enumerate(instances)
-    ]
-    if not payloads:
+    spec = _RunSpec(
+        selector_name=selector_name,
+        selector_kwargs=selector_kwargs,
+        instances=tuple(instances),
+        config=config,
+        seed=seed,
+    )
+    if not spec.instances:
         return ParallelRun(outcomes=())
 
     def settle_failure(state: _Pending, error: str) -> InstanceOutcome:
-        payload = payloads[state.index]
-        target_id = payload[2].target.product_id
+        target_id = spec.instances[state.index].target.product_id
         elapsed = (
             time.monotonic() - state.first_started_at
             if state.first_started_at is not None
@@ -191,7 +271,7 @@ def run_parallel(
             return InstanceOutcome(
                 index=state.index,
                 target_id=target_id,
-                result=_degrade(payload, degrade_selector),
+                result=_degrade(spec, state.index, degrade_selector),
                 status="degraded",
                 attempts=state.attempt,
                 error=error,
@@ -207,18 +287,18 @@ def run_parallel(
             seconds=elapsed,
         )
 
-    if len(payloads) == 1 or max_workers == 1:
-        outcomes = _run_inline(payloads, retry, on_error, overall, settle_failure)
+    if len(spec.instances) == 1 or max_workers == 1:
+        outcomes = _run_inline(spec, retry, on_error, overall, settle_failure)
     else:
-        workers = max_workers or min(len(payloads), os.cpu_count() or 1)
+        workers = max_workers or min(len(spec.instances), os.cpu_count() or 1)
         outcomes = _run_pool(
-            payloads, workers, timeout, retry, on_error, overall, settle_failure
+            spec, workers, timeout, retry, on_error, overall, settle_failure
         )
     return ParallelRun(outcomes=tuple(sorted(outcomes, key=lambda o: o.index)))
 
 
 def _run_inline(
-    payloads: list,
+    spec: _RunSpec,
     retry: RetryPolicy,
     on_error: str,
     overall: Deadline,
@@ -226,9 +306,9 @@ def _run_inline(
 ) -> list[InstanceOutcome]:
     """Sequential execution (single worker): same policies, no preemption."""
     outcomes: list[InstanceOutcome] = []
-    for index, payload in enumerate(payloads):
+    for index in range(len(spec.instances)):
         state = _Pending(index=index)
-        target_id = payload[2].target.product_id
+        target_id = spec.instances[index].target.product_id
         started = time.monotonic()
         state.first_started_at = started
         while True:
@@ -239,12 +319,12 @@ def _run_inline(
                     )
                 outcomes.append(settle_failure(state, "deadline exceeded"))
                 break
-            delay = min(retry.delay_before(state.attempt + 1, seed=payload[4]),
+            delay = min(retry.delay_before(state.attempt + 1, seed=spec.seed + index),
                         overall.remaining())
             if delay > 0:
                 time.sleep(delay)
             try:
-                result = _solve_one(payload)
+                result = _solve_spec(spec, index)
             except Exception as exc:
                 state.attempt += 1
                 state.last_error = f"{type(exc).__name__}: {exc}"
@@ -271,7 +351,7 @@ def _run_inline(
 
 
 def _run_pool(
-    payloads: list,
+    spec: _RunSpec,
     workers: int,
     timeout: float | None,
     retry: RetryPolicy,
@@ -281,26 +361,36 @@ def _run_pool(
 ) -> list[InstanceOutcome]:
     """submit/wait event loop with capture, retries, timeouts, deadline."""
     outcomes: list[InstanceOutcome] = []
-    queued = [_Pending(index=i) for i in range(len(payloads))]
+    queued = [_Pending(index=i) for i in range(len(spec.instances))]
     waiting: list[_Pending] = []  # in backoff, not yet resubmitted
     running: dict[Future, _Pending] = {}
     abandoned = False  # did we give up on a still-running worker?
 
-    pool = ProcessPoolExecutor(max_workers=workers)
+    fingerprint = _spec_fingerprint(spec)
+    # Publish the corpus before the pool exists: fork-started workers
+    # inherit the store for free; any other start method gets the spec
+    # through the initializer, once per worker instead of once per task.
+    _WORKER_STORE[fingerprint] = spec
+    shipped = None if multiprocessing.get_start_method() == "fork" else spec
+    pool = ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_worker_init,
+        initargs=(fingerprint, shipped),
+    )
     try:
         def submit(state: _Pending) -> None:
             now = time.monotonic()
             state.started_at = now
             if state.first_started_at is None:
                 state.first_started_at = now
-            state.future = pool.submit(_solve_one, payloads[state.index])
+            state.future = pool.submit(_solve_task, (fingerprint, state.index))
             running[state.future] = state
 
         def fail_or_retry(state: _Pending, error: BaseException) -> None:
             state.last_error = f"{type(error).__name__}: {error}"
             if state.attempt < retry.max_attempts:
                 state.resubmit_at = time.monotonic() + retry.delay_before(
-                    state.attempt + 1, seed=payloads[state.index][4]
+                    state.attempt + 1, seed=spec.seed + state.index
                 )
                 waiting.append(state)
             elif on_error == "raise":
@@ -362,12 +452,13 @@ def _run_pool(
                 state.attempt += 1
                 error = future.exception()
                 if error is None:
-                    payload = payloads[state.index]
                     outcomes.append(
                         InstanceOutcome(
                             index=state.index,
-                            target_id=payload[2].target.product_id,
-                            result=future.result(),
+                            target_id=spec.instances[state.index].target.product_id,
+                            result=_attach_instance(
+                                spec, state.index, future.result()
+                            ),
                             status="ok",
                             attempts=state.attempt,
                             seconds=time.monotonic() - state.first_started_at,
@@ -410,6 +501,7 @@ def _run_pool(
         # stuck workers drain in the background — their results are
         # discarded.  (The interpreter still joins them at exit.)
         pool.shutdown(wait=not abandoned, cancel_futures=abandoned)
+        _WORKER_STORE.pop(fingerprint, None)
     return outcomes
 
 

@@ -11,10 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.eval.alignment import (
+    AlignmentScorer,
     AlignmentScores,
-    among_items_alignment,
     mean_alignment,
-    target_vs_comparative_alignment,
 )
 from repro.eval.reporting import format_table
 from repro.eval.runner import EvaluationSettings, evaluate_selectors, prepare_instances
@@ -38,21 +37,30 @@ class Table3Cell:
 def run_table3(
     settings: EvaluationSettings,
     algorithms: tuple[str, ...] = ALGORITHMS,
+    scorer: AlignmentScorer | None = None,
 ) -> list[Table3Cell]:
-    """Run every selector on every (dataset, m) workload and score alignment."""
+    """Run every selector on every (dataset, m) workload and score alignment.
+
+    One :class:`~repro.eval.alignment.AlignmentScorer` (kernel-backed by
+    default) serves the whole table: review texts are interned once per
+    corpus, and each result's cross-item pair grids are scored a single
+    time for both panels via :meth:`~AlignmentScorer.score_both`.
+    """
+    scorer = scorer if scorer is not None else AlignmentScorer()
     cells: list[Table3Cell] = []
     for category in settings.categories:
         instances = prepare_instances(settings, category)
         for budget in settings.budgets:
             config = settings.config.with_(max_reviews=budget)
             runs = evaluate_selectors(algorithms, instances, config, seed=settings.seed)
-            for view, scorer in (
-                ("target", target_vs_comparative_alignment),
-                ("among", among_items_alignment),
-            ):
+            both_views = {
+                name: [scorer.score_both(result) for result in run.results]
+                for name, run in runs.items()
+            }
+            for view_index, view in enumerate(("target", "among")):
                 per_algorithm = {
-                    name: [scorer(result) for result in run.results]
-                    for name, run in runs.items()
+                    name: [pair[view_index] for pair in pairs]
+                    for name, pairs in both_views.items()
                 }
                 means = {
                     name: mean_alignment(scores)

@@ -9,7 +9,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.vectors import OpinionScheme
-from repro.eval.alignment import mean_alignment, target_vs_comparative_alignment
+from repro.eval.alignment import AlignmentScorer, mean_alignment
 from repro.eval.reporting import format_table
 from repro.eval.runner import EvaluationSettings, evaluate_selectors, prepare_instances
 
@@ -34,17 +34,21 @@ def run_table4(
     settings: EvaluationSettings,
     category: str = "Cellphone",
     algorithms: tuple[str, ...] = ALGORITHMS,
+    scorer: AlignmentScorer | None = None,
 ) -> list[Table4Cell]:
-    """Score every algorithm under each opinion definition."""
+    """Score every algorithm under each opinion definition.
+
+    One kernel-backed scorer (shared interner) serves all schemes and
+    algorithms — the selected texts are drawn from the same corpus.
+    """
+    scorer = scorer if scorer is not None else AlignmentScorer()
     instances = prepare_instances(settings, category)
     cells: list[Table4Cell] = []
     for scheme in SCHEMES:
         config = settings.config.with_(max_reviews=3, scheme=scheme)
         runs = evaluate_selectors(algorithms, instances, config, seed=settings.seed)
         for name, run in runs.items():
-            scores = mean_alignment(
-                [target_vs_comparative_alignment(result) for result in run.results]
-            )
+            scores = mean_alignment(scorer.score_many(run.results, "target"))
             cells.append(
                 Table4Cell(algorithm=name, scheme=scheme, rouge_l=scores.rouge_l)
             )

@@ -61,12 +61,43 @@ class ItemGraph:
         return graph
 
 
+def _pairwise_aspect_distances(phis: np.ndarray) -> np.ndarray:
+    """All-pairs squared L2 over stacked φ(S_i) rows via the Gram trick.
+
+    ||a - b||² = ||a||² + ||b||² - 2⟨a, b⟩, computed for every pair from
+    one Gram matrix.  Cancellation can leave tiny negatives on
+    near-identical rows, so the result is clipped at zero; the upper
+    triangle is mirrored so the matrix is exactly symmetric.
+    """
+    gram = phis @ phis.T
+    norms = np.einsum("ij,ij->i", phis, phis)
+    deltas = norms[:, None] + norms[None, :] - 2.0 * gram
+    np.clip(deltas, 0.0, None, out=deltas)
+    deltas = np.triu(deltas, k=1)
+    return deltas + deltas.T
+
+
+def _pairwise_distances_reference(
+    fit_terms: np.ndarray, phis: list[np.ndarray], mu: float
+) -> np.ndarray:
+    """Per-pair loop over squared_l2 — the checkable reference for tests."""
+    n = len(phis)
+    distances = np.zeros((n, n))
+    for i in range(n - 1):
+        for j in range(i + 1, n):
+            d = fit_terms[i] + fit_terms[j] + mu**2 * squared_l2(phis[i], phis[j])
+            distances[i, j] = d
+            distances[j, i] = d
+    return distances
+
+
 def build_item_graph(result: SelectionResult, config: SelectionConfig) -> ItemGraph:
     """Construct the §3.1 graph from a selection result.
 
-    The per-item fit terms and pairwise aspect distances are each computed
-    once; d_ij is assembled from them, so the construction is
-    O(n^2 z + n z N) instead of naively recomputing vectors per pair.
+    The per-item fit terms are computed once and the pairwise aspect
+    distances come from one Gram-matrix product over the stacked φ(S_i)
+    rows, so the construction is O(n^2 z + n z N) with the n² part a
+    single BLAS call instead of a Python pair loop.
     """
     instance = result.instance
     space = build_space(instance, config)
@@ -74,25 +105,18 @@ def build_item_graph(result: SelectionResult, config: SelectionConfig) -> ItemGr
     n = instance.num_items
 
     fit_terms = np.zeros(n)
-    phis = []
+    phis = np.zeros((n, gamma.shape[0]))
     for item_index in range(n):
         selected = result.selected_reviews(item_index)
         tau = space.opinion_vector(instance.reviews[item_index])
         pi = space.opinion_vector(selected)
         phi = space.aspect_vector(selected)
         fit_terms[item_index] = squared_l2(tau, pi) + config.lam**2 * squared_l2(gamma, phi)
-        phis.append(phi)
+        phis[item_index] = phi
 
-    distances = np.zeros((n, n))
-    for i in range(n - 1):
-        for j in range(i + 1, n):
-            d = (
-                fit_terms[i]
-                + fit_terms[j]
-                + config.mu**2 * squared_l2(phis[i], phis[j])
-            )
-            distances[i, j] = d
-            distances[j, i] = d
+    distances = fit_terms[:, None] + fit_terms[None, :]
+    distances += config.mu**2 * _pairwise_aspect_distances(phis)
+    np.fill_diagonal(distances, 0.0)
 
     if n >= 2:
         off_diagonal = distances[~np.eye(n, dtype=bool)]

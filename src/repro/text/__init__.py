@@ -13,21 +13,33 @@ self-contained:
   correlation filtering (top-2000 -> top-500 recipe from the paper).
 * :mod:`repro.text.sentiment` — window-based (aspect, opinion) extraction.
 * :mod:`repro.text.rouge` — ROUGE-1/2/L F1 scores (Lin 2003).
+* :mod:`repro.text.rouge_kernel` — vectorised ROUGE over interned token
+  ids (batch pair grids; bitwise equal to :mod:`repro.text.rouge`).
 """
 
 from repro.text.rouge import RougeScore, rouge_1, rouge_2, rouge_l, rouge_n, rouge_scores
+from repro.text.rouge_kernel import (
+    CorpusInterner,
+    RougeGrid,
+    pairwise_alignment_matrix,
+    rouge_scores_many,
+)
 from repro.text.stemmer import PorterStemmer, stem
 from repro.text.tokenize import ngrams, sentences, tokenize
 
 __all__ = [
+    "CorpusInterner",
     "PorterStemmer",
+    "RougeGrid",
     "RougeScore",
     "ngrams",
+    "pairwise_alignment_matrix",
     "rouge_1",
     "rouge_2",
     "rouge_l",
     "rouge_n",
     "rouge_scores",
+    "rouge_scores_many",
     "sentences",
     "stem",
     "tokenize",

@@ -1,0 +1,192 @@
+"""Equivalence harness: the vectorised ROUGE kernel vs the reference.
+
+The kernel's contract is *bitwise* equality with :mod:`repro.text.rouge`
+— same clipped-match / LCS integers, same float operations in the same
+order — so every comparison here uses ``==`` on floats, not approx.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval.alignment import AlignmentScorer
+from repro.text.rouge import rouge_l, rouge_n, rouge_scores
+from repro.text.rouge_kernel import (
+    CorpusInterner,
+    pairwise_alignment_matrix,
+    rouge_pair_grid,
+    rouge_scores_many,
+)
+
+WORDS = [
+    "battery", "screen", "great", "poor", "the", "is", "very", "camera",
+    "café", "naïve", "résumé", "don't", "well-made", "скоро", "好",
+]
+
+
+def random_texts(rng: np.random.Generator, count: int, max_len: int = 14) -> list[str]:
+    texts = []
+    for _ in range(count):
+        length = int(rng.integers(0, max_len + 1))
+        texts.append(" ".join(rng.choice(WORDS, size=length)))
+    return texts
+
+
+def assert_grid_matches_reference(group_a: list[str], group_b: list[str]) -> None:
+    interner = CorpusInterner()
+    grid = pairwise_alignment_matrix(group_a, group_b, interner=interner)
+    for i, a in enumerate(group_a):
+        tokens_a = interner.tokens(a)
+        for j, b in enumerate(group_b):
+            tokens_b = interner.tokens(b)
+            assert grid.rouge_1[i, j] == rouge_n(tokens_a, tokens_b, 1).f1
+            assert grid.rouge_2[i, j] == rouge_n(tokens_a, tokens_b, 2).f1
+            assert grid.rouge_l[i, j] == rouge_l(tokens_a, tokens_b).f1
+
+
+class TestGridEquivalence:
+    def test_random_grids_bitwise_equal(self):
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            group_a = random_texts(rng, int(rng.integers(1, 6)))
+            group_b = random_texts(rng, int(rng.integers(1, 6)))
+            assert_grid_matches_reference(group_a, group_b)
+
+    def test_empty_and_single_token_reviews(self):
+        group = ["", "battery", "battery battery", "the screen is great"]
+        assert_grid_matches_reference(group, group)
+
+    def test_duplicate_reviews(self):
+        group = ["great screen great", "great screen great", "poor battery"]
+        assert_grid_matches_reference(group, group)
+
+    def test_unicode_reviews(self):
+        group = ["café naïve 好 好", "скоро café", "don't don't well-made"]
+        assert_grid_matches_reference(group, ["好 café", "", "naïve"])
+
+    def test_heavy_repetition_exercises_threshold_depth(self):
+        group_a = ["the the the the battery the", "the battery"]
+        group_b = ["the the battery battery battery", "the"]
+        assert_grid_matches_reference(group_a, group_b)
+
+    def test_empty_groups_yield_empty_grids(self):
+        grid = pairwise_alignment_matrix([], ["battery"])
+        assert grid.shape == (0, 1)
+        grid = pairwise_alignment_matrix(["battery"], [])
+        assert grid.shape == (1, 0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.sampled_from(WORDS), max_size=12),
+        st.lists(st.sampled_from(WORDS), max_size=12),
+    )
+    def test_property_pair_bitwise_equal(self, tokens_a, tokens_b):
+        grid = pairwise_alignment_matrix([tokens_a], [tokens_b])
+        assert grid.rouge_1[0, 0] == rouge_n(tokens_a, tokens_b, 1).f1
+        assert grid.rouge_2[0, 0] == rouge_n(tokens_a, tokens_b, 2).f1
+        assert grid.rouge_l[0, 0] == rouge_l(tokens_a, tokens_b).f1
+
+
+class TestBatchApis:
+    def test_rouge_scores_many_matches_loop(self):
+        rng = np.random.default_rng(3)
+        candidates = random_texts(rng, 8)
+        references = random_texts(rng, 8)
+        batch = rouge_scores_many(candidates, references)
+        loop = [rouge_scores(c, r) for c, r in zip(candidates, references)]
+        assert batch == loop
+
+    def test_rouge_scores_many_length_mismatch(self):
+        with pytest.raises(ValueError, match="candidates"):
+            rouge_scores_many(["a"], ["a", "b"])
+
+    def test_shared_interner_reused_across_calls(self):
+        interner = CorpusInterner()
+        pairwise_alignment_matrix(["battery screen"], ["screen"], interner=interner)
+        size = interner.vocab_size
+        pairwise_alignment_matrix(["battery"], ["screen"], interner=interner)
+        assert interner.vocab_size == size  # no re-interning, vocab unchanged
+
+
+class TestTokenizationMemo:
+    """Regression: tokenize must run once per distinct review text."""
+
+    def test_interner_tokenizes_each_text_once(self, monkeypatch):
+        import repro.text.rouge_kernel as kernel_module
+
+        calls: list[str] = []
+        real_tokenize = kernel_module.tokenize
+
+        def counting_tokenize(text):
+            calls.append(text)
+            return real_tokenize(text)
+
+        monkeypatch.setattr(kernel_module, "tokenize", counting_tokenize)
+        interner = CorpusInterner()
+        texts = ["battery is great", "screen is poor", "battery is great"]
+        for _ in range(3):
+            for text in texts:
+                interner.intern(text)
+                interner.tokens(text)
+        assert sorted(calls) == sorted(set(texts))
+
+    def test_scorer_tokenizes_once_per_review_across_views(
+        self, instances, config, monkeypatch
+    ):
+        import repro.text.rouge_kernel as kernel_module
+        from repro.core.selection import make_selector
+
+        result = make_selector("CompaReSetS").select(instances[0], config)
+        distinct_texts = {
+            review.text
+            for i in range(result.instance.num_items)
+            for review in result.selected_reviews(i)
+        }
+
+        calls: list[str] = []
+        real_tokenize = kernel_module.tokenize
+
+        def counting_tokenize(text):
+            calls.append(text)
+            return real_tokenize(text)
+
+        monkeypatch.setattr(kernel_module, "tokenize", counting_tokenize)
+        for use_kernel in (True, False):
+            calls.clear()
+            scorer = AlignmentScorer(use_kernel=use_kernel)
+            scorer.score_both(result)
+            scorer.score(result, "target")
+            scorer.score(result, "among")
+            assert len(calls) == len(set(calls))
+            assert set(calls) <= distinct_texts
+
+
+class TestScorerEquivalence:
+    """Kernel and reference AlignmentScorer paths agree bitwise."""
+
+    def test_alignment_scores_bitwise_equal(self, instances, config):
+        from repro.core.selection import make_selector
+
+        results = [
+            make_selector("CompaReSetS").select(instance, config)
+            for instance in instances[:3]
+        ]
+        kernel_scorer = AlignmentScorer(use_kernel=True)
+        reference_scorer = AlignmentScorer(use_kernel=False)
+        for result in results:
+            assert kernel_scorer.score_both(result) == reference_scorer.score_both(
+                result
+            )
+            for view in ("target", "among"):
+                assert kernel_scorer.score(result, view) == reference_scorer.score(
+                    result, view
+                )
+
+    def test_rouge_pair_grid_direct(self):
+        interner = CorpusInterner()
+        group = [interner.intern(t) for t in ["battery is great", "", "great great"]]
+        grid = rouge_pair_grid(group, group)
+        assert grid.shape == (3, 3)
+        assert grid.rouge_1[0, 0] == 1.0
+        assert grid.rouge_1[1, 1] == 0.0  # empty vs empty

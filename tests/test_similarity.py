@@ -6,7 +6,12 @@ import pytest
 from repro.core.baselines import RandomSelector
 from repro.core.objective import pairwise_item_distance
 from repro.core.selection import build_space
-from repro.graph.similarity import ItemGraph, build_item_graph
+from repro.graph.similarity import (
+    ItemGraph,
+    _pairwise_aspect_distances,
+    _pairwise_distances_reference,
+    build_item_graph,
+)
 
 
 @pytest.fixture()
@@ -55,6 +60,46 @@ class TestBuildItemGraph:
                     config,
                 )
                 assert graph.distances[i, j] == pytest.approx(expected)
+
+    def test_vectorized_distances_match_reference_loop(self, rng):
+        """The Gram-trick all-pairs matrix equals the per-pair loop."""
+        for trial in range(10):
+            n = int(rng.integers(2, 9))
+            z = int(rng.integers(1, 12))
+            phis = rng.random((n, z)) * rng.integers(1, 5)
+            fit_terms = rng.random(n)
+            mu = float(rng.random())
+            reference = _pairwise_distances_reference(
+                fit_terms, [phis[i] for i in range(n)], mu
+            )
+            vectorized = fit_terms[:, None] + fit_terms[None, :]
+            vectorized += mu**2 * _pairwise_aspect_distances(phis)
+            np.fill_diagonal(vectorized, 0.0)
+            np.testing.assert_allclose(vectorized, reference, rtol=1e-12, atol=1e-12)
+            assert (vectorized == vectorized.T).all()
+
+    def test_graph_distances_match_reference_loop(self, instance, config, rng):
+        """build_item_graph's matrix equals the pre-vectorisation pair loop."""
+        from repro.core.distance import squared_l2
+        from repro.core.selection import build_space as _build_space
+
+        result = RandomSelector().select(instance, config, rng=rng)
+        graph = build_item_graph(result, config)
+        space = _build_space(instance, config)
+        gamma = space.aspect_vector(instance.reviews[0])
+        n = instance.num_items
+        fit_terms = np.zeros(n)
+        phis = []
+        for i in range(n):
+            selected = result.selected_reviews(i)
+            tau = space.opinion_vector(instance.reviews[i])
+            fit_terms[i] = squared_l2(tau, space.opinion_vector(selected))
+            fit_terms[i] += config.lam**2 * squared_l2(
+                gamma, space.aspect_vector(selected)
+            )
+            phis.append(space.aspect_vector(selected))
+        reference = _pairwise_distances_reference(fit_terms, phis, config.mu)
+        np.testing.assert_allclose(graph.distances, reference, rtol=1e-12, atol=1e-12)
 
     def test_shape_validation(self):
         with pytest.raises(ValueError, match="shapes"):

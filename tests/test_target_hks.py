@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.graph.target_hks import (
     HksSolution,
+    _solve_greedy_reference,
     solve_brute_force,
     solve_greedy,
     solve_ilp,
@@ -85,6 +86,28 @@ class TestGreedy:
         assert len(set(solution.selected)) == k
         assert 0 in solution.selected
         assert solution.weight <= solve_brute_force(weights, k).weight + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(2, 12), st.integers(1, 12), st.booleans())
+    def test_incremental_matches_reference(self, seed, n, k, offset_target):
+        """Incremental gain updates select exactly like the recompute loop."""
+        k = min(k, n)
+        target = (n - 1) if offset_target else 0
+        weights = random_weights(n, seed)
+        fast = solve_greedy(weights, k, target=target)
+        reference = _solve_greedy_reference(weights, k, target=target)
+        assert fast.selected == reference.selected
+        assert fast.weight == pytest.approx(reference.weight, rel=1e-12)
+
+    def test_incremental_matches_reference_with_ties(self):
+        """On an all-equal-weights graph, tie-breaking is identical."""
+        n = 7
+        weights = np.ones((n, n)) - np.eye(n)
+        for k in range(1, n + 1):
+            fast = solve_greedy(weights, k, target=3)
+            reference = _solve_greedy_reference(weights, k, target=3)
+            assert fast.selected == reference.selected
+            assert fast.weight == reference.weight
 
 
 class TestBaselines:
