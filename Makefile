@@ -1,6 +1,6 @@
 # Developer conveniences; everything also works as plain pytest/python calls.
 
-.PHONY: install test bench examples experiments serve-smoke chaos-smoke bench-core-smoke bench-eval-smoke ci lint clean
+.PHONY: install test bench examples experiments serve-smoke chaos-smoke recovery-smoke bench-core-smoke bench-eval-smoke ci lint clean
 
 install:
 	pip install -e .
@@ -23,7 +23,13 @@ serve-smoke:
 
 # Overload / failing-backend / reload / drain scenarios with SLO checks.
 chaos-smoke:
-	PYTHONPATH=src python -m repro.serve.chaos
+	PYTHONPATH=src python -m repro.serve.chaos --suite load
+
+# Crash-recovery invariants: kill -9 mid-ingest, torn WAL writes, full
+# disks, cache-backend outages.  Nonzero exit (with the scenario's seed
+# printed) on any acked-then-lost delta or recovery mismatch.
+recovery-smoke:
+	PYTHONPATH=src python -m repro.serve.chaos --suite durability
 
 # Batch-OMP kernel vs reference: identical selections + >= 1x warm speedup.
 bench-core-smoke:

@@ -1,0 +1,168 @@
+"""Bench: restart latency — snapshot+WAL-tail vs cold re-ingest.
+
+Builds one durable state directory holding a ~1000-review corpus and a
+128-delta ingest history, then times the two ways a crashed server can
+come back:
+
+* **snapshot** — load the newest generation snapshot (pickled corpus +
+  precomputed artifact arrays) and replay only the short WAL tail past
+  its watermark;
+* **cold** — re-parse the corpus JSONL, re-ingest it, replay the entire
+  delta history, and rebuild the instance artifacts from scratch.
+
+Both paths must land on the *same* generation version (that equality is
+asserted — a fast recovery to the wrong state is not a recovery).  The
+acceptance bar is snapshot restart >= 3x faster than cold at this size;
+in practice the gap widens with corpus size and history length, which is
+exactly why the engine snapshots every N deltas.  Archives
+``results/BENCH_recovery.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import statistics
+import tempfile
+import time
+from pathlib import Path
+
+from benchmarks.conftest import RESULTS_DIR, emit
+from repro.core.problem import SelectionConfig
+from repro.data.io import save_corpus
+from repro.data.models import Review
+from repro.data.synthetic import generate_corpus
+from repro.serve.snapshot import open_durable_store
+from repro.serve.wal import review_record
+
+DELTAS = 128          # full ingest history length
+WAL_TAIL = 4          # deltas past the snapshot watermark
+TIMING_ROUNDS = 3     # median-of-N per recovery path
+
+_CONFIG = SelectionConfig(max_reviews=3, lam=1.0, mu=0.1)
+
+
+def _delta(n: int, product_id: str) -> Review:
+    return Review(
+        review_id=f"bench-delta-{n:04d}",
+        product_id=product_id,
+        reviewer_id=f"bench-user-{n:04d}",
+        rating=4.0,
+        text=f"bench delta review {n}: durable battery and screen",
+        mentions=(),
+    )
+
+
+def _build_state(root: Path, corpus_path: Path, corpus) -> str:
+    """One served lifetime: ingest history + a snapshot before the tail.
+
+    Returns the final generation version both recovery paths must hit.
+    """
+    store, wal, manager, _ = open_durable_store(
+        root / "state", corpus_path=corpus_path
+    )
+    target = store.default_target(10, 3)
+    store.artifacts(target, _CONFIG)  # warm artifacts into the snapshot
+    product = corpus.products[0].product_id
+    for n in range(1, DELTAS + 1):
+        review = _delta(n, product)
+        wal.append({"kind": "delta", "reviews": [review_record(review)]})
+        store.apply_delta([review])
+        if n == DELTAS - WAL_TAIL:
+            manager.save(store, wal_seq=wal.last_seq)
+    wal.close()
+
+    # The cold path gets the same WAL but no snapshots: the restart a
+    # snapshot-less deployment would face.
+    cold = root / "cold"
+    cold.mkdir()
+    shutil.copy(root / "state" / "ingest.wal", cold / "ingest.wal")
+    return store.version
+
+
+def _time_restart(state_dir: Path, corpus_path: Path, expected: str) -> dict:
+    """Median time-to-first-artifact for one recovery path."""
+    timings = []
+    info = None
+    for _ in range(TIMING_ROUNDS):
+        begun = time.perf_counter()
+        store, wal, _, info = open_durable_store(
+            state_dir, corpus_path=corpus_path
+        )
+        target = store.default_target(10, 3)
+        store.artifacts(target, _CONFIG)  # first request's artifact cost
+        timings.append(time.perf_counter() - begun)
+        wal.close()
+        assert store.version == expected, (
+            f"recovered {store.version}, expected {expected}"
+        )
+    return {
+        "mode": info.mode,
+        "replayed_deltas": info.replayed_deltas,
+        "restored_artifacts": info.restored_artifacts,
+        "restart_ms": statistics.median(timings) * 1e3,
+    }
+
+
+def run_recovery():
+    corpus = generate_corpus("Toy", scale=0.6, seed=7)
+    root = Path(tempfile.mkdtemp(prefix="bench-recovery-"))
+    try:
+        corpus_path = root / "corpus.jsonl"
+        save_corpus(corpus, corpus_path)
+        expected = _build_state(root, corpus_path, corpus)
+        snapshot = _time_restart(root / "state", corpus_path, expected)
+        cold = _time_restart(root / "cold", corpus_path, expected)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "corpus": {
+            "products": len(corpus.products),
+            "reviews": len(corpus.reviews),
+        },
+        "history": {"deltas": DELTAS, "wal_tail": WAL_TAIL},
+        "version": expected,
+        "snapshot": snapshot,
+        "cold": cold,
+        "speedup": cold["restart_ms"] / snapshot["restart_ms"],
+    }
+
+
+def render(report) -> str:
+    lines = [
+        "Restart latency: snapshot+WAL-tail vs cold re-ingest "
+        f"({report['corpus']['reviews']} reviews, "
+        f"{report['history']['deltas']}-delta history)",
+        f"{'path':<10} {'mode':<14} {'replayed':>8} {'restart ms':>11}",
+    ]
+    for path in ("snapshot", "cold"):
+        row = report[path]
+        lines.append(
+            f"{path:<10} {row['mode']:<14} {row['replayed_deltas']:>8} "
+            f"{row['restart_ms']:>11.1f}"
+        )
+    lines.append(
+        f"speedup: {report['speedup']:.2f}x "
+        f"(both land on {report['version']})"
+    )
+    return "\n".join(lines)
+
+
+def test_recovery(benchmark, capsys):
+    report = benchmark.pedantic(run_recovery, rounds=1, iterations=1)
+
+    # Correctness before speed: identical generation either way.
+    assert report["snapshot"]["mode"] == "snapshot+wal"
+    assert report["cold"]["mode"] == "cold+wal"
+    assert report["snapshot"]["replayed_deltas"] == WAL_TAIL
+    assert report["cold"]["replayed_deltas"] == DELTAS
+    # The acceptance bar: snapshot restart at least 3x faster.
+    assert report["speedup"] >= 3.0, (
+        f"snapshot restart only {report['speedup']:.2f}x faster than cold"
+    )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_recovery.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    emit("recovery", render(report), capsys)

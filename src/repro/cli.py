@@ -180,33 +180,101 @@ def _command_narrow(args: argparse.Namespace) -> int:
 
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.serve.admission import AdmissionController
-    from repro.serve.engine import SelectionEngine
+    from repro.serve.engine import SelectionEngine, build_durable_engine
     from repro.serve.http import run_server
     from repro.serve.store import ItemStore
 
-    corpus = _load_corpus_checked(args.corpus)
-    store = ItemStore(corpus)
     admission = AdmissionController(
         max_pending=args.max_pending,
         rate=args.rate_limit,
         burst=args.rate_burst,
     )
-    engine = SelectionEngine(
-        store,
+    engine_options = dict(
         cache_size=args.cache_size,
         ttl=args.ttl,
         workers=args.workers,
         batch_window=args.batch_window,
         admission=admission,
     )
-    print(
-        f"loaded {corpus.name}: {len(corpus.products)} products, "
-        f"{len(corpus.reviews)} reviews (version {store.version})",
-        flush=True,
-    )
+
+    if args.supervised:
+        if args.state_dir is None:
+            print("--supervised requires --state-dir", flush=True)
+            return 2
+        return _serve_supervised(args)
+
+    if args.state_dir is not None:
+        # Durable serving: WAL-backed ingest, generation snapshots, and
+        # snapshot+WAL recovery on restart.
+        engine = build_durable_engine(
+            args.state_dir,
+            corpus_path=args.corpus,
+            cache_tier=args.cache_tier,
+            snapshot_every=args.snapshot_every,
+            **engine_options,
+        )
+        recovery = engine.recovery.as_dict() if engine.recovery else {}
+        print(
+            f"recovered state ({recovery.get('mode', 'cold')}): "
+            f"version {engine.store.version}, "
+            f"{recovery.get('replayed_deltas', 0)} WAL deltas replayed",
+            flush=True,
+        )
+    else:
+        corpus = _load_corpus_checked(args.corpus)
+        store = ItemStore(corpus)
+        engine = SelectionEngine(store, **engine_options)
+        print(
+            f"loaded {corpus.name}: {len(corpus.products)} products, "
+            f"{len(corpus.reviews)} reviews (version {store.version})",
+            flush=True,
+        )
     # run_server installs SIGTERM/SIGINT handlers that drain in-flight
     # requests (up to --drain-timeout seconds) before the process exits.
     run_server(engine, args.host, args.port, drain_timeout=args.drain_timeout)
+    return 0
+
+
+def _serve_supervised(args: argparse.Namespace) -> int:
+    """Run the engine in a supervised child with crash auto-restart."""
+    import time as _time
+
+    from repro.serve.supervisor import Supervisor, SupervisorError
+
+    supervisor = Supervisor(
+        args.state_dir,
+        corpus_path=args.corpus,
+        host=args.host,
+        port=args.port,
+        engine_options={
+            "cache_size": args.cache_size,
+            "ttl": args.ttl,
+            "workers": args.workers,
+            "batch_window": args.batch_window,
+            "cache_tier": args.cache_tier,
+            "snapshot_every": args.snapshot_every,
+        },
+    )
+    supervisor.start()
+    try:
+        ready = supervisor.wait_ready()
+    except SupervisorError as exc:
+        print(f"supervised start failed: {exc}", flush=True)
+        supervisor.stop()
+        return 1
+    print(
+        f"supervised serving on http://{args.host}:{ready['port']} "
+        f"(version {ready['version']}, recovery "
+        f"{(ready.get('recovery') or {}).get('mode', 'cold')})",
+        flush=True,
+    )
+    try:
+        while True:
+            _time.sleep(1.0)
+    except KeyboardInterrupt:
+        print("stopping supervised server...", flush=True)
+    finally:
+        supervisor.stop()
     return 0
 
 
@@ -437,6 +505,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
         help="on SIGTERM/SIGINT, wait this long for in-flight requests "
              "before exiting (default: 30)",
+    )
+    serve.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="durable state directory (WAL + snapshots); restarts recover "
+             "from snapshot + WAL replay instead of re-ingesting the corpus",
+    )
+    serve.add_argument(
+        "--supervised", action="store_true",
+        help="run the engine in a supervised child process that is "
+             "automatically restarted (with recovery) after a crash; "
+             "requires --state-dir",
+    )
+    serve.add_argument(
+        "--snapshot-every", type=int, default=32, metavar="N",
+        help="write a generation snapshot (and compact the WAL) every N "
+             "ingested deltas (default: 32; 0 disables auto-snapshots)",
+    )
+    serve.add_argument(
+        "--cache-tier", choices=("file", "memory"), default=None,
+        help="shared result-cache tier behind the local LRU: 'file' "
+             "survives restarts under the state dir (default: none)",
     )
     serve.set_defaults(handler=_command_serve)
 

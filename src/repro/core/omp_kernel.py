@@ -154,6 +154,8 @@ class GramBlock:
         mu: float,
         with_sync: bool,
         timer: StageTimer,
+        *,
+        grams: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> None:
         self.lam = float(lam)
         self.mu = float(mu)
@@ -182,8 +184,14 @@ class GramBlock:
         with timer.stage("gram"):
             self.unique_opinion = opinion[:, firsts]
             self.unique_aspect = aspect[:, firsts]
-            self.gram_op = self.unique_opinion.T @ self.unique_opinion
-            self.gram_asp = self.unique_aspect.T @ self.unique_aspect
+            if grams is not None:
+                # Snapshot restore: the Gram blocks were persisted, so the
+                # two matmuls are skipped.  They are pure functions of the
+                # unique columns, making the injected values verifiable.
+                self.gram_op, self.gram_asp = grams
+            else:
+                self.gram_op = self.unique_opinion.T @ self.unique_opinion
+                self.gram_asp = self.unique_aspect.T @ self.unique_aspect
         self._stacks: dict[int, np.ndarray] = {}
         self._grams: dict[int, np.ndarray] = {}
 
@@ -253,12 +261,20 @@ class SolverArtifacts:
         lam: float,
         *,
         timer: StageTimer | None = None,
+        incidence: tuple[np.ndarray, np.ndarray] | None = None,
+        base_grams: tuple[np.ndarray, np.ndarray] | None = None,
     ) -> None:
         self.space = space
         self.reviews: tuple[Review, ...] = tuple(reviews)
         self.lam = float(lam)
-        self._opinion = space.opinion_matrix(self.reviews)
-        self._aspect = space.aspect_matrix(self.reviews)
+        if incidence is not None:
+            # Snapshot restore: the persisted incidence matrices replace
+            # the per-review tokenised-corpus walks, which dominate cold
+            # artifact construction.
+            self._opinion, self._aspect = incidence
+        else:
+            self._opinion = space.opinion_matrix(self.reviews)
+            self._aspect = space.aspect_matrix(self.reviews)
         self._lock = threading.Lock()
         self._base = GramBlock(
             self._opinion,
@@ -267,6 +283,7 @@ class SolverArtifacts:
             0.0,
             with_sync=False,
             timer=timer if timer is not None else StageTimer(),
+            grams=base_grams,
         )
         self._plus: dict[float, GramBlock] = {}
         self._strengths: np.ndarray | None = None

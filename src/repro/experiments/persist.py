@@ -37,7 +37,6 @@ import enum
 import hashlib
 import json
 import os
-import tempfile
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 from collections.abc import Iterator
@@ -45,6 +44,7 @@ from collections.abc import Iterator
 import numpy as np
 
 from repro.core.selection import SelectionResult
+from repro.resilience.atomicio import atomic_write_text
 from repro.data.instances import ComparisonInstance
 from repro.data.models import AspectMention, Product, Review
 
@@ -79,29 +79,6 @@ def _jsonable(value: Any) -> Any:
     return value
 
 
-def _atomic_write_text(path: Path, text: str) -> None:
-    """Write ``text`` to ``path`` atomically (same-directory temp + replace).
-
-    The payload is serialised *before* this is called, fsynced to a
-    temporary file in the target directory, then renamed over the
-    destination, so a crash at any point leaves either the old file or
-    the new one — never a truncated hybrid.
-    """
-    fd, tmp_name = tempfile.mkstemp(
-        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as handle:
-            handle.write(text)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp_name, path)
-    except BaseException:
-        with contextlib.suppress(OSError):
-            os.unlink(tmp_name)
-        raise
-
-
 def save_results(
     experiment: str,
     results: Any,
@@ -119,7 +96,7 @@ def save_results(
         "settings": _jsonable(settings),
         "results": _jsonable(results),
     }
-    _atomic_write_text(Path(path), json.dumps(envelope, indent=2) + "\n")
+    atomic_write_text(Path(path), json.dumps(envelope, indent=2) + "\n")
 
 
 def load_results(path: str | Path) -> dict:

@@ -1,0 +1,81 @@
+"""Crash-safe filesystem primitives shared by every durable writer.
+
+Three subsystems persist state that must survive ``kill -9`` and torn
+writes: the experiment checkpoint journal (:mod:`repro.experiments.persist`),
+the serving write-ahead log (:mod:`repro.serve.wal`), and generation
+snapshots (:mod:`repro.serve.snapshot`).  They all lean on the same two
+guarantees, implemented once here:
+
+* **atomic replace** — serialise the payload first, write it to a
+  temporary file *in the target directory*, fsync the file, then
+  ``os.replace`` it over the destination.  A crash at any point leaves
+  either the old file or the new one, never a truncated hybrid.
+* **directory durability** — ``os.replace`` makes the rename atomic but
+  not durable; fsyncing the parent directory pins the new directory
+  entry to disk so the file does not vanish on power loss.
+
+POSIX semantics are assumed for directory fsync; on platforms where
+opening a directory fails (Windows), it degrades to a no-op — the rename
+is still atomic, just not power-loss durable.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+import zlib
+from pathlib import Path
+
+
+def fsync_directory(path: str | Path) -> None:
+    """Fsync a directory so renames inside it survive power loss."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX hosts
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - filesystems without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(
+    path: str | Path, data: bytes, *, durable: bool = True
+) -> None:
+    """Write ``data`` to ``path`` atomically (same-directory temp + replace).
+
+    ``durable=True`` additionally fsyncs the file before the rename and
+    the parent directory after it; ``durable=False`` keeps only the
+    atomicity (used for best-effort caches where losing the write is
+    acceptable but a torn file is not).
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            if durable:
+                os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+    if durable:
+        fsync_directory(path.parent)
+
+
+def atomic_write_text(path: str | Path, text: str, *, durable: bool = True) -> None:
+    """UTF-8 text variant of :func:`atomic_write_bytes`."""
+    atomic_write_bytes(path, text.encode("utf-8"), durable=durable)
+
+
+def checksum(data: bytes) -> int:
+    """The CRC32 used by every checksummed record/file in the repo."""
+    return zlib.crc32(data) & 0xFFFFFFFF

@@ -25,8 +25,21 @@ pieces compose bottom-up:
   tripping failing solvers out of the narrow fallback chain.
 * :mod:`repro.serve.health` — the healthy → degraded → draining state
   machine behind ``/healthz`` and graceful shutdown.
+* :mod:`repro.serve.wal` — :class:`WriteAheadLog`: fsynced, checksummed
+  delta log; every ingest is durable *before* it is acknowledged.
+* :mod:`repro.serve.snapshot` — :class:`SnapshotManager` atomic
+  generation snapshots and :func:`open_durable_store` (snapshot load +
+  WAL replay = byte-identical recovery).
+* :mod:`repro.serve.cachetier` — :class:`SharedCacheTier`: a
+  breaker-guarded process-external result cache (file or in-memory
+  backend) with generation-chained invalidation.
+* :mod:`repro.serve.supervisor` — :class:`Supervisor`: the engine in a
+  child process, crash detection, backoff restarts through recovery.
+* :mod:`repro.serve.jitter` — :class:`RetryJitter`: seeded, bounded
+  jitter on every ``Retry-After`` hint.
 * :mod:`repro.serve.chaos` — deterministic in-process chaos harness
-  (overload bursts, failing backends, mid-flight reloads) with SLO
+  (overload bursts, failing backends, mid-flight reloads, SIGKILL
+  mid-ingest, torn WAL writes, full disks, cache outages) with SLO
   assertions; ``python -m repro.serve.chaos`` runs the default suite.
 
 In-process quickstart (no sockets)::
@@ -50,6 +63,15 @@ from repro.serve.admission import (
 from repro.serve.batch import BatchClosed, BatchStats, MicroBatcher
 from repro.serve.breaker import BreakerBoard, CircuitBreaker, CircuitOpen
 from repro.serve.cache import CacheStats, ResultCache
+from repro.serve.cachetier import (
+    CacheBackend,
+    CacheBackendError,
+    FileBackend,
+    InMemoryBackend,
+    SharedCacheTier,
+    TierStats,
+    tier_key,
+)
 from repro.serve.engine import (
     EngineClosed,
     EngineDraining,
@@ -59,19 +81,40 @@ from repro.serve.engine import (
     Provenance,
     SelectionEngine,
     SelectRequest,
+    build_durable_engine,
     selection_payload,
 )
 from repro.serve.health import HealthMonitor
 from repro.serve.http import ServingHTTPServer, encode_json, make_server, run_server
+from repro.serve.jitter import NO_JITTER, RetryJitter
 from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.serve.snapshot import (
+    RecoveryInfo,
+    SnapshotCorruptError,
+    SnapshotError,
+    SnapshotInfo,
+    SnapshotManager,
+    open_durable_store,
+)
 from repro.serve.store import (
     CorpusValidationError,
+    DeltaOutcome,
+    DeltaValidationError,
     InstanceArtifacts,
     ItemStore,
     ReloadInProgress,
     UnknownTargetError,
     UnviableTargetError,
     corpus_fingerprint,
+)
+from repro.serve.supervisor import RestartPolicy, Supervisor, SupervisorError
+from repro.serve.wal import (
+    WALCorruptError,
+    WALError,
+    WALStats,
+    WriteAheadLog,
+    review_from_record,
+    review_record,
 )
 
 __all__ = [
@@ -80,37 +123,64 @@ __all__ = [
     "BatchClosed",
     "BatchStats",
     "BreakerBoard",
+    "CacheBackend",
+    "CacheBackendError",
     "CacheStats",
     "CircuitBreaker",
     "CircuitOpen",
     "CorpusValidationError",
     "Counter",
+    "DeltaOutcome",
+    "DeltaValidationError",
     "EngineClosed",
     "EngineDraining",
     "EngineResponse",
+    "FileBackend",
     "Gauge",
     "HealthMonitor",
     "Histogram",
+    "InMemoryBackend",
     "InstanceArtifacts",
     "InvalidRequest",
     "ItemStore",
     "MetricsRegistry",
     "MicroBatcher",
+    "NO_JITTER",
     "NarrowRequest",
     "Overloaded",
     "Provenance",
+    "RecoveryInfo",
     "ReloadInProgress",
+    "RestartPolicy",
     "ResultCache",
+    "RetryJitter",
     "SelectRequest",
     "SelectionEngine",
     "ServingHTTPServer",
+    "SharedCacheTier",
+    "SnapshotCorruptError",
+    "SnapshotError",
+    "SnapshotInfo",
+    "SnapshotManager",
+    "Supervisor",
+    "SupervisorError",
+    "TierStats",
     "TokenBucket",
     "UnknownTargetError",
     "UnviableTargetError",
+    "WALCorruptError",
+    "WALError",
+    "WALStats",
+    "WriteAheadLog",
+    "build_durable_engine",
     "corpus_fingerprint",
     "encode_json",
     "make_server",
+    "open_durable_store",
     "request_cost",
+    "review_from_record",
+    "review_record",
     "run_server",
     "selection_payload",
+    "tier_key",
 ]

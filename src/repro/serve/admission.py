@@ -31,6 +31,8 @@ import time
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from repro.serve.jitter import NO_JITTER, RetryJitter
+
 
 class Overloaded(RuntimeError):
     """The request was shed by admission control (HTTP 429).
@@ -190,6 +192,7 @@ class AdmissionController:
         rate: float | None = None,
         burst: float | None = None,
         queue_retry_after: float = 0.1,
+        jitter: RetryJitter | None = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if max_pending < 1:
@@ -198,6 +201,7 @@ class AdmissionController:
             raise ValueError("queue_retry_after must be >= 0")
         self.max_pending = max_pending
         self.queue_retry_after = queue_retry_after
+        self.jitter = jitter or NO_JITTER
         self._bucket = TokenBucket(rate, burst, clock=clock)
         self._lock = threading.Lock()
         self._inflight = 0
@@ -212,7 +216,7 @@ class AdmissionController:
                 self._shed_queue += 1
                 raise Overloaded(
                     f"pending queue full ({self.max_pending} requests in flight)",
-                    retry_after=self.queue_retry_after,
+                    retry_after=self.jitter.apply(self.queue_retry_after),
                     reason="queue_full",
                 )
             wait = self._bucket.try_take(cost)
@@ -221,7 +225,7 @@ class AdmissionController:
                 raise Overloaded(
                     f"rate limit exceeded (cost {cost:.2f}, "
                     f"~{wait:.3f}s until tokens refill)",
-                    retry_after=wait,
+                    retry_after=self.jitter.apply(wait),
                     reason="rate_limited",
                 )
             self._inflight += 1

@@ -20,7 +20,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import OrderedDict
-from collections.abc import Callable, Hashable
+from collections.abc import Callable, Hashable, Iterable
 from dataclasses import dataclass
 from typing import Any, TypeVar
 
@@ -85,6 +85,7 @@ class ResultCache:
         self._clock = clock
         self._lock = threading.Lock()
         self._entries: OrderedDict[Hashable, tuple[Any, float | None]] = OrderedDict()
+        self._entry_tags: dict[Hashable, tuple[str, ...]] = {}
         self._inflight: dict[Hashable, _InFlight] = {}
         self._hits = 0
         self._misses = 0
@@ -105,17 +106,25 @@ class ResultCache:
         value, expires_at = entry
         if expires_at is not None and self._clock() >= expires_at:
             del self._entries[key]
+            self._entry_tags.pop(key, None)
             self._expirations += 1
             return False, None
         self._entries.move_to_end(key)
         return True, value
 
-    def _store(self, key: Hashable, value: Any) -> None:
+    def _store(
+        self, key: Hashable, value: Any, tags: tuple[str, ...] = ()
+    ) -> None:
         expires_at = None if self.ttl is None else self._clock() + self.ttl
         self._entries[key] = (value, expires_at)
         self._entries.move_to_end(key)
+        if tags:
+            self._entry_tags[key] = tags
+        else:
+            self._entry_tags.pop(key, None)
         while len(self._entries) > self.max_size:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            self._entry_tags.pop(evicted, None)
             self._evictions += 1
 
     # -- public API ----------------------------------------------------------
@@ -130,16 +139,24 @@ class ResultCache:
                 self._misses += 1
             return hit, value
 
-    def put(self, key: Hashable, value: Any) -> None:
-        """Insert ``value`` directly (warming; bypasses single-flight)."""
+    def put(
+        self, key: Hashable, value: Any, tags: tuple[str, ...] = ()
+    ) -> None:
+        """Insert ``value`` directly (warming; bypasses single-flight).
+
+        ``tags`` label the entry for :meth:`invalidate_tags` — the
+        engine tags each entry with the product ids of its instance so
+        a review delta evicts exactly the entries it staled.
+        """
         with self._lock:
-            self._store(key, value)
+            self._store(key, value, tags)
 
     def get_or_compute(
         self,
         key: Hashable,
         compute: Callable[[], T],
         deadline: Deadline | None = None,
+        tags: tuple[str, ...] = (),
     ) -> tuple[T, str]:
         """Return ``(value, source)``; source is "hit" | "miss" | "coalesced".
 
@@ -171,7 +188,7 @@ class ResultCache:
             else:
                 flight.value = value
                 with self._lock:
-                    self._store(key, value)
+                    self._store(key, value, tags)
                 return value, "miss"
             finally:
                 with self._lock:
@@ -194,13 +211,36 @@ class ResultCache:
     def invalidate(self, key: Hashable) -> bool:
         """Drop one entry; True if it existed."""
         with self._lock:
+            self._entry_tags.pop(key, None)
             return self._entries.pop(key, None) is not None
+
+    def invalidate_tags(self, tags: Iterable[str]) -> int:
+        """Drop every entry labelled with any of ``tags``; returns count.
+
+        This is the local half of generation-chained invalidation: a
+        replayed or live delta to product P evicts exactly the entries
+        tagged with P, leaving the rest of the cache warm.
+        """
+        wanted = set(tags)
+        if not wanted:
+            return 0
+        with self._lock:
+            doomed = [
+                key
+                for key, entry_tags in self._entry_tags.items()
+                if wanted.intersection(entry_tags)
+            ]
+            for key in doomed:
+                self._entries.pop(key, None)
+                self._entry_tags.pop(key, None)
+            return len(doomed)
 
     def clear(self) -> int:
         """Drop every completed entry (in-flight solves finish unaffected)."""
         with self._lock:
             dropped = len(self._entries)
             self._entries.clear()
+            self._entry_tags.clear()
             return dropped
 
     def stats(self) -> CacheStats:

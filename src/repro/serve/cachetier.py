@@ -1,0 +1,370 @@
+"""Pluggable shared cache tier behind the local result cache.
+
+The local :class:`~repro.serve.cache.ResultCache` dies with the process
+— after a crash-restart every popular request re-solves even though the
+recovered generation is byte-identical to the pre-crash one.  The shared
+tier fixes that: solved results are published to a :class:`CacheBackend`
+(a process-external store) keyed by the generation *chain token*, so a
+restarted engine — or a sibling process on the same host — hits warm
+entries immediately.
+
+Two backends ship: :class:`InMemoryBackend` (tests and the chaos
+harness's fault injection) and :class:`FileBackend` (a host-local
+directory of checksummed entry files, shared across processes; writes
+are atomic-replace so readers never observe torn values).
+
+Failure containment is non-negotiable — a cache must never take down
+the serving path.  :class:`SharedCacheTier` wraps every backend call in
+a :class:`~repro.serve.breaker.CircuitBreaker`: backend errors degrade
+reads to misses and drop writes, consecutive failures trip the breaker
+so an out-of-service backend costs nothing per request, and half-open
+probes re-attach automatically when it comes back.  The engine keeps
+serving from its local LRU throughout.
+
+Invalidation is generation-chained, not version-global: entries carry
+product-id *tags*, and a review delta purges only entries tagged with an
+affected product.  Because keys embed the chain token (lineage +
+per-product epochs), stale entries are unreachable even if a purge is
+lost while the backend is out — the purge is hygiene, the key is the
+guarantee.
+
+Values cross process boundaries, so they are JSON envelopes (never
+pickle — a shared file tier must not be a code-execution vector) with a
+CRC32 over the payload; a corrupt entry reads as a miss and is deleted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.resilience.atomicio import atomic_write_bytes, checksum
+from repro.serve.breaker import CircuitBreaker
+
+_FORMAT = 1
+
+
+class CacheBackendError(RuntimeError):
+    """A shared-cache backend operation failed (outage, IO error)."""
+
+
+class CacheBackend:
+    """Interface a shared-tier backend implements.
+
+    Keys are opaque strings; values are opaque bytes.  Implementations
+    raise :class:`CacheBackendError` on operational failure — the tier
+    translates that into graceful degradation, never a request error.
+    """
+
+    name = "backend"
+
+    def get(self, key: str) -> bytes | None:
+        raise NotImplementedError
+
+    def put(self, key: str, value: bytes, tags: Sequence[str]) -> None:
+        raise NotImplementedError
+
+    def delete(self, key: str) -> None:
+        raise NotImplementedError
+
+    def purge_tags(self, tags: Iterable[str]) -> int:
+        raise NotImplementedError
+
+    def entry_count(self) -> int:
+        raise NotImplementedError
+
+
+class InMemoryBackend(CacheBackend):
+    """Dict-backed backend with scriptable outages (tests / chaos).
+
+    ``fail(n)`` makes the next ``n`` operations raise
+    :class:`CacheBackendError`; ``set_down(True)`` fails everything
+    until further notice — the cache-backend-outage chaos scenario
+    drives exactly these two knobs.
+    """
+
+    name = "memory"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[str, tuple[bytes, tuple[str, ...]]] = {}
+        self._fail_next = 0
+        self._down = False
+        self.operations = 0
+        self.failures = 0
+
+    def fail(self, operations: int = 1) -> None:
+        with self._lock:
+            self._fail_next = max(self._fail_next, int(operations))
+
+    def set_down(self, down: bool) -> None:
+        with self._lock:
+            self._down = bool(down)
+
+    def _gate(self) -> None:
+        with self._lock:
+            self.operations += 1
+            if self._down or self._fail_next > 0:
+                if self._fail_next > 0:
+                    self._fail_next -= 1
+                self.failures += 1
+                raise CacheBackendError("injected backend outage")
+
+    def get(self, key: str) -> bytes | None:
+        self._gate()
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry[0] if entry else None
+
+    def put(self, key: str, value: bytes, tags: Sequence[str]) -> None:
+        self._gate()
+        with self._lock:
+            self._entries[key] = (bytes(value), tuple(tags))
+
+    def delete(self, key: str) -> None:
+        self._gate()
+        with self._lock:
+            self._entries.pop(key, None)
+
+    def purge_tags(self, tags: Iterable[str]) -> int:
+        self._gate()
+        wanted = set(tags)
+        with self._lock:
+            doomed = [
+                key
+                for key, (_, entry_tags) in self._entries.items()
+                if wanted.intersection(entry_tags)
+            ]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)
+
+    def entry_count(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class FileBackend(CacheBackend):
+    """Host-local shared cache: one checksummed file per entry.
+
+    Entries live flat in ``root`` as ``<sha256(key)>.cache``; the file
+    body is a JSON envelope carrying the key (for verification), the
+    tags (for purges), and the payload.  Writes go through the shared
+    atomic-replace helper with ``durable=False`` — losing a cached
+    entry in a power cut is fine, serving half a value is not.  Any IO
+    error surfaces as :class:`CacheBackendError` for the tier's breaker
+    to count; a checksum mismatch deletes the entry and reads as a miss.
+    """
+
+    name = "file"
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        digest = hashlib.sha256(key.encode()).hexdigest()[:32]
+        return self.root / f"{digest}.cache"
+
+    def get(self, key: str) -> bytes | None:
+        path = self._path(key)
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise CacheBackendError(f"read {path}: {exc}") from exc
+        entry = self._decode(path, raw)
+        if entry is None or entry["key"] != key:
+            return None
+        return bytes.fromhex(entry["payload"])
+
+    def _decode(self, path: Path, raw: bytes) -> dict | None:
+        try:
+            entry = json.loads(raw)
+            payload = bytes.fromhex(entry["payload"])
+            if entry.get("format") != _FORMAT or checksum(payload) != entry["crc"]:
+                raise ValueError("checksum or format mismatch")
+        except (ValueError, KeyError, TypeError):
+            # Corrupt entry: self-heal by deleting, report a miss.
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return None
+        return entry
+
+    def put(self, key: str, value: bytes, tags: Sequence[str]) -> None:
+        envelope = json.dumps(
+            {
+                "format": _FORMAT,
+                "key": key,
+                "tags": list(tags),
+                "crc": checksum(value),
+                "payload": value.hex(),
+            }
+        ).encode()
+        try:
+            atomic_write_bytes(self._path(key), envelope, durable=False)
+        except OSError as exc:
+            raise CacheBackendError(f"write {key!r}: {exc}") from exc
+
+    def delete(self, key: str) -> None:
+        try:
+            self._path(key).unlink(missing_ok=True)
+        except OSError as exc:
+            raise CacheBackendError(f"delete {key!r}: {exc}") from exc
+
+    def purge_tags(self, tags: Iterable[str]) -> int:
+        wanted = set(tags)
+        purged = 0
+        try:
+            paths = list(self.root.glob("*.cache"))
+        except OSError as exc:
+            raise CacheBackendError(f"scan {self.root}: {exc}") from exc
+        for path in paths:
+            try:
+                entry = self._decode(path, path.read_bytes())
+            except OSError:
+                continue
+            if entry is not None and wanted.intersection(entry.get("tags", ())):
+                try:
+                    path.unlink(missing_ok=True)
+                    purged += 1
+                except OSError:
+                    continue
+        return purged
+
+    def entry_count(self) -> int:
+        try:
+            return sum(1 for _ in self.root.glob("*.cache"))
+        except OSError as exc:
+            raise CacheBackendError(f"scan {self.root}: {exc}") from exc
+
+
+@dataclass(frozen=True, slots=True)
+class TierStats:
+    """Shared-tier counters for ``/metrics``."""
+
+    backend: str
+    breaker_state: str
+    gets: int
+    hits: int
+    puts: int
+    purges: int
+    errors: int
+    skipped: int
+
+
+class SharedCacheTier:
+    """Breaker-guarded JSON cache tier; never fails the request path.
+
+    Every operation degrades on trouble: ``get`` returns a miss,
+    ``put``/``purge`` drop silently (counted), and once the breaker
+    opens, calls are skipped outright until the recovery probe
+    succeeds.  Lost purges are safe because keys embed the generation
+    chain token — see the module docstring.
+    """
+
+    def __init__(
+        self,
+        backend: CacheBackend,
+        *,
+        breaker: CircuitBreaker | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.backend = backend
+        self.breaker = breaker or CircuitBreaker(
+            failure_threshold=3, recovery_time=5.0, clock=clock
+        )
+        self._lock = threading.Lock()
+        self._gets = 0
+        self._hits = 0
+        self._puts = 0
+        self._purges = 0
+        self._errors = 0
+        self._skipped = 0
+
+    def _count(self, counter: str) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + 1)
+
+    def _guarded(self, operation: Callable[[], object]) -> tuple[bool, object]:
+        """(ran, result); absorbs backend errors into breaker state."""
+        if not self.breaker.allow():
+            self._count("_skipped")
+            return False, None
+        try:
+            result = operation()
+        except CacheBackendError:
+            self._count("_errors")
+            self.breaker.record_failure()
+            return False, None
+        self.breaker.record_success()
+        return True, result
+
+    def get(self, key: str) -> dict | None:
+        """The cached JSON value for ``key``, or None (miss or outage)."""
+        self._count("_gets")
+        ran, raw = self._guarded(lambda: self.backend.get(key))
+        if not ran or raw is None:
+            return None
+        try:
+            value = json.loads(raw)
+        except (ValueError, UnicodeDecodeError):
+            self._guarded(lambda: self.backend.delete(key))
+            return None
+        self._count("_hits")
+        return value
+
+    def put(self, key: str, value: dict, tags: Sequence[str] = ()) -> bool:
+        """Publish ``value``; False when dropped (outage or open breaker)."""
+        blob = json.dumps(value, separators=(",", ":")).encode()
+        ran, _ = self._guarded(lambda: self.backend.put(key, blob, tags))
+        if ran:
+            self._count("_puts")
+        return ran
+
+    def purge_products(self, product_ids: Iterable[str]) -> int:
+        """Evict entries tagged with any of ``product_ids``; -1 on outage."""
+        tags = tuple(product_ids)
+        if not tags:
+            return 0
+        ran, purged = self._guarded(lambda: self.backend.purge_tags(tags))
+        if not ran:
+            return -1
+        self._count("_purges")
+        return int(purged)
+
+    def stats(self) -> TierStats:
+        with self._lock:
+            return TierStats(
+                backend=self.backend.name,
+                breaker_state=self.breaker.state,
+                gets=self._gets,
+                hits=self._hits,
+                puts=self._puts,
+                purges=self._purges,
+                errors=self._errors,
+                skipped=self._skipped,
+            )
+
+
+def tier_key(chain_token: str, *parts: object) -> str:
+    """A deterministic cross-process cache key.
+
+    Hashes the generation chain token plus every request-shaping
+    parameter; identical requests against identical generation chains —
+    in any process, before or after a crash — map to the same key.
+    """
+    digest = hashlib.sha256()
+    digest.update(chain_token.encode())
+    for part in parts:
+        digest.update(b"\x1f")
+        digest.update(repr(part).encode())
+    return digest.hexdigest()

@@ -18,15 +18,27 @@ under load.  Every scenario then checks its SLOs:
   generation (old or new, never a hybrid);
 * a drain under load completes every in-flight request before closing.
 
-Scenarios are plain data (:class:`ChaosScenario`), the default suite is
-:func:`default_suite`, and ``python -m repro.serve.chaos`` runs it
-headlessly for ``make chaos-smoke`` / CI, exiting non-zero on any SLO
-violation.
+The durability scenarios go further: a real child process killed with
+SIGKILL mid-ingest, a WAL torn mid-record, a disk that refuses writes,
+and a shared cache backend outage — each asserting the crash-recovery
+invariants (zero acknowledged-then-lost deltas, byte-identical
+post-recovery generations, zero uncaught 500s).
+
+Scenarios are plain data (:class:`ChaosScenario` /
+:class:`DurabilityScenario`), the default suite is :func:`default_suite`
+plus :func:`durability_suite`, and ``python -m repro.serve.chaos`` runs
+them headlessly for ``make chaos-smoke`` / CI, exiting non-zero on any
+SLO violation and printing the violating scenario's seed so the run can
+be replayed exactly.  ``--scenario NAME`` filters (substring match),
+``--list`` enumerates.
 """
 
 from __future__ import annotations
 
+import argparse
+import errno
 import json
+import os
 import tempfile
 import threading
 import time
@@ -37,6 +49,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.data.io import save_corpus
+from repro.data.models import Review
 from repro.data.synthetic import generate_corpus
 from repro.resilience.fallback import builtin_stage
 from repro.resilience.faults import FaultSpec, InjectedFault
@@ -44,6 +57,7 @@ from repro.serve.admission import AdmissionController
 from repro.serve.engine import SelectionEngine
 from repro.serve.http import make_server
 from repro.serve.store import ItemStore
+from repro.serve.wal import WriteAheadLog, review_record
 
 #: Statuses the serving layer is allowed to answer under chaos.
 _EXPECTED_STATUSES = frozenset({200, 429, 503})
@@ -109,6 +123,7 @@ class ChaosReport:
     versions: tuple[str, ...]
     drained: bool | None
     violations: list[str]
+    seed: int = 7
 
     @property
     def passed(self) -> bool:
@@ -125,6 +140,10 @@ class ChaosReport:
         )
         if self.drained is not None:
             line += f", drained={self.drained}"
+        if not self.passed:
+            # The seed is the whole reproduction recipe: corpora, jitter
+            # streams, and kill points all derive from it.
+            line += f"\n    replay with seed={self.seed}"
         for violation in self.violations:
             line += f"\n    SLO violation: {violation}"
         return line
@@ -441,6 +460,7 @@ def _evaluate(
         versions=tuple(versions),
         drained=drained,
         violations=violations,
+        seed=scenario.seed,
     )
 
 
@@ -451,16 +471,489 @@ def run_suite(
     return [run_scenario(scenario) for scenario in (scenarios or default_suite())]
 
 
-def main() -> int:
-    """Headless entry point for ``make chaos-smoke`` / CI."""
-    reports = []
-    for scenario in default_suite():
-        report = run_scenario(scenario)
+# -- durability / crash-recovery scenarios -----------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class DurabilityScenario:
+    """One crash-recovery episode; ``kind`` picks the fault to inject."""
+
+    name: str
+    kind: str  # "kill9" | "torn-wal" | "disk-full" | "tier-outage"
+    deltas: int = 5
+    seed: int = 7
+
+
+@dataclass
+class DurabilityReport:
+    """Outcome of one durability scenario (same verdict surface)."""
+
+    scenario: str
+    seed: int
+    violations: list[str]
+    details: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        facts = ", ".join(f"{k}={v}" for k, v in self.details.items())
+        line = f"[{verdict}] {self.scenario}: {facts}"
+        if not self.passed:
+            line += f"\n    replay with seed={self.seed}"
+        for violation in self.violations:
+            line += f"\n    invariant violation: {violation}"
+        return line
+
+
+def durability_suite() -> tuple[DurabilityScenario, ...]:
+    """The crash-recovery scenarios ``make recovery-smoke`` runs."""
+    return (
+        DurabilityScenario(name="kill9-mid-ingest", kind="kill9"),
+        DurabilityScenario(name="torn-wal-write", kind="torn-wal"),
+        DurabilityScenario(name="wal-disk-full", kind="disk-full"),
+        DurabilityScenario(name="cache-backend-outage", kind="tier-outage"),
+    )
+
+
+def _delta_review(index: int, product_id: str) -> Review:
+    return Review(
+        review_id=f"chaos-delta-{index:04d}",
+        product_id=product_id,
+        reviewer_id=f"chaos-user-{index:04d}",
+        rating=4,
+        text=f"chaos delta review {index}: solid battery and screen",
+        mentions=(),
+    )
+
+
+def _expected_versions(corpus, acked: list[Review], inflight: Review | None):
+    """Legal post-recovery versions: all acked, or acked + the in-flight
+    delta (which may have reached the fsynced WAL before the kill)."""
+    legal = set()
+    for tail in ([], [inflight] if inflight is not None else []):
+        store = ItemStore(corpus)
+        for review in acked + tail:
+            store.apply_delta([review])
+        legal.add(store.version)
+    return legal
+
+
+def _run_kill9(scenario: DurabilityScenario) -> DurabilityReport:
+    """SIGKILL the serving child mid-ingest; recovery must lose nothing.
+
+    Every delta the parent saw acknowledged (HTTP 200 after the WAL
+    fsync) must be present after restart; the one delta in flight at the
+    kill may legally land or vanish — but nothing else may change, so
+    the recovered version must be byte-identical to one of exactly two
+    permitted generation fingerprints.
+    """
+    from repro.serve.supervisor import RestartPolicy, Supervisor
+
+    violations: list[str] = []
+    details: dict[str, object] = {}
+    corpus = generate_corpus("Toy", scale=0.3, seed=scenario.seed)
+    products = [p.product_id for p in corpus.products]
+    with tempfile.TemporaryDirectory() as tmp:
+        corpus_path = Path(tmp) / "corpus.jsonl"
+        save_corpus(corpus, corpus_path)
+        supervisor = Supervisor(
+            Path(tmp) / "state",
+            corpus_path=corpus_path,
+            policy=RestartPolicy(base_delay=0.05, max_restarts=3),
+            engine_options={"workers": 2, "snapshot_every": 2},
+        )
+        supervisor.start()
+        try:
+            ready = supervisor.wait_ready()
+            base = f"http://127.0.0.1:{ready['port']}"
+            acked: list[Review] = []
+            for index in range(scenario.deltas):
+                review = _delta_review(index, products[index % len(products)])
+                status, _ = _post(
+                    base, "/v1/ingest", {"reviews": [review_record(review)]}
+                )
+                if status != 200:
+                    violations.append(f"pre-kill ingest {index} answered {status}")
+                acked.append(review)
+
+            # Fire one more ingest concurrently and kill the child while
+            # it is (potentially) in flight — the only legal ambiguity.
+            inflight = _delta_review(scenario.deltas, products[0])
+            inflight_status: list[object] = [None]
+
+            def _racing_ingest() -> None:
+                try:
+                    inflight_status[0] = _post(
+                        base, "/v1/ingest", {"reviews": [review_record(inflight)]}
+                    )[0]
+                except Exception as exc:
+                    inflight_status[0] = f"{type(exc).__name__}"
+
+            racer = threading.Thread(target=_racing_ingest)
+            racer.start()
+            killed_pid = supervisor.kill()
+            racer.join(timeout=30.0)
+            details["killed_pid"] = killed_pid
+            details["inflight_status"] = inflight_status[0]
+
+            # Wait for the supervisor to bring a recovered child back.
+            recovered: dict | None = None
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                try:
+                    with urllib.request.urlopen(
+                        f"{base}/healthz", timeout=5
+                    ) as response:
+                        payload = json.loads(response.read())
+                    if payload.get("recovery", {}).get("restarts", 0) >= 1:
+                        recovered = payload
+                        break
+                except Exception:
+                    time.sleep(0.1)
+            if recovered is None:
+                violations.append("child did not come back after SIGKILL")
+            else:
+                if inflight_status[0] == 200:
+                    # Acked in flight: it MUST have survived; all-acked
+                    # including it is the only legal generation.
+                    legal = _expected_versions(corpus, acked + [inflight], None)
+                else:
+                    # Not acked: the record may or may not have reached
+                    # the fsynced WAL before the kill — either outcome
+                    # is legal, anything else is corruption/loss.
+                    legal = _expected_versions(corpus, acked, inflight)
+                version = recovered["corpus_version"]
+                details["recovered_version"] = version
+                details["recovery_mode"] = recovered["recovery"]["mode"]
+                details["restarts"] = recovered["recovery"]["restarts"]
+                if version not in legal:
+                    violations.append(
+                        f"recovered generation {version} not in the legal set "
+                        f"{sorted(legal)} — an acknowledged delta was lost or "
+                        "phantom state appeared"
+                    )
+                # The recovered child must serve: one select, no 500s.
+                status, _ = _post(base, "/v1/select", {"m": 2})
+                if status != 200:
+                    violations.append(f"post-recovery select answered {status}")
+        finally:
+            supervisor.stop()
+    return DurabilityReport(
+        scenario=scenario.name, seed=scenario.seed,
+        violations=violations, details=details,
+    )
+
+
+def _run_torn_wal(scenario: DurabilityScenario) -> DurabilityReport:
+    """Tear the WAL's last record mid-write; recovery must truncate it.
+
+    A torn tail is exactly what a power cut leaves behind: the record
+    was never fsync-acknowledged, so dropping it is correct — and the
+    recovered store must equal the generation of every *intact* record.
+    """
+    from repro.serve.snapshot import open_durable_store
+
+    violations: list[str] = []
+    details: dict[str, object] = {}
+    corpus = generate_corpus("Toy", scale=0.3, seed=scenario.seed)
+    products = [p.product_id for p in corpus.products]
+    with tempfile.TemporaryDirectory() as tmp:
+        corpus_path = Path(tmp) / "corpus.jsonl"
+        save_corpus(corpus, corpus_path)
+        state = Path(tmp) / "state"
+        store, wal, _, _ = open_durable_store(state, corpus_path=corpus_path)
+        reviews = [
+            _delta_review(i, products[i % len(products)])
+            for i in range(scenario.deltas)
+        ]
+        for review in reviews[:-1]:
+            wal.append({"kind": "delta", "reviews": [review_record(review)]})
+            store.apply_delta([review])
+        intact_version = store.version
+        # The last delta is applied in memory but its WAL record is torn
+        # mid-write — as if the process died inside write(2).
+        wal.append({"kind": "delta", "reviews": [review_record(reviews[-1])]})
+        wal.close()
+        wal_path = state / "ingest.wal"
+        torn = wal_path.read_bytes()[:-17]
+        wal_path.write_bytes(torn)
+
+        store2, wal2, _, info = open_durable_store(
+            state, corpus_path=corpus_path
+        )
+        details["mode"] = info.mode
+        details["torn_bytes"] = info.wal_torn_tail_bytes
+        details["recovered_version"] = store2.version
+        if info.wal_torn_tail_bytes <= 0:
+            violations.append("torn WAL tail was not detected")
+        if store2.version != intact_version:
+            violations.append(
+                f"recovered {store2.version}, expected the intact-records "
+                f"generation {intact_version}"
+            )
+        # The log must be writable again after truncation.
+        try:
+            seq = wal2.append(
+                {"kind": "delta", "reviews": [review_record(reviews[-1])]}
+            )
+            details["post_recovery_seq"] = seq
+        except Exception as exc:
+            violations.append(f"append after torn-tail recovery failed: {exc}")
+        wal2.close()
+    return DurabilityReport(
+        scenario=scenario.name, seed=scenario.seed,
+        violations=violations, details=details,
+    )
+
+
+def _run_disk_full(scenario: DurabilityScenario) -> DurabilityReport:
+    """ENOSPC during the WAL append: 503 (never 500), state unchanged.
+
+    The ack discipline means a delta that cannot be persisted must not
+    be applied — the client sees a retryable 503 and the store stays on
+    its previous generation; once space returns, ingest resumes.
+    """
+    violations: list[str] = []
+    details: dict[str, object] = {}
+    corpus = generate_corpus("Toy", scale=0.3, seed=scenario.seed)
+    products = [p.product_id for p in corpus.products]
+    disk_full = threading.Event()
+
+    def _maybe_fail(num_bytes: int) -> None:
+        if disk_full.is_set():
+            raise OSError(errno.ENOSPC, "no space left on device (injected)")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        wal = WriteAheadLog(Path(tmp) / "ingest.wal", before_write=_maybe_fail)
+        engine = SelectionEngine(ItemStore(corpus), workers=2, wal=wal)
+        server = make_server(engine, host="127.0.0.1", port=0)
+        host, port = server.server_address[:2]
+        base = f"http://{host}:{port}"
+        serve_thread = threading.Thread(target=server.serve_forever, daemon=True)
+        serve_thread.start()
+        try:
+            ok_review = _delta_review(0, products[0])
+            status, _ = _post(
+                base, "/v1/ingest", {"reviews": [review_record(ok_review)]}
+            )
+            if status != 200:
+                violations.append(f"healthy-disk ingest answered {status}")
+            version_before = engine.store.version
+
+            disk_full.set()
+            blocked = _delta_review(1, products[1 % len(products)])
+            try:
+                status, _ = _post(
+                    base, "/v1/ingest", {"reviews": [review_record(blocked)]}
+                )
+            except urllib.error.HTTPError as error:
+                status = error.code
+                payload = json.loads(error.read() or b"{}")
+                details["disk_full_reason"] = payload.get("reason")
+                details["retry_after"] = payload.get("retry_after")
+            details["disk_full_status"] = status
+            if status != 503:
+                violations.append(
+                    f"disk-full ingest answered {status}, expected 503"
+                )
+            if engine.store.version != version_before:
+                violations.append(
+                    "a delta that failed to persist was applied anyway"
+                )
+
+            disk_full.clear()
+            status, ack = _post(
+                base, "/v1/ingest", {"reviews": [review_record(blocked)]}
+            )
+            details["healed_status"] = status
+            if status != 200:
+                violations.append(f"post-heal ingest answered {status}")
+            else:
+                details["healed_version"] = ack["version"]
+            # The WAL file must still replay cleanly end to end.
+            wal_stats = wal.stats()
+            details["wal_records"] = wal_stats.records
+            if wal_stats.records != 2:
+                violations.append(
+                    f"WAL holds {wal_stats.records} records, expected 2 "
+                    "(the refused append must leave no partial record)"
+                )
+        finally:
+            server.shutdown()
+            server.server_close()
+            engine.close()
+    return DurabilityReport(
+        scenario=scenario.name, seed=scenario.seed,
+        violations=violations, details=details,
+    )
+
+
+def _run_tier_outage(scenario: DurabilityScenario) -> DurabilityReport:
+    """Shared-tier backend outage: serving degrades to local-only, no errors.
+
+    Every request during the outage must still answer 200 (the tier is
+    an optimisation, never a dependency), the tier breaker must open so
+    the dead backend stops costing latency, and after the backend heals
+    the breaker must close and publishing resume.
+    """
+    from repro.serve.breaker import CircuitBreaker
+    from repro.serve.cachetier import InMemoryBackend, SharedCacheTier
+
+    violations: list[str] = []
+    details: dict[str, object] = {}
+    corpus = generate_corpus("Toy", scale=0.3, seed=scenario.seed)
+    backend = InMemoryBackend()
+    tier = SharedCacheTier(
+        backend,
+        breaker=CircuitBreaker(failure_threshold=2, recovery_time=0.2),
+    )
+    engine = SelectionEngine(ItemStore(corpus), workers=2, tier=tier)
+    server = make_server(engine, host="127.0.0.1", port=0)
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    serve_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    serve_thread.start()
+    try:
+        backend.set_down(True)
+        statuses = []
+        for index in range(scenario.deltas):
+            status, _ = _post(base, "/v1/select", {"m": 2, "mu": 0.1 + 0.01 * index})
+            statuses.append(status)
+        details["outage_statuses"] = sorted(set(statuses))
+        if any(status != 200 for status in statuses):
+            violations.append(
+                f"requests failed during tier outage: {statuses} "
+                "(the tier must never take down serving)"
+            )
+        mid = tier.stats()
+        details["outage_errors"] = mid.errors
+        details["outage_skipped"] = mid.skipped
+        details["breaker_during"] = mid.breaker_state
+        if mid.errors < 1:
+            violations.append("no tier backend error was recorded")
+        if mid.breaker_state != "open" and mid.skipped < 1:
+            violations.append(
+                "tier breaker neither opened nor skipped calls during outage"
+            )
+
+        backend.set_down(False)
+        time.sleep(0.25)  # past the breaker's recovery window
+        status, _ = _post(base, "/v1/select", {"m": 2, "mu": 0.9})
+        if status != 200:
+            violations.append(f"post-heal select answered {status}")
+        healed = tier.stats()
+        details["healed_breaker"] = healed.breaker_state
+        details["healed_puts"] = healed.puts
+        if healed.puts < 1:
+            violations.append(
+                "tier never resumed publishing after the backend healed"
+            )
+    finally:
+        server.shutdown()
+        server.server_close()
+        engine.close()
+    return DurabilityReport(
+        scenario=scenario.name, seed=scenario.seed,
+        violations=violations, details=details,
+    )
+
+
+_DURABILITY_RUNNERS = {
+    "kill9": _run_kill9,
+    "torn-wal": _run_torn_wal,
+    "disk-full": _run_disk_full,
+    "tier-outage": _run_tier_outage,
+}
+
+
+def run_durability_scenario(scenario: DurabilityScenario) -> DurabilityReport:
+    """Execute one crash-recovery scenario in isolation."""
+    runner = _DURABILITY_RUNNERS.get(scenario.kind)
+    if runner is None:
+        raise ValueError(
+            f"unknown durability scenario kind {scenario.kind!r}; "
+            f"one of {sorted(_DURABILITY_RUNNERS)}"
+        )
+    return runner(scenario)
+
+
+def run_durability_suite(
+    scenarios: tuple[DurabilityScenario, ...] | None = None,
+) -> list[DurabilityReport]:
+    """Run every durability scenario and collect reports."""
+    return [
+        run_durability_scenario(scenario)
+        for scenario in (scenarios or durability_suite())
+    ]
+
+
+def all_scenarios() -> list[ChaosScenario | DurabilityScenario]:
+    """Every scenario both suites know, for ``--list`` and filtering."""
+    return list(default_suite()) + list(durability_suite())
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Headless entry point for ``make chaos-smoke`` / ``make recovery-smoke``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve.chaos",
+        description="Run the serving chaos + crash-recovery suites.",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only scenarios whose name contains NAME (repeatable)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list scenario names and exit"
+    )
+    parser.add_argument(
+        "--suite",
+        choices=("all", "load", "durability"),
+        default="all",
+        help="which suite to draw scenarios from (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.suite == "load":
+        scenarios: list = list(default_suite())
+    elif args.suite == "durability":
+        scenarios = list(durability_suite())
+    else:
+        scenarios = all_scenarios()
+    if args.scenario:
+        wanted = [needle.lower() for needle in args.scenario]
+        scenarios = [
+            scenario
+            for scenario in scenarios
+            if any(needle in scenario.name.lower() for needle in wanted)
+        ]
+        if not scenarios:
+            print(f"no scenario matches {args.scenario}", flush=True)
+            return 2
+    if args.list:
+        for scenario in scenarios:
+            kind = "durability" if isinstance(scenario, DurabilityScenario) else "load"
+            print(f"{scenario.name}  [{kind}, seed={scenario.seed}]")
+        return 0
+
+    reports: list[ChaosReport | DurabilityReport] = []
+    for scenario in scenarios:
+        if isinstance(scenario, DurabilityScenario):
+            report: ChaosReport | DurabilityReport = run_durability_scenario(
+                scenario
+            )
+        else:
+            report = run_scenario(scenario)
         print(report.summary(), flush=True)
         reports.append(report)
     failed = [report for report in reports if not report.passed]
     print(
-        f"chaos-smoke: {len(reports) - len(failed)}/{len(reports)} scenarios passed",
+        f"chaos: {len(reports) - len(failed)}/{len(reports)} scenarios passed",
         flush=True,
     )
     return 1 if failed else 0

@@ -26,8 +26,9 @@ as the HTTP server uses it; no sockets are involved until
 
 from __future__ import annotations
 
+import threading
 import time
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, replace
@@ -51,9 +52,20 @@ from repro.serve.admission import AdmissionController, Overloaded, request_cost
 from repro.serve.batch import MicroBatcher
 from repro.serve.breaker import STATE_CODES, BreakerBoard
 from repro.serve.cache import ResultCache
+from repro.serve.cachetier import SharedCacheTier, tier_key
 from repro.serve.health import HealthMonitor
+from repro.serve.jitter import NO_JITTER, RetryJitter
 from repro.serve.metrics import MetricsRegistry
-from repro.serve.store import CorpusValidationError, InstanceArtifacts, ItemStore
+from repro.serve.snapshot import RecoveryInfo, SnapshotInfo, SnapshotManager
+from repro.serve.store import (
+    CorpusValidationError,
+    DeltaValidationError,
+    InstanceArtifacts,
+    ItemStore,
+)
+from repro.serve.wal import WriteAheadLog, review_from_record, review_record
+
+_RECOVERY_MODE_CODES = {"cold": 0, "cold+wal": 1, "snapshot": 2, "snapshot+wal": 3}
 
 
 class InvalidRequest(ValueError):
@@ -153,7 +165,7 @@ class Provenance:
     timings unchanged.
     """
 
-    cache: str  # "hit" | "miss" | "coalesced"
+    cache: str  # "hit" | "miss" | "coalesced" | "tier"
     backend: str
     corpus_version: str
     wall_ms: float
@@ -230,10 +242,18 @@ def selection_payload(result: SelectionResult) -> dict[str, object]:
 
 @dataclass(frozen=True, slots=True)
 class _SolvedSelect:
-    """Cached value for one select key: the raw result + its payload."""
+    """Cached value for one select key.
 
-    result: SelectionResult
+    Deliberately JSON-able (payload + scalars only, no
+    :class:`SelectionResult`) so the shared tier can round-trip it
+    across processes; ``from_tier`` marks values decoded from the tier
+    rather than solved locally, for provenance.
+    """
+
     payload: dict[str, object]
+    degraded: bool = False
+    timings: Mapping[str, float] | None = None
+    from_tier: bool = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -245,6 +265,7 @@ class _SolvedNarrow:
     degraded: bool
     breaker_skipped: tuple[str, ...] = ()
     stage_timings: Mapping[str, float] | None = None
+    from_tier: bool = False
 
 
 class SelectionEngine:
@@ -275,17 +296,34 @@ class SelectionEngine:
         admission: AdmissionController | None = None,
         breakers: BreakerBoard | None = None,
         stage_solvers: Mapping[str, StageSolver] | None = None,
+        tier: SharedCacheTier | None = None,
+        wal: WriteAheadLog | None = None,
+        snapshots: SnapshotManager | None = None,
+        snapshot_every: int = 0,
+        recovery: RecoveryInfo | None = None,
+        jitter: RetryJitter | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if snapshot_every < 0:
+            raise ValueError(f"snapshot_every must be >= 0, got {snapshot_every}")
         self.store = store
         self.cache = ResultCache(max_size=cache_size, ttl=ttl)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.jitter = jitter or NO_JITTER
         self.admission = (
             admission
             if admission is not None
-            else AdmissionController(max_pending=workers * 64)
+            else AdmissionController(max_pending=workers * 64, jitter=self.jitter)
         )
+        self.tier = tier
+        self.wal = wal
+        self.snapshots = snapshots
+        self.snapshot_every = snapshot_every
+        self.recovery = recovery
+        self._ingest_lock = threading.Lock()
+        self._deltas_since_snapshot = 0
+        self._recovery_pending = False
         self.breakers = breakers if breakers is not None else BreakerBoard()
         # Hook the board (own or caller-supplied) into the metrics
         # registry so breaker transitions are always visible in /metrics.
@@ -315,6 +353,11 @@ class SelectionEngine:
         )
         self._wire_gauges()
         self._wire_health()
+        if recovery is not None and recovery.mode != "cold":
+            # Restarted from durable state: surface "recovering" until the
+            # first request completes against the rebuilt generation.
+            self._recovery_pending = True
+            self.health.begin_recovery()
 
     def _on_breaker_transition(self, backend: str, old: str, new: str) -> None:
         self.metrics.counter(
@@ -358,7 +401,7 @@ class SelectionEngine:
         self.metrics.gauge(
             "repro_health_state",
             self.health.code,
-            "serving health (0 healthy, 1 degraded, 2 draining)",
+            "serving health (0 healthy, 1 degraded, 2 draining, 3 recovering)",
         )
         self.metrics.gauge(
             "repro_inflight",
@@ -398,6 +441,51 @@ class SelectionEngine:
             lambda: self.store.stats()["cached_artifacts"],
             "precomputed instance artifacts",
         )
+        if self.tier is not None:
+            tier_stats = self.tier.stats
+            self.metrics.gauge(
+                "repro_tier_hits", lambda: tier_stats().hits,
+                "shared cache tier hits",
+            )
+            self.metrics.gauge(
+                "repro_tier_gets", lambda: tier_stats().gets,
+                "shared cache tier lookups",
+            )
+            self.metrics.gauge(
+                "repro_tier_puts", lambda: tier_stats().puts,
+                "results published to the shared cache tier",
+            )
+            self.metrics.gauge(
+                "repro_tier_errors", lambda: tier_stats().errors,
+                "shared cache tier backend failures (absorbed)",
+            )
+            self.metrics.gauge(
+                "repro_tier_skipped", lambda: tier_stats().skipped,
+                "tier calls skipped while its breaker was open",
+            )
+            self.metrics.gauge(
+                "repro_tier_breaker_state",
+                lambda: STATE_CODES[self.tier.breaker.state],
+                "shared tier breaker state (0 closed, 1 half-open, 2 open)",
+            )
+        if self.recovery is not None:
+            recovery = self.recovery
+            self.metrics.gauge(
+                "repro_recovery_mode",
+                lambda: _RECOVERY_MODE_CODES.get(recovery.mode, -1),
+                "how the store was rebuilt "
+                "(0 cold, 1 cold+wal, 2 snapshot, 3 snapshot+wal)",
+            )
+            self.metrics.gauge(
+                "repro_recovery_replayed_deltas",
+                lambda: recovery.replayed_deltas,
+                "WAL deltas replayed at the last restart",
+            )
+            self.metrics.gauge(
+                "repro_recovery_restarts",
+                lambda: recovery.restarts,
+                "supervisor restarts since the service started",
+            )
 
     # -- public API ----------------------------------------------------------
 
@@ -453,6 +541,8 @@ class SelectionEngine:
         if self.batcher is not None:
             self.batcher.close()
         self._pool.shutdown(wait=False, cancel_futures=True)
+        if self.wal is not None:
+            self.wal.close()
 
     def drain(self, timeout: float = 30.0) -> bool:
         """Gracefully stop: refuse new work, let in-flight requests finish.
@@ -475,6 +565,8 @@ class SelectionEngine:
         if self.batcher is not None:
             self.batcher.close()
         self._pool.shutdown(wait=drained, cancel_futures=not drained)
+        if self.wal is not None:
+            self.wal.close()
         return drained
 
     def reload_corpus(self, corpus) -> str:
@@ -492,22 +584,129 @@ class SelectionEngine:
         self.metrics.counter(
             "repro_reloads_total", "successful corpus reloads"
         ).inc()
+        if self.snapshots is not None:
+            # A reload starts a new lineage: WAL records for the old one
+            # are obsolete.  Snapshot the fresh generation immediately so
+            # a crash right after the reload recovers to it, and compact
+            # the stale tail away.  Failure is non-fatal — serving is
+            # already on the new corpus; the next snapshot retries.
+            try:
+                self.snapshot()
+            except OSError:
+                self.metrics.counter(
+                    "repro_snapshot_failures_total", "failed snapshot writes"
+                ).inc()
         return version
 
     def reload_from_path(self, path: str | Path) -> str:
         """Load a JSONL corpus from disk and :meth:`reload_corpus` it.
 
-        An unreadable or unparsable file is a validation failure (the
-        corpus never existed as far as serving is concerned), reported
-        as :class:`CorpusValidationError`.
+        An unreadable or unparsable file — including one that is
+        truncated mid-record, not UTF-8, or missing required fields — is
+        a validation failure (the corpus never existed as far as serving
+        is concerned), reported as :class:`CorpusValidationError`.
         """
         try:
             corpus = load_corpus(path)
-        except (OSError, ValueError) as exc:
+        except (OSError, ValueError, KeyError, TypeError) as exc:
             raise CorpusValidationError(
                 f"cannot load corpus from {str(path)!r}: {exc}"
             ) from exc
         return self.reload_corpus(corpus)
+
+    # -- durable ingest -------------------------------------------------------
+
+    def ingest_reviews(self, records: Sequence[Mapping]) -> dict[str, object]:
+        """Apply one review delta durably; returns an ack payload.
+
+        The write discipline is WAL-before-apply-before-ack: the batch
+        is validated against the live generation, fsynced to the WAL,
+        applied as a new generation, and only then acknowledged — so an
+        acknowledged delta survives any crash (the chaos suite's
+        zero-acked-lost invariant).  A WAL append failure (disk full)
+        surfaces as :class:`OSError` with the store untouched; the batch
+        was never acked and never applied.
+
+        Invalidation is generation-chained: exactly the entries tagged
+        with an affected product are evicted, locally and in the shared
+        tier.
+        """
+        if self.health.draining:
+            raise EngineDraining("engine is draining for shutdown")
+        if self._closed:
+            raise EngineClosed("engine is closed")
+        try:
+            reviews = [review_from_record(record) for record in records]
+        except (ValueError, TypeError) as exc:
+            raise DeltaValidationError(str(exc)) from exc
+        with self._ingest_lock:
+            self.store.validate_delta(reviews)
+            seq = 0
+            if self.wal is not None:
+                seq = self.wal.append(
+                    {
+                        "kind": "delta",
+                        "reviews": [review_record(r) for r in reviews],
+                    }
+                )
+            outcome = self.store.apply_delta(reviews)
+            self._deltas_since_snapshot += 1
+            snapshot_due = (
+                self.snapshots is not None
+                and self.snapshot_every > 0
+                and self._deltas_since_snapshot >= self.snapshot_every
+            )
+        evicted = self.cache.invalidate_tags(outcome.affected)
+        tier_purged = 0
+        if self.tier is not None:
+            tier_purged = self.tier.purge_products(outcome.affected)
+        self.metrics.counter(
+            "repro_ingest_total", "acknowledged review deltas"
+        ).inc()
+        self.metrics.counter(
+            "repro_ingest_reviews_total", "reviews added via delta ingest"
+        ).inc(outcome.added)
+        self.metrics.counter(
+            "repro_cache_invalidated_total",
+            "cache entries evicted by delta invalidation",
+        ).inc(evicted)
+        if snapshot_due:
+            try:
+                self.snapshot()
+            except OSError:
+                # Non-fatal: the delta is already durable in the WAL.
+                self.metrics.counter(
+                    "repro_snapshot_failures_total", "failed snapshot writes"
+                ).inc()
+        return {
+            "version": outcome.version,
+            "added": outcome.added,
+            "affected": list(outcome.affected),
+            "wal_seq": seq,
+            "cache_evicted": evicted,
+            "tier_purged": tier_purged,
+        }
+
+    def snapshot(self) -> SnapshotInfo:
+        """Write an atomic generation snapshot and compact the WAL.
+
+        Everything at or below the snapshot's WAL watermark is covered
+        by the snapshot, so the log keeps only the tail the next
+        recovery still needs.  Raises :class:`RuntimeError` when no
+        snapshot manager is configured.
+        """
+        if self.snapshots is None:
+            raise RuntimeError("snapshots are not configured (no state dir)")
+        with self._ingest_lock:
+            wal_seq = self.wal.last_seq if self.wal is not None else 0
+            info = self.snapshots.save(self.store, wal_seq=wal_seq)
+            if self.wal is not None:
+                self.wal.compact(info.wal_seq)
+            self._deltas_since_snapshot = 0
+        self.metrics.counter(
+            "repro_snapshots_total", "generation snapshots written"
+        ).inc()
+        return info
 
     # -- internals -----------------------------------------------------------
 
@@ -544,10 +743,14 @@ class SelectionEngine:
                 artifacts = self._artifacts_for(request)
                 request = self._pin_target(request, artifacts)
                 key = self._cache_key(endpoint, request, artifacts)
+                tags = tuple(
+                    p.product_id for p in artifacts.instance.products
+                )
                 solved, source = self.cache.get_or_compute(
                     key,
-                    lambda: self._dispatch(endpoint, request, artifacts, deadline),
+                    lambda: self._compute(endpoint, request, artifacts, deadline),
                     deadline,
+                    tags=tags,
                 )
             except Exception:
                 self.metrics.counter(
@@ -555,6 +758,11 @@ class SelectionEngine:
                     labels={"endpoint": endpoint},
                 ).inc()
                 raise
+        if source == "miss" and solved.from_tier:
+            source = "tier"
+        if self._recovery_pending:
+            self._recovery_pending = False
+            self.health.end_recovery()
         wall_ms = (time.perf_counter() - started) * 1e3
         self._latency[endpoint].observe(wall_ms / 1e3)
         if isinstance(solved, _SolvedNarrow):
@@ -575,8 +783,8 @@ class SelectionEngine:
                 backend=request.algorithm,
                 corpus_version=artifacts.version,
                 wall_ms=wall_ms,
-                degraded=solved.result.degraded,
-                stage_timings=solved.result.timings,
+                degraded=solved.degraded,
+                stage_timings=solved.timings,
             )
         return EngineResponse(result=solved.payload, provenance=provenance)
 
@@ -608,9 +816,13 @@ class SelectionEngine:
     def _cache_key(
         endpoint: str, request: SelectRequest, artifacts: InstanceArtifacts
     ) -> tuple:
+        # Keyed by the generation *chain*, not the version string: a
+        # delta to product P changes only P's epoch, so entries for
+        # untouched targets stay addressable across deltas (and, via the
+        # chain token, across process restarts in the shared tier).
         key: tuple = (
             endpoint,
-            artifacts.version,
+            artifacts.chain if artifacts.chain else artifacts.version,
             request.target,
             artifacts.comparative_ids,
             request.m,
@@ -622,6 +834,105 @@ class SelectionEngine:
         if isinstance(request, NarrowRequest):
             key += (request.k, request.stages, request.time_limit)
         return key
+
+    def _tier_token(
+        self, endpoint: str, request: SelectRequest, artifacts: InstanceArtifacts
+    ) -> str | None:
+        """The cross-process tier key, or None when the tier is off."""
+        if self.tier is None:
+            return None
+        parts: tuple = (
+            endpoint,
+            request.target,
+            artifacts.comparative_ids,
+            request.m,
+            request.lam,
+            request.mu,
+            request.scheme,
+            request.algorithm,
+        )
+        if isinstance(request, NarrowRequest):
+            parts += (request.k, request.stages, request.time_limit)
+        return tier_key(artifacts.chain_token, *parts)
+
+    @staticmethod
+    def _encode_tier(solved) -> dict:
+        """A JSON envelope for one solved value (both endpoint shapes)."""
+        if isinstance(solved, _SolvedNarrow):
+            return {
+                "kind": "narrow",
+                "payload": solved.payload,
+                "backend": solved.backend,
+                "proven_optimal": solved.proven_optimal,
+                "fallback_depth": solved.fallback_depth,
+                "degraded": solved.degraded,
+                "breaker_skipped": list(solved.breaker_skipped),
+                "stage_timings": dict(solved.stage_timings)
+                if solved.stage_timings
+                else None,
+            }
+        return {
+            "kind": "select",
+            "payload": solved.payload,
+            "degraded": solved.degraded,
+            "timings": dict(solved.timings) if solved.timings else None,
+        }
+
+    @staticmethod
+    def _decode_tier(endpoint: str, value: dict):
+        """The solved object for a tier envelope, or None if unusable."""
+        try:
+            if value["kind"] != endpoint:
+                return None
+            if endpoint == "narrow":
+                return _SolvedNarrow(
+                    payload=value["payload"],
+                    backend=str(value["backend"]),
+                    proven_optimal=bool(value["proven_optimal"]),
+                    fallback_depth=int(value["fallback_depth"]),
+                    degraded=bool(value["degraded"]),
+                    breaker_skipped=tuple(value.get("breaker_skipped") or ()),
+                    stage_timings=value.get("stage_timings"),
+                    from_tier=True,
+                )
+            return _SolvedSelect(
+                payload=value["payload"],
+                degraded=bool(value["degraded"]),
+                timings=value.get("timings"),
+                from_tier=True,
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def _compute(
+        self,
+        endpoint: str,
+        request: SelectRequest,
+        artifacts: InstanceArtifacts,
+        deadline: Deadline,
+    ):
+        """One local-cache miss: consult the shared tier, else solve.
+
+        A tier hit skips the worker pool entirely; a fresh solve is
+        published back (tagged with the instance's product ids so a
+        delta's purge reaches it).  Tier trouble never fails the
+        request — the tier degrades to misses internally.
+        """
+        token = self._tier_token(endpoint, request, artifacts)
+        if token is not None:
+            cached = self.tier.get(token)
+            if cached is not None:
+                decoded = self._decode_tier(endpoint, cached)
+                if decoded is not None:
+                    return decoded
+        solved = self._dispatch(endpoint, request, artifacts, deadline)
+        if token is not None:
+            self.tier.put(
+                token,
+                self._encode_tier(solved),
+                tags=tuple(p.product_id for p in artifacts.instance.products),
+            )
+        return solved
 
     def _dispatch(
         self,
@@ -670,7 +981,9 @@ class SelectionEngine:
         selected = self._select_result(request, artifacts)
         if endpoint == "select":
             return _SolvedSelect(
-                result=selected, payload=selection_payload(selected)
+                payload=selection_payload(selected),
+                degraded=selected.degraded,
+                timings=selected.timings,
             )
         assert isinstance(request, NarrowRequest)
         return self._narrow_result(request, artifacts, selected)
@@ -782,3 +1095,61 @@ class SelectionEngine:
             breaker_skipped=tuple(skipped),
             stage_timings=selected.timings,
         )
+
+
+def build_durable_engine(
+    state_dir: str | Path,
+    *,
+    corpus_path: str | Path | None = None,
+    cache_tier: str | SharedCacheTier | None = None,
+    snapshot_every: int = 32,
+    keep_snapshots: int = 2,
+    wal_fsync: bool = True,
+    restarts: int = 0,
+    jitter_seed: int | None = None,
+    **engine_kwargs,
+) -> SelectionEngine:
+    """Open (or recover) durable state under ``state_dir`` and build an
+    engine on top of it.
+
+    The one-stop constructor for durable serving — the CLI's
+    ``--state-dir`` path and the supervisor's child process both call
+    it.  ``cache_tier`` may be ``None``, ``"file"`` (a FileBackend under
+    ``state_dir/tier``), ``"memory"``, or a ready
+    :class:`SharedCacheTier`.  ``restarts`` is stamped into the recovery
+    provenance so ``/healthz`` can report how many times the supervisor
+    has brought the engine back.
+    """
+    from repro.serve.cachetier import FileBackend, InMemoryBackend
+    from repro.serve.snapshot import open_durable_store
+
+    state_dir = Path(state_dir)
+    store, wal, snapshots, recovery = open_durable_store(
+        state_dir,
+        corpus_path=corpus_path,
+        keep_snapshots=keep_snapshots,
+        wal_fsync=wal_fsync,
+    )
+    recovery.restarts = restarts
+    tier = cache_tier
+    if tier == "file":
+        tier = SharedCacheTier(FileBackend(state_dir / "tier"))
+    elif tier == "memory":
+        tier = SharedCacheTier(InMemoryBackend())
+    elif isinstance(tier, str):
+        raise ValueError(
+            f"unknown cache tier {tier!r}; one of 'file', 'memory'"
+        )
+    jitter = None
+    if jitter_seed is not None:
+        jitter = RetryJitter(seed=jitter_seed)
+    return SelectionEngine(
+        store,
+        tier=tier,
+        wal=wal,
+        snapshots=snapshots,
+        snapshot_every=snapshot_every,
+        recovery=recovery,
+        jitter=jitter,
+        **engine_kwargs,
+    )

@@ -11,11 +11,18 @@ dashboard.  :class:`HealthMonitor` computes it:
 * **draining** — graceful shutdown has begun: new work is refused with
   503 (so balancers fail over), in-flight requests finish, then the
   process exits.  Draining is sticky — once entered it is never left.
+* **recovering** — the process restarted and is rebuilding state
+  (snapshot load, WAL replay, cache re-warm).  Requests are served
+  (possibly slower: cold local cache), so ``/healthz`` stays 200, but
+  the state is surfaced so operators and dashboards can tell a fresh
+  recovery from steady state.  Unlike draining it is reversible:
+  :meth:`HealthMonitor.end_recovery` returns to derived health.
 
 Degradation is *derived*, not stored: probes are zero-arg callables
 returning a reason string (or ``None``), registered by the engine, so
 the state can never go stale.  The numeric encoding for the
-``repro_health_state`` gauge is healthy=0, degraded=1, draining=2.
+``repro_health_state`` gauge is healthy=0, degraded=1, draining=2,
+recovering=3.
 """
 
 from __future__ import annotations
@@ -26,8 +33,9 @@ from collections.abc import Callable
 HEALTHY = "healthy"
 DEGRADED = "degraded"
 DRAINING = "draining"
+RECOVERING = "recovering"
 
-_STATE_CODES = {HEALTHY: 0, DEGRADED: 1, DRAINING: 2}
+_STATE_CODES = {HEALTHY: 0, DEGRADED: 1, DRAINING: 2, RECOVERING: 3}
 
 #: A probe returns a human-readable reason when unhealthy, else None.
 HealthProbe = Callable[[], "str | None"]
@@ -39,6 +47,7 @@ class HealthMonitor:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._draining = False
+        self._recovering = False
         self._probes: list[HealthProbe] = []
 
     def add_probe(self, probe: HealthProbe) -> None:
@@ -51,10 +60,25 @@ class HealthMonitor:
         with self._lock:
             self._draining = True
 
+    def begin_recovery(self) -> None:
+        """Mark the instance as rebuilding state after a restart."""
+        with self._lock:
+            self._recovering = True
+
+    def end_recovery(self) -> None:
+        """Recovery finished: return to derived (probe-based) health."""
+        with self._lock:
+            self._recovering = False
+
     @property
     def draining(self) -> bool:
         with self._lock:
             return self._draining
+
+    @property
+    def recovering(self) -> bool:
+        with self._lock:
+            return self._recovering
 
     def reasons(self) -> tuple[str, ...]:
         """Every firing probe's reason (empty when fully healthy)."""
@@ -70,6 +94,8 @@ class HealthMonitor:
     def state(self) -> str:
         if self.draining:
             return DRAINING
+        if self.recovering:
+            return RECOVERING
         return DEGRADED if self.reasons() else HEALTHY
 
     def code(self) -> int:

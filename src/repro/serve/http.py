@@ -18,6 +18,15 @@ Endpoints
     Admin: ``{"path": "corpus.jsonl"}`` — validate the new corpus in the
     background (old generation keeps serving) and atomically swap it in.
     409 when validation fails or another reload is running.
+``POST /v1/ingest``
+    Durable delta ingest: ``{"reviews": [{"review_id": ..., "product_id":
+    ..., ...}, ...]}``.  The batch is fsynced to the write-ahead log
+    *before* the 200 ack, so an acknowledged delta survives any crash.
+    400 for malformed reviews, 409 for duplicate review ids, 503 (with
+    ``Retry-After``) when the log cannot be written (disk full).
+``POST /v1/snapshot``
+    Admin: write an atomic generation snapshot now and compact the WAL.
+    409 when the engine has no durable state configured.
 
 Error mapping: malformed JSON or mistyped/unknown fields are 400;
 semantically invalid requests (unknown target or algorithm, non-viable
@@ -46,6 +55,7 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.resilience.deadline import DeadlineExceeded, deadline_scope
 from repro.serve.admission import Overloaded
+from repro.serve.breaker import CircuitOpen
 from repro.serve.engine import (
     EngineClosed,
     EngineDraining,
@@ -57,6 +67,7 @@ from repro.serve.engine import (
 from repro.serve.health import DRAINING
 from repro.serve.store import (
     CorpusValidationError,
+    DeltaValidationError,
     ReloadInProgress,
     UnknownTargetError,
     UnviableTargetError,
@@ -234,8 +245,13 @@ class ServeHandler(BaseHTTPRequestHandler):
             }
             if "reasons" in health:
                 payload["reasons"] = health["reasons"]
+            if engine.recovery is not None:
+                # Recovery provenance: how this process rebuilt its state
+                # (snapshot/WAL modes, replay counts, supervisor restarts).
+                payload["recovery"] = engine.recovery.as_dict()
             # Draining answers 503 so load balancers stop routing here,
-            # while in-flight requests keep completing.
+            # while in-flight requests keep completing.  Recovering stays
+            # 200: the instance is serving, just rebuilding warmth.
             self._send(503 if state == DRAINING else 200, payload)
         elif url.path == "/metrics":
             query = parse_qs(url.query)
@@ -252,7 +268,9 @@ class ServeHandler(BaseHTTPRequestHandler):
                 )
             else:
                 self._send(200, self.server.engine.metrics.as_dict())
-        elif url.path in ("/v1/select", "/v1/narrow", "/v1/reload"):
+        elif url.path in (
+            "/v1/select", "/v1/narrow", "/v1/reload", "/v1/ingest", "/v1/snapshot"
+        ):
             self._send_error_json(405, f"{url.path} requires POST")
         else:
             self._send_error_json(404, f"unknown endpoint {url.path!r}")
@@ -282,10 +300,83 @@ class ServeHandler(BaseHTTPRequestHandler):
         else:
             self._send(200, {"version": version, "previous": previous})
 
+    def _do_ingest(self) -> None:
+        engine = self.server.engine
+        try:
+            body = self._read_body()
+            unknown = sorted(set(body) - {"reviews"})
+            if unknown:
+                raise _BadRequest(f"unknown fields: {unknown}")
+            reviews = body.get("reviews")
+            if not isinstance(reviews, list) or not reviews:
+                raise _BadRequest(
+                    "field 'reviews' (a non-empty list of review objects) "
+                    "is required"
+                )
+            if not all(isinstance(entry, dict) for entry in reviews):
+                raise _BadRequest("every entry in 'reviews' must be an object")
+            ack = engine.ingest_reviews(reviews)
+        except _BadRequest as exc:
+            self._send_error_json(400, str(exc))
+        except DeltaValidationError as exc:
+            # Duplicate review ids conflict with existing state (409);
+            # everything else is a malformed batch (400).
+            self._send_error_json(409 if exc.conflict else 400, str(exc))
+        except EngineDraining as exc:
+            self._send_error_json(
+                503, str(exc), retry_after=engine.jitter.apply(1.0)
+            )
+        except EngineClosed as exc:
+            self._send_error_json(503, str(exc))
+        except OSError as exc:
+            # WAL append failed (disk full, IO error): the delta was
+            # neither applied nor acked — safe for the client to retry.
+            self._send_error_json(
+                503,
+                f"cannot persist delta: {exc}",
+                retry_after=engine.jitter.apply(2.0),
+                extra={"reason": "wal_unavailable"},
+            )
+        except Exception as exc:  # pragma: no cover - defensive backstop
+            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+        else:
+            self._send(200, ack)
+
+    def _do_snapshot(self) -> None:
+        engine = self.server.engine
+        try:
+            info = engine.snapshot()
+        except RuntimeError as exc:
+            self._send_error_json(409, str(exc))
+        except OSError as exc:
+            self._send_error_json(
+                503,
+                f"snapshot failed: {exc}",
+                retry_after=engine.jitter.apply(2.0),
+            )
+        except Exception as exc:  # pragma: no cover - defensive backstop
+            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+        else:
+            self._send(
+                200,
+                {
+                    "path": str(info.path),
+                    "version": info.version,
+                    "wal_seq": info.wal_seq,
+                    "artifacts": info.artifacts,
+                },
+            )
+
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         url = urlparse(self.path)
         if url.path == "/v1/reload":
             self._do_reload()
+            return
+        if url.path == "/v1/ingest":
+            self._do_ingest()
+            return
+        if url.path == "/v1/snapshot":
+            self._do_snapshot()
             return
         if url.path not in ("/v1/select", "/v1/narrow"):
             if url.path in ("/healthz", "/metrics"):
@@ -317,7 +408,16 @@ class ServeHandler(BaseHTTPRequestHandler):
                 extra={"reason": exc.reason},
             )
         except EngineDraining as exc:
-            self._send_error_json(503, str(exc), retry_after=1.0)
+            self._send_error_json(
+                503, str(exc), retry_after=engine.jitter.apply(1.0)
+            )
+        except CircuitOpen as exc:
+            # Every usable backend is breaker-open; hint retry around the
+            # breaker's recovery window (jittered against retry herds).
+            self._send_error_json(
+                503, str(exc), retry_after=engine.jitter.apply(5.0),
+                extra={"reason": "circuit_open"},
+            )
         except (DeadlineExceeded, EngineClosed) as exc:
             self._send_error_json(503, str(exc))
         except Exception as exc:  # pragma: no cover - defensive backstop

@@ -1,0 +1,64 @@
+"""Deterministic seeded jitter for every Retry-After hint.
+
+Overloaded serving emits Retry-After on three paths — admission shed
+(429), drain (503), and breaker-open (503).  A constant hint
+synchronizes clients: everyone shed at t returns at t+hint together,
+re-overloads the server, and gets shed again — a retry herd with the
+server as its metronome.  Spreading each hint by a bounded random
+factor breaks the phase lock.
+
+The randomness is a seeded PRNG stream, not wall-clock entropy: under a
+fixed seed the sequence of factors is exactly reproducible, which keeps
+chaos runs and load tests deterministic end to end (the chaos harness
+prints the seed it used precisely so a violating run can be replayed).
+Bounds are hard guarantees, not expectations: a hint of ``h`` jitters
+into ``[h * (1 - spread), h * (1 + spread)]``, never negative, so
+clients still get an honest order-of-magnitude signal.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+
+class RetryJitter:
+    """Bounded multiplicative jitter from a seeded PRNG stream.
+
+    ``spread`` is the maximum relative deviation (0.25 → ±25%).
+    ``spread=0`` is the identity, which is also what you get from the
+    module default when jitter is not configured — existing callers and
+    tests see unchanged hints unless they opt in.
+    """
+
+    def __init__(self, seed: int = 0, spread: float = 0.25) -> None:
+        if not 0.0 <= spread < 1.0:
+            raise ValueError(f"spread must be in [0, 1); got {spread}")
+        self.seed = int(seed)
+        self.spread = float(spread)
+        self._random = random.Random(self.seed)
+        self._lock = threading.Lock()
+        self._applications = 0
+
+    def apply(self, retry_after: float) -> float:
+        """Jitter one hint; draws exactly one PRNG sample per call."""
+        with self._lock:
+            sample = self._random.random()
+            self._applications += 1
+        factor = 1.0 + self.spread * (2.0 * sample - 1.0)
+        return max(0.0, retry_after * factor)
+
+    @property
+    def applications(self) -> int:
+        with self._lock:
+            return self._applications
+
+    def reset(self) -> None:
+        """Rewind the stream to the seed (test isolation)."""
+        with self._lock:
+            self._random = random.Random(self.seed)
+            self._applications = 0
+
+
+#: Identity jitter used wherever none is configured.
+NO_JITTER = RetryJitter(seed=0, spread=0.0)

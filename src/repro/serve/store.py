@@ -21,10 +21,12 @@ callers must not mutate the contained arrays (the memoised
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -34,6 +36,7 @@ from repro.core.vectors import OpinionScheme, VectorSpace, regression_columns
 from repro.data.corpus import Corpus
 from repro.data.instances import ComparisonInstance, build_instance
 from repro.data.io import load_corpus
+from repro.data.models import Review
 
 
 class UnknownTargetError(LookupError):
@@ -56,6 +59,30 @@ class CorpusValidationError(ValueError):
 
 class ReloadInProgress(RuntimeError):
     """Another validated reload is still running (HTTP 409)."""
+
+
+class DeltaValidationError(ValueError):
+    """A review delta failed validation (HTTP 400/409).
+
+    Raised by :meth:`ItemStore.apply_delta` *before* any state changes,
+    so a rejected delta leaves the served generation untouched.  The
+    ``conflict`` flag distinguishes malformed input (400) from input
+    that is well-formed but clashes with current state — a duplicate
+    review id, typically a retry of an already-applied delta (409).
+    """
+
+    def __init__(self, message: str, *, conflict: bool = False) -> None:
+        super().__init__(message)
+        self.conflict = conflict
+
+
+@dataclass(frozen=True, slots=True)
+class DeltaOutcome:
+    """Result of one applied review delta."""
+
+    version: str
+    affected: tuple[str, ...]
+    added: int
 
 
 @dataclass(frozen=True)
@@ -84,11 +111,29 @@ class InstanceArtifacts:
     taus: tuple[np.ndarray, ...]
     columns: tuple[np.ndarray, ...]
     solver: tuple[SolverArtifacts, ...] = ()
+    chain: tuple = ()
 
     @property
     def comparative_ids(self) -> tuple[str, ...]:
         """Product ids of the comparative items p_2..p_n."""
         return tuple(p.product_id for p in self.instance.comparatives)
+
+    @property
+    def chain_token(self) -> str:
+        """The generation chain as a flat string, for cross-process keys.
+
+        ``chain`` is ``(lineage, ((product_id, epoch), ...))``: the
+        lineage names the full corpus load this generation descends
+        from, and each ``(product_id, epoch)`` pair counts how many
+        deltas have touched that product since.  A cache entry keyed on
+        this token stays valid across deltas to *other* products and
+        across restarts (deterministic WAL replay reproduces the same
+        lineage and epochs), but can never be served after a delta to
+        any product in its instance.
+        """
+        lineage, epochs = self.chain if self.chain else ("", ())
+        pairs = ",".join(f"{pid}:{epoch}" for pid, epoch in epochs)
+        return f"{lineage}|{pairs}"
 
 
 @dataclass(frozen=True, slots=True)
@@ -107,10 +152,22 @@ class _ArtifactKey:
 
 @dataclass
 class _Generation:
-    """One loaded corpus plus its memoised artifacts (dropped on reload)."""
+    """One loaded corpus plus its memoised artifacts (dropped on reload).
+
+    ``lineage`` is the version string of the *full corpus load* this
+    generation descends from; review deltas produce new generations that
+    keep the lineage and bump per-product ``epochs`` instead.  The pair
+    feeds :attr:`InstanceArtifacts.chain`, which is what the engine's
+    result cache keys on — so a delta invalidates only cache entries
+    whose instance contains an affected product, while a full reload
+    (new lineage) invalidates everything.
+    """
 
     corpus: Corpus
     version: str
+    lineage: str = ""
+    epochs: dict[str, int] = field(default_factory=dict)
+    review_ids: frozenset[str] | None = None
     instances: dict[_InstanceKey, ComparisonInstance | None] = field(
         default_factory=dict
     )
@@ -153,7 +210,43 @@ class ItemStore:
     def _ingest(self, corpus: Corpus) -> _Generation:
         self._loads += 1
         version = f"g{self._loads}-{corpus_fingerprint(corpus)}"
-        return _Generation(corpus=corpus, version=version)
+        return _Generation(corpus=corpus, version=version, lineage=version)
+
+    @classmethod
+    def restore(
+        cls,
+        corpus: Corpus,
+        *,
+        loads: int,
+        lineage: str,
+        epochs: Mapping[str, int] | None = None,
+        expected_version: str | None = None,
+    ) -> "ItemStore":
+        """Rebuild a store at an exact prior generation (snapshot restore).
+
+        Sets the generation counter so ``version`` comes out byte-identical
+        to the generation that was persisted — the recovery invariant the
+        chaos suite asserts.  ``expected_version`` makes the check explicit:
+        a mismatch means the snapshot does not describe ``corpus`` and the
+        restore must not be trusted.
+        """
+        if loads < 1:
+            raise ValueError(f"loads must be >= 1; got {loads}")
+        store = cls.__new__(cls)
+        store._lock = threading.Lock()
+        store._reload_lock = threading.Lock()
+        store._loads = loads - 1
+        generation = store._ingest(corpus)
+        generation.lineage = lineage
+        if epochs:
+            generation.epochs = {p: int(e) for p, e in epochs.items() if e}
+        store._generation = generation
+        if expected_version is not None and generation.version != expected_version:
+            raise ValueError(
+                f"restored version {generation.version!r} != expected "
+                f"{expected_version!r}: snapshot does not match corpus"
+            )
+        return store
 
     # -- corpus access -------------------------------------------------------
 
@@ -248,6 +341,226 @@ class ItemStore:
         finally:
             self._reload_lock.release()
 
+    # -- delta ingest --------------------------------------------------------
+
+    def apply_delta(self, reviews: Sequence[Review]) -> DeltaOutcome:
+        """Append ``reviews`` to the corpus as a new generation.
+
+        Validates the whole batch first (all-or-nothing): every review
+        must reference a known product and carry a review id not already
+        in the corpus.  On success the generation counter bumps and the
+        affected products' epochs advance; memoised instances/artifacts
+        whose candidate set is untouched carry over, so a delta to one
+        product does not cold-start every other target.
+
+        Deterministic by construction: applying the same delta sequence
+        to the same starting generation always yields the same version
+        string and chain epochs — WAL replay depends on this.
+        """
+        with self._reload_lock:
+            with self._lock:
+                generation = self._generation
+            corpus = generation.corpus
+            known, batch_ids = self._check_delta(generation, reviews)
+
+            new_corpus = Corpus(
+                corpus.name,
+                corpus.products,
+                tuple(corpus.reviews) + tuple(reviews),
+            )
+            affected = tuple(sorted({r.product_id for r in reviews}))
+            epochs = dict(generation.epochs)
+            for pid in affected:
+                epochs[pid] = epochs.get(pid, 0) + 1
+            self._loads += 1
+            version = f"g{self._loads}-{corpus_fingerprint(new_corpus)}"
+            successor = _Generation(
+                corpus=new_corpus,
+                version=version,
+                lineage=generation.lineage,
+                epochs=epochs,
+                review_ids=known | batch_ids,
+            )
+            self._carry_over(generation, successor, set(affected))
+            with self._lock:
+                self._generation = successor
+            return DeltaOutcome(version=version, affected=affected, added=len(reviews))
+
+    @staticmethod
+    def _check_delta(
+        generation: _Generation, reviews: Sequence[Review]
+    ) -> tuple[frozenset[str], set[str]]:
+        """Validate a delta batch against ``generation`` without mutating.
+
+        Returns ``(known_review_ids, batch_review_ids)`` for the caller
+        to thread into the successor generation.  Raises
+        :class:`DeltaValidationError` (``conflict=True`` for duplicate
+        review ids) on the first offending review.
+        """
+        if not reviews:
+            raise DeltaValidationError("delta contains no reviews")
+        corpus = generation.corpus
+        known = generation.review_ids
+        if known is None:
+            known = frozenset(r.review_id for r in corpus.reviews)
+        batch_ids: set[str] = set()
+        for review in reviews:
+            if not isinstance(review, Review):
+                raise DeltaValidationError(
+                    f"delta entries must be reviews; got {type(review).__name__}"
+                )
+            if not corpus.has_product(review.product_id):
+                raise DeltaValidationError(
+                    f"review {review.review_id!r} references unknown "
+                    f"product {review.product_id!r}"
+                )
+            if review.review_id in known or review.review_id in batch_ids:
+                raise DeltaValidationError(
+                    f"duplicate review id {review.review_id!r}",
+                    conflict=True,
+                )
+            batch_ids.add(review.review_id)
+        return known, batch_ids
+
+    def validate_delta(self, reviews: Sequence[Review]) -> tuple[str, ...]:
+        """Check a delta batch against the live generation; no mutation.
+
+        Returns the sorted affected product ids the batch would touch.
+        The engine calls this *before* appending the batch to the WAL so
+        an invalid delta is rejected without ever being logged — the WAL
+        only carries records that will apply cleanly on replay.
+        """
+        with self._lock:
+            generation = self._generation
+        self._check_delta(generation, reviews)
+        return tuple(sorted({r.product_id for r in reviews}))
+
+    @staticmethod
+    def _carry_over(
+        old: _Generation, new: _Generation, affected: set[str]
+    ) -> None:
+        """Copy memoised instances/artifacts untouched by ``affected``.
+
+        An instance for target T depends on T plus T's in-corpus
+        also-bought *candidates* — not just the products that made it
+        into the instance, because a delta can push a previously
+        under-reviewed candidate over ``min_reviews`` and change the
+        comparative set.  Entries whose candidate set intersects the
+        affected products are dropped and rebuilt lazily.
+        """
+        corpus = old.corpus
+        safe_targets: dict[str, bool] = {}
+
+        def target_safe(target_id: str) -> bool:
+            cached = safe_targets.get(target_id)
+            if cached is not None:
+                return cached
+            if target_id in affected:
+                safe_targets[target_id] = False
+                return False
+            product = corpus.product(target_id)
+            safe = not any(
+                pid in affected
+                for pid in product.also_bought
+                if corpus.has_product(pid)
+            )
+            safe_targets[target_id] = safe
+            return safe
+
+        for key, instance in old.instances.items():
+            if target_safe(key.target):
+                new.instances[key] = instance
+        for art_key, artifacts in old.artifacts.items():
+            if target_safe(art_key.instance_key.target):
+                new.artifacts[art_key] = dataclasses.replace(
+                    artifacts, version=new.version
+                )
+
+    def chain_state(self) -> tuple[int, str, dict[str, int]]:
+        """``(loads, lineage, epochs)`` — what a snapshot must persist to
+        reproduce this generation's version and chain keys exactly."""
+        with self._lock:
+            generation = self._generation
+            return self._loads, generation.lineage, dict(generation.epochs)
+
+    def export_artifacts(self) -> list[tuple[tuple, InstanceArtifacts]]:
+        """Snapshot hook: every memoised artifact with its flattened key.
+
+        Keys come out as ``(target, max_comparisons, min_reviews,
+        scheme_value, lam)`` — plain JSON-able values the snapshot
+        manifest can round-trip.
+        """
+        with self._lock:
+            generation = self._generation
+            return [
+                (
+                    (
+                        key.instance_key.target,
+                        key.instance_key.max_comparisons,
+                        key.instance_key.min_reviews,
+                        key.scheme.value,
+                        key.lam,
+                    ),
+                    artifacts,
+                )
+                for key, artifacts in generation.artifacts.items()
+            ]
+
+    def restore_artifacts(
+        self,
+        target: str,
+        max_comparisons: int | None,
+        min_reviews: int,
+        scheme: OpinionScheme,
+        lam: float,
+        *,
+        gamma: np.ndarray,
+        taus: Sequence[np.ndarray],
+        columns: Sequence[np.ndarray],
+        incidence: Sequence[tuple[np.ndarray, np.ndarray]],
+        base_grams: Sequence[tuple[np.ndarray, np.ndarray]],
+    ) -> InstanceArtifacts | None:
+        """Reinstall one memoised artifact from persisted arrays.
+
+        The instance itself is rebuilt from the (restored) corpus — that
+        is cheap id/lookup work — while the expensive derived arrays
+        (incidence matrices, Gram blocks, regression columns) are
+        injected from the snapshot instead of recomputed.  Returns None
+        when the target is no longer viable under these parameters,
+        which only happens if the snapshot does not match the corpus.
+        """
+        with self._lock:
+            generation = self._generation
+        instance_key = _InstanceKey(target, max_comparisons, min_reviews)
+        artifact_key = _ArtifactKey(instance_key, scheme, lam)
+        instance = self._instance_for(generation, instance_key)
+        if instance is None:
+            return None
+        space = VectorSpace(instance.aspect_vocabulary(), scheme)
+        solver = tuple(
+            SolverArtifacts(
+                space,
+                reviews,
+                lam,
+                incidence=incidence[index],
+                base_grams=base_grams[index],
+            )
+            for index, reviews in enumerate(instance.reviews)
+        )
+        built = InstanceArtifacts(
+            version=generation.version,
+            instance=instance,
+            space=space,
+            gamma=gamma,
+            taus=tuple(taus),
+            columns=tuple(columns),
+            solver=solver,
+            chain=self._chain_for(generation, instance),
+        )
+        with self._lock:
+            generation.artifacts.setdefault(artifact_key, built)
+            return generation.artifacts[artifact_key]
+
     def default_target(self, max_comparisons: int | None, min_reviews: int) -> str:
         """The first viable target product id (the CLI's default choice)."""
         with self._lock:
@@ -331,6 +644,7 @@ class ItemStore:
             taus=taus,
             columns=columns,
             solver=solver,
+            chain=self._chain_for(generation, instance),
         )
         with self._lock:
             # First build wins so every caller shares one artifact object
@@ -338,15 +652,31 @@ class ItemStore:
             generation.artifacts.setdefault(artifact_key, built)
             return generation.artifacts[artifact_key]
 
+    @staticmethod
+    def _chain_for(
+        generation: _Generation, instance: ComparisonInstance
+    ) -> tuple:
+        return (
+            generation.lineage,
+            tuple(
+                sorted(
+                    (p.product_id, generation.epochs.get(p.product_id, 0))
+                    for p in instance.products
+                )
+            ),
+        )
+
     def stats(self) -> dict[str, int | str]:
         """Introspection for ``/metrics``: artifact/instance cache sizes."""
         with self._lock:
             generation = self._generation
             return {
                 "version": generation.version,
+                "lineage": generation.lineage,
                 "products": len(generation.corpus.products),
                 "reviews": len(generation.corpus.reviews),
                 "cached_instances": len(generation.instances),
                 "cached_artifacts": len(generation.artifacts),
                 "loads": self._loads,
+                "delta_epochs": sum(generation.epochs.values()),
             }

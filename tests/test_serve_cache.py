@@ -199,6 +199,58 @@ class TestSingleFlight:
         leader_thread.join(5.0)
         assert outcome["leader"] == ("late answer", "miss")
 
+    def test_compute_raise_releases_every_coalesced_waiter(self):
+        """Stress regression: when the leader's compute raises, every
+        coalesced follower must be released with that error — none may
+        hang on the in-flight slot — and the error must never be cached
+        (the next round's leader recomputes cleanly)."""
+        cache = ResultCache(max_size=4)
+        rounds, followers = 20, 6
+        outcomes: list[str] = []
+        outcomes_lock = threading.Lock()
+
+        for round_index in range(rounds):
+            release = threading.Event()
+            key = f"key-{round_index % 2}"  # keys are reused across rounds
+
+            def compute():
+                release.wait(5.0)
+                raise RuntimeError(f"boom-{round_index}")
+
+            def worker():
+                try:
+                    cache.get_or_compute(key, compute)
+                except RuntimeError as exc:
+                    with outcomes_lock:
+                        outcomes.append(str(exc))
+
+            threads = [
+                threading.Thread(target=worker) for _ in range(followers)
+            ]
+            for thread in threads:
+                thread.start()
+            deadline = time.monotonic() + 5.0
+            expected = (round_index + 1) * (followers - 1)
+            while (
+                cache.stats().coalesced < expected
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.001)
+            release.set()
+            for thread in threads:
+                thread.join(5.0)
+                assert not thread.is_alive(), "waiter leaked on compute raise"
+            # The failure was never cached: the key reads as absent.
+            assert cache.get(key) == (False, None)
+
+        assert outcomes == [
+            f"boom-{r}" for r in range(rounds) for _ in range(followers)
+        ]
+        stats = cache.stats()
+        assert stats.inflight == 0
+        # A clean compute on a previously failing key succeeds normally.
+        assert cache.get_or_compute("key-0", lambda: "ok") == ("ok", "miss")
+
     def test_hit_ratio(self):
         cache = ResultCache(max_size=4)
         assert cache.stats().hit_ratio == 0.0

@@ -1,0 +1,160 @@
+"""Tests for the shared cache tier: backends, breaker degradation, keys."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.cachetier import (
+    CacheBackendError,
+    FileBackend,
+    InMemoryBackend,
+    SharedCacheTier,
+    tier_key,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestInMemoryBackend:
+    def test_put_get_delete(self):
+        backend = InMemoryBackend()
+        backend.put("k", b"v", tags=("P1",))
+        assert backend.get("k") == b"v"
+        backend.delete("k")
+        assert backend.get("k") is None
+
+    def test_purge_tags_is_selective(self):
+        backend = InMemoryBackend()
+        backend.put("a", b"1", tags=("P1", "P2"))
+        backend.put("b", b"2", tags=("P3",))
+        assert backend.purge_tags(["P2"]) == 1
+        assert backend.get("a") is None
+        assert backend.get("b") == b"2"
+
+    def test_injected_outage(self):
+        backend = InMemoryBackend()
+        backend.fail(2)
+        with pytest.raises(CacheBackendError):
+            backend.get("k")
+        with pytest.raises(CacheBackendError):
+            backend.get("k")
+        assert backend.get("k") is None  # healed
+        backend.set_down(True)
+        with pytest.raises(CacheBackendError):
+            backend.put("k", b"v", tags=())
+        backend.set_down(False)
+        backend.put("k", b"v", tags=())
+
+
+class TestFileBackend:
+    def test_round_trip_across_instances(self, tmp_path):
+        """The whole point of the file tier: a second process (here a
+        second instance) sees the first one's entries."""
+        first = FileBackend(tmp_path / "tier")
+        first.put("key-1", b"payload", tags=("P1",))
+        second = FileBackend(tmp_path / "tier")
+        assert second.get("key-1") == b"payload"
+        assert second.entry_count() == 1
+
+    def test_corrupt_entry_reads_as_miss_and_self_heals(self, tmp_path):
+        backend = FileBackend(tmp_path / "tier")
+        backend.put("key-1", b"payload", tags=())
+        entry = next((tmp_path / "tier").glob("*.cache"))
+        entry.write_bytes(b"{definitely not json")
+        assert backend.get("key-1") is None
+        assert not entry.exists()  # deleted, not left to fail forever
+
+    def test_checksum_mismatch_is_a_miss(self, tmp_path):
+        backend = FileBackend(tmp_path / "tier")
+        backend.put("key-1", b"payload", tags=())
+        entry = next((tmp_path / "tier").glob("*.cache"))
+        envelope = json.loads(entry.read_bytes())
+        envelope["payload"] = b"tampered".hex()
+        entry.write_text(json.dumps(envelope))
+        assert backend.get("key-1") is None
+
+    def test_purge_tags(self, tmp_path):
+        backend = FileBackend(tmp_path / "tier")
+        backend.put("a", b"1", tags=("P1",))
+        backend.put("b", b"2", tags=("P2",))
+        assert backend.purge_tags(["P1"]) == 1
+        assert backend.entry_count() == 1
+        assert backend.get("b") == b"2"
+
+
+class TestSharedCacheTier:
+    def test_json_round_trip(self):
+        tier = SharedCacheTier(InMemoryBackend())
+        assert tier.get("k") is None
+        assert tier.put("k", {"answer": 42}, tags=("P1",))
+        assert tier.get("k") == {"answer": 42}
+        stats = tier.stats()
+        assert stats.gets == 2 and stats.hits == 1 and stats.puts == 1
+
+    def test_outage_degrades_to_miss_never_raises(self):
+        backend = InMemoryBackend()
+        tier = SharedCacheTier(backend)
+        backend.set_down(True)
+        assert tier.get("k") is None
+        assert not tier.put("k", {"v": 1})
+        assert tier.purge_products(["P1"]) == -1
+        assert tier.stats().errors == 3
+
+    def test_breaker_opens_and_skips(self):
+        clock = FakeClock()
+        backend = InMemoryBackend()
+        tier = SharedCacheTier(
+            backend,
+            breaker=CircuitBreaker(
+                failure_threshold=2, recovery_time=10.0, clock=clock
+            ),
+        )
+        backend.set_down(True)
+        tier.get("k")
+        tier.get("k")
+        assert tier.stats().breaker_state == "open"
+        operations_before = backend.operations
+        tier.get("k")  # skipped outright — the backend is never touched
+        assert backend.operations == operations_before
+        assert tier.stats().skipped == 1
+
+        # Heal the backend; after recovery_time the half-open probe
+        # succeeds and the tier re-attaches.
+        backend.set_down(False)
+        clock.now = 11.0
+        tier.put("k", {"v": 1})
+        assert tier.stats().breaker_state == "closed"
+        assert tier.get("k") == {"v": 1}
+
+    def test_undecodable_value_is_deleted_and_missed(self):
+        backend = InMemoryBackend()
+        tier = SharedCacheTier(backend)
+        backend.put("k", b"\xff not json", tags=())
+        assert tier.get("k") is None
+        assert backend.get("k") is None
+
+
+class TestTierKey:
+    def test_deterministic_across_calls(self):
+        a = tier_key("chain-token", "select", "P1", 3, 1.0)
+        b = tier_key("chain-token", "select", "P1", 3, 1.0)
+        assert a == b and len(a) == 64
+
+    def test_any_part_changes_the_key(self):
+        base = tier_key("chain", "select", "P1", 3)
+        assert tier_key("other-chain", "select", "P1", 3) != base
+        assert tier_key("chain", "narrow", "P1", 3) != base
+        assert tier_key("chain", "select", "P2", 3) != base
+        assert tier_key("chain", "select", "P1", 4) != base
+
+    def test_parts_do_not_collide_by_concatenation(self):
+        assert tier_key("c", "ab", "c") != tier_key("c", "a", "bc")

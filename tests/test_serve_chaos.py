@@ -7,8 +7,12 @@ import pytest
 from repro.resilience.faults import FaultSpec
 from repro.serve.chaos import (
     ChaosScenario,
+    DurabilityScenario,
+    all_scenarios,
     default_suite,
+    durability_suite,
     faulted_stage,
+    run_durability_scenario,
     run_scenario,
 )
 
@@ -84,3 +88,50 @@ class TestScenarioRuns:
         report = run_scenario(scenario)
         assert report.passed, report.summary()
         assert report.drained is True
+
+
+class TestDurabilityScenarios:
+    """In-process durability scenarios (kill9 needs a child process and
+    runs under `make recovery-smoke`; the rest are fast enough here)."""
+
+    def test_suite_covers_all_four_faults(self):
+        kinds = {scenario.kind for scenario in durability_suite()}
+        assert kinds == {"kill9", "torn-wal", "disk-full", "tier-outage"}
+        names = {s.name for s in all_scenarios()}
+        # Both suites are reachable from the CLI's combined listing.
+        assert "kill9-mid-ingest" in names
+        assert "16x-burst-one-failing-backend" in names
+
+    def test_torn_wal_write_recovers_intact_prefix(self):
+        report = run_durability_scenario(
+            DurabilityScenario(name="torn", kind="torn-wal", deltas=3)
+        )
+        assert report.passed, report.summary()
+        assert report.details["torn_bytes"] > 0
+
+    def test_disk_full_rejects_without_losing_state(self):
+        report = run_durability_scenario(
+            DurabilityScenario(name="full", kind="disk-full")
+        )
+        assert report.passed, report.summary()
+
+    def test_tier_outage_never_fails_requests(self):
+        report = run_durability_scenario(
+            DurabilityScenario(name="outage", kind="tier-outage")
+        )
+        assert report.passed, report.summary()
+
+    def test_failed_report_prints_replay_seed(self):
+        from repro.serve.chaos import DurabilityReport
+
+        report = DurabilityReport(
+            scenario="torn", seed=13, violations=["acked delta lost"]
+        )
+        assert not report.passed
+        assert "seed=13" in report.summary()
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            run_durability_scenario(
+                DurabilityScenario(name="bad", kind="nonsense")
+            )

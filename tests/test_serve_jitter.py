@@ -1,0 +1,88 @@
+"""Tests for seeded Retry-After jitter: bounded, reproducible, wired in."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.admission import AdmissionController, Overloaded
+from repro.serve.jitter import NO_JITTER, RetryJitter
+
+
+class TestBounds:
+    def test_hints_stay_inside_the_spread_band(self):
+        """Hard guarantee, not an expectation: h*(1-s) <= hint <= h*(1+s)."""
+        jitter = RetryJitter(seed=42, spread=0.25)
+        for _ in range(1000):
+            hint = jitter.apply(2.0)
+            assert 1.5 <= hint <= 2.5
+
+    def test_never_negative(self):
+        jitter = RetryJitter(seed=1, spread=0.99)
+        assert all(jitter.apply(0.01) >= 0.0 for _ in range(100))
+
+    def test_zero_spread_is_identity(self):
+        jitter = RetryJitter(seed=123, spread=0.0)
+        assert jitter.apply(3.7) == 3.7
+        assert NO_JITTER.apply(3.7) == 3.7
+
+    def test_spread_validation(self):
+        with pytest.raises(ValueError):
+            RetryJitter(spread=1.0)
+        with pytest.raises(ValueError):
+            RetryJitter(spread=-0.1)
+
+
+class TestReproducibility:
+    def test_same_seed_same_stream(self):
+        a = RetryJitter(seed=7, spread=0.25)
+        b = RetryJitter(seed=7, spread=0.25)
+        assert [a.apply(1.0) for _ in range(50)] == [
+            b.apply(1.0) for _ in range(50)
+        ]
+
+    def test_different_seeds_diverge(self):
+        a = RetryJitter(seed=7, spread=0.25)
+        b = RetryJitter(seed=8, spread=0.25)
+        assert [a.apply(1.0) for _ in range(10)] != [
+            b.apply(1.0) for _ in range(10)
+        ]
+
+    def test_reset_rewinds_the_stream(self):
+        jitter = RetryJitter(seed=7, spread=0.25)
+        first = [jitter.apply(1.0) for _ in range(5)]
+        assert jitter.applications == 5
+        jitter.reset()
+        assert jitter.applications == 0
+        assert [jitter.apply(1.0) for _ in range(5)] == first
+
+    def test_actually_spreads(self):
+        """The anti-herd property: distinct hints, not one constant."""
+        jitter = RetryJitter(seed=7, spread=0.25)
+        hints = {jitter.apply(2.0) for _ in range(20)}
+        assert len(hints) > 10
+
+
+class TestAdmissionWiring:
+    def test_shed_retry_after_is_jittered_and_reproducible(self):
+        def run(seed: int) -> float:
+            admission = AdmissionController(
+                max_pending=1,
+                queue_retry_after=2.0,
+                jitter=RetryJitter(seed=seed, spread=0.25),
+            )
+            admission.admit(cost=0.0)  # fills the single pending slot
+            with pytest.raises(Overloaded) as excinfo:
+                admission.admit(cost=0.0)
+            return excinfo.value.retry_after
+
+        first, second = run(5), run(5)
+        assert first == second  # seeded → reproducible
+        assert 1.5 <= first <= 2.5
+        assert run(6) != first  # and actually seeded, not constant
+
+    def test_default_admission_hint_is_unjittered(self):
+        admission = AdmissionController(max_pending=1, queue_retry_after=2.0)
+        admission.admit(cost=0.0)
+        with pytest.raises(Overloaded) as excinfo:
+            admission.admit(cost=0.0)
+        assert excinfo.value.retry_after == 2.0

@@ -1,0 +1,95 @@
+"""Tests for the child-process supervisor: restarts, backoff, provenance.
+
+One real child process is spawned for the lifecycle test (cold corpus
+ingest of the small Toy corpus); everything else is pure policy math so
+the file stays fast.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.request
+
+import pytest
+
+from repro.data.io import save_corpus
+from repro.data.synthetic import generate_corpus
+from repro.serve.supervisor import RestartPolicy, Supervisor, SupervisorError
+
+
+class TestRestartPolicy:
+    def test_exponential_backoff_with_cap(self):
+        policy = RestartPolicy(base_delay=0.1, max_delay=1.0)
+        assert policy.delay(1) == pytest.approx(0.1)
+        assert policy.delay(2) == pytest.approx(0.2)
+        assert policy.delay(3) == pytest.approx(0.4)
+        assert policy.delay(10) == 1.0  # capped
+
+    def test_delay_rejects_nonpositive_attempts(self):
+        with pytest.raises(ValueError):
+            RestartPolicy().delay(0)
+
+    def test_restart_budget(self):
+        unlimited = RestartPolicy()
+        assert not unlimited.exhausted(10_000)
+        bounded = RestartPolicy(max_restarts=3)
+        assert not bounded.exhausted(2)
+        assert bounded.exhausted(3)
+
+
+class TestLifecycle:
+    def test_start_kill_restart_stop(self, tmp_path):
+        """The full loop: serve, SIGKILL, auto-restart on the same port
+        with recovery provenance at /healthz."""
+        corpus_path = tmp_path / "toy.jsonl"
+        save_corpus(generate_corpus("Toy", scale=0.3, seed=3), corpus_path)
+        supervisor = Supervisor(
+            tmp_path / "state",
+            corpus_path=corpus_path,
+            policy=RestartPolicy(base_delay=0.05, max_restarts=5),
+            engine_options={"workers": 2, "snapshot_every": 0},
+        )
+        with supervisor:
+            ready = supervisor.wait_ready()
+            port = ready["port"]
+            assert supervisor.port == port
+            assert supervisor.is_alive()
+            assert ready["recovery"]["mode"] == "cold"
+            assert ready["recovery"]["restarts"] == 0
+
+            supervisor.kill()
+            deadline = time.monotonic() + 60.0
+            while supervisor.restarts < 1 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert supervisor.restarts == 1
+            ready = supervisor.wait_ready(timeout=60.0)
+            # Same port after restart, so clients just reconnect.
+            assert ready["port"] == port
+            assert ready["recovery"]["restarts"] == 1
+            assert ready["version"] == supervisor.status()["last_ready"]["version"]
+
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/healthz", timeout=30
+            ) as response:
+                payload = json.loads(response.read())
+            assert payload["recovery"]["restarts"] == 1
+        assert not supervisor.is_alive()
+
+    def test_kill_without_child_raises(self, tmp_path):
+        supervisor = Supervisor(tmp_path / "state", corpus_path=None)
+        with pytest.raises(SupervisorError):
+            supervisor.kill()
+
+    def test_broken_child_reports_failure(self, tmp_path):
+        # No snapshot and no corpus: the child cannot open the store.
+        supervisor = Supervisor(
+            tmp_path / "state",
+            corpus_path=None,
+            policy=RestartPolicy(base_delay=0.01, max_restarts=1),
+            ready_timeout=30.0,
+        )
+        supervisor.start()
+        with pytest.raises(SupervisorError):
+            supervisor.wait_ready(timeout=60.0)
+        supervisor.stop()
