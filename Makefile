@@ -1,6 +1,6 @@
 # Developer conveniences; everything also works as plain pytest/python calls.
 
-.PHONY: install test bench examples experiments serve-smoke chaos-smoke recovery-smoke bench-core-smoke bench-eval-smoke ci lint clean
+.PHONY: install test bench examples experiments serve-smoke cluster-smoke chaos-smoke recovery-smoke bench-core-smoke bench-eval-smoke ci lint clean
 
 install:
 	pip install -e .
@@ -20,6 +20,11 @@ experiments:
 # Boot the real HTTP server in a subprocess and hit every endpoint.
 serve-smoke:
 	python scripts/serve_smoke.py
+
+# Gateway + 2 shard workers vs the single-process server: responses
+# must be byte-identical across topologies, health/metrics aggregated.
+cluster-smoke:
+	python scripts/cluster_smoke.py
 
 # Overload / failing-backend / reload / drain scenarios with SLO checks.
 chaos-smoke:

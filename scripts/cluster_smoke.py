@@ -1,0 +1,116 @@
+"""Smoke test for `repro-cli serve --shards N`: gateway + 2 shard workers.
+
+Boots the single-process server and a 2-shard cluster as real
+subprocesses (argv parsing, corpus partitioning, shard supervision, the
+asyncio gateway — the full path CI cares about) and asserts the cluster
+answers ``/v1/select`` and ``/v1/narrow`` byte-identically to the
+single-process reference, modulo provenance.  Exits non-zero on any
+failure.
+
+Usage: PYTHONPATH=src python scripts/cluster_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def post(url: str, body: dict) -> tuple[int, dict]:
+    request = urllib.request.Request(url, data=json.dumps(body).encode())
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def get_raw(url: str) -> tuple[int, bytes]:
+    with urllib.request.urlopen(url, timeout=60) as response:
+        return response.status, response.read()
+
+
+def boot(argv: list[str], env: dict) -> tuple[subprocess.Popen, str]:
+    """Start a serve subprocess and wait for its address announcement."""
+    process = subprocess.Popen(argv, stdout=subprocess.PIPE, text=True, env=env)
+    started = time.monotonic()
+    for line in process.stdout:
+        print("  server:", line.rstrip())
+        if line.startswith("serving on "):
+            return process, line.split("serving on ", 1)[1].strip()
+        if time.monotonic() - started > 120:
+            break
+    process.terminate()
+    raise AssertionError(f"server never announced its address: {argv}")
+
+
+def main() -> int:
+    env = {**os.environ, "PYTHONPATH": os.path.join(REPO, "src")}
+    with tempfile.TemporaryDirectory() as tmp:
+        corpus = os.path.join(tmp, "toy.jsonl")
+        subprocess.run(
+            [sys.executable, "-m", "repro.cli", "generate", "--category",
+             "Toy", "--scale", "0.3", "--seed", "3", "--out", corpus],
+            check=True, env=env, timeout=120,
+        )
+
+        single, single_base = boot(
+            [sys.executable, "-m", "repro.cli", "serve", "--corpus", corpus,
+             "--port", "0"],
+            env,
+        )
+        cluster, cluster_base = boot(
+            [sys.executable, "-m", "repro.cli", "serve", "--corpus", corpus,
+             "--shards", "2", "--gateway-port", "0",
+             "--state-dir", os.path.join(tmp, "cluster-state")],
+            env,
+        )
+        try:
+            mismatches = 0
+            checked = 0
+            for body, path in (
+                ({"m": 3}, "/v1/select"),
+                ({"m": 2, "mu": 0.2}, "/v1/select"),
+                ({"m": 2, "k": 3}, "/v1/narrow"),
+            ):
+                s_status, s_payload = post(f"{single_base}{path}", body)
+                c_status, c_payload = post(f"{cluster_base}{path}", body)
+                assert s_status == c_status == 200, (path, s_status, c_status)
+                single_result = json.dumps(s_payload["result"], sort_keys=True)
+                cluster_result = json.dumps(c_payload["result"], sort_keys=True)
+                checked += 1
+                if single_result != cluster_result:
+                    mismatches += 1
+                    print(f"MISMATCH on {path} {body}")
+            assert mismatches == 0, f"{mismatches}/{checked} responses differ"
+
+            status, raw = get_raw(f"{cluster_base}/healthz")
+            health = json.loads(raw)
+            assert status == 200 and health["status"] == "ok", health
+            assert sorted(health["shards"]) == ["0", "1"], health
+
+            status, raw = get_raw(f"{cluster_base}/metrics?format=prometheus")
+            text = raw.decode()
+            assert status == 200
+            assert "repro_shard_requests_total" in text, text[:400]
+            assert "# ---- shard 1 ----" in text
+
+            print(f"cluster-smoke OK: {checked}/{checked} responses "
+                  "byte-identical across 1-shard and 2-shard topologies")
+            return 0
+        finally:
+            for process in (cluster, single):
+                process.terminate()
+                process.wait(timeout=30)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

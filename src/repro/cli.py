@@ -184,6 +184,18 @@ def _command_serve(args: argparse.Namespace) -> int:
     from repro.serve.http import run_server
     from repro.serve.store import ItemStore
 
+    if args.shards < 1:
+        print(f"--shards must be >= 1, got {args.shards}", flush=True)
+        return 2
+    if args.shards > 1:
+        # Cluster mode: supervised shard workers + asyncio gateway.  The
+        # --shards 1 default falls through to the unchanged
+        # single-process path below.
+        if args.supervised:
+            print("--supervised is implied by --shards > 1", flush=True)
+            return 2
+        return _serve_cluster(args)
+
     admission = AdmissionController(
         max_pending=args.max_pending,
         rate=args.rate_limit,
@@ -232,6 +244,88 @@ def _command_serve(args: argparse.Namespace) -> int:
     # run_server installs SIGTERM/SIGINT handlers that drain in-flight
     # requests (up to --drain-timeout seconds) before the process exits.
     run_server(engine, args.host, args.port, drain_timeout=args.drain_timeout)
+    return 0
+
+
+def _serve_cluster(args: argparse.Namespace) -> int:
+    """Boot a sharded cluster: N supervised workers + asyncio gateway.
+
+    ``--state-dir`` lays out one ``shard-{i}/`` durable directory per
+    worker (each with its own WAL and snapshots); without it the cluster
+    uses a throwaway temp layout.  The gateway prints the same
+    ``serving on http://...`` line as the single-process server so smoke
+    harnesses drive both identically.
+    """
+    import signal as _signal
+    import threading
+
+    from repro.serve.cluster import ClusterConfig, ClusterError, ServingCluster
+
+    if not Path(args.corpus).is_file():
+        print(f"corpus file not found: {args.corpus}", flush=True)
+        return 2
+    config = ClusterConfig(
+        corpus_path=args.corpus,
+        shards=args.shards,
+        host=args.host,
+        gateway_port=(
+            args.gateway_port if args.gateway_port is not None else args.port
+        ),
+        state_dir=args.state_dir,
+        engine_options={
+            "cache_size": args.cache_size,
+            "ttl": args.ttl,
+            "workers": args.workers,
+            "batch_window": args.batch_window,
+            "cache_tier": args.cache_tier,
+            "snapshot_every": args.snapshot_every,
+            # Per-shard admission backstop behind the gateway's global
+            # controller (the worker builds its own controller).
+            "max_pending": args.max_pending,
+        },
+        max_pending=args.max_pending,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+    )
+    cluster = ServingCluster(config)
+    try:
+        cluster.start()
+    except ClusterError as exc:
+        print(f"cluster start failed: {exc}", flush=True)
+        cluster.stop()
+        return 1
+    host, port = cluster.gateway_address
+    assert cluster.plan is not None
+    shard_sizes = ", ".join(
+        f"shard {i}: {len(owned)} items" for i, owned in enumerate(cluster.plan.owned)
+    )
+    print(f"cluster of {args.shards} shards ({shard_sizes})", flush=True)
+    print(f"serving on http://{host}:{port}", flush=True)
+
+    stop = threading.Event()
+
+    def _handle_signal(signum, frame) -> None:
+        stop.set()
+
+    installed: list[int] = []
+    if threading.current_thread() is threading.main_thread():
+        for signum in (_signal.SIGTERM, _signal.SIGINT):
+            try:
+                _signal.signal(signum, _handle_signal)
+                installed.append(signum)
+            except (ValueError, OSError):  # pragma: no cover - exotic hosts
+                break
+    try:
+        while not stop.is_set():
+            stop.wait(1.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        print("stopping cluster...", flush=True)
+        for signum in installed:
+            _signal.signal(signum, _signal.SIG_DFL)
+        cluster.stop()
+        print("server stopped", flush=True)
     return 0
 
 
@@ -526,6 +620,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-tier", choices=("file", "memory"), default=None,
         help="shared result-cache tier behind the local LRU: 'file' "
              "survives restarts under the state dir (default: none)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="shard the corpus across N supervised worker processes "
+             "behind an asyncio gateway (consistent-hash routing by "
+             "target item); 1 keeps the single-process server (default)",
+    )
+    serve.add_argument(
+        "--gateway-port", type=int, default=None, metavar="P",
+        help="TCP port for the cluster gateway (default: --port); only "
+             "meaningful with --shards > 1",
     )
     serve.set_defaults(handler=_command_serve)
 

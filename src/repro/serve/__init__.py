@@ -39,8 +39,12 @@ pieces compose bottom-up:
   jitter on every ``Retry-After`` hint.
 * :mod:`repro.serve.chaos` — deterministic in-process chaos harness
   (overload bursts, failing backends, mid-flight reloads, SIGKILL
-  mid-ingest, torn WAL writes, full disks, cache outages) with SLO
-  assertions; ``python -m repro.serve.chaos`` runs the default suite.
+  mid-ingest, torn WAL writes, full disks, cache outages, shard kills)
+  with SLO assertions; ``python -m repro.serve.chaos`` runs the suite.
+* :mod:`repro.serve.cluster` — horizontal scale-out: a consistent-hash
+  ring, supervised shard workers speaking length-prefixed JSON frames,
+  and an asyncio HTTP gateway (``repro-cli serve --shards N``) with
+  byte-identical responses to the single-process server.
 
 In-process quickstart (no sockets)::
 

@@ -479,7 +479,7 @@ class DurabilityScenario:
     """One crash-recovery episode; ``kind`` picks the fault to inject."""
 
     name: str
-    kind: str  # "kill9" | "torn-wal" | "disk-full" | "tier-outage"
+    kind: str  # "kill9" | "torn-wal" | "disk-full" | "tier-outage" | "shard-kill"
     deltas: int = 5
     seed: int = 7
 
@@ -515,6 +515,7 @@ def durability_suite() -> tuple[DurabilityScenario, ...]:
         DurabilityScenario(name="torn-wal-write", kind="torn-wal"),
         DurabilityScenario(name="wal-disk-full", kind="disk-full"),
         DurabilityScenario(name="cache-backend-outage", kind="tier-outage"),
+        DurabilityScenario(name="shard-kill-mid-burst", kind="shard-kill"),
     )
 
 
@@ -861,11 +862,163 @@ def _run_tier_outage(scenario: DurabilityScenario) -> DurabilityReport:
     )
 
 
+def _run_shard_kill(scenario: DurabilityScenario) -> DurabilityReport:
+    """SIGKILL one shard of a live cluster mid-burst; blast radius = one shard.
+
+    The gateway must convert the dead shard into 503 + Retry-After for
+    that shard's targets only — zero uncaught 500s, zero transport
+    errors — while every other shard keeps answering 200.  The killed
+    worker must then come back through its own snapshot+WAL state
+    (deltas are ingested first so recovery has a WAL tail to replay)
+    and serve again.
+    """
+    from repro.serve.cluster import ClusterConfig, ServingCluster
+    from repro.serve.supervisor import RestartPolicy
+
+    violations: list[str] = []
+    details: dict[str, object] = {}
+    corpus = generate_corpus("Toy", scale=0.3, seed=scenario.seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        corpus_path = Path(tmp) / "corpus.jsonl"
+        save_corpus(corpus, corpus_path)
+        config = ClusterConfig(
+            corpus_path=corpus_path,
+            shards=2,
+            state_dir=Path(tmp) / "cluster",
+            engine_options={"workers": 2, "snapshot_every": 2},
+            restart_policy=RestartPolicy(base_delay=0.05, max_restarts=3),
+        )
+        with ServingCluster(config) as cluster:
+            base = cluster.base_url
+            ring = cluster.ring
+            assert ring is not None
+            by_shard: dict[int, str] = {}
+            for product in corpus.products:
+                by_shard.setdefault(ring.route(product.product_id), product.product_id)
+            victim_shard = min(by_shard)
+            victim_target = by_shard[victim_shard]
+            other_target = by_shard[max(by_shard)]
+
+            # Ingest deltas first so the victim's restart replays a real
+            # snapshot + WAL tail, not just the cold corpus.
+            for index in range(scenario.deltas):
+                review = _delta_review(index, victim_target)
+                status, _ = _post(
+                    base, "/v1/ingest", {"reviews": [review_record(review)]}
+                )
+                if status != 200:
+                    violations.append(f"pre-kill ingest {index} answered {status}")
+
+            # Mid-burst kill: clients hammer both shards while the
+            # victim dies, and every answer must stay in the taxonomy.
+            outcomes: list[tuple[str, int] | tuple[str, str]] = []
+            lock = threading.Lock()
+            barrier = threading.Barrier(9)  # 8 clients + the killer
+
+            def _burst_client(index: int) -> None:
+                target = victim_target if index % 2 == 0 else other_target
+                barrier.wait()
+                for round_ in range(6):
+                    mu = 0.1 + 0.001 * (index * 10 + round_)
+                    try:
+                        status, _ = _post(
+                            base, "/v1/select", {"target": target, "mu": mu}
+                        )
+                    except urllib.error.HTTPError as error:
+                        error.read()
+                        status = error.code
+                    except Exception as exc:
+                        with lock:
+                            outcomes.append((target, type(exc).__name__))
+                        continue
+                    with lock:
+                        outcomes.append((target, status))
+
+            clients = [
+                threading.Thread(target=_burst_client, args=(index,))
+                for index in range(8)
+            ]
+            for client in clients:
+                client.start()
+            barrier.wait()
+            time.sleep(0.05)  # let the burst land on both shards first
+            details["killed_pid"] = cluster.kill_shard(victim_shard)
+            for client in clients:
+                client.join(timeout=120.0)
+
+            statuses = sorted({o[1] for o in outcomes})
+            details["statuses"] = statuses
+            transport = [o for o in outcomes if isinstance(o[1], str)]
+            if transport:
+                violations.append(f"{len(transport)} transport error(s): {transport[:3]}")
+            bad = [
+                o for o in outcomes
+                if isinstance(o[1], int) and o[1] not in _EXPECTED_STATUSES
+            ]
+            if bad:
+                violations.append(
+                    f"{len(bad)} response(s) outside {sorted(_EXPECTED_STATUSES)}: "
+                    f"{sorted({o[1] for o in bad})}"
+                )
+            other_ok = [o for o in outcomes if o[0] == other_target and o[1] == 200]
+            other_bad = [
+                o for o in outcomes
+                if o[0] == other_target and o[1] not in (200, 429)
+            ]
+            details["other_shard_ok"] = len(other_ok)
+            if not other_ok:
+                violations.append("the surviving shard served nothing during the kill")
+            if other_bad:
+                violations.append(
+                    f"the surviving shard was affected by the kill: {other_bad[:3]}"
+                )
+
+            # Recovery: the victim's supervisor restarts it and the
+            # gateway reconnects — same port, snapshot+WAL replay.
+            recovered_status: int | None = None
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                try:
+                    recovered_status, _ = _post(
+                        base, "/v1/select", {"target": victim_target, "mu": 0.9}
+                    )
+                except urllib.error.HTTPError as error:
+                    error.read()
+                    recovered_status = error.code
+                except Exception:
+                    recovered_status = -1
+                if recovered_status == 200:
+                    break
+                time.sleep(0.2)
+            details["post_recovery_status"] = recovered_status
+            details["restarts"] = cluster.restarts()[victim_shard]
+            if recovered_status != 200:
+                violations.append(
+                    f"killed shard never served again (last status {recovered_status})"
+                )
+            if cluster.restarts()[victim_shard] < 1:
+                violations.append("supervisor recorded no restart for the victim")
+            with urllib.request.urlopen(f"{base}/healthz", timeout=10) as response:
+                health = json.loads(response.read())
+            details["cluster_status"] = health["status"]
+            recovery = health["shards"].get(str(victim_shard), {}).get("recovery", {})
+            details["recovery_mode"] = recovery.get("mode")
+            if health["status"] != "ok":
+                violations.append(f"cluster health is {health['status']!r} after recovery")
+            if recovery.get("restarts", 0) < 1:
+                violations.append("recovered shard reports no restart in /healthz")
+    return DurabilityReport(
+        scenario=scenario.name, seed=scenario.seed,
+        violations=violations, details=details,
+    )
+
+
 _DURABILITY_RUNNERS = {
     "kill9": _run_kill9,
     "torn-wal": _run_torn_wal,
     "disk-full": _run_disk_full,
     "tier-outage": _run_tier_outage,
+    "shard-kill": _run_shard_kill,
 }
 
 

@@ -1,0 +1,64 @@
+"""Sharded serving: consistent-hash routing, shard workers, asyncio gateway.
+
+The cluster layer scales :mod:`repro.serve` horizontally without
+changing its contract: a :class:`HashRing` assigns every target item to
+one shard, each shard runs the full single-process engine (durable
+state, admission, breakers, caches) over its partition behind a framed
+local socket, and an asyncio :class:`ClusterGateway` fronts them with
+the same HTTP endpoints, global admission, ingest fan-out, aggregated
+health/metrics, and 503 + ``Retry-After`` while a crashed shard
+restarts.  ``repro serve --shards N`` boots the whole thing via
+:class:`ServingCluster`.
+"""
+
+from repro.serve.cluster.controller import (
+    ClusterConfig,
+    ClusterError,
+    ServingCluster,
+    start_cluster,
+)
+from repro.serve.cluster.gateway import (
+    ClusterGateway,
+    ShardClient,
+    ShardUnavailable,
+)
+from repro.serve.cluster.proto import (
+    FrameError,
+    MAX_FRAME_BYTES,
+    encode_frame,
+    read_frame_async,
+    recv_frame,
+    send_frame,
+    write_frame_async,
+)
+from repro.serve.cluster.ring import HashRing, PartitionPlan, partition_corpus
+from repro.serve.cluster.worker import (
+    ShardServer,
+    classify_error,
+    handle_message,
+    shard_child_main,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterError",
+    "ClusterGateway",
+    "FrameError",
+    "HashRing",
+    "MAX_FRAME_BYTES",
+    "PartitionPlan",
+    "ServingCluster",
+    "ShardClient",
+    "ShardServer",
+    "ShardUnavailable",
+    "classify_error",
+    "encode_frame",
+    "handle_message",
+    "partition_corpus",
+    "read_frame_async",
+    "recv_frame",
+    "send_frame",
+    "shard_child_main",
+    "start_cluster",
+    "write_frame_async",
+]

@@ -1,0 +1,272 @@
+"""Cluster lifecycle: partition, spawn supervised shards, run the gateway.
+
+:class:`ServingCluster` is the one piece that knows the whole topology.
+Given a corpus path and a shard count it:
+
+1. builds the :class:`~repro.serve.cluster.ring.HashRing` and partitions
+   the corpus (deterministic for a fixed ``(shards, vnodes, seed)``, so
+   a restart over the same state dir re-derives the same partition and
+   every shard's snapshots/WAL still match its sub-corpus);
+2. writes each shard's sub-corpus to ``<state_dir>/shard-{i}/corpus.jsonl``
+   and starts one :class:`~repro.serve.supervisor.Supervisor` per shard
+   with the framed-socket child entry point
+   (:func:`~repro.serve.cluster.worker.shard_child_main`) — crash
+   restarts, backoff, and same-port rebinds all come from PR 6's
+   machinery unchanged;
+3. runs a :class:`~repro.serve.cluster.gateway.ClusterGateway` on a
+   dedicated asyncio event-loop thread and exposes its bound address.
+
+The controller is also the chaos harness's handle on the cluster:
+:meth:`kill_shard` SIGKILLs one worker mid-traffic and the supervisor
+brings it back through snapshot+WAL recovery while the gateway returns
+503 for that shard's targets only.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from tempfile import mkdtemp
+
+from repro.data.corpus import Corpus
+from repro.data.io import load_corpus, save_corpus
+from repro.serve.admission import AdmissionController
+from repro.serve.cluster.gateway import ClusterGateway, ShardClient
+from repro.serve.cluster.ring import HashRing, PartitionPlan, partition_corpus
+from repro.serve.cluster.worker import shard_child_main
+from repro.serve.jitter import RetryJitter
+from repro.serve.supervisor import RestartPolicy, Supervisor
+
+
+@dataclass
+class ClusterConfig:
+    """Everything needed to boot one cluster.
+
+    ``state_dir=None`` uses a throwaway temp directory — durability
+    still works within the process lifetime (crash restarts recover),
+    it just does not survive the controller itself.  ``engine_options``
+    are per-shard :class:`SelectionEngine` kwargs plus the admission
+    knobs (``max_pending``/``rate_limit``/``rate_burst``) the worker
+    resolves itself.
+    """
+
+    corpus_path: str | Path
+    shards: int = 2
+    host: str = "127.0.0.1"
+    gateway_port: int = 0
+    state_dir: str | Path | None = None
+    vnodes: int = 64
+    ring_seed: int = 7
+    engine_options: dict = field(default_factory=dict)
+    max_pending: int = 256
+    rate_limit: float | None = None
+    rate_burst: float | None = None
+    restart_policy: RestartPolicy | None = None
+    ready_timeout: float = 60.0
+    pool_size: int = 8
+    jitter_seed: int | None = None
+
+
+class ClusterError(RuntimeError):
+    """The cluster could not be assembled or started."""
+
+
+class ServingCluster:
+    """A running gateway + shard fleet; use as a context manager.
+
+    ``start()`` is synchronous and returns once every shard reported
+    ready and the gateway is bound; the asyncio loop keeps running on a
+    daemon thread until :meth:`stop`.
+    """
+
+    def __init__(self, config: ClusterConfig) -> None:
+        if config.shards < 1:
+            raise ClusterError(f"shards must be >= 1, got {config.shards}")
+        self.config = config
+        self.corpus: Corpus | None = None
+        self.ring: HashRing | None = None
+        self.plan: PartitionPlan | None = None
+        self.supervisors: list[Supervisor] = []
+        self.gateway: ClusterGateway | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._loop_thread: threading.Thread | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._bound: tuple[str, int] | None = None
+        self._state_dir: Path | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ServingCluster":
+        config = self.config
+        self.corpus = load_corpus(config.corpus_path)
+        self.ring = HashRing(
+            config.shards, vnodes=config.vnodes, seed=config.ring_seed
+        )
+        self.plan = partition_corpus(self.corpus, self.ring)
+        self._state_dir = Path(
+            config.state_dir
+            if config.state_dir is not None
+            else mkdtemp(prefix="repro-cluster-")
+        )
+        self._state_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            self._start_shards()
+            self._start_gateway()
+        except Exception:
+            self.stop()
+            raise
+        return self
+
+    def _start_shards(self) -> None:
+        assert self.plan is not None
+        policy = self.config.restart_policy or RestartPolicy()
+        for shard in range(self.config.shards):
+            shard_dir = self._state_dir / f"shard-{shard}"
+            shard_dir.mkdir(parents=True, exist_ok=True)
+            corpus_file = shard_dir / "corpus.jsonl"
+            # Deterministic partition: rewriting on every boot is
+            # idempotent for an unchanged corpus + ring, and a changed
+            # one *should* replace the file (the WAL/snapshots carry the
+            # shard's own delta history on top).
+            save_corpus(self.plan.corpora[shard], corpus_file)
+            supervisor = Supervisor(
+                shard_dir,
+                corpus_path=corpus_file,
+                host=self.config.host,
+                port=0,
+                policy=policy,
+                ready_timeout=self.config.ready_timeout,
+                engine_options=dict(self.config.engine_options),
+                child_main=shard_child_main,
+            )
+            supervisor.start()
+            self.supervisors.append(supervisor)
+        for shard, supervisor in enumerate(self.supervisors):
+            try:
+                supervisor.wait_ready(self.config.ready_timeout)
+            except Exception as exc:
+                raise ClusterError(f"shard {shard} failed to start: {exc}") from exc
+
+    def _start_gateway(self) -> None:
+        assert self.corpus is not None and self.plan is not None
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        self._loop_thread = threading.Thread(
+            target=loop.run_forever, name="repro-gateway-loop", daemon=True
+        )
+        self._loop_thread.start()
+
+        jitter = (
+            RetryJitter(seed=self.config.jitter_seed)
+            if self.config.jitter_seed is not None
+            else None
+        )
+        admission = AdmissionController(
+            max_pending=self.config.max_pending,
+            rate=self.config.rate_limit,
+            burst=self.config.rate_burst,
+            jitter=jitter,
+        )
+        supervisors = self.supervisors
+
+        def _build() -> ClusterGateway:
+            clients = [
+                ShardClient(
+                    shard,
+                    self.config.host,
+                    # Read the port through the supervisor on every dial:
+                    # it is stable across restarts (same-port rebind) but
+                    # only known once the first child reports ready.
+                    (lambda s=supervisors[shard]: s.port),
+                    pool_size=self.config.pool_size,
+                )
+                for shard in range(self.config.shards)
+            ]
+            return ClusterGateway(
+                self.corpus,
+                self.plan,
+                self.ring,
+                clients,
+                admission=admission,
+                jitter=jitter,
+                restart_total=lambda: sum(s.restarts for s in supervisors),
+            )
+
+        async def _boot() -> tuple[ClusterGateway, asyncio.base_events.Server]:
+            gateway = _build()
+            server = await gateway.start(
+                self.config.host, self.config.gateway_port
+            )
+            return gateway, server
+
+        future = asyncio.run_coroutine_threadsafe(_boot(), loop)
+        self.gateway, self._server = future.result(timeout=30.0)
+        sock = self._server.sockets[0]
+        self._bound = sock.getsockname()[:2]
+
+    def stop(self) -> None:
+        """Stop the gateway, then terminate every shard (idempotent)."""
+        loop = self._loop
+        if loop is not None and self._server is not None:
+            server = self._server
+            gateway = self.gateway
+
+            async def _shutdown() -> None:
+                server.close()
+                await server.wait_closed()
+                if gateway is not None:
+                    await gateway.aclose()
+
+            try:
+                asyncio.run_coroutine_threadsafe(_shutdown(), loop).result(10.0)
+            except Exception:
+                pass
+            self._server = None
+        if loop is not None:
+            loop.call_soon_threadsafe(loop.stop)
+            if self._loop_thread is not None:
+                self._loop_thread.join(10.0)
+            loop.close()
+            self._loop = None
+            self._loop_thread = None
+        for supervisor in self.supervisors:
+            supervisor.stop()
+        self.supervisors = []
+
+    # -- introspection & chaos ----------------------------------------------
+
+    @property
+    def base_url(self) -> str:
+        if self._bound is None:
+            raise ClusterError("cluster is not started")
+        host, port = self._bound
+        return f"http://{host}:{port}"
+
+    @property
+    def gateway_address(self) -> tuple[str, int]:
+        if self._bound is None:
+            raise ClusterError("cluster is not started")
+        return self._bound
+
+    def shard_port(self, shard: int) -> int | None:
+        return self.supervisors[shard].port
+
+    def kill_shard(self, shard: int) -> int:
+        """SIGKILL one shard worker (chaos); the supervisor restarts it."""
+        return self.supervisors[shard].kill()
+
+    def restarts(self) -> list[int]:
+        return [supervisor.restarts for supervisor in self.supervisors]
+
+    def __enter__(self) -> "ServingCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_cluster(config: ClusterConfig) -> ServingCluster:
+    """Build and start a cluster in one call."""
+    return ServingCluster(config).start()

@@ -1,0 +1,738 @@
+"""Asyncio gateway: one public HTTP front door over many shard workers.
+
+The gateway is the cluster's only HTTP surface.  It is a thin,
+stdlib-only ``asyncio.start_server`` loop speaking just enough HTTP/1.1
+(request line, headers, ``Content-Length`` bodies, keep-alive) to be a
+drop-in for the single-process server's endpoints, and it does four
+things per request:
+
+1. **admission** — a *global* :class:`AdmissionController` sheds excess
+   load with 429 + ``Retry-After`` before any shard is touched, using
+   the same cost model as the single-process engine;
+2. **routing** — ``/v1/select`` and ``/v1/narrow`` go to the shard that
+   owns the target item (``target: null`` is resolved here, against the
+   full corpus, to the exact product the single-process store would
+   pick, then pinned into the forwarded body);
+3. **fan-out** — ``/v1/ingest`` deltas go to *every* shard holding an
+   affected product (owner + comparative holders), ``/v1/snapshot`` and
+   the ``healthz``/``metrics`` aggregations go to all shards;
+4. **failure conversion** — a dead or restarting shard becomes 503 +
+   ``Retry-After`` (reason ``shard_unavailable``), never an uncaught
+   500, while requests routed to live shards keep succeeding.
+
+Success and error replies are relayed from the shard verbatim (the
+worker already emits the single-process server's exact payloads), which
+is what makes ``--shards N`` responses byte-identical to ``--shards 1``
+modulo provenance.  ``/v1/reload`` is the one deliberate gap: swapping
+corpora would change the partition itself, so cluster mode answers 501
+and operators restart with the new corpus instead.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from http.client import responses as _HTTP_REASONS
+from urllib.parse import parse_qs, urlparse
+
+from repro.data.corpus import Corpus
+from repro.data.instances import build_instance
+from repro.serve.admission import AdmissionController, Overloaded, request_cost
+from repro.serve.cluster.proto import (
+    FrameError,
+    read_frame_async,
+    write_frame_async,
+)
+from repro.serve.cluster.ring import HashRing, PartitionPlan
+from repro.serve.engine import InvalidRequest
+from repro.serve.http import BadRequest, encode_json, parse_request
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.store import UnviableTargetError
+from repro.serve.wal import review_from_record
+from repro.serve.jitter import NO_JITTER, RetryJitter
+
+#: Upper bound on a forwarded request's wait for its shard when the
+#: client sent no deadline; with a deadline the wait is deadline + margin.
+DEFAULT_SHARD_TIMEOUT = 120.0
+_SHARD_TIMEOUT_MARGIN = 5.0
+
+_MAX_HEADER_LINES = 100
+_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class ShardUnavailable(RuntimeError):
+    """The owning shard cannot be reached (crashed, restarting, hung)."""
+
+    def __init__(self, shard: int, detail: str) -> None:
+        super().__init__(
+            f"shard {shard} is unavailable ({detail}); retry shortly"
+        )
+        self.shard = shard
+
+
+class _HTTPError(Exception):
+    """Short-circuit to an error response while parsing/dispatching."""
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        *,
+        retry_after: float | None = None,
+        extra: dict | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+        self.extra = extra
+
+
+class ShardClient:
+    """A pooled framed-protocol client for one shard.
+
+    At most ``pool_size`` requests are in flight to the shard at once;
+    excess requests queue on the pool (they are already inside the
+    global admission window, so the queue is bounded).  Connections are
+    opened lazily and re-opened on demand, which is what lets a
+    supervisor-restarted shard — same port, new process — come back
+    without any gateway reconfiguration: the first request after the
+    restart just dials again.
+    """
+
+    def __init__(
+        self,
+        shard: int,
+        host: str,
+        port_fn,
+        *,
+        pool_size: int = 8,
+        connect_timeout: float = 2.0,
+    ) -> None:
+        self.shard = shard
+        self.host = host
+        self._port_fn = port_fn
+        self.connect_timeout = connect_timeout
+        self._slots: asyncio.Queue = asyncio.Queue()
+        for _ in range(pool_size):
+            self._slots.put_nowait(None)
+
+    async def request(self, message: dict, timeout: float | None = None) -> dict:
+        """One framed round-trip; raises :class:`ShardUnavailable` on failure.
+
+        A failed connection is never returned to the pool (a torn or
+        timed-out exchange leaves the stream desynchronised); its slot
+        goes back empty so the next request dials fresh.
+        """
+        conn = await self._slots.get()
+        try:
+            if conn is None:
+                port = self._port_fn()
+                if port is None:
+                    raise ShardUnavailable(self.shard, "not yet bound")
+                conn = await asyncio.wait_for(
+                    asyncio.open_connection(self.host, port),
+                    self.connect_timeout,
+                )
+            reader, writer = conn
+            await write_frame_async(writer, message)
+            reply = await asyncio.wait_for(
+                read_frame_async(reader),
+                timeout if timeout is not None else DEFAULT_SHARD_TIMEOUT,
+            )
+        except ShardUnavailable:
+            self._slots.put_nowait(None)
+            raise
+        except (OSError, FrameError, asyncio.TimeoutError, EOFError) as exc:
+            if conn is not None:
+                conn[1].close()
+            self._slots.put_nowait(None)
+            detail = type(exc).__name__ if not str(exc) else str(exc)
+            raise ShardUnavailable(self.shard, detail) from exc
+        else:
+            self._slots.put_nowait(conn)
+            return reply
+
+    async def aclose(self) -> None:
+        """Close every pooled connection (drains the pool non-blockingly)."""
+        while True:
+            try:
+                conn = self._slots.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            if conn is not None:
+                conn[1].close()
+
+
+class ClusterGateway:
+    """Routing, admission, fan-out, and aggregation over shard clients.
+
+    Pure asyncio — no threads of its own; the cluster controller decides
+    which event loop it runs on.  ``restart_total`` is a zero-arg
+    callable summing supervisor restarts (exposed as the
+    ``repro_shard_restart_total`` gauge).
+    """
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        plan: PartitionPlan,
+        ring: HashRing,
+        clients: list[ShardClient],
+        *,
+        admission: AdmissionController | None = None,
+        metrics: MetricsRegistry | None = None,
+        jitter: RetryJitter | None = None,
+        restart_total=None,
+    ) -> None:
+        if len(clients) != plan.shards:
+            raise ValueError(
+                f"plan has {plan.shards} shards but {len(clients)} clients given"
+            )
+        self.corpus = corpus
+        self.plan = plan
+        self.ring = ring
+        self.clients = clients
+        self.jitter = jitter or NO_JITTER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.admission = (
+            admission
+            if admission is not None
+            else AdmissionController(max_pending=256, jitter=self.jitter)
+        )
+        self.started_at = time.monotonic()
+        self._reviews = len(corpus.reviews)
+        # target=None resolution is memoised per (max_comparisons,
+        # min_reviews): the answer only changes with the corpus, and the
+        # cluster's corpus is fixed for the process lifetime.
+        self._default_targets: dict[tuple[int | None, int], str] = {}
+        self.metrics.gauge(
+            "repro_gateway_queue_depth",
+            lambda: self.admission.inflight,
+            "requests currently admitted into the gateway",
+        )
+        self.metrics.gauge(
+            "repro_shard_restart_total",
+            restart_total if restart_total is not None else (lambda: 0),
+            "supervisor restarts summed across shard workers",
+        )
+        self.metrics.gauge(
+            "repro_cluster_shards",
+            lambda: self.plan.shards,
+            "shard workers behind this gateway",
+        )
+
+    # -- routing helpers -----------------------------------------------------
+
+    def _default_target(self, max_comparisons: int | None, min_reviews: int) -> str:
+        """The id :meth:`ItemStore.default_target` would pick.
+
+        Re-implemented over the *full* corpus (no shard sees the whole
+        catalogue) with identical semantics: first product in corpus
+        order that forms a viable instance.
+        """
+        key = (max_comparisons, min_reviews)
+        cached = self._default_targets.get(key)
+        if cached is not None:
+            return cached
+        for product in self.corpus.products:
+            instance = build_instance(
+                self.corpus,
+                product.product_id,
+                max_comparisons=max_comparisons,
+                min_reviews=min_reviews,
+            )
+            if instance is not None:
+                self._default_targets[key] = product.product_id
+                return product.product_id
+        raise UnviableTargetError("no viable target item in the corpus")
+
+    def _shard_timeout(self, deadline_ms: float | None) -> float:
+        if deadline_ms is None:
+            return DEFAULT_SHARD_TIMEOUT
+        return deadline_ms / 1e3 + _SHARD_TIMEOUT_MARGIN
+
+    async def _call_shard(
+        self, shard: int, message: dict, timeout: float | None = None
+    ) -> dict:
+        self.metrics.counter(
+            "repro_shard_requests_total",
+            "requests dispatched to shard workers",
+            labels={"shard": str(shard)},
+        ).inc()
+        try:
+            return await self.clients[shard].request(message, timeout)
+        except ShardUnavailable:
+            self.metrics.counter(
+                "repro_shard_unavailable_total",
+                "dispatches that found the shard unreachable",
+                labels={"shard": str(shard)},
+            ).inc()
+            raise
+
+    def _relay(self, reply: dict) -> tuple[int, object, dict[str, str] | None]:
+        """Turn a shard reply frame into (status, payload, extra headers)."""
+        status = reply.get("status")
+        if not isinstance(status, int):
+            raise ShardUnavailable(-1, "malformed shard reply")
+        if status == 200:
+            return 200, reply.get("payload"), None
+        return self._error_response(
+            status,
+            str(reply.get("error", "shard error")),
+            retry_after=reply.get("retry_after"),
+            extra=reply.get("extra"),
+        )
+
+    def _error_response(
+        self,
+        status: int,
+        message: str,
+        *,
+        retry_after: float | None = None,
+        extra: dict | None = None,
+    ) -> tuple[int, object, dict[str, str] | None]:
+        """The single-process server's error body/headers, byte for byte."""
+        self.metrics.counter(
+            "repro_http_errors_total", "error responses by status",
+            labels={"status": str(status)},
+        ).inc()
+        payload: dict[str, object] = {"error": message, "status": status}
+        headers = None
+        if retry_after is not None:
+            headers = {"Retry-After": str(max(1, math.ceil(retry_after)))}
+            payload["retry_after"] = round(retry_after, 3)
+        if extra:
+            payload.update(extra)
+        return status, payload, headers
+
+    # -- endpoint handlers ---------------------------------------------------
+
+    async def _handle_query(
+        self, endpoint: str, body: dict, deadline_ms: float | None
+    ) -> tuple[int, object, dict[str, str] | None]:
+        narrow = endpoint == "narrow"
+        try:
+            request = parse_request(body, narrow)
+        except (BadRequest, TypeError) as exc:
+            return self._error_response(400, str(exc))
+        cost = request_cost(
+            endpoint,
+            request.m,
+            k=getattr(request, "k", 0),
+            stages=len(getattr(request, "stages", ())),
+            reviews=self._reviews,
+        )
+        try:
+            slot = self.admission.admit(cost)
+        except Overloaded as exc:
+            self.metrics.counter(
+                "repro_shed_total", "requests refused by admission control",
+                labels={"reason": exc.reason},
+            ).inc()
+            return self._error_response(
+                429, str(exc), retry_after=exc.retry_after,
+                extra={"reason": exc.reason},
+            )
+        with slot:
+            target = request.target
+            try:
+                if target is None:
+                    target = self._default_target(
+                        request.max_comparisons, request.min_reviews
+                    )
+                    body = {**body, "target": target}
+                if target not in self.plan.placement:
+                    return self._error_response(
+                        422, f"target {target!r} is not in the corpus"
+                    )
+            except (InvalidRequest, UnviableTargetError) as exc:
+                return self._error_response(422, str(exc))
+            shard = self.plan.owner(target)
+            message = {"op": "narrow" if narrow else "select", "body": body}
+            if deadline_ms is not None:
+                message["deadline_ms"] = deadline_ms
+            try:
+                reply = await self._call_shard(
+                    shard, message, self._shard_timeout(deadline_ms)
+                )
+            except ShardUnavailable as exc:
+                return self._error_response(
+                    503, str(exc), retry_after=self.jitter.apply(1.0),
+                    extra={"reason": "shard_unavailable", "shard": shard},
+                )
+            return self._relay(reply)
+
+    async def _handle_ingest(
+        self, body: dict
+    ) -> tuple[int, object, dict[str, str] | None]:
+        unknown = sorted(set(body) - {"reviews"})
+        if unknown:
+            return self._error_response(400, f"unknown fields: {unknown}")
+        reviews = body.get("reviews")
+        if not isinstance(reviews, list) or not reviews:
+            return self._error_response(
+                400,
+                "field 'reviews' (a non-empty list of review objects) "
+                "is required",
+            )
+        if not all(isinstance(entry, dict) for entry in reviews):
+            return self._error_response(
+                400, "every entry in 'reviews' must be an object"
+            )
+        # Mirror the store's validation order — parse every record, then
+        # reject unknown products and in-batch duplicates on the first
+        # offender — so the gateway 400s/409s read exactly like the
+        # single-process server's.  Existing-id conflicts can only be
+        # seen by the shards; their 409 is relayed below.
+        try:
+            parsed = [review_from_record(record) for record in reviews]
+        except ValueError as exc:
+            return self._error_response(400, str(exc))
+        groups: dict[int, list[dict]] = {}
+        seen: set[str] = set()
+        for review, record in zip(parsed, reviews):
+            if review.product_id not in self.plan.placement:
+                return self._error_response(
+                    400,
+                    f"review {review.review_id!r} references unknown "
+                    f"product {review.product_id!r}",
+                )
+            if review.review_id in seen:
+                return self._error_response(
+                    409, f"duplicate review id {review.review_id!r}"
+                )
+            seen.add(review.review_id)
+            for shard in self.plan.holders(review.product_id):
+                groups.setdefault(shard, []).append(record)
+
+        async def _one(shard: int, records: list[dict]):
+            try:
+                return shard, await self._call_shard(
+                    shard, {"op": "ingest", "reviews": records}
+                )
+            except ShardUnavailable as exc:
+                return shard, {
+                    "status": 503,
+                    "error": str(exc),
+                    "retry_after": self.jitter.apply(1.0),
+                    "extra": {"reason": "shard_unavailable", "shard": shard},
+                }
+
+        results = await asyncio.gather(
+            *(_one(shard, records) for shard, records in sorted(groups.items()))
+        )
+        failures = [
+            (shard, reply) for shard, reply in results if reply.get("status") != 200
+        ]
+        if failures:
+            # Relay the most retryable failure: 5xx (client should retry
+            # the whole batch; shard-level dedup makes the retry safe)
+            # over 409 over 400.  Partial application is possible and
+            # surfaced per shard so operators can reconcile.
+            shard, reply = max(failures, key=lambda item: item[1].get("status", 0))
+            status, payload, headers = self._error_response(
+                reply.get("status", 503),
+                str(reply.get("error", "shard error")),
+                retry_after=reply.get("retry_after"),
+                extra=reply.get("extra"),
+            )
+            if isinstance(payload, dict):
+                payload["shards"] = {
+                    str(s): r.get("status") for s, r in results
+                }
+            return status, payload, headers
+        affected: set[str] = set()
+        acks: dict[str, object] = {}
+        for shard, reply in results:
+            ack = reply.get("payload") or {}
+            acks[str(shard)] = ack
+            affected.update(ack.get("affected", ()))
+        return (
+            200,
+            {
+                "added": len(parsed),
+                "affected": sorted(affected),
+                "shards": acks,
+            },
+            None,
+        )
+
+    async def _handle_snapshot(self) -> tuple[int, object, dict[str, str] | None]:
+        async def _one(shard: int):
+            try:
+                return shard, await self._call_shard(shard, {"op": "snapshot"})
+            except ShardUnavailable as exc:
+                return shard, {"status": 503, "error": str(exc)}
+
+        results = await asyncio.gather(
+            *(_one(shard) for shard in range(self.plan.shards))
+        )
+        failures = [(s, r) for s, r in results if r.get("status") != 200]
+        if failures:
+            shard, reply = failures[0]
+            return self._error_response(
+                reply.get("status", 503),
+                str(reply.get("error", "shard error")),
+                extra={"shard": shard},
+            )
+        return (
+            200,
+            {"shards": {str(s): r.get("payload") for s, r in results}},
+            None,
+        )
+
+    async def _handle_healthz(self) -> tuple[int, object, dict[str, str] | None]:
+        async def _one(shard: int):
+            try:
+                reply = await self._call_shard(
+                    shard, {"op": "healthz"}, timeout=5.0
+                )
+            except ShardUnavailable as exc:
+                return shard, {"status": "down", "error": str(exc)}
+            payload = reply.get("payload") or {}
+            if reply.get("status") != 200 and "status" not in payload:
+                payload = {"status": "down", "error": reply.get("error")}
+            return shard, payload
+
+        results = await asyncio.gather(
+            *(_one(shard) for shard in range(self.plan.shards))
+        )
+        shards = {str(shard): view for shard, view in results}
+        all_ok = all(view.get("status") == "ok" for view in shards.values())
+        payload = {
+            # The gateway is alive either way; "degraded" names the state
+            # where at least one shard is down/draining and its targets
+            # answer 503 while the rest keep serving.
+            "status": "ok" if all_ok else "degraded",
+            "ring": self.ring.describe(),
+            "uptime_seconds": round(time.monotonic() - self.started_at, 3),
+            "inflight": self.admission.inflight,
+            "shards": shards,
+        }
+        return 200, payload, None
+
+    async def _handle_metrics(
+        self, prometheus: bool
+    ) -> tuple[int, object, dict[str, str] | None]:
+        async def _one(shard: int):
+            try:
+                reply = await self._call_shard(
+                    shard, {"op": "metrics"}, timeout=5.0
+                )
+            except ShardUnavailable as exc:
+                return shard, {"status": 503, "error": str(exc)}
+            return shard, reply
+
+        results = await asyncio.gather(
+            *(_one(shard) for shard in range(self.plan.shards))
+        )
+        if prometheus:
+            blocks = [self.metrics.render_prometheus()]
+            for shard, reply in results:
+                if reply.get("status") == 200:
+                    text = (reply.get("payload") or {}).get("prometheus", "")
+                    blocks.append(f"# ---- shard {shard} ----\n{text}")
+                else:
+                    blocks.append(f"# ---- shard {shard} unavailable ----\n")
+            return 200, "".join(blocks).encode(), None
+        shard_views: dict[str, object] = {}
+        for shard, reply in results:
+            if reply.get("status") == 200:
+                shard_views[str(shard)] = (reply.get("payload") or {}).get("json")
+            else:
+                shard_views[str(shard)] = {"error": reply.get("error")}
+        return 200, {"gateway": self.metrics.as_dict(), "shards": shard_views}, None
+
+    # -- HTTP plumbing -------------------------------------------------------
+
+    async def _dispatch(
+        self, method: str, path: str, headers: dict[str, str], body_bytes: bytes
+    ) -> tuple[int, object, dict[str, str] | None, str]:
+        """Returns (status, payload, extra headers, content type)."""
+        url = urlparse(path)
+        if method == "GET":
+            if url.path == "/healthz":
+                status, payload, extra = await self._handle_healthz()
+                return status, payload, extra, "application/json"
+            if url.path == "/metrics":
+                query = parse_qs(url.query)
+                wants_text = (
+                    query.get("format", [""])[0] == "prometheus"
+                    or "text/plain" in headers.get("accept", "")
+                )
+                status, payload, extra = await self._handle_metrics(wants_text)
+                content = (
+                    "text/plain; version=0.0.4" if wants_text
+                    else "application/json"
+                )
+                return status, payload, extra, content
+            if url.path in (
+                "/v1/select", "/v1/narrow", "/v1/reload", "/v1/ingest",
+                "/v1/snapshot",
+            ):
+                status, payload, extra = self._error_response(
+                    405, f"{url.path} requires POST"
+                )
+                return status, payload, extra, "application/json"
+            status, payload, extra = self._error_response(
+                404, f"unknown endpoint {url.path!r}"
+            )
+            return status, payload, extra, "application/json"
+        if method != "POST":
+            status, payload, extra = self._error_response(
+                405, f"method {method} is not supported"
+            )
+            return status, payload, extra, "application/json"
+        if url.path in ("/healthz", "/metrics"):
+            status, payload, extra = self._error_response(
+                405, f"{url.path} requires GET"
+            )
+            return status, payload, extra, "application/json"
+        if url.path == "/v1/reload":
+            status, payload, extra = self._error_response(
+                501,
+                "corpus reload is not supported in cluster mode; restart "
+                "the cluster with the new corpus (the partition depends "
+                "on it)",
+            )
+            return status, payload, extra, "application/json"
+        if url.path not in ("/v1/select", "/v1/narrow", "/v1/ingest", "/v1/snapshot"):
+            status, payload, extra = self._error_response(
+                404, f"unknown endpoint {url.path!r}"
+            )
+            return status, payload, extra, "application/json"
+        try:
+            deadline_ms = _parse_deadline(headers)
+            body = _parse_body(body_bytes)
+        except _HTTPError as exc:
+            status, payload, extra = self._error_response(
+                exc.status, str(exc), retry_after=exc.retry_after, extra=exc.extra
+            )
+            return status, payload, extra, "application/json"
+        if url.path == "/v1/ingest":
+            status, payload, extra = await self._handle_ingest(body)
+        elif url.path == "/v1/snapshot":
+            status, payload, extra = await self._handle_snapshot()
+        else:
+            endpoint = "narrow" if url.path == "/v1/narrow" else "select"
+            status, payload, extra = await self._handle_query(
+                endpoint, body, deadline_ms
+            )
+        return status, payload, extra, "application/json"
+
+    async def handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """One client connection: HTTP/1.1 with keep-alive."""
+        try:
+            while True:
+                parsed = await _read_http_request(reader)
+                if parsed is None:
+                    break
+                method, path, headers, body_bytes, close = parsed
+                try:
+                    status, payload, extra, content = await self._dispatch(
+                        method, path, headers, body_bytes
+                    )
+                except Exception as exc:  # pragma: no cover - backstop
+                    status, payload, extra = self._error_response(
+                        500, f"{type(exc).__name__}: {exc}"
+                    )
+                    content = "application/json"
+                body = payload if isinstance(payload, bytes) else encode_json(payload)
+                reason = _HTTP_REASONS.get(status, "Unknown")
+                head = [
+                    f"HTTP/1.1 {status} {reason}",
+                    f"Content-Type: {content}",
+                    f"Content-Length: {len(body)}",
+                    f"Connection: {'close' if close else 'keep-alive'}",
+                ]
+                for name, value in (extra or {}).items():
+                    head.append(f"{name}: {value}")
+                writer.write(
+                    ("\r\n".join(head) + "\r\n\r\n").encode() + body
+                )
+                await writer.drain()
+                if close:
+                    break
+        except (_HTTPError, ConnectionError, asyncio.IncompleteReadError):
+            pass  # malformed or torn connection: just drop it
+        except OSError:
+            pass
+        finally:
+            writer.close()
+
+    async def start(self, host: str, port: int) -> asyncio.base_events.Server:
+        """Bind and start serving; read the bound port off the result."""
+        return await asyncio.start_server(self.handle_connection, host, port)
+
+    async def aclose(self) -> None:
+        for client in self.clients:
+            await client.aclose()
+
+
+def _parse_deadline(headers: dict[str, str]) -> float | None:
+    raw = headers.get("x-deadline-ms")
+    if raw is None:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise _HTTPError(
+            400, f"X-Deadline-Ms must be a number, got {raw!r}"
+        ) from None
+    if value <= 0:
+        raise _HTTPError(400, f"X-Deadline-Ms must be positive, got {raw!r}")
+    return value
+
+
+def _parse_body(body_bytes: bytes) -> dict:
+    try:
+        body = json.loads(body_bytes or b"{}")
+    except json.JSONDecodeError as exc:
+        raise _HTTPError(400, f"invalid JSON body: {exc}") from None
+    if not isinstance(body, dict):
+        raise _HTTPError(400, "request body must be a JSON object")
+    return body
+
+
+async def _read_http_request(
+    reader: asyncio.StreamReader,
+):
+    """Parse one request; ``None`` on a clean EOF before a request line.
+
+    Returns ``(method, path, lowercase headers, body bytes, close)``.
+    Raises on malformed framing — the caller drops the connection, which
+    is the only safe answer when the byte stream cannot be trusted.
+    """
+    line = await reader.readline()
+    if not line:
+        return None
+    parts = line.decode("latin-1").rstrip("\r\n").split()
+    if len(parts) != 3:
+        raise _HTTPError(400, f"malformed request line: {line!r}")
+    method, path, version = parts
+    headers: dict[str, str] = {}
+    for _ in range(_MAX_HEADER_LINES):
+        raw = await reader.readline()
+        if raw in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = raw.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise _HTTPError(431, "too many header lines")
+    length_raw = headers.get("content-length", "0")
+    try:
+        length = int(length_raw)
+    except ValueError:
+        raise _HTTPError(400, f"invalid Content-Length: {length_raw!r}") from None
+    if not 0 <= length <= _MAX_BODY_BYTES:
+        raise _HTTPError(413, f"body of {length} bytes is not acceptable")
+    body = await reader.readexactly(length) if length else b""
+    close = (
+        headers.get("connection", "").lower() == "close"
+        or version.upper() == "HTTP/1.0"
+    )
+    return method, path, headers, body, close

@@ -1,0 +1,126 @@
+"""Length-prefixed JSON framing between the gateway and shard workers.
+
+The cluster's internal hop is deliberately simpler than HTTP: one frame
+is a 4-byte big-endian length followed by that many bytes of compact
+JSON (sorted keys — the same canonical encoding as
+:func:`repro.serve.http.encode_json`, so what a shard returns is what
+the gateway relays).  Requests and replies alternate one-for-one on a
+connection, which makes the client a trivial state machine: write one
+frame, read one frame.  Anything that breaks that rhythm — a torn
+frame, an oversized length, junk bytes — raises :class:`FrameError` and
+the connection is discarded, never resynchronised.
+
+Both sides of the hop live here: blocking helpers
+(:func:`send_frame`/:func:`recv_frame`) for the thread-per-connection
+shard worker, and coroutine helpers
+(:func:`read_frame_async`/:func:`write_frame_async`) for the asyncio
+gateway.  They share :func:`encode_frame`/:func:`decode_payload` so the
+wire format cannot drift between them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+
+_LENGTH = struct.Struct(">I")
+
+#: Refuse frames above this size (64 MiB): a corrupt or hostile length
+#: prefix must fail loudly instead of stalling a shard on a bogus read.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class FrameError(RuntimeError):
+    """The peer sent bytes that are not a well-formed frame."""
+
+
+def encode_frame(payload: dict) -> bytes:
+    """One wire frame: length prefix + canonical compact JSON."""
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    if len(body) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_payload(body: bytes) -> dict:
+    """The JSON object inside a frame body; anything else is a FrameError."""
+    try:
+        payload = json.loads(body)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise FrameError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise FrameError("frame body must be a JSON object")
+    return payload
+
+
+def _check_length(length: int) -> int:
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    return length
+
+
+# -- blocking side (shard worker) ---------------------------------------------
+
+
+def send_frame(sock: socket.socket, payload: dict) -> None:
+    sock.sendall(encode_frame(payload))
+
+
+def _recv_exact(sock: socket.socket, size: int) -> bytes | None:
+    """Read exactly ``size`` bytes; ``None`` on EOF at a frame boundary.
+
+    EOF *inside* a frame is a torn frame and raises — the distinction
+    lets a worker treat a client that hangs up between requests as a
+    normal disconnect.
+    """
+    chunks: list[bytes] = []
+    remaining = size
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if remaining == size:
+                return None
+            raise FrameError(
+                f"connection closed mid-frame ({size - remaining}/{size} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """The next frame on ``sock``; ``None`` when the peer hung up cleanly."""
+    header = _recv_exact(sock, _LENGTH.size)
+    if header is None:
+        return None
+    length = _check_length(_LENGTH.unpack(header)[0])
+    body = _recv_exact(sock, length) if length else b""
+    if body is None:  # EOF right after a length prefix is still torn
+        raise FrameError("connection closed between length prefix and body")
+    return decode_payload(body)
+
+
+# -- asyncio side (gateway) ---------------------------------------------------
+
+
+async def read_frame_async(reader: asyncio.StreamReader) -> dict:
+    """The next frame from ``reader``.
+
+    Unlike the blocking side, EOF is always an error here: the gateway
+    only reads when it is owed a reply, so any hangup means the shard
+    died mid-request.
+    """
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+        length = _check_length(_LENGTH.unpack(header)[0])
+        body = await reader.readexactly(length) if length else b""
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError("connection closed mid-frame") from exc
+    return decode_payload(body)
+
+
+async def write_frame_async(writer: asyncio.StreamWriter, payload: dict) -> None:
+    writer.write(encode_frame(payload))
+    await writer.drain()

@@ -1,0 +1,182 @@
+"""Consistent-hash routing and corpus partitioning for the shard cluster.
+
+Every request the cluster serves names one *target item* (``/v1/select``
+and ``/v1/narrow`` both do), so the natural unit of placement is the
+product id: :class:`HashRing` maps each id to exactly one owning shard.
+The ring is the classic construction — each shard contributes ``vnodes``
+pseudo-random points on a 64-bit circle, a key is owned by the first
+shard point at or clockwise of the key's own hash — with two properties
+the tests pin down:
+
+* **deterministic, seedable placement**: the points are SHA-256 digests
+  of ``(seed, shard, vnode)``, so the same ``(shards, vnodes, seed)``
+  triple always yields the same routing on every host and every run
+  (the gateway and the partitioner never have to exchange a table);
+* **bounded movement on resize**: growing ``N -> N+1`` shards only adds
+  points, so a key either keeps its owner or moves *to the new shard* —
+  never between old shards — and the expected moved fraction is
+  ``1/(N+1)``.
+
+:func:`partition_corpus` turns the routing into per-shard sub-corpora.
+A shard must be able to rebuild the *exact* instance the single-process
+store would build for its targets, and instance construction is a 1-hop
+neighbourhood: target ``T`` plus the in-corpus products on ``T``'s
+``also_bought`` list (see :func:`repro.data.instances.build_instance`).
+So shard ``i`` holds its owned products **plus** their candidate
+comparatives, with every included product's full review set, in corpus
+order — which is what makes cluster responses byte-identical to the
+single-process ones.  The returned :class:`PartitionPlan` also records
+``placement`` (product id -> every shard holding it), which the gateway
+uses to fan review deltas to all affected shards.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_left
+from dataclasses import dataclass
+from collections.abc import Iterable, Mapping
+
+from repro.data.corpus import Corpus
+
+_SPACE_BITS = 64
+_SPACE = 1 << _SPACE_BITS
+
+
+def _hash64(token: str) -> int:
+    """The ring position of ``token``: the first 8 bytes of its SHA-256."""
+    digest = hashlib.sha256(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Deterministic consistent-hash ring over ``shards`` shard ids.
+
+    ``route(key)`` returns the owning shard index in ``[0, shards)``.
+    Construction cost is ``O(shards * vnodes log(shards * vnodes))``;
+    routing is one hash plus a binary search.
+    """
+
+    def __init__(self, shards: int, *, vnodes: int = 64, seed: int = 7) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.shards = shards
+        self.vnodes = vnodes
+        self.seed = seed
+        points: list[tuple[int, int]] = []
+        for shard in range(shards):
+            for vnode in range(vnodes):
+                points.append(
+                    (_hash64(f"{seed}|vnode|{shard}|{vnode}"), shard)
+                )
+        points.sort()
+        self._points = [point for point, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    def route(self, key: str) -> int:
+        """The shard owning ``key`` (any string; product ids in practice)."""
+        position = _hash64(f"{self.seed}|key|{key}")
+        index = bisect_left(self._points, position)
+        if index == len(self._points):  # wrap past the last point
+            index = 0
+        return self._owners[index]
+
+    def resized(self, shards: int) -> "HashRing":
+        """A ring over ``shards`` shards with the same vnodes and seed.
+
+        Because points are keyed by ``(seed, shard, vnode)``, growing the
+        count only *adds* points: keys either keep their owner or move to
+        one of the new shards, which is the bounded-movement guarantee.
+        """
+        return HashRing(shards, vnodes=self.vnodes, seed=self.seed)
+
+    def describe(self) -> dict[str, int]:
+        """Introspection for logs and ``/healthz``."""
+        return {"shards": self.shards, "vnodes": self.vnodes, "seed": self.seed}
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """How one corpus is split across shards.
+
+    ``owned[i]`` are the product ids shard ``i`` answers target queries
+    for; ``placement[pid]`` is every shard holding ``pid`` (its owner
+    plus each shard that needs it as a comparative candidate) — the fan
+    set for a review delta to ``pid``.  ``corpora[i]`` is shard ``i``'s
+    sub-corpus: owned products + their in-corpus also-bought candidates,
+    full review sets, corpus order preserved.
+    """
+
+    shards: int
+    owned: tuple[tuple[str, ...], ...]
+    placement: Mapping[str, tuple[int, ...]]
+    corpora: tuple[Corpus, ...]
+
+    def holders(self, product_id: str) -> tuple[int, ...]:
+        """Every shard whose partition contains ``product_id``.
+
+        Raises ``KeyError`` for products outside the corpus — the
+        gateway maps that to the same 400 the single-process ingest
+        path produces for an unknown product.
+        """
+        return self.placement[product_id]
+
+    def owner(self, product_id: str) -> int:
+        """The shard that answers target queries for ``product_id``."""
+        return self.placement[product_id][0]
+
+
+def partition_corpus(corpus: Corpus, ring: HashRing) -> PartitionPlan:
+    """Split ``corpus`` into per-shard sub-corpora along ``ring``.
+
+    Each shard's include-set is the 1-hop closure of its owned products:
+    ownership is decided by the ring alone, and every in-corpus
+    ``also_bought`` candidate of an owned product rides along so the
+    shard can build byte-identical comparison instances.  Products and
+    reviews keep full-corpus order inside each sub-corpus — instance
+    construction is order-sensitive (candidate truncation, review
+    tuples), and preserving order is what keeps a 1-shard partition
+    literally equal to the input corpus.
+    """
+    include: list[set[str]] = [set() for _ in range(ring.shards)]
+    owned: list[list[str]] = [[] for _ in range(ring.shards)]
+    for product in corpus.products:
+        shard = ring.route(product.product_id)
+        owned[shard].append(product.product_id)
+        include[shard].add(product.product_id)
+        for candidate in product.also_bought:
+            if corpus.has_product(candidate):
+                include[shard].add(candidate)
+
+    placement: dict[str, tuple[int, ...]] = {}
+    for product in corpus.products:
+        pid = product.product_id
+        holder_set = [
+            shard for shard in range(ring.shards) if pid in include[shard]
+        ]
+        owner = ring.route(pid)
+        # The owner leads so PartitionPlan.owner() is a plain [0] index.
+        ordered = [owner] + [shard for shard in holder_set if shard != owner]
+        placement[pid] = tuple(ordered)
+
+    corpora = tuple(
+        _sub_corpus(corpus, include[shard]) for shard in range(ring.shards)
+    )
+    return PartitionPlan(
+        shards=ring.shards,
+        owned=tuple(tuple(ids) for ids in owned),
+        placement=placement,
+        corpora=corpora,
+    )
+
+
+def _sub_corpus(corpus: Corpus, include: Iterable[str]) -> Corpus:
+    """The sub-corpus of ``include`` products, full-corpus order preserved."""
+    wanted = set(include)
+    return Corpus(
+        corpus.name,
+        tuple(p for p in corpus.products if p.product_id in wanted),
+        tuple(r for r in corpus.reviews if r.product_id in wanted),
+    )

@@ -1,0 +1,325 @@
+"""Shard worker: one :class:`SelectionEngine` over one corpus partition.
+
+A shard is the single-process serving stack, minus HTTP: a durable
+engine (its own ``shard-{i}/`` state dir with WAL + snapshots, so PR-6
+crash recovery applies per shard) behind a thread-per-connection TCP
+server speaking the :mod:`repro.serve.cluster.proto` framing.  The
+gateway owns the public HTTP surface; the worker's job is to produce
+*exactly* the status code and payload the single-process server would
+have produced, which it does by reusing the HTTP layer's request
+parsing (:func:`repro.serve.http.parse_request`) and mirroring its
+exception taxonomy in :func:`classify_error`.
+
+Request frames are ``{"op": ..., ...}``; replies are either
+``{"status": 200, "payload": ...}`` or ``{"status": <4xx/5xx>,
+"error": ..., "retry_after"?: ..., "extra"?: {...}}`` — precisely the
+pieces :meth:`ServeHandler._send_error_json` would have assembled, so
+the gateway relays them without reinterpretation.
+
+:func:`shard_child_main` matches the :class:`~repro.serve.supervisor.
+Supervisor` child-entry contract (readiness over a pipe, SIGTERM drain,
+same-port rebind on restart), so shard crash-restarts ride the existing
+``RestartPolicy`` machinery unchanged.
+"""
+
+from __future__ import annotations
+
+import signal
+import socketserver
+import threading
+import time
+
+from repro.resilience.deadline import DeadlineExceeded, deadline_scope
+from repro.serve.admission import AdmissionController, Overloaded
+from repro.serve.breaker import CircuitOpen
+from repro.serve.cluster.proto import FrameError, recv_frame, send_frame
+from repro.serve.engine import (
+    EngineClosed,
+    EngineDraining,
+    InvalidRequest,
+    SelectionEngine,
+    build_durable_engine,
+)
+from repro.serve.health import DRAINING
+from repro.serve.http import BadRequest, parse_request
+from repro.serve.store import (
+    DeltaValidationError,
+    UnknownTargetError,
+    UnviableTargetError,
+)
+
+#: Engine-option keys the shard resolves itself rather than forwarding
+#: to ``SelectionEngine`` — admission is *injected* per shard (the
+#: ROADMAP's unlock), built from plain numbers so the options dict stays
+#: picklable across any multiprocessing start method.
+_ADMISSION_KEYS = ("max_pending", "rate_limit", "rate_burst")
+
+
+def classify_error(
+    exc: Exception, engine: SelectionEngine, *, ingest: bool
+) -> dict:
+    """Map an engine exception to the single-process HTTP error reply.
+
+    The order mirrors the ``except`` chains in ``ServeHandler.do_POST``
+    and ``_do_ingest`` — same statuses, same retry hints, same ``extra``
+    fields — so clients cannot tell a shard's error from the
+    single-process server's.
+    """
+    if isinstance(exc, BadRequest):
+        return {"status": 400, "error": str(exc)}
+    if isinstance(exc, DeltaValidationError):
+        return {"status": 409 if exc.conflict else 400, "error": str(exc)}
+    if not ingest and isinstance(exc, TypeError):
+        return {"status": 400, "error": str(exc)}
+    if isinstance(exc, (InvalidRequest, UnknownTargetError, UnviableTargetError)):
+        return {"status": 422, "error": str(exc)}
+    if isinstance(exc, Overloaded):
+        return {
+            "status": 429,
+            "error": str(exc),
+            "retry_after": exc.retry_after,
+            "extra": {"reason": exc.reason},
+        }
+    if isinstance(exc, EngineDraining):
+        return {
+            "status": 503,
+            "error": str(exc),
+            "retry_after": engine.jitter.apply(1.0),
+        }
+    if isinstance(exc, CircuitOpen):
+        return {
+            "status": 503,
+            "error": str(exc),
+            "retry_after": engine.jitter.apply(5.0),
+            "extra": {"reason": "circuit_open"},
+        }
+    if isinstance(exc, (DeadlineExceeded, EngineClosed)):
+        return {"status": 503, "error": str(exc)}
+    if ingest and isinstance(exc, OSError):
+        return {
+            "status": 503,
+            "error": f"cannot persist delta: {exc}",
+            "retry_after": engine.jitter.apply(2.0),
+            "extra": {"reason": "wal_unavailable"},
+        }
+    return {"status": 500, "error": f"{type(exc).__name__}: {exc}"}
+
+
+def _handle_query(engine: SelectionEngine, message: dict, narrow: bool) -> dict:
+    body = message.get("body")
+    if not isinstance(body, dict):
+        raise BadRequest("shard query frame must carry a 'body' object")
+    deadline_ms = message.get("deadline_ms")
+    if deadline_ms is not None and (
+        isinstance(deadline_ms, bool)
+        or not isinstance(deadline_ms, (int, float))
+        or deadline_ms <= 0
+    ):
+        raise BadRequest(f"deadline_ms must be a positive number, got {deadline_ms!r}")
+    request = parse_request(body, narrow)
+    with deadline_scope(None if deadline_ms is None else deadline_ms / 1e3):
+        response = engine.narrow(request) if narrow else engine.select(request)
+    return response.as_dict()
+
+
+def _handle_ingest(engine: SelectionEngine, message: dict) -> dict:
+    reviews = message.get("reviews")
+    if not isinstance(reviews, list) or not reviews:
+        raise BadRequest(
+            "field 'reviews' (a non-empty list of review objects) is required"
+        )
+    if not all(isinstance(entry, dict) for entry in reviews):
+        raise BadRequest("every entry in 'reviews' must be an object")
+    return engine.ingest_reviews(reviews)
+
+
+def _handle_healthz(engine: SelectionEngine, started_at: float) -> dict:
+    health = engine.health.view()
+    state = health["state"]
+    payload: dict = {
+        "status": "ok" if state == "healthy" else state,
+        "corpus_version": engine.store.version,
+        "uptime_seconds": round(time.monotonic() - started_at, 3),
+        "inflight": engine.admission.inflight,
+    }
+    if "reasons" in health:
+        payload["reasons"] = health["reasons"]
+    if engine.recovery is not None:
+        payload["recovery"] = engine.recovery.as_dict()
+    # Same split as the HTTP layer: draining answers 503 so the gateway
+    # stops routing here; everything else (including recovering) is 200.
+    return {"status": 503 if state == DRAINING else 200, "payload": payload}
+
+
+def handle_message(
+    engine: SelectionEngine, message: dict, *, started_at: float = 0.0
+) -> dict:
+    """One request frame in, one reply frame out (never raises)."""
+    op = message.get("op")
+    try:
+        if op in ("select", "narrow"):
+            return {
+                "status": 200,
+                "payload": _handle_query(engine, message, op == "narrow"),
+            }
+        if op == "ingest":
+            return {"status": 200, "payload": _handle_ingest(engine, message)}
+        if op == "healthz":
+            return _handle_healthz(engine, started_at)
+        if op == "metrics":
+            return {
+                "status": 200,
+                "payload": {
+                    "json": engine.metrics.as_dict(),
+                    "prometheus": engine.metrics.render_prometheus(),
+                },
+            }
+        if op == "snapshot":
+            try:
+                info = engine.snapshot()
+            except RuntimeError as exc:
+                return {"status": 409, "error": str(exc)}
+            return {
+                "status": 200,
+                "payload": {
+                    "path": str(info.path),
+                    "version": info.version,
+                    "wal_seq": info.wal_seq,
+                    "artifacts": info.artifacts,
+                },
+            }
+        if op == "ping":
+            return {"status": 200, "payload": {"version": engine.store.version}}
+        return {"status": 400, "error": f"unknown op {op!r}"}
+    except Exception as exc:
+        return classify_error(exc, engine, ingest=op == "ingest")
+
+
+class ShardServer(socketserver.ThreadingTCPServer):
+    """Framed-protocol TCP server around one shard engine.
+
+    ``allow_reuse_address`` matters operationally: after a SIGKILL the
+    supervisor respawns the shard on the *same* port (so the gateway's
+    address table never changes), and lingering TIME_WAIT connections
+    from the dead process must not block the rebind.
+    """
+
+    daemon_threads = True
+    allow_reuse_address = True
+    request_queue_size = 256
+
+    def __init__(self, address: tuple[str, int], engine: SelectionEngine) -> None:
+        super().__init__(address, _ShardConnection)
+        self.engine = engine
+        self.started_at = time.monotonic()
+
+
+class _ShardConnection(socketserver.BaseRequestHandler):
+    """One gateway connection: a loop of request frame -> reply frame."""
+
+    server: ShardServer
+
+    def handle(self) -> None:
+        sock = self.request
+        while True:
+            try:
+                message = recv_frame(sock)
+            except (FrameError, OSError):
+                return  # garbage or torn frame: drop the connection
+            if message is None:
+                return  # clean hangup between frames
+            reply = handle_message(
+                self.server.engine,
+                message,
+                started_at=self.server.started_at,
+            )
+            try:
+                send_frame(sock, reply)
+            except OSError:
+                return
+
+
+def shard_child_main(
+    state_dir: str,
+    corpus_path: str | None,
+    host: str,
+    port: int,
+    restarts: int,
+    options: dict,
+    conn,
+) -> None:
+    """Supervisor child entry point for one shard worker.
+
+    The mirror of :func:`repro.serve.supervisor._child_main` with the
+    HTTP server swapped for :class:`ShardServer`: recover the shard's
+    durable state, report ``{"port", "version", "recovery"}`` over the
+    pipe, serve frames until SIGTERM (drain, then exit).
+    """
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_DFL)
+    try:
+        engine = _build_shard_engine(
+            state_dir, corpus_path=corpus_path, restarts=restarts, options=options
+        )
+        server = ShardServer((host, port), engine)
+    except Exception as exc:
+        try:
+            conn.send({"error": f"{type(exc).__name__}: {exc}"})
+        finally:
+            conn.close()
+        raise
+    recovery = engine.recovery.as_dict() if engine.recovery else None
+    conn.send(
+        {
+            "port": server.server_address[1],
+            "version": engine.store.version,
+            "recovery": recovery,
+        }
+    )
+    conn.close()
+
+    def _terminate(signum, frame) -> None:
+        threading.Thread(
+            target=lambda: (engine.drain(10.0), server.shutdown()),
+            name="repro-shard-drain",
+            daemon=True,
+        ).start()
+
+    signal.signal(signal.SIGTERM, _terminate)
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+
+
+def _build_shard_engine(
+    state_dir: str,
+    *,
+    corpus_path: str | None,
+    restarts: int,
+    options: dict,
+) -> SelectionEngine:
+    """A durable engine with the shard's own injected admission control.
+
+    The gateway does the *global* shedding; the per-shard controller is
+    a deep backstop sized from the same knobs, so a single hot shard
+    degrades to 429s instead of an unbounded thread pile-up.
+    """
+    options = dict(options)
+    admission_options = {
+        key: options.pop(key) for key in _ADMISSION_KEYS if key in options
+    }
+    admission = None
+    if admission_options:
+        admission = AdmissionController(
+            max_pending=admission_options.get("max_pending") or 64,
+            rate=admission_options.get("rate_limit"),
+            burst=admission_options.get("rate_burst"),
+        )
+    return build_durable_engine(
+        state_dir,
+        corpus_path=corpus_path,
+        restarts=restarts,
+        admission=admission,
+        **options,
+    )

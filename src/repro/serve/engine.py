@@ -287,6 +287,7 @@ class SelectionEngine:
         self,
         store: ItemStore,
         *,
+        cache: ResultCache | None = None,
         cache_size: int = 256,
         ttl: float | None = None,
         workers: int = 4,
@@ -308,7 +309,13 @@ class SelectionEngine:
         if snapshot_every < 0:
             raise ValueError(f"snapshot_every must be >= 0, got {snapshot_every}")
         self.store = store
-        self.cache = ResultCache(max_size=cache_size, ttl=ttl)
+        # Every collaborator with process-wide state is injectable —
+        # store, cache, tier, admission, breakers — so a shard worker can
+        # assemble an engine over its own partition without hidden
+        # globals; ``cache_size``/``ttl`` only shape the default cache.
+        self.cache = (
+            cache if cache is not None else ResultCache(max_size=cache_size, ttl=ttl)
+        )
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.jitter = jitter or NO_JITTER
         self.admission = (

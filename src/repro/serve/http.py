@@ -129,6 +129,14 @@ def _parse_request(body: dict, narrow: bool) -> SelectRequest:
     return SelectRequest(**kwargs)
 
 
+# Shared with the cluster shard worker (repro.serve.cluster.worker): the
+# shard hop reuses the exact body validation, error taxonomy, and
+# canonical encoding, so a gateway response is byte-identical to the
+# single-process server's for the same request.
+BadRequest = _BadRequest
+parse_request = _parse_request
+
+
 class ServingHTTPServer(ThreadingHTTPServer):
     """ThreadingHTTPServer carrying the engine for its handlers."""
 

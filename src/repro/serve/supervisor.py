@@ -141,6 +141,7 @@ class Supervisor:
         policy: RestartPolicy | None = None,
         ready_timeout: float = 60.0,
         engine_options: dict | None = None,
+        child_main=None,
     ) -> None:
         self.state_dir = str(state_dir)
         self.corpus_path = None if corpus_path is None else str(corpus_path)
@@ -149,6 +150,13 @@ class Supervisor:
         self.policy = policy or RestartPolicy()
         self.ready_timeout = ready_timeout
         self.engine_options = dict(engine_options or {})
+        # The child entry point is injectable so other serving shapes —
+        # the cluster's framed-socket shard workers — reuse the crash
+        # watcher, backoff policy, and same-port rebind unchanged.  Any
+        # replacement must honour the same contract: serve on
+        # (host, port), send {"port", "version", "recovery"} or
+        # {"error": ...} over the pipe, and exit on SIGTERM.
+        self.child_main = child_main if child_main is not None else _child_main
         self._ctx = multiprocessing.get_context()
         self._lock = threading.Lock()
         self._process: multiprocessing.Process | None = None
@@ -180,7 +188,7 @@ class Supervisor:
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
         port = self._port if self._port is not None else self._requested_port
         process = self._ctx.Process(
-            target=_child_main,
+            target=self.child_main,
             args=(
                 self.state_dir,
                 self.corpus_path,

@@ -1,0 +1,150 @@
+"""Framing-protocol round-trips and failure modes (sync + asyncio)."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.serve.cluster import (
+    FrameError,
+    MAX_FRAME_BYTES,
+    encode_frame,
+    read_frame_async,
+    recv_frame,
+    send_frame,
+    write_frame_async,
+)
+from repro.serve.cluster.proto import decode_payload
+
+
+def _pair() -> tuple[socket.socket, socket.socket]:
+    return socket.socketpair()
+
+
+class TestSyncFraming:
+    def test_round_trip(self):
+        a, b = _pair()
+        payload = {"op": "select", "body": {"target": "T", "mu": 0.1}}
+        send_frame(a, payload)
+        assert recv_frame(b) == payload
+        a.close(), b.close()
+
+    def test_multiple_frames_in_sequence(self):
+        a, b = _pair()
+        for i in range(5):
+            send_frame(a, {"seq": i})
+        assert [recv_frame(b)["seq"] for _ in range(5)] == list(range(5))
+        a.close(), b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = _pair()
+        a.close()
+        assert recv_frame(b) is None
+        b.close()
+
+    def test_torn_frame_raises(self):
+        a, b = _pair()
+        frame = encode_frame({"op": "ping"})
+        a.sendall(frame[: len(frame) - 3])  # header + partial body
+        a.close()
+        with pytest.raises(FrameError):
+            recv_frame(b)
+        b.close()
+
+    def test_eof_after_length_prefix_raises(self):
+        a, b = _pair()
+        a.sendall(struct.pack(">I", 10))
+        a.close()
+        with pytest.raises(FrameError):
+            recv_frame(b)
+        b.close()
+
+    def test_oversized_length_raises(self):
+        a, b = _pair()
+        a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(FrameError):
+            recv_frame(b)
+        a.close(), b.close()
+
+    def test_non_json_body_raises(self):
+        a, b = _pair()
+        body = b"not json!"
+        a.sendall(struct.pack(">I", len(body)) + body)
+        with pytest.raises(FrameError):
+            recv_frame(b)
+        a.close(), b.close()
+
+    def test_non_object_body_raises(self):
+        with pytest.raises(FrameError):
+            decode_payload(b"[1,2,3]")
+
+    def test_unicode_payload(self):
+        a, b = _pair()
+        payload = {"text": "sehr gut ✓ über"}
+        send_frame(a, payload)
+        assert recv_frame(b) == payload
+        a.close(), b.close()
+
+
+class TestAsyncFraming:
+    def test_async_round_trip_against_sync_peer(self):
+        """The gateway (async) and worker (sync) speak the same bytes."""
+        server = socket.create_server(("127.0.0.1", 0))
+        port = server.getsockname()[1]
+        seen: dict = {}
+
+        def peer() -> None:
+            conn, _ = server.accept()
+            seen["request"] = recv_frame(conn)
+            send_frame(conn, {"status": 200, "payload": {"ok": True}})
+            conn.close()
+
+        thread = threading.Thread(target=peer, daemon=True)
+        thread.start()
+
+        async def client() -> dict:
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            await write_frame_async(writer, {"op": "ping"})
+            reply = await read_frame_async(reader)
+            writer.close()
+            return reply
+
+        reply = asyncio.run(client())
+        thread.join(5.0)
+        server.close()
+        assert seen["request"] == {"op": "ping"}
+        assert reply == {"status": 200, "payload": {"ok": True}}
+
+    def test_async_eof_mid_frame_raises(self):
+        server = socket.create_server(("127.0.0.1", 0))
+        port = server.getsockname()[1]
+
+        def peer() -> None:
+            conn, _ = server.accept()
+            conn.sendall(struct.pack(">I", 100) + b"partial")
+            conn.close()
+
+        thread = threading.Thread(target=peer, daemon=True)
+        thread.start()
+
+        async def client() -> None:
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            try:
+                with pytest.raises(FrameError):
+                    await read_frame_async(reader)
+            finally:
+                writer.close()
+
+        asyncio.run(client())
+        thread.join(5.0)
+        server.close()
+
+
+def test_encode_frame_is_canonical_json():
+    frame = encode_frame({"b": 1, "a": 2})
+    assert frame[4:] == b'{"a":2,"b":1}'
+    assert struct.unpack(">I", frame[:4])[0] == len(frame) - 4

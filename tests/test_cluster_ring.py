@@ -1,0 +1,141 @@
+"""Hash ring + corpus partitioning invariants for the serving cluster."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.synthetic import generate_corpus
+from repro.serve.cluster import HashRing, partition_corpus
+
+
+def _keys(n: int) -> list[str]:
+    return [f"ITEM{i:06d}" for i in range(n)]
+
+
+class TestHashRing:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+        with pytest.raises(ValueError):
+            HashRing(2, vnodes=0)
+
+    def test_deterministic_placement(self):
+        """Same (shards, vnodes, seed) => same routing, across instances."""
+        a = HashRing(5, vnodes=32, seed=13)
+        b = HashRing(5, vnodes=32, seed=13)
+        keys = _keys(500)
+        assert [a.route(k) for k in keys] == [b.route(k) for k in keys]
+
+    def test_seed_changes_placement(self):
+        a = HashRing(5, seed=1)
+        b = HashRing(5, seed=2)
+        keys = _keys(500)
+        assert [a.route(k) for k in keys] != [b.route(k) for k in keys]
+
+    def test_every_shard_gets_keys(self):
+        ring = HashRing(4, vnodes=64)
+        owners = {ring.route(k) for k in _keys(2000)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_resize_moves_about_one_over_n_keys(self):
+        """Growing N -> N+1 moves ~1/(N+1) of keys, and only to the new shard."""
+        keys = _keys(4000)
+        for n in (2, 4, 8):
+            before = HashRing(n, vnodes=128)
+            after = before.resized(n + 1)
+            moved = [k for k in keys if before.route(k) != after.route(k)]
+            # Consistent hashing's signature property: adding a shard only
+            # adds ring points, so every moved key moves TO the new shard.
+            assert all(after.route(k) == n for k in moved)
+            expected = 1.0 / (n + 1)
+            fraction = len(moved) / len(keys)
+            assert fraction <= expected * 1.6, (n, fraction)
+            assert fraction >= expected * 0.4, (n, fraction)
+
+    def test_resized_preserves_geometry(self):
+        ring = HashRing(3, vnodes=16, seed=99)
+        grown = ring.resized(4)
+        assert (grown.vnodes, grown.seed) == (16, 99)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        key=st.text(min_size=0, max_size=40),
+        shards=st.integers(min_value=1, max_value=12),
+    )
+    def test_property_every_key_routes_to_exactly_one_shard(self, key, shards):
+        ring = HashRing(shards, vnodes=8)
+        owner = ring.route(key)
+        assert 0 <= owner < shards
+        assert ring.route(key) == owner  # stable on repeat lookups
+
+    def test_describe(self):
+        assert HashRing(2, vnodes=8, seed=5).describe() == {
+            "shards": 2, "vnodes": 8, "seed": 5,
+        }
+
+
+class TestPartitionCorpus:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_corpus("Toy", scale=0.3, seed=11)
+
+    def test_owned_sets_partition_the_catalogue(self, corpus):
+        ring = HashRing(4)
+        plan = partition_corpus(corpus, ring)
+        all_owned = [pid for owned in plan.owned for pid in owned]
+        assert sorted(all_owned) == sorted(p.product_id for p in corpus.products)
+        assert len(all_owned) == len(set(all_owned))  # exactly one owner
+
+    def test_owner_matches_ring(self, corpus):
+        ring = HashRing(4)
+        plan = partition_corpus(corpus, ring)
+        for product in corpus.products:
+            assert plan.owner(product.product_id) == ring.route(product.product_id)
+
+    def test_shard_holds_one_hop_closure(self, corpus):
+        """A shard's corpus has every in-corpus candidate of its targets."""
+        ring = HashRing(4)
+        plan = partition_corpus(corpus, ring)
+        for shard, owned in enumerate(plan.owned):
+            held = {p.product_id for p in plan.corpora[shard].products}
+            for pid in owned:
+                assert pid in held
+                for candidate in corpus.product(pid).also_bought:
+                    if corpus.has_product(candidate):
+                        assert candidate in held, (shard, pid, candidate)
+
+    def test_placement_lists_every_holder(self, corpus):
+        ring = HashRing(4)
+        plan = partition_corpus(corpus, ring)
+        for shard, sub in enumerate(plan.corpora):
+            for product in sub.products:
+                assert shard in plan.holders(product.product_id)
+        for pid, holders in plan.placement.items():
+            assert holders[0] == ring.route(pid)
+            assert len(holders) == len(set(holders))
+
+    def test_sub_corpora_preserve_full_corpus_order(self, corpus):
+        ring = HashRing(3)
+        plan = partition_corpus(corpus, ring)
+        order = {p.product_id: i for i, p in enumerate(corpus.products)}
+        for sub in plan.corpora:
+            indices = [order[p.product_id] for p in sub.products]
+            assert indices == sorted(indices)
+            held = {p.product_id for p in sub.products}
+            expected_reviews = [
+                r.review_id for r in corpus.reviews if r.product_id in held
+            ]
+            assert [r.review_id for r in sub.reviews] == expected_reviews
+
+    def test_single_shard_partition_is_the_corpus(self, corpus):
+        plan = partition_corpus(corpus, HashRing(1))
+        assert plan.corpora[0].products == corpus.products
+        assert plan.corpora[0].reviews == corpus.reviews
+        assert plan.corpora[0].name == corpus.name
+
+    def test_holders_raises_for_unknown_product(self, corpus):
+        plan = partition_corpus(corpus, HashRing(2))
+        with pytest.raises(KeyError):
+            plan.holders("NOPE")

@@ -1,0 +1,216 @@
+"""Shard worker: op handling, error taxonomy, and the framed TCP server."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.data.instances import build_instance
+from repro.data.synthetic import generate_corpus
+from repro.serve.admission import AdmissionController, Overloaded
+from repro.serve.cluster import ShardServer, classify_error, handle_message
+from repro.serve.cluster.proto import recv_frame, send_frame
+from repro.serve.engine import EngineDraining, SelectionEngine
+from repro.serve.http import BadRequest
+from repro.serve.store import ItemStore, UnviableTargetError
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus("Toy", scale=0.3, seed=11)
+
+
+@pytest.fixture()
+def engine(corpus):
+    engine = SelectionEngine(ItemStore(corpus), workers=2)
+    yield engine
+    engine.close()
+
+
+@pytest.fixture(scope="module")
+def viable_target(corpus):
+    for product in corpus.products:
+        if build_instance(corpus, product.product_id, 10, min_reviews=3):
+            return product.product_id
+    raise AssertionError("toy corpus has no viable target")
+
+
+class TestHandleMessage:
+    def test_select_matches_engine(self, engine, viable_target):
+        reply = handle_message(
+            engine, {"op": "select", "body": {"target": viable_target}}
+        )
+        assert reply["status"] == 200
+        direct = engine.select(target=viable_target)
+        assert reply["payload"]["result"] == direct.as_dict()["result"]
+
+    def test_narrow(self, engine, viable_target):
+        reply = handle_message(
+            engine, {"op": "narrow", "body": {"target": viable_target, "k": 2}}
+        )
+        assert reply["status"] == 200
+        assert viable_target in reply["payload"]["result"]["core_product_ids"]
+
+    def test_unknown_op(self, engine):
+        reply = handle_message(engine, {"op": "explode"})
+        assert reply["status"] == 400
+        assert "unknown op" in reply["error"]
+
+    def test_missing_body(self, engine):
+        reply = handle_message(engine, {"op": "select"})
+        assert reply["status"] == 400
+
+    def test_unknown_field_is_400(self, engine):
+        reply = handle_message(engine, {"op": "select", "body": {"wat": 1}})
+        assert reply["status"] == 400
+        assert "unknown fields" in reply["error"]
+
+    def test_unknown_target_is_422(self, engine):
+        reply = handle_message(
+            engine, {"op": "select", "body": {"target": "NOPE"}}
+        )
+        assert reply["status"] == 422
+
+    def test_bad_deadline_is_400(self, engine, viable_target):
+        reply = handle_message(
+            engine,
+            {
+                "op": "select",
+                "body": {"target": viable_target},
+                "deadline_ms": -5,
+            },
+        )
+        assert reply["status"] == 400
+
+    def test_expired_deadline_is_503(self, engine, viable_target):
+        reply = handle_message(
+            engine,
+            {
+                "op": "select",
+                "body": {"target": viable_target, "mu": 0.31459},
+                "deadline_ms": 1e-6,
+            },
+        )
+        assert reply["status"] == 503
+
+    def test_ingest_ack_and_duplicate_conflict(self, engine, viable_target):
+        record = {
+            "review_id": "NEW-W1",
+            "product_id": viable_target,
+            "rating": 4.0,
+            "text": "solid build quality",
+            "mentions": [{"aspect": "build", "sentiment": 1}],
+        }
+        reply = handle_message(engine, {"op": "ingest", "reviews": [record]})
+        assert reply["status"] == 200
+        assert reply["payload"]["added"] == 1
+        dup = handle_message(engine, {"op": "ingest", "reviews": [record]})
+        assert dup["status"] == 409
+
+    def test_ingest_requires_review_list(self, engine):
+        assert handle_message(engine, {"op": "ingest"})["status"] == 400
+        assert (
+            handle_message(engine, {"op": "ingest", "reviews": [1]})["status"]
+            == 400
+        )
+
+    def test_healthz_payload(self, engine):
+        reply = handle_message(engine, {"op": "healthz"})
+        assert reply["status"] == 200
+        assert reply["payload"]["status"] == "ok"
+        assert reply["payload"]["corpus_version"] == engine.store.version
+
+    def test_metrics_has_both_renderings(self, engine):
+        reply = handle_message(engine, {"op": "metrics"})
+        assert reply["status"] == 200
+        assert "counters" in reply["payload"]["json"]
+        assert "repro_health_state" in reply["payload"]["prometheus"]
+
+    def test_snapshot_without_state_dir_is_409(self, engine):
+        assert handle_message(engine, {"op": "snapshot"})["status"] == 409
+
+    def test_ping(self, engine):
+        reply = handle_message(engine, {"op": "ping"})
+        assert reply == {
+            "status": 200,
+            "payload": {"version": engine.store.version},
+        }
+
+    def test_draining_engine_is_503(self, engine, viable_target):
+        engine.drain(0.5)
+        reply = handle_message(
+            engine, {"op": "select", "body": {"target": viable_target}}
+        )
+        assert reply["status"] == 503
+
+
+class TestClassifyError:
+    """The mapping mirrors the single-process HTTP layer's taxonomy."""
+
+    def test_statuses(self, engine):
+        cases = [
+            (BadRequest("nope"), False, 400),
+            (TypeError("bad kwarg"), False, 400),
+            (UnviableTargetError("thin"), False, 422),
+            (Overloaded("full", retry_after=0.25), False, 429),
+            (EngineDraining("draining"), False, 503),
+            (OSError("disk full"), True, 503),
+            (RuntimeError("boom"), False, 500),
+        ]
+        for exc, ingest, expected in cases:
+            reply = classify_error(exc, engine, ingest=ingest)
+            assert reply["status"] == expected, exc
+
+    def test_overload_carries_retry_hint_and_reason(self, engine):
+        reply = classify_error(
+            Overloaded("full", retry_after=0.25, reason="queue_full"),
+            engine,
+            ingest=False,
+        )
+        assert reply["retry_after"] == 0.25
+        assert reply["extra"] == {"reason": "queue_full"}
+
+    def test_ingest_oserror_is_wal_unavailable(self, engine):
+        reply = classify_error(OSError("no space"), engine, ingest=True)
+        assert reply["extra"] == {"reason": "wal_unavailable"}
+        # A query-path OSError has no WAL involved: backstop 500.
+        assert classify_error(OSError("x"), engine, ingest=False)["status"] == 500
+
+
+class TestShardServer:
+    def test_framed_round_trips_over_tcp(self, engine, viable_target):
+        server = ShardServer(("127.0.0.1", 0), engine)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            sock = socket.create_connection(server.server_address, timeout=10)
+            send_frame(sock, {"op": "ping"})
+            assert recv_frame(sock)["status"] == 200
+            send_frame(sock, {"op": "select", "body": {"target": viable_target}})
+            reply = recv_frame(sock)
+            assert reply["status"] == 200
+            assert reply["payload"]["result"]["target"] == viable_target
+            # Garbage on the wire drops the connection without killing
+            # the server; a fresh connection still works.
+            sock.sendall(b"\xff\xff\xff\xff garbage")
+            sock.close()
+            sock = socket.create_connection(server.server_address, timeout=10)
+            send_frame(sock, {"op": "ping"})
+            assert recv_frame(sock)["status"] == 200
+            sock.close()
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_per_shard_admission_is_injected(self, corpus):
+        engine = SelectionEngine(
+            ItemStore(corpus),
+            workers=2,
+            admission=AdmissionController(max_pending=1),
+        )
+        try:
+            assert engine.admission.max_pending == 1
+        finally:
+            engine.close()

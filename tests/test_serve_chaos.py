@@ -94,9 +94,11 @@ class TestDurabilityScenarios:
     """In-process durability scenarios (kill9 needs a child process and
     runs under `make recovery-smoke`; the rest are fast enough here)."""
 
-    def test_suite_covers_all_four_faults(self):
+    def test_suite_covers_all_faults(self):
         kinds = {scenario.kind for scenario in durability_suite()}
-        assert kinds == {"kill9", "torn-wal", "disk-full", "tier-outage"}
+        assert kinds == {
+            "kill9", "torn-wal", "disk-full", "tier-outage", "shard-kill",
+        }
         names = {s.name for s in all_scenarios()}
         # Both suites are reachable from the CLI's combined listing.
         assert "kill9-mid-ingest" in names

@@ -1,0 +1,333 @@
+"""End-to-end cluster tests: byte-identity vs single-process, failover.
+
+The acceptance bar for the cluster is behavioural transparency: the
+same corpus served with ``--shards 4`` must answer ``/v1/select`` and
+``/v1/narrow`` byte-identically to the single-process server (modulo
+provenance/timing), fan ingest to every holder, and convert a crashed
+shard into 503 + Retry-After for that shard's targets only.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.data.instances import build_instance
+from repro.data.io import save_corpus
+from repro.data.synthetic import generate_corpus
+from repro.serve.admission import AdmissionController
+from repro.serve.cluster import (
+    ClusterConfig,
+    ClusterGateway,
+    HashRing,
+    ServingCluster,
+    ShardClient,
+    partition_corpus,
+)
+from repro.serve.engine import SelectionEngine
+from repro.serve.http import make_server
+from repro.serve.store import ItemStore
+from repro.serve.supervisor import RestartPolicy
+
+SHARDS = 4
+
+
+def _post(base: str, path: str, body: dict, timeout: float = 120.0):
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _get(base: str, path: str, timeout: float = 60.0, headers: dict | None = None):
+    request = urllib.request.Request(base + path, headers=headers or {})
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus("Toy", scale=0.3, seed=11)
+
+
+@pytest.fixture(scope="module")
+def corpus_path(corpus, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cluster") / "corpus.jsonl"
+    save_corpus(corpus, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def viable_targets(corpus):
+    return [
+        p.product_id
+        for p in corpus.products
+        if build_instance(corpus, p.product_id, 10, min_reviews=3)
+    ]
+
+
+@pytest.fixture(scope="module")
+def single_base(corpus):
+    """The single-process reference server, in-process."""
+    engine = SelectionEngine(ItemStore(corpus), workers=2)
+    server = make_server(engine, "127.0.0.1", 0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{server.server_address[1]}"
+    server.shutdown()
+    server.server_close()
+    engine.close()
+
+
+@pytest.fixture(scope="module")
+def cluster(corpus_path, tmp_path_factory):
+    config = ClusterConfig(
+        corpus_path=corpus_path,
+        shards=SHARDS,
+        state_dir=tmp_path_factory.mktemp("cluster-state"),
+        engine_options={"workers": 2, "snapshot_every": 2},
+        restart_policy=RestartPolicy(base_delay=0.05, max_restarts=10),
+    )
+    with ServingCluster(config) as running:
+        yield running
+
+
+class TestByteIdentity:
+    def test_select_and_narrow_match_single_process(
+        self, cluster, single_base, viable_targets
+    ):
+        """--shards 4 responses == --shards 1 responses, result-for-result."""
+        checked = 0
+        for target in viable_targets[:5] + [None]:
+            for path, body in (
+                ("/v1/select", {"target": target, "mu": 0.15}),
+                ("/v1/select", {"target": target, "m": 2, "scheme": "binary"}),
+                ("/v1/narrow", {"target": target, "k": 2}),
+            ):
+                if target is None:
+                    body = {k: v for k, v in body.items() if k != "target"}
+                single_status, single_body = _post(single_base, path, body)
+                cluster_status, cluster_body = _post(
+                    cluster.base_url, path, body
+                )
+                assert single_status == cluster_status == 200, (path, body)
+                # Provenance differs (which process solved it, wall
+                # times); the result block must be byte-identical.
+                assert json.dumps(single_body["result"], sort_keys=True) == (
+                    json.dumps(cluster_body["result"], sort_keys=True)
+                ), (path, body)
+                checked += 1
+        assert checked == 18
+
+    def test_error_responses_match_single_process(self, cluster, single_base):
+        for path, body in (
+            ("/v1/select", {"target": "NOPE"}),
+            ("/v1/select", {"bogus": 1}),
+            ("/v1/select", {"m": 0}),
+            ("/v1/narrow", {"k": 0}),
+            ("/v1/ingest", {}),
+            ("/v1/ingest", {"reviews": "nope"}),
+        ):
+            single_status, single_body = _post(single_base, path, body)
+            cluster_status, cluster_body = _post(cluster.base_url, path, body)
+            assert single_status == cluster_status, (path, body)
+            assert single_body["error"] == cluster_body["error"], (path, body)
+
+
+class TestGatewayEndpoints:
+    def test_healthz_aggregates_all_shards(self, cluster):
+        status, raw = _get(cluster.base_url, "/healthz")
+        payload = json.loads(raw)
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert sorted(payload["shards"]) == [str(i) for i in range(SHARDS)]
+        assert payload["ring"]["shards"] == SHARDS
+
+    def test_metrics_json_and_prometheus(self, cluster):
+        status, raw = _get(cluster.base_url, "/metrics")
+        payload = json.loads(raw)
+        assert status == 200
+        assert set(payload) == {"gateway", "shards"}
+        counters = payload["gateway"]["counters"]
+        assert any(k.startswith("repro_shard_requests_total") for k in counters)
+        assert "repro_shard_restart_total" in payload["gateway"]["gauges"]
+        assert "repro_gateway_queue_depth" in payload["gateway"]["gauges"]
+        status, raw = _get(cluster.base_url, "/metrics?format=prometheus")
+        text = raw.decode()
+        assert status == 200
+        assert "repro_shard_requests_total" in text
+        for shard in range(SHARDS):
+            assert f"# ---- shard {shard} ----" in text
+
+    def test_ingest_fans_out_to_every_holder(self, cluster, viable_targets):
+        target = viable_targets[0]
+        holders = cluster.plan.holders(target)
+        record = {
+            "review_id": "NEW-E2E-1",
+            "product_id": target,
+            "rating": 5.0,
+            "text": "fantastic value",
+            "mentions": [{"aspect": "price", "sentiment": 1}],
+        }
+        status, ack = _post(cluster.base_url, "/v1/ingest", {"reviews": [record]})
+        assert status == 200
+        assert ack["added"] == 1
+        assert ack["affected"] == [target]
+        assert sorted(ack["shards"]) == sorted(str(s) for s in holders)
+        status, again = _post(
+            cluster.base_url, "/v1/ingest", {"reviews": [record]}
+        )
+        assert status == 409
+
+    def test_ingest_unknown_product_is_400(self, cluster):
+        status, body = _post(
+            cluster.base_url,
+            "/v1/ingest",
+            {"reviews": [{"review_id": "X", "product_id": "NOPE"}]},
+        )
+        assert status == 400
+        assert "unknown product" in body["error"]
+
+    def test_snapshot_fans_out(self, cluster):
+        status, body = _post(cluster.base_url, "/v1/snapshot", {})
+        assert status == 200
+        assert sorted(body["shards"]) == [str(i) for i in range(SHARDS)]
+
+    def test_reload_is_501_in_cluster_mode(self, cluster):
+        status, body = _post(cluster.base_url, "/v1/reload", {"path": "x"})
+        assert status == 501
+
+    def test_unknown_endpoint_and_method_mismatch(self, cluster):
+        status, _ = _get(cluster.base_url, "/nope")
+        assert status == 404
+        status, _ = _get(cluster.base_url, "/v1/select")
+        assert status == 405
+        status, _ = _post(cluster.base_url, "/healthz", {})
+        assert status == 405
+
+    def test_bad_deadline_header_is_400(self, cluster):
+        request = urllib.request.Request(
+            cluster.base_url + "/v1/select",
+            data=b"{}",
+            headers={"X-Deadline-Ms": "soon"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+
+class TestShardFailover:
+    """SIGKILL one shard: its targets 503, others serve, then it recovers.
+
+    Runs last in the module (classes execute in file order) so the
+    restart does not race the byte-identity assertions above.
+    """
+
+    def test_kill_one_shard_leaves_others_serving(self, cluster, viable_targets):
+        ring = cluster.ring
+        by_shard: dict[int, str] = {}
+        for target in viable_targets:
+            by_shard.setdefault(ring.route(target), target)
+        assert len(by_shard) >= 2, "toy corpus must span shards"
+        victim_shard, victim_target = next(iter(by_shard.items()))
+        other_shard, other_target = next(
+            (s, t) for s, t in by_shard.items() if s != victim_shard
+        )
+
+        cluster.kill_shard(victim_shard)
+        # During the outage: victim targets answer 503 + Retry-After
+        # (never a raw 500), other shards keep answering 200.
+        saw_unavailable = False
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            status, body = _post(
+                cluster.base_url, "/v1/select", {"target": victim_target}
+            )
+            assert status in (200, 503), body
+            if status == 503:
+                saw_unavailable = True
+                assert body["reason"] == "shard_unavailable"
+                assert "retry_after" in body
+                status, _ = _post(
+                    cluster.base_url, "/v1/select", {"target": other_target}
+                )
+                assert status == 200
+            else:
+                break
+            time.sleep(0.2)
+        assert saw_unavailable, "kill was absorbed before any request saw it"
+
+        # Recovery: the supervisor restarts the worker, which reopens
+        # its own snapshot+WAL state and serves again.
+        deadline = time.monotonic() + 30.0
+        status = None
+        while time.monotonic() < deadline:
+            status, _ = _post(
+                cluster.base_url, "/v1/select", {"target": victim_target}
+            )
+            if status == 200:
+                break
+            time.sleep(0.2)
+        assert status == 200
+        assert cluster.restarts()[victim_shard] >= 1
+        status, raw = _get(cluster.base_url, "/healthz")
+        payload = json.loads(raw)
+        recovery = payload["shards"][str(victim_shard)].get("recovery", {})
+        assert recovery.get("restarts", 0) >= 1
+
+
+class TestGatewayUnits:
+    """Direct gateway checks that need no running shard processes."""
+
+    @pytest.fixture()
+    def parts(self, corpus):
+        ring = HashRing(1)
+        plan = partition_corpus(corpus, ring)
+        client = ShardClient(0, "127.0.0.1", lambda: None)
+        return corpus, plan, ring, [client]
+
+    def test_default_target_matches_store(self, parts):
+        corpus, plan, ring, clients = parts
+        gateway = ClusterGateway(corpus, plan, ring, clients)
+        store = ItemStore(corpus)
+        assert gateway._default_target(10, 3) == store.default_target(10, 3)
+        assert gateway._default_target(10, 3) == store.default_target(10, 3)
+
+    def test_admission_sheds_before_any_dispatch(self, parts):
+        corpus, plan, ring, clients = parts
+        admission = AdmissionController(max_pending=1)
+        gateway = ClusterGateway(corpus, plan, ring, clients, admission=admission)
+        with admission.admit(0.0):  # saturate the queue
+            status, payload, headers = asyncio.run(
+                gateway._handle_query("select", {}, None)
+            )
+        assert status == 429
+        assert payload["reason"] == "queue_full"
+        assert headers and "Retry-After" in headers
+
+    def test_unreachable_shard_is_503_not_500(self, parts):
+        corpus, plan, ring, clients = parts
+        gateway = ClusterGateway(corpus, plan, ring, clients)
+        status, payload, headers = asyncio.run(
+            gateway._handle_query(
+                "select", {"target": corpus.products[0].product_id}, None
+            )
+        )
+        assert status == 503
+        assert payload["reason"] == "shard_unavailable"
+        assert headers and "Retry-After" in headers
