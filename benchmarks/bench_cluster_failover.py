@@ -1,0 +1,228 @@
+"""Bench: replication availability — reads through a kill and a resize.
+
+Boots real 3-shard :class:`~repro.serve.cluster.ServingCluster`
+topologies at ``replicas=1`` and ``replicas=2`` and measures what
+replication buys and what it costs:
+
+* **Kill availability** — SIGKILL one primary while client threads
+  hammer warmed reads on that shard's keys; report the fraction of
+  requests answered 200 during a fixed outage window.  At ``replicas=1``
+  the victim's keys 503 until the supervisor restarts the worker; at
+  ``replicas=2`` the gateway fails reads over to the replica, so the
+  bench asserts availability >= 0.99 and every non-200 stays inside
+  {429, 503}.
+* **Resize availability** — grow the ``replicas=2`` topology 3 -> 4
+  live under the same read hammer; every concurrent status must stay
+  inside {200, 429, 503} (503 only from the bounded ingest-stall /
+  handover window, always retryable).
+* **Cold-miss cost** — p50 latency of all-distinct cold selects on each
+  topology before any chaos, so the artefact records what the extra
+  replica fan-in costs on the read path (expected: ~nothing — reads go
+  to one shard either way).
+
+Archives ``results/BENCH_failover.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from benchmarks.conftest import RESULTS_DIR, emit
+from repro.data.instances import build_instance
+from repro.data.io import save_corpus
+from repro.data.synthetic import generate_corpus
+from repro.serve.cluster import ClusterConfig, ServingCluster
+from repro.serve.supervisor import RestartPolicy
+
+SHARDS = 3
+KILL_WINDOW_S = 3.0
+HAMMER_THREADS = 4
+COLD_REQUESTS = 12
+
+
+def _post(base: str, body: dict) -> int:
+    request = urllib.request.Request(
+        f"{base}/v1/select", data=json.dumps(body).encode()
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=300) as response:
+            response.read()
+            return response.status
+    except urllib.error.HTTPError as error:
+        error.read()
+        return error.code
+
+
+def _cold_p50_ms(base: str, targets: list[str]) -> float:
+    latencies = []
+    for index in range(COLD_REQUESTS):
+        body = {
+            "target": targets[index % len(targets)],
+            "mu": 0.1 + 0.003 * index,
+        }
+        begun = time.perf_counter()
+        status = _post(base, body)
+        assert status == 200, (status, body)
+        latencies.append(time.perf_counter() - begun)
+    latencies.sort()
+    return latencies[len(latencies) // 2] * 1e3
+
+
+def _hammer(base: str, targets: list[str], window_s: float) -> dict:
+    """Drive warmed reads from HAMMER_THREADS for ``window_s`` seconds."""
+    counts: dict[int, int] = {}
+    lock = threading.Lock()
+    stop_at = time.monotonic() + window_s
+
+    def loop() -> None:
+        index = 0
+        while time.monotonic() < stop_at:
+            status = _post(base, {"target": targets[index % len(targets)]})
+            with lock:
+                counts[status] = counts.get(status, 0) + 1
+            index += 1
+
+    threads = [threading.Thread(target=loop) for _ in range(HAMMER_THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    total = sum(counts.values())
+    return {
+        "requests": total,
+        "by_status": {str(status): n for status, n in sorted(counts.items())},
+        "availability": counts.get(200, 0) / total if total else 0.0,
+    }
+
+
+def run_failover_bench() -> dict:
+    corpus = generate_corpus("Toy", scale=0.3, seed=11)
+    viable = [
+        p.product_id
+        for p in corpus.products
+        if build_instance(corpus, p.product_id, 10, min_reviews=3)
+    ]
+    report: dict = {
+        "corpus": {"products": len(corpus.products),
+                   "reviews": len(corpus.reviews)},
+        "shards": SHARDS,
+        "kill_window_s": KILL_WINDOW_S,
+        "topologies": {},
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        corpus_path = Path(tmp) / "corpus.jsonl"
+        save_corpus(corpus, corpus_path)
+        for replicas in (1, 2):
+            config = ClusterConfig(
+                corpus_path=corpus_path,
+                shards=SHARDS,
+                replicas=replicas,
+                state_dir=Path(tmp) / f"replicas-{replicas}",
+                engine_options={"workers": 2},
+                restart_policy=RestartPolicy(base_delay=0.5, max_restarts=10),
+                resize_grace=0.2,
+            )
+            with ServingCluster(config) as cluster:
+                cold_p50 = _cold_p50_ms(cluster.base_url, viable)
+                victim = cluster.plan.preference(viable[0])[0]
+                victim_keys = [
+                    t for t in viable
+                    if cluster.plan.preference(t)[0] == victim
+                ] or viable[:1]
+                # Warm the victim keys (and their replicas) so the
+                # hammer measures availability, not solver latency.
+                for target in victim_keys:
+                    assert _post(cluster.base_url, {"target": target}) == 200
+                cluster.kill_shard(victim)
+                kill_stats = _hammer(
+                    cluster.base_url, victim_keys, KILL_WINDOW_S
+                )
+                entry = {
+                    "cold_p50_ms": cold_p50,
+                    "victim_keys": len(victim_keys),
+                    "kill": kill_stats,
+                }
+                if replicas == 2:
+                    # Wait out the restart, then grow live under load.
+                    deadline = time.monotonic() + 60.0
+                    while cluster.restarts()[victim] < 1:
+                        assert time.monotonic() < deadline
+                        time.sleep(0.2)
+                    resize_stats: dict = {}
+                    hammer_result: list[dict] = []
+                    thread = threading.Thread(
+                        target=lambda: hammer_result.append(
+                            _hammer(cluster.base_url, viable, KILL_WINDOW_S)
+                        )
+                    )
+                    begun = time.perf_counter()
+                    thread.start()
+                    cluster.resize(SHARDS + 1)
+                    resize_stats["resize_wall_s"] = time.perf_counter() - begun
+                    thread.join()
+                    resize_stats.update(hammer_result[0])
+                    entry["resize"] = resize_stats
+                report["topologies"][f"r{replicas}"] = entry
+    r1 = report["topologies"]["r1"]
+    r2 = report["topologies"]["r2"]
+    report["kill_availability_gain"] = (
+        r2["kill"]["availability"] - r1["kill"]["availability"]
+    )
+    report["cold_p50_delta_ms"] = r2["cold_p50_ms"] - r1["cold_p50_ms"]
+    return report
+
+
+def render(report: dict) -> str:
+    r1 = report["topologies"]["r1"]
+    r2 = report["topologies"]["r2"]
+    lines = [
+        f"Replication availability ({report['shards']} shards, "
+        f"{report['kill_window_s']:.0f}s SIGKILL window)",
+        f"{'topology':<10} {'cold p50 ms':>12} {'kill avail':>11} "
+        f"{'requests':>9}",
+    ]
+    for name, row in (("r1", r1), ("r2", r2)):
+        lines.append(
+            f"{name:<10} {row['cold_p50_ms']:>12.1f} "
+            f"{row['kill']['availability']:>10.1%} "
+            f"{row['kill']['requests']:>9}"
+        )
+    resize = r2["resize"]
+    lines.append(
+        f"live resize 3->4: {resize['resize_wall_s']:.2f}s wall, "
+        f"{resize['availability']:.1%} of {resize['requests']} concurrent "
+        f"reads answered 200 (rest {resize['by_status']})"
+    )
+    lines.append(
+        f"cold-miss p50 delta (r2 - r1): "
+        f"{report['cold_p50_delta_ms']:+.1f} ms"
+    )
+    return "\n".join(lines)
+
+
+def test_cluster_failover_availability(benchmark, capsys):
+    report = benchmark.pedantic(run_failover_bench, rounds=1, iterations=1)
+
+    r1 = report["topologies"]["r1"]
+    r2 = report["topologies"]["r2"]
+    # The replication guarantee: a dead primary is invisible to readers.
+    assert r2["kill"]["availability"] >= 0.99, r2["kill"]
+    assert set(r2["kill"]["by_status"]) <= {"200", "429", "503"}, r2["kill"]
+    # At replicas=1 the same kill must surface as 503s, never 5xx junk.
+    assert set(r1["kill"]["by_status"]) <= {"200", "429", "503"}, r1["kill"]
+    # Live resize never leaks a status outside the contract.
+    assert set(r2["resize"]["by_status"]) <= {"200", "429", "503"}, (
+        r2["resize"]
+    )
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_failover.json").write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    emit("cluster_failover", render(report), capsys)

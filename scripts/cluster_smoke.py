@@ -4,8 +4,10 @@ Boots the single-process server and a 2-shard cluster as real
 subprocesses (argv parsing, corpus partitioning, shard supervision, the
 asyncio gateway — the full path CI cares about) and asserts the cluster
 answers ``/v1/select`` and ``/v1/narrow`` byte-identically to the
-single-process reference, modulo provenance.  Exits non-zero on any
-failure.
+single-process reference, modulo provenance.  A second leg boots a
+3-shard ``--replicas 2`` cluster, SIGKILLs one shard worker, and
+asserts reads keep answering 200 throughout the outage (failover to a
+replica, never a 503).  Exits non-zero on any failure.
 
 Usage: PYTHONPATH=src python scripts/cluster_smoke.py
 """
@@ -50,6 +52,76 @@ def boot(argv: list[str], env: dict) -> tuple[subprocess.Popen, str]:
             break
     process.terminate()
     raise AssertionError(f"server never announced its address: {argv}")
+
+
+def worker_pids(server_pid: int) -> list[int]:
+    """PIDs of a serve process's shard workers (its direct children)."""
+    path = f"/proc/{server_pid}/task/{server_pid}/children"
+    try:
+        with open(path) as handle:
+            return [int(token) for token in handle.read().split()]
+    except OSError:
+        return []
+
+
+def replica_failover_leg(corpus: str, tmp: str, env: dict) -> None:
+    """Boot --shards 3 --replicas 2, SIGKILL one worker, reads stay 200."""
+    import signal
+
+    cluster, base = boot(
+        [sys.executable, "-m", "repro.cli", "serve", "--corpus", corpus,
+         "--shards", "3", "--replicas", "2", "--gateway-port", "0",
+         "--state-dir", os.path.join(tmp, "replica-state")],
+        env,
+    )
+    try:
+        # Targets spanning the ring: every product in the corpus.
+        targets = []
+        with open(corpus) as handle:
+            for line in handle:
+                record = json.loads(line)
+                if record.get("kind") == "product":
+                    targets.append(record["product_id"])
+        assert len(targets) >= 3, targets
+
+        # Warm every shard first so the post-kill loop issues fast
+        # (cached) reads that actually land inside the outage window.
+        for target in targets:
+            status, payload = post(f"{base}/v1/select", {"target": target, "m": 2})
+            assert status in (200, 422), (target, status, payload)
+
+        children = worker_pids(cluster.pid)
+        assert len(children) == 3, f"expected 3 shard workers, got {children}"
+        os.kill(children[0], signal.SIGKILL)
+
+        # During the outage + restart window every read must answer
+        # 200 (failover to the replica) or 422 (unviable target) —
+        # never 503, never a transport error.
+        checked = 0
+        deadline = time.monotonic() + 4.0
+        while time.monotonic() < deadline:
+            for target in targets:
+                status, payload = post(
+                    f"{base}/v1/select", {"target": target, "m": 2}
+                )
+                assert status in (200, 422), (target, status, payload)
+                checked += 1
+        assert checked > 0
+
+        # Prove at least one request actually crossed the failover path.
+        deadline = time.monotonic() + 30.0
+        while True:
+            status, raw = get_raw(f"{base}/metrics?format=prometheus")
+            assert status == 200
+            if "repro_failover_total" in raw.decode():
+                break
+            assert time.monotonic() < deadline, "no failover was recorded"
+            time.sleep(0.2)
+        print(f"cluster-smoke OK: {checked} reads served through a "
+              "SIGKILLed primary at replicas=2, zero 5xx")
+    finally:
+        cluster.terminate()
+        cluster.wait(timeout=30)
 
 
 def main() -> int:
@@ -105,11 +177,13 @@ def main() -> int:
 
             print(f"cluster-smoke OK: {checked}/{checked} responses "
                   "byte-identical across 1-shard and 2-shard topologies")
-            return 0
         finally:
             for process in (cluster, single):
                 process.terminate()
                 process.wait(timeout=30)
+
+        replica_failover_leg(corpus, tmp, env)
+        return 0
 
 
 if __name__ == "__main__":

@@ -187,6 +187,19 @@ def _command_serve(args: argparse.Namespace) -> int:
     if args.shards < 1:
         print(f"--shards must be >= 1, got {args.shards}", flush=True)
         return 2
+    if args.replicas < 1:
+        print(f"--replicas must be >= 1, got {args.replicas}", flush=True)
+        return 2
+    if args.replicas > args.shards:
+        print(
+            f"--replicas {args.replicas} cannot exceed --shards "
+            f"{args.shards} (each replica must land on a distinct shard)",
+            flush=True,
+        )
+        return 2
+    if args.hint_limit < 1:
+        print(f"--hint-limit must be >= 1, got {args.hint_limit}", flush=True)
+        return 2
     if args.shards > 1:
         # Cluster mode: supervised shard workers + asyncio gateway.  The
         # --shards 1 default falls through to the unchanged
@@ -267,6 +280,8 @@ def _serve_cluster(args: argparse.Namespace) -> int:
     config = ClusterConfig(
         corpus_path=args.corpus,
         shards=args.shards,
+        replicas=args.replicas,
+        hint_limit=args.hint_limit,
         host=args.host,
         gateway_port=(
             args.gateway_port if args.gateway_port is not None else args.port
@@ -299,7 +314,11 @@ def _serve_cluster(args: argparse.Namespace) -> int:
     shard_sizes = ", ".join(
         f"shard {i}: {len(owned)} items" for i, owned in enumerate(cluster.plan.owned)
     )
-    print(f"cluster of {args.shards} shards ({shard_sizes})", flush=True)
+    print(
+        f"cluster of {args.shards} shards, replicas={args.replicas} "
+        f"({shard_sizes})",
+        flush=True,
+    )
     print(f"serving on http://{host}:{port}", flush=True)
 
     stop = threading.Event()
@@ -631,6 +650,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--gateway-port", type=int, default=None, metavar="P",
         help="TCP port for the cluster gateway (default: --port); only "
              "meaningful with --shards > 1",
+    )
+    serve.add_argument(
+        "--replicas", type=int, default=1, metavar="R",
+        help="place every key on R shards (preference-list replication): "
+             "reads fail over to replicas when a shard is down and "
+             "ingest hints are queued for it; must be <= --shards "
+             "(default: 1, no replication)",
+    )
+    serve.add_argument(
+        "--hint-limit", type=int, default=512, metavar="H",
+        help="max hinted-handoff deltas queued per dead shard before "
+             "ingest for its keys answers 503 (default: 512)",
     )
     serve.set_defaults(handler=_command_serve)
 

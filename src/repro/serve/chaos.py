@@ -479,7 +479,9 @@ class DurabilityScenario:
     """One crash-recovery episode; ``kind`` picks the fault to inject."""
 
     name: str
-    kind: str  # "kill9" | "torn-wal" | "disk-full" | "tier-outage" | "shard-kill"
+    # "kill9" | "torn-wal" | "disk-full" | "tier-outage" | "shard-kill"
+    # | "replica-failover"
+    kind: str
     deltas: int = 5
     seed: int = 7
 
@@ -516,6 +518,9 @@ def durability_suite() -> tuple[DurabilityScenario, ...]:
         DurabilityScenario(name="wal-disk-full", kind="disk-full"),
         DurabilityScenario(name="cache-backend-outage", kind="tier-outage"),
         DurabilityScenario(name="shard-kill-mid-burst", kind="shard-kill"),
+        DurabilityScenario(
+            name="replica-failover-mid-burst", kind="replica-failover"
+        ),
     )
 
 
@@ -1013,12 +1018,182 @@ def _run_shard_kill(scenario: DurabilityScenario) -> DurabilityReport:
     )
 
 
+def _run_replica_failover(scenario: DurabilityScenario) -> DurabilityReport:
+    """SIGKILL a primary mid-burst at replicas=2: zero 503s, hints drain.
+
+    With every key on two shards, killing the primary of a key range
+    must cost latency only: selection reads for the victim's targets
+    fail over to the replica (byte-identical partition), so the burst
+    observes nothing outside {200, 429}.  An ingest during the outage is
+    acknowledged with the delta hinted for the dead shard; once the
+    supervisor brings it back, the gateway's drain loop must empty the
+    hint queue and the replica-divergence probe must report agreement.
+    """
+    from repro.serve.cluster import ClusterConfig, ServingCluster
+    from repro.serve.supervisor import RestartPolicy
+
+    violations: list[str] = []
+    details: dict[str, object] = {}
+    corpus = generate_corpus("Toy", scale=0.3, seed=scenario.seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        corpus_path = Path(tmp) / "corpus.jsonl"
+        save_corpus(corpus, corpus_path)
+        config = ClusterConfig(
+            corpus_path=corpus_path,
+            shards=3,
+            replicas=2,
+            state_dir=Path(tmp) / "cluster",
+            engine_options={"workers": 2, "snapshot_every": 2},
+            restart_policy=RestartPolicy(base_delay=0.05, max_restarts=3),
+            jitter_seed=scenario.seed,
+            hint_drain_interval=0.1,
+        )
+        with ServingCluster(config) as cluster:
+            base = cluster.base_url
+            plan = cluster.plan
+            assert plan is not None
+            victim_shard = plan.preference(corpus.products[0].product_id)[0]
+            victim_targets = [
+                product.product_id
+                for product in corpus.products
+                if plan.preference(product.product_id)[0] == victim_shard
+            ][:4]
+            details["victim_shard"] = victim_shard
+            details["victim_targets"] = len(victim_targets)
+
+            # Mid-burst kill: clients hammer the victim's keys while its
+            # primary dies; every answer must come from the replica.
+            outcomes: list[tuple[str, int] | tuple[str, str]] = []
+            lock = threading.Lock()
+            barrier = threading.Barrier(7)  # 6 clients + the killer
+
+            def _burst_client(index: int) -> None:
+                target = victim_targets[index % len(victim_targets)]
+                barrier.wait()
+                for round_ in range(5):
+                    mu = 0.1 + 0.001 * (index * 10 + round_)
+                    try:
+                        status, _ = _post(
+                            base, "/v1/select", {"target": target, "mu": mu}
+                        )
+                    except urllib.error.HTTPError as error:
+                        error.read()
+                        status = error.code
+                    except Exception as exc:
+                        with lock:
+                            outcomes.append((target, type(exc).__name__))
+                        continue
+                    with lock:
+                        outcomes.append((target, status))
+
+            clients = [
+                threading.Thread(target=_burst_client, args=(index,))
+                for index in range(6)
+            ]
+            for client in clients:
+                client.start()
+            barrier.wait()
+            time.sleep(0.05)  # let the burst land on the primary first
+            details["killed_pid"] = cluster.kill_shard(victim_shard)
+
+            # Ingest against a victim-owned product while its primary is
+            # down: the live replica acks, the dead shard gets a hint.
+            hint_review = _delta_review(9000, victim_targets[0])
+            try:
+                ingest_status, ack = _post(
+                    base, "/v1/ingest",
+                    {"reviews": [review_record(hint_review)]},
+                )
+            except urllib.error.HTTPError as error:
+                ingest_status = error.code
+                ack = json.loads(error.read() or b"{}")
+            details["outage_ingest_status"] = ingest_status
+            details["hinted"] = ack.get("hinted")
+            if ingest_status != 200:
+                violations.append(
+                    f"ingest during the outage answered {ingest_status}, "
+                    "expected 200 with a hint for the dead shard"
+                )
+            elif not ack.get("hinted"):
+                # The supervisor may already have the shard back — then
+                # no hint was needed and that is legal; only complain if
+                # it was provably down and still no hint was queued.
+                details["hinted"] = "none (shard already recovered)"
+
+            for client in clients:
+                client.join(timeout=120.0)
+
+            transport = [o for o in outcomes if isinstance(o[1], str)]
+            if transport:
+                violations.append(
+                    f"{len(transport)} transport error(s): {transport[:3]}"
+                )
+            statuses = sorted(
+                {o[1] for o in outcomes if isinstance(o[1], int)}
+            )
+            details["statuses"] = statuses
+            bad = [
+                o for o in outcomes
+                if isinstance(o[1], int) and o[1] not in (200, 429)
+            ]
+            if bad:
+                violations.append(
+                    f"{len(bad)} victim-key response(s) outside {{200, 429}} "
+                    f"during the kill: {sorted({o[1] for o in bad})} — "
+                    "failover must hide a dead primary"
+                )
+
+            # Recovery: the hint queue must drain to the restarted shard.
+            deadline = time.monotonic() + 60.0
+            depths = cluster.hint_depths()
+            while time.monotonic() < deadline:
+                depths = cluster.hint_depths()
+                if not depths and cluster.restarts()[victim_shard] >= 1:
+                    break
+                time.sleep(0.2)
+            details["hint_depths_after"] = dict(depths)
+            details["restarts"] = cluster.restarts()[victim_shard]
+            if depths:
+                violations.append(
+                    f"hint queue never drained after recovery: {depths}"
+                )
+            if cluster.restarts()[victim_shard] < 1:
+                violations.append("supervisor recorded no restart for the victim")
+
+            # Convergence: the replica group must agree on the hinted
+            # product (the divergence counter the tests pin at zero).
+            probe = cluster.check_replicas(victim_targets[0])
+            details["diverged"] = probe["diverged"]
+            if probe["diverged"]:
+                violations.append(
+                    f"replicas diverged after drain: {probe['replicas']}"
+                )
+            replica_states = [
+                ids for ids in probe["replicas"].values() if ids is not None
+            ]
+            if len(replica_states) < 2:
+                violations.append(
+                    "fewer than 2 replicas answered the divergence probe"
+                )
+            elif ingest_status == 200 and not any(
+                hint_review.review_id in ids for ids in replica_states
+            ):
+                violations.append(
+                    "the acknowledged outage delta is missing from every replica"
+                )
+    return DurabilityReport(
+        scenario=scenario.name, seed=scenario.seed,
+        violations=violations, details=details,
+    )
+
+
 _DURABILITY_RUNNERS = {
     "kill9": _run_kill9,
     "torn-wal": _run_torn_wal,
     "disk-full": _run_disk_full,
     "tier-outage": _run_tier_outage,
     "shard-kill": _run_shard_kill,
+    "replica-failover": _run_replica_failover,
 }
 
 

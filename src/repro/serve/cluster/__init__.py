@@ -2,13 +2,16 @@
 
 The cluster layer scales :mod:`repro.serve` horizontally without
 changing its contract: a :class:`HashRing` assigns every target item to
-one shard, each shard runs the full single-process engine (durable
-state, admission, breakers, caches) over its partition behind a framed
-local socket, and an asyncio :class:`ClusterGateway` fronts them with
-the same HTTP endpoints, global admission, ingest fan-out, aggregated
-health/metrics, and 503 + ``Retry-After`` while a crashed shard
-restarts.  ``repro serve --shards N`` boots the whole thing via
-:class:`ServingCluster`.
+a ``replicas``-long preference list of shards, each shard runs the full
+single-process engine (durable state, admission, breakers, caches) over
+its partition behind a framed local socket, and an asyncio
+:class:`ClusterGateway` fronts them with the same HTTP endpoints,
+global admission, ingest fan-out, aggregated health/metrics, read
+failover down the preference list, and durable hinted handoff
+(:class:`HintQueue`) for holders that are down mid-ingest.
+``repro serve --shards N --replicas R`` boots the whole thing via
+:class:`ServingCluster`, which can also :meth:`~ServingCluster.resize`
+the ring live under a gateway generation token.
 """
 
 from repro.serve.cluster.controller import (
@@ -21,7 +24,9 @@ from repro.serve.cluster.gateway import (
     ClusterGateway,
     ShardClient,
     ShardUnavailable,
+    Topology,
 )
+from repro.serve.cluster.hints import HintOverflow, HintQueue
 from repro.serve.cluster.proto import (
     FrameError,
     MAX_FRAME_BYTES,
@@ -33,6 +38,7 @@ from repro.serve.cluster.proto import (
 )
 from repro.serve.cluster.ring import HashRing, PartitionPlan, partition_corpus
 from repro.serve.cluster.worker import (
+    AppliedDeltaSeqs,
     ShardServer,
     classify_error,
     handle_message,
@@ -40,17 +46,21 @@ from repro.serve.cluster.worker import (
 )
 
 __all__ = [
+    "AppliedDeltaSeqs",
     "ClusterConfig",
     "ClusterError",
     "ClusterGateway",
     "FrameError",
     "HashRing",
+    "HintOverflow",
+    "HintQueue",
     "MAX_FRAME_BYTES",
     "PartitionPlan",
     "ServingCluster",
     "ShardClient",
     "ShardServer",
     "ShardUnavailable",
+    "Topology",
     "classify_error",
     "encode_frame",
     "handle_message",

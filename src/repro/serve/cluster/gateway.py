@@ -12,13 +12,30 @@ things per request:
 2. **routing** — ``/v1/select`` and ``/v1/narrow`` go to the shard that
    owns the target item (``target: null`` is resolved here, against the
    full corpus, to the exact product the single-process store would
-   pick, then pinned into the forwarded body);
+   pick, then pinned into the forwarded body); with ``replicas > 1``
+   the read *fails over* down the key's preference list when a shard is
+   unreachable, so a crashed primary costs latency, not availability —
+   the replica's answer is byte-identical because partitioning is, and
+   provenance gains ``served_by``/``failover: true`` so operators can
+   see it happened;
 3. **fan-out** — ``/v1/ingest`` deltas go to *every* shard holding an
-   affected product (owner + comparative holders), ``/v1/snapshot`` and
-   the ``healthz``/``metrics`` aggregations go to all shards;
+   affected product (owner + replicas + comparative holders); when a
+   holder is unreachable the delta is *hinted* — durably queued in a
+   :class:`~repro.serve.cluster.hints.HintQueue` and replayed once the
+   shard recovers (the worker's ``delta_seq`` idempotence makes replay
+   a no-op if the delta also arrived live) — ``/v1/snapshot`` and the
+   ``healthz``/``metrics`` aggregations go to all shards;
 4. **failure conversion** — a dead or restarting shard becomes 503 +
-   ``Retry-After`` (reason ``shard_unavailable``), never an uncaught
+   ``Retry-After`` (reason ``shard_unavailable``) only once every
+   replica in the preference list has been tried, never an uncaught
    500, while requests routed to live shards keep succeeding.
+
+Routing state lives in an immutable :class:`Topology` snapshot (ring +
+plan + shard clients under a monotonic *generation* token).  Every
+request captures the snapshot once and uses it throughout, and a live
+resize swaps the gateway's reference atomically on the event loop — a
+request observes exactly one epoch, which is what makes "never a
+wrong-shard answer" hold while the ring is being resized underneath.
 
 Success and error replies are relayed from the shard verbatim (the
 worker already emits the single-process server's exact payloads), which
@@ -34,12 +51,14 @@ import asyncio
 import json
 import math
 import time
+from dataclasses import dataclass
 from http.client import responses as _HTTP_REASONS
 from urllib.parse import parse_qs, urlparse
 
 from repro.data.corpus import Corpus
 from repro.data.instances import build_instance
 from repro.serve.admission import AdmissionController, Overloaded, request_cost
+from repro.serve.cluster.hints import HintOverflow, HintQueue
 from repro.serve.cluster.proto import (
     FrameError,
     read_frame_async,
@@ -50,7 +69,7 @@ from repro.serve.engine import InvalidRequest
 from repro.serve.http import BadRequest, encode_json, parse_request
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.store import UnviableTargetError
-from repro.serve.wal import review_from_record
+from repro.serve.wal import WriteAheadLog, review_from_record
 from repro.serve.jitter import NO_JITTER, RetryJitter
 
 #: Upper bound on a forwarded request's wait for its shard when the
@@ -60,6 +79,11 @@ _SHARD_TIMEOUT_MARGIN = 5.0
 
 _MAX_HEADER_LINES = 100
 _MAX_BODY_BYTES = 64 * 1024 * 1024
+
+_DIVERGENCE_HELP = (
+    "replica groups observed (or at risk of) holding different review "
+    "sets for a product"
+)
 
 
 class ShardUnavailable(RuntimeError):
@@ -98,7 +122,9 @@ class ShardClient:
     opened lazily and re-opened on demand, which is what lets a
     supervisor-restarted shard — same port, new process — come back
     without any gateway reconfiguration: the first request after the
-    restart just dials again.
+    restart just dials again, with seeded :class:`RetryJitter` backoff
+    between dial attempts so a reconnect herd after a restart spreads
+    out (deterministically under a fixed seed).
     """
 
     def __init__(
@@ -109,14 +135,52 @@ class ShardClient:
         *,
         pool_size: int = 8,
         connect_timeout: float = 2.0,
+        jitter: RetryJitter | None = None,
+        connect_retries: int = 2,
+        reconnect_base: float = 0.05,
     ) -> None:
         self.shard = shard
         self.host = host
         self._port_fn = port_fn
         self.connect_timeout = connect_timeout
+        self.jitter = jitter or NO_JITTER
+        self.connect_retries = connect_retries
+        self.reconnect_base = reconnect_base
         self._slots: asyncio.Queue = asyncio.Queue()
         for _ in range(pool_size):
             self._slots.put_nowait(None)
+
+    async def _dial(self):
+        """Open a connection, retrying with jittered exponential backoff.
+
+        Only connection *establishment* is retried.  A request that
+        failed mid-exchange is never resent from here — ingest is not
+        idempotent at this layer, and the preference-list failover above
+        owns read retries.
+        """
+        last: Exception | None = None
+        for attempt in range(self.connect_retries + 1):
+            if attempt:
+                await asyncio.sleep(
+                    self.jitter.apply(
+                        self.reconnect_base * (2 ** (attempt - 1))
+                    )
+                )
+            port = self._port_fn()
+            if port is None:
+                last = ShardUnavailable(self.shard, "not yet bound")
+                continue
+            try:
+                return await asyncio.wait_for(
+                    asyncio.open_connection(self.host, port),
+                    self.connect_timeout,
+                )
+            except (OSError, asyncio.TimeoutError) as exc:
+                last = exc
+        if isinstance(last, ShardUnavailable):
+            raise last
+        detail = type(last).__name__ if not str(last) else str(last)
+        raise ShardUnavailable(self.shard, detail) from last
 
     async def request(self, message: dict, timeout: float | None = None) -> dict:
         """One framed round-trip; raises :class:`ShardUnavailable` on failure.
@@ -128,13 +192,7 @@ class ShardClient:
         conn = await self._slots.get()
         try:
             if conn is None:
-                port = self._port_fn()
-                if port is None:
-                    raise ShardUnavailable(self.shard, "not yet bound")
-                conn = await asyncio.wait_for(
-                    asyncio.open_connection(self.host, port),
-                    self.connect_timeout,
-                )
+                conn = await self._dial()
             reader, writer = conn
             await write_frame_async(writer, message)
             reply = await asyncio.wait_for(
@@ -165,6 +223,50 @@ class ShardClient:
                 conn[1].close()
 
 
+@dataclass(frozen=True)
+class Topology:
+    """One immutable routing epoch: generation token + ring/plan/clients.
+
+    Every request captures the current topology exactly once and routes
+    against that snapshot for its whole lifetime, so a concurrent resize
+    can never hand one request two epochs.  The no-wrong-shard-answer
+    guarantee during a live resize is this immutability plus the fact
+    that :meth:`ClusterGateway.swap_topology` runs on the gateway's
+    event loop — a single reference assignment between requests.
+    """
+
+    generation: int
+    ring: HashRing
+    plan: PartitionPlan
+    clients: tuple[ShardClient, ...]
+
+
+def _annotate_failover(reply: dict, shard: int) -> dict:
+    """Stamp failover provenance into a 200 reply served by a replica.
+
+    The result block is untouched (byte-identity holds); only the
+    provenance — already process-specific — records which replica
+    answered and that it was not the primary.
+    """
+    if reply.get("status") != 200:
+        return reply
+    payload = reply.get("payload")
+    if not isinstance(payload, dict):
+        return reply
+    provenance = payload.get("provenance")
+    if not isinstance(provenance, dict):
+        provenance = {}
+    payload = {
+        **payload,
+        "provenance": {
+            **provenance,
+            "served_by": f"shard-{shard}",
+            "failover": True,
+        },
+    }
+    return {**reply, "payload": payload}
+
+
 class ClusterGateway:
     """Routing, admission, fan-out, and aggregation over shard clients.
 
@@ -172,6 +274,13 @@ class ClusterGateway:
     which event loop it runs on.  ``restart_total`` is a zero-arg
     callable summing supervisor restarts (exposed as the
     ``repro_shard_restart_total`` gauge).
+
+    Replication plumbing is optional so the gateway still runs bare in
+    unit tests: with ``hints``/``journal`` left ``None`` an unreachable
+    holder fails the ingest with 503 exactly as before, and no delta
+    journal is kept (which also means the cluster cannot live-resize).
+    ``shard_alive`` is a ``shard -> bool`` callable (the controller
+    wires it to the supervisors) gating hint drain to recovered shards.
     """
 
     def __init__(
@@ -185,15 +294,36 @@ class ClusterGateway:
         metrics: MetricsRegistry | None = None,
         jitter: RetryJitter | None = None,
         restart_total=None,
+        hints: HintQueue | None = None,
+        journal: WriteAheadLog | None = None,
+        shard_alive=None,
+        hint_drain_interval: float = 0.25,
     ) -> None:
         if len(clients) != plan.shards:
             raise ValueError(
                 f"plan has {plan.shards} shards but {len(clients)} clients given"
             )
         self.corpus = corpus
-        self.plan = plan
-        self.ring = ring
-        self.clients = clients
+        self._topology = Topology(1, ring, plan, tuple(clients))
+        self.hints = hints
+        self.journal = journal
+        self.shard_alive = shard_alive
+        self.hint_drain_interval = hint_drain_interval
+        self._drain_task: asyncio.Task | None = None
+        self._ingest_stalled = False
+        self._stall_reason = "resizing"
+        # The delta-sequence counter resumes past everything already
+        # journalled or hinted, so a gateway restart can never reissue a
+        # sequence number (idempotence on the workers depends on that).
+        seq = 0
+        if journal is not None:
+            for _, record in journal.replay(0):
+                raw = record.get("delta_seq", 0)
+                if isinstance(raw, int):
+                    seq = max(seq, raw)
+        if hints is not None:
+            seq = max(seq, hints.max_delta_seq())
+        self._delta_seq = seq
         self.jitter = jitter or NO_JITTER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.admission = (
@@ -205,7 +335,8 @@ class ClusterGateway:
         self._reviews = len(corpus.reviews)
         # target=None resolution is memoised per (max_comparisons,
         # min_reviews): the answer only changes with the corpus, and the
-        # cluster's corpus is fixed for the process lifetime.
+        # cluster's corpus is fixed for the process lifetime (a resize
+        # repartitions the same corpus, so the memo stays valid).
         self._default_targets: dict[tuple[int | None, int], str] = {}
         self.metrics.gauge(
             "repro_gateway_queue_depth",
@@ -219,9 +350,76 @@ class ClusterGateway:
         )
         self.metrics.gauge(
             "repro_cluster_shards",
-            lambda: self.plan.shards,
+            lambda: self._topology.plan.shards,
             "shard workers behind this gateway",
         )
+        self.metrics.gauge(
+            "repro_cluster_replicas",
+            lambda: self._topology.plan.replicas,
+            "replication factor of the current partition plan",
+        )
+        self.metrics.gauge(
+            "repro_ring_generation",
+            lambda: self._topology.generation,
+            "monotonic topology epoch; bumps on every live resize",
+        )
+        self.metrics.gauge(
+            "repro_hint_queue_depth",
+            lambda: self.hints.total() if self.hints is not None else 0,
+            "ingest deltas queued for unreachable shards",
+        )
+
+    # -- topology ------------------------------------------------------------
+
+    @property
+    def plan(self) -> PartitionPlan:
+        return self._topology.plan
+
+    @property
+    def ring(self) -> HashRing:
+        return self._topology.ring
+
+    @property
+    def clients(self) -> tuple[ShardClient, ...]:
+        return self._topology.clients
+
+    @property
+    def generation(self) -> int:
+        return self._topology.generation
+
+    def swap_topology(
+        self,
+        ring: HashRing,
+        plan: PartitionPlan,
+        clients: list[ShardClient] | tuple[ShardClient, ...],
+    ) -> int:
+        """Atomically flip to a new routing epoch; returns its generation.
+
+        Must run on the gateway's event loop (the controller uses
+        ``run_coroutine_threadsafe``) so the swap is serialised with
+        request dispatch.  Requests already in flight keep the snapshot
+        they captured; the controller keeps the old workers alive for a
+        grace period for exactly that reason.
+        """
+        if len(clients) != plan.shards:
+            raise ValueError(
+                f"plan has {plan.shards} shards but {len(clients)} clients given"
+            )
+        self._topology = Topology(
+            self._topology.generation + 1, ring, plan, tuple(clients)
+        )
+        return self._topology.generation
+
+    def set_ingest_stall(self, stalled: bool, *, reason: str = "resizing") -> None:
+        """Pause (or resume) ingest during the resize catch-up window.
+
+        Stalled ingests answer 503 + ``Retry-After`` — one of the
+        statuses the resize contract allows — while reads keep flowing;
+        the window only needs to cover the final journal catch-up replay
+        and the topology flip.
+        """
+        self._ingest_stalled = stalled
+        self._stall_reason = reason
 
     # -- routing helpers -----------------------------------------------------
 
@@ -254,7 +452,11 @@ class ClusterGateway:
         return deadline_ms / 1e3 + _SHARD_TIMEOUT_MARGIN
 
     async def _call_shard(
-        self, shard: int, message: dict, timeout: float | None = None
+        self,
+        topo: Topology,
+        shard: int,
+        message: dict,
+        timeout: float | None = None,
     ) -> dict:
         self.metrics.counter(
             "repro_shard_requests_total",
@@ -262,7 +464,7 @@ class ClusterGateway:
             labels={"shard": str(shard)},
         ).inc()
         try:
-            return await self.clients[shard].request(message, timeout)
+            return await topo.clients[shard].request(message, timeout)
         except ShardUnavailable:
             self.metrics.counter(
                 "repro_shard_unavailable_total",
@@ -336,6 +538,7 @@ class ClusterGateway:
                 extra={"reason": exc.reason},
             )
         with slot:
+            topo = self._topology
             target = request.target
             try:
                 if target is None:
@@ -343,30 +546,88 @@ class ClusterGateway:
                         request.max_comparisons, request.min_reviews
                     )
                     body = {**body, "target": target}
-                if target not in self.plan.placement:
+                if target not in topo.plan.placement:
                     return self._error_response(
                         422, f"target {target!r} is not in the corpus"
                     )
             except (InvalidRequest, UnviableTargetError) as exc:
                 return self._error_response(422, str(exc))
-            shard = self.plan.owner(target)
+            preference = topo.plan.preference(target)
             message = {"op": "narrow" if narrow else "select", "body": body}
             if deadline_ms is not None:
                 message["deadline_ms"] = deadline_ms
-            try:
-                reply = await self._call_shard(
-                    shard, message, self._shard_timeout(deadline_ms)
-                )
-            except ShardUnavailable as exc:
-                return self._error_response(
-                    503, str(exc), retry_after=self.jitter.apply(1.0),
-                    extra={"reason": "shard_unavailable", "shard": shard},
-                )
-            return self._relay(reply)
+            # Primary first, then failover down the preference list.
+            # Every listed shard holds a byte-identical instance closure
+            # for the target, so a replica's answer IS the primary's.
+            last_detail = "no replicas tried"
+            for position, shard in enumerate(preference):
+                try:
+                    reply = await self._call_shard(
+                        topo, shard, message, self._shard_timeout(deadline_ms)
+                    )
+                except ShardUnavailable as exc:
+                    last_detail = str(exc)
+                    continue
+                if (
+                    reply.get("status") == 503
+                    and position + 1 < len(preference)
+                ):
+                    # The shard answered but cannot serve (draining or
+                    # mid-recovery): same failover as an unreachable one.
+                    last_detail = str(reply.get("error", "shard answered 503"))
+                    continue
+                if position:
+                    self.metrics.counter(
+                        "repro_failover_total",
+                        "reads served by a non-primary replica",
+                        labels={
+                            "primary": str(preference[0]),
+                            "served_by": str(shard),
+                        },
+                    ).inc()
+                    reply = _annotate_failover(reply, shard)
+                return self._relay(reply)
+            return self._error_response(
+                503, last_detail, retry_after=self.jitter.apply(1.0),
+                extra={
+                    "reason": "shard_unavailable",
+                    "shard": preference[0],
+                    "replicas_tried": len(preference),
+                },
+            )
+
+    def _relay_ingest_failure(
+        self,
+        results: list[tuple[int, dict]],
+        failures: list[tuple[int, dict]],
+    ) -> tuple[int, object, dict[str, str] | None]:
+        """Today's partial-failure relay: the most retryable failure wins.
+
+        5xx (client should retry the whole batch; shard-level dedup
+        makes the retry safe) over 409 over 400.  Partial application is
+        possible and surfaced per shard so operators can reconcile.
+        """
+        shard, reply = max(failures, key=lambda item: item[1].get("status", 0))
+        status, payload, headers = self._error_response(
+            reply.get("status", 503),
+            str(reply.get("error", "shard error")),
+            retry_after=reply.get("retry_after"),
+            extra=reply.get("extra"),
+        )
+        if isinstance(payload, dict):
+            payload["shards"] = {str(s): r.get("status") for s, r in results}
+        return status, payload, headers
 
     async def _handle_ingest(
         self, body: dict
     ) -> tuple[int, object, dict[str, str] | None]:
+        if self._ingest_stalled:
+            return self._error_response(
+                503,
+                "ingest is paused while the ring resizes; retry shortly",
+                retry_after=self.jitter.apply(0.5),
+                extra={"reason": self._stall_reason},
+            )
         unknown = sorted(set(body) - {"reviews"})
         if unknown:
             return self._error_response(400, f"unknown fields: {unknown}")
@@ -390,10 +651,11 @@ class ClusterGateway:
             parsed = [review_from_record(record) for record in reviews]
         except ValueError as exc:
             return self._error_response(400, str(exc))
+        topo = self._topology
         groups: dict[int, list[dict]] = {}
         seen: set[str] = set()
         for review, record in zip(parsed, reviews):
-            if review.product_id not in self.plan.placement:
+            if review.product_id not in topo.plan.placement:
                 return self._error_response(
                     400,
                     f"review {review.review_id!r} references unknown "
@@ -404,70 +666,267 @@ class ClusterGateway:
                     409, f"duplicate review id {review.review_id!r}"
                 )
             seen.add(review.review_id)
-            for shard in self.plan.holders(review.product_id):
+            for shard in topo.plan.holders(review.product_id):
                 groups.setdefault(shard, []).append(record)
 
+        delta_seq: int | None = None
+        if self.journal is not None:
+            self._delta_seq += 1
+            delta_seq = self._delta_seq
+
         async def _one(shard: int, records: list[dict]):
+            message: dict[str, object] = {"op": "ingest", "reviews": records}
+            if delta_seq is not None:
+                message["delta_seq"] = delta_seq
             try:
-                return shard, await self._call_shard(
-                    shard, {"op": "ingest", "reviews": records}
-                )
+                return shard, await self._call_shard(topo, shard, message)
             except ShardUnavailable as exc:
                 return shard, {
                     "status": 503,
                     "error": str(exc),
                     "retry_after": self.jitter.apply(1.0),
                     "extra": {"reason": "shard_unavailable", "shard": shard},
+                    "unreachable": True,
                 }
 
         results = await asyncio.gather(
             *(_one(shard, records) for shard, records in sorted(groups.items()))
         )
-        failures = [
-            (shard, reply) for shard, reply in results if reply.get("status") != 200
+        acked = {s for s, r in results if r.get("status") == 200}
+        hard = [
+            (s, r)
+            for s, r in results
+            if r.get("status") != 200 and not r.get("unreachable")
         ]
-        if failures:
-            # Relay the most retryable failure: 5xx (client should retry
-            # the whole batch; shard-level dedup makes the retry safe)
-            # over 409 over 400.  Partial application is possible and
-            # surfaced per shard so operators can reconcile.
-            shard, reply = max(failures, key=lambda item: item[1].get("status", 0))
-            status, payload, headers = self._error_response(
-                reply.get("status", 503),
-                str(reply.get("error", "shard error")),
-                retry_after=reply.get("retry_after"),
-                extra=reply.get("extra"),
+        down = [(s, r) for s, r in results if r.get("unreachable")]
+        if hard or (down and self.hints is None):
+            # A shard-level rejection (400/409/...) or an unreachable
+            # holder with no hint queue configured: relay exactly as the
+            # unreplicated gateway did.
+            return self._relay_ingest_failure(results, hard + down)
+        hinted: list[int] = []
+        if down:
+            # Durability rule: every product must have reached at least
+            # one *preference* replica live — a hint plus the journal
+            # make the delta durable, but a product none of whose
+            # authoritative replicas applied it would be unreadable
+            # until a drain, so the client should retry instead.
+            for review in parsed:
+                if not set(topo.plan.preference(review.product_id)) & acked:
+                    return self._relay_ingest_failure(results, down)
+            try:
+                for shard, _reply in down:
+                    self.hints.add(shard, groups[shard], delta_seq)
+                    self.metrics.counter(
+                        "repro_hints_queued_total",
+                        "ingest deltas queued as hints for unreachable shards",
+                        labels={"shard": str(shard)},
+                    ).inc()
+                    hinted.append(shard)
+            except HintOverflow as exc:
+                return self._error_response(
+                    503, str(exc), retry_after=self.jitter.apply(2.0),
+                    extra={"reason": "hint_overflow", "shard": exc.shard},
+                )
+        if self.journal is not None:
+            # Journal-then-ack: the journal is the resize replay stream,
+            # so only deltas the client saw acknowledged may appear in
+            # it — and every acknowledged delta must.
+            self.journal.append(
+                {"kind": "delta", "reviews": list(reviews),
+                 "delta_seq": delta_seq}
             )
-            if isinstance(payload, dict):
-                payload["shards"] = {
-                    str(s): r.get("status") for s, r in results
-                }
-            return status, payload, headers
         affected: set[str] = set()
         acks: dict[str, object] = {}
         for shard, reply in results:
+            if reply.get("unreachable"):
+                acks[str(shard)] = {"hinted": True}
+                continue
             ack = reply.get("payload") or {}
             acks[str(shard)] = ack
             affected.update(ack.get("affected", ()))
-        return (
-            200,
-            {
-                "added": len(parsed),
-                "affected": sorted(affected),
-                "shards": acks,
-            },
-            None,
-        )
+        payload: dict[str, object] = {
+            "added": len(parsed),
+            "affected": sorted(affected),
+            "shards": acks,
+        }
+        if delta_seq is not None:
+            payload["delta_seq"] = delta_seq
+        if hinted:
+            payload["hinted"] = sorted(hinted)
+        return 200, payload, None
+
+    # -- hinted handoff ------------------------------------------------------
+
+    async def drain_hints(self) -> dict[int, int]:
+        """One drain pass: replay pending hints to recovered shards.
+
+        Returns ``{shard: hints delivered}``.  A 200 (applied, or the
+        worker's idempotent no-op) and a 409 (the review landed through
+        another path — the batch-atomic conflict backstop) both count as
+        delivered; a retryable refusal (429/503/unreachable) leaves the
+        queue intact for the next pass; anything else drops the hint and
+        counts ``repro_replica_divergence_total``, because that replica
+        can no longer converge through this queue.
+        """
+        if self.hints is None:
+            return {}
+        topo = self._topology
+        drained: dict[int, int] = {}
+        for shard in self.hints.shards_with_hints():
+            if shard >= len(topo.clients):
+                continue  # left the ring; the controller drops its queue
+            if self.shard_alive is not None and not self.shard_alive(shard):
+                continue
+            delivered = 0
+            upto = 0
+            for seq, payload in self.hints.pending(shard):
+                message: dict[str, object] = {
+                    "op": "ingest",
+                    "reviews": payload.get("reviews", []),
+                    "hinted": True,
+                }
+                if isinstance(payload.get("delta_seq"), int):
+                    message["delta_seq"] = payload["delta_seq"]
+                try:
+                    reply = await self._call_shard(topo, shard, message)
+                except ShardUnavailable:
+                    break
+                status = reply.get("status")
+                if status in (200, 409):
+                    upto = seq
+                    delivered += 1
+                elif status in (429, 503):
+                    break
+                else:
+                    upto = seq
+                    self.metrics.counter(
+                        "repro_replica_divergence_total", _DIVERGENCE_HELP
+                    ).inc()
+            if upto:
+                self.hints.mark_delivered(shard, upto)
+            if delivered:
+                drained[shard] = delivered
+                self.metrics.counter(
+                    "repro_hints_replayed_total",
+                    "hinted deltas delivered to recovered shards",
+                    labels={"shard": str(shard)},
+                ).inc(delivered)
+        return drained
+
+    async def replay_journal(
+        self,
+        plan: PartitionPlan,
+        clients,
+        targets: set[int],
+        after_seq: int = 0,
+    ) -> int:
+        """Stream journalled deltas into the ``targets`` shards of a new epoch.
+
+        This is the resize's "WAL tail": a fresh worker boots from the
+        new plan's sub-corpus (the snapshot) and this replay applies, in
+        original ack order, every delta the cluster acknowledged since —
+        routed with the *new* ``plan`` and sent only to ``targets`` (the
+        shards being built; live shards already hold everything).
+        Frames are marked ``hinted`` with their original ``delta_seq``
+        so a re-run or an overlap with a hint drain is a no-op.  Returns
+        the last journal sequence replayed; a second call with that as
+        ``after_seq`` is the catch-up pass under the ingest stall.
+        Raises :class:`ShardUnavailable` or ``RuntimeError`` if a target
+        cannot apply a delta — the caller aborts the resize and keeps
+        the old topology.
+        """
+        if self.journal is None:
+            return after_seq
+        last = after_seq
+        for seq, record in self.journal.replay(after_seq):
+            last = seq
+            reviews = record.get("reviews") or []
+            delta_seq = record.get("delta_seq")
+            groups: dict[int, list[dict]] = {}
+            for entry in reviews:
+                pid = entry.get("product_id")
+                for shard in plan.placement.get(pid, ()):
+                    if shard in targets:
+                        groups.setdefault(shard, []).append(entry)
+            for shard, records in sorted(groups.items()):
+                message: dict[str, object] = {
+                    "op": "ingest", "reviews": records, "hinted": True,
+                }
+                if isinstance(delta_seq, int):
+                    message["delta_seq"] = delta_seq
+                reply = await clients[shard].request(message)
+                if reply.get("status") not in (200, 409):
+                    raise RuntimeError(
+                        f"journal replay of delta_seq={delta_seq} to shard "
+                        f"{shard} failed: {reply.get('error', reply)}"
+                    )
+        return last
+
+    async def _drain_hints_forever(self) -> None:
+        while True:
+            await asyncio.sleep(self.hint_drain_interval)
+            try:
+                await self.drain_hints()
+            except Exception:  # pragma: no cover - backstop
+                pass  # the drain loop must outlive any one bad pass
+
+    async def check_replicas(self, product_id: str) -> dict:
+        """Read-repair-style probe: do the replicas agree on a product?
+
+        Asks every shard in the product's preference list for its
+        review-id list and compares.  Divergence among the *reachable*
+        replicas increments ``repro_replica_divergence_total`` — the
+        counter the convergence tests assert stays at zero after a
+        kill/drain cycle.
+        """
+        topo = self._topology
+        preference = topo.plan.preference(product_id)
+        states: dict[str, object] = {}
+        live: list[tuple] = []
+        for shard in preference:
+            try:
+                reply = await self._call_shard(
+                    topo,
+                    shard,
+                    {"op": "product_state", "product_id": product_id},
+                    timeout=5.0,
+                )
+            except ShardUnavailable:
+                states[str(shard)] = None
+                continue
+            if reply.get("status") != 200:
+                states[str(shard)] = None
+                continue
+            ids = (reply.get("payload") or {}).get("review_ids") or []
+            states[str(shard)] = ids
+            live.append(tuple(ids))
+        diverged = len(set(live)) > 1
+        if diverged:
+            self.metrics.counter(
+                "repro_replica_divergence_total", _DIVERGENCE_HELP
+            ).inc()
+        return {
+            "product_id": product_id,
+            "replicas": states,
+            "diverged": diverged,
+        }
+
+    # -- aggregations --------------------------------------------------------
 
     async def _handle_snapshot(self) -> tuple[int, object, dict[str, str] | None]:
+        topo = self._topology
+
         async def _one(shard: int):
             try:
-                return shard, await self._call_shard(shard, {"op": "snapshot"})
+                return shard, await self._call_shard(
+                    topo, shard, {"op": "snapshot"}
+                )
             except ShardUnavailable as exc:
                 return shard, {"status": 503, "error": str(exc)}
 
         results = await asyncio.gather(
-            *(_one(shard) for shard in range(self.plan.shards))
+            *(_one(shard) for shard in range(topo.plan.shards))
         )
         failures = [(s, r) for s, r in results if r.get("status") != 200]
         if failures:
@@ -484,10 +943,12 @@ class ClusterGateway:
         )
 
     async def _handle_healthz(self) -> tuple[int, object, dict[str, str] | None]:
+        topo = self._topology
+
         async def _one(shard: int):
             try:
                 reply = await self._call_shard(
-                    shard, {"op": "healthz"}, timeout=5.0
+                    topo, shard, {"op": "healthz"}, timeout=5.0
                 )
             except ShardUnavailable as exc:
                 return shard, {"status": "down", "error": str(exc)}
@@ -497,36 +958,46 @@ class ClusterGateway:
             return shard, payload
 
         results = await asyncio.gather(
-            *(_one(shard) for shard in range(self.plan.shards))
+            *(_one(shard) for shard in range(topo.plan.shards))
         )
         shards = {str(shard): view for shard, view in results}
         all_ok = all(view.get("status") == "ok" for view in shards.values())
         payload = {
             # The gateway is alive either way; "degraded" names the state
             # where at least one shard is down/draining and its targets
-            # answer 503 while the rest keep serving.
+            # answer from replicas (or 503 at replicas=1) while the rest
+            # keep serving.
             "status": "ok" if all_ok else "degraded",
-            "ring": self.ring.describe(),
+            "ring": topo.ring.describe(),
+            "generation": topo.generation,
+            "replicas": topo.plan.replicas,
             "uptime_seconds": round(time.monotonic() - self.started_at, 3),
             "inflight": self.admission.inflight,
             "shards": shards,
         }
+        if self.hints is not None:
+            payload["hints"] = {
+                str(shard): self.hints.depth(shard)
+                for shard in self.hints.shards_with_hints()
+            }
         return 200, payload, None
 
     async def _handle_metrics(
         self, prometheus: bool
     ) -> tuple[int, object, dict[str, str] | None]:
+        topo = self._topology
+
         async def _one(shard: int):
             try:
                 reply = await self._call_shard(
-                    shard, {"op": "metrics"}, timeout=5.0
+                    topo, shard, {"op": "metrics"}, timeout=5.0
                 )
             except ShardUnavailable as exc:
                 return shard, {"status": 503, "error": str(exc)}
             return shard, reply
 
         results = await asyncio.gather(
-            *(_one(shard) for shard in range(self.plan.shards))
+            *(_one(shard) for shard in range(topo.plan.shards))
         )
         if prometheus:
             blocks = [self.metrics.render_prometheus()]
@@ -666,10 +1137,22 @@ class ClusterGateway:
 
     async def start(self, host: str, port: int) -> asyncio.base_events.Server:
         """Bind and start serving; read the bound port off the result."""
-        return await asyncio.start_server(self.handle_connection, host, port)
+        server = await asyncio.start_server(self.handle_connection, host, port)
+        if self.hints is not None and self._drain_task is None:
+            self._drain_task = asyncio.get_running_loop().create_task(
+                self._drain_hints_forever()
+            )
+        return server
 
     async def aclose(self) -> None:
-        for client in self.clients:
+        if self._drain_task is not None:
+            self._drain_task.cancel()
+            try:
+                await self._drain_task
+            except asyncio.CancelledError:
+                pass
+            self._drain_task = None
+        for client in self._topology.clients:
             await client.aclose()
 
 

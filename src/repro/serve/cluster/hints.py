@@ -1,0 +1,174 @@
+"""Hinted handoff: a bounded, WAL-persisted hint queue per dead shard.
+
+When the gateway fans a review delta to a replica group and one member
+is unreachable, failing the whole write would make every shard crash an
+ingest outage — the opposite of what replication buys.  Instead the
+gateway *hints*: the missed delta is appended to a per-shard durable
+queue (fsync-before-ack, the same discipline as the shards' own WALs)
+and replayed once the supervisor brings the shard back.  The shard-side
+``delta_seq`` idempotence check (see :mod:`repro.serve.cluster.worker`)
+makes replay safe even when the delta also reached the shard through a
+live write or an earlier partial drain.
+
+Design points:
+
+* **one :class:`~repro.serve.wal.WriteAheadLog` per shard** under
+  ``<root>/hints-shard-{i}.wal`` — reusing the PR-6 log gives torn-tail
+  healing and atomic compaction for free, and a gateway restart
+  recovers every undelivered hint from disk;
+* **bounded** — at most ``max_per_shard`` pending hints per shard;
+  beyond that :class:`HintOverflow` is raised and the gateway converts
+  it to a retryable 503, because an unbounded queue for a shard that
+  never comes back is a disk-filling liability, not durability;
+* **delivery is compaction** — :meth:`mark_delivered` drops everything
+  at or below the acknowledged sequence, so the queue's disk footprint
+  tracks the undelivered backlog only.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from pathlib import Path
+
+from repro.serve.wal import WriteAheadLog
+
+_HINT_FILE = re.compile(r"hints-shard-(\d+)\.wal$")
+
+
+class HintOverflow(RuntimeError):
+    """The per-shard hint queue is full; the delta cannot be guaranteed."""
+
+    def __init__(self, shard: int, limit: int) -> None:
+        super().__init__(
+            f"hint queue for shard {shard} is full ({limit} pending); "
+            "retry once the shard recovers or the backlog drains"
+        )
+        self.shard = shard
+
+
+class HintQueue:
+    """Per-shard durable queues of deltas owed to unreachable shards."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        max_per_shard: int = 512,
+        fsync: bool = True,
+    ) -> None:
+        if max_per_shard < 1:
+            raise ValueError(
+                f"max_per_shard must be >= 1, got {max_per_shard}"
+            )
+        self.root = Path(root)
+        self.max_per_shard = max_per_shard
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        self._logs: dict[int, WriteAheadLog] = {}
+        self._recover()
+
+    def _recover(self) -> None:
+        """Reopen every hint log left behind by a previous gateway."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.iterdir()):
+            match = _HINT_FILE.search(path.name)
+            if match:
+                shard = int(match.group(1))
+                self._logs[shard] = WriteAheadLog(path, fsync=self.fsync)
+
+    def _log(self, shard: int) -> WriteAheadLog:
+        log = self._logs.get(shard)
+        if log is None:
+            log = WriteAheadLog(
+                self.root / f"hints-shard-{shard}.wal", fsync=self.fsync
+            )
+            self._logs[shard] = log
+        return log
+
+    # -- write path ----------------------------------------------------------
+
+    def add(self, shard: int, records: list[dict], delta_seq: int) -> int:
+        """Durably queue one missed delta for ``shard``.
+
+        The hint is fsynced before this returns — that is what lets the
+        gateway acknowledge the client's write with the replica still
+        down.  Returns the hint's queue sequence number.  Raises
+        :class:`HintOverflow` at the bound *before* writing anything.
+        """
+        with self._lock:
+            log = self._log(shard)
+            if len(log) >= self.max_per_shard:
+                raise HintOverflow(shard, self.max_per_shard)
+            return log.append(
+                {"kind": "hint", "reviews": records, "delta_seq": delta_seq}
+            )
+
+    # -- read / drain path ---------------------------------------------------
+
+    def pending(self, shard: int) -> list[tuple[int, dict]]:
+        """Undelivered hints for ``shard``, oldest first."""
+        with self._lock:
+            log = self._logs.get(shard)
+            if log is None:
+                return []
+            return list(log.replay(0))
+
+    def depth(self, shard: int) -> int:
+        with self._lock:
+            log = self._logs.get(shard)
+            return len(log) if log is not None else 0
+
+    def total(self) -> int:
+        """Pending hints across every shard (the queue-depth gauge)."""
+        with self._lock:
+            return sum(len(log) for log in self._logs.values())
+
+    def shards_with_hints(self) -> tuple[int, ...]:
+        with self._lock:
+            return tuple(
+                sorted(s for s, log in self._logs.items() if len(log))
+            )
+
+    def mark_delivered(self, shard: int, upto_seq: int) -> int:
+        """Drop hints with ``seq <= upto_seq`` (now applied by the shard)."""
+        with self._lock:
+            log = self._logs.get(shard)
+            if log is None:
+                return 0
+            return log.compact(upto_seq)
+
+    def drop_shard(self, shard: int) -> int:
+        """Discard a shard's queue entirely (the shard left the ring)."""
+        with self._lock:
+            log = self._logs.pop(shard, None)
+            if log is None:
+                return 0
+            dropped = len(log)
+            log.close()
+            path = self.root / f"hints-shard-{shard}.wal"
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return dropped
+
+    def max_delta_seq(self) -> int:
+        """The highest ``delta_seq`` any pending hint carries.
+
+        The gateway seeds its delta-sequence counter past this (and the
+        journal's) on startup so replayed hints and fresh writes can
+        never collide on a sequence number.
+        """
+        with self._lock:
+            best = 0
+            for log in self._logs.values():
+                for _seq, payload in log.replay(0):
+                    best = max(best, int(payload.get("delta_seq", 0)))
+            return best
+
+    def close(self) -> None:
+        with self._lock:
+            for log in self._logs.values():
+                log.close()

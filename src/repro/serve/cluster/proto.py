@@ -16,6 +16,15 @@ shard worker, and coroutine helpers
 (:func:`read_frame_async`/:func:`write_frame_async`) for the asyncio
 gateway.  They share :func:`encode_frame`/:func:`decode_payload` so the
 wire format cannot drift between them.
+
+Replication rides on three optional ``ingest`` frame fields rather than
+new ops: ``delta_seq`` (the gateway's global sequence number for the
+batch — the worker records it in its WAL and no-ops re-deliveries),
+``hinted`` (marks hint-drain and resize-replay traffic so a review-id
+conflict is answered as an idempotent no-op instead of a 409), and the
+read path adds one op, ``product_state`` (``{"op": "product_state",
+"product_id": ...}`` -> the product's review ids, for the gateway's
+replica-divergence probe).
 """
 
 from __future__ import annotations

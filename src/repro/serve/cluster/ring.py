@@ -83,6 +83,42 @@ class HashRing:
             index = 0
         return self._owners[index]
 
+    def preference_list(self, key: str, n: int = 1) -> tuple[int, ...]:
+        """The first ``n`` *distinct* shards clockwise of ``key``'s hash.
+
+        This is the replica placement rule: entry 0 is the primary
+        (exactly :meth:`route`'s answer, so ``n=1`` is byte-identical to
+        today's routing) and entries 1..n-1 are the failover order.  The
+        walk visits ring points in clockwise order and keeps the first
+        point of each shard not yet seen, which gives two properties the
+        replication layer leans on:
+
+        * **determinism** — a pure function of ``(shards, vnodes, seed,
+          key, n)``, so every gateway and partitioner derives the same
+          replica sets without exchanging state;
+        * **stability under growth** — growing the ring only *inserts*
+          points into the walk, so an existing shard can be pushed out
+          of the top ``n`` by a new shard but never pulled in, which is
+          why old shards never need data streamed to them on resize.
+        """
+        if not 1 <= n <= self.shards:
+            raise ValueError(
+                f"preference list size must be in [1, {self.shards}], got {n}"
+            )
+        position = _hash64(f"{self.seed}|key|{key}")
+        index = bisect_left(self._points, position)
+        total = len(self._owners)
+        found: list[int] = []
+        seen: set[int] = set()
+        for step in range(total):
+            owner = self._owners[(index + step) % total]
+            if owner not in seen:
+                seen.add(owner)
+                found.append(owner)
+                if len(found) == n:
+                    break
+        return tuple(found)
+
     def resized(self, shards: int) -> "HashRing":
         """A ring over ``shards`` shards with the same vnodes and seed.
 
@@ -102,17 +138,20 @@ class PartitionPlan:
     """How one corpus is split across shards.
 
     ``owned[i]`` are the product ids shard ``i`` answers target queries
-    for; ``placement[pid]`` is every shard holding ``pid`` (its owner
-    plus each shard that needs it as a comparative candidate) — the fan
-    set for a review delta to ``pid``.  ``corpora[i]`` is shard ``i``'s
-    sub-corpus: owned products + their in-corpus also-bought candidates,
-    full review sets, corpus order preserved.
+    for (primary ownership only — replicas answer them too, but only on
+    failover); ``placement[pid]`` is every shard holding ``pid``: its
+    full ``replicas``-long preference list first, then each shard that
+    needs it as a comparative candidate — the fan set for a review delta
+    to ``pid``.  ``corpora[i]`` is shard ``i``'s sub-corpus: owned plus
+    replicated products + their in-corpus also-bought candidates, full
+    review sets, corpus order preserved.
     """
 
     shards: int
     owned: tuple[tuple[str, ...], ...]
     placement: Mapping[str, tuple[int, ...]]
     corpora: tuple[Corpus, ...]
+    replicas: int = 1
 
     def holders(self, product_id: str) -> tuple[int, ...]:
         """Every shard whose partition contains ``product_id``.
@@ -127,38 +166,64 @@ class PartitionPlan:
         """The shard that answers target queries for ``product_id``."""
         return self.placement[product_id][0]
 
+    def preference(self, product_id: str) -> tuple[int, ...]:
+        """The read path for ``product_id``: primary, then failovers.
 
-def partition_corpus(corpus: Corpus, ring: HashRing) -> PartitionPlan:
+        Exactly ``HashRing.preference_list(product_id, replicas)`` —
+        every listed shard holds a byte-identical instance closure for
+        the product, so the gateway may serve the read from any of them.
+        """
+        return self.placement[product_id][: self.replicas]
+
+    def held(self, shard: int) -> frozenset[str]:
+        """Every product id shard ``shard``'s sub-corpus contains."""
+        return frozenset(p.product_id for p in self.corpora[shard].products)
+
+
+def partition_corpus(
+    corpus: Corpus, ring: HashRing, replicas: int = 1
+) -> PartitionPlan:
     """Split ``corpus`` into per-shard sub-corpora along ``ring``.
 
-    Each shard's include-set is the 1-hop closure of its owned products:
-    ownership is decided by the ring alone, and every in-corpus
-    ``also_bought`` candidate of an owned product rides along so the
-    shard can build byte-identical comparison instances.  Products and
-    reviews keep full-corpus order inside each sub-corpus — instance
-    construction is order-sensitive (candidate truncation, review
-    tuples), and preserving order is what keeps a 1-shard partition
-    literally equal to the input corpus.
+    Each shard's include-set is the 1-hop closure of the products it
+    appears in the preference list for: placement is decided by the ring
+    alone, and every in-corpus ``also_bought`` candidate of a placed
+    product rides along so the shard can build byte-identical comparison
+    instances — a replica answers a failover read with the *same bytes*
+    the primary would have.  Products and reviews keep full-corpus order
+    inside each sub-corpus — instance construction is order-sensitive
+    (candidate truncation, review tuples), and preserving order is what
+    keeps a 1-shard partition literally equal to the input corpus.
+    ``replicas=1`` reproduces the unreplicated partition exactly.
     """
+    if not 1 <= replicas <= ring.shards:
+        raise ValueError(
+            f"replicas must be in [1, {ring.shards}], got {replicas}"
+        )
     include: list[set[str]] = [set() for _ in range(ring.shards)]
     owned: list[list[str]] = [[] for _ in range(ring.shards)]
+    preference: dict[str, tuple[int, ...]] = {}
     for product in corpus.products:
-        shard = ring.route(product.product_id)
-        owned[shard].append(product.product_id)
-        include[shard].add(product.product_id)
-        for candidate in product.also_bought:
-            if corpus.has_product(candidate):
-                include[shard].add(candidate)
+        pid = product.product_id
+        prefs = ring.preference_list(pid, replicas)
+        preference[pid] = prefs
+        owned[prefs[0]].append(pid)
+        for shard in prefs:
+            include[shard].add(pid)
+            for candidate in product.also_bought:
+                if corpus.has_product(candidate):
+                    include[shard].add(candidate)
 
     placement: dict[str, tuple[int, ...]] = {}
     for product in corpus.products:
         pid = product.product_id
+        prefs = preference[pid]
         holder_set = [
             shard for shard in range(ring.shards) if pid in include[shard]
         ]
-        owner = ring.route(pid)
-        # The owner leads so PartitionPlan.owner() is a plain [0] index.
-        ordered = [owner] + [shard for shard in holder_set if shard != owner]
+        # The preference list leads so PartitionPlan.owner() is a plain
+        # [0] index and .preference() a plain prefix slice.
+        ordered = list(prefs) + [s for s in holder_set if s not in prefs]
         placement[pid] = tuple(ordered)
 
     corpora = tuple(
@@ -169,6 +234,7 @@ def partition_corpus(corpus: Corpus, ring: HashRing) -> PartitionPlan:
         owned=tuple(tuple(ids) for ids in owned),
         placement=placement,
         corpora=corpora,
+        replicas=replicas,
     )
 
 

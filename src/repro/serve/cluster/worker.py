@@ -55,6 +55,50 @@ from repro.serve.store import (
 _ADMISSION_KEYS = ("max_pending", "rate_limit", "rate_burst")
 
 
+class AppliedDeltaSeqs:
+    """A bounded set of gateway delta sequence numbers already applied.
+
+    The replication layer's idempotence ledger: every cluster ingest
+    frame carries a gateway-assigned ``delta_seq``, and a delta that was
+    both written live *and* queued as a hint (or re-driven by a resize
+    catch-up replay) arrives at the same shard more than once.  The fast
+    path is this in-memory set; the durable path is the ``delta_seq``
+    stamped into each WAL record, from which :class:`ShardServer`
+    rebuilds the set after a crash restart — so a replayed delta is a
+    no-op on both sides of a SIGKILL.
+
+    Bounded FIFO (``capacity`` most recent seqs): sequences old enough
+    to be evicted are, by the same age, covered by a snapshot, where the
+    review-id conflict check provides the backstop dedup for hinted
+    re-deliveries.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._seen: set[int] = set()
+        self._order: list[int] = []
+        self._lock = threading.Lock()
+
+    def __contains__(self, seq: int) -> bool:
+        with self._lock:
+            return seq in self._seen
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._seen)
+
+    def add(self, seq: int) -> None:
+        with self._lock:
+            if seq in self._seen:
+                return
+            self._seen.add(seq)
+            self._order.append(seq)
+            if len(self._order) > self.capacity:
+                self._seen.discard(self._order.pop(0))
+
+
 def classify_error(
     exc: Exception, engine: SelectionEngine, *, ingest: bool
 ) -> dict:
@@ -122,7 +166,25 @@ def _handle_query(engine: SelectionEngine, message: dict, narrow: bool) -> dict:
     return response.as_dict()
 
 
-def _handle_ingest(engine: SelectionEngine, message: dict) -> dict:
+def _noop_ingest_ack(engine: SelectionEngine) -> dict:
+    """The ack for a delta this shard has already applied (same shape as
+    a real ingest ack, so the gateway aggregates it unchanged)."""
+    return {
+        "version": engine.store.version,
+        "added": 0,
+        "affected": [],
+        "wal_seq": engine.wal.last_seq if engine.wal is not None else 0,
+        "cache_evicted": 0,
+        "tier_purged": 0,
+        "idempotent": True,
+    }
+
+
+def _handle_ingest(
+    engine: SelectionEngine,
+    message: dict,
+    applied: AppliedDeltaSeqs | None = None,
+) -> dict:
     reviews = message.get("reviews")
     if not isinstance(reviews, list) or not reviews:
         raise BadRequest(
@@ -130,7 +192,29 @@ def _handle_ingest(engine: SelectionEngine, message: dict) -> dict:
         )
     if not all(isinstance(entry, dict) for entry in reviews):
         raise BadRequest("every entry in 'reviews' must be an object")
-    return engine.ingest_reviews(reviews)
+    delta_seq = message.get("delta_seq")
+    if delta_seq is not None and (
+        isinstance(delta_seq, bool) or not isinstance(delta_seq, int)
+    ):
+        raise BadRequest(f"delta_seq must be an integer, got {delta_seq!r}")
+    # Seq-based idempotence: a delta this shard already applied — live
+    # write followed by its own hint replay, or a resize catch-up
+    # re-delivery — acks as a no-op instead of a 409.
+    if delta_seq is not None and applied is not None and delta_seq in applied:
+        return _noop_ingest_ack(engine)
+    try:
+        ack = engine.ingest_reviews(reviews, delta_seq=delta_seq)
+    except DeltaValidationError as exc:
+        if exc.conflict and message.get("hinted"):
+            # Durable backstop for replays that outlive the in-memory
+            # seq set (restart + WAL compaction): the batch is atomic
+            # (one WAL append), so a review-id conflict on a *hinted*
+            # re-delivery proves the whole delta already landed.
+            return _noop_ingest_ack(engine)
+        raise
+    if delta_seq is not None and applied is not None:
+        applied.add(delta_seq)
+    return ack
 
 
 def _handle_healthz(engine: SelectionEngine, started_at: float) -> dict:
@@ -151,8 +235,47 @@ def _handle_healthz(engine: SelectionEngine, started_at: float) -> dict:
     return {"status": 503 if state == DRAINING else 200, "payload": payload}
 
 
+def _handle_product_state(engine: SelectionEngine, message: dict) -> dict:
+    """The replica-divergence probe: a product's review ids, in order.
+
+    The gateway compares this list across a product's preference
+    replicas; byte-identical partitioning plus idempotent delta replay
+    should keep them equal, and ``repro_replica_divergence_total``
+    counts every observation where they are not.
+    """
+    product_id = message.get("product_id")
+    if not isinstance(product_id, str) or not product_id:
+        return {
+            "status": 400,
+            "error": "field 'product_id' (a non-empty string) is required",
+        }
+    corpus = engine.store.corpus
+    if not corpus.has_product(product_id):
+        return {
+            "status": 404,
+            "error": f"product {product_id!r} is not held by this shard",
+        }
+    review_ids = [
+        review.review_id
+        for review in corpus.reviews
+        if review.product_id == product_id
+    ]
+    return {
+        "status": 200,
+        "payload": {
+            "product_id": product_id,
+            "review_ids": review_ids,
+            "version": engine.store.version,
+        },
+    }
+
+
 def handle_message(
-    engine: SelectionEngine, message: dict, *, started_at: float = 0.0
+    engine: SelectionEngine,
+    message: dict,
+    *,
+    started_at: float = 0.0,
+    applied_seqs: AppliedDeltaSeqs | None = None,
 ) -> dict:
     """One request frame in, one reply frame out (never raises)."""
     op = message.get("op")
@@ -163,7 +286,10 @@ def handle_message(
                 "payload": _handle_query(engine, message, op == "narrow"),
             }
         if op == "ingest":
-            return {"status": 200, "payload": _handle_ingest(engine, message)}
+            return {
+                "status": 200,
+                "payload": _handle_ingest(engine, message, applied_seqs),
+            }
         if op == "healthz":
             return _handle_healthz(engine, started_at)
         if op == "metrics":
@@ -188,6 +314,8 @@ def handle_message(
                     "artifacts": info.artifacts,
                 },
             }
+        if op == "product_state":
+            return _handle_product_state(engine, message)
         if op == "ping":
             return {"status": 200, "payload": {"version": engine.store.version}}
         return {"status": 400, "error": f"unknown op {op!r}"}
@@ -212,6 +340,16 @@ class ShardServer(socketserver.ThreadingTCPServer):
         super().__init__(address, _ShardConnection)
         self.engine = engine
         self.started_at = time.monotonic()
+        # Rebuild the idempotence ledger from the WAL tail so hinted
+        # re-deliveries stay no-ops across a crash restart (deltas the
+        # compaction already folded into a snapshot fall back to the
+        # review-id conflict check in _handle_ingest).
+        self.applied_seqs = AppliedDeltaSeqs()
+        if engine.wal is not None:
+            for _seq, payload in engine.wal.replay(0):
+                delta_seq = payload.get("delta_seq")
+                if isinstance(delta_seq, int):
+                    self.applied_seqs.add(delta_seq)
 
 
 class _ShardConnection(socketserver.BaseRequestHandler):
@@ -232,6 +370,7 @@ class _ShardConnection(socketserver.BaseRequestHandler):
                 self.server.engine,
                 message,
                 started_at=self.server.started_at,
+                applied_seqs=self.server.applied_seqs,
             )
             try:
                 send_frame(sock, reply)

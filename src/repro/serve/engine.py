@@ -623,7 +623,9 @@ class SelectionEngine:
 
     # -- durable ingest -------------------------------------------------------
 
-    def ingest_reviews(self, records: Sequence[Mapping]) -> dict[str, object]:
+    def ingest_reviews(
+        self, records: Sequence[Mapping], *, delta_seq: int | None = None
+    ) -> dict[str, object]:
         """Apply one review delta durably; returns an ack payload.
 
         The write discipline is WAL-before-apply-before-ack: the batch
@@ -633,6 +635,13 @@ class SelectionEngine:
         zero-acked-lost invariant).  A WAL append failure (disk full)
         surfaces as :class:`OSError` with the store untouched; the batch
         was never acked and never applied.
+
+        ``delta_seq`` is an optional caller-supplied identity for the
+        batch (the cluster gateway's global delta sequence): it is
+        stamped into the WAL record so a restarted shard worker can
+        rebuild its applied-delta set from replay and treat a hinted
+        re-delivery as the no-op it is.  The single-process path never
+        sets it.
 
         Invalidation is generation-chained: exactly the entries tagged
         with an affected product are evicted, locally and in the shared
@@ -650,12 +659,13 @@ class SelectionEngine:
             self.store.validate_delta(reviews)
             seq = 0
             if self.wal is not None:
-                seq = self.wal.append(
-                    {
-                        "kind": "delta",
-                        "reviews": [review_record(r) for r in reviews],
-                    }
-                )
+                record: dict[str, object] = {
+                    "kind": "delta",
+                    "reviews": [review_record(r) for r in reviews],
+                }
+                if delta_seq is not None:
+                    record["delta_seq"] = delta_seq
+                seq = self.wal.append(record)
             outcome = self.store.apply_delta(reviews)
             self._deltas_since_snapshot += 1
             snapshot_due = (

@@ -166,3 +166,25 @@ class TestUsageErrors:
             main(["stats", str(tmp_path)])
         assert excinfo.value.code == 2
         assert "directory" in capsys.readouterr().err
+
+    def test_serve_replicas_above_shards_exits_2(self, tmp_path, capsys):
+        """--replicas > --shards is a usage error caught before any
+        corpus load or process spawn."""
+        code = main([
+            "serve", "--corpus", str(tmp_path / "unused.jsonl"),
+            "--shards", "3", "--replicas", "4",
+        ])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "--replicas 4 cannot exceed --shards 3" in out
+        assert out.count("\n") == 1
+
+    def test_serve_replicas_below_one_exits_2(self, tmp_path, capsys):
+        code = main([
+            "serve", "--corpus", str(tmp_path / "unused.jsonl"),
+            "--shards", "2", "--replicas", "0",
+        ])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "--replicas must be >= 1" in out
+        assert out.count("\n") == 1

@@ -1,0 +1,97 @@
+"""HintQueue: bounded, WAL-persisted hinted handoff for dead shards."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.cluster import HintOverflow, HintQueue
+
+
+def _records(n: int, start: int = 0) -> list[dict]:
+    return [
+        {"review_id": f"r{start + i}", "product_id": "P1", "rating": 4}
+        for i in range(n)
+    ]
+
+
+class TestHintQueue:
+    def test_rejects_bad_bound(self, tmp_path):
+        with pytest.raises(ValueError):
+            HintQueue(tmp_path, max_per_shard=0)
+
+    def test_add_pending_and_depth(self, tmp_path):
+        queue = HintQueue(tmp_path)
+        assert queue.pending(0) == []
+        assert queue.depth(0) == 0
+        seq = queue.add(0, _records(2), delta_seq=7)
+        assert seq == 1
+        assert queue.depth(0) == 1
+        assert queue.total() == 1
+        assert queue.shards_with_hints() == (0,)
+        [(got_seq, payload)] = queue.pending(0)
+        assert got_seq == seq
+        assert payload["kind"] == "hint"
+        assert payload["delta_seq"] == 7
+        assert payload["reviews"] == _records(2)
+        queue.close()
+
+    def test_per_shard_isolation(self, tmp_path):
+        queue = HintQueue(tmp_path)
+        queue.add(0, _records(1), delta_seq=1)
+        queue.add(2, _records(1, start=5), delta_seq=2)
+        assert queue.shards_with_hints() == (0, 2)
+        assert queue.depth(1) == 0
+        assert queue.total() == 2
+        queue.close()
+
+    def test_mark_delivered_compacts(self, tmp_path):
+        queue = HintQueue(tmp_path)
+        for delta_seq in (1, 2, 3):
+            queue.add(0, _records(1, start=delta_seq), delta_seq=delta_seq)
+        assert queue.depth(0) == 3
+        queue.mark_delivered(0, 2)
+        assert queue.depth(0) == 1
+        [(seq, payload)] = queue.pending(0)
+        assert payload["delta_seq"] == 3
+        queue.mark_delivered(0, seq)
+        assert queue.depth(0) == 0
+        assert queue.shards_with_hints() == ()
+        queue.close()
+
+    def test_overflow_raises_before_writing(self, tmp_path):
+        queue = HintQueue(tmp_path, max_per_shard=2)
+        queue.add(1, _records(1), delta_seq=1)
+        queue.add(1, _records(1, start=1), delta_seq=2)
+        with pytest.raises(HintOverflow) as exc_info:
+            queue.add(1, _records(1, start=2), delta_seq=3)
+        assert exc_info.value.shard == 1
+        # The refused hint left no partial record behind.
+        assert queue.depth(1) == 2
+        assert queue.max_delta_seq() == 2
+        queue.close()
+
+    def test_recovery_after_restart(self, tmp_path):
+        """A new queue over the same root resumes every undelivered hint."""
+        queue = HintQueue(tmp_path)
+        queue.add(0, _records(1), delta_seq=4)
+        queue.add(3, _records(2, start=9), delta_seq=9)
+        queue.close()
+
+        resumed = HintQueue(tmp_path)
+        assert resumed.shards_with_hints() == (0, 3)
+        assert resumed.depth(3) == 1
+        assert resumed.max_delta_seq() == 9
+        [(_, payload)] = resumed.pending(3)
+        assert payload["reviews"] == _records(2, start=9)
+        resumed.close()
+
+    def test_drop_shard_removes_queue_and_file(self, tmp_path):
+        queue = HintQueue(tmp_path)
+        queue.add(5, _records(1), delta_seq=1)
+        path = tmp_path / "hints-shard-5.wal"
+        assert path.exists()
+        assert queue.drop_shard(5) == 1
+        assert not path.exists()
+        assert queue.depth(5) == 0
+        assert queue.drop_shard(5) == 0  # idempotent
+        queue.close()

@@ -1,0 +1,347 @@
+"""End-to-end replication tests: read failover, hinted handoff, live resize.
+
+The acceptance bar raises the cluster's from transparency to
+availability: with ``replicas=2`` a SIGKILLed primary must be invisible
+to readers (its keys answer 200 from a replica, byte-identically,
+with failover provenance), writes during the outage must ack after
+queueing durable hints that drain on recovery, and a live
+``resize()`` must keep every in-flight request inside
+{200, 429, 503 + Retry-After} while never answering from a wrong
+shard.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.data.instances import build_instance
+from repro.data.io import save_corpus
+from repro.data.synthetic import generate_corpus
+from repro.serve.cluster import ClusterConfig, ClusterError, ServingCluster
+from repro.serve.engine import SelectionEngine
+from repro.serve.store import ItemStore
+from repro.serve.supervisor import RestartPolicy
+
+SHARDS = 3
+REPLICAS = 2
+
+
+def _post(base: str, path: str, body: dict, timeout: float = 120.0):
+    request = urllib.request.Request(
+        base + path,
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _get(base: str, path: str, timeout: float = 60.0):
+    try:
+        with urllib.request.urlopen(base + path, timeout=timeout) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, error.read()
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus("Toy", scale=0.3, seed=11)
+
+
+@pytest.fixture(scope="module")
+def corpus_path(corpus, tmp_path_factory):
+    path = tmp_path_factory.mktemp("replication") / "corpus.jsonl"
+    save_corpus(corpus, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def viable_targets(corpus):
+    return [
+        p.product_id
+        for p in corpus.products
+        if build_instance(corpus, p.product_id, 10, min_reviews=3)
+    ]
+
+
+@pytest.fixture(scope="module")
+def reference(corpus):
+    """In-process engine over the full corpus: the byte-identity oracle."""
+    engine = SelectionEngine(ItemStore(corpus), workers=2)
+    yield engine
+    engine.close()
+
+
+@pytest.fixture(scope="module")
+def cluster(corpus_path, tmp_path_factory):
+    config = ClusterConfig(
+        corpus_path=corpus_path,
+        shards=SHARDS,
+        replicas=REPLICAS,
+        state_dir=tmp_path_factory.mktemp("replication-state"),
+        engine_options={"workers": 2, "snapshot_every": 2},
+        restart_policy=RestartPolicy(base_delay=0.2, max_restarts=10),
+        hint_drain_interval=0.1,
+        resize_grace=0.2,
+    )
+    with ServingCluster(config) as running:
+        yield running
+
+
+def _select_result(base: str, target: str) -> tuple[int, dict]:
+    status, body = _post(base, "/v1/select", {"target": target})
+    return status, body
+
+
+class TestConfigValidation:
+    def test_replicas_must_fit_the_shard_count(self, corpus_path, tmp_path):
+        for replicas in (0, SHARDS + 1):
+            config = ClusterConfig(
+                corpus_path=corpus_path,
+                shards=SHARDS,
+                replicas=replicas,
+                state_dir=tmp_path / f"bad-{replicas}",
+            )
+            with pytest.raises(ClusterError):
+                ServingCluster(config)
+
+
+class TestReplicatedTopology:
+    def test_plan_places_every_product_on_two_shards(self, cluster, corpus):
+        plan = cluster.plan
+        assert plan.replicas == REPLICAS
+        for product in corpus.products:
+            prefs = plan.preference(product.product_id)
+            assert len(prefs) == REPLICAS
+            assert len(set(prefs)) == REPLICAS
+
+    def test_healthz_reports_replication(self, cluster):
+        status, raw = _get(cluster.base_url, "/healthz")
+        payload = json.loads(raw)
+        assert status == 200
+        assert payload["replicas"] == REPLICAS
+        assert payload["generation"] == 1
+        assert payload["hints"] == {}
+
+    def test_replica_reads_match_reference(
+        self, cluster, reference, viable_targets
+    ):
+        for target in viable_targets[:4]:
+            status, body = _select_result(cluster.base_url, target)
+            assert status == 200
+            direct = reference.select(target=target).as_dict()["result"]
+            assert json.dumps(body["result"], sort_keys=True) == json.dumps(
+                direct, sort_keys=True
+            ), target
+
+
+class TestReadFailover:
+    """SIGKILL a primary: its keys keep answering 200, from a replica."""
+
+    def test_primary_outage_is_invisible_to_readers(
+        self, cluster, viable_targets
+    ):
+        plan = cluster.plan
+        victim = plan.preference(viable_targets[0])[0]
+        victim_keys = [
+            t for t in viable_targets if plan.preference(t)[0] == victim
+        ][:3]
+        assert victim_keys, "toy corpus must give the victim a target"
+        baseline = {}
+        for target in victim_keys:
+            status, body = _select_result(cluster.base_url, target)
+            assert status == 200
+            baseline[target] = json.dumps(body["result"], sort_keys=True)
+
+        restarts_before = cluster.restarts()[victim]
+        cluster.kill_shard(victim)
+        saw_failover = False
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            for target in victim_keys:
+                status, body = _select_result(cluster.base_url, target)
+                # The replication guarantee: never 503 for a single
+                # failure at replicas=2, and never a different answer.
+                assert status == 200, (target, body)
+                assert (
+                    json.dumps(body["result"], sort_keys=True)
+                    == baseline[target]
+                )
+                provenance = body.get("provenance", {})
+                if provenance.get("failover"):
+                    saw_failover = True
+                    served_by = provenance["served_by"]
+                    assert served_by != f"shard-{victim}"
+                    assert served_by in {
+                        f"shard-{s}" for s in plan.preference(target)
+                    }
+            if saw_failover and cluster.restarts()[victim] > restarts_before:
+                break
+            time.sleep(0.1)
+        assert saw_failover, "no request observed the outage window"
+
+        # Metrics recorded the failovers.
+        status, raw = _get(cluster.base_url, "/metrics?format=prometheus")
+        assert status == 200
+        assert "repro_failover_total" in raw.decode()
+
+        # And the primary comes back.
+        deadline = time.monotonic() + 30.0
+        while cluster.restarts()[victim] <= restarts_before:
+            assert time.monotonic() < deadline
+            time.sleep(0.2)
+
+
+class TestHintedHandoff:
+    def test_ingest_during_outage_hints_then_drains(
+        self, cluster, viable_targets
+    ):
+        plan = cluster.plan
+        target = viable_targets[1]
+        victim = plan.preference(target)[0]
+        record = {
+            "review_id": "HINTED-E2E-1",
+            "product_id": target,
+            "rating": 4.0,
+            "text": "survives a primary crash",
+            "mentions": [{"aspect": "durability", "sentiment": 1}],
+        }
+        restarts_before = cluster.restarts()[victim]
+        cluster.kill_shard(victim)
+        # Write while the primary is down: the live replica acks, the
+        # dead shard's copy is queued as a durable hint.
+        deadline = time.monotonic() + 30.0
+        status, ack = None, None
+        while time.monotonic() < deadline:
+            status, ack = _post(
+                cluster.base_url, "/v1/ingest", {"reviews": [record]}
+            )
+            if status == 200:
+                break
+            assert status in (429, 503), ack
+            time.sleep(0.1)
+        assert status == 200, ack
+        assert ack["added"] == 1
+        assert "delta_seq" in ack
+
+        # Recovery: the supervisor restarts the worker and the drain
+        # loop replays the hint; the queue must empty.
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            if (
+                cluster.restarts()[victim] > restarts_before
+                and not cluster.hint_depths()
+            ):
+                break
+            time.sleep(0.2)
+        assert not cluster.hint_depths(), cluster.hint_depths()
+
+        # Convergence: every reachable replica holds the review and the
+        # divergence probe finds nothing.
+        deadline = time.monotonic() + 30.0
+        report = None
+        while time.monotonic() < deadline:
+            report = cluster.check_replicas(target)
+            views = [v for v in report["replicas"].values() if v is not None]
+            if len(views) == REPLICAS and not report["diverged"]:
+                break
+            time.sleep(0.2)
+        assert report is not None and not report["diverged"], report
+        for shard, review_ids in report["replicas"].items():
+            assert review_ids is not None, (shard, report)
+            assert "HINTED-E2E-1" in review_ids, (shard, report)
+
+    def test_duplicate_after_drain_is_409(self, cluster, viable_targets):
+        record = {
+            "review_id": "HINTED-E2E-1",
+            "product_id": viable_targets[1],
+            "rating": 4.0,
+            "text": "survives a primary crash",
+            "mentions": [{"aspect": "durability", "sentiment": 1}],
+        }
+        status, body = _post(
+            cluster.base_url, "/v1/ingest", {"reviews": [record]}
+        )
+        assert status == 409, body
+
+
+class TestLiveResize:
+    """Grow 3 -> 4 under read traffic, then shrink back to 3."""
+
+    def _hammer(self, cluster, targets, stop, statuses):
+        while not stop.is_set():
+            for target in targets:
+                status, body = _select_result(cluster.base_url, target)
+                statuses.append((status, body))
+
+    def test_grow_under_traffic(self, cluster, reference, viable_targets):
+        targets = viable_targets[2:6] or viable_targets[:2]
+        stop = threading.Event()
+        statuses: list[tuple[int, dict]] = []
+        hammer = threading.Thread(
+            target=self._hammer,
+            args=(cluster, targets, stop, statuses),
+            daemon=True,
+        )
+        hammer.start()
+        try:
+            report = cluster.resize(SHARDS + 1)
+        finally:
+            stop.set()
+            hammer.join(timeout=30)
+        assert report["generation"] == 2
+        assert cluster.plan.shards == SHARDS + 1
+        assert cluster.ring.describe()["shards"] == SHARDS + 1
+        # Every concurrent read stayed inside the allowed statuses and
+        # every 503 carried Retry-After semantics (a retryable body).
+        assert statuses, "hammer thread never completed a request"
+        for status, body in statuses:
+            assert status in (200, 429, 503), (status, body)
+            if status == 503:
+                assert "retry_after" in body, body
+
+        # Post-resize answers are still byte-identical to the oracle
+        # for targets untouched by the earlier ingest.
+        untouched = [t for t in targets if t != viable_targets[1]]
+        for target in untouched:
+            status, body = _select_result(cluster.base_url, target)
+            assert status == 200, body
+            direct = reference.select(target=target).as_dict()["result"]
+            assert json.dumps(body["result"], sort_keys=True) == json.dumps(
+                direct, sort_keys=True
+            ), target
+
+    def test_shrink_back(self, cluster, reference, viable_targets):
+        report = cluster.resize(SHARDS)
+        assert report["generation"] == 3
+        assert sorted(report["dropped"]) == [SHARDS]
+        assert cluster.plan.shards == SHARDS
+        target = viable_targets[0]
+        status, body = _select_result(cluster.base_url, target)
+        assert status == 200, body
+        direct = reference.select(target=target).as_dict()["result"]
+        assert json.dumps(body["result"], sort_keys=True) == json.dumps(
+            direct, sort_keys=True
+        )
+        # The hinted review from the handoff test survived both resizes
+        # on every current replica.
+        report = cluster.check_replicas(viable_targets[1])
+        assert not report["diverged"], report
+        for review_ids in report["replicas"].values():
+            assert review_ids is None or "HINTED-E2E-1" in review_ids
+
+    def test_rejects_bad_sizes(self, cluster):
+        with pytest.raises(ClusterError):
+            cluster.resize(0)
+        with pytest.raises(ClusterError):
+            cluster.resize(REPLICAS - 1)

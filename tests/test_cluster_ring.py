@@ -76,6 +76,59 @@ class TestHashRing:
         }
 
 
+class TestPreferenceList:
+    def test_rejects_bad_sizes(self):
+        ring = HashRing(3)
+        for n in (0, 4, -1):
+            with pytest.raises(ValueError):
+                ring.preference_list("ITEM000001", n)
+
+    def test_r1_equals_route_exactly(self):
+        ring = HashRing(5, vnodes=32, seed=13)
+        for key in _keys(500):
+            assert ring.preference_list(key, 1) == (ring.route(key),)
+
+    def test_growth_never_pulls_an_old_shard_in(self):
+        """Growing the ring can push a shard out of a key's preference
+        list but never pull an existing shard in — the property that
+        lets a live resize stream data only to the new shards."""
+        for n in (2, 3, 5):
+            before = HashRing(n, vnodes=64)
+            after = before.resized(n + 1)
+            r = min(2, n)
+            for key in _keys(800):
+                old = before.preference_list(key, r)
+                new = after.preference_list(key, r)
+                gained = set(new) - set(old)
+                assert gained <= {n}, (key, old, new)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        key=st.text(min_size=0, max_size=40),
+        shards=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=1000),
+        data=st.data(),
+    )
+    def test_property_distinct_deterministic_and_route_consistent(
+        self, key, shards, seed, data
+    ):
+        """The satellite property: R entries are distinct, the list is a
+        pure function of (shards, vnodes, seed, key, R), and R=1 equals
+        route() exactly."""
+        r = data.draw(st.integers(min_value=1, max_value=shards))
+        ring = HashRing(shards, vnodes=8, seed=seed)
+        prefs = ring.preference_list(key, r)
+        assert len(prefs) == r
+        assert len(set(prefs)) == r  # all distinct shards
+        assert all(0 <= shard < shards for shard in prefs)
+        assert prefs[0] == ring.route(key)
+        # Deterministic across instances with the same parameters.
+        again = HashRing(shards, vnodes=8, seed=seed).preference_list(key, r)
+        assert again == prefs
+        # Prefix-stable: a shorter list is a prefix of a longer one.
+        assert ring.preference_list(key, 1) == prefs[:1]
+
+
 class TestPartitionCorpus:
     @pytest.fixture(scope="class")
     def corpus(self):
@@ -139,3 +192,64 @@ class TestPartitionCorpus:
         plan = partition_corpus(corpus, HashRing(2))
         with pytest.raises(KeyError):
             plan.holders("NOPE")
+
+
+class TestReplicatedPartition:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_corpus("Toy", scale=0.3, seed=11)
+
+    def test_rejects_bad_replica_counts(self, corpus):
+        ring = HashRing(3)
+        for replicas in (0, 4):
+            with pytest.raises(ValueError):
+                partition_corpus(corpus, ring, replicas)
+
+    def test_replicas_1_is_byte_identical_to_unreplicated(self, corpus):
+        ring = HashRing(4)
+        base = partition_corpus(corpus, ring)
+        explicit = partition_corpus(corpus, ring, 1)
+        assert base.owned == explicit.owned
+        assert dict(base.placement) == dict(explicit.placement)
+        for a, b in zip(base.corpora, explicit.corpora):
+            assert a.products == b.products
+            assert a.reviews == b.reviews
+
+    def test_preference_prefix_and_owner_agree_with_ring(self, corpus):
+        ring = HashRing(4)
+        plan = partition_corpus(corpus, ring, 2)
+        assert plan.replicas == 2
+        for product in corpus.products:
+            pid = product.product_id
+            assert plan.preference(pid) == ring.preference_list(pid, 2)
+            assert plan.owner(pid) == ring.route(pid)
+            # The full holder list starts with the preference list.
+            assert plan.holders(pid)[:2] == plan.preference(pid)
+
+    def test_every_replica_holds_the_full_closure(self, corpus):
+        """Each preference shard can build byte-identical instances: it
+        holds the product plus every in-corpus also-bought candidate."""
+        ring = HashRing(4)
+        plan = partition_corpus(corpus, ring, 2)
+        for product in corpus.products:
+            pid = product.product_id
+            for shard in plan.preference(pid):
+                held = plan.held(shard)
+                assert pid in held
+                for candidate in product.also_bought:
+                    if corpus.has_product(candidate):
+                        assert candidate in held, (shard, pid, candidate)
+
+    def test_replica_sub_corpora_agree_on_shared_products(self, corpus):
+        """Two shards holding the same product hold the same reviews for
+        it, in the same order — the byte-identity substrate."""
+        ring = HashRing(3)
+        plan = partition_corpus(corpus, ring, 2)
+        for pid in plan.placement:
+            views = []
+            for shard in plan.preference(pid):
+                sub = plan.corpora[shard]
+                views.append(
+                    [r.review_id for r in sub.reviews if r.product_id == pid]
+                )
+            assert all(view == views[0] for view in views[1:]), pid

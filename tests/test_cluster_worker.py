@@ -10,7 +10,12 @@ import pytest
 from repro.data.instances import build_instance
 from repro.data.synthetic import generate_corpus
 from repro.serve.admission import AdmissionController, Overloaded
-from repro.serve.cluster import ShardServer, classify_error, handle_message
+from repro.serve.cluster import (
+    AppliedDeltaSeqs,
+    ShardServer,
+    classify_error,
+    handle_message,
+)
 from repro.serve.cluster.proto import recv_frame, send_frame
 from repro.serve.engine import EngineDraining, SelectionEngine
 from repro.serve.http import BadRequest
@@ -144,6 +149,121 @@ class TestHandleMessage:
             engine, {"op": "select", "body": {"target": viable_target}}
         )
         assert reply["status"] == 503
+
+
+class TestIngestIdempotence:
+    """delta_seq dedup plus the hinted-conflict durable backstop."""
+
+    def _record(self, viable_target, review_id="IDEM-1"):
+        return {
+            "review_id": review_id,
+            "product_id": viable_target,
+            "rating": 4.0,
+            "text": "sturdy hinge, quiet fan",
+            "mentions": [{"aspect": "build", "sentiment": 1}],
+        }
+
+    def test_redelivered_delta_seq_is_a_noop_ack(self, engine, viable_target):
+        applied = AppliedDeltaSeqs()
+        frame = {
+            "op": "ingest",
+            "reviews": [self._record(viable_target)],
+            "delta_seq": 42,
+        }
+        first = handle_message(engine, frame, applied_seqs=applied)
+        assert first["status"] == 200
+        assert first["payload"]["added"] == 1
+        assert 42 in applied
+        again = handle_message(engine, frame, applied_seqs=applied)
+        assert again["status"] == 200
+        assert again["payload"]["added"] == 0
+        assert again["payload"]["idempotent"] is True
+        assert again["payload"]["version"] == first["payload"]["version"]
+
+    def test_hinted_conflict_is_noop_but_unhinted_is_409(
+        self, engine, viable_target
+    ):
+        record = self._record(viable_target, review_id="IDEM-2")
+        assert (
+            handle_message(engine, {"op": "ingest", "reviews": [record]})[
+                "status"
+            ]
+            == 200
+        )
+        # A fresh AppliedDeltaSeqs models a post-restart worker whose
+        # in-memory ledger no longer remembers the seq.
+        hinted = handle_message(
+            engine,
+            {
+                "op": "ingest",
+                "reviews": [record],
+                "hinted": True,
+                "delta_seq": 7,
+            },
+            applied_seqs=AppliedDeltaSeqs(),
+        )
+        assert hinted["status"] == 200
+        assert hinted["payload"]["idempotent"] is True
+        plain = handle_message(engine, {"op": "ingest", "reviews": [record]})
+        assert plain["status"] == 409
+
+    def test_non_integer_delta_seq_is_400(self, engine, viable_target):
+        for bad in (True, "9", 1.5):
+            reply = handle_message(
+                engine,
+                {
+                    "op": "ingest",
+                    "reviews": [self._record(viable_target)],
+                    "delta_seq": bad,
+                },
+                applied_seqs=AppliedDeltaSeqs(),
+            )
+            assert reply["status"] == 400, bad
+            assert "delta_seq" in reply["error"]
+
+    def test_applied_seqs_bounded_fifo(self):
+        applied = AppliedDeltaSeqs(capacity=3)
+        for seq in (1, 2, 3, 4):
+            applied.add(seq)
+        assert 1 not in applied  # evicted
+        assert all(seq in applied for seq in (2, 3, 4))
+        assert len(applied) == 3
+        with pytest.raises(ValueError):
+            AppliedDeltaSeqs(capacity=0)
+
+
+class TestProductState:
+    """The gateway's replica-divergence probe op."""
+
+    def test_returns_ordered_review_ids(self, engine, viable_target):
+        reply = handle_message(
+            engine, {"op": "product_state", "product_id": viable_target}
+        )
+        assert reply["status"] == 200
+        payload = reply["payload"]
+        assert payload["product_id"] == viable_target
+        expected = [
+            r.review_id
+            for r in engine.store.corpus.reviews
+            if r.product_id == viable_target
+        ]
+        assert payload["review_ids"] == expected
+        assert payload["version"] == engine.store.version
+
+    def test_unknown_product_is_404(self, engine):
+        reply = handle_message(
+            engine, {"op": "product_state", "product_id": "NOPE"}
+        )
+        assert reply["status"] == 404
+
+    def test_missing_product_id_is_400(self, engine):
+        assert handle_message(engine, {"op": "product_state"})["status"] == 400
+        assert (
+            handle_message(engine, {"op": "product_state", "product_id": 3})[
+                "status"
+            ]
+            == 400
+        )
 
 
 class TestClassifyError:

@@ -98,6 +98,7 @@ class TestDurabilityScenarios:
         kinds = {scenario.kind for scenario in durability_suite()}
         assert kinds == {
             "kill9", "torn-wal", "disk-full", "tier-outage", "shard-kill",
+            "replica-failover",
         }
         names = {s.name for s in all_scenarios()}
         # Both suites are reachable from the CLI's combined listing.
