@@ -30,7 +30,9 @@ ingest hints, so the blast radius is latency, not availability.
 :meth:`resize` changes the shard count **live**: fresh workers are
 partitioned from ``HashRing.resized``, bulk-fed from the journal while
 traffic keeps flowing, caught up under a brief ingest stall (503 +
-``Retry-After`` — reads never pause), and the gateway's topology is
+``Retry-After`` — reads never pause; in-flight ingests are drained
+first so every acknowledged delta is in the journal the catch-up pass
+reads), and the gateway's topology is
 flipped atomically under a generation token before the workers that
 lost their ownership are drained and stopped.  Only key ranges that
 moved are streamed: the preference-list's stability under growth means
@@ -315,12 +317,13 @@ class ServingCluster:
 
         Sequence: spawn fresh workers from the resized ring's partition
         → bulk-replay the ingest journal into them (traffic untouched)
-        → stall ingest (503 + ``Retry-After``; reads keep flowing) →
-        catch-up replay → atomic topology flip under a new generation →
-        resume ingest → grace period → stop workers that lost their
-        ownership.  Requests observe only {200, 429, 503+Retry-After}
-        throughout, and never a wrong-shard answer: every request routes
-        against one immutable topology snapshot.
+        → stall ingest (503 + ``Retry-After``; reads keep flowing) and
+        drain the ingests already in flight so their journal appends
+        land → catch-up replay → atomic topology flip under a new
+        generation → resume ingest → grace period → stop workers that
+        lost their ownership.  Requests observe only {200, 429,
+        503+Retry-After} throughout, and never a wrong-shard answer:
+        every request routes against one immutable topology snapshot.
 
         Returns ``{"generation", "fresh", "dropped", "replayed_upto"}``.
         On failure the old topology stays in force and fresh workers are
@@ -403,12 +406,17 @@ class ServingCluster:
                 supervisor.stop()
             raise ClusterError(f"resize to {n_shards} failed: {exc}") from exc
 
-        async def _set_stall(flag: bool) -> None:
-            gateway.set_ingest_stall(flag)
+        async def _unstall() -> None:
+            gateway.set_ingest_stall(False)
 
         old_clients = list(gateway.clients)
         try:
-            self._on_loop(_set_stall(True))
+            # Stall *and drain*: an ingest that beat the stall check may
+            # still be awaiting shard acks, and it journals only after
+            # they return — the catch-up replay below must see that
+            # append, or an acknowledged delta never reaches the fresh
+            # workers.
+            self._on_loop(gateway.stall_ingest_and_drain(), timeout=180.0)
             try:
                 replayed = self._on_loop(
                     gateway.replay_journal(
@@ -428,7 +436,7 @@ class ServingCluster:
 
                 generation = self._on_loop(_flip())
             finally:
-                self._on_loop(_set_stall(False))
+                self._on_loop(_unstall())
         except Exception as exc:
             for supervisor in new_supervisors.values():
                 supervisor.stop()

@@ -21,10 +21,15 @@ things per request:
 3. **fan-out** — ``/v1/ingest`` deltas go to *every* shard holding an
    affected product (owner + replicas + comparative holders); when a
    holder is unreachable the delta is *hinted* — durably queued in a
-   :class:`~repro.serve.cluster.hints.HintQueue` and replayed once the
-   shard recovers (the worker's ``delta_seq`` idempotence makes replay
-   a no-op if the delta also arrived live) — ``/v1/snapshot`` and the
-   ``healthz``/``metrics`` aggregations go to all shards;
+   :class:`~repro.serve.cluster.hints.HintQueue` (atomically across
+   every down holder) and replayed once the shard recovers (the
+   worker's ``delta_seq`` idempotence makes replay a no-op if the
+   delta also arrived live).  Same-product deltas are serialised under
+   striped per-product locks held through the journal append, so every
+   replica and the journal replay stream apply them in ``delta_seq``
+   order, and a holder with an undrained hint backlog takes new deltas
+   through the queue, behind what it is owed.  ``/v1/snapshot`` and
+   the ``healthz``/``metrics`` aggregations go to all shards;
 4. **failure conversion** — a dead or restarting shard becomes 503 +
    ``Retry-After`` (reason ``shard_unavailable``) only once every
    replica in the preference list has been tried, never an uncaught
@@ -79,6 +84,11 @@ _SHARD_TIMEOUT_MARGIN = 5.0
 
 _MAX_HEADER_LINES = 100
 _MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Stripe count for the per-product ingest ordering locks.  Two
+#: products hashing to the same stripe serialise their deltas — a
+#: concurrency cost only, never a correctness one.
+_INGEST_STRIPES = 32
 
 _DIVERGENCE_HELP = (
     "replica groups observed (or at risk of) holding different review "
@@ -279,6 +289,9 @@ class ClusterGateway:
     unit tests: with ``hints``/``journal`` left ``None`` an unreachable
     holder fails the ingest with 503 exactly as before, and no delta
     journal is kept (which also means the cluster cannot live-resize).
+    ``hints`` does require ``journal``, though: a hint carries the
+    journal's ``delta_seq`` for idempotent replay, so queueing hints
+    without journalling would strip that and lose resize replay.
     ``shard_alive`` is a ``shard -> bool`` callable (the controller
     wires it to the supervisors) gating hint drain to recovered shards.
     """
@@ -303,6 +316,12 @@ class ClusterGateway:
             raise ValueError(
                 f"plan has {plan.shards} shards but {len(clients)} clients given"
             )
+        if hints is not None and journal is None:
+            raise ValueError(
+                "hints require a journal: every hinted delta carries the "
+                "journal's delta_seq so replay stays idempotent and "
+                "resizes can re-stream it"
+            )
         self.corpus = corpus
         self._topology = Topology(1, ring, plan, tuple(clients))
         self.hints = hints
@@ -312,6 +331,19 @@ class ClusterGateway:
         self._drain_task: asyncio.Task | None = None
         self._ingest_stalled = False
         self._stall_reason = "resizing"
+        # In-flight ingest accounting: stall_ingest_and_drain() waits on
+        # the idle event so a resize's catch-up replay never races an
+        # admitted ingest's journal append.
+        self._ingest_inflight = 0
+        self._ingest_idle = asyncio.Event()
+        self._ingest_idle.set()
+        # Per-product ordering locks (striped): held across sequence
+        # assignment, fan-out, hinting, and the journal append so every
+        # replica — and the journal — sees same-product deltas in one
+        # order.
+        self._ingest_stripes = tuple(
+            asyncio.Lock() for _ in range(_INGEST_STRIPES)
+        )
         # The delta-sequence counter resumes past everything already
         # journalled or hinted, so a gateway restart can never reissue a
         # sequence number (idempotence on the workers depends on that).
@@ -420,6 +452,25 @@ class ClusterGateway:
         """
         self._ingest_stalled = stalled
         self._stall_reason = reason
+
+    async def stall_ingest_and_drain(
+        self, *, reason: str = "resizing", timeout: float = 150.0
+    ) -> None:
+        """Stall ingest, then wait until no ingest handler is in flight.
+
+        The stall flag only stops *new* ingests.  A request that passed
+        the stall check may still be awaiting its shard acks, and it
+        appends to the journal only once the fan-out completes — which
+        can be after a bare catch-up replay has finished reading.  The
+        client would hold a 200 for a delta the fresh workers never
+        see.  So a resize calls this instead of a bare
+        :meth:`set_ingest_stall` and only runs its catch-up replay once
+        the in-flight count has drained to zero.  Raises
+        ``asyncio.TimeoutError`` (aborting the resize) if in-flight
+        ingests do not finish within ``timeout``.
+        """
+        self.set_ingest_stall(True, reason=reason)
+        await asyncio.wait_for(self._ingest_idle.wait(), timeout)
 
     # -- routing helpers -----------------------------------------------------
 
@@ -628,6 +679,22 @@ class ClusterGateway:
                 retry_after=self.jitter.apply(0.5),
                 extra={"reason": self._stall_reason},
             )
+        # Counted before the first await: stall_ingest_and_drain() waits
+        # for this to reach zero, so every ingest that beat the stall
+        # check finishes its journal append before the resize's catch-up
+        # replay reads the journal.
+        self._ingest_inflight += 1
+        self._ingest_idle.clear()
+        try:
+            return await self._ingest_admitted(body)
+        finally:
+            self._ingest_inflight -= 1
+            if not self._ingest_inflight:
+                self._ingest_idle.set()
+
+    async def _ingest_admitted(
+        self, body: dict
+    ) -> tuple[int, object, dict[str, str] | None]:
         unknown = sorted(set(body) - {"reviews"})
         if unknown:
             return self._error_response(400, f"unknown fields: {unknown}")
@@ -669,12 +736,66 @@ class ClusterGateway:
             for shard in topo.plan.holders(review.product_id):
                 groups.setdefault(shard, []).append(record)
 
+        # Review order is order-sensitive for instance construction, so
+        # two replicas applying the same pair of same-product deltas in
+        # opposite orders diverge byte-wise with no data lost.  The
+        # product's stripe lock is held across sequence assignment,
+        # fan-out, hinting, and the journal append, so every replica —
+        # and the journal's replay stream — observes same-product deltas
+        # in ``delta_seq`` order.  Stripes are acquired in index order,
+        # so overlapping deltas cannot deadlock.
+        stripes = sorted(
+            {
+                hash(review.product_id) % len(self._ingest_stripes)
+                for review in parsed
+            }
+        )
+        held: list[asyncio.Lock] = []
+        try:
+            for index in stripes:
+                lock = self._ingest_stripes[index]
+                await lock.acquire()
+                held.append(lock)
+            return await self._ingest_fanout(topo, parsed, reviews, groups)
+        finally:
+            for lock in reversed(held):
+                lock.release()
+
+    async def _ingest_fanout(
+        self,
+        topo: Topology,
+        parsed: list,
+        reviews: list[dict],
+        groups: dict[int, list[dict]],
+    ) -> tuple[int, object, dict[str, str] | None]:
         delta_seq: int | None = None
         if self.journal is not None:
             self._delta_seq += 1
             delta_seq = self._delta_seq
 
+        # A shard with undelivered hints must not take this delta live:
+        # the queued deltas precede it, and applying the new one first
+        # would reorder that replica alone.  Queueing behind the backlog
+        # preserves per-shard apply order (the drain delivers in queue
+        # order, and the worker's seq ledger no-ops any overlap).
+        backlogged: set[int] = set()
+        if self.hints is not None:
+            backlogged = {
+                shard for shard in groups if self.hints.depth(shard)
+            }
+
         async def _one(shard: int, records: list[dict]):
+            if shard in backlogged:
+                return shard, {
+                    "status": 503,
+                    "error": (
+                        f"shard {shard} has undelivered hints queued "
+                        "ahead of this delta"
+                    ),
+                    "retry_after": self.jitter.apply(1.0),
+                    "extra": {"reason": "hint_backlog", "shard": shard},
+                    "unreachable": True,
+                }
             message: dict[str, object] = {"op": "ingest", "reviews": records}
             if delta_seq is not None:
                 message["delta_seq"] = delta_seq
@@ -714,20 +835,28 @@ class ClusterGateway:
             for review in parsed:
                 if not set(topo.plan.preference(review.product_id)) & acked:
                     return self._relay_ingest_failure(results, down)
+            assert delta_seq is not None  # hints imply a journal
             try:
-                for shard, _reply in down:
-                    self.hints.add(shard, groups[shard], delta_seq)
-                    self.metrics.counter(
-                        "repro_hints_queued_total",
-                        "ingest deltas queued as hints for unreachable shards",
-                        labels={"shard": str(shard)},
-                    ).inc()
-                    hinted.append(shard)
+                # All-or-nothing across the down shards: a delta only
+                # partially queued before an overflow would later drain
+                # to some replicas although the client saw the write
+                # fail — guaranteed divergence.
+                self.hints.add_all(
+                    {shard: groups[shard] for shard, _reply in down},
+                    delta_seq,
+                )
             except HintOverflow as exc:
                 return self._error_response(
                     503, str(exc), retry_after=self.jitter.apply(2.0),
                     extra={"reason": "hint_overflow", "shard": exc.shard},
                 )
+            for shard, _reply in down:
+                self.metrics.counter(
+                    "repro_hints_queued_total",
+                    "ingest deltas queued as hints for unreachable shards",
+                    labels={"shard": str(shard)},
+                ).inc()
+                hinted.append(shard)
         if self.journal is not None:
             # Journal-then-ack: the journal is the resize replay stream,
             # so only deltas the client saw acknowledged may appear in

@@ -97,13 +97,40 @@ class HintQueue:
         down.  Returns the hint's queue sequence number.  Raises
         :class:`HintOverflow` at the bound *before* writing anything.
         """
+        return self.add_all({shard: records}, delta_seq)[shard]
+
+    def add_all(
+        self, deltas: dict[int, list[dict]], delta_seq: int
+    ) -> dict[int, int]:
+        """Queue one delta's hints for several shards, all or nothing.
+
+        A single client-visible delta can miss more than one replica at
+        once, and its hints must land atomically: a delta queued for
+        some of its down shards before :class:`HintOverflow` fired for
+        another would later drain to those replicas even though the
+        client was told the write failed — and, absent from the
+        journal, it would never reach resize-built workers, so the
+        replica groups would diverge permanently.  Capacity is checked
+        for every shard *before* anything is written, so an overflow
+        leaves every queue untouched.  Returns ``{shard: queue seq}``.
+        """
         with self._lock:
-            log = self._log(shard)
-            if len(log) >= self.max_per_shard:
-                raise HintOverflow(shard, self.max_per_shard)
-            return log.append(
-                {"kind": "hint", "reviews": records, "delta_seq": delta_seq}
-            )
+            logs: dict[int, WriteAheadLog] = {}
+            for shard in sorted(deltas):
+                log = self._log(shard)
+                if len(log) >= self.max_per_shard:
+                    raise HintOverflow(shard, self.max_per_shard)
+                logs[shard] = log
+            return {
+                shard: log.append(
+                    {
+                        "kind": "hint",
+                        "reviews": deltas[shard],
+                        "delta_seq": delta_seq,
+                    }
+                )
+                for shard, log in logs.items()
+            }
 
     # -- read / drain path ---------------------------------------------------
 
@@ -165,7 +192,9 @@ class HintQueue:
             best = 0
             for log in self._logs.values():
                 for _seq, payload in log.replay(0):
-                    best = max(best, int(payload.get("delta_seq", 0)))
+                    raw = payload.get("delta_seq")
+                    if isinstance(raw, int) and not isinstance(raw, bool):
+                        best = max(best, raw)
             return best
 
     def close(self) -> None:

@@ -70,6 +70,41 @@ class TestHintQueue:
         assert queue.max_delta_seq() == 2
         queue.close()
 
+    def test_add_all_is_atomic_across_shards(self, tmp_path):
+        """An overflow on any shard leaves every queue untouched."""
+        queue = HintQueue(tmp_path, max_per_shard=2)
+        queue.add(1, _records(1), delta_seq=1)
+        queue.add(1, _records(1, start=1), delta_seq=2)
+        with pytest.raises(HintOverflow) as exc_info:
+            queue.add_all(
+                {0: _records(1, start=2), 1: _records(1, start=3)},
+                delta_seq=3,
+            )
+        assert exc_info.value.shard == 1
+        # Shard 0's hint was not queued: the drain would otherwise
+        # deliver a delta the client was told failed.
+        assert queue.depth(0) == 0
+        assert queue.depth(1) == 2
+        seqs = queue.add_all(
+            {0: _records(1, start=4), 2: _records(1, start=5)}, delta_seq=4
+        )
+        assert set(seqs) == {0, 2}
+        assert queue.depth(0) == 1
+        assert queue.depth(2) == 1
+        queue.close()
+
+    def test_max_delta_seq_survives_records_without_seq(self, tmp_path):
+        """A hint record with a null delta_seq must not crash recovery."""
+        from repro.serve.wal import WriteAheadLog
+
+        log = WriteAheadLog(tmp_path / "hints-shard-0.wal")
+        log.append({"kind": "hint", "reviews": _records(1), "delta_seq": None})
+        log.append({"kind": "hint", "reviews": _records(1, start=1)})
+        log.close()
+        queue = HintQueue(tmp_path)
+        assert queue.max_delta_seq() == 0
+        queue.close()
+
     def test_recovery_after_restart(self, tmp_path):
         """A new queue over the same root resumes every undelivered hint."""
         queue = HintQueue(tmp_path)

@@ -26,14 +26,21 @@ from repro.serve.cluster import (
     ClusterConfig,
     ClusterGateway,
     HashRing,
+    HintQueue,
     ServingCluster,
     ShardClient,
     partition_corpus,
+)
+from repro.serve.cluster.proto import (
+    FrameError,
+    read_frame_async,
+    write_frame_async,
 )
 from repro.serve.engine import SelectionEngine
 from repro.serve.http import make_server
 from repro.serve.store import ItemStore
 from repro.serve.supervisor import RestartPolicy
+from repro.serve.wal import WriteAheadLog
 
 SHARDS = 4
 
@@ -331,3 +338,215 @@ class TestGatewayUnits:
         assert status == 503
         assert payload["reason"] == "shard_unavailable"
         assert headers and "Retry-After" in headers
+
+    def test_hints_without_journal_are_rejected(self, parts, tmp_path):
+        """A hint needs the journal's delta_seq to replay idempotently."""
+        corpus, plan, ring, clients = parts
+        hints = HintQueue(tmp_path)
+        with pytest.raises(ValueError, match="journal"):
+            ClusterGateway(corpus, plan, ring, clients, hints=hints)
+        hints.close()
+
+
+def _review_record(product_id: str, review_id: str) -> dict:
+    return {
+        "review_id": review_id,
+        "product_id": product_id,
+        "rating": 4.0,
+        "text": "solid value and battery",
+        "mentions": [{"aspect": "value", "sentiment": 1}],
+    }
+
+
+async def _fake_shard(events: list, delays: list[float]):
+    """An in-loop shard stub: acks ingest frames, recording start/end.
+
+    ``delays`` is consumed one entry per frame (0 once exhausted), so a
+    test can make the first delta slow and observe what the gateway
+    lets overlap with it.
+    """
+
+    async def handler(reader, writer):
+        while True:
+            try:
+                message = await read_frame_async(reader)
+            except (FrameError, asyncio.IncompleteReadError, OSError):
+                break
+            seq = message.get("delta_seq")
+            events.append(("start", seq))
+            await asyncio.sleep(delays.pop(0) if delays else 0.0)
+            events.append(("end", seq))
+            reviews = message.get("reviews", [])
+            await write_frame_async(
+                writer,
+                {
+                    "status": 200,
+                    "payload": {
+                        "added": len(reviews),
+                        "affected": sorted(
+                            {r["product_id"] for r in reviews}
+                        ),
+                    },
+                },
+            )
+        writer.close()
+
+    server = await asyncio.start_server(handler, "127.0.0.1", 0)
+    return server, server.sockets[0].getsockname()[1]
+
+
+class TestIngestOrderingAndStall:
+    """Replication-ordering gateway checks against fake shard stubs."""
+
+    def test_same_product_ingests_apply_in_delta_seq_order(
+        self, corpus, tmp_path
+    ):
+        """Concurrent same-product deltas reach the shard serially.
+
+        Without per-product serialisation two concurrent ingests can
+        reach a shard's replicas over different pooled connections in
+        opposite orders, breaking failover byte-identity even though no
+        data is lost.
+        """
+
+        async def scenario():
+            events: list = []
+            server, port = await _fake_shard(events, [0.3])
+            ring = HashRing(1)
+            plan = partition_corpus(corpus, ring)
+            journal = WriteAheadLog(tmp_path / "journal.wal")
+            gateway = ClusterGateway(
+                corpus, plan, ring,
+                [ShardClient(0, "127.0.0.1", lambda: port)],
+                hints=HintQueue(tmp_path / "hints"),
+                journal=journal,
+            )
+            pid = corpus.products[0].product_id
+            first = asyncio.create_task(
+                gateway._handle_ingest(
+                    {"reviews": [_review_record(pid, "ORD-1")]}
+                )
+            )
+            await asyncio.sleep(0.05)  # first is mid-fan-out on the stub
+            second = asyncio.create_task(
+                gateway._handle_ingest(
+                    {"reviews": [_review_record(pid, "ORD-2")]}
+                )
+            )
+            status_1, _, _ = await first
+            status_2, _, _ = await second
+            assert status_1 == 200 and status_2 == 200
+            journalled = [
+                record["delta_seq"] for _, record in journal.replay(0)
+            ]
+            server.close()
+            await server.wait_closed()
+            return events, journalled
+
+        events, journalled = asyncio.run(scenario())
+        # The second delta's fan-out waited for the first to finish and
+        # journal: no interleaving at the shard, and the journal replay
+        # stream carries the deltas in delta_seq order.
+        assert events == [("start", 1), ("end", 1), ("start", 2), ("end", 2)]
+        assert journalled == [1, 2]
+
+    def test_stall_drains_inflight_ingest_before_returning(
+        self, corpus, tmp_path
+    ):
+        """The resize stall must not leave an admitted ingest un-journalled.
+
+        An ingest that passed the stall check appends to the journal
+        only after its fan-out completes; the catch-up replay may only
+        run once that append has landed, or an acknowledged delta never
+        reaches the resize-built workers.
+        """
+
+        async def scenario():
+            events: list = []
+            server, port = await _fake_shard(events, [0.3])
+            ring = HashRing(1)
+            plan = partition_corpus(corpus, ring)
+            journal = WriteAheadLog(tmp_path / "journal.wal")
+            gateway = ClusterGateway(
+                corpus, plan, ring,
+                [ShardClient(0, "127.0.0.1", lambda: port)],
+                hints=HintQueue(tmp_path / "hints"),
+                journal=journal,
+            )
+            pid = corpus.products[0].product_id
+            inflight = asyncio.create_task(
+                gateway._handle_ingest(
+                    {"reviews": [_review_record(pid, "STALL-1")]}
+                )
+            )
+            await asyncio.sleep(0.05)  # in flight, past the stall check
+            await gateway.stall_ingest_and_drain()
+            # The drain waited out the in-flight ingest: its delta is in
+            # the journal before any catch-up replay would read it.
+            assert [
+                record["delta_seq"] for _, record in journal.replay(0)
+            ] == [1]
+            status, _, _ = await inflight
+            assert status == 200
+            status, payload, headers = await gateway._handle_ingest(
+                {"reviews": [_review_record(pid, "STALL-2")]}
+            )
+            assert status == 503
+            assert payload["reason"] == "resizing"
+            assert headers and "Retry-After" in headers
+            gateway.set_ingest_stall(False)
+            status, _, _ = await gateway._handle_ingest(
+                {"reviews": [_review_record(pid, "STALL-2")]}
+            )
+            assert status == 200
+            server.close()
+            await server.wait_closed()
+
+        asyncio.run(scenario())
+
+    def test_backlogged_shard_is_hinted_not_written_live(
+        self, corpus, tmp_path
+    ):
+        """A shard owing hints takes new deltas through its queue.
+
+        Writing live past an undrained backlog would apply the newest
+        delta before the queued ones on that replica alone — the same
+        divergence the hint queue exists to prevent.
+        """
+
+        async def scenario():
+            events_0: list = []
+            events_1: list = []
+            server_0, port_0 = await _fake_shard(events_0, [])
+            server_1, port_1 = await _fake_shard(events_1, [])
+            ring = HashRing(2)
+            plan = partition_corpus(corpus, ring, replicas=2)
+            pid = corpus.products[0].product_id
+            hints = HintQueue(tmp_path / "hints")
+            # Shard 1 is owed an earlier delta it never saw.
+            hints.add(1, [_review_record(pid, "BACK-0")], delta_seq=1)
+            gateway = ClusterGateway(
+                corpus, plan, ring,
+                [
+                    ShardClient(0, "127.0.0.1", lambda: port_0),
+                    ShardClient(1, "127.0.0.1", lambda: port_1),
+                ],
+                hints=hints,
+                journal=WriteAheadLog(tmp_path / "journal.wal"),
+            )
+            status, payload, _ = await gateway._handle_ingest(
+                {"reviews": [_review_record(pid, "BACK-1")]}
+            )
+            assert status == 200, payload
+            assert payload["hinted"] == [1]
+            assert payload["delta_seq"] == 2
+            # The new delta joined the queue behind the backlog instead
+            # of reaching the shard live and out of order.
+            assert hints.depth(1) == 2
+            assert not events_1
+            assert events_0  # the live replica acked the delta
+            for server in (server_0, server_1):
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(scenario())
