@@ -1,6 +1,6 @@
 # Developer conveniences; everything also works as plain pytest/python calls.
 
-.PHONY: install test bench examples experiments serve-smoke cluster-smoke chaos-smoke recovery-smoke bench-core-smoke bench-eval-smoke ci lint clean
+.PHONY: install test bench examples experiments serve-smoke cluster-smoke chaos-smoke recovery-smoke bench-core-smoke bench-eval-smoke bench-batch-smoke ci lint clean
 
 install:
 	pip install -e .
@@ -43,6 +43,11 @@ bench-core-smoke:
 # ROUGE eval kernel vs reference: bitwise-equal scores + >= 1x speedup.
 bench-eval-smoke:
 	PYTHONPATH=src python scripts/bench_eval_smoke.py
+
+# Cross-request batch solver + pre-screen: identical selections, and on
+# a >= 4-CPU runner the 16-burst amortisation floor.
+bench-batch-smoke:
+	PYTHONPATH=src python scripts/bench_batch_smoke.py
 
 # Mirrors .github/workflows/ci.yml: the test matrix plus the lint job.
 # Lint is skipped with a notice when ruff is not installed locally.

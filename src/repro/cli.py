@@ -598,7 +598,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--batch-window", type=float, default=0.0, metavar="SECONDS",
-        help="micro-batching window for same-target requests (0 disables)",
+        help="cross-request micro-batching window: concurrent select "
+        "misses of one corpus generation are GEMM-stacked into one "
+        "batched solve (0 disables)",
     )
     serve.add_argument(
         "--max-pending", type=int, default=64,

@@ -137,4 +137,9 @@ class CompareSetsSelector:
             selections=tuple(selections),
             algorithm=self.name,
             timings=own_timer.as_millis() if own_timer is not None else None,
+            counters=(
+                dict(own_timer.counters)
+                if own_timer is not None and own_timer.counters
+                else None
+            ),
         )

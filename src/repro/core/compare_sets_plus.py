@@ -174,6 +174,11 @@ class CompareSetsPlusSelector:
             selections=tuple(selections),
             algorithm=self.name,
             timings=timer.as_millis() if timer is not None else None,
+            counters=(
+                dict(timer.counters)
+                if timer is not None and timer.counters
+                else None
+            ),
         )
 
     @staticmethod

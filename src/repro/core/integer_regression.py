@@ -183,20 +183,24 @@ def largest_remainder_round(
     return base
 
 
-def round_to_counts(
+def round_to_counts_table(
     x: np.ndarray, capacities: np.ndarray, max_total: int
-) -> np.ndarray:
-    """Discrete stage: integer counts nu minimising the normalised L1 gap.
+) -> list[tuple[np.ndarray, float] | None]:
+    """Per-total apportionments behind :func:`round_to_counts`.
 
-    Searches every total s = 1..max_total, apportions s units by largest
-    remainder, and keeps the nu whose L1-normalised form is closest to the
-    L1-normalised x (the criterion of Algorithm 1, line 8).  Returns the
-    zero vector when x is identically zero.
+    Entry ``s - 1`` holds ``(counts, gap)`` for total ``s`` — the
+    largest-remainder apportionment of ``s`` units and its L1-normalised
+    distance to ``x`` — or ``None`` when the allocation collapses to zero.
+    Each row depends only on its own ``s``, never on ``max_total``, so a
+    table built at a large budget serves every smaller budget as a prefix:
+    the cross-request batch solver rounds one shared pursuit path once and
+    replays each request's budget as a prefix scan.  An empty list means
+    ``x`` carries no mass (the rounded counts are all zero).
     """
     x = np.asarray(x, dtype=float)
     mass = float(np.abs(x).sum())
     if mass == 0.0 or max_total <= 0:
-        return np.zeros(len(x), dtype=int)
+        return []
     normalised = x / mass
 
     # All apportionment inputs are batched over s = 1..max_total up front:
@@ -211,8 +215,7 @@ def round_to_counts(
     orders = np.argsort(bases - ideals, axis=1, kind="stable")
     all_slacks = capacities[None, :] - bases
 
-    best_counts = np.zeros(len(x), dtype=int)
-    best_gap = np.inf
+    table: list[tuple[np.ndarray, float] | None] = []
     for row in range(max_total):
         s = row + 1
         counts = bases[row]
@@ -236,12 +239,50 @@ def round_to_counts(
                     break
         count_sum = int(counts.sum())
         if count_sum == 0:
+            table.append(None)
             continue
         gap = float(np.abs(counts / count_sum - normalised).sum())
+        table.append((counts, gap))
+    return table
+
+
+def best_counts_in_table(
+    table: Sequence[tuple[np.ndarray, float] | None],
+    max_total: int,
+    num_groups: int,
+) -> np.ndarray:
+    """The winning counts among totals ``1..max_total`` of ``table``.
+
+    Applies :func:`round_to_counts`'s exact rule — strict 1e-12
+    improvement, lowest total wins ties — so slicing a shared table is
+    byte-identical to rounding from scratch at ``max_total``.
+    """
+    best_counts: np.ndarray | None = None
+    best_gap = np.inf
+    for entry in table[:max_total]:
+        if entry is None:
+            continue
+        counts, gap = entry
         if gap < best_gap - 1e-12:
             best_gap = gap
             best_counts = counts
+    if best_counts is None:
+        return np.zeros(num_groups, dtype=int)
     return best_counts
+
+
+def round_to_counts(
+    x: np.ndarray, capacities: np.ndarray, max_total: int
+) -> np.ndarray:
+    """Discrete stage: integer counts nu minimising the normalised L1 gap.
+
+    Searches every total s = 1..max_total, apportions s units by largest
+    remainder, and keeps the nu whose L1-normalised form is closest to the
+    L1-normalised x (the criterion of Algorithm 1, line 8).  Returns the
+    zero vector when x is identically zero.
+    """
+    table = round_to_counts_table(x, capacities, max_total)
+    return best_counts_in_table(table, max_total, len(np.asarray(x)))
 
 
 def counts_to_selection(

@@ -81,16 +81,18 @@ from repro.core.distance import concat_scaled, squared_l2
 from repro.core.integer_regression import (
     _CORRELATION_TOLERANCE,
     RegressionSelection,
+    best_counts_in_table,
     counts_to_selection,
     deduplicate_columns,
     round_to_counts,
+    round_to_counts_table,
 )
 from repro.core.problem import SelectionConfig
 from repro.core.vectors import OpinionScheme, VectorSpace, _sigmoid
 from repro.data.models import Review
 
 #: The per-stage timing buckets exposed in serving provenance and metrics.
-STAGES = ("dedup", "gram", "pursuit", "round", "evaluate")
+STAGES = ("dedup", "gram", "screen", "pursuit", "round", "evaluate")
 
 
 class StageTimer:
@@ -98,12 +100,17 @@ class StageTimer:
 
     One timer typically spans a whole selector run (all items, all
     sweeps); :meth:`as_millis` snapshots the totals for provenance.
+    ``counters`` accumulates integer event counts alongside the timings —
+    the candidate pre-screen records how many columns it examined, kept,
+    and promoted there, and the serving layer surfaces the totals as
+    solver provenance.
     """
 
-    __slots__ = ("seconds",)
+    __slots__ = ("seconds", "counters")
 
     def __init__(self) -> None:
         self.seconds: dict[str, float] = {stage: 0.0 for stage in STAGES}
+        self.counters: dict[str, int] = {}
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
@@ -112,6 +119,10 @@ class StageTimer:
             yield
         finally:
             self.seconds[name] += time.perf_counter() - began
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Accumulate an integer event counter (screen sizes, rechecks)."""
+        self.counters[name] = self.counters.get(name, 0) + int(amount)
 
     def as_millis(self) -> dict[str, float]:
         """Stage totals in milliseconds (a fresh dict; safe to keep)."""
@@ -138,12 +149,14 @@ class GramBlock:
         "column_group",
         "unique_opinion",
         "unique_aspect",
-        "gram_op",
-        "gram_asp",
+        "_gram_op",
+        "_gram_asp",
         "_dedup_matrix",
         "_sync_rows",
         "_stacks",
         "_grams",
+        "_norms",
+        "_nonneg",
     )
 
     def __init__(
@@ -184,20 +197,39 @@ class GramBlock:
         with timer.stage("gram"):
             self.unique_opinion = opinion[:, firsts]
             self.unique_aspect = aspect[:, firsts]
-            if grams is not None:
-                # Snapshot restore: the Gram blocks were persisted, so the
-                # two matmuls are skipped.  They are pure functions of the
-                # unique columns, making the injected values verifiable.
-                self.gram_op, self.gram_asp = grams
-            else:
-                self.gram_op = self.unique_opinion.T @ self.unique_opinion
-                self.gram_asp = self.unique_aspect.T @ self.unique_aspect
+        if grams is not None:
+            # Snapshot restore: the Gram blocks were persisted, so the
+            # two matmuls are skipped.  They are pure functions of the
+            # unique columns, making the injected values verifiable.
+            self._gram_op, self._gram_asp = grams
+        else:
+            # Built lazily on first access: the screened pursuit path
+            # never touches the O(q^2 D) Gram products, which is the
+            # whole point of pre-screening 10k-100k-review items.
+            self._gram_op = None
+            self._gram_asp = None
         self._stacks: dict[int, np.ndarray] = {}
         self._grams: dict[int, np.ndarray] = {}
+        self._norms: dict[int, np.ndarray] = {}
+        self._nonneg: bool | None = None
 
     @property
     def num_groups(self) -> int:
         return len(self.groups)
+
+    @property
+    def gram_op(self) -> np.ndarray:
+        """``O_u^T O_u`` over the unique columns (built on first access)."""
+        if self._gram_op is None:
+            self._gram_op = self.unique_opinion.T @ self.unique_opinion
+        return self._gram_op
+
+    @property
+    def gram_asp(self) -> np.ndarray:
+        """``A_u^T A_u`` over the unique columns (built on first access)."""
+        if self._gram_asp is None:
+            self._gram_asp = self.unique_aspect.T @ self.unique_aspect
+        return self._gram_asp
 
     def stacked(self, sync_blocks: int = 0) -> np.ndarray:
         """The unique-column stacked matrix for ``sync_blocks`` sync copies.
@@ -236,6 +268,35 @@ class GramBlock:
             counts[self.column_group[index]] += 1
         return counts
 
+    def column_norms(self, sync_blocks: int = 0) -> np.ndarray:
+        """Per-column L2 norms of :meth:`stacked` (memoised per count).
+
+        The pre-screen's Cauchy-Schwarz bound ``corr_j <= ||w_j|| ||r||``
+        needs them once per (block, sync count); O(q D), no Gram.
+        """
+        cached = self._norms.get(sync_blocks)
+        if cached is not None:
+            return cached
+        stack = self.stacked(sync_blocks)
+        norms = np.sqrt(np.einsum("ij,ij->j", stack, stack))
+        self._norms[sync_blocks] = norms
+        return norms
+
+    def nonnegative(self) -> bool:
+        """Whether every stacked-matrix entry is >= 0 (memoised).
+
+        All three opinion schemes produce non-negative incidence (0/1
+        counts, or sigmoid strengths in (0, 1)), which the pre-screen's
+        ``corr_j <= b_j`` bound relies on; the check guards against a
+        future scheme with signed entries, for which the screen falls
+        back to the norm bound alone.  Sync row blocks are scaled copies
+        of the aspect rows, so checking the base dedup matrix covers
+        every sync count.
+        """
+        if self._nonneg is None:
+            self._nonneg = bool(np.all(self._dedup_matrix >= 0.0))
+        return self._nonneg
+
     def _check_sync(self, sync_blocks: int) -> None:
         if sync_blocks < 0:
             raise ValueError(f"sync_blocks must be >= 0, got {sync_blocks}")
@@ -263,10 +324,16 @@ class SolverArtifacts:
         timer: StageTimer | None = None,
         incidence: tuple[np.ndarray, np.ndarray] | None = None,
         base_grams: tuple[np.ndarray, np.ndarray] | None = None,
+        screen: str = "auto",
     ) -> None:
+        if screen not in _SCREEN_MODES:
+            raise ValueError(
+                f"screen must be one of {sorted(_SCREEN_MODES)}, got {screen!r}"
+            )
         self.space = space
         self.reviews: tuple[Review, ...] = tuple(reviews)
         self.lam = float(lam)
+        self.screen = screen
         if incidence is not None:
             # Snapshot restore: the persisted incidence matrices replace
             # the per-review tokenised-corpus walks, which dominate cold
@@ -350,6 +417,60 @@ class SolverArtifacts:
             self._solve_cache.setdefault(key, result)
             return self._solve_cache[key]
 
+    def peek(self, key: tuple) -> RegressionSelection | None:
+        """A memoised solve for ``key``, or None (never computes).
+
+        The batched entry points use it to split a request batch into
+        memo hits and the misses worth stacking into one multi-RHS
+        pursuit.
+        """
+        with self._lock:
+            return self._solve_cache.get(key)
+
+    def solve_many(
+        self,
+        jobs: Sequence[tuple],
+        *,
+        timer: StageTimer | None = None,
+        exact: bool = True,
+    ) -> list:
+        """Solve a mixed batch of per-item subproblems in lockstep.
+
+        Each job is either ``("item", tau, gamma, config)`` — one Eq.-4
+        CompaReSetS solve, yielding a :class:`RegressionSelection` — or
+        ``("plus", tau, gamma, other_phis, config, current, literal)`` —
+        one Algorithm-1 inner iteration, yielding the accepted selection
+        tuple exactly like :func:`solve_plus_item`.  Jobs that share a
+        Gram block are stacked into single GEMM-shaped pursuit rounds
+        (:func:`batch_omp_many`); results are byte-identical to issuing
+        the jobs one at a time and land in the same memo cache.
+        """
+        timer = timer if timer is not None else StageTimer()
+        results: list = [None] * len(jobs)
+        item_jobs: list[tuple[int, tuple]] = []
+        plus_jobs: list[tuple[int, tuple]] = []
+        for index, job in enumerate(jobs):
+            kind = job[0]
+            if kind == "item":
+                item_jobs.append((index, job[1:]))
+            elif kind == "plus":
+                plus_jobs.append((index, job[1:]))
+            else:
+                raise ValueError(f"unknown solve_many job kind {kind!r}")
+        if item_jobs:
+            solved = solve_item_many(
+                self, [job for _, job in item_jobs], timer=timer, exact=exact
+            )
+            for (index, _), result in zip(item_jobs, solved):
+                results[index] = result
+        if plus_jobs:
+            solved = solve_plus_item_many(
+                self, [job for _, job in plus_jobs], timer=timer, exact=exact
+            )
+            for (index, _), result in zip(plus_jobs, solved):
+                results[index] = result
+        return results
+
     def clear_solve_cache(self) -> None:
         """Drop memoised solve results, keeping the Gram blocks.
 
@@ -378,6 +499,40 @@ class SolverArtifacts:
 #: Upper bound on memoised solves per :class:`SolverArtifacts`; the cache
 #: clears wholesale when full (see :meth:`SolverArtifacts.cached_solve`).
 _SOLVE_CACHE_LIMIT = 1024
+
+#: Valid candidate pre-screen modes for :class:`SolverArtifacts`.
+#: ``auto`` screens provably once an item crosses
+#: :data:`_SCREEN_MIN_GROUPS` unique columns; ``provable`` / ``empirical``
+#: force screening at any size (the latter trades the exactness
+#: certificate for speed); ``off`` disables it.
+_SCREEN_MODES = frozenset({"auto", "off", "provable", "empirical"})
+
+#: ``screen="auto"`` threshold: below this many unique columns the dense
+#: Gram path is already fast and byte-exact, so screening only kicks in
+#: for huge items (the paper's corpora top out far below it).
+_SCREEN_MIN_GROUPS = 2048
+
+#: Kept-set sizing for the pre-screen: ``max(_SCREEN_KEEP_MIN,
+#: _SCREEN_KEEP_FACTOR * budget)`` columns survive the initial
+#: correlation ranking.  Purely a performance knob — the per-round
+#: certificate recovers any wrongly pruned column — sized so promotions
+#: stay rare in practice.
+_SCREEN_KEEP_MIN = 256
+_SCREEN_KEEP_FACTOR = 16
+
+
+def _screen_active(screen: str, num_groups: int, exact: bool) -> bool:
+    """Whether the pre-screen governs this solve.
+
+    ``exact=False`` already runs the textbook fast path whose selections
+    may diverge; the screen only targets the exact path, where avoiding
+    the O(q^2) Gram is the win worth certifying.
+    """
+    if screen == "off" or not exact:
+        return False
+    if screen == "auto":
+        return num_groups >= _SCREEN_MIN_GROUPS
+    return True
 
 #: Relative margin below which a screened atom choice counts as a tie and
 #: the exact correlation vector is recomputed.  The fp discrepancy between
@@ -496,6 +651,348 @@ def batch_omp_path(
     return path
 
 
+class _PursuitState:
+    """Per-problem bookkeeping of one :func:`batch_omp_many` member."""
+
+    __slots__ = (
+        "b",
+        "target",
+        "target_float",
+        "max_steps",
+        "support",
+        "in_support",
+        "coefficients",
+        "lower",
+        "cholesky_ok",
+        "path",
+    )
+
+    def __init__(
+        self, b: np.ndarray, target: np.ndarray, max_steps: int,
+        num_columns: int, exact: bool,
+    ) -> None:
+        self.b = np.asarray(b, dtype=float)
+        self.target = target
+        self.target_float = target.astype(float)
+        self.max_steps = max_steps
+        self.support: list[int] = []
+        self.in_support = np.zeros(num_columns, dtype=bool)
+        self.coefficients = np.zeros(0)
+        self.lower = np.zeros((max_steps, max_steps)) if not exact else None
+        self.cholesky_ok = not exact
+        self.path: list[np.ndarray] = []
+
+
+def batch_omp_many(
+    gram: np.ndarray,
+    bs: Sequence[np.ndarray],
+    budgets: Sequence[int],
+    stacked: np.ndarray,
+    targets: Sequence[np.ndarray],
+    *,
+    exact: bool = True,
+) -> list[list[np.ndarray]]:
+    """Many concurrent pursuits over one shared Gram, GEMM-stacked.
+
+    The multi-RHS counterpart of :func:`batch_omp_path`: ``bs[t]``,
+    ``budgets[t]``, ``targets[t]`` pose problem ``t`` against the shared
+    ``gram = stacked^T stacked``, and each round updates every still-active
+    problem's correlations with **one** ``gram[:, S_union] @ C`` product
+    (``S_union`` the union of active supports, ``C`` the per-problem
+    coefficients scattered into union rows) instead of one mat-vec per
+    problem.  Returns each problem's per-atom solution path; in exact mode
+    (the default) it is byte-identical to
+    ``batch_omp_path(gram, bs[t], budgets[t], stacked, targets[t])``.
+    ``exact=False`` keeps the textbook fast path's existing caveat: with
+    no tie rechecks, the GEMM's summation-order noise may flip tie-heavy
+    atom choices exactly like the fast path already may against the
+    reference.
+
+    Why the GEMM cannot flip an exact-mode selection: zero rows of ``C``
+    contribute
+    exactly 0.0, so the batched alpha differs from the sequential one only
+    by summation-order noise (~1e-13 relative), four orders of magnitude
+    below :data:`_TIE_MARGIN` — any choice that close to the margin
+    triggers the same reference-expression recheck either way, and the
+    recheck recomputes ``W^T (y - W_S c)`` per problem with the exact
+    sequential expression.  First-round correlations are the caller's
+    ``b`` vectors verbatim (never re-derived through the GEMM), and the
+    support coefficients come from per-problem scipy ``nnls`` on identical
+    inputs.
+
+    Identical targets are internally deduplicated: the greedy choice and
+    the per-round nnls are budget-independent, so the budget-``m`` path is
+    the first ``m`` entries of the longest requested path (one pursuit,
+    sliced per requester).
+    """
+    if gram.ndim != 2 or gram.shape[0] != gram.shape[1]:
+        raise ValueError(f"expected a square Gram matrix, got shape {gram.shape}")
+    if not (len(bs) == len(budgets) == len(targets)):
+        raise ValueError(
+            f"mismatched batch: {len(bs)} correlation vectors, "
+            f"{len(budgets)} budgets, {len(targets)} targets"
+        )
+    num_columns = gram.shape[1]
+    paths: list[list[np.ndarray]] = [[] for _ in range(len(bs))]
+    if num_columns == 0 or not bs:
+        return paths
+
+    # Dedup identical subproblems (same target implies same b): solve one
+    # pursuit at the largest requested budget, slice prefixes per member.
+    members: dict[bytes, list[int]] = {}
+    for index, target in enumerate(targets):
+        members.setdefault(target.tobytes(), []).append(index)
+    states: list[_PursuitState] = []
+    groups: list[list[int]] = []
+    for group in members.values():
+        budget = max(budgets[i] for i in group)
+        max_steps = min(budget, num_columns)
+        if max_steps <= 0:
+            continue
+        leader = group[0]
+        states.append(
+            _PursuitState(
+                bs[leader], targets[leader], max_steps, num_columns, exact
+            )
+        )
+        groups.append(group)
+
+    active = list(range(len(states)))
+    while active:
+        union = sorted({atom for p in active for atom in states[p].support})
+        alphas = np.column_stack([states[p].b for p in active])
+        if union:
+            scatter = np.zeros((len(union), len(active)))
+            row_of = {atom: row for row, atom in enumerate(union)}
+            for col, p in enumerate(active):
+                state = states[p]
+                if state.support:
+                    rows = [row_of[atom] for atom in state.support]
+                    scatter[rows, col] = state.coefficients
+            alphas -= gram[:, union] @ scatter
+        still_active: list[int] = []
+        for col, p in enumerate(active):
+            state = states[p]
+            correlations = alphas[:, col].copy()
+            correlations[state.in_support] = -np.inf
+            best = int(np.argmax(correlations))
+            top = float(correlations[best])
+            if exact and state.support:
+                correlations[best] = -np.inf
+                runner_up = (
+                    float(correlations.max()) if num_columns > 1 else -np.inf
+                )
+                margin = _TIE_MARGIN * max(1.0, abs(top), abs(runner_up))
+                if (
+                    top - runner_up <= margin
+                    or top <= _CORRELATION_TOLERANCE + margin
+                ):
+                    residual = (
+                        state.target_float
+                        - stacked[:, state.support] @ state.coefficients
+                    )
+                    refreshed = stacked.T @ residual
+                    refreshed[state.in_support] = -np.inf
+                    best = int(np.argmax(refreshed))
+                    top = float(refreshed[best])
+            if top <= _CORRELATION_TOLERANCE:
+                continue
+            size = len(state.support)
+            if state.cholesky_ok:
+                pivot = float(gram[best, best])
+                if size:
+                    w = solve_triangular(
+                        state.lower[:size, :size],
+                        gram[state.support, best],
+                        lower=True,
+                        check_finite=False,
+                    )
+                    pivot -= float(w @ w)
+                if pivot <= 1e-12 * max(1.0, float(gram[best, best])):
+                    state.cholesky_ok = False
+                else:
+                    if size:
+                        state.lower[size, :size] = w
+                    state.lower[size, size] = np.sqrt(pivot)
+            state.support.append(best)
+            state.in_support[best] = True
+            size += 1
+
+            step: np.ndarray | None = None
+            if state.cholesky_ok:
+                factor = state.lower[:size, :size]
+                forward = solve_triangular(
+                    factor, state.b[state.support], lower=True, check_finite=False
+                )
+                step = solve_triangular(
+                    factor.T, forward, lower=False, check_finite=False
+                )
+                if np.any(step < 0.0):
+                    step = None
+            if step is None:
+                step, _ = nnls(stacked[:, state.support], state.target)
+            state.coefficients = step
+
+            x = np.zeros(num_columns)
+            x[state.support] = step
+            state.path.append(x)
+            if len(state.path) < state.max_steps:
+                still_active.append(p)
+        active = still_active
+
+    for state, group in zip(states, groups):
+        for index in group:
+            paths[index] = state.path[: budgets[index]]
+    return paths
+
+
+def _screened_omp_path(
+    stacked: np.ndarray,
+    target: np.ndarray,
+    max_atoms: int,
+    norms: np.ndarray,
+    *,
+    empirical: bool,
+    nonneg: bool,
+    timer: StageTimer,
+) -> list[np.ndarray]:
+    """Exact-mode pursuit over a pre-screened candidate set, Gram-free.
+
+    For 10k-100k-review items the O(q^2 D) Gram behind
+    :func:`batch_omp_path` dominates end to end, yet a budget-``m``
+    pursuit touches at most ``m`` support atoms.  This path ranks all
+    columns once by their initial correlation ``b = W^T y`` (one O(q D)
+    product — bitwise the reference's first-round correlations), keeps
+    the top ``max(_SCREEN_KEEP_MIN, _SCREEN_KEEP_FACTOR * m)``, and runs
+    the pursuit against lazily built Gram *columns* restricted to the
+    kept set (O(keep * D) per atom, never O(q^2)).
+
+    Exactness (default, ``empirical=False``) comes from a per-round
+    certificate instead of trusting the ranking: with non-negative
+    incidence and nnls coefficients ``c >= 0`` every pruned column obeys
+    ``corr_j = b_j - w_j . (W_S c) <= b_j``, and Cauchy-Schwarz gives
+    ``corr_j <= ||w_j|| ||r||`` unconditionally.  Whenever the kept
+    winner fails to beat the best pruned bound by :data:`_TIE_MARGIN` —
+    or ties within the kept set, or sits at the stopping boundary — the
+    reference correlation vector ``W^T r`` is recomputed over *all*
+    columns with the reference's own expressions and decides; an
+    out-of-set winner is promoted into the kept set (sorted insert, so
+    the lowest-index tie-break keeps matching the reference).  The
+    returned path is therefore byte-identical to the unscreened exact
+    pursuit.  ``empirical=True`` skips the certificate and restricts
+    rechecks to the kept set: faster, support preserved empirically but
+    not provably.
+    """
+    num_columns = stacked.shape[1]
+    if num_columns == 0 or max_atoms <= 0:
+        return []
+    max_steps = min(max_atoms, num_columns)
+
+    with timer.stage("pursuit"):
+        b = stacked.T @ target
+    with timer.stage("screen"):
+        keep = min(
+            num_columns,
+            max(_SCREEN_KEEP_MIN, _SCREEN_KEEP_FACTOR * max_steps),
+        )
+        if keep >= num_columns:
+            kept_idx = np.arange(num_columns)
+        else:
+            order = np.argsort(b, kind="stable")
+            kept_idx = np.sort(order[num_columns - keep :])
+        kept_mask = np.zeros(num_columns, dtype=bool)
+        kept_mask[kept_idx] = True
+        kept_stack = stacked[:, kept_idx]
+        b_kept = b[kept_idx]
+        pruned = ~kept_mask
+        pruned_b = b[pruned]
+        pruned_norms = norms[pruned]
+        timer.count("screen_total", num_columns)
+        timer.count("screen_kept", len(kept_idx))
+        timer.count("screen_solves", 1)
+
+    support: list[int] = []
+    in_support = np.zeros(num_columns, dtype=bool)
+    coefficients = np.zeros(0)
+    gram_kept = np.zeros((len(kept_idx), max_steps))
+    path: list[np.ndarray] = []
+
+    with timer.stage("pursuit"):
+        for _ in range(max_steps):
+            size = len(support)
+            if size:
+                alpha = b_kept - gram_kept[:, :size] @ coefficients
+            else:
+                alpha = b_kept.copy()
+            alpha[in_support[kept_idx]] = -np.inf
+            pos = int(np.argmax(alpha))
+            best = int(kept_idx[pos])
+            top = float(alpha[pos])
+            alpha[pos] = -np.inf
+            runner_up = float(alpha.max()) if alpha.size > 1 else -np.inf
+            margin = _TIE_MARGIN * max(1.0, abs(top), abs(runner_up))
+            need_full = (
+                top - runner_up <= margin
+                or top <= _CORRELATION_TOLERANCE + margin
+            )
+            residual: np.ndarray | None = None
+            if not empirical and pruned_b.size:
+                residual = (
+                    target - stacked[:, support] @ coefficients
+                    if size
+                    else target
+                )
+                if not need_full:
+                    # Certificate: no pruned column can out-correlate the
+                    # kept winner.  At round one the nonneg bound equals
+                    # the exact correlation, so boundary cases always
+                    # fall through to the reference recheck.
+                    rnorm = float(np.sqrt(residual @ residual))
+                    bounds = pruned_norms * rnorm
+                    if nonneg:
+                        bounds = np.minimum(bounds, pruned_b)
+                    if top <= float(bounds.max()) + margin:
+                        need_full = True
+            if need_full:
+                if residual is None:
+                    residual = (
+                        target - stacked[:, support] @ coefficients
+                        if size
+                        else target
+                    )
+                refreshed = stacked.T @ residual
+                refreshed[in_support] = -np.inf
+                if empirical:
+                    refreshed[pruned] = -np.inf
+                best = int(np.argmax(refreshed))
+                top = float(refreshed[best])
+                timer.count("screen_rechecks", 1)
+                if not kept_mask[best]:
+                    timer.count("screen_promoted", 1)
+                    at = int(np.searchsorted(kept_idx, best))
+                    kept_idx = np.insert(kept_idx, at, best)
+                    kept_mask[best] = True
+                    kept_stack = stacked[:, kept_idx]
+                    b_kept = np.insert(b_kept, at, b[best])
+                    row = np.zeros(max_steps)
+                    if size:
+                        row[:size] = stacked[:, best] @ stacked[:, support]
+                    gram_kept = np.insert(gram_kept, at, row, axis=0)
+                    pruned = ~kept_mask
+                    pruned_b = b[pruned]
+                    pruned_norms = norms[pruned]
+            if top <= _CORRELATION_TOLERANCE:
+                break
+            support.append(best)
+            in_support[best] = True
+            gram_kept[:, size] = kept_stack.T @ stacked[:, best]
+            coefficients, _ = nnls(stacked[:, support], target)
+            x = np.zeros(num_columns)
+            x[support] = coefficients
+            path.append(x)
+    return path
+
+
 class CountsEvaluator:
     """True-objective evaluation from group counts on unique columns.
 
@@ -582,23 +1079,64 @@ def _run_regression(
     timer: StageTimer,
     allow_empty: bool = False,
     exact: bool = True,
+    screen: str = "off",
 ) -> RegressionSelection:
     """The kernel's Integer-Regression driver.
 
     Mirrors :func:`~repro.core.integer_regression.integer_regression_select`
     candidate for candidate: the same discrete rounding, the same strict
     1e-12 improvement rule, the same empty-set fallback — only the pursuit
-    and the evaluation are served from precomputed artifacts.
+    and the evaluation are served from precomputed artifacts.  When the
+    pre-screen governs (:func:`_screen_active`), the pursuit side switches
+    to :func:`_screened_omp_path` and the Gram is never materialised; the
+    rounding stage still sees the full dedup groups and capacities, so
+    largest-remainder spill into zero-coefficient groups stays identical.
     """
-    with timer.stage("gram"):
-        gram = block.gram(sync_blocks)
-        stacked = block.stacked(sync_blocks)
-    capacities = block.capacities
     target = np.asarray(target, dtype=float)
-    with timer.stage("pursuit"):
-        b = stacked.T @ target
-        path = batch_omp_path(gram, b, max_reviews, stacked, target, exact=exact)
+    if _screen_active(screen, block.num_groups, exact):
+        with timer.stage("gram"):
+            stacked = block.stacked(sync_blocks)
+        with timer.stage("screen"):
+            norms = block.column_norms(sync_blocks)
+            nonneg = block.nonnegative()
+        path = _screened_omp_path(
+            stacked,
+            target,
+            max_reviews,
+            norms,
+            empirical=screen == "empirical",
+            nonneg=nonneg,
+            timer=timer,
+        )
+    else:
+        with timer.stage("gram"):
+            gram = block.gram(sync_blocks)
+            stacked = block.stacked(sync_blocks)
+        with timer.stage("pursuit"):
+            b = stacked.T @ target
+            path = batch_omp_path(
+                gram, b, max_reviews, stacked, target, exact=exact
+            )
+    return _path_to_selection(
+        block, path, max_reviews, evaluate, timer, allow_empty=allow_empty
+    )
 
+
+def _path_to_selection(
+    block: GramBlock,
+    path: Sequence[np.ndarray],
+    max_reviews: int,
+    evaluate: Callable[[np.ndarray, tuple[int, ...]], float],
+    timer: StageTimer,
+    allow_empty: bool = False,
+) -> RegressionSelection:
+    """Discrete rounding + candidate argmin over one pursuit path.
+
+    Shared verbatim between the single-problem drivers and the batched
+    entry points, so both stay candidate-for-candidate identical to the
+    reference's rounding stage.
+    """
+    capacities = block.capacities
     best: RegressionSelection | None = None
     if allow_empty:
         with timer.stage("evaluate"):
@@ -623,6 +1161,61 @@ def _run_regression(
     return best
 
 
+def _shared_path_selections(
+    block: GramBlock,
+    path: Sequence[np.ndarray],
+    budgets: Sequence[int],
+    evaluate: Callable[[np.ndarray, tuple[int, ...]], float],
+    timer: StageTimer,
+) -> dict[int, RegressionSelection]:
+    """Rounding + evaluation for many budgets over one shared pursuit path.
+
+    Requests whose pursuits dedup onto one leader path differ only in
+    where the path is cut and which totals the rounding may use — both
+    prefix views of the same per-step apportionment table
+    (:func:`round_to_counts_table` rows never depend on the budget).  The
+    table is built once at the largest budget, each budget replays
+    :func:`_path_to_selection`'s exact scan over its prefix, and the
+    budget-independent evaluator is memoised per selection, so a 16-way
+    burst pays for one rounding pass instead of sixteen.
+    """
+    capacities = block.capacities
+    largest = max(budgets)
+    with timer.stage("round"):
+        tables = [
+            round_to_counts_table(x, capacities, largest) for x in path[:largest]
+        ]
+    objective_of: dict[tuple[int, ...], float] = {}
+
+    def evaluate_once(counts: np.ndarray, selection: tuple[int, ...]) -> float:
+        objective = objective_of.get(selection)
+        if objective is None:
+            with timer.stage("evaluate"):
+                objective = evaluate(counts, selection)
+            objective_of[selection] = objective
+        return objective
+
+    results: dict[int, RegressionSelection] = {}
+    for budget in sorted(set(budgets)):
+        best: RegressionSelection | None = None
+        seen: set[tuple[int, ...]] = {()}
+        for table in tables[:budget]:
+            with timer.stage("round"):
+                counts = best_counts_in_table(table, budget, block.num_groups)
+                selection = counts_to_selection(counts, block.groups)
+            if selection in seen:
+                continue
+            seen.add(selection)
+            objective = evaluate_once(counts, selection)
+            if best is None or objective < best.objective - 1e-12:
+                best = RegressionSelection(selected=selection, objective=objective)
+        if best is None:
+            empty_value = evaluate_once(np.zeros(block.num_groups, dtype=int), ())
+            best = RegressionSelection(selected=(), objective=empty_value)
+        results[budget] = best
+    return results
+
+
 def solve_item(
     artifacts: SolverArtifacts,
     tau: np.ndarray,
@@ -642,7 +1235,7 @@ def solve_item(
         evaluator = CountsEvaluator(artifacts, block, tau, gamma, config.lam)
         return _run_regression(
             block, 0, target, config.max_reviews, evaluator.item_value, timer,
-            exact=exact,
+            exact=exact, screen=artifacts.screen,
         )
 
     return artifacts.cached_solve(key, compute)
@@ -698,7 +1291,7 @@ def solve_plus_item(
         key,
         lambda: _run_regression(
             block, sync_blocks, target, config.max_reviews, evaluate, timer,
-            exact=exact,
+            exact=exact, screen=artifacts.screen,
         ),
     )
     with timer.stage("evaluate"):
@@ -706,3 +1299,181 @@ def solve_plus_item(
     if candidate.objective < current_objective - 1e-12:
         return candidate.selected
     return current
+
+
+def solve_item_many(
+    artifacts: SolverArtifacts,
+    jobs: Sequence[tuple],
+    *,
+    timer: StageTimer | None = None,
+    exact: bool = True,
+) -> list[RegressionSelection]:
+    """Many CompaReSetS per-item solves (Eq. 4) stacked into one pursuit.
+
+    Each job is ``(tau, gamma, config)``.  Memo hits are filled from the
+    solve cache; the misses share the base block's Gram/stacked matrices
+    and run through :func:`batch_omp_many`, so a burst of distinct
+    targets pays one ``G[:, S] @ C`` per round instead of one mat-vec
+    per target per round.  Results are byte-identical to calling
+    :func:`solve_item` per job and land in the same memo cache.
+    Screened (huge) items fall back to the per-job screened path — GEMM
+    stacking would materialise the O(q^2) Gram the screen exists to
+    avoid.
+    """
+    timer = timer if timer is not None else StageTimer()
+    block = artifacts.base_block()
+    results: list[RegressionSelection | None] = [None] * len(jobs)
+    misses: list[tuple[int, tuple, np.ndarray, tuple]] = []
+    for index, (tau, gamma, config) in enumerate(jobs):
+        target = concat_scaled((1.0, tau), (config.lam, gamma))
+        key = ("item", config.max_reviews, exact, target.tobytes())
+        hit = artifacts.peek(key)
+        if hit is not None:
+            results[index] = hit
+        else:
+            misses.append((index, key, target, (tau, gamma, config)))
+    if not misses:
+        return results  # type: ignore[return-value]
+
+    if _screen_active(artifacts.screen, block.num_groups, exact):
+        for index, _, _, (tau, gamma, config) in misses:
+            results[index] = solve_item(
+                artifacts, tau, gamma, config, timer=timer, exact=exact
+            )
+        return results  # type: ignore[return-value]
+
+    with timer.stage("gram"):
+        gram = block.gram(0)
+        stacked = block.stacked(0)
+    with timer.stage("pursuit"):
+        targets = [np.asarray(target, dtype=float) for _, _, target, _ in misses]
+        bs = [stacked.T @ target for target in targets]
+        budgets = [config.max_reviews for _, _, _, (_, _, config) in misses]
+        paths = batch_omp_many(gram, bs, budgets, stacked, targets, exact=exact)
+    # Misses sharing a target dedup'd onto one leader pursuit above; their
+    # rounding + evaluation shares one apportionment table per step too
+    # (the evaluator depends only on (tau, gamma, lam), all pinned by the
+    # group key), so only the budget-prefix scans stay per request.
+    groups: dict[tuple, list[int]] = {}
+    for position, (_, _, target, (_, _, config)) in enumerate(misses):
+        groups.setdefault((target.tobytes(), config.lam), []).append(position)
+    for members in groups.values():
+        budgets_of = [
+            misses[position][3][2].max_reviews for position in members
+        ]
+        leader = members[int(np.argmax(budgets_of))]
+        tau, gamma, config = misses[leader][3]
+        evaluator = CountsEvaluator(artifacts, block, tau, gamma, config.lam)
+        by_budget = _shared_path_selections(
+            block, paths[leader], budgets_of, evaluator.item_value, timer
+        )
+        for position, budget in zip(members, budgets_of):
+            index, key = misses[position][0], misses[position][1]
+            selection = by_budget[budget]
+            results[index] = artifacts.cached_solve(key, lambda s=selection: s)
+    return results  # type: ignore[return-value]
+
+
+def solve_plus_item_many(
+    artifacts: SolverArtifacts,
+    jobs: Sequence[tuple],
+    *,
+    timer: StageTimer | None = None,
+    exact: bool = True,
+) -> list[tuple[int, ...]]:
+    """Many Algorithm-1 inner iterations for one item, GEMM-stacked.
+
+    Each job is ``(tau, gamma, other_phis, config, current, literal)``;
+    the return mirrors :func:`solve_plus_item` per job (the improved
+    selection, or ``current``).  Candidate solves are grouped by the
+    Gram block they pose against — jobs may mix ``mu`` values, sync
+    counts, and the literal flag — and each group's cache misses run
+    through one :func:`batch_omp_many` call.  Byte-identical to the
+    sequential calls, same memo cache.
+    """
+    timer = timer if timer is not None else StageTimer()
+    entries = []
+    grouped: dict[tuple[int, int], list[int]] = {}
+    for index, (tau, gamma, other_phis, config, current, literal) in enumerate(jobs):
+        sync_blocks = len(other_phis)
+        if sync_blocks == 0:
+            block = artifacts.base_block()
+        else:
+            block = artifacts.plus_block(config.mu, timer=timer)
+        gamma_scale = 1.0 if literal else config.lam
+        phi_scale = 1.0 if literal else config.mu
+        target_parts: list[tuple[float, np.ndarray]] = [
+            (1.0, tau),
+            (gamma_scale, gamma),
+        ]
+        for phi in other_phis:
+            target_parts.append((phi_scale, phi))
+        target = concat_scaled(*target_parts)
+        key = (
+            "plus", sync_blocks, config.max_reviews, config.mu, literal, exact,
+            target.tobytes(),
+        )
+        evaluator = CountsEvaluator(artifacts, block, tau, gamma, config.lam)
+
+        def evaluate(
+            counts: np.ndarray,
+            selection: tuple[int, ...],
+            *,
+            _evaluator: CountsEvaluator = evaluator,
+            _phis: Sequence[np.ndarray] = other_phis,
+            _mu: float = config.mu,
+            _literal: bool = literal,
+        ) -> float:
+            return _evaluator.plus_value(counts, selection, _phis, _mu, _literal)
+
+        candidate = artifacts.peek(key)
+        entries.append(
+            [index, block, sync_blocks, target, config, current, evaluate, key,
+             candidate]
+        )
+        if candidate is None:
+            grouped.setdefault((id(block), sync_blocks), []).append(len(entries) - 1)
+
+    for group in grouped.values():
+        block = entries[group[0]][1]
+        sync_blocks = entries[group[0]][2]
+        if _screen_active(artifacts.screen, block.num_groups, exact):
+            for position in group:
+                entry = entries[position]
+                entry[8] = artifacts.cached_solve(
+                    entry[7],
+                    lambda e=entry: _run_regression(
+                        e[1], e[2], e[3], e[4].max_reviews, e[6], timer,
+                        exact=exact, screen=artifacts.screen,
+                    ),
+                )
+            continue
+        with timer.stage("gram"):
+            gram = block.gram(sync_blocks)
+            stacked = block.stacked(sync_blocks)
+        with timer.stage("pursuit"):
+            targets = [
+                np.asarray(entries[position][3], dtype=float)
+                for position in group
+            ]
+            bs = [stacked.T @ target for target in targets]
+            budgets = [entries[position][4].max_reviews for position in group]
+            paths = batch_omp_many(
+                gram, bs, budgets, stacked, targets, exact=exact
+            )
+        for position, path in zip(group, paths):
+            entry = entries[position]
+            selection = _path_to_selection(
+                block, path, entry[4].max_reviews, entry[6], timer
+            )
+            entry[8] = artifacts.cached_solve(entry[7], lambda s=selection: s)
+
+    results: list[tuple[int, ...]] = [() for _ in jobs]
+    for index, block, _, _, _, current, evaluate, _, candidate in entries:
+        with timer.stage("evaluate"):
+            current_objective = evaluate(block.counts_for(current), current)
+        if candidate.objective < current_objective - 1e-12:
+            results[index] = candidate.selected
+        else:
+            results[index] = current
+    return results

@@ -22,9 +22,11 @@ class SelectionResult:
     cheap baseline stood in after the intended selector failed or timed
     out); measurements can filter or flag such results.  ``timings``
     optionally carries per-stage solver wall times in milliseconds
-    (dedup / gram / pursuit / round / evaluate — see
-    :mod:`repro.core.omp_kernel`); it is diagnostic metadata and excluded
-    from equality.
+    (dedup / gram / screen / pursuit / round / evaluate — see
+    :mod:`repro.core.omp_kernel`); ``counters`` likewise carries the
+    solver's integer event counts (candidate pre-screen sizes,
+    recheck/promotion totals).  Both are diagnostic metadata and
+    excluded from equality.
     """
 
     instance: ComparisonInstance
@@ -32,6 +34,7 @@ class SelectionResult:
     algorithm: str
     degraded: bool = False
     timings: dict[str, float] | None = field(default=None, compare=False)
+    counters: dict[str, int] | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if len(self.selections) != self.instance.num_items:
@@ -73,6 +76,7 @@ class SelectionResult:
             algorithm=self.algorithm,
             degraded=self.degraded,
             timings=self.timings,
+            counters=self.counters,
         )
 
 

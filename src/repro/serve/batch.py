@@ -1,12 +1,13 @@
 """Micro-batching for concurrent requests that share per-target work.
 
 Single-flight (``serve.cache``) collapses *identical* requests; this
-layer handles the adjacent case — concurrent requests for the **same
-target item with different parameters** (budgets, algorithms).  Those
-cannot share a result, but they can share the expensive prefix: instance
-resolution, the vector space, tau/Gamma, and the incidence matrices, and
-CompaReSetS+'s alternating rounds then run against already-warm
-per-review memoisation.
+layer handles the adjacent case — concurrent requests that share
+expensive solver state but not a result.  The engine groups **any
+requests of one corpus generation** (same or different targets, mixed
+budgets/algorithms): a sealed batch is handed to the GEMM-level batch
+solver (:mod:`repro.core.batch_solver`), which stacks the per-item
+subproblems that share Gram blocks into multi-RHS pursuit rounds, so a
+burst of distinct requests costs close to one solve.
 
 The first requester for a group key becomes the *leader*: it holds the
 batch open for ``max_wait`` seconds (or until ``max_batch`` requests have
@@ -144,6 +145,35 @@ class MicroBatcher:
             self._batches += 1
             self._batched_requests += len(sealed) - 1
             self._largest_batch = max(self._largest_batch, len(sealed))
+
+        # Re-check the deadline after the window wait: a leader whose
+        # budget expired while holding the batch open must not spend the
+        # handler's solve time on a result nobody can use — but its
+        # joiners may still be within budget, so they keep the batch.
+        if deadline is not None and deadline.bounded and deadline.expired():
+            expired = DeadlineExceeded(
+                "deadline exceeded while holding the batch window open"
+            )
+            joiners = [(request_, slot_) for request_, slot_ in sealed if slot_ is not slot]
+            if joiners:
+                try:
+                    results = self._handler(
+                        key, [request_ for request_, _ in joiners]
+                    )
+                    if len(results) != len(joiners):
+                        raise RuntimeError(
+                            f"batch handler returned {len(results)} results "
+                            f"for {len(joiners)} requests"
+                        )
+                except BaseException as exc:
+                    for _, each in joiners:
+                        each.resolve(error=exc)
+                    slot.resolve(error=expired)
+                    raise expired from exc
+                for (_, each), result in zip(joiners, results):
+                    each.resolve(result=result)
+            slot.resolve(error=expired)
+            raise expired
 
         try:
             results = self._handler(key, [request for request, _ in sealed])

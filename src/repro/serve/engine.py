@@ -34,6 +34,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, replace
 from pathlib import Path
 
+from repro.core.batch_solver import BATCHABLE_ALGORITHMS, BatchJob, select_many
 from repro.core.compare_sets import CompareSetsSelector
 from repro.core.compare_sets_plus import CompareSetsPlusSelector
 from repro.core.problem import SelectionConfig
@@ -160,9 +161,15 @@ class Provenance:
     """How an answer was produced (attached to every response).
 
     ``stage_timings`` carries the solver kernel's per-stage wall times in
-    milliseconds (dedup / gram / pursuit / round / evaluate) for the solve
-    that produced the cached value; cache hits repeat the original solve's
-    timings unchanged.
+    milliseconds (dedup / gram / screen / pursuit / round / evaluate) for
+    the solve that produced the cached value; cache hits repeat the
+    original solve's timings unchanged.  ``batch_size``/``batched_with``
+    record cross-request batch amortisation: the solve ran inside a
+    GEMM-stacked group of ``batch_size`` requests, sharing its pursuit
+    rounds with ``batched_with`` others (absent for solo solves).
+    ``solver_counters`` carries the kernel's integer event counts —
+    notably the candidate pre-screen's examined/kept/promoted column
+    totals for huge items.
     """
 
     cache: str  # "hit" | "miss" | "coalesced" | "tier"
@@ -174,6 +181,9 @@ class Provenance:
     degraded: bool = False
     breaker_skipped: tuple[str, ...] = ()
     stage_timings: Mapping[str, float] | None = None
+    batch_size: int | None = None
+    batched_with: int | None = None
+    solver_counters: Mapping[str, int] | None = None
 
     def as_dict(self) -> dict[str, object]:
         payload: dict[str, object] = {
@@ -193,6 +203,11 @@ class Provenance:
             payload["stage_ms"] = {
                 stage: round(ms, 3) for stage, ms in self.stage_timings.items()
             }
+        if self.batch_size is not None:
+            payload["batch_size"] = self.batch_size
+            payload["batched_with"] = self.batched_with
+        if self.solver_counters:
+            payload["solver_counters"] = dict(self.solver_counters)
         return payload
 
 
@@ -254,6 +269,9 @@ class _SolvedSelect:
     degraded: bool = False
     timings: Mapping[str, float] | None = None
     from_tier: bool = False
+    counters: Mapping[str, int] | None = None
+    batch_size: int | None = None
+    batched_with: int | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -272,8 +290,13 @@ class SelectionEngine:
     """Cached, deadline-aware selection serving against an ItemStore.
 
     ``batch_window`` > 0 enables micro-batching: concurrent cache-missing
-    requests for the same target are grouped for up to that many seconds
-    and solved in one handler call against shared artifacts.
+    select requests of one corpus generation — same or different targets,
+    mixed budgets/algorithms — are grouped for up to that many seconds
+    and solved in one handler call; requests sharing per-item solver
+    artifacts are GEMM-stacked through
+    :func:`repro.core.batch_solver.select_many`, byte-identical to solo
+    solves, with ``batch_size``/``batched_with`` amortisation recorded
+    in provenance and ``repro_batch_*`` gauges in ``/metrics``.
 
     Overload protection: ``admission`` (default: a generous
     :class:`AdmissionController`) sheds excess requests with
@@ -448,6 +471,33 @@ class SelectionEngine:
             lambda: self.store.stats()["cached_artifacts"],
             "precomputed instance artifacts",
         )
+        if self.batcher is not None:
+            batch_stats = self.batcher.stats
+            self.metrics.gauge(
+                "repro_batch_submitted",
+                lambda: batch_stats().submitted,
+                "requests submitted to the micro-batcher",
+            )
+            self.metrics.gauge(
+                "repro_batch_batches",
+                lambda: batch_stats().batches,
+                "sealed micro-batches executed",
+            )
+            self.metrics.gauge(
+                "repro_batch_batched_requests",
+                lambda: batch_stats().batched_requests,
+                "requests that joined another request's batch window",
+            )
+            self.metrics.gauge(
+                "repro_batch_largest",
+                lambda: batch_stats().largest_batch,
+                "largest sealed micro-batch so far",
+            )
+            self.metrics.gauge(
+                "repro_batch_amortisation",
+                lambda: batch_stats().amortisation,
+                "mean requests per micro-batch handler call",
+            )
         if self.tier is not None:
             tier_stats = self.tier.stats
             self.metrics.gauge(
@@ -802,6 +852,9 @@ class SelectionEngine:
                 wall_ms=wall_ms,
                 degraded=solved.degraded,
                 stage_timings=solved.timings,
+                batch_size=solved.batch_size,
+                batched_with=solved.batched_with,
+                solver_counters=solved.counters,
             )
         return EngineResponse(result=solved.payload, provenance=provenance)
 
@@ -893,6 +946,9 @@ class SelectionEngine:
             "payload": solved.payload,
             "degraded": solved.degraded,
             "timings": dict(solved.timings) if solved.timings else None,
+            "counters": dict(solved.counters) if solved.counters else None,
+            "batch_size": solved.batch_size,
+            "batched_with": solved.batched_with,
         }
 
     @staticmethod
@@ -912,11 +968,18 @@ class SelectionEngine:
                     stage_timings=value.get("stage_timings"),
                     from_tier=True,
                 )
+            batch_size = value.get("batch_size")
+            batched_with = value.get("batched_with")
             return _SolvedSelect(
                 payload=value["payload"],
                 degraded=bool(value["degraded"]),
                 timings=value.get("timings"),
                 from_tier=True,
+                counters=value.get("counters"),
+                batch_size=int(batch_size) if batch_size is not None else None,
+                batched_with=(
+                    int(batched_with) if batched_with is not None else None
+                ),
             )
         except (KeyError, TypeError, ValueError):
             return None
@@ -960,15 +1023,13 @@ class SelectionEngine:
     ):
         """Run one cache miss on the worker pool, bounded by ``deadline``."""
         if self.batcher is not None and endpoint == "select":
-            batch_key = (
-                artifacts.version,
-                request.target,
-                request.scheme,
-                request.lam,
-                request.max_comparisons,
-                request.min_reviews,
+            # Solver-aware grouping: any select misses of one corpus
+            # generation may share GEMM-stacked pursuit rounds, so the
+            # window coalesces across targets and parameters; the handler
+            # partitions the sealed batch by concrete artifact identity.
+            return self.batcher.submit(
+                artifacts.version, (request, artifacts), deadline
             )
-            return self.batcher.submit(batch_key, (request, artifacts), deadline)
         future = self._pool.submit(self._solve, endpoint, request, artifacts)
         timeout = deadline.remaining() if deadline.bounded else None
         try:
@@ -980,17 +1041,76 @@ class SelectionEngine:
             ) from None
 
     def _solve_batch(self, key: tuple, requests: list) -> list:
-        """Micro-batch handler: solve every grouped request on the pool.
+        """Micro-batch handler: GEMM-stack the batchable groups.
 
-        All requests in the batch share (target, scheme, lambda) and hence
-        one artifact object, so the vector space's per-review memoisation
-        is warmed once for the whole group.
+        The sealed batch shares a corpus generation; requests that also
+        share an artifact object (same target/scheme/lambda — budgets,
+        ``mu``, and algorithm may differ) and run a batchable paper
+        algorithm are solved in one :func:`select_many` call, stacking
+        their per-item pursuits into multi-RHS rounds.  Everything else
+        (baselines, lone members) solves individually; partitions run
+        concurrently on the pool.
         """
-        futures = [
-            self._pool.submit(self._solve, "select", request, artifacts)
-            for request, artifacts in requests
+        self.metrics.histogram(
+            "repro_batch_size",
+            "sealed micro-batch sizes (requests per handler call)",
+        ).observe(len(requests))
+        groups: dict[int, list[int]] = {}
+        for position, (request, artifacts) in enumerate(requests):
+            if request.algorithm in BATCHABLE_ALGORITHMS and artifacts.solver:
+                groups.setdefault(id(artifacts), []).append(position)
+        stacked = [members for members in groups.values() if len(members) >= 2]
+        in_group = {position for members in stacked for position in members}
+        group_futures = [
+            (
+                members,
+                self._pool.submit(
+                    self._solve_group, [requests[p] for p in members]
+                ),
+            )
+            for members in stacked
         ]
-        return [future.result() for future in futures]
+        solo_futures = {
+            position: self._pool.submit(self._solve, "select", request, artifacts)
+            for position, (request, artifacts) in enumerate(requests)
+            if position not in in_group
+        }
+        results: list = [None] * len(requests)
+        for members, future in group_futures:
+            for position, solved in zip(members, future.result()):
+                results[position] = solved
+        for position, future in solo_futures.items():
+            results[position] = future.result()
+        return results
+
+    def _solve_group(self, group: list) -> list:
+        """Solve one shared-artifact partition through the batch solver."""
+        artifacts = group[0][1]
+        jobs = [
+            BatchJob(algorithm=request.algorithm, config=request.config())
+            for request, _ in group
+        ]
+        selected = select_many(
+            artifacts.instance,
+            jobs,
+            space=artifacts.space,
+            solver_artifacts=artifacts.solver,
+        )
+        # One timer spans the whole group, so observe its totals once
+        # rather than once per member.
+        self._observe_stage_timings(selected[0].timings if selected else None)
+        size = len(group)
+        return [
+            _SolvedSelect(
+                payload=selection_payload(result),
+                degraded=result.degraded,
+                timings=result.timings,
+                counters=result.counters,
+                batch_size=size,
+                batched_with=size - 1,
+            )
+            for result in selected
+        ]
 
     def _solve(
         self, endpoint: str, request: SelectRequest, artifacts: InstanceArtifacts
@@ -1001,6 +1121,7 @@ class SelectionEngine:
                 payload=selection_payload(selected),
                 degraded=selected.degraded,
                 timings=selected.timings,
+                counters=selected.counters,
             )
         assert isinstance(request, NarrowRequest)
         return self._narrow_result(request, artifacts, selected)

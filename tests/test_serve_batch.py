@@ -169,3 +169,84 @@ class TestFailureModes:
         batcher.close()
         with pytest.raises(BatchClosed):
             batcher.submit("k", 1)
+
+    def test_leader_deadline_expires_during_window(self):
+        """A leader whose deadline lapses while the window is open must not
+        run the solve for itself — and with no joiners the handler is never
+        called at all."""
+        calls = []
+
+        def handler(key, requests):
+            calls.append(list(requests))
+            return list(requests)
+
+        batcher = MicroBatcher(handler, max_batch=8, max_wait=0.2)
+        with pytest.raises(DeadlineExceeded, match="batch window"):
+            batcher.submit("key", "late", deadline=Deadline.after(0.01))
+        assert calls == []
+
+    def test_leader_deadline_expiry_still_serves_joiners(self):
+        """The expired leader drops out, but in-budget joiners sealed into
+        its batch still get their results from one handler call."""
+        calls = []
+
+        def handler(key, requests):
+            calls.append(list(requests))
+            return [request * 10 for request in requests]
+
+        batcher = MicroBatcher(handler, max_batch=8, max_wait=0.3)
+        outcome = {}
+
+        def leader():
+            try:
+                batcher.submit("key", 1, deadline=Deadline.after(0.05))
+            except DeadlineExceeded:
+                outcome["leader"] = "deadline"
+
+        def joiner():
+            outcome["joiner"] = batcher.submit("key", 2)
+
+        leader_thread = threading.Thread(target=leader)
+        leader_thread.start()
+        deadline = time.monotonic() + 5.0
+        while batcher.stats().submitted < 1 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        joiner_thread = threading.Thread(target=joiner)
+        joiner_thread.start()
+        leader_thread.join(5.0)
+        joiner_thread.join(5.0)
+        assert outcome == {"leader": "deadline", "joiner": 20}
+        assert calls == [[2]]
+
+    def test_leader_deadline_expiry_propagates_handler_failure(self):
+        """If the joiners-only solve dies, joiners see the handler error and
+        the expired leader still sees its deadline."""
+
+        def handler(key, requests):
+            raise RuntimeError("batch solver died")
+
+        batcher = MicroBatcher(handler, max_batch=8, max_wait=0.3)
+        outcome = {}
+
+        def leader():
+            try:
+                batcher.submit("key", 1, deadline=Deadline.after(0.05))
+            except DeadlineExceeded:
+                outcome["leader"] = "deadline"
+
+        def joiner():
+            try:
+                batcher.submit("key", 2)
+            except RuntimeError as exc:
+                outcome["joiner"] = str(exc)
+
+        leader_thread = threading.Thread(target=leader)
+        leader_thread.start()
+        deadline = time.monotonic() + 5.0
+        while batcher.stats().submitted < 1 and time.monotonic() < deadline:
+            time.sleep(0.001)
+        joiner_thread = threading.Thread(target=joiner)
+        joiner_thread.start()
+        leader_thread.join(5.0)
+        joiner_thread.join(5.0)
+        assert outcome == {"leader": "deadline", "joiner": "batch solver died"}

@@ -234,6 +234,65 @@ class TestBatching:
         finally:
             engine.close()
 
+    def test_cross_request_batching_provenance_and_gauges(self, store):
+        """Distinct-target requests (different m, mixed batchable
+        algorithms) of one generation coalesce into a GEMM-stacked group
+        and say so in their provenance and the /metrics gauges."""
+        engine = SelectionEngine(
+            store, cache_size=16, workers=4, batch_window=0.5, batch_max=4
+        )
+        solo = SelectionEngine(store, cache_size=16, workers=1)
+        jobs = [(1, "CompaReSetS"), (3, "CompaReSetS"), (2, "CompaReSetS+")]
+        try:
+            barrier = threading.Barrier(len(jobs), timeout=10.0)
+            responses = {}
+
+            def worker(m, algorithm):
+                barrier.wait()
+                responses[(m, algorithm)] = engine.select(m=m, algorithm=algorithm)
+
+            threads = [
+                threading.Thread(target=worker, args=job) for job in jobs
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(30.0)
+
+            assert set(responses) == set(jobs)
+            stats = engine.batcher.stats()
+            assert stats.submitted == len(jobs)
+            assert stats.batches < len(jobs), "requests must share a batch"
+
+            # Batched solves are byte-identical to solo solves.
+            for (m, algorithm), response in responses.items():
+                reference = solo.select(m=m, algorithm=algorithm)
+                assert response.result["selections"] == reference.result["selections"]
+
+            batched = [
+                response
+                for response in responses.values()
+                if response.provenance.batch_size is not None
+                and response.provenance.batch_size >= 2
+            ]
+            assert batched, "no response recorded GEMM-stacked provenance"
+            for response in batched:
+                provenance = response.provenance
+                assert provenance.batched_with == provenance.batch_size - 1
+                payload = provenance.as_dict()
+                assert payload["batch_size"] == provenance.batch_size
+                assert payload["batched_with"] == provenance.batched_with
+
+            gauges = engine.metrics.as_dict()["gauges"]
+            assert gauges["repro_batch_submitted"] == len(jobs)
+            assert gauges["repro_batch_batches"] == stats.batches
+            assert gauges["repro_batch_batched_requests"] == stats.batched_requests
+            assert gauges["repro_batch_largest"] >= 2
+            assert gauges["repro_batch_amortisation"] > 1.0
+        finally:
+            engine.close()
+            solo.close()
+
 
 class TestLifecycle:
     def test_closed_engine_rejects_requests(self, store):
