@@ -1,6 +1,6 @@
 # Developer conveniences; everything also works as plain pytest/python calls.
 
-.PHONY: install test bench examples experiments serve-smoke cluster-smoke chaos-smoke recovery-smoke bench-core-smoke bench-eval-smoke bench-batch-smoke ci lint clean
+.PHONY: install test bench examples experiments serve-smoke cluster-smoke chaos-smoke recovery-smoke bench-core-smoke bench-eval-smoke bench-batch-smoke bench-ingest-smoke ci lint clean
 
 install:
 	pip install -e .
@@ -48,6 +48,11 @@ bench-eval-smoke:
 # a >= 4-CPU runner the 16-burst amortisation floor.
 bench-batch-smoke:
 	PYTHONPATH=src python scripts/bench_batch_smoke.py
+
+# Incremental ingest: delta re-warm byte-identical to a cold rebuild,
+# and on a >= 4-CPU runner a 4x re-warm speedup floor.
+bench-ingest-smoke:
+	PYTHONPATH=src python scripts/bench_ingest_smoke.py
 
 # Mirrors .github/workflows/ci.yml: the test matrix plus the lint job.
 # Lint is skipped with a notice when ruff is not installed locally.

@@ -254,6 +254,8 @@ def _command_serve(args: argparse.Namespace) -> int:
             f"{len(corpus.reviews)} reviews (version {store.version})",
             flush=True,
         )
+    if args.verify_patches:
+        engine.store.patch_verify = True
     # run_server installs SIGTERM/SIGINT handlers that drain in-flight
     # requests (up to --drain-timeout seconds) before the process exits.
     run_server(engine, args.host, args.port, drain_timeout=args.drain_timeout)
@@ -664,6 +666,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--hint-limit", type=int, default=512, metavar="H",
         help="max hinted-handoff deltas queued per dead shard before "
              "ingest for its keys answers 503 (default: 512)",
+    )
+    serve.add_argument(
+        "--verify-patches", action="store_true",
+        help="cross-check every delta-patched solver artifact against a "
+             "cold rebuild byte-for-byte, serving the cold build on "
+             "mismatch (diagnostic; trades ingest latency for certainty)",
     )
     serve.set_defaults(handler=_command_serve)
 

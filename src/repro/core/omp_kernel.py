@@ -129,6 +129,52 @@ class StageTimer:
         return {stage: seconds * 1e3 for stage, seconds in self.seconds.items()}
 
 
+#: Column-chunk width of the canonical Gram computation (see
+#: :func:`_grid_gram`).  Smaller chunks make incremental extension cheaper
+#: (an extension recomputes at most one partial chunk of old columns) at
+#: the cost of more, smaller GEMM calls in the cold build.
+_GRAM_CHUNK = 128
+
+
+def _grid_gram(
+    unique: np.ndarray,
+    previous: np.ndarray | None = None,
+    previous_columns: int = 0,
+) -> np.ndarray:
+    """``unique.T @ unique`` computed in fixed column-grid chunks.
+
+    BLAS GEMM results for a sub-block are *not* bitwise equal to the
+    corresponding slice of one big GEMM (different reduction blocking),
+    so a naive bordered update ``[[G, W^T W_d], [W_d^T W, W_d^T W_d]]``
+    would drift from a cold rebuild at the ulp level.  Instead both the
+    cold build and the incremental extension compute the Gram chunk by
+    chunk at *absolute* column positions ``[k*B, (k+1)*B)``: each chunk
+    issues the same GEMM calls (same shapes, same operand bytes)
+    regardless of how many columns existed when it was first filled, so
+    N successive extensions reproduce the cold bytes exactly.
+
+    With ``previous`` (the Gram over the first ``previous_columns``
+    columns, itself grid-built), every complete old chunk is copied and
+    only the trailing partial chunk plus the appended columns are
+    recomputed — O(q * (d + B) * D) instead of O(q^2 * D).
+    """
+    q = unique.shape[1]
+    gram = np.empty((q, q), dtype=unique.dtype)
+    keep = 0
+    if previous is not None:
+        keep = (previous_columns // _GRAM_CHUNK) * _GRAM_CHUNK
+        gram[:keep, :keep] = previous[:keep, :keep]
+    for start in range(keep, q, _GRAM_CHUNK):
+        end = min(start + _GRAM_CHUNK, q)
+        block = unique[:, start:end]
+        if start:
+            cross = unique[:, :start].T @ block
+            gram[:start, start:end] = cross
+            gram[start:end, :start] = cross.T
+        gram[start:end, start:end] = block.T @ block
+    return gram
+
+
 class GramBlock:
     """Dedup groups + Gram blocks for one (lam, mu) stacked-matrix family.
 
@@ -221,14 +267,14 @@ class GramBlock:
     def gram_op(self) -> np.ndarray:
         """``O_u^T O_u`` over the unique columns (built on first access)."""
         if self._gram_op is None:
-            self._gram_op = self.unique_opinion.T @ self.unique_opinion
+            self._gram_op = _grid_gram(self.unique_opinion)
         return self._gram_op
 
     @property
     def gram_asp(self) -> np.ndarray:
         """``A_u^T A_u`` over the unique columns (built on first access)."""
         if self._gram_asp is None:
-            self._gram_asp = self.unique_aspect.T @ self.unique_aspect
+            self._gram_asp = _grid_gram(self.unique_aspect)
         return self._gram_asp
 
     def stacked(self, sync_blocks: int = 0) -> np.ndarray:
@@ -302,6 +348,125 @@ class GramBlock:
             raise ValueError(f"sync_blocks must be >= 0, got {sync_blocks}")
         if sync_blocks > 0 and not self.with_sync:
             raise ValueError("this block was built without a sync row block")
+
+    def extended(
+        self,
+        opinion: np.ndarray,
+        aspect: np.ndarray,
+        old_columns: int,
+        timer: StageTimer,
+    ) -> "GramBlock":
+        """A new block over ``opinion``/``aspect``, built from this one.
+
+        ``opinion``/``aspect`` must extend this block's matrices by
+        appended columns (``old_columns`` is how many columns this block
+        covers).  The dedup is reconciled incrementally — each appended
+        column either joins an existing group (matching the rounded,
+        signed-zero-normalised keys :func:`deduplicate_columns` uses) or
+        opens a new group in first-occurrence order — and materialised
+        Gram blocks grow via :func:`_grid_gram`'s grid extension.  The
+        result is byte-identical to cold-building a block over the full
+        matrices: same group order, same unique-column bytes, same Gram
+        bytes.
+        """
+        if not self.groups:
+            return GramBlock(
+                opinion, aspect, self.lam, self.mu, self.with_sync, timer
+            )
+        delta_blocks = [opinion[:, old_columns:], self.lam * aspect[:, old_columns:]]
+        if self.with_sync:
+            delta_blocks.append(self.mu * aspect[:, old_columns:])
+        delta_stack = np.vstack(delta_blocks)
+        added = delta_stack.shape[1]
+        with timer.stage("dedup"):
+            # Rounded keys are per-column (np.round and the +0.0
+            # signed-zero normalisation are elementwise), so keys derived
+            # from this block's first-occurrence columns match the keys a
+            # cold full-matrix dedup would compute for them.
+            rounded_old = np.round(self._dedup_matrix, 12)
+            rounded_old += 0.0
+            old_keys = np.ascontiguousarray(rounded_old.T)
+            key_to_group: dict[bytes, int] = {
+                old_keys[group_id].tobytes(): group_id
+                for group_id in range(len(self.groups))
+            }
+            rounded = np.round(delta_stack, 12)
+            rounded += 0.0
+            delta_keys = np.ascontiguousarray(rounded.T)
+            groups = [list(group) for group in self.groups]
+            new_firsts: list[int] = []
+            for offset in range(added):
+                column = old_columns + offset
+                key = delta_keys[offset].tobytes()
+                group_id = key_to_group.get(key)
+                if group_id is None:
+                    group_id = len(groups)
+                    key_to_group[key] = group_id
+                    groups.append([column])
+                    new_firsts.append(offset)
+                else:
+                    groups[group_id].append(column)
+        block = object.__new__(GramBlock)
+        block.lam = self.lam
+        block.mu = self.mu
+        block.with_sync = self.with_sync
+        block.groups = tuple(tuple(group) for group in groups)
+        block.capacities = np.array([len(group) for group in block.groups], dtype=int)
+        block.column_group = np.zeros(old_columns + added, dtype=np.intp)
+        for group_id, group in enumerate(block.groups):
+            for member in group:
+                block.column_group[member] = group_id
+        with timer.stage("gram"):
+            if new_firsts:
+                block._dedup_matrix = np.hstack(
+                    [self._dedup_matrix, delta_stack[:, new_firsts]]
+                )
+                absolute = [old_columns + offset for offset in new_firsts]
+                block.unique_opinion = np.hstack(
+                    [self.unique_opinion, opinion[:, absolute]]
+                )
+                block.unique_aspect = np.hstack(
+                    [self.unique_aspect, aspect[:, absolute]]
+                )
+                old_unique = len(self.groups)
+                block._gram_op = (
+                    None
+                    if self._gram_op is None
+                    else _grid_gram(block.unique_opinion, self._gram_op, old_unique)
+                )
+                block._gram_asp = (
+                    None
+                    if self._gram_asp is None
+                    else _grid_gram(block.unique_aspect, self._gram_asp, old_unique)
+                )
+            else:
+                # Every appended column duplicates an existing group: the
+                # unique columns (hence the Grams) are unchanged.
+                block._dedup_matrix = self._dedup_matrix
+                block.unique_opinion = self.unique_opinion
+                block.unique_aspect = self.unique_aspect
+                block._gram_op = self._gram_op
+                block._gram_asp = self._gram_asp
+        opinion_dim = opinion.shape[0]
+        num_aspects = aspect.shape[0]
+        block._sync_rows = (
+            block._dedup_matrix[opinion_dim + num_aspects :]
+            if self.with_sync
+            else None
+        )
+        block._stacks = {}
+        block._grams = {}
+        block._norms = {}
+        if self._nonneg is None or not new_firsts:
+            block._nonneg = self._nonneg
+        else:
+            # Cold checks the dedup matrix (unique columns only), so the
+            # combination must too — a duplicate column may differ from
+            # its group representative below the rounding tolerance.
+            block._nonneg = self._nonneg and bool(
+                np.all(delta_stack[:, new_firsts] >= 0.0)
+            )
+        return block
 
 
 class SolverArtifacts:
@@ -494,6 +659,65 @@ class SolverArtifacts:
                 else:
                     self._strengths = np.zeros((self.space.num_aspects, 0))
             return self._strengths
+
+    def extended(
+        self, reviews: Sequence[Review], *, timer: StageTimer | None = None
+    ) -> "SolverArtifacts":
+        """New artifacts for this item's reviews plus appended ``reviews``.
+
+        Incidence matrices grow by the delta columns only (per-review
+        walks for the new reviews; the old columns are reused), and every
+        already-built :class:`GramBlock` — the base block and any
+        per-``mu`` sync blocks — is extended via the bordered grid update
+        instead of rebuilt.  Byte-identical to cold-building artifacts
+        over the concatenated review tuple.
+
+        The solve memo does *not* carry over: appended reviews can change
+        group capacities even for an unchanged target vector (a new
+        member joining an existing dedup group shifts the
+        largest-remainder apportionment), so memo entries keyed by target
+        bytes may be stale.  Artifacts of *untouched* items are shared by
+        reference during delta carry-over, which is where the memo reuse
+        the store relies on actually lives.
+        """
+        delta = tuple(reviews)
+        if not delta:
+            return self
+        timer = timer if timer is not None else StageTimer()
+        delta_opinion = self.space.opinion_matrix(delta)
+        delta_aspect = self.space.aspect_matrix(delta)
+        opinion = np.hstack([self._opinion, delta_opinion])
+        aspect = np.hstack([self._aspect, delta_aspect])
+        old_columns = len(self.reviews)
+        with self._lock:
+            plus_blocks = dict(self._plus)
+            strengths = self._strengths
+        extended = object.__new__(SolverArtifacts)
+        extended.space = self.space
+        extended.reviews = self.reviews + delta
+        extended.lam = self.lam
+        extended.screen = self.screen
+        extended._opinion = opinion
+        extended._aspect = aspect
+        extended._lock = threading.Lock()
+        extended._base = self._base.extended(opinion, aspect, old_columns, timer)
+        extended._plus = {
+            mu: block.extended(opinion, aspect, old_columns, timer)
+            for mu, block in plus_blocks.items()
+        }
+        if strengths is None:
+            extended._strengths = None
+        else:
+            extended._strengths = np.hstack(
+                [
+                    strengths,
+                    np.column_stack(
+                        [self.space.review_signed_strengths(r) for r in delta]
+                    ),
+                ]
+            )
+        extended._solve_cache = {}
+        return extended
 
 
 #: Upper bound on memoised solves per :class:`SolverArtifacts`; the cache

@@ -85,6 +85,16 @@ class VectorSpace:
         """z — the size of the universal aspect set."""
         return len(self.aspects)
 
+    def covers(self, aspects: Iterable[str]) -> bool:
+        """Whether every aspect in ``aspects`` is in this vocabulary.
+
+        The delta-patch path uses this to decide whether appended reviews
+        would change an instance's aspect vocabulary (and hence every
+        vector's dimensions) — if so, the artifacts must be rebuilt cold
+        rather than extended.
+        """
+        return all(aspect in self._index for aspect in aspects)
+
     @cached_property
     def opinion_dim(self) -> int:
         """Dimension of pi vectors under the configured scheme."""

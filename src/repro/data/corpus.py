@@ -66,6 +66,7 @@ class Corpus:
                 )
             self._reviews[review.review_id] = review
             self._reviews_by_product[review.product_id].append(review)
+        self._reviews_tuple: tuple[Review, ...] | None = None
 
     # -- access ----------------------------------------------------------
 
@@ -75,7 +76,47 @@ class Corpus:
 
     @property
     def reviews(self) -> Sequence[Review]:
-        return tuple(self._reviews.values())
+        if self._reviews_tuple is None:
+            self._reviews_tuple = tuple(self._reviews.values())
+        return self._reviews_tuple
+
+    def with_appended_reviews(self, reviews: Sequence[Review]) -> "Corpus":
+        """A successor corpus with ``reviews`` appended (delta ingest).
+
+        Shares the product table and the untouched per-product review
+        lists with this corpus instead of re-validating and re-indexing
+        every existing review, so a delta costs O(products + delta)
+        structure work rather than O(reviews).  Appended reviews keep
+        insertion order: the successor's ``reviews_of`` for a touched
+        product is the old sequence followed by the delta entries, which
+        is exactly what the incremental artifact path appends to.
+
+        The same invariants as ``__init__`` are enforced for the *new*
+        reviews only; existing entries are immutable and already valid.
+        """
+        successor = object.__new__(Corpus)
+        successor.name = self.name
+        successor._products = self._products
+        merged = dict(self._reviews)
+        by_product = dict(self._reviews_by_product)
+        touched: set[str] = set()
+        for review in reviews:
+            if review.review_id in merged:
+                raise ValueError(f"duplicate review id {review.review_id!r}")
+            if review.product_id not in self._products:
+                raise ValueError(
+                    f"review {review.review_id!r} references unknown product "
+                    f"{review.product_id!r}"
+                )
+            merged[review.review_id] = review
+            if review.product_id not in touched:
+                by_product[review.product_id] = list(by_product[review.product_id])
+                touched.add(review.product_id)
+            by_product[review.product_id].append(review)
+        successor._reviews = merged
+        successor._reviews_by_product = by_product
+        successor._reviews_tuple = None
+        return successor
 
     def product(self, product_id: str) -> Product:
         """Look up a product by id (KeyError if absent)."""

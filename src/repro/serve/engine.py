@@ -737,6 +737,18 @@ class SelectionEngine:
             "repro_cache_invalidated_total",
             "cache entries evicted by delta invalidation",
         ).inc(evicted)
+        self.metrics.counter(
+            "repro_ingest_artifacts_patched_total",
+            "solver artifacts extended in place by delta ingest",
+        ).inc(outcome.patched)
+        self.metrics.counter(
+            "repro_ingest_artifacts_rebuilt_total",
+            "solver artifacts dropped for cold rebuild by delta ingest",
+        ).inc(outcome.rebuilt)
+        self.metrics.histogram(
+            "repro_ingest_patch_seconds",
+            "wall time of the per-delta artifact carry-over pass",
+        ).observe(outcome.patch_ms / 1e3)
         if snapshot_due:
             try:
                 self.snapshot()
@@ -752,6 +764,12 @@ class SelectionEngine:
             "wal_seq": seq,
             "cache_evicted": evicted,
             "tier_purged": tier_purged,
+            "artifacts": {
+                "patched": outcome.patched,
+                "rebuilt": outcome.rebuilt,
+                "verify_failures": outcome.verify_failures,
+            },
+            "stage_ms": {"artifact_patch": outcome.patch_ms},
         }
 
     def snapshot(self) -> SnapshotInfo:

@@ -23,7 +23,9 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import logging
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from collections.abc import Mapping, Sequence
@@ -37,6 +39,8 @@ from repro.data.corpus import Corpus
 from repro.data.instances import ComparisonInstance, build_instance
 from repro.data.io import load_corpus
 from repro.data.models import Review
+
+logger = logging.getLogger(__name__)
 
 
 class UnknownTargetError(LookupError):
@@ -78,11 +82,23 @@ class DeltaValidationError(ValueError):
 
 @dataclass(frozen=True, slots=True)
 class DeltaOutcome:
-    """Result of one applied review delta."""
+    """Result of one applied review delta.
+
+    ``patched`` / ``rebuilt`` count memoised artifacts whose candidate
+    set touched an affected product: patched ones were extended in place
+    via the bordered-Gram path, rebuilt ones were dropped for a lazy cold
+    rebuild (candidate-set or vocabulary change, or a patch-verify
+    mismatch — the latter also counted in ``verify_failures``).
+    ``patch_ms`` is the wall time of the whole carry-over pass.
+    """
 
     version: str
     affected: tuple[str, ...]
     added: int
+    patched: int = 0
+    rebuilt: int = 0
+    verify_failures: int = 0
+    patch_ms: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -193,6 +209,85 @@ def corpus_fingerprint(corpus: Corpus) -> str:
     return digest.hexdigest()[:12]
 
 
+def delta_fingerprint(previous_version: str, reviews: Sequence[Review]) -> str:
+    """Lineage-chained fingerprint of a delta generation.
+
+    Hashes the previous generation's *version string* plus the canonical
+    identity of the delta batch (review and product ids, in batch order),
+    so computing a successor fingerprint is O(delta) instead of the full
+    :func:`corpus_fingerprint` rehash.  Deterministic by construction:
+    replaying the same delta sequence from the same starting generation
+    (WAL replay, replica convergence) reproduces the same chain of
+    version strings.
+    """
+    digest = hashlib.sha256()
+    digest.update(previous_version.encode())
+    for review in reviews:
+        digest.update(b"\x00")
+        digest.update(review.review_id.encode())
+        digest.update(b"\x1f")
+        digest.update(review.product_id.encode())
+    return digest.hexdigest()[:12]
+
+
+def _patch_mismatch(
+    patched: InstanceArtifacts, cold: InstanceArtifacts
+) -> str | None:
+    """Where ``patched`` diverges from ``cold`` byte-for-byte, or None.
+
+    The comparison forces the lazy Gram blocks on both sides, so verify
+    mode trades the patch's laziness for a full cross-check — that is the
+    point of the mode.
+    """
+    if patched.gamma.tobytes() != cold.gamma.tobytes():
+        return "gamma"
+    if len(patched.taus) != len(cold.taus):
+        return "tau count"
+    for index, (left, right) in enumerate(zip(patched.taus, cold.taus)):
+        if left.tobytes() != right.tobytes():
+            return f"tau[{index}]"
+    for index, (left, right) in enumerate(zip(patched.columns, cold.columns)):
+        if left.shape != right.shape or left.tobytes() != right.tobytes():
+            return f"columns[{index}]"
+    for index, (ours, theirs) in enumerate(zip(patched.solver, cold.solver)):
+        if ours._opinion.tobytes() != theirs._opinion.tobytes():
+            return f"solver[{index}].opinion"
+        if ours._aspect.tobytes() != theirs._aspect.tobytes():
+            return f"solver[{index}].aspect"
+        where = _block_mismatch(ours.base_block(), theirs.base_block())
+        if where is not None:
+            return f"solver[{index}].base.{where}"
+        with ours._lock:
+            mus = sorted(ours._plus)
+        for mu in mus:
+            where = _block_mismatch(
+                ours.plus_block(mu), theirs.plus_block(mu)
+            )
+            if where is not None:
+                return f"solver[{index}].plus[{mu}].{where}"
+    return None
+
+
+def _block_mismatch(patched, cold) -> str | None:
+    if patched.groups != cold.groups:
+        return "groups"
+    if not np.array_equal(patched.capacities, cold.capacities):
+        return "capacities"
+    if not np.array_equal(patched.column_group, cold.column_group):
+        return "column_group"
+    if patched._dedup_matrix.tobytes() != cold._dedup_matrix.tobytes():
+        return "dedup_matrix"
+    if patched.unique_opinion.tobytes() != cold.unique_opinion.tobytes():
+        return "unique_opinion"
+    if patched.unique_aspect.tobytes() != cold.unique_aspect.tobytes():
+        return "unique_aspect"
+    if patched.gram_op.tobytes() != cold.gram_op.tobytes():
+        return "gram_op"
+    if patched.gram_asp.tobytes() != cold.gram_asp.tobytes():
+        return "gram_asp"
+    return None
+
+
 class ItemStore:
     """Versioned, thread-safe store of precomputed selection artifacts."""
 
@@ -200,6 +295,10 @@ class ItemStore:
         self._lock = threading.Lock()
         self._reload_lock = threading.Lock()
         self._loads = 0
+        #: When True, every artifact patched by a delta is cross-checked
+        #: byte-for-byte against a cold build of the new generation; a
+        #: mismatch logs loudly and serves the cold build instead.
+        self.patch_verify = False
         self._generation = self._ingest(corpus)
 
     @classmethod
@@ -235,11 +334,29 @@ class ItemStore:
         store = cls.__new__(cls)
         store._lock = threading.Lock()
         store._reload_lock = threading.Lock()
+        store.patch_verify = False
+        delta_epochs = {p: int(e) for p, e in (epochs or {}).items() if e}
+        if delta_epochs:
+            # Delta-descended generation: its fingerprint is a lineage
+            # chain over the applied deltas (see :func:`delta_fingerprint`)
+            # and cannot be recomputed from the corpus alone — trust the
+            # (checksummed) snapshot manifest's version string.
+            if expected_version is None:
+                raise ValueError(
+                    "expected_version is required to restore a "
+                    "delta-descended generation"
+                )
+            store._loads = loads
+            store._generation = _Generation(
+                corpus=corpus,
+                version=expected_version,
+                lineage=lineage,
+                epochs=delta_epochs,
+            )
+            return store
         store._loads = loads - 1
         generation = store._ingest(corpus)
         generation.lineage = lineage
-        if epochs:
-            generation.epochs = {p: int(e) for p, e in epochs.items() if e}
         store._generation = generation
         if expected_version is not None and generation.version != expected_version:
             raise ValueError(
@@ -363,17 +480,17 @@ class ItemStore:
             corpus = generation.corpus
             known, batch_ids = self._check_delta(generation, reviews)
 
-            new_corpus = Corpus(
-                corpus.name,
-                corpus.products,
-                tuple(corpus.reviews) + tuple(reviews),
-            )
-            affected = tuple(sorted({r.product_id for r in reviews}))
+            delta = tuple(reviews)
+            new_corpus = corpus.with_appended_reviews(delta)
+            affected = tuple(sorted({r.product_id for r in delta}))
+            delta_by_product: dict[str, list[Review]] = {}
+            for review in delta:
+                delta_by_product.setdefault(review.product_id, []).append(review)
             epochs = dict(generation.epochs)
             for pid in affected:
                 epochs[pid] = epochs.get(pid, 0) + 1
             self._loads += 1
-            version = f"g{self._loads}-{corpus_fingerprint(new_corpus)}"
+            version = f"g{self._loads}-{delta_fingerprint(generation.version, delta)}"
             successor = _Generation(
                 corpus=new_corpus,
                 version=version,
@@ -381,10 +498,22 @@ class ItemStore:
                 epochs=epochs,
                 review_ids=known | batch_ids,
             )
-            self._carry_over(generation, successor, set(affected))
+            began = time.perf_counter()
+            patched, rebuilt, failures = self._carry_over(
+                generation, successor, set(affected), delta_by_product
+            )
+            patch_ms = (time.perf_counter() - began) * 1e3
             with self._lock:
                 self._generation = successor
-            return DeltaOutcome(version=version, affected=affected, added=len(reviews))
+            return DeltaOutcome(
+                version=version,
+                affected=affected,
+                added=len(delta),
+                patched=patched,
+                rebuilt=rebuilt,
+                verify_failures=failures,
+                patch_ms=patch_ms,
+            )
 
     @staticmethod
     def _check_delta(
@@ -435,18 +564,27 @@ class ItemStore:
         self._check_delta(generation, reviews)
         return tuple(sorted({r.product_id for r in reviews}))
 
-    @staticmethod
     def _carry_over(
-        old: _Generation, new: _Generation, affected: set[str]
-    ) -> None:
-        """Copy memoised instances/artifacts untouched by ``affected``.
+        self,
+        old: _Generation,
+        new: _Generation,
+        affected: set[str],
+        delta_by_product: Mapping[str, Sequence[Review]],
+    ) -> tuple[int, int, int]:
+        """Carry memoised instances/artifacts across a delta.
 
         An instance for target T depends on T plus T's in-corpus
         also-bought *candidates* — not just the products that made it
         into the instance, because a delta can push a previously
         under-reviewed candidate over ``min_reviews`` and change the
-        comparative set.  Entries whose candidate set intersects the
-        affected products are dropped and rebuilt lazily.
+        comparative set.  Untouched entries carry over by reference
+        (solve memos and all).  Touched artifacts take the patch path:
+        if the comparative set and aspect vocabulary are unchanged, the
+        per-item invariants are *extended* — bordered-Gram updates,
+        incremental dedup, appended tau/Gamma/column algebra — instead of
+        dropped; otherwise they are dropped for a lazy cold rebuild.
+
+        Returns ``(patched, rebuilt, verify_failures)``.
         """
         corpus = old.corpus
         safe_targets: dict[str, bool] = {}
@@ -470,11 +608,155 @@ class ItemStore:
         for key, instance in old.instances.items():
             if target_safe(key.target):
                 new.instances[key] = instance
+
+        patched = rebuilt = verify_failures = 0
+        instances: dict[_InstanceKey, ComparisonInstance | None] = {}
         for art_key, artifacts in old.artifacts.items():
-            if target_safe(art_key.instance_key.target):
+            key = art_key.instance_key
+            if target_safe(key.target):
                 new.artifacts[art_key] = dataclasses.replace(
                     artifacts, version=new.version
                 )
+                continue
+            if key not in instances:
+                # The rebuilt instance is correct for the new corpus
+                # whether or not the patch goes through; cache it so a
+                # later cold build does not redo the lookup work.
+                instances[key] = build_instance(
+                    new.corpus,
+                    key.target,
+                    max_comparisons=key.max_comparisons,
+                    min_reviews=key.min_reviews,
+                )
+                new.instances[key] = instances[key]
+            instance = instances[key]
+            successor = self._patched_artifacts(
+                new, art_key, artifacts, instance, affected, delta_by_product
+            )
+            if successor is None:
+                rebuilt += 1
+                continue
+            if self.patch_verify:
+                cold = self._build_artifacts(new, art_key, instance)
+                mismatch = _patch_mismatch(successor, cold)
+                if mismatch is not None:
+                    verify_failures += 1
+                    rebuilt += 1
+                    logger.error(
+                        "patched artifacts for target %r (scheme=%s, lam=%g) "
+                        "diverged from cold build at %s; serving the cold "
+                        "build instead",
+                        key.target,
+                        art_key.scheme.value,
+                        art_key.lam,
+                        mismatch,
+                    )
+                    new.artifacts[art_key] = cold
+                    continue
+            new.artifacts[art_key] = successor
+            patched += 1
+        return patched, rebuilt, verify_failures
+
+    def _patched_artifacts(
+        self,
+        new: _Generation,
+        art_key: _ArtifactKey,
+        artifacts: InstanceArtifacts,
+        instance: ComparisonInstance | None,
+        affected: set[str],
+        delta_by_product: Mapping[str, Sequence[Review]],
+    ) -> InstanceArtifacts | None:
+        """Extend ``artifacts`` to cover ``instance`` on the new corpus.
+
+        Returns None when the entry is not patchable — the comparative
+        set changed, the delta introduces unseen aspects (the vector
+        space would change dimensions), or the review sequences do not
+        line up as pure appends — in which case the caller drops it for
+        a lazy cold rebuild.
+        """
+        old_instance = artifacts.instance
+        if instance is None:
+            return None
+        if tuple(p.product_id for p in instance.products) != tuple(
+            p.product_id for p in old_instance.products
+        ):
+            return None
+        if len(artifacts.solver) != len(old_instance.reviews) or len(
+            artifacts.columns
+        ) != len(old_instance.reviews):
+            return None
+        space = artifacts.space
+        for product in instance.products:
+            for review in delta_by_product.get(product.product_id, ()):
+                if not space.covers(review.aspects):
+                    return None
+        for index, product in enumerate(instance.products):
+            old_reviews = old_instance.reviews[index]
+            new_reviews = instance.reviews[index]
+            delta = delta_by_product.get(product.product_id, ())
+            if len(new_reviews) != len(old_reviews) + len(delta):
+                return None
+            if old_reviews and (
+                new_reviews[0] is not old_reviews[0]
+                or new_reviews[len(old_reviews) - 1] is not old_reviews[-1]
+            ):
+                return None
+            if any(
+                new_reviews[len(old_reviews) + offset] is not review
+                for offset, review in enumerate(delta)
+            ):
+                return None
+        gamma = space.aspect_vector(instance.reviews[0])
+        taus = tuple(space.opinion_vector(reviews) for reviews in instance.reviews)
+        columns: list[np.ndarray] = []
+        solver: list[SolverArtifacts] = []
+        for index, product in enumerate(instance.products):
+            delta = delta_by_product.get(product.product_id, ())
+            if delta:
+                columns.append(
+                    regression_columns(space, instance.reviews[index], art_key.lam)
+                )
+                solver.append(artifacts.solver[index].extended(delta))
+            else:
+                columns.append(artifacts.columns[index])
+                solver.append(artifacts.solver[index])
+        return InstanceArtifacts(
+            version=new.version,
+            instance=instance,
+            space=space,
+            gamma=gamma,
+            taus=taus,
+            columns=tuple(columns),
+            solver=tuple(solver),
+            chain=self._chain_for(new, instance),
+        )
+
+    def _build_artifacts(
+        self,
+        generation: _Generation,
+        art_key: _ArtifactKey,
+        instance: ComparisonInstance,
+    ) -> InstanceArtifacts:
+        """Cold-build artifacts for ``instance`` (no cache interaction)."""
+        space = VectorSpace(instance.aspect_vocabulary(), art_key.scheme)
+        return InstanceArtifacts(
+            version=generation.version,
+            instance=instance,
+            space=space,
+            gamma=space.aspect_vector(instance.reviews[0]),
+            taus=tuple(
+                space.opinion_vector(reviews) for reviews in instance.reviews
+            ),
+            columns=tuple(
+                regression_columns(space, reviews, art_key.lam)
+                for reviews in instance.reviews
+            ),
+            solver=tuple(
+                SolverArtifacts(space, reviews, art_key.lam)
+                for reviews in instance.reviews
+            ),
+            chain=self._chain_for(generation, instance),
+        )
 
     def chain_state(self) -> tuple[int, str, dict[str, int]]:
         """``(loads, lineage, epochs)`` — what a snapshot must persist to
@@ -625,27 +907,7 @@ class ItemStore:
                 f"target {target!r} is not a viable instance "
                 f"(needs >= {min_reviews} reviews and a comparable item)"
             )
-        space = VectorSpace(instance.aspect_vocabulary(), config.scheme)
-        gamma = space.aspect_vector(instance.reviews[0])
-        taus = tuple(space.opinion_vector(reviews) for reviews in instance.reviews)
-        columns = tuple(
-            regression_columns(space, reviews, config.lam)
-            for reviews in instance.reviews
-        )
-        solver = tuple(
-            SolverArtifacts(space, reviews, config.lam)
-            for reviews in instance.reviews
-        )
-        built = InstanceArtifacts(
-            version=generation.version,
-            instance=instance,
-            space=space,
-            gamma=gamma,
-            taus=taus,
-            columns=columns,
-            solver=solver,
-            chain=self._chain_for(generation, instance),
-        )
+        built = self._build_artifacts(generation, artifact_key, instance)
         with self._lock:
             # First build wins so every caller shares one artifact object
             # (and one memoised VectorSpace).
